@@ -1,0 +1,37 @@
+(* Shared helpers for the experiment harness. *)
+
+module Table = Lcm_support.Table
+module Prng = Lcm_support.Prng
+module Cfg = Lcm_cfg.Cfg
+module Registry = Lcm_eval.Registry
+module Suites = Lcm_eval.Suites
+module Metrics = Lcm_eval.Metrics
+module Oracle = Lcm_eval.Oracle
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+let ok_or_message = function
+  | Ok () -> "ok"
+  | Error m -> "FAIL: " ^ m
+
+let ok_flag = function
+  | Ok () -> "yes"
+  | Error _ -> "no"
+
+(* Environments used for all dynamic measurements: deterministic per
+   workload. *)
+let workload_envs w = Suites.envs 2026 w 10
+
+let algorithm name = Option.get (Registry.find name)
+
+let run_algorithm name g = (algorithm name).Registry.run g
+
+let temps_of ~original ~transformed = Registry.new_temps ~original ~transformed
+
+let lifetime_of ~original transformed =
+  Metrics.temp_lifetime transformed ~temps:(temps_of ~original ~transformed)

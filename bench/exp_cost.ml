@@ -1,0 +1,98 @@
+(* EXP-C1: the paper's cost claim — LCM is a cascade of unidirectional
+   bit-vector problems, cheaper than the bidirectional Morel–Renvoise
+   system.  Measured two ways: solver sweeps/visits, and wall-clock via
+   bechamel. *)
+
+module Table = Lcm_support.Table
+module Prng = Lcm_support.Prng
+module Cfg = Lcm_cfg.Cfg
+module Gencfg = Lcm_eval.Gencfg
+module Lcm_edge = Lcm_core.Lcm_edge
+module Bcm_edge = Lcm_core.Bcm_edge
+module Morel_renvoise = Lcm_baselines.Morel_renvoise
+
+let sizes = [ 10; 30; 100; 300; 1000 ]
+
+let graph_of_size n =
+  let rng = Prng.of_int (4242 + n) in
+  Gencfg.random_cfg ~params:{ Gencfg.default_cfg_params with num_blocks = n } rng
+
+let sweeps_table () =
+  Common.section "EXP-C1a  Data-flow solver cost: sweeps and block visits per algorithm";
+  let t =
+    Table.create
+      [
+        "blocks"; "edges"; "exprs";
+        "lcm sweeps"; "lcm visits";
+        "bcm sweeps"; "bcm visits";
+        "mr sweeps"; "mr visits";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let g = graph_of_size n in
+      let lcm = Lcm_edge.analyze g in
+      let bcm = Bcm_edge.analyze g in
+      let mr = Morel_renvoise.analyze g in
+      Table.add_row t
+        [
+          Table.cell_int (Cfg.num_blocks g);
+          Table.cell_int (List.length (Cfg.edges g));
+          Table.cell_int (Lcm_ir.Expr_pool.size lcm.Lcm_edge.pool);
+          Table.cell_int lcm.Lcm_edge.sweeps;
+          Table.cell_int lcm.Lcm_edge.visits;
+          Table.cell_int bcm.Bcm_edge.sweeps;
+          Table.cell_int bcm.Bcm_edge.visits;
+          Table.cell_int mr.Morel_renvoise.sweeps;
+          Table.cell_int mr.Morel_renvoise.visits;
+        ])
+    sizes;
+  Table.print t;
+  Common.note
+    "Sweeps/visits aggregate every fixpoint pass of the algorithm (LCM: availability + \
+     anticipatability + LATER; MR: availability + partial availability + the bidirectional \
+     PPIN/PPOUT system)."
+
+(* Wall-clock with bechamel. *)
+let wallclock () =
+  Common.section "EXP-C1b  Wall-clock per analysis (bechamel, ns per run)";
+  let g = graph_of_size 300 in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"lcm-edge analyze" (Staged.stage (fun () -> ignore (Lcm_edge.analyze g)));
+      Test.make ~name:"bcm-edge analyze" (Staged.stage (fun () -> ignore (Bcm_edge.analyze g)));
+      Test.make ~name:"morel-renvoise analyze" (Staged.stage (fun () -> ignore (Morel_renvoise.analyze g)));
+      Test.make ~name:"lcm-node analyze (granular)"
+        (Staged.stage
+           (let gran = Lcm_cfg.Granulate.run g in
+            fun () -> ignore (Lcm_core.Lcm_node.analyze gran)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let t = Table.create [ "analysis"; "ns/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols (Toolkit.Instance.monotonic_clock) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> Printf.sprintf "%.0f" e
+            | Some es -> String.concat "," (List.map (Printf.sprintf "%.0f") es)
+            | None -> "n/a"
+          in
+          Table.add_row t [ name; estimate ])
+        analyzed)
+    tests;
+  Table.print t;
+  Common.note "Graph: 300 blocks, random workload; lower is better."
+
+let run () =
+  sweeps_table ();
+  wallclock ()

@@ -1,0 +1,181 @@
+(* EXP-T1/T2/T3: the paper's three theorems (correctness, computational
+   optimality, lifetime optimality) as measured tables. *)
+
+module Table = Lcm_support.Table
+module Prng = Lcm_support.Prng
+module Cfg = Lcm_cfg.Cfg
+module Granulate = Lcm_cfg.Granulate
+module Lower = Lcm_cfg.Lower
+module Registry = Lcm_eval.Registry
+module Suites = Lcm_eval.Suites
+module Oracle = Lcm_eval.Oracle
+module Metrics = Lcm_eval.Metrics
+module Gencfg = Lcm_eval.Gencfg
+module Brute = Lcm_eval.Brute
+module Trace = Lcm_eval.Trace
+module Lcse = Lcm_opt.Lcse
+
+(* EXP-T1: admissibility — semantics preserved, no path executes more
+   evaluations (LICM is expected to fail the latter: it speculates). *)
+let t1 () =
+  Common.section "EXP-T1  Correctness and safety of every transformation on every workload";
+  let t = Table.create ("workload" :: List.map (fun (e : Registry.entry) -> e.Registry.name) Registry.all) in
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let cells =
+        List.map
+          (fun (e : Registry.entry) ->
+            let g' = e.Registry.run g in
+            let sem =
+              Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 97) ~original:g ~transformed:g'
+            in
+            (* Per-expression path counts for identity-preserving passes;
+               per-path totals when copy propagation renames operands. *)
+            let safe =
+              if e.Registry.preserves_expressions then Oracle.safety ~pool ~original:g g'
+              else Oracle.computations_leq ~pool g' g
+            in
+            match (sem, safe) with
+            | Ok (), Ok () -> "sem+safe"
+            | Ok (), Error _ -> "sem only"
+            | Error _, _ -> "BROKEN")
+          Registry.all
+      in
+      Table.add_row t (w.Suites.name :: cells))
+    Suites.all;
+  Table.print t;
+  Common.note
+    "\"sem only\" marks speculative transformations: semantics preserved but some path evaluates \
+     more than the original.  Only licm may (and does) show it — the paper's down-safety \
+     requirement exists to exclude exactly this.";
+  Common.note "Safety is checked per-path over all decision sequences up to length 10."
+
+(* EXP-T2: computational optimality — dynamic evaluation counts. *)
+let t2 () =
+  Common.section "EXP-T2  Dynamic candidate evaluations (10 random runs per workload; lower is better)";
+  let names = List.map (fun (e : Registry.entry) -> e.Registry.name) Registry.all in
+  let t = Table.create ("workload" :: names) in
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let envs = Common.workload_envs w in
+      let cells =
+        List.map
+          (fun (e : Registry.entry) ->
+            let g' = e.Registry.run g in
+            match Metrics.dynamic_evals ~pool ~envs g' with
+            | Some n -> Table.cell_int n
+            | None -> "∞")
+          Registry.all
+      in
+      Table.add_row t (w.Suites.name :: cells))
+    Suites.all;
+  Table.print t;
+  Common.note
+    "Expected shape: lcm-edge = bcm-edge <= every safe competitor on every row; licm may beat \
+     them only by speculating (and pays for it on zero-trip runs)."
+
+(* EXP-T2c: exhaustive optimality on tiny graphs. *)
+let t2_brute () =
+  Common.section "EXP-T2c  Brute-force check: LCM vs all 2^edges placements (single expression)";
+  let trials = 40 in
+  let optimal = ref 0 and skipped = ref 0 in
+  let rng = Prng.of_int 31337 in
+  for _ = 1 to trials do
+    let g = fst (Lcse.run (Gencfg.random_single_expr_cfg ~blocks:4 rng)) in
+    if Cfg.num_candidate_occurrences g = 0 || List.length (Cfg.edges g) > 10 then incr skipped
+    else begin
+      let lcm = Common.run_algorithm "lcm-edge" g in
+      match Brute.check_computational_optimality ~max_decisions:7 g ~transformed:lcm with
+      | Ok () -> incr optimal
+      | Error m -> Common.note "counterexample: %s" m
+    end
+  done;
+  let t = Table.create [ "trials"; "skipped (trivial)"; "checked"; "optimal" ] in
+  Table.add_row t
+    [
+      Table.cell_int trials;
+      Table.cell_int !skipped;
+      Table.cell_int (trials - !skipped);
+      Table.cell_int !optimal;
+    ];
+  Table.print t;
+  Common.note "Expected: optimal = checked (no safe placement beats LCM on any path)."
+
+(* EXP-T2d: the critical-edge shape where edge placement beats the
+   block-end placement of Morel–Renvoise. *)
+let t2_critical () =
+  Common.section "EXP-T2d  Critical-edge example: LCM strictly beats Morel-Renvoise";
+  let g = Lcm_figures.Critical_edge.graph () in
+  let pool = Cfg.candidate_pool g in
+  let t = Table.create [ "algorithm"; "evals on path through B"; "evals on skip path"; "insert/delete sets" ] in
+  let row name h extra =
+    let through = Trace.replay ~pool h [ true ] in
+    let skip = Trace.replay ~pool h [ false ] in
+    Table.add_row t
+      [
+        name;
+        Table.cell_int (Trace.total through.Trace.eval_counts);
+        Table.cell_int (Trace.total skip.Trace.eval_counts);
+        extra;
+      ]
+  in
+  row "original" g "";
+  let mr = Common.run_algorithm "morel-renvoise" g in
+  let mra = Lcm_baselines.Morel_renvoise.analyze g in
+  row "morel-renvoise" mr
+    (Printf.sprintf "%d inserts, %d deletes" (List.length mra.Lcm_baselines.Morel_renvoise.insert)
+       (List.length mra.Lcm_baselines.Morel_renvoise.delete));
+  let lcm = Common.run_algorithm "lcm-edge" g in
+  let la = Lcm_core.Lcm_edge.analyze g in
+  row "lcm-edge" lcm
+    (Printf.sprintf "%d inserts, %d deletes" (List.length la.Lcm_core.Lcm_edge.insert)
+       (List.length la.Lcm_core.Lcm_edge.delete));
+  Table.print t;
+  Common.note
+    "Morel-Renvoise can only insert at block ends; placing a+b at the end of A would be unsafe \
+     for the B arm, so it finds nothing.  LCM inserts on the critical edge (A,D) itself and \
+     removes the join's recomputation."
+
+(* EXP-T3: lifetime optimality — temp live ranges under the three paper
+   variants. *)
+let t3 () =
+  Common.section "EXP-T3  Temporary lifetimes: LCM <= ALCM <= BCM (node forms, same granular graph)";
+  let t = Table.create [ "workload"; "lcm-node"; "alcm-node"; "bcm-node"; "ordering holds" ] in
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let gran = Granulate.run g in
+      let lt name =
+        let h = Common.run_algorithm name g in
+        Metrics.temp_lifetime h ~temps:(Registry.new_temps ~original:gran ~transformed:h)
+      in
+      let l = lt "lcm-node" and a = lt "alcm-node" and b = lt "bcm-node" in
+      Table.add_row t
+        [
+          w.Suites.name;
+          Table.cell_int l;
+          Table.cell_int a;
+          Table.cell_int b;
+          Table.cell_bool (l <= a && a <= b);
+        ])
+    Suites.all;
+  Table.print t;
+  let t2 = Table.create [ "workload"; "lcm-edge lifetime"; "bcm-edge lifetime"; "lcm <= bcm" ] in
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let l = Common.lifetime_of ~original:g (Common.run_algorithm "lcm-edge" g) in
+      let b = Common.lifetime_of ~original:g (Common.run_algorithm "bcm-edge" g) in
+      Table.add_row t2 [ w.Suites.name; Table.cell_int l; Table.cell_int b; Table.cell_bool (l <= b) ])
+    Suites.all;
+  Table.print t2
+
+let run () =
+  t1 ();
+  t2 ();
+  t2_brute ();
+  t3 ()

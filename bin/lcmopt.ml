@@ -1,0 +1,448 @@
+(* lcmopt: command-line driver for the Lazy Code Motion library.
+
+   Subcommands:
+     run       parse a MiniImp file, run a PRE algorithm, print the result
+     analyze   print the LCM analysis predicates per block
+     interp    interpret a function on given bindings
+     list      list available algorithms and named workloads *)
+
+module Bitvec = Lcm_support.Bitvec
+module Table = Lcm_support.Table
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Dot = Lcm_cfg.Dot
+module Lower = Lcm_cfg.Lower
+module Parser = Lcm_ir.Parser
+module Lexer = Lcm_ir.Lexer
+module Expr_pool = Lcm_ir.Expr_pool
+module Local = Lcm_dataflow.Local
+module Avail = Lcm_dataflow.Avail
+module Antic = Lcm_dataflow.Antic
+module Lcm_edge = Lcm_core.Lcm_edge
+module Registry = Lcm_eval.Registry
+module Suites = Lcm_eval.Suites
+module Interp = Lcm_eval.Interp
+module Metrics = Lcm_eval.Metrics
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Load a graph either from a MiniImp file or a named workload. *)
+let load ~source ~func_name =
+  match source with
+  | `Workload name ->
+    (match Suites.find name with
+    | Some w -> Ok (Suites.graph w)
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %S; available: %s" name
+           (String.concat ", " (List.map (fun w -> w.Suites.name) Suites.all))))
+  | `File path when Filename.check_suffix path ".cfg" ->
+    (try Ok (Lcm_cfg.Cfg_text.parse (read_file path)) with
+    | Sys_error m -> Error m
+    | Lcm_cfg.Cfg_text.Parse_error (m, line) -> Error (Printf.sprintf "parse error at line %d: %s" line m))
+  | `File path ->
+    (try
+       let program = Parser.parse_program (read_file path) in
+       let funcs = Lower.program program in
+       match func_name with
+       | None ->
+         (match funcs with
+         | [ (_, g) ] -> Ok g
+         | _ ->
+           Error
+             (Printf.sprintf "file defines %d functions; pick one with --function (%s)"
+                (List.length funcs)
+                (String.concat ", " (List.map fst funcs))))
+       | Some f ->
+         (match List.assoc_opt f funcs with
+         | Some g -> Ok g
+         | None -> Error (Printf.sprintf "no function %S in %s" f path))
+     with
+    | Sys_error m -> Error m
+    | Parser.Parse_error (m, line, col) -> Error (Printf.sprintf "parse error at %d:%d: %s" line col m)
+    | Lexer.Lex_error (m, line, col) -> Error (Printf.sprintf "lex error at %d:%d: %s" line col m))
+
+let print_stats g =
+  let s = Metrics.static_counts g in
+  Printf.printf "blocks=%d instrs=%d candidate-occurrences=%d moves=%d max-pressure=%d\n" s.Metrics.blocks
+    s.Metrics.instrs s.Metrics.candidate_occurrences s.Metrics.copies_and_moves (Metrics.max_pressure g)
+
+(* ---- run ---- *)
+
+let run_cmd source func_name algorithm simplify dot_path quiet =
+  match load ~source ~func_name with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok g ->
+    (match Registry.find algorithm with
+    | None ->
+      Printf.eprintf "unknown algorithm %S; see `lcmopt list`\n" algorithm;
+      1
+    | Some entry ->
+      let g' = entry.Registry.run g in
+      let g' =
+        if simplify then begin
+          let h = Cfg.copy g' in
+          Cfg.merge_straight_pairs h;
+          Cfg.remove_unreachable h;
+          h
+        end
+        else g'
+      in
+      if not quiet then begin
+        print_endline "== before ==";
+        print_endline (Cfg.to_string g);
+        print_endline "== after ==";
+        print_endline (Cfg.to_string g')
+      end;
+      print_string "before: ";
+      print_stats g;
+      print_string "after:  ";
+      print_stats g';
+      (match dot_path with
+      | Some path ->
+        Dot.write_file path g';
+        Printf.printf "wrote %s\n" path
+      | None -> ());
+      0)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd source func_name =
+  match load ~source ~func_name with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok g ->
+    print_endline (Cfg.to_string g);
+    let a = Lcm_edge.analyze g in
+    let pool = a.Lcm_edge.pool in
+    Printf.printf "\ncandidate expressions:\n";
+    Expr_pool.iter (fun i e -> Printf.printf "  [%d] %s\n" i (Lcm_ir.Expr.to_string e)) pool;
+    let t =
+      Table.create [ "block"; "ANTLOC"; "COMP"; "TRANSP"; "AVIN"; "AVOUT"; "ANTIN"; "ANTOUT"; "LATERIN" ]
+    in
+    let cell v = Format.asprintf "%a" Bitvec.pp v in
+    List.iter
+      (fun l ->
+        Table.add_row t
+          [
+            Label.to_string l;
+            cell (Local.antloc a.Lcm_edge.local l);
+            cell (Local.comp a.Lcm_edge.local l);
+            cell (Local.transp a.Lcm_edge.local l);
+            cell (a.Lcm_edge.avail.Avail.avin l);
+            cell (a.Lcm_edge.avail.Avail.avout l);
+            cell (a.Lcm_edge.antic.Antic.antin l);
+            cell (a.Lcm_edge.antic.Antic.antout l);
+            cell (a.Lcm_edge.laterin l);
+          ])
+      (Cfg.labels g);
+    print_newline ();
+    Table.print t;
+    let show_edge ((p, b), set) =
+      Printf.printf "  %s -> %s : %s\n" (Label.to_string p) (Label.to_string b)
+        (Format.asprintf "%a" Bitvec.pp set)
+    in
+    let show_block (b, set) =
+      Printf.printf "  %s : %s\n" (Label.to_string b) (Format.asprintf "%a" Bitvec.pp set)
+    in
+    print_endline "INSERT (edges):";
+    List.iter show_edge a.Lcm_edge.insert;
+    print_endline "DELETE (blocks):";
+    List.iter show_block a.Lcm_edge.delete;
+    print_endline "COPY (blocks):";
+    List.iter show_block a.Lcm_edge.copy;
+    0
+
+(* ---- ssa ---- *)
+
+let ssa_cmd source func_name value_number =
+  match load ~source ~func_name with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok g ->
+    let ssa = Lcm_ssa.Ssa.of_cfg g in
+    let ssa, stats =
+      if value_number then begin
+        let ssa', s = Lcm_ssa.Dvnt.run ssa in
+        (ssa', Some s)
+      end
+      else (ssa, None)
+    in
+    Format.printf "%a@." Lcm_ssa.Ssa.pp ssa;
+    Printf.printf "%d phi functions\n" (Lcm_ssa.Ssa.num_phis ssa);
+    (match stats with
+    | Some s ->
+      Printf.printf "dvnt: %d computations replaced, %d phis simplified\n"
+        s.Lcm_ssa.Dvnt.exprs_replaced s.Lcm_ssa.Dvnt.phis_simplified
+    | None -> ());
+    (match Lcm_ssa.Ssa.check ssa with
+    | Ok () -> 0
+    | Error m ->
+      Printf.eprintf "ssa check failed: %s\n" m;
+      1)
+
+(* ---- interp ---- *)
+
+let parse_binding s =
+  match String.index_opt s '=' with
+  | Some i ->
+    let name = String.sub s 0 i in
+    let value = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt value with
+    | Some v -> Ok (name, v)
+    | None -> Error (Printf.sprintf "bad binding %S (expected name=int)" s))
+  | None -> Error (Printf.sprintf "bad binding %S (expected name=int)" s)
+
+let interp_cmd source func_name bindings fuel =
+  match load ~source ~func_name with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok g ->
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest ->
+        (match parse_binding s with
+        | Ok b -> collect (b :: acc) rest
+        | Error m -> Error m)
+    in
+    (match collect [] bindings with
+    | Error m ->
+      prerr_endline m;
+      1
+    | Ok env ->
+      let pool = Cfg.candidate_pool g in
+      let o = Interp.run ~fuel ~pool ~env g in
+      List.iter (fun v -> Printf.printf "print: %d\n" v) o.Interp.prints;
+      (match o.Interp.return_value with
+      | Some v -> Printf.printf "return: %d\n" v
+      | None -> print_endline "return: (none)");
+      Printf.printf "candidate evaluations: %d\n" (Interp.total_evals o);
+      Printf.printf "instructions executed: %d\n" o.Interp.steps;
+      if o.Interp.undefined_reads <> [] then
+        Printf.printf "warning: read before write: %s\n" (String.concat ", " o.Interp.undefined_reads);
+      if not o.Interp.terminated then begin
+        print_endline "warning: fuel exhausted before reaching the exit";
+        1
+      end
+      else 0)
+
+(* ---- trace ---- *)
+
+let trace_cmd source func_name decisions =
+  match load ~source ~func_name with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok g ->
+    let pool = Cfg.candidate_pool g in
+    let parse_decisions s =
+      let ok = ref true in
+      let ds =
+        List.filter_map
+          (fun c ->
+            match c with
+            | '0' -> Some false
+            | '1' -> Some true
+            | _ ->
+              ok := false;
+              None)
+          (List.init (String.length s) (String.get s))
+      in
+      if !ok then Some ds else None
+    in
+    (match parse_decisions decisions with
+    | None ->
+      prerr_endline "decisions must be a string of 0s and 1s (1 = take the then-arm)";
+      1
+    | Some ds ->
+      let r = Lcm_eval.Trace.replay ~pool g ds in
+      Printf.printf "path: %s\n"
+        (String.concat " -> " (List.map Label.to_string r.Lcm_eval.Trace.blocks));
+      Printf.printf "completed: %b\n" r.Lcm_eval.Trace.completed;
+      Expr_pool.iter
+        (fun i e ->
+          if r.Lcm_eval.Trace.eval_counts.(i) > 0 then
+            Printf.printf "  %-16s evaluated %d times\n" (Lcm_ir.Expr.to_string e)
+              r.Lcm_eval.Trace.eval_counts.(i))
+        pool;
+      Printf.printf "total candidate evaluations: %d\n" (Lcm_eval.Trace.grand_total r);
+      if r.Lcm_eval.Trace.completed then 0 else 1)
+
+(* ---- compare ---- *)
+
+let compare_cmd source func_name runs =
+  match load ~source ~func_name with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok g ->
+    let pool = Cfg.candidate_pool g in
+    let inputs =
+      (* Free variables: read somewhere, defined nowhere. *)
+      let defined = Hashtbl.create 16 in
+      List.iter
+        (fun l ->
+          List.iter
+            (fun i -> Option.iter (fun v -> Hashtbl.replace defined v ()) (Lcm_ir.Instr.defs i))
+            (Cfg.instrs g l))
+        (Cfg.labels g);
+      List.filter (fun v -> not (Hashtbl.mem defined v)) (Cfg.all_vars g)
+    in
+    let rng = Lcm_support.Prng.of_int 2026 in
+    let envs =
+      List.init runs (fun _ -> List.map (fun v -> (v, Lcm_support.Prng.int_in rng 0 8)) inputs)
+    in
+    let t = Table.create [ "algorithm"; "dynamic evals"; "static occurrences"; "instrs"; "blocks" ] in
+    List.iter
+      (fun (e : Registry.entry) ->
+        let g' = e.Registry.run g in
+        let evals =
+          match Metrics.dynamic_evals ~pool ~envs g' with
+          | Some n -> string_of_int n
+          | None -> "did not terminate"
+        in
+        let s = Metrics.static_counts g' in
+        Table.add_row t
+          [
+            e.Registry.name;
+            evals;
+            string_of_int s.Metrics.candidate_occurrences;
+            string_of_int s.Metrics.instrs;
+            string_of_int s.Metrics.blocks;
+          ])
+      Registry.all;
+    Printf.printf "inputs: %s (bound randomly over %d runs)\n" (String.concat ", " inputs) runs;
+    Table.print t;
+    0
+
+(* ---- list ---- *)
+
+let list_cmd () =
+  print_endline "algorithms:";
+  List.iter
+    (fun (e : Registry.entry) -> Printf.printf "  %-16s %s\n" e.Registry.name e.Registry.description)
+    Registry.all;
+  print_endline "\nworkloads (usable via --workload):";
+  List.iter (fun w -> Printf.printf "  %-20s %s\n" w.Suites.name w.Suites.description) Suites.all;
+  0
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let source_term =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MiniImp source file.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Use a named built-in workload instead of a file.")
+  in
+  let combine file workload =
+    match (file, workload) with
+    | Some f, None -> Ok (`File f)
+    | None, Some w -> Ok (`Workload w)
+    | None, None -> Error "provide a FILE or --workload NAME"
+    | Some _, Some _ -> Error "provide either a FILE or --workload, not both"
+  in
+  Term.(const combine $ file $ workload)
+
+let func_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "function" ] ~docv:"NAME" ~doc:"Function to use when the file defines several.")
+
+let with_source f source func_name =
+  match source with
+  | Ok s -> f s func_name
+  | Error m ->
+    prerr_endline m;
+    1
+
+let run_term =
+  let algorithm =
+    Arg.(
+      value & opt string "lcm-edge"
+      & info [ "a"; "algorithm" ] ~docv:"NAME" ~doc:"Transformation to run (see `lcmopt list`).")
+  in
+  let simplify =
+    Arg.(value & flag & info [ "simplify" ] ~doc:"Merge straight-line blocks afterwards.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH" ~doc:"Write the result as Graphviz.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print statistics.") in
+  Term.(
+    const (fun source func_name algorithm simplify dot quiet ->
+        with_source (fun s f -> run_cmd s f algorithm simplify dot quiet) source func_name)
+    $ source_term $ func_term $ algorithm $ simplify $ dot $ quiet)
+
+let analyze_term =
+  Term.(const (fun source func_name -> with_source (fun s f -> analyze_cmd s f) source func_name) $ source_term $ func_term)
+
+let trace_term =
+  let decisions =
+    Arg.(
+      value & opt string ""
+      & info [ "d"; "decisions" ] ~docv:"BITS" ~doc:"Branch decisions, e.g. 0110 (1 = then-arm).")
+  in
+  Term.(
+    const (fun source func_name ds -> with_source (fun s f -> trace_cmd s f ds) source func_name)
+    $ source_term $ func_term $ decisions)
+
+let compare_term =
+  let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Random runs to sum over.") in
+  Term.(
+    const (fun source func_name runs -> with_source (fun s f -> compare_cmd s f runs) source func_name)
+    $ source_term $ func_term $ runs)
+
+let ssa_term =
+  let value_number =
+    Arg.(value & flag & info [ "vn" ] ~doc:"Also run dominator-based value numbering.")
+  in
+  Term.(
+    const (fun source func_name vn -> with_source (fun s f -> ssa_cmd s f vn) source func_name)
+    $ source_term $ func_term $ value_number)
+
+let interp_term =
+  let bindings =
+    Arg.(value & opt_all string [] & info [ "b"; "bind" ] ~docv:"VAR=INT" ~doc:"Initial variable binding.")
+  in
+  let fuel =
+    Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~docv:"N" ~doc:"Execution step budget.")
+  in
+  Term.(
+    const (fun source func_name bindings fuel ->
+        with_source (fun s f -> interp_cmd s f bindings fuel) source func_name)
+    $ source_term $ func_term $ bindings $ fuel)
+
+let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "lcmopt" ~version:"1.0.0" ~doc:"Lazy Code Motion playground" in
+  let tree =
+    Cmd.group ~default info
+      [
+        cmd_of "run" "run a PRE transformation on a function" run_term;
+        cmd_of "analyze" "print the LCM data-flow predicates" analyze_term;
+        cmd_of "ssa" "print the (pruned) SSA form" ssa_term;
+        cmd_of "compare" "run every algorithm and compare counts" compare_term;
+        cmd_of "trace" "replay one decision path and count evaluations" trace_term;
+        cmd_of "interp" "interpret a function" interp_term;
+        cmd_of "list" "list algorithms and workloads" Term.(const list_cmd $ const ());
+      ]
+  in
+  exit (Cmd.eval' tree)

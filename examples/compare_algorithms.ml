@@ -1,0 +1,49 @@
+(* Run every transformation in the registry over every named workload and
+   compare dynamic evaluation counts side by side.
+
+     dune exec examples/compare_algorithms.exe [workload]           *)
+
+module Cfg = Lcm_cfg.Cfg
+module Table = Lcm_support.Table
+module Metrics = Lcm_eval.Metrics
+module Registry = Lcm_eval.Registry
+module Suites = Lcm_eval.Suites
+
+let compare_on w =
+  let g = Suites.graph w in
+  let pool = Cfg.candidate_pool g in
+  let envs = Suites.envs 7 w 10 in
+  Printf.printf "== %s: %s ==\n" w.Suites.name w.Suites.description;
+  let t = Table.create [ "algorithm"; "dynamic evals"; "static occurrences"; "blocks" ] in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let g' = e.Registry.run g in
+      let evals =
+        match Metrics.dynamic_evals ~pool ~envs g' with
+        | Some n -> Table.cell_int n
+        | None -> "did not terminate"
+      in
+      Table.add_row t
+        [
+          e.Registry.name;
+          evals;
+          Table.cell_int (Cfg.num_candidate_occurrences g');
+          Table.cell_int (Cfg.num_blocks g');
+        ])
+    Registry.all;
+  Table.print t;
+  print_newline ()
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> List.iter compare_on Suites.all
+  | [| _; name |] ->
+    (match Suites.find name with
+    | Some w -> compare_on w
+    | None ->
+      Printf.eprintf "unknown workload %S; known: %s\n" name
+        (String.concat ", " (List.map (fun w -> w.Suites.name) Suites.all));
+      exit 1)
+  | _ ->
+    prerr_endline "usage: compare_algorithms.exe [workload]";
+    exit 1

@@ -1,0 +1,70 @@
+(* Loop-invariant motion, the safe way.
+
+   The paper's down-safety requirement draws a sharp line between two loop
+   shapes:
+   - a do-while body always runs, so computing the invariant before the
+     loop is safe: LCM hoists it;
+   - a while body may run zero times, so hoisting would *add* work to the
+     zero-trip path: LCM refuses, LICM speculates.
+
+     dune exec examples/loop_invariant.exe *)
+
+module Cfg = Lcm_cfg.Cfg
+module Interp = Lcm_eval.Interp
+module Expr = Lcm_ir.Expr
+
+let do_while_source =
+  {|
+function sum_do(a, b, n) {
+  s = 0;
+  i = 0;
+  do {
+    s = s + (a * b);
+    i = i + 1;
+  } while (i < n);
+  return s;
+}
+|}
+
+let while_source =
+  {|
+function sum_while(a, b, n) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + (a * b);
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let mul_evals g env =
+  let pool = Cfg.candidate_pool g in
+  let idx =
+    Option.get (Lcm_ir.Expr_pool.index pool (Expr.Binary (Expr.Mul, Expr.Var "a", Expr.Var "b")))
+  in
+  let o = Interp.run ~pool ~env g in
+  o.Interp.eval_counts.(idx)
+
+let show title source =
+  Printf.printf "== %s ==\n" title;
+  let g = Lcm_cfg.Lower.parse_and_lower_func source in
+  let lcm, _ = Lcm_core.Lcm_edge.transform g in
+  let licm, _ = Lcm_baselines.Licm.transform g in
+  let env n = [ ("a", 2); ("b", 3); ("n", n) ] in
+  Printf.printf "  evaluations of a*b with n=8:  original %d, lcm %d, licm %d\n"
+    (mul_evals g (env 8)) (mul_evals lcm (env 8)) (mul_evals licm (env 8));
+  Printf.printf "  evaluations of a*b with n=0:  original %d, lcm %d, licm %d\n"
+    (mul_evals g (env 0)) (mul_evals lcm (env 0)) (mul_evals licm (env 0))
+
+let () =
+  show "do-while loop (body always runs)" do_while_source;
+  print_newline ();
+  show "while loop (may run zero times)" while_source;
+  print_newline ();
+  print_endline
+    "Note the n=0 row of the while loop: LICM evaluates a*b once on a path where the original \
+     evaluated it zero times — the speculation classic PRE's safety requirement forbids.  LCM \
+     stays at zero there, at the price of leaving the while-loop invariant in place for n>0; for \
+     the do-while shape it gets both: one evaluation regardless of n."

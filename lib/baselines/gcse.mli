@@ -1,0 +1,24 @@
+(** Global common-subexpression elimination (full redundancies only).
+
+    Deletes an upwards-exposed computation exactly when the expression is
+    available on *every* incoming path ([DELETE(b) = ANTLOC(b) ∩ AVIN(b)]),
+    inserting nothing.  This is the profitable-but-weaker ancestor of PRE:
+    everything GCSE removes, LCM removes too, but not vice versa — the gap
+    is measured in EXP-T2. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Label = Lcm_cfg.Label
+
+type analysis = {
+  pool : Lcm_ir.Expr_pool.t;
+  local : Lcm_dataflow.Local.t;
+  avail : Lcm_dataflow.Avail.t;
+  delete : (Label.t * Bitvec.t) list;
+  copy : (Label.t * Bitvec.t) list;
+  sweeps : int;
+  visits : int;
+}
+
+val analyze : ?pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> analysis
+val spec : Lcm_cfg.Cfg.t -> analysis -> Lcm_core.Transform.spec
+val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Lcm_core.Transform.report

@@ -1,0 +1,95 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Loop = Lcm_cfg.Loop
+module Validate = Lcm_cfg.Validate
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Instr = Lcm_ir.Instr
+module Temps = Lcm_core.Temps
+
+type stats = {
+  loops_processed : int;
+  preheaders_created : int;
+  hoisted : int;
+  rewritten : int;
+}
+
+module String_set = Set.Make (String)
+
+let body_definitions g body =
+  Label.Set.fold
+    (fun l acc ->
+      List.fold_left
+        (fun acc i -> match Instr.defs i with Some v -> String_set.add v acc | None -> acc)
+        acc (Cfg.instrs g l))
+    body String_set.empty
+
+let invariant_exprs g pool body =
+  let defs = body_definitions g body in
+  let invariant e = List.for_all (fun v -> not (String_set.mem v defs)) (Expr.vars e) in
+  Label.Set.fold
+    (fun l acc ->
+      List.fold_left
+        (fun acc i ->
+          match Instr.candidate i with
+          | Some e when invariant e ->
+            (match Expr_pool.index pool e with
+            | Some idx -> if List.mem idx acc then acc else idx :: acc
+            | None -> acc)
+          | Some _ | None -> acc)
+        acc (Cfg.instrs g l))
+    body []
+  |> List.sort compare
+
+let make_preheader g loop = Loop.insert_preheader g loop
+
+let rewrite_body g pool temps body hoisted_idxs =
+  let count = ref 0 in
+  let member idx = List.mem idx hoisted_idxs in
+  Label.Set.iter
+    (fun l ->
+      let changed = ref false in
+      let instrs =
+        List.map
+          (fun i ->
+            match (i, Instr.candidate i) with
+            | Instr.Assign (v, _), Some e ->
+              (match Expr_pool.index pool e with
+              | Some idx when member idx ->
+                incr count;
+                changed := true;
+                Instr.Assign (v, Expr.Atom (Expr.Var temps.(idx)))
+              | Some _ | None -> i)
+            | _, _ -> i)
+          (Cfg.instrs g l)
+      in
+      if !changed then Cfg.set_instrs g l instrs)
+    body;
+  !count
+
+let transform g =
+  let g, _ = Lcm_opt.Lcse.run g in
+  let pool = Cfg.candidate_pool g in
+  let temps = Temps.names g pool in
+  let loops = Loop.compute g in
+  let stats = ref { loops_processed = 0; preheaders_created = 0; hoisted = 0; rewritten = 0 } in
+  List.iter
+    (fun loop ->
+      let idxs = invariant_exprs g pool loop.Loop.body in
+      stats := { !stats with loops_processed = (!stats).loops_processed + 1 };
+      if idxs <> [] then begin
+        let preheader = make_preheader g loop in
+        Cfg.set_instrs g preheader
+          (List.map (fun idx -> Instr.Assign (temps.(idx), Expr_pool.expr pool idx)) idxs);
+        let rewritten = rewrite_body g pool temps loop.Loop.body idxs in
+        stats :=
+          {
+            !stats with
+            preheaders_created = (!stats).preheaders_created + 1;
+            hoisted = (!stats).hoisted + List.length idxs;
+            rewritten = (!stats).rewritten + rewritten;
+          }
+      end)
+    (Loop.loops loops);
+  Validate.check_exn g;
+  (g, !stats)

@@ -1,0 +1,26 @@
+(** Dominator-based loop-invariant code motion.
+
+    The classic special case of PRE that compilers shipped before (and
+    alongside) it: for each natural loop, expressions whose operands are
+    never assigned inside the loop are computed once in a pre-header and
+    reused in the body.
+
+    Unlike LCM this is *speculative*: the pre-header computes the
+    expression even on executions that would never have reached an original
+    occurrence (e.g. a use guarded by a branch inside the loop), so it can
+    *increase* the number of evaluations on some paths — exactly the safety
+    defect the paper's down-safety requirement rules out.  EXP-T2 measures
+    this: LICM loses to LCM on dynamic counts whenever guarded invariants
+    occur, and wins on nothing. *)
+
+type stats = {
+  loops_processed : int;
+  preheaders_created : int;
+  hoisted : int;  (** expressions computed in pre-headers *)
+  rewritten : int;  (** body occurrences replaced by temporaries *)
+}
+
+(** [transform g] hoists invariants of every natural loop of a copy of [g].
+    Runs {!Lcse} first so that repeated in-block occurrences cannot be
+    missed. *)
+val transform : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats

@@ -1,0 +1,139 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Order = Lcm_cfg.Order
+module Local = Lcm_dataflow.Local
+module Avail = Lcm_dataflow.Avail
+module Expr_pool = Lcm_ir.Expr_pool
+module Transform = Lcm_core.Transform
+module Copy_analysis = Lcm_core.Copy_analysis
+module Temps = Lcm_core.Temps
+
+type analysis = {
+  pool : Expr_pool.t;
+  local : Local.t;
+  ppin : Label.t -> Bitvec.t;
+  ppout : Label.t -> Bitvec.t;
+  insert : (Label.t * Bitvec.t) list;
+  delete : (Label.t * Bitvec.t) list;
+  copy : (Label.t * Bitvec.t) list;
+  sweeps : int;
+  visits : int;
+}
+
+let analyze ?pool g =
+  let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let n = Expr_pool.size pool in
+  let avail = Avail.compute g local in
+  let pavail = Avail.compute_partial g local in
+  let order = Order.compute g in
+  let rpo = Order.reverse_postorder order in
+  let ppin = Hashtbl.create 64 and ppout = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace ppin l (Bitvec.create_full n);
+      Hashtbl.replace ppout l (Bitvec.create_full n))
+    (Cfg.labels g);
+  Hashtbl.replace ppin (Cfg.entry g) (Bitvec.create n);
+  Hashtbl.replace ppout (Cfg.exit_label g) (Bitvec.create n);
+  let scratch = Bitvec.create n and term = Bitvec.create n in
+  let sweeps = ref 0 and visits = ref 0 in
+  let changed = ref true in
+  (* The bidirectional system: each sweep recomputes both PPIN and PPOUT for
+     every block until nothing moves.  Unlike LCM's cascade there is no
+     single direction in which one pass suffices. *)
+  while !changed do
+    changed := false;
+    incr sweeps;
+    List.iter
+      (fun b ->
+        incr visits;
+        (* PPOUT(b) = ∩ PPIN(s) over successors; exit stays ∅. *)
+        if not (Label.equal b (Cfg.exit_label g)) then begin
+          Bitvec.fill scratch true;
+          List.iter
+            (fun s -> ignore (Bitvec.inter_into ~into:scratch (Hashtbl.find ppin s)))
+            (Cfg.successors g b);
+          if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find ppout b) then changed := true
+        end;
+        (* PPIN(b); entry stays ∅. *)
+        if not (Label.equal b (Cfg.entry g)) then begin
+          ignore (Bitvec.blit ~src:(Hashtbl.find ppout b) ~dst:scratch);
+          ignore (Bitvec.inter_into ~into:scratch (Local.transp local b));
+          ignore (Bitvec.union_into ~into:scratch (Local.antloc local b));
+          ignore (Bitvec.inter_into ~into:scratch (pavail.Avail.avin b));
+          List.iter
+            (fun p ->
+              ignore (Bitvec.blit ~src:(Hashtbl.find ppout p) ~dst:term);
+              ignore (Bitvec.union_into ~into:term (avail.Avail.avout p));
+              ignore (Bitvec.inter_into ~into:scratch term))
+            (Cfg.predecessors g b);
+          if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find ppin b) then changed := true
+        end)
+      rpo
+  done;
+  let ppin_f l =
+    match Hashtbl.find_opt ppin l with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Morel_renvoise.ppin: unknown label B%d" l)
+  in
+  let ppout_f l =
+    match Hashtbl.find_opt ppout l with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Morel_renvoise.ppout: unknown label B%d" l)
+  in
+  (* INSERT(b) = PPOUT(b) ∩ ¬AVOUT(b) ∩ (¬PPIN(b) ∪ ¬TRANSP(b)) *)
+  let insert =
+    List.filter_map
+      (fun b ->
+        let v = Bitvec.copy (ppout_f b) in
+        ignore (Bitvec.diff_into ~into:v (avail.Avail.avout b));
+        ignore (Bitvec.diff_into ~into:v (Bitvec.inter (ppin_f b) (Local.transp local b)));
+        if Bitvec.is_empty v then None else Some (b, v))
+      (Cfg.labels g)
+  in
+  (* DELETE(b) = ANTLOC(b) ∩ PPIN(b) *)
+  let delete =
+    List.filter_map
+      (fun b ->
+        let v = Bitvec.inter (Local.antloc local b) (ppin_f b) in
+        if Bitvec.is_empty v then None else Some (b, v))
+      (Cfg.labels g)
+  in
+  (* A block-end insertion behaves like inserting on every outgoing edge for
+     the purposes of deciding which original computations must seed the
+     temporary. *)
+  let insert_edges =
+    List.concat_map
+      (fun (b, set) -> List.map (fun s -> ((b, s), set)) (Cfg.successors g b))
+      insert
+  in
+  let copy = Copy_analysis.copies g local ~insert_edges ~deletes:delete in
+  {
+    pool;
+    local;
+    ppin = ppin_f;
+    ppout = ppout_f;
+    insert;
+    delete;
+    copy;
+    sweeps = !sweeps + avail.Avail.sweeps + pavail.Avail.sweeps;
+    visits = !visits + avail.Avail.visits + pavail.Avail.visits;
+  }
+
+let spec g a =
+  {
+    Transform.algorithm = "morel-renvoise";
+    pool = a.pool;
+    temp_names = Temps.names g a.pool;
+    edge_inserts = [];
+    entry_inserts = [];
+    exit_inserts = a.insert;
+    deletes = a.delete;
+    copies = a.copy;
+  }
+
+let transform ?simplify g =
+  let a = analyze g in
+  Transform.apply ?simplify g (spec g a)

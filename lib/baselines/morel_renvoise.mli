@@ -1,0 +1,38 @@
+(** Morel–Renvoise partial redundancy elimination (CACM 1979).
+
+    The seminal PRE algorithm that Lazy Code Motion improves on.  Its core
+    is the famously *bidirectional* "placement possible" system
+
+    {v
+    PPIN(b)  = PAVIN(b) ∩ (ANTLOC(b) ∪ (TRANSP(b) ∩ PPOUT(b)))
+                        ∩ ⋂_{p∈pred(b)} (PPOUT(p) ∪ AVOUT(p))
+    PPOUT(b) = ⋂_{s∈succ(b)} PPIN(s)          (∅ at the exit block)
+    INSERT(b) = PPOUT(b) ∩ ¬AVOUT(b) ∩ (¬PPIN(b) ∪ ¬TRANSP(b))   (at block end)
+    DELETE(b) = ANTLOC(b) ∩ PPIN(b)
+    v}
+
+    solved as a greatest fixed point.  Two weaknesses the paper calls out
+    and the benchmarks measure: the bidirectional system is costlier to
+    solve than LCM's unidirectional cascade (EXP-C1), and because insertions
+    sit at block ends rather than on edges it can miss transformations that
+    LCM finds (EXP-T2), e.g. when a critical edge would have been the right
+    insertion point. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Label = Lcm_cfg.Label
+
+type analysis = {
+  pool : Lcm_ir.Expr_pool.t;
+  local : Lcm_dataflow.Local.t;
+  ppin : Label.t -> Bitvec.t;
+  ppout : Label.t -> Bitvec.t;
+  insert : (Label.t * Bitvec.t) list;  (** block-end insertions, non-empty sets only *)
+  delete : (Label.t * Bitvec.t) list;
+  copy : (Label.t * Bitvec.t) list;
+  sweeps : int;
+  visits : int;
+}
+
+val analyze : ?pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> analysis
+val spec : Lcm_cfg.Cfg.t -> analysis -> Lcm_core.Transform.spec
+val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Lcm_core.Transform.report

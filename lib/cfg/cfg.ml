@@ -1,0 +1,248 @@
+module Instr = Lcm_ir.Instr
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+
+type terminator =
+  | Goto of Label.t
+  | Branch of Expr.operand * Label.t * Label.t
+  | Halt
+
+type block = { mutable instrs : Instr.t list; mutable term : terminator }
+
+type t = {
+  name : string;
+  blocks : (Label.t, block) Hashtbl.t;
+  mutable order : Label.t list;  (* reversed allocation order *)
+  mutable next_label : int;
+  entry : Label.t;
+  exit_label : Label.t;
+  (* Predecessor cache: rebuilt when [version] outruns [preds_version]. *)
+  mutable version : int;
+  mutable preds_version : int;
+  mutable preds : Label.t list Label.Map.t;
+}
+
+let entry g = g.entry
+let exit_label g = g.exit_label
+let name g = g.name
+
+let bump g = g.version <- g.version + 1
+
+let alloc g instrs term =
+  let l = g.next_label in
+  g.next_label <- l + 1;
+  Hashtbl.replace g.blocks l { instrs; term };
+  g.order <- l :: g.order;
+  bump g;
+  l
+
+let create ?(name = "main") () =
+  let g =
+    {
+      name;
+      blocks = Hashtbl.create 64;
+      order = [];
+      next_label = 0;
+      entry = 0;
+      exit_label = 1;
+      version = 0;
+      preds_version = -1;
+      preds = Label.Map.empty;
+    }
+  in
+  let entry = alloc g [] Halt in
+  let exit_l = alloc g [] Halt in
+  assert (entry = g.entry && exit_l = g.exit_label);
+  (Hashtbl.find g.blocks entry).term <- Goto exit_l;
+  g
+
+let add_block g ~instrs ~term = alloc g instrs term
+
+let mem g l = Hashtbl.mem g.blocks l
+
+let find g l what =
+  match Hashtbl.find_opt g.blocks l with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Cfg.%s: unknown label B%d" what l)
+
+let instrs g l = (find g l "instrs").instrs
+let term g l = (find g l "term").term
+let set_instrs g l is = (find g l "set_instrs").instrs <- is
+
+let set_term g l t =
+  (find g l "set_term").term <- t;
+  bump g
+
+let append_instr g l i =
+  let b = find g l "append_instr" in
+  b.instrs <- b.instrs @ [ i ]
+
+let prepend_instr g l i =
+  let b = find g l "prepend_instr" in
+  b.instrs <- i :: b.instrs
+
+let labels g = List.rev g.order
+let num_blocks g = Hashtbl.length g.blocks
+let label_bound g = g.next_label
+
+let successors g l =
+  match term g l with
+  | Goto m -> [ m ]
+  | Branch (_, a, b) -> if Label.equal a b then [ a ] else [ a; b ]
+  | Halt -> []
+
+let refresh_preds g =
+  if g.preds_version <> g.version then begin
+    let map = ref Label.Map.empty in
+    List.iter
+      (fun src ->
+        List.iter
+          (fun dst ->
+            let existing = Option.value ~default:[] (Label.Map.find_opt dst !map) in
+            map := Label.Map.add dst (src :: existing) !map)
+          (successors g src))
+      (labels g);
+    (* Predecessors were accumulated in reverse label order; restore it. *)
+    g.preds <- Label.Map.map List.rev !map;
+    g.preds_version <- g.version
+  end
+
+let predecessors g l =
+  ignore (find g l "predecessors");
+  refresh_preds g;
+  Option.value ~default:[] (Label.Map.find_opt l g.preds)
+
+let edges g = List.concat_map (fun src -> List.map (fun dst -> (src, dst)) (successors g src)) (labels g)
+
+let is_critical_edge g (src, dst) =
+  List.length (successors g src) > 1 && List.length (predecessors g dst) > 1
+
+let split_edge g src dst =
+  let b = find g src "split_edge" in
+  if not (List.exists (Label.equal dst) (successors g src)) then
+    invalid_arg (Printf.sprintf "Cfg.split_edge: no edge B%d -> B%d" src dst);
+  let fresh = alloc g [] (Goto dst) in
+  let redirect l = if Label.equal l dst then fresh else l in
+  (match b.term with
+  | Goto l -> b.term <- Goto (redirect l)
+  | Branch (c, l1, l2) -> b.term <- Branch (c, redirect l1, redirect l2)
+  | Halt -> assert false);
+  bump g;
+  fresh
+
+let reachable_set g =
+  let seen = Hashtbl.create 64 in
+  let rec go l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      List.iter go (successors g l)
+    end
+  in
+  go g.entry;
+  seen
+
+let remove_unreachable g =
+  let keep = reachable_set g in
+  (* The exit block must survive even if no path reaches it (e.g. an
+     infinite loop); analyses rely on its existence. *)
+  Hashtbl.replace keep g.exit_label ();
+  let dead = Hashtbl.fold (fun l _ acc -> if Hashtbl.mem keep l then acc else l :: acc) g.blocks [] in
+  if dead <> [] then begin
+    List.iter (Hashtbl.remove g.blocks) dead;
+    g.order <- List.filter (fun l -> Hashtbl.mem keep l) g.order;
+    bump g
+  end
+
+let merge_straight_pairs g =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if mem g l && not (Label.equal l g.exit_label) then
+          match term g l with
+          | Goto m
+            when (not (Label.equal m g.exit_label))
+                 && (not (Label.equal m l))
+                 && List.length (predecessors g m) = 1 ->
+            let mb = find g m "merge" in
+            let lb = find g l "merge" in
+            lb.instrs <- lb.instrs @ mb.instrs;
+            lb.term <- mb.term;
+            Hashtbl.remove g.blocks m;
+            g.order <- List.filter (fun l' -> not (Label.equal l' m)) g.order;
+            bump g;
+            changed := true
+          | Goto _ | Branch _ | Halt -> ())
+      (labels g)
+  done
+
+let copy g =
+  let blocks = Hashtbl.create (Hashtbl.length g.blocks) in
+  Hashtbl.iter (fun l b -> Hashtbl.replace blocks l { instrs = b.instrs; term = b.term }) g.blocks;
+  {
+    name = g.name;
+    blocks;
+    order = g.order;
+    next_label = g.next_label;
+    entry = g.entry;
+    exit_label = g.exit_label;
+    version = 0;
+    preds_version = -1;
+    preds = Label.Map.empty;
+  }
+
+let candidate_pool g =
+  let pool = Expr_pool.create () in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun i ->
+          match Instr.candidate i with
+          | Some e -> ignore (Expr_pool.add pool e)
+          | None -> ())
+        (instrs g l))
+    (labels g);
+  pool
+
+let all_vars g =
+  let tbl = Hashtbl.create 64 in
+  let note v = Hashtbl.replace tbl v () in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun i ->
+          Option.iter note (Instr.defs i);
+          List.iter note (Instr.uses i))
+        (instrs g l);
+      match term g l with
+      | Branch (Expr.Var v, _, _) -> note v
+      | Branch (Expr.Const _, _, _) | Goto _ | Halt -> ())
+    (labels g);
+  List.sort String.compare (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])
+
+let num_instrs g = List.fold_left (fun acc l -> acc + List.length (instrs g l)) 0 (labels g)
+
+let num_candidate_occurrences g =
+  List.fold_left
+    (fun acc l ->
+      acc
+      + List.length (List.filter (fun i -> Option.is_some (Instr.candidate i)) (instrs g l)))
+    0 (labels g)
+
+let pp_terminator ppf = function
+  | Goto l -> Format.fprintf ppf "goto %a" Label.pp l
+  | Branch (c, a, b) -> Format.fprintf ppf "if %a then %a else %a" Expr.pp_operand c Label.pp a Label.pp b
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>cfg %s (entry %a, exit %a)" g.name Label.pp g.entry Label.pp g.exit_label;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "@,%a:" Label.pp l;
+      List.iter (fun i -> Format.fprintf ppf "@,  %a" Instr.pp i) (instrs g l);
+      Format.fprintf ppf "@,  %a" pp_terminator (term g l))
+    (labels g);
+  Format.fprintf ppf "@]"
+
+let to_string g = Format.asprintf "%a" pp g

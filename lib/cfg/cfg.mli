@@ -1,0 +1,99 @@
+(** Control-flow graphs over MiniImp instructions.
+
+    A graph always contains a distinguished *entry* block and a distinguished
+    *exit* block.  Both are ordinary blocks (the entry may receive inserted
+    instructions like any other block); the exit is the only block whose
+    terminator is {!Halt}.  Keeping a real entry block with an outgoing edge
+    to the first "user" block means edge-based PRE can insert on that edge
+    without special cases. *)
+
+(** Block terminators.  Branch conditions are atomic operands — lowering
+    materializes compound conditions into instructions first — so branching
+    never hides a PRE candidate. *)
+type terminator =
+  | Goto of Label.t
+  | Branch of Lcm_ir.Expr.operand * Label.t * Label.t
+      (** [Branch (c, if_true, if_false)]: taken edge first when [c ≠ 0]. *)
+  | Halt  (** only the exit block *)
+
+type t
+
+(** [create ~name ()] is a graph containing a fresh entry block (terminated
+    by [Goto exit]) and the exit block. *)
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+val entry : t -> Label.t
+val exit_label : t -> Label.t
+
+(** [add_block g ~instrs ~term] allocates a fresh block and returns its
+    label. *)
+val add_block : t -> instrs:Lcm_ir.Instr.t list -> term:terminator -> Label.t
+
+(** [mem g l] holds when [l] names a live block of [g]. *)
+val mem : t -> Label.t -> bool
+
+(** Block contents.  All raise [Invalid_argument] on unknown labels. *)
+val instrs : t -> Label.t -> Lcm_ir.Instr.t list
+
+val term : t -> Label.t -> terminator
+val set_instrs : t -> Label.t -> Lcm_ir.Instr.t list -> unit
+val set_term : t -> Label.t -> terminator -> unit
+val append_instr : t -> Label.t -> Lcm_ir.Instr.t -> unit
+val prepend_instr : t -> Label.t -> Lcm_ir.Instr.t -> unit
+
+(** Labels in allocation order; the entry block is always first. *)
+val labels : t -> Label.t list
+
+(** Number of live blocks. *)
+val num_blocks : t -> int
+
+(** One more than the largest allocated label; labels are dense in
+    [\[0, label_bound)] unless blocks have been removed. *)
+val label_bound : t -> int
+
+(** Successor labels in terminator order, duplicates removed. *)
+val successors : t -> Label.t -> Label.t list
+
+(** Predecessor labels (cached; invalidated by mutation). *)
+val predecessors : t -> Label.t -> Label.t list
+
+(** All edges [(src, dst)], grouped by source in label order. *)
+val edges : t -> (Label.t * Label.t) list
+
+(** [is_critical_edge g (src, dst)] holds when [src] has several successors
+    and [dst] several predecessors. *)
+val is_critical_edge : t -> Label.t * Label.t -> bool
+
+(** [split_edge g src dst] inserts a fresh empty block on the edge
+    [(src, dst)] and returns its label.  When the terminator of [src]
+    mentions [dst] several times (both branch targets), only a single split
+    block is created and both mentions are redirected. *)
+val split_edge : t -> Label.t -> Label.t -> Label.t
+
+(** Remove blocks unreachable from the entry. *)
+val remove_unreachable : t -> unit
+
+(** [merge_straight_pairs g] collapses [Goto] chains: a block whose only
+    successor has exactly one predecessor (and is not entry/exit) absorbs
+    it.  Used to clean up after edge-split insertions. *)
+val merge_straight_pairs : t -> unit
+
+(** Deep copy (shares immutable instructions). *)
+val copy : t -> t
+
+(** All distinct candidate expressions of the graph, as a pool. *)
+val candidate_pool : t -> Lcm_ir.Expr_pool.t
+
+(** Variables assigned or read anywhere in the graph. *)
+val all_vars : t -> string list
+
+(** Total number of instructions (all blocks). *)
+val num_instrs : t -> int
+
+(** Number of candidate-expression occurrences (static computation count). *)
+val num_candidate_occurrences : t -> int
+
+val pp_terminator : Format.formatter -> terminator -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

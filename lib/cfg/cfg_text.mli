@@ -1,0 +1,31 @@
+(** A textual format for control-flow graphs.
+
+    Reads exactly what {!Cfg.to_string} prints, so graphs can be stored in
+    files, edited by hand (e.g. to build graphs with critical edges, which
+    structured MiniImp lowering never produces), and round-tripped:
+
+    {v
+    cfg name (entry B0, exit B1)
+    B0:
+      goto B2
+    B1:
+      halt
+    B2:
+      x := a + b
+      print x
+      if p then B2 else B1
+    v}
+
+    The entry must be [B0] and the exit [B1] (as produced by {!Cfg.create});
+    other labels may appear in any order and need not be dense — they are
+    renumbered in order of appearance. *)
+
+exception Parse_error of string * int
+(** [Parse_error (message, line)]. *)
+
+(** Parse a graph from its textual form.  The result is validated.
+    Raises {!Parse_error}. *)
+val parse : string -> Cfg.t
+
+(** [to_string] is {!Cfg.to_string} (re-exported for symmetry). *)
+val to_string : Cfg.t -> string

@@ -1,0 +1,68 @@
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm" (2001):
+   iterate intersection of predecessor dominators over reverse postorder
+   until fixpoint, representing idoms as RPO indices. *)
+
+type t = {
+  order : Order.t;
+  entry : Label.t;
+  idom : (Label.t, Label.t) Hashtbl.t;  (* entry maps to itself *)
+  kids : (Label.t, Label.t list) Hashtbl.t;
+}
+
+let compute g =
+  let order = Order.compute g in
+  let rpo = Array.of_list (Order.reverse_postorder order) in
+  let n = Array.length rpo in
+  let index l = Order.rpo_index order l in
+  let doms = Array.make n (-1) in
+  doms.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if a > b then intersect doms.(a) b
+    else intersect a doms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let preds = List.filter_map index (Cfg.predecessors g rpo.(i)) in
+      let processed = List.filter (fun p -> doms.(p) >= 0) preds in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom = List.fold_left (fun acc p -> intersect acc p) first rest in
+        if doms.(i) <> new_idom then begin
+          doms.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  let idom = Hashtbl.create n and kids = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    if doms.(i) >= 0 then begin
+      let parent = rpo.(doms.(i)) in
+      Hashtbl.replace idom rpo.(i) parent;
+      if i > 0 then begin
+        let siblings = Option.value ~default:[] (Hashtbl.find_opt kids parent) in
+        Hashtbl.replace kids parent (rpo.(i) :: siblings)
+      end
+    end
+  done;
+  { order; entry = Cfg.entry g; idom; kids }
+
+let idom t l =
+  if Label.equal l t.entry then None
+  else Hashtbl.find_opt t.idom l
+
+let dominates t a b =
+  if not (Order.is_reachable t.order a && Order.is_reachable t.order b) then false
+  else begin
+    let rec climb x = Label.equal x a || ((not (Label.equal x t.entry)) && climb (Hashtbl.find t.idom x)) in
+    climb b
+  end
+
+let children t l = Option.value ~default:[] (Hashtbl.find_opt t.kids l)
+
+let dominated_by t l =
+  let rec collect l acc = List.fold_left (fun acc c -> collect c acc) (l :: acc) (children t l) in
+  if Order.is_reachable t.order l then collect l [] else []

@@ -1,0 +1,25 @@
+(** Dominator tree (Cooper–Harvey–Kennedy "engineered" algorithm).
+
+    Used by the loop-invariant-code-motion baseline and by structural
+    validation; Lazy Code Motion itself needs no dominators, which is part
+    of its appeal. *)
+
+type t
+
+(** Compute dominators of the reachable subgraph. *)
+val compute : Cfg.t -> t
+
+(** [idom t l] is the immediate dominator of [l]; [None] for the entry and
+    for unreachable blocks. *)
+val idom : t -> Label.t -> Label.t option
+
+(** [dominates t a b] holds when every path from entry to [b] passes through
+    [a] (reflexive).  Unreachable blocks dominate nothing and are dominated
+    by nothing. *)
+val dominates : t -> Label.t -> Label.t -> bool
+
+(** Children in the dominator tree. *)
+val children : t -> Label.t -> Label.t list
+
+(** Blocks dominated by [l] (including [l]). *)
+val dominated_by : t -> Label.t -> Label.t list

@@ -1,0 +1,53 @@
+module Instr = Lcm_ir.Instr
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\l"
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let block_label g l =
+  let body =
+    String.concat "\n" (List.map Instr.to_string (Cfg.instrs g l))
+  in
+  let term = Format.asprintf "%a" Cfg.pp_terminator (Cfg.term g l) in
+  let header = Label.to_string l in
+  if body = "" then Printf.sprintf "%s\n%s" header term else Printf.sprintf "%s\n%s\n%s" header body term
+
+let to_dot ?(highlight_blocks = []) ?(highlight_edges = []) g =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  node [shape=box, fontname=\"monospace\"];\n" (escape (Cfg.name g)));
+  List.iter
+    (fun l ->
+      let extra =
+        if List.exists (Label.equal l) highlight_blocks then ", style=filled, fillcolor=lightyellow"
+        else if Label.equal l (Cfg.entry g) || Label.equal l (Cfg.exit_label g) then
+          ", style=filled, fillcolor=lightgray"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\l\"%s];\n" l (escape (block_label g l)) extra))
+    (Cfg.labels g);
+  List.iter
+    (fun (src, dst) ->
+      let extra =
+        if List.exists (fun (a, b) -> Label.equal a src && Label.equal b dst) highlight_edges then
+          " [color=red, penwidth=2.0]"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" src dst extra))
+    (Cfg.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?highlight_blocks ?highlight_edges path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?highlight_blocks ?highlight_edges g))

@@ -1,0 +1,18 @@
+(** Graphviz export for visual inspection of graphs and transformations. *)
+
+(** [to_dot ?highlight_blocks ?highlight_edges g] renders [g] in the DOT
+    language.  Highlighted blocks are filled; highlighted edges are drawn
+    bold red (used to show insertion points). *)
+val to_dot :
+  ?highlight_blocks:Label.t list ->
+  ?highlight_edges:(Label.t * Label.t) list ->
+  Cfg.t ->
+  string
+
+(** [write_file path g] writes [to_dot g] to [path]. *)
+val write_file :
+  ?highlight_blocks:Label.t list ->
+  ?highlight_edges:(Label.t * Label.t) list ->
+  string ->
+  Cfg.t ->
+  unit

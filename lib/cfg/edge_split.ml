@@ -1,0 +1,16 @@
+let split_by g want =
+  let g = Cfg.copy g in
+  let targets = List.filter want (Cfg.edges g) in
+  List.iter
+    (fun (src, dst) ->
+      (* The edge may already have been rewritten by an earlier split of a
+         sibling edge of the same terminator; check it still exists. *)
+      if Cfg.mem g src && List.exists (Label.equal dst) (Cfg.successors g src) then
+        ignore (Cfg.split_edge g src dst))
+    targets;
+  Validate.check_exn g;
+  g
+
+let split_join_edges g = split_by g (fun (_, dst) -> List.length (Cfg.predecessors g dst) > 1)
+let split_critical_edges g = split_by g (Cfg.is_critical_edge g)
+let has_critical_edges g = List.exists (Cfg.is_critical_edge g) (Cfg.edges g)

@@ -1,0 +1,23 @@
+(** Edge splitting: landing nodes for node-based code motion.
+
+    The node-insertion model of the PLDI 1992 paper assumes that an
+    insertion point exists *per edge* into every join: a computation
+    inserted at a node executes once per visit of the node, so without a
+    landing node on each join edge the insertion cannot distinguish the
+    paths that need the value from those that already have it (and a node
+    inside a loop would re-execute the insertion on every iteration).
+
+    [split_join_edges] inserts an empty block on every edge whose target
+    has several predecessors; [split_critical_edges] only splits edges
+    that are critical in the classic sense (multi-successor source *and*
+    multi-predecessor target) — enough for edge-based LCM if one prefers
+    a priori splitting over on-demand splitting at transformation time. *)
+
+(** Copy of the graph with an empty block on every join edge. *)
+val split_join_edges : Cfg.t -> Cfg.t
+
+(** Copy of the graph with an empty block on every critical edge. *)
+val split_critical_edges : Cfg.t -> Cfg.t
+
+(** [has_critical_edges g]. *)
+val has_critical_edges : Cfg.t -> bool

@@ -1,0 +1,38 @@
+let run g =
+  let out = Cfg.create ~name:(Cfg.name g) () in
+  (* Allocate the head block of every chain first so that terminators can be
+     redirected by a simple label translation. *)
+  let head = Hashtbl.create 64 in
+  Hashtbl.replace head (Cfg.entry g) (Cfg.entry out);
+  Hashtbl.replace head (Cfg.exit_label g) (Cfg.exit_label out);
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem head l) then
+        Hashtbl.replace head l (Cfg.add_block out ~instrs:[] ~term:Cfg.Halt))
+    (Cfg.labels g);
+  let tr l = Hashtbl.find head l in
+  let translate_term = function
+    | Cfg.Goto l -> Cfg.Goto (tr l)
+    | Cfg.Branch (c, a, b) -> Cfg.Branch (c, tr a, tr b)
+    | Cfg.Halt -> Cfg.Halt
+  in
+  List.iter
+    (fun l ->
+      let final_term = translate_term (Cfg.term g l) in
+      let rec chain cur = function
+        | [] -> Cfg.set_term out cur final_term
+        | [ last ] ->
+          Cfg.set_instrs out cur [ last ];
+          Cfg.set_term out cur final_term
+        | i :: rest ->
+          let next = Cfg.add_block out ~instrs:[] ~term:Cfg.Halt in
+          Cfg.set_instrs out cur [ i ];
+          Cfg.set_term out cur (Cfg.Goto next);
+          chain next rest
+      in
+      chain (tr l) (Cfg.instrs g l))
+    (Cfg.labels g);
+  Validate.check_exn out;
+  out
+
+let is_granular g = List.for_all (fun l -> List.length (Cfg.instrs g l) <= 1) (Cfg.labels g)

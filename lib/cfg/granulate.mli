@@ -1,0 +1,15 @@
+(** Splitting blocks into single-instruction nodes.
+
+    The PLDI 1992 formulation of Lazy Code Motion works on flow graphs whose
+    nodes are individual statements; this pass rewrites any block CFG into
+    that shape (every block carries at most one instruction) so the faithful
+    node-based algorithm can run on arbitrary inputs. *)
+
+(** [run g] is a fresh graph computing the same function as [g] in which
+    every block holds at most one instruction.  Block [l] of [g] becomes a
+    chain of blocks in the result whose first block is again labeled
+    compatibly with [g]'s successor structure. *)
+val run : Cfg.t -> Cfg.t
+
+(** [is_granular g] holds when every block has at most one instruction. *)
+val is_granular : Cfg.t -> bool

@@ -1,0 +1,10 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf l = Format.fprintf ppf "B%d" l
+let to_string l = "B" ^ string_of_int l
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,149 @@
+module Ast = Lcm_ir.Ast
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Parser = Lcm_ir.Parser
+
+let return_var = "_ret"
+
+(* Mutable lowering state: the graph under construction, the block being
+   filled (with its instructions accumulated in reverse), and a fresh-name
+   supply that cannot collide with source variables. *)
+type state = {
+  graph : Cfg.t;
+  mutable current : Label.t option;
+  mutable pending : Instr.t list;  (* reversed *)
+  temp_prefix : string;
+  mutable next_temp : int;
+}
+
+let fresh_temp st =
+  let v = Printf.sprintf "%s%d" st.temp_prefix st.next_temp in
+  st.next_temp <- st.next_temp + 1;
+  v
+
+let emit st i = st.pending <- i :: st.pending
+
+(* Close the current block with [term], flushing pending instructions. *)
+let seal st term =
+  match st.current with
+  | None -> ()
+  | Some l ->
+    Cfg.set_instrs st.graph l (List.rev st.pending);
+    Cfg.set_term st.graph l term;
+    st.pending <- [];
+    st.current <- None
+
+(* Start filling a fresh block and return its label. *)
+let start_block st =
+  assert (st.current = None);
+  let l = Cfg.add_block st.graph ~instrs:[] ~term:Cfg.Halt in
+  st.current <- Some l;
+  l
+
+(* Ensure some block is open (after a Return the rest of the statement list
+   is unreachable; we lower it into a dangling block and let
+   [remove_unreachable] discard it). *)
+let ensure_open st = if st.current = None then ignore (start_block st)
+
+let rec flatten_operand st (e : Ast.expr) : Expr.operand =
+  match e with
+  | Ast.Int n -> Expr.Const n
+  | Ast.Var v -> Expr.Var v
+  | Ast.Unary _ | Ast.Binary _ ->
+    let rhs = flatten_rhs st e in
+    let t = fresh_temp st in
+    emit st (Instr.Assign (t, rhs));
+    Expr.Var t
+
+(* Flatten [e] into an instruction right-hand side, materializing
+   sub-expressions as temporaries. *)
+and flatten_rhs st (e : Ast.expr) : Expr.t =
+  match e with
+  | Ast.Int n -> Expr.Atom (Expr.Const n)
+  | Ast.Var v -> Expr.Atom (Expr.Var v)
+  | Ast.Unary (op, a) -> Expr.Unary (op, flatten_operand st a)
+  | Ast.Binary (op, a, b) ->
+    let oa = flatten_operand st a in
+    let ob = flatten_operand st b in
+    Expr.Binary (op, oa, ob)
+
+let rec lower_stmts st (stmts : Ast.stmt list) =
+  List.iter (lower_stmt st) stmts
+
+and lower_stmt st (s : Ast.stmt) =
+  ensure_open st;
+  match s with
+  | Ast.Assign (v, e) -> emit st (Instr.Assign (v, flatten_rhs st e))
+  | Ast.Print e ->
+    let a = flatten_operand st e in
+    emit st (Instr.Print a)
+  | Ast.Return e ->
+    let rhs = flatten_rhs st e in
+    emit st (Instr.Assign (return_var, rhs));
+    seal st (Cfg.Goto (Cfg.exit_label st.graph))
+  | Ast.If (cond, then_branch, else_branch) ->
+    let c = flatten_operand st cond in
+    let here = st.current in
+    seal st Cfg.Halt;
+    let then_entry = start_block st in
+    lower_stmts st then_branch;
+    let then_tail = st.current in
+    seal st Cfg.Halt;
+    let else_entry = start_block st in
+    lower_stmts st else_branch;
+    let else_tail = st.current in
+    seal st Cfg.Halt;
+    let join = start_block st in
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Branch (c, then_entry, else_entry))) here;
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Goto join)) then_tail;
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Goto join)) else_tail
+  | Ast.While (cond, body) ->
+    let before = st.current in
+    seal st Cfg.Halt;
+    let header = start_block st in
+    let c = flatten_operand st cond in
+    let cond_tail = st.current in
+    seal st Cfg.Halt;
+    let body_entry = start_block st in
+    lower_stmts st body;
+    let body_tail = st.current in
+    seal st Cfg.Halt;
+    let after = start_block st in
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Goto header)) before;
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Branch (c, body_entry, after))) cond_tail;
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Goto header)) body_tail
+  | Ast.Do_while (body, cond) ->
+    let before = st.current in
+    seal st Cfg.Halt;
+    let body_entry = start_block st in
+    lower_stmts st body;
+    ensure_open st;
+    let c = flatten_operand st cond in
+    let body_tail = st.current in
+    seal st Cfg.Halt;
+    let after = start_block st in
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Goto body_entry)) before;
+    Option.iter (fun l -> Cfg.set_term st.graph l (Cfg.Branch (c, body_entry, after))) body_tail
+
+let temp_prefix_for (f : Ast.func) =
+  Lcm_support.Fresh.prefix ~existing:(Ast.stmt_vars f.Ast.body @ f.Ast.params) "_t"
+
+let func (f : Ast.func) =
+  let graph = Cfg.create ~name:f.Ast.name () in
+  let st = { graph; current = None; pending = []; temp_prefix = temp_prefix_for f; next_temp = 0 } in
+  let first = start_block st in
+  Cfg.set_term graph (Cfg.entry graph) (Cfg.Goto first);
+  lower_stmts st f.Ast.body;
+  (* A function that falls off the end returns 0. *)
+  (match st.current with
+  | Some _ ->
+    emit st (Instr.Assign (return_var, Expr.Atom (Expr.Const 0)));
+    seal st (Cfg.Goto (Cfg.exit_label graph))
+  | None -> ());
+  Cfg.remove_unreachable graph;
+  Validate.check_exn graph;
+  graph
+
+let program (p : Ast.program) = List.map (fun f -> (f.Ast.name, func f)) p
+let parse_and_lower_func src = func (Parser.parse_func src)
+let parse_and_lower src = program (Parser.parse_program src)

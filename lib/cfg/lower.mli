@@ -1,0 +1,22 @@
+(** Lowering MiniImp abstract syntax into control-flow graphs.
+
+    Nested expressions are flattened into single-operator instructions with
+    fresh temporaries (so every computation is a [v := e] as the paper
+    assumes), and structured control flow becomes explicit blocks and
+    branches.  Branch conditions are always atoms after lowering. *)
+
+(** The variable that receives [return] values; read at the exit block. *)
+val return_var : string
+
+(** Lower one function.  The resulting graph is validated and has
+    unreachable blocks removed. *)
+val func : Lcm_ir.Ast.func -> Cfg.t
+
+(** Lower every function of a program. *)
+val program : Lcm_ir.Ast.program -> (string * Cfg.t) list
+
+(** [parse_and_lower_func src] is [func] of [Lcm_ir.Parser.parse_func]. *)
+val parse_and_lower_func : string -> Cfg.t
+
+(** Lower every function of a source string. *)
+val parse_and_lower : string -> (string * Cfg.t) list

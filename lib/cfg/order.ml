@@ -1,0 +1,46 @@
+type t = {
+  post : Label.t list;
+  rpo : Label.t list;
+  rpo_idx : (Label.t, int) Hashtbl.t;
+  (* DFS discovery/finish times for retreating-edge detection. *)
+  disc : (Label.t, int) Hashtbl.t;
+  fin : (Label.t, int) Hashtbl.t;
+}
+
+let compute g =
+  let disc = Hashtbl.create 64 and fin = Hashtbl.create 64 in
+  let post = ref [] in
+  let clock = ref 0 in
+  let tick () =
+    incr clock;
+    !clock
+  in
+  let rec visit l =
+    if not (Hashtbl.mem disc l) then begin
+      Hashtbl.add disc l (tick ());
+      List.iter visit (Cfg.successors g l);
+      Hashtbl.add fin l (tick ());
+      post := l :: !post
+    end
+  in
+  visit (Cfg.entry g);
+  let rpo = !post in
+  let post = List.rev rpo in
+  let rpo_idx = Hashtbl.create 64 in
+  List.iteri (fun i l -> Hashtbl.add rpo_idx l i) rpo;
+  { post; rpo; rpo_idx; disc; fin }
+
+let postorder t = t.post
+let reverse_postorder t = t.rpo
+let rpo_index t l = Hashtbl.find_opt t.rpo_idx l
+let is_reachable t l = Hashtbl.mem t.rpo_idx l
+
+let back_edges g t =
+  List.filter
+    (fun (src, dst) ->
+      match (Hashtbl.find_opt t.disc src, Hashtbl.find_opt t.disc dst) with
+      | Some ds, Some dd ->
+        (* dst is an ancestor of src iff dst's DFS interval encloses src's. *)
+        dd <= ds && Hashtbl.find t.fin dst >= Hashtbl.find t.fin src
+      | _ -> false)
+    (Cfg.edges g)

@@ -1,0 +1,27 @@
+(** Depth-first traversal orders.
+
+    Iterative data-flow converges fastest when forward problems visit blocks
+    in reverse postorder and backward problems in postorder; this module
+    computes both once per graph. *)
+
+type t
+
+(** Orders of the subgraph reachable from the entry. *)
+val compute : Cfg.t -> t
+
+(** Reachable blocks in postorder (entry last). *)
+val postorder : t -> Label.t list
+
+(** Reachable blocks in reverse postorder (entry first). *)
+val reverse_postorder : t -> Label.t list
+
+(** [rpo_index t l] is the position of [l] in reverse postorder, or [None]
+    when [l] is unreachable. *)
+val rpo_index : t -> Label.t -> int option
+
+(** [is_reachable t l]. *)
+val is_reachable : t -> Label.t -> bool
+
+(** [back_edges cfg t] lists edges [(src, dst)] where [dst] is an ancestor
+    of [src] in the DFS tree (retreating edges). *)
+val back_edges : Cfg.t -> t -> (Label.t * Label.t) list

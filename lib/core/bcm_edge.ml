@@ -1,0 +1,86 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Order = Lcm_cfg.Order
+module Local = Lcm_dataflow.Local
+module Avail = Lcm_dataflow.Avail
+module Antic = Lcm_dataflow.Antic
+module Expr_pool = Lcm_ir.Expr_pool
+
+type analysis = {
+  pool : Expr_pool.t;
+  local : Local.t;
+  avail : Avail.t;
+  antic : Antic.t;
+  insert : ((Label.t * Label.t) * Bitvec.t) list;
+  delete : (Label.t * Bitvec.t) list;
+  copy : (Label.t * Bitvec.t) list;
+  sweeps : int;
+  visits : int;
+}
+
+(* EARLIEST, shared with the lazy variant (see Lcm_edge for the formula). *)
+let earliest g local avail antic (p, b) =
+  let v = Bitvec.copy (antic.Antic.antin b) in
+  ignore (Bitvec.diff_into ~into:v (avail.Avail.avout p));
+  if not (Label.equal p (Cfg.entry g)) then begin
+    let movable_through = Bitvec.inter (Local.transp local p) (antic.Antic.antout p) in
+    ignore (Bitvec.diff_into ~into:v movable_through)
+  end;
+  v
+
+let analyze ?pool g =
+  let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let avail = Avail.compute g local in
+  let antic = Antic.compute g local in
+  let insert =
+    List.filter_map
+      (fun e ->
+        let v = earliest g local avail antic e in
+        if Bitvec.is_empty v then None else Some (e, v))
+      (Cfg.edges g)
+  in
+  (* Under busy placement every upwards-exposed computation of a reachable
+     block becomes fully redundant — except in the entry block, which has
+     no incoming edges for an insertion to cover it. *)
+  let order = Order.compute g in
+  let delete =
+    List.filter_map
+      (fun b ->
+        if
+          Order.is_reachable order b
+          && (not (Label.equal b (Cfg.entry g)))
+          && not (Bitvec.is_empty (Local.antloc local b))
+        then Some (b, Bitvec.copy (Local.antloc local b))
+        else None)
+      (Cfg.labels g)
+  in
+  let copy = Copy_analysis.copies g local ~insert_edges:insert ~deletes:delete in
+  {
+    pool;
+    local;
+    avail;
+    antic;
+    insert;
+    delete;
+    copy;
+    sweeps = avail.Avail.sweeps + antic.Antic.sweeps;
+    visits = avail.Avail.visits + antic.Antic.visits;
+  }
+
+let spec g a =
+  {
+    Transform.algorithm = "bcm-edge";
+    pool = a.pool;
+    temp_names = Temps.names g a.pool;
+    edge_inserts = a.insert;
+    entry_inserts = [];
+    exit_inserts = [];
+    deletes = a.delete;
+    copies = a.copy;
+  }
+
+let transform ?simplify g =
+  let a = analyze g in
+  Transform.apply ?simplify g (spec g a)

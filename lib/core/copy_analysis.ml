@@ -1,0 +1,60 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Order = Lcm_cfg.Order
+module Local = Lcm_dataflow.Local
+
+let copies g local ~insert_edges ~deletes =
+  let n = Local.nbits local in
+  let delete_set =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (l, set) -> Hashtbl.replace tbl l set) deletes;
+    fun l -> Hashtbl.find_opt tbl l
+  in
+  let insert_set =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (e, set) -> Hashtbl.replace tbl e set) insert_edges;
+    fun e -> Hashtbl.find_opt tbl e
+  in
+  let livein = Hashtbl.create 64 and liveout = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace livein l (Bitvec.create n);
+      Hashtbl.replace liveout l (Bitvec.create n))
+    (Cfg.labels g);
+  let order = Order.compute g in
+  let scratch = Bitvec.create n in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        (* LIVEOUT(b): union over successor entries, masked by insertions. *)
+        let out = Hashtbl.find liveout l in
+        Bitvec.fill scratch false;
+        List.iter
+          (fun s ->
+            let contribution =
+              match insert_set (l, s) with
+              | Some ins -> Bitvec.diff (Hashtbl.find livein s) ins
+              | None -> Hashtbl.find livein s
+            in
+            ignore (Bitvec.union_into ~into:scratch contribution))
+          (Cfg.successors g l);
+        ignore (Bitvec.blit ~src:scratch ~dst:out);
+        (* LIVEIN(b) = DELETE(b) ∪ (LIVEOUT(b) ∩ ¬COMP(b)) *)
+        ignore (Bitvec.diff_into ~into:scratch (Local.comp local l));
+        (match delete_set l with
+        | Some d -> ignore (Bitvec.union_into ~into:scratch d)
+        | None -> ());
+        if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find livein l) then changed := true)
+      (Order.postorder order)
+  done;
+  List.filter_map
+    (fun l ->
+      let want = Bitvec.inter (Local.comp local l) (Hashtbl.find liveout l) in
+      (match delete_set l with
+      | Some d -> ignore (Bitvec.diff_into ~into:want (Bitvec.inter d (Local.transp local l)))
+      | None -> ());
+      if Bitvec.is_empty want then None else Some (l, want))
+    (Cfg.labels g)

@@ -1,0 +1,30 @@
+(** Deciding where original computations must seed the temporary.
+
+    Deleting [v := e] in favour of [v := h] is only meaningful if [h] holds
+    the value of [e] on every incoming path.  Paths through an *inserted*
+    [h := e] are fine by construction; paths on which the deletion was
+    justified by an *original* computation [x := e] need that computation to
+    publish its value with a copy [h := x].
+
+    This module finds the blocks that need such copies by solving a liveness
+    problem for [h] over the decided insertions and deletions:
+
+    {v
+    LIVEIN(b)  = DELETE(b) ∪ (LIVEOUT(b) ∩ ¬COMP(b))
+    LIVEOUT(b) = ⋃ over edges (b,s) not carrying an insertion of LIVEIN(s)
+    COPY(b)    = COMP(b) ∩ LIVEOUT(b) ∩ ¬(DELETE(b) ∩ TRANSP(b))
+    v}
+
+    The last conjunct drops blocks whose deleted (upwards-exposed)
+    occurrence is also the downwards-exposed one: the rewritten [v := h]
+    leaves [h] already holding the value at the block's exit. *)
+
+(** [copies g local ~insert_edges ~deletes] is the per-block set of
+    expressions whose downwards-exposed occurrence must be followed by a
+    copy into the temporary.  Only non-empty sets are listed. *)
+val copies :
+  Lcm_cfg.Cfg.t ->
+  Lcm_dataflow.Local.t ->
+  insert_edges:((Lcm_cfg.Label.t * Lcm_cfg.Label.t) * Lcm_support.Bitvec.t) list ->
+  deletes:(Lcm_cfg.Label.t * Lcm_support.Bitvec.t) list ->
+  (Lcm_cfg.Label.t * Lcm_support.Bitvec.t) list

@@ -1,0 +1,30 @@
+(** Block-placement realization of Lazy Code Motion (TOPLAS 1994 style).
+
+    The journal version of the paper ("Optimal Code Motion: Theory and
+    Practice") places computations at block *entries and exits* rather
+    than on edges, assuming critical edges have been split beforehand.
+    This module realizes the same decision that way: it pre-splits
+    critical edges, runs the {!Lcm_edge} analysis, and lowers every edge
+    insertion to a block placement — on an edge whose target has a single
+    predecessor the insertion lands at the target's entry; otherwise the
+    source necessarily has a single successor (the edge is not critical)
+    and the insertion lands at the source's exit.
+
+    The result is path-count-identical to {!Lcm_edge} and contains no
+    transformation-time split blocks; the trade-off measured by
+    experiment EXP-A2 (blocks added a priori vs on demand) applies. *)
+
+type analysis = {
+  graph : Lcm_cfg.Cfg.t;  (** the pre-split graph the decision refers to *)
+  entry_inserts : (Lcm_cfg.Label.t * Lcm_support.Bitvec.t) list;
+  exit_inserts : (Lcm_cfg.Label.t * Lcm_support.Bitvec.t) list;
+  deletes : (Lcm_cfg.Label.t * Lcm_support.Bitvec.t) list;
+  copies : (Lcm_cfg.Label.t * Lcm_support.Bitvec.t) list;
+  edges_pre_split : int;  (** critical edges split before the analysis *)
+}
+
+val analyze : Lcm_cfg.Cfg.t -> analysis
+val spec : analysis -> Transform.spec
+
+(** [transform g]: pre-split, analyze, apply. *)
+val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Transform.report

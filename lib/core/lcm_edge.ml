@@ -1,0 +1,156 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Order = Lcm_cfg.Order
+module Local = Lcm_dataflow.Local
+module Avail = Lcm_dataflow.Avail
+module Antic = Lcm_dataflow.Antic
+module Expr_pool = Lcm_ir.Expr_pool
+
+type analysis = {
+  pool : Expr_pool.t;
+  local : Local.t;
+  avail : Avail.t;
+  antic : Antic.t;
+  earliest : Label.t * Label.t -> Bitvec.t;
+  later : Label.t * Label.t -> Bitvec.t;
+  laterin : Label.t -> Bitvec.t;
+  insert : ((Label.t * Label.t) * Bitvec.t) list;
+  delete : (Label.t * Bitvec.t) list;
+  copy : (Label.t * Bitvec.t) list;
+  sweeps : int;
+  visits : int;
+}
+
+module Edge_table = Hashtbl.Make (struct
+  type t = Label.t * Label.t
+
+  let equal (a, b) (c, d) = Label.equal a c && Label.equal b d
+  let hash = Hashtbl.hash
+end)
+
+let compute_earliest g local avail antic =
+  let table = Edge_table.create 64 in
+  let entry = Cfg.entry g in
+  List.iter
+    (fun ((p, b) as edge) ->
+      let v = Bitvec.copy (antic.Antic.antin b) in
+      ignore (Bitvec.diff_into ~into:v (avail.Avail.avout p));
+      if not (Label.equal p entry) then begin
+        (* ∩ (¬TRANSP(p) ∪ ¬ANTOUT(p)) = remove TRANSP(p) ∩ ANTOUT(p) *)
+        let movable_through = Bitvec.inter (Local.transp local p) (antic.Antic.antout p) in
+        ignore (Bitvec.diff_into ~into:v movable_through)
+      end;
+      Edge_table.replace table edge v)
+    (Cfg.edges g);
+  table
+
+(* Greatest fixpoint of the LATER/LATERIN system, sweeping reverse
+   postorder.  Returns the LATERIN table and the sweep/visit counts. *)
+let compute_laterin g local earliest =
+  let n = Local.nbits local in
+  let laterin = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace laterin l (Bitvec.create_full n)) (Cfg.labels g);
+  Hashtbl.replace laterin (Cfg.entry g) (Bitvec.create n);
+  let order = Order.compute g in
+  let scratch = Bitvec.create n and later_pb = Bitvec.create n in
+  let sweeps = ref 0 and visits = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr sweeps;
+    List.iter
+      (fun b ->
+        if not (Label.equal b (Cfg.entry g)) then begin
+          incr visits;
+          Bitvec.fill scratch true;
+          List.iter
+            (fun p ->
+              (* LATER(p,b) = EARLIEST(p,b) ∪ (LATERIN(p) ∩ ¬ANTLOC(p)) *)
+              ignore (Bitvec.blit ~src:(Hashtbl.find laterin p) ~dst:later_pb);
+              ignore (Bitvec.diff_into ~into:later_pb (Local.antloc local p));
+              ignore (Bitvec.union_into ~into:later_pb (Edge_table.find earliest (p, b)));
+              ignore (Bitvec.inter_into ~into:scratch later_pb))
+            (Cfg.predecessors g b);
+          if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find laterin b) then changed := true
+        end)
+      (Order.reverse_postorder order)
+  done;
+  (laterin, !sweeps, !visits)
+
+let analyze ?pool g =
+  let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let avail = Avail.compute g local in
+  let antic = Antic.compute g local in
+  let earliest_tbl = compute_earliest g local avail antic in
+  let laterin_tbl, later_sweeps, later_visits = compute_laterin g local earliest_tbl in
+  let laterin l =
+    match Hashtbl.find_opt laterin_tbl l with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Lcm_edge.laterin: unknown label B%d" l)
+  in
+  let earliest (p, b) =
+    match Edge_table.find_opt earliest_tbl (p, b) with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Lcm_edge.earliest: unknown edge B%d->B%d" p b)
+  in
+  let later (p, b) =
+    let v = Bitvec.copy (laterin p) in
+    ignore (Bitvec.diff_into ~into:v (Local.antloc local p));
+    ignore (Bitvec.union_into ~into:v (earliest (p, b)));
+    v
+  in
+  let insert =
+    List.filter_map
+      (fun (p, b) ->
+        let v = later (p, b) in
+        ignore (Bitvec.diff_into ~into:v (laterin b));
+        if Bitvec.is_empty v then None else Some ((p, b), v))
+      (Cfg.edges g)
+  in
+  let delete =
+    (* DELETE is defined for b ≠ ENTRY only: the entry has no incoming
+       edges, so no insertion could ever cover a deletion there (its
+       LATERIN is the ∅ boundary, not a data-flow result). *)
+    List.filter_map
+      (fun b ->
+        if Label.equal b (Cfg.entry g) then None
+        else begin
+          let v = Bitvec.copy (Local.antloc local b) in
+          ignore (Bitvec.diff_into ~into:v (laterin b));
+          if Bitvec.is_empty v then None else Some (b, v)
+        end)
+      (Cfg.labels g)
+  in
+  let copy = Copy_analysis.copies g local ~insert_edges:insert ~deletes:delete in
+  {
+    pool;
+    local;
+    avail;
+    antic;
+    earliest;
+    later;
+    laterin;
+    insert;
+    delete;
+    copy;
+    sweeps = avail.Avail.sweeps + antic.Antic.sweeps + later_sweeps;
+    visits = avail.Avail.visits + antic.Antic.visits + later_visits;
+  }
+
+let spec g a =
+  {
+    Transform.algorithm = "lcm-edge";
+    pool = a.pool;
+    temp_names = Temps.names g a.pool;
+    edge_inserts = a.insert;
+    entry_inserts = [];
+    exit_inserts = [];
+    deletes = a.delete;
+    copies = a.copy;
+  }
+
+let transform ?simplify g =
+  let a = analyze g in
+  Transform.apply ?simplify g (spec g a)

@@ -1,0 +1,47 @@
+(** Lazy Code Motion, edge-insertion formulation on basic blocks.
+
+    This is the practical reformulation of the paper's algorithm on basic
+    blocks with insertions on edges (Drechsler & Stadel 1993; the TOPLAS
+    1994 version of the paper; GCC's [lcm.c]):
+
+    {v
+    EARLIEST(p,b) = ANTIN(b) ∩ ¬AVOUT(p) ∩ (¬TRANSP(p) ∪ ¬ANTOUT(p))
+                    (the last factor is dropped when p is the entry block)
+    LATERIN(b)    = ⋂ over incoming edges (p,b) of LATER(p,b);  ∅ at entry
+    LATER(p,b)    = EARLIEST(p,b) ∪ (LATERIN(p) ∩ ¬ANTLOC(p))
+    INSERT(p,b)   = LATER(p,b) ∩ ¬LATERIN(b)
+    DELETE(b)     = ANTLOC(b) ∩ ¬LATERIN(b)
+    v}
+
+    Laziness — inserting as late as possible — is what keeps temporary
+    lifetimes minimal; see {!Bcm_edge} for the busy (earliest) placement
+    that this improves on.  Copies that seed the temporary at original
+    computations are decided by {!Copy_analysis}. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Label = Lcm_cfg.Label
+
+type analysis = {
+  pool : Lcm_ir.Expr_pool.t;
+  local : Lcm_dataflow.Local.t;
+  avail : Lcm_dataflow.Avail.t;
+  antic : Lcm_dataflow.Antic.t;
+  earliest : Label.t * Label.t -> Bitvec.t;
+  later : Label.t * Label.t -> Bitvec.t;
+  laterin : Label.t -> Bitvec.t;
+  insert : ((Label.t * Label.t) * Bitvec.t) list;  (** non-empty sets only *)
+  delete : (Label.t * Bitvec.t) list;  (** non-empty sets only *)
+  copy : (Label.t * Bitvec.t) list;
+  sweeps : int;  (** data-flow sweeps over the graph, all passes summed *)
+  visits : int;  (** transfer-function applications, all passes summed *)
+}
+
+(** Run the analyses.  [pool] defaults to all candidate expressions of the
+    graph. *)
+val analyze : ?pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> analysis
+
+(** Decision of [analyze] as a transformation spec. *)
+val spec : Lcm_cfg.Cfg.t -> analysis -> Transform.spec
+
+(** [transform g] = apply the decision to (a copy of) [g]. *)
+val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Transform.report

@@ -1,0 +1,65 @@
+(** Lazy Code Motion, node-based formulation (faithful to PLDI 1992).
+
+    The paper models programs as flow graphs whose nodes are single
+    statements; insertions happen at node entries.  With [Comp(n)] ("n
+    computes e before its assignment takes effect") and [Transp(n)] the
+    analyses are:
+
+    {v
+    DSAFE(n)    = Comp(n) ∨ (Transp(n) ∧ ⋀_{s∈succ} DSAFE(s))      (exit: Comp)
+    USAFE(n)    = ⋀_{p∈pred} ((USAFE(p) ∨ Comp(p)) ∧ Transp(p))     (entry: ∅)
+    EARLIEST(n) = DSAFE(n) ∧ (n=entry ∨ ¬⋀_{p∈pred} (Transp(p) ∧ (DSAFE(p) ∨ USAFE(p))))
+    DELAY(n)    = EARLIEST(n) ∨ (n≠entry ∧ ⋀_{p∈pred} (DELAY(p) ∧ ¬Comp(p)))
+    LATEST(n)   = DELAY(n) ∧ (Comp(n) ∨ ¬⋀_{s∈succ} DELAY(s))
+    ISOLATED(n) = ⋀_{s∈succ} (LATEST(s) ∨ (¬Comp(s) ∧ ISOLATED(s)))  (exit: true)
+    v}
+
+    The three transformations of the paper:
+    - {b BCM} (busy): insert at EARLIEST entries, rewrite every computation;
+    - {b ALCM} (almost lazy): insert at LATEST entries, rewrite every
+      computation;
+    - {b LCM} (lazy): insert at LATEST ∧ ¬ISOLATED entries, rewrite every
+      computation except those at LATEST ∧ ISOLATED nodes, which stay put.
+
+    All run on *granular* graphs (at most one instruction per block); use
+    [Lcm_cfg.Granulate] — [transform] does it automatically. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Label = Lcm_cfg.Label
+
+type analysis = {
+  pool : Lcm_ir.Expr_pool.t;
+  local : Lcm_dataflow.Local.t;
+  dsafe : Label.t -> Bitvec.t;  (** at node entry *)
+  usafe : Label.t -> Bitvec.t;  (** at node entry *)
+  earliest : Label.t -> Bitvec.t;
+  delay : Label.t -> Bitvec.t;
+  latest : Label.t -> Bitvec.t;
+  isolated : Label.t -> Bitvec.t;
+  sweeps : int;
+  visits : int;
+}
+
+type variant =
+  | Bcm
+  | Alcm
+  | Lcm
+
+val variant_name : variant -> string
+
+(** Run the analyses on a granular graph.  Raises [Invalid_argument] if a
+    block holds more than one instruction. *)
+val analyze : ?pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> analysis
+
+(** Insertion-point set of a variant: EARLIEST, LATEST, or
+    LATEST ∧ ¬ISOLATED. *)
+val insert_points : analysis -> variant -> Label.t -> Bitvec.t
+
+(** Decision as a transformation spec (entry insertions + deletions). *)
+val spec : Lcm_cfg.Cfg.t -> analysis -> variant -> Transform.spec
+
+(** [transform variant g] granulates [g] if needed, places a landing node
+    on every join edge (a node insertion executes once per node visit, so
+    only landing nodes let the node model express per-edge placement), and
+    applies the variant's decision. *)
+val transform : ?simplify:bool -> variant -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Transform.report

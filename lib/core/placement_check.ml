@@ -1,0 +1,125 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Order = Lcm_cfg.Order
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Instr = Lcm_ir.Instr
+
+(* Per expression index [idx], simulate one block with entry validity
+   [v]: return the validity at the block's exit, and whether the deleted
+   occurrence (if the spec deletes [idx] here) was covered.
+
+   Validity means "the temporary holds the expression's current value". *)
+let simulate_block g spec idx l ~valid_in =
+  let pool = spec.Transform.pool in
+  let expr = Expr_pool.expr pool idx in
+  let in_set tbl =
+    match List.assoc_opt l tbl with
+    | Some set -> Bitvec.get set idx
+    | None -> false
+  in
+  let deletes_here = in_set spec.Transform.deletes in
+  let copies_here = in_set spec.Transform.copies in
+  let entry_insert = in_set spec.Transform.entry_inserts in
+  let exit_insert = in_set spec.Transform.exit_inserts in
+  let instrs = Array.of_list (Cfg.instrs g l) in
+  let n = Array.length instrs in
+  (* Positions of interest: the upwards-exposed occurrence (deletion
+     target) and the downwards-exposed occurrence (copy point). *)
+  let first_unkilled = ref (-1) and last_unkilled = ref (-1) in
+  let killed = ref false in
+  for pos = 0 to n - 1 do
+    (match Instr.candidate instrs.(pos) with
+    | Some e when Expr.equal (Expr.canonical e) expr ->
+      if (not !killed) && !first_unkilled < 0 then first_unkilled := pos;
+      last_unkilled := pos
+    | Some _ | None -> ());
+    match Instr.defs instrs.(pos) with
+    | Some v when Expr.reads_var expr v ->
+      killed := true;
+      (* A later occurrence may restart the exposure. *)
+      if !last_unkilled >= 0 && !last_unkilled < pos then last_unkilled := -1
+    | Some _ | None -> ()
+  done;
+  (* Walk forward tracking validity. *)
+  let valid = ref (valid_in || entry_insert) in
+  (* A deletion must target an upwards-exposed occurrence at all. *)
+  let covered = ref (not (deletes_here && !first_unkilled < 0)) in
+  Array.iteri
+    (fun pos i ->
+      (* The deleted occurrence reads the temporary here. *)
+      if deletes_here && pos = !first_unkilled && not !valid then covered := false;
+      (match Instr.defs i with
+      | Some v when Expr.reads_var expr v -> valid := false
+      | Some _ | None -> ());
+      (* A copy publishes the value right after the downwards-exposed
+         occurrence.  If the occurrence is also the deleted one, the
+         rewritten [v := h] keeps the temporary valid anyway. *)
+      if copies_here && pos = !last_unkilled then valid := true;
+      (* An original computation that the spec deletes leaves h valid (it
+         was valid just before, and nothing changed); one that stays and
+         has no copy does not touch h. *)
+      match Instr.candidate i with
+      | Some e when Expr.equal (Expr.canonical e) expr && deletes_here && pos = !first_unkilled ->
+        (* v := h; if v is an operand of e the kill above already fired. *)
+        ()
+      | Some _ | None -> ())
+    instrs;
+  if exit_insert then valid := true;
+  (!valid, !covered)
+
+let check g spec =
+  let pool = spec.Transform.pool in
+  let nexprs = Expr_pool.size pool in
+  let order = Order.compute g in
+  let rpo = Order.reverse_postorder order in
+  let edge_insert (p, b) idx =
+    match List.assoc_opt (p, b) spec.Transform.edge_inserts with
+    | Some set -> Bitvec.get set idx
+    | None -> false
+  in
+  let failures = ref [] in
+  for idx = 0 to nexprs - 1 do
+    (* Optimistic fixpoint on per-block exit validity. *)
+    let valid_out = Hashtbl.create 64 in
+    List.iter (fun l -> Hashtbl.replace valid_out l true) (Cfg.labels g);
+    let entry = Cfg.entry g in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun l ->
+          let valid_in =
+            if Label.equal l entry then false
+            else
+              List.for_all
+                (fun p -> Hashtbl.find valid_out p || edge_insert (p, l) idx)
+                (Cfg.predecessors g l)
+          in
+          let v_out, _ = simulate_block g spec idx l ~valid_in in
+          if v_out <> Hashtbl.find valid_out l then begin
+            Hashtbl.replace valid_out l v_out;
+            changed := true
+          end)
+        rpo
+    done;
+    (* With the fixpoint reached, check coverage of every deletion. *)
+    List.iter
+      (fun l ->
+        let valid_in =
+          if Label.equal l entry then false
+          else
+            List.for_all (fun p -> Hashtbl.find valid_out p || edge_insert (p, l) idx) (Cfg.predecessors g l)
+        in
+        let _, covered = simulate_block g spec idx l ~valid_in in
+        if not covered then
+          failures :=
+            Format.asprintf "deletion of %a in %a is not covered on all paths" Expr.pp
+              (Expr_pool.expr pool idx) Label.pp l
+            :: !failures)
+      rpo
+  done;
+  match List.rev !failures with
+  | [] -> Ok ()
+  | fs -> Error (String.concat "; " fs)

@@ -1,0 +1,19 @@
+(** Static verification of code-motion decisions.
+
+    Independently of the dynamic oracles (interpreter, path replay), this
+    module checks a {!Transform.spec} against its graph by data-flow
+    reasoning: for every deleted occurrence of an expression [e], the
+    temporary [h] must *provably* hold [e]'s current value on every
+    incoming path — where [h] becomes valid at inserted computations
+    ([h := e] on an edge, at a block entry or exit) and at copies
+    ([h := v] after an original computation), and turns stale whenever an
+    operand of [e] is redefined.
+
+    A spec produced by a sound PRE algorithm always passes; a spec with a
+    deletion that some path does not cover is reported with the offending
+    block.  Tests run this verifier over every algorithm's spec on every
+    workload and on random graphs, and check that it rejects corrupted
+    specs. *)
+
+(** [check g spec] is [Ok ()] when every deletion is covered. *)
+val check : Lcm_cfg.Cfg.t -> Transform.spec -> (unit, string) result

@@ -1,0 +1,6 @@
+module Cfg = Lcm_cfg.Cfg
+module Expr_pool = Lcm_ir.Expr_pool
+
+let names g pool =
+  let prefix = Lcm_support.Fresh.prefix ~existing:(Cfg.all_vars g) "_h" in
+  Array.init (Expr_pool.size pool) (fun i -> Printf.sprintf "%s%d" prefix i)

@@ -1,0 +1,8 @@
+(** Fresh temporary names for inserted computations.
+
+    The paper writes [h] for the temporary that carries an expression's
+    value; we allocate one such name per candidate expression, guaranteed
+    not to collide with any variable of the graph. *)
+
+(** [names g pool] maps each expression index to a fresh variable name. *)
+val names : Lcm_cfg.Cfg.t -> Lcm_ir.Expr_pool.t -> string array

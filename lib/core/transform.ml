@@ -1,0 +1,184 @@
+module Bitvec = Lcm_support.Bitvec
+module Label = Lcm_cfg.Label
+module Cfg = Lcm_cfg.Cfg
+module Validate = Lcm_cfg.Validate
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Instr = Lcm_ir.Instr
+
+type spec = {
+  algorithm : string;
+  pool : Expr_pool.t;
+  temp_names : string array;
+  edge_inserts : ((Label.t * Label.t) * Bitvec.t) list;
+  entry_inserts : (Label.t * Bitvec.t) list;
+  exit_inserts : (Label.t * Bitvec.t) list;
+  deletes : (Label.t * Bitvec.t) list;
+  copies : (Label.t * Bitvec.t) list;
+}
+
+type report = {
+  spec : spec;
+  num_edge_insertions : int;
+  num_entry_insertions : int;
+  num_exit_insertions : int;
+  num_deletions : int;
+  num_copies : int;
+  split_blocks : ((Label.t * Label.t) * Label.t) list;
+}
+
+let identity_spec pool algorithm =
+  {
+    algorithm;
+    pool;
+    temp_names = [||];
+    edge_inserts = [];
+    entry_inserts = [];
+    exit_inserts = [];
+    deletes = [];
+    copies = [];
+  }
+
+(* Expression index of an instruction's candidate, if registered. *)
+let candidate_index pool i =
+  match Instr.candidate i with
+  | Some e -> Expr_pool.index pool e
+  | None -> None
+
+(* Indices killed by an instruction's definition. *)
+let killed_by pool i =
+  match Instr.defs i with
+  | Some v -> Expr_pool.reading pool v
+  | None -> []
+
+(* Replace the upwards-exposed occurrence of every expression in [set]
+   within block [l] by a read of its temporary. *)
+let apply_deletes g pool temps l set =
+  let remaining = Bitvec.copy set in
+  let killed = Bitvec.create (Bitvec.length set) in
+  let deleted = ref 0 in
+  let rewrite i =
+    let i' =
+      match (i, candidate_index pool i) with
+      | Instr.Assign (v, _), Some idx when Bitvec.get remaining idx && not (Bitvec.get killed idx) ->
+        Bitvec.set remaining idx false;
+        incr deleted;
+        Instr.Assign (v, Expr.Atom (Expr.Var temps.(idx)))
+      | _, _ -> i
+    in
+    List.iter (fun idx -> Bitvec.set killed idx true) (killed_by pool i);
+    i'
+  in
+  Cfg.set_instrs g l (List.map rewrite (Cfg.instrs g l));
+  if not (Bitvec.is_empty remaining) then
+    failwith
+      (Format.asprintf "Transform.apply: block %a has no upwards-exposed occurrence of %a" Label.pp l
+         Bitvec.pp remaining);
+  !deleted
+
+(* After the downwards-exposed occurrence of every expression in [set]
+   within block [l], add [h := v].  The downwards-exposed occurrence of [e]
+   is the last computation of [e] not followed by an operand kill. *)
+let apply_copies g pool temps l set =
+  let instrs = Array.of_list (Cfg.instrs g l) in
+  let n = Array.length instrs in
+  let nbits = Bitvec.length set in
+  (* last_occurrence.(idx) = position of the downwards-exposed occurrence *)
+  let last = Array.make nbits (-1) in
+  let valid = Bitvec.create nbits in
+  for pos = 0 to n - 1 do
+    (match candidate_index pool instrs.(pos) with
+    | Some idx ->
+      last.(idx) <- pos;
+      Bitvec.set valid idx true
+    | None -> ());
+    List.iter (fun idx -> Bitvec.set valid idx false) (killed_by pool instrs.(pos))
+  done;
+  (* copies_at.(pos) lists temp assignments to place directly after pos. *)
+  let copies_at = Array.make n [] in
+  let count = ref 0 in
+  Bitvec.iter_true
+    (fun idx ->
+      if not (Bitvec.get valid idx) then
+        failwith
+          (Format.asprintf "Transform.apply: block %a has no downwards-exposed occurrence of expression %d"
+             Label.pp l idx);
+      let pos = last.(idx) in
+      match instrs.(pos) with
+      | Instr.Assign (v, _) ->
+        copies_at.(pos) <- Instr.Assign (temps.(idx), Expr.Atom (Expr.Var v)) :: copies_at.(pos);
+        incr count
+      | Instr.Print _ -> assert false)
+    set;
+  let out = ref [] in
+  for pos = n - 1 downto 0 do
+    out := (instrs.(pos) :: List.rev copies_at.(pos)) @ !out
+  done;
+  Cfg.set_instrs g l !out;
+  !count
+
+let insertion_instrs pool temps set =
+  List.rev
+    (Bitvec.fold_true
+       (fun idx acc -> Instr.Assign (temps.(idx), Expr_pool.expr pool idx) :: acc)
+       set [])
+
+let apply ?(simplify = false) g spec =
+  let g = Cfg.copy g in
+  let pool = spec.pool and temps = spec.temp_names in
+  let num_deletions =
+    List.fold_left (fun acc (l, set) -> acc + apply_deletes g pool temps l set) 0 spec.deletes
+  in
+  let num_copies =
+    List.fold_left (fun acc (l, set) -> acc + apply_copies g pool temps l set) 0 spec.copies
+  in
+  let num_entry_insertions =
+    List.fold_left
+      (fun acc (l, set) ->
+        let is = insertion_instrs pool temps set in
+        Cfg.set_instrs g l (is @ Cfg.instrs g l);
+        acc + List.length is)
+      0 spec.entry_inserts
+  in
+  let num_exit_insertions =
+    List.fold_left
+      (fun acc (l, set) ->
+        let is = insertion_instrs pool temps set in
+        Cfg.set_instrs g l (Cfg.instrs g l @ is);
+        acc + List.length is)
+      0 spec.exit_inserts
+  in
+  let split_blocks = ref [] in
+  let num_edge_insertions =
+    List.fold_left
+      (fun acc ((src, dst), set) ->
+        let is = insertion_instrs pool temps set in
+        if is = [] then acc
+        else begin
+          let fresh = Cfg.split_edge g src dst in
+          Cfg.set_instrs g fresh is;
+          split_blocks := ((src, dst), fresh) :: !split_blocks;
+          acc + List.length is
+        end)
+      0 spec.edge_inserts
+  in
+  if simplify then begin
+    Cfg.merge_straight_pairs g;
+    Cfg.remove_unreachable g
+  end;
+  Validate.check_exn g;
+  ( g,
+    {
+      spec;
+      num_edge_insertions;
+      num_entry_insertions;
+      num_exit_insertions;
+      num_deletions;
+      num_copies;
+      split_blocks = List.rev !split_blocks;
+    } )
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %d edge insertions, %d entry insertions, %d exit insertions, %d deletions, %d copies"
+    r.spec.algorithm r.num_edge_insertions r.num_entry_insertions r.num_exit_insertions
+    r.num_deletions r.num_copies

@@ -1,0 +1,36 @@
+module Bitvec = Lcm_support.Bitvec
+
+type t = {
+  antin : Lcm_cfg.Label.t -> Bitvec.t;
+  antout : Lcm_cfg.Label.t -> Bitvec.t;
+  sweeps : int;
+  visits : int;
+}
+
+(* ANTIN(b) = ANTLOC(b) ∪ (ANTOUT(b) ∩ TRANSP(b)) *)
+let transfer local l ~src ~dst =
+  ignore (Bitvec.blit ~src ~dst);
+  ignore (Bitvec.inter_into ~into:dst (Local.transp local l));
+  ignore (Bitvec.union_into ~into:dst (Local.antloc local l))
+
+let run confluence g local =
+  let nbits = Local.nbits local in
+  let result =
+    Solver.run g
+      {
+        Solver.nbits;
+        direction = Solver.Backward;
+        confluence;
+        boundary = Bitvec.create nbits;
+        transfer = transfer local;
+      }
+  in
+  {
+    antin = result.Solver.block_in;
+    antout = result.Solver.block_out;
+    sweeps = result.Solver.sweeps;
+    visits = result.Solver.visits;
+  }
+
+let compute g local = run Solver.Inter g local
+let compute_partial g local = run Solver.Union g local

@@ -1,0 +1,16 @@
+(** Anticipatability (backward) of candidate expressions.
+
+    An expression is *anticipatable* — the paper's *down-safe* — at a point
+    when every path from the point to the exit computes it before any
+    operand is modified.  Inserting a computation is safe exactly at
+    down-safe points.  [compute_partial] is the "may" variant. *)
+
+type t = {
+  antin : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+  antout : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+  sweeps : int;
+  visits : int;
+}
+
+val compute : Lcm_cfg.Cfg.t -> Local.t -> t
+val compute_partial : Lcm_cfg.Cfg.t -> Local.t -> t

@@ -1,0 +1,17 @@
+(** Availability (forward) of candidate expressions.
+
+    An expression is *available* at a point when every path from the entry
+    computes it after the last modification of its operands — in the paper's
+    terms, when the point is *up-safe*.  [compute_partial] is the "may"
+    variant (available along some path), needed by the Morel–Renvoise
+    baseline. *)
+
+type t = {
+  avin : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+  avout : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+  sweeps : int;
+  visits : int;
+}
+
+val compute : Lcm_cfg.Cfg.t -> Local.t -> t
+val compute_partial : Lcm_cfg.Cfg.t -> Local.t -> t

@@ -1,0 +1,76 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Instr = Lcm_ir.Instr
+module Expr = Lcm_ir.Expr
+
+type t = {
+  vars : Var_pool.t;
+  livein : Label.t -> Bitvec.t;
+  liveout : Label.t -> Bitvec.t;
+  sweeps : int;
+  visits : int;
+}
+
+let term_uses g l =
+  match Cfg.term g l with
+  | Cfg.Branch (Expr.Var v, _, _) -> [ v ]
+  | Cfg.Branch (Expr.Const _, _, _) | Cfg.Goto _ | Cfg.Halt -> []
+
+(* gen(b): upward-exposed uses; kill(b): all definitions. *)
+let gen_kill g vars l =
+  let n = Var_pool.size vars in
+  let gen = Bitvec.create n and kill = Bitvec.create n in
+  let idx v = Var_pool.index vars v in
+  let set bv v b = Option.iter (fun i -> Bitvec.set bv i b) (idx v) in
+  List.iter (fun v -> set gen v true) (term_uses g l);
+  List.iter
+    (fun i ->
+      (match Instr.defs i with
+      | Some v ->
+        set gen v false;
+        set kill v true
+      | None -> ());
+      List.iter (fun v -> set gen v true) (Instr.uses i))
+    (List.rev (Cfg.instrs g l));
+  (gen, kill)
+
+let compute ?exit_live g =
+  let vars = Var_pool.of_cfg g in
+  let n = Var_pool.size vars in
+  let return_var = Lcm_cfg.Lower.return_var in
+  let exit_live =
+    match exit_live with
+    | Some vs -> vs
+    | None -> (match Var_pool.index vars return_var with Some _ -> [ return_var ] | None -> [])
+  in
+  let boundary = Bitvec.create n in
+  List.iter (fun v -> Option.iter (fun i -> Bitvec.set boundary i true) (Var_pool.index vars v)) exit_live;
+  let table = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace table l (gen_kill g vars l)) (Cfg.labels g);
+  let transfer l ~src ~dst =
+    let gen, kill = Hashtbl.find table l in
+    ignore (Bitvec.blit ~src ~dst);
+    ignore (Bitvec.diff_into ~into:dst kill);
+    ignore (Bitvec.union_into ~into:dst gen)
+  in
+  let result =
+    Solver.run g
+      { Solver.nbits = n; direction = Solver.Backward; confluence = Solver.Union; boundary; transfer }
+  in
+  {
+    vars;
+    livein = result.Solver.block_in;
+    liveout = result.Solver.block_out;
+    sweeps = result.Solver.sweeps;
+    visits = result.Solver.visits;
+  }
+
+let live_blocks t g v =
+  match Var_pool.index t.vars v with
+  | None -> 0
+  | Some i ->
+    List.fold_left
+      (fun acc l ->
+        acc + (if Bitvec.get (t.livein l) i then 1 else 0) + if Bitvec.get (t.liveout l) i then 1 else 0)
+      0 (Cfg.labels g)

@@ -1,0 +1,22 @@
+(** Live variables (backward, union).
+
+    Used to measure temporary lifetimes: the paper's lifetime-optimality
+    theorem is about how long the inserted temporaries stay live, and
+    experiment EXP-T3 compares exactly these ranges across BCM/ALCM/LCM. *)
+
+type t = {
+  vars : Var_pool.t;
+  livein : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+  liveout : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+  sweeps : int;
+  visits : int;
+}
+
+(** [compute ?exit_live g] runs liveness.  [exit_live] lists variables
+    considered read after the exit block (defaults to the lowered return
+    variable when present). *)
+val compute : ?exit_live:string list -> Lcm_cfg.Cfg.t -> t
+
+(** [live_blocks t v] is the number of blocks at whose entry or exit [v] is
+    live — a simple, placement-independent measure of register pressure. *)
+val live_blocks : t -> Lcm_cfg.Cfg.t -> string -> int

@@ -1,0 +1,74 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Instr = Lcm_ir.Instr
+module Expr_pool = Lcm_ir.Expr_pool
+
+type t = {
+  pool : Expr_pool.t;
+  graph : Cfg.t;
+  antloc : (Label.t, Bitvec.t) Hashtbl.t;
+  comp : (Label.t, Bitvec.t) Hashtbl.t;
+  transp : (Label.t, Bitvec.t) Hashtbl.t;
+}
+
+let compute g pool =
+  let n = Expr_pool.size pool in
+  let antloc = Hashtbl.create 64 and comp = Hashtbl.create 64 and transp = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      let a = Bitvec.create n and c = Bitvec.create n and t = Bitvec.create_full n in
+      (* [killed] tracks expressions whose operands have been modified by an
+         earlier instruction of this block. *)
+      let killed = Bitvec.create n in
+      let scan i =
+        (* The computation happens before the definition takes effect, so an
+           instruction like [x := x + 1] exposes [x + 1] upwards but not
+           downwards. *)
+        (match Instr.candidate i with
+        | Some e ->
+          let idx =
+            match Expr_pool.index pool e with
+            | Some idx -> idx
+            | None -> invalid_arg "Local.compute: pool is missing a candidate of the graph"
+          in
+          if not (Bitvec.get killed idx) then Bitvec.set a idx true;
+          Bitvec.set c idx true
+        | None -> ());
+        match Instr.defs i with
+        | Some v ->
+          List.iter
+            (fun idx ->
+              Bitvec.set killed idx true;
+              Bitvec.set t idx false;
+              Bitvec.set c idx false)
+            (Expr_pool.reading pool v)
+        | None -> ()
+      in
+      List.iter scan (Cfg.instrs g l);
+      Hashtbl.replace antloc l a;
+      Hashtbl.replace comp l c;
+      Hashtbl.replace transp l t)
+    (Cfg.labels g);
+  { pool; graph = g; antloc; comp; transp }
+
+let pool t = t.pool
+let nbits t = Expr_pool.size t.pool
+
+let get table l what =
+  match Hashtbl.find_opt table l with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Local.%s: unknown label B%d" what l)
+
+let antloc t l = get t.antloc l "antloc"
+let comp t l = get t.comp l "comp"
+let transp t l = get t.transp l "transp"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%a: antloc=%a comp=%a transp=%a@," Label.pp l Bitvec.pp (antloc t l)
+        Bitvec.pp (comp t l) Bitvec.pp (transp t l))
+    (Cfg.labels t.graph);
+  Format.fprintf ppf "@]"

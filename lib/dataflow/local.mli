@@ -1,0 +1,29 @@
+(** Block-local predicates over the candidate-expression universe.
+
+    For each basic block [b] and candidate expression [e]:
+    - [ANTLOC b e] — [b] contains an *upwards exposed* computation of [e]
+      (computed before any operand of [e] is modified in [b]);
+    - [COMP b e] — [b] contains a *downwards exposed* computation of [e]
+      (computed after the last modification of [e]'s operands in [b]);
+    - [TRANSP b e] — [b] is *transparent* for [e] (modifies no operand).
+
+    These are the only facts the global analyses need about block bodies. *)
+
+type t
+
+(** [compute g pool] scans every block once. *)
+val compute : Lcm_cfg.Cfg.t -> Lcm_ir.Expr_pool.t -> t
+
+val pool : t -> Lcm_ir.Expr_pool.t
+
+(** Number of bits per vector (= pool size). *)
+val nbits : t -> int
+
+(** The returned vectors are owned by [t]; callers must not mutate them. *)
+val antloc : t -> Lcm_cfg.Label.t -> Lcm_support.Bitvec.t
+
+val comp : t -> Lcm_cfg.Label.t -> Lcm_support.Bitvec.t
+val transp : t -> Lcm_cfg.Label.t -> Lcm_support.Bitvec.t
+
+(** Render the three predicates for every block, one row per block. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Order = Lcm_cfg.Order
+
+type direction =
+  | Forward
+  | Backward
+
+type confluence =
+  | Union
+  | Inter
+
+type spec = {
+  nbits : int;
+  direction : direction;
+  confluence : confluence;
+  boundary : Bitvec.t;
+  transfer : Label.t -> src:Bitvec.t -> dst:Bitvec.t -> unit;
+}
+
+type result = {
+  block_in : Label.t -> Bitvec.t;
+  block_out : Label.t -> Bitvec.t;
+  sweeps : int;
+  visits : int;
+}
+
+let run g spec =
+  let order = Order.compute g in
+  let sweep_order =
+    match spec.direction with
+    | Forward -> Order.reverse_postorder order
+    | Backward -> Order.postorder order
+  in
+  let boundary_label =
+    match spec.direction with
+    | Forward -> Cfg.entry g
+    | Backward -> Cfg.exit_label g
+  in
+  let neighbors l =
+    match spec.direction with
+    | Forward -> Cfg.predecessors g l
+    | Backward -> Cfg.successors g l
+  in
+  let init () =
+    match spec.confluence with
+    | Union -> Bitvec.create spec.nbits
+    | Inter -> Bitvec.create_full spec.nbits
+  in
+  (* meet.(l): value on the meet side of block l (entry for forward, exit for
+     backward).  flow.(l): value on the other side, i.e. after the transfer. *)
+  let meet = Hashtbl.create 64 and flow = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace meet l (if Label.equal l boundary_label then Bitvec.copy spec.boundary else init ());
+      Hashtbl.replace flow l (init ()))
+    (Cfg.labels g);
+  let scratch = Bitvec.create spec.nbits in
+  let sweeps = ref 0 and visits = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr sweeps;
+    List.iter
+      (fun l ->
+        let m = Hashtbl.find meet l in
+        if not (Label.equal l boundary_label) then begin
+          (match neighbors l with
+          | [] ->
+            (* No meet inputs: blocks that cannot reach the exit (backward)
+               keep the neutral element of the confluence. *)
+            ()
+          | first :: rest ->
+            ignore (Bitvec.blit ~src:(Hashtbl.find flow first) ~dst:scratch);
+            List.iter
+              (fun nb ->
+                let v = Hashtbl.find flow nb in
+                ignore
+                  (match spec.confluence with
+                  | Union -> Bitvec.union_into ~into:scratch v
+                  | Inter -> Bitvec.inter_into ~into:scratch v))
+              rest;
+            ignore (Bitvec.blit ~src:scratch ~dst:m))
+        end;
+        let f = Hashtbl.find flow l in
+        spec.transfer l ~src:m ~dst:scratch;
+        incr visits;
+        if Bitvec.blit ~src:scratch ~dst:f then changed := true)
+      sweep_order
+  done;
+  let lookup table what l =
+    match Hashtbl.find_opt table l with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Solver.%s: unknown label B%d" what l)
+  in
+  let block_in, block_out =
+    match spec.direction with
+    | Forward -> (lookup meet "block_in", lookup flow "block_out")
+    | Backward -> (lookup flow "block_in", lookup meet "block_out")
+  in
+  { block_in; block_out; sweeps = !sweeps; visits = !visits }

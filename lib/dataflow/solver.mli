@@ -1,0 +1,40 @@
+(** Generic iterative bit-vector data-flow solver.
+
+    Solves one of the four classic problem shapes (forward/backward ×
+    union/intersection) for all expressions simultaneously, sweeping blocks
+    in reverse postorder (forward) or postorder (backward) until a fixed
+    point.  The solver reports how many sweeps and block visits it needed —
+    the cost measure used by experiment EXP-C1. *)
+
+type direction =
+  | Forward
+  | Backward
+
+type confluence =
+  | Union  (** "may" problems; interior initialized to all-zeros *)
+  | Inter  (** "must" problems; interior initialized to all-ones *)
+
+type spec = {
+  nbits : int;
+  direction : direction;
+  confluence : confluence;
+  boundary : Lcm_support.Bitvec.t;
+      (** the entry block's in-value (forward) or the exit block's out-value
+          (backward) *)
+  transfer : Lcm_cfg.Label.t -> src:Lcm_support.Bitvec.t -> dst:Lcm_support.Bitvec.t -> unit;
+      (** [transfer l ~src ~dst] writes the block's transfer applied to
+          [src] into [dst]; [dst] starts as a copy of [src]'s length, with
+          unspecified contents. *)
+}
+
+type result = {
+  block_in : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+      (** value at block entry (meet result for forward problems) *)
+  block_out : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
+      (** value at block exit (meet result for backward problems) *)
+  sweeps : int;  (** full passes over the block order, including the last, unchanged one *)
+  visits : int;  (** total transfer-function applications *)
+}
+
+(** Returned vectors are owned by the result; callers must not mutate them. *)
+val run : Lcm_cfg.Cfg.t -> spec -> result

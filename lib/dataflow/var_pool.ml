@@ -1,0 +1,44 @@
+type t = {
+  table : (string, int) Hashtbl.t;
+  mutable vars : string array;
+  mutable size : int;
+}
+
+let create () = { table = Hashtbl.create 64; vars = Array.make 16 ""; size = 0 }
+
+let add t v =
+  match Hashtbl.find_opt t.table v with
+  | Some i -> i
+  | None ->
+    if t.size = Array.length t.vars then begin
+      let bigger = Array.make (2 * Array.length t.vars) "" in
+      Array.blit t.vars 0 bigger 0 t.size;
+      t.vars <- bigger
+    end;
+    let i = t.size in
+    t.vars.(i) <- v;
+    t.size <- i + 1;
+    Hashtbl.add t.table v i;
+    i
+
+let of_list vars =
+  let t = create () in
+  List.iter (fun v -> ignore (add t v)) vars;
+  t
+
+let of_cfg g = of_list (Lcm_cfg.Cfg.all_vars g)
+
+let index t v = Hashtbl.find_opt t.table v
+
+let var t i =
+  if i < 0 || i >= t.size then invalid_arg "Var_pool.var: index out of range";
+  t.vars.(i)
+
+let size t = t.size
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    acc := (i, t.vars.(i)) :: !acc
+  done;
+  !acc

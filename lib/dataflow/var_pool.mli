@@ -1,0 +1,17 @@
+(** Dense numbering of the variables of a graph, for liveness vectors. *)
+
+type t
+
+(** [of_cfg g] numbers every variable assigned or read in [g]. *)
+val of_cfg : Lcm_cfg.Cfg.t -> t
+
+(** [of_list vars] numbers the given variables (duplicates collapse). *)
+val of_list : string list -> t
+
+(** [add t v] registers [v] if new; returns its index either way. *)
+val add : t -> string -> int
+
+val index : t -> string -> int option
+val var : t -> int -> string
+val size : t -> int
+val to_list : t -> (int * string) list

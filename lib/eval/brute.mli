@@ -1,0 +1,39 @@
+(** Brute-force enumeration of all edge placements of a single expression.
+
+    On tiny graphs whose only candidate expression is one binary operation,
+    every subset of flow edges is tried as an insertion set; deletions are
+    then maximal (an upwards-exposed computation is deleted whenever the
+    expression is available-with-insertions at its entry).  Candidates that
+    fail the per-path safety check are discarded.  What remains is the full
+    space of admissible code motions the paper quantifies over, so
+    computational and lifetime optimality of LCM can be checked against it
+    directly. *)
+
+type candidate = {
+  insert_edges : (Lcm_cfg.Label.t * Lcm_cfg.Label.t) list;
+  transformed : Lcm_cfg.Cfg.t;
+  report : Lcm_core.Transform.report;
+  safe : bool;  (** per-path counts never exceed the original's *)
+}
+
+(** All [2^edges] candidates of [g].  Raises [Invalid_argument] when [g] has
+    more than [max_edges] (default 12) edges or more than one candidate
+    expression. *)
+val enumerate : ?max_edges:int -> ?max_decisions:int -> Lcm_cfg.Cfg.t -> candidate list
+
+(** [check_computational_optimality g ~transformed]: on every path, the
+    given transformed graph evaluates at most as many computations as every
+    safe candidate. *)
+val check_computational_optimality :
+  ?max_edges:int -> ?max_decisions:int -> Lcm_cfg.Cfg.t -> transformed:Lcm_cfg.Cfg.t -> (unit, string) result
+
+(** [check_lifetime_optimality g ~transformed ~temps]: among safe candidates
+    that are themselves computationally optimal (path-count-equal to
+    [transformed]), none has a strictly smaller total temporary lifetime. *)
+val check_lifetime_optimality :
+  ?max_edges:int ->
+  ?max_decisions:int ->
+  Lcm_cfg.Cfg.t ->
+  transformed:Lcm_cfg.Cfg.t ->
+  temps:string list ->
+  (unit, string) result

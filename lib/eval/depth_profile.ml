@@ -1,0 +1,47 @@
+module Cfg = Lcm_cfg.Cfg
+module Loop = Lcm_cfg.Loop
+module Instr = Lcm_ir.Instr
+
+type t = {
+  static_by_depth : int array;
+  dynamic_by_depth : int array option;
+}
+
+let candidates_in g l =
+  List.length (List.filter (fun i -> Option.is_some (Instr.candidate i)) (Cfg.instrs g l))
+
+let collect ?fuel ?envs ~pool g =
+  let loops = Loop.compute g in
+  let depth_of l = Loop.depth loops l in
+  let deepest = List.fold_left (fun acc l -> max acc (depth_of l)) 0 (Cfg.labels g) in
+  let static_by_depth = Array.make (deepest + 1) 0 in
+  List.iter
+    (fun l ->
+      let d = depth_of l in
+      static_by_depth.(d) <- static_by_depth.(d) + candidates_in g l)
+    (Cfg.labels g);
+  let dynamic_by_depth =
+    match envs with
+    | None -> None
+    | Some envs ->
+      let acc = Array.make (deepest + 1) 0 in
+      let ok =
+        List.for_all
+          (fun env ->
+            let o = Interp.run ?fuel ~pool ~env g in
+            if not o.Interp.terminated then false
+            else begin
+              List.iter
+                (fun (l, visits) ->
+                  let d = depth_of l in
+                  acc.(d) <- acc.(d) + (visits * candidates_in g l))
+                o.Interp.block_visits;
+              true
+            end)
+          envs
+      in
+      if ok then Some acc else None
+  in
+  { static_by_depth; dynamic_by_depth }
+
+let max_depth t = Array.length t.static_by_depth - 1

@@ -1,0 +1,22 @@
+(** Loop-depth profiles of candidate computations.
+
+    The classic narrative for PRE is "computations move out of loops";
+    this module measures it directly: how many static candidate
+    occurrences sit at each loop-nesting depth, and how many dynamic
+    evaluations happen there.  Comparing the profile of a graph before
+    and after a transformation shows where the work went. *)
+
+type t = {
+  static_by_depth : int array;  (** occurrences at depth 0, 1, 2, ... *)
+  dynamic_by_depth : int array option;
+      (** evaluations per depth, summed over the supplied runs; [None]
+          when a run exhausted its fuel *)
+}
+
+(** [collect ?envs ~pool g] computes the static profile, and the dynamic
+    one when [envs] is given. *)
+val collect :
+  ?fuel:int -> ?envs:(string * int) list list -> pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> t
+
+(** Depths are padded to the same length for display. *)
+val max_depth : t -> int

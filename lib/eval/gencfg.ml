@@ -1,0 +1,186 @@
+module Prng = Lcm_support.Prng
+module Ast = Lcm_ir.Ast
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Validate = Lcm_cfg.Validate
+
+type func_params = {
+  num_stmts : int;
+  max_depth : int;
+  num_vars : int;
+  loop_bound : int;
+}
+
+let default_func_params = { num_stmts = 5; max_depth = 3; num_vars = 5; loop_bound = 4 }
+
+let alphabet = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" |]
+
+let variables params = Array.sub alphabet 0 (min params.num_vars (Array.length alphabet))
+
+let func_inputs params = Array.to_list (variables params)
+
+let random_env rng params = List.map (fun v -> (v, Prng.int_in rng (-8) 8)) (func_inputs params)
+
+(* Expressions stay shallow so that candidate expressions repeat often —
+   partial redundancies need repeated syntactic expressions to exist. *)
+let random_atom rng vars =
+  if Prng.chance rng ~num:4 ~den:5 then Ast.Var (Prng.choose rng vars) else Ast.Int (Prng.int_in rng 0 5)
+
+let random_binop rng =
+  Prng.choose rng [| Expr.Add; Expr.Add; Expr.Add; Expr.Sub; Expr.Mul; Expr.Lt; Expr.Eq |]
+
+let random_expr rng vars =
+  match Prng.int rng 10 with
+  | 0 -> random_atom rng vars
+  | 1 -> Ast.Unary (Expr.Neg, random_atom rng vars)
+  | _ -> Ast.Binary (random_binop rng, random_atom rng vars, random_atom rng vars)
+
+let random_cond rng vars =
+  Ast.Binary
+    ( Prng.choose rng [| Expr.Lt; Expr.Le; Expr.Gt; Expr.Eq; Expr.Ne |],
+      random_atom rng vars,
+      random_atom rng vars )
+
+let rec random_stmts rng params vars depth counter_id budget =
+  if budget <= 0 then []
+  else begin
+    let stmt, cost =
+      match Prng.int rng (if depth > 0 then 8 else 5) with
+      | 0 | 1 | 2 -> (Ast.Assign (Prng.choose rng vars, random_expr rng vars), 1)
+      | 3 -> (Ast.Print (random_atom rng vars), 1)
+      | 4 -> (Ast.Assign (Prng.choose rng vars, random_expr rng vars), 1)
+      | 5 ->
+        let then_b = random_stmts rng params vars (depth - 1) counter_id (budget / 2) in
+        let else_b =
+          if Prng.bool rng then [] else random_stmts rng params vars (depth - 1) counter_id (budget / 2)
+        in
+        (Ast.If (random_cond rng vars, then_b, else_b), 2)
+      | 6 ->
+        (* Counted loop: the counter is reserved, so termination is certain. *)
+        let k = Printf.sprintf "k%d" !counter_id in
+        incr counter_id;
+        let body = random_stmts rng params vars (depth - 1) counter_id (budget / 2) in
+        let body = body @ [ Ast.Assign (k, Ast.Binary (Expr.Add, Ast.Var k, Ast.Int 1)) ] in
+        ( Ast.If
+            ( Ast.Int 1,
+              [
+                Ast.Assign (k, Ast.Int 0);
+                Ast.While (Ast.Binary (Expr.Lt, Ast.Var k, Ast.Int params.loop_bound), body);
+              ],
+              [] ),
+          3 )
+      | _ ->
+        let k = Printf.sprintf "k%d" !counter_id in
+        incr counter_id;
+        let body = random_stmts rng params vars (depth - 1) counter_id (budget / 2) in
+        let body = body @ [ Ast.Assign (k, Ast.Binary (Expr.Add, Ast.Var k, Ast.Int 1)) ] in
+        ( Ast.If
+            ( Ast.Int 1,
+              [
+                Ast.Assign (k, Ast.Int 0);
+                Ast.Do_while (body, Ast.Binary (Expr.Lt, Ast.Var k, Ast.Int params.loop_bound));
+              ],
+              [] ),
+          3 )
+    in
+    stmt :: random_stmts rng params vars depth counter_id (budget - cost)
+  end
+
+let random_func ?(params = default_func_params) rng =
+  let vars = variables params in
+  let counter_id = ref 0 in
+  let body = random_stmts rng params vars params.max_depth counter_id params.num_stmts in
+  let body = body @ [ Ast.Return (random_expr rng vars) ] in
+  { Ast.name = "generated"; params = func_inputs params; body }
+
+type cfg_params = {
+  num_blocks : int;
+  max_instrs_per_block : int;
+  branch_bias : int;
+  backedge_bias : int;
+}
+
+let default_cfg_params = { num_blocks = 8; max_instrs_per_block = 3; branch_bias = 50; backedge_bias = 25 }
+
+let random_instr rng vars =
+  match Prng.int rng 6 with
+  | 0 ->
+    (* A kill: assign an atom. *)
+    Instr.Assign (Prng.choose rng vars, Expr.Atom (Expr.Var (Prng.choose rng vars)))
+  | 1 -> Instr.Assign (Prng.choose rng vars, Expr.Atom (Expr.Const (Prng.int_in rng 0 5)))
+  | _ ->
+    let op = Prng.choose rng [| Expr.Add; Expr.Add; Expr.Sub; Expr.Mul |] in
+    let a = Expr.Var (Prng.choose rng vars) in
+    let b = if Prng.chance rng ~num:3 ~den:4 then Expr.Var (Prng.choose rng vars) else Expr.Const (Prng.int_in rng 1 3) in
+    Instr.Assign (Prng.choose rng vars, Expr.Binary (op, a, b))
+
+let random_cfg ?(params = default_cfg_params) rng =
+  let vars = [| "a"; "b"; "c"; "d" |] in
+  let g = Cfg.create ~name:"random" () in
+  let n = max 1 params.num_blocks in
+  let blocks = Array.init n (fun _ -> Cfg.add_block g ~instrs:[] ~term:Cfg.Halt) in
+  let next i = if i + 1 < n then blocks.(i + 1) else Cfg.exit_label g in
+  let random_target rng i =
+    (* Mostly forward targets; occasional back edges build loops. *)
+    if Prng.chance rng ~num:params.backedge_bias ~den:100 then blocks.(Prng.int rng n)
+    else begin
+      let lo = min (i + 1) (n - 1) in
+      if i + 1 >= n then Cfg.exit_label g else blocks.(Prng.int_in rng lo (n - 1))
+    end
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto blocks.(0));
+  (* The entry block may legally carry instructions (block merging and
+     entry insertions put them there); generate that case too — it has
+     boundary-condition pitfalls of its own. *)
+  if Prng.chance rng ~num:1 ~den:3 then
+    Cfg.set_instrs g (Cfg.entry g) (List.init (Prng.int_in rng 1 2) (fun _ -> random_instr rng vars));
+  Array.iteri
+    (fun i l ->
+      let instrs =
+        List.init (Prng.int rng (params.max_instrs_per_block + 1)) (fun _ -> random_instr rng vars)
+      in
+      Cfg.set_instrs g l instrs;
+      (* The fall-through edge to [next i] guarantees that every block
+         reaches the exit. *)
+      let term =
+        if Prng.chance rng ~num:params.branch_bias ~den:100 then
+          Cfg.Branch (Expr.Var (Prng.choose rng vars), random_target rng i, next i)
+        else Cfg.Goto (next i)
+      in
+      Cfg.set_term g l term)
+    blocks;
+  Validate.check_exn g;
+  g
+
+let random_single_expr_cfg ?(blocks = 5) rng =
+  let blocks = max 2 (min blocks 6) in
+  let g = Cfg.create ~name:"single-expr" () in
+  let arr = Array.init blocks (fun _ -> Cfg.add_block g ~instrs:[] ~term:Cfg.Halt) in
+  let next i = if i + 1 < blocks then arr.(i + 1) else Cfg.exit_label g in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto arr.(0));
+  Array.iteri
+    (fun i l ->
+      let instrs =
+        List.concat
+          (List.init 2 (fun _ ->
+               match Prng.int rng 5 with
+               | 0 | 1 -> [ Instr.Assign ("x", Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")) ]
+               | 2 -> [ Instr.Assign ("a", Expr.Atom (Expr.Const (Prng.int_in rng 0 3))) ]
+               | 3 -> [ Instr.Assign ("c", Expr.Atom (Expr.Var "x")) ]
+               | _ -> []))
+      in
+      Cfg.set_instrs g l instrs;
+      let term =
+        if Prng.bool rng then
+          Cfg.Branch
+            ( Expr.Var "c",
+              (if Prng.chance rng ~num:1 ~den:4 then arr.(Prng.int rng blocks) else next i),
+              next i )
+        else Cfg.Goto (next i)
+      in
+      Cfg.set_term g l term)
+    arr;
+  Validate.check_exn g;
+  g

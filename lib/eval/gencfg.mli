@@ -1,0 +1,42 @@
+(** Random workload generators.
+
+    Three families, all deterministic from a {!Lcm_support.Prng.t}:
+    - {!random_func}: structured, always-terminating MiniImp functions, for
+      interpreter-based semantic equivalence checks;
+    - {!random_cfg}: raw block graphs with arbitrary (also critical and
+      irreducible) edges, for trace-based path checks — every block is
+      reachable and reaches the exit by construction;
+    - {!random_single_expr_cfg}: tiny graphs exercising one candidate
+      expression, small enough for brute-force enumeration of all
+      placements. *)
+
+type func_params = {
+  num_stmts : int;  (** statements per block of structure *)
+  max_depth : int;  (** nesting depth of if/while *)
+  num_vars : int;  (** size of the variable alphabet (max 8) *)
+  loop_bound : int;  (** iterations of generated counted loops *)
+}
+
+val default_func_params : func_params
+
+(** Input parameters of generated functions (callers should bind these). *)
+val func_inputs : func_params -> string list
+
+val random_func : ?params:func_params -> Lcm_support.Prng.t -> Lcm_ir.Ast.func
+
+(** [random_env rng params] is a random binding for {!func_inputs}. *)
+val random_env : Lcm_support.Prng.t -> func_params -> (string * int) list
+
+type cfg_params = {
+  num_blocks : int;
+  max_instrs_per_block : int;
+  branch_bias : int;  (** percent of blocks ending in a two-way branch *)
+  backedge_bias : int;  (** percent of branch targets allowed to point backwards *)
+}
+
+val default_cfg_params : cfg_params
+val random_cfg : ?params:cfg_params -> Lcm_support.Prng.t -> Lcm_cfg.Cfg.t
+
+(** Tiny graph whose only candidate expression is [a + b], with random
+    kills of [a]; at most [blocks] (≤ 6) interior blocks. *)
+val random_single_expr_cfg : ?blocks:int -> Lcm_support.Prng.t -> Lcm_cfg.Cfg.t

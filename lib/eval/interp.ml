@@ -1,0 +1,131 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Instr = Lcm_ir.Instr
+
+type outcome = {
+  return_value : int option;
+  prints : int list;
+  eval_counts : int array;
+  unknown_evals : int;
+  steps : int;
+  blocks_visited : int;
+  block_visits : (Label.t * int) list;
+  undefined_reads : string list;
+  terminated : bool;
+}
+
+let total_evals o = Array.fold_left ( + ) o.unknown_evals o.eval_counts
+
+type state = {
+  env : (string, int) Hashtbl.t;
+  mutable prints_rev : int list;
+  mutable unknown_evals : int;
+  mutable steps : int;
+  mutable blocks_visited : int;
+  mutable undefined_rev : string list;
+  undefined_seen : (string, unit) Hashtbl.t;
+  counts : int array;
+  pool : Expr_pool.t;
+}
+
+let read st v =
+  match Hashtbl.find_opt st.env v with
+  | Some x -> x
+  | None ->
+    if not (Hashtbl.mem st.undefined_seen v) then begin
+      Hashtbl.add st.undefined_seen v ();
+      st.undefined_rev <- v :: st.undefined_rev
+    end;
+    0
+
+let operand st = function
+  | Expr.Var v -> read st v
+  | Expr.Const n -> n
+
+let eval_expr st e =
+  (match Expr_pool.index st.pool e with
+  | Some idx when Expr.is_candidate e -> st.counts.(idx) <- st.counts.(idx) + 1
+  | Some _ | None -> if Expr.is_candidate e then st.unknown_evals <- st.unknown_evals + 1);
+  match e with
+  | Expr.Atom a -> operand st a
+  | Expr.Unary (op, a) -> Expr.eval_unop op (operand st a)
+  | Expr.Binary (op, a, b) -> Expr.eval_binop op (operand st a) (operand st b)
+
+let exec_instr st = function
+  | Instr.Assign (v, e) ->
+    let x = eval_expr st e in
+    Hashtbl.replace st.env v x
+  | Instr.Print a -> st.prints_rev <- operand st a :: st.prints_rev
+
+let run ?(fuel = 100_000) ~pool ~env g =
+  let st =
+    {
+      env = Hashtbl.create 64;
+      prints_rev = [];
+      unknown_evals = 0;
+      steps = 0;
+      blocks_visited = 0;
+      undefined_rev = [];
+      undefined_seen = Hashtbl.create 16;
+      counts = Array.make (Expr_pool.size pool) 0;
+      pool;
+    }
+  in
+  List.iter (fun (v, x) -> Hashtbl.replace st.env v x) env;
+  let exit_label = Cfg.exit_label g in
+  let visits = Hashtbl.create 32 in
+  let rec step l budget =
+    if budget <= 0 then false
+    else begin
+      st.blocks_visited <- st.blocks_visited + 1;
+      Hashtbl.replace visits l (Option.value ~default:0 (Hashtbl.find_opt visits l) + 1);
+      let rec body budget = function
+        | [] -> Some budget
+        | i :: rest ->
+          if budget <= 0 then None
+          else begin
+            st.steps <- st.steps + 1;
+            exec_instr st i;
+            body (budget - 1) rest
+          end
+      in
+      match body budget (Cfg.instrs g l) with
+      | None -> false
+      | Some budget ->
+        if Label.equal l exit_label then true
+        else begin
+          match Cfg.term g l with
+          | Cfg.Goto m -> step m (budget - 1)
+          | Cfg.Branch (c, a, b) -> step (if operand st c <> 0 then a else b) (budget - 1)
+          | Cfg.Halt -> true
+        end
+    end
+  in
+  let terminated = step (Cfg.entry g) fuel in
+  {
+    return_value = Hashtbl.find_opt st.env Lower.return_var;
+    prints = List.rev st.prints_rev;
+    eval_counts = st.counts;
+    unknown_evals = st.unknown_evals;
+    steps = st.steps;
+    blocks_visited = st.blocks_visited;
+    block_visits =
+      List.filter_map
+        (fun l -> Option.map (fun n -> (l, n)) (Hashtbl.find_opt visits l))
+        (Cfg.labels g);
+    undefined_reads = List.rev st.undefined_rev;
+    terminated;
+  }
+
+let same_behaviour a b =
+  a.return_value = b.return_value && a.prints = b.prints && a.terminated = b.terminated
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "return=%s prints=[%s] evals=%d steps=%d%s"
+    (match o.return_value with Some v -> string_of_int v | None -> "none")
+    (String.concat "; " (List.map string_of_int o.prints))
+    (total_evals o) o.steps
+    (if o.terminated then "" else " (fuel exhausted)")

@@ -1,0 +1,40 @@
+(** Concrete interpreter for control-flow graphs.
+
+    The paper's theorems talk about the number of computations executed on
+    program paths; the interpreter makes those numbers measurable.  It runs
+    a graph on an initial environment, counting every evaluation of a
+    candidate expression, and records everything observable so that
+    semantic equivalence of original and transformed graphs can be checked
+    exactly.
+
+    Arithmetic is total: division and modulo by zero yield 0, so any
+    placement of a computation is trap-free and "safety" means what it
+    means in the paper — never executing more computations than the
+    original on any path. *)
+
+type outcome = {
+  return_value : int option;  (** value of the return variable at exit, when defined *)
+  prints : int list;  (** observable output, in order *)
+  eval_counts : int array;  (** per expression index of the supplied pool *)
+  unknown_evals : int;  (** candidate evaluations of expressions outside the pool *)
+  steps : int;  (** instructions executed *)
+  blocks_visited : int;
+  block_visits : (Lcm_cfg.Label.t * int) list;  (** visit count per block, label order *)
+  undefined_reads : string list;  (** variables read before any write, deduplicated, in first-read order *)
+  terminated : bool;  (** reached the exit before the fuel ran out *)
+}
+
+(** Total candidate evaluations ([eval_counts] summed plus [unknown_evals]). *)
+val total_evals : outcome -> int
+
+(** [run ~pool ~env g] executes [g] from the entry with initial variable
+    bindings [env].  [fuel] (default 100_000) bounds executed instructions
+    plus block transitions. *)
+val run :
+  ?fuel:int -> pool:Lcm_ir.Expr_pool.t -> env:(string * int) list -> Lcm_cfg.Cfg.t -> outcome
+
+(** Equality of observable behaviour: return value, prints, and termination
+    flag. *)
+val same_behaviour : outcome -> outcome -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit

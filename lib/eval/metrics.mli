@@ -1,0 +1,28 @@
+(** Static and dynamic measurements used by the experiment tables. *)
+
+type static_counts = {
+  blocks : int;
+  instrs : int;
+  candidate_occurrences : int;  (** static computations of candidate expressions *)
+  copies_and_moves : int;  (** atom-assignments (register moves) *)
+}
+
+val static_counts : Lcm_cfg.Cfg.t -> static_counts
+
+(** [dynamic_evals ~pool ~envs g] sums candidate evaluations of interpreter
+    runs over the given environments; [None] when some run did not
+    terminate. *)
+val dynamic_evals :
+  ?fuel:int -> pool:Lcm_ir.Expr_pool.t -> envs:(string * int) list list -> Lcm_cfg.Cfg.t -> int option
+
+(** Total temporary lifetime: sum over the given temp variables of the
+    number of block boundaries at which they are live.  Smaller is better;
+    this is the quantity the paper's lifetime-optimality theorem orders. *)
+val temp_lifetime : Lcm_cfg.Cfg.t -> temps:string list -> int
+
+(** Maximum number of simultaneously live variables at any block boundary
+    (a coarse register-pressure proxy). *)
+val max_pressure : Lcm_cfg.Cfg.t -> int
+
+(** Temps of a transformation report that were actually inserted. *)
+val temps_of_report : Lcm_core.Transform.report -> string list

@@ -1,0 +1,109 @@
+module Prng = Lcm_support.Prng
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Expr_pool = Lcm_ir.Expr_pool
+
+let semantics ?(fuel = 200_000) ?(runs = 30) ~inputs rng ~original ~transformed =
+  let pool = Cfg.candidate_pool original in
+  let rec go k =
+    if k = 0 then Ok ()
+    else begin
+      let env = List.map (fun v -> (v, Prng.int_in rng (-10) 10)) inputs in
+      let a = Interp.run ~fuel ~pool ~env original in
+      let b = Interp.run ~fuel ~pool ~env transformed in
+      if not (a.Interp.terminated && b.Interp.terminated) then go (k - 1)
+      else if not (Interp.same_behaviour a b) then
+        Error
+          (Format.asprintf "behaviour differs on env [%s]: original %a, transformed %a"
+             (String.concat "; " (List.map (fun (v, x) -> Printf.sprintf "%s=%d" v x) env))
+             Interp.pp_outcome a Interp.pp_outcome b)
+      else go (k - 1)
+    end
+  in
+  go runs
+
+(* Variables read before any write along a concrete block path. *)
+let undefined_reads_along g blocks ~inputs =
+  let defined = Hashtbl.create 32 in
+  List.iter (fun v -> Hashtbl.replace defined v ()) inputs;
+  let bad = ref [] in
+  let use v = if not (Hashtbl.mem defined v) && not (List.mem v !bad) then bad := v :: !bad in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun i ->
+          List.iter use (Instr.uses i);
+          match Instr.defs i with
+          | Some v -> Hashtbl.replace defined v ()
+          | None -> ())
+        (Cfg.instrs g l);
+      match Cfg.term g l with
+      | Cfg.Branch (Expr.Var v, _, _) -> use v
+      | Cfg.Branch (Expr.Const _, _, _) | Cfg.Goto _ | Cfg.Halt -> ())
+    blocks;
+  List.rev !bad
+
+let for_all_paths ?(max_decisions = 10) ~original check =
+  let seqs = Trace.enumerate original ~max_decisions in
+  let rec go = function
+    | [] -> Ok ()
+    | seq :: rest ->
+      (match check seq with
+      | Ok () -> go rest
+      | Error _ as e -> e)
+  in
+  go seqs
+
+let no_undefined_temp_reads ?max_decisions ~inputs ~original transformed =
+  let pool = Cfg.candidate_pool original in
+  for_all_paths ?max_decisions ~original (fun seq ->
+      let a = Trace.replay ~pool original seq in
+      let b = Trace.replay ~pool transformed seq in
+      if not b.Trace.completed then
+        Error
+          (Printf.sprintf "path [%s] completes on the original but not the transformed graph"
+             (String.concat "" (List.map (fun d -> if d then "1" else "0") seq)))
+      else begin
+        let bad_a = undefined_reads_along original a.Trace.blocks ~inputs in
+        let bad_b = undefined_reads_along transformed b.Trace.blocks ~inputs in
+        match List.filter (fun v -> not (List.mem v bad_a)) bad_b with
+        | [] -> Ok ()
+        | extra ->
+          Error
+            (Printf.sprintf "path [%s]: transformed graph reads undefined %s"
+               (String.concat "" (List.map (fun d -> if d then "1" else "0") seq))
+               (String.concat ", " extra))
+      end)
+
+let safety ?max_decisions ~pool ~original transformed =
+  for_all_paths ?max_decisions ~original (fun seq ->
+      let a = Trace.replay ~pool original seq in
+      let b = Trace.replay ~pool transformed seq in
+      if not b.Trace.completed then
+        Error (Printf.sprintf "path does not complete on transformed graph (%d decisions)" (List.length seq))
+      else if not (Trace.counts_dominate b.Trace.eval_counts a.Trace.eval_counts) then
+        Error
+          (Format.asprintf "path [%s]: transformed counts %s exceed original %s"
+             (String.concat "" (List.map (fun d -> if d then "1" else "0") seq))
+             (String.concat "," (Array.to_list (Array.map string_of_int b.Trace.eval_counts)))
+             (String.concat "," (Array.to_list (Array.map string_of_int a.Trace.eval_counts))))
+      else Ok ())
+
+let computations_leq ?max_decisions ~pool a b =
+  for_all_paths ?max_decisions ~original:a (fun seq ->
+      let ra = Trace.replay ~pool a seq in
+      let rb = Trace.replay ~pool b seq in
+      if not (ra.Trace.completed && rb.Trace.completed) then Ok ()
+      else begin
+        (* Grand totals: a transformation may have renamed operands, taking
+           its computations out of the pool's syntactic universe. *)
+        let ta = Trace.grand_total ra and tb = Trace.grand_total rb in
+        if ta <= tb then Ok ()
+        else
+          Error
+            (Printf.sprintf "path [%s]: left graph evaluates %d computations, right %d"
+               (String.concat "" (List.map (fun d -> if d then "1" else "0") seq))
+               ta tb)
+      end)

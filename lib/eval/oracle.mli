@@ -1,0 +1,53 @@
+(** Checkable statements of the paper's theorems.
+
+    Each check returns [Ok ()] or [Error message] with a concrete
+    counterexample description, so property tests can both assert and
+    explain. *)
+
+(** [semantics ~inputs ~runs rng ~original ~transformed] interprets both
+    graphs on [runs] random environments over [inputs] and compares
+    observable behaviour (return value, print trace, termination).  Runs in
+    which either side exhausts its fuel are skipped. *)
+val semantics :
+  ?fuel:int ->
+  ?runs:int ->
+  inputs:string list ->
+  Lcm_support.Prng.t ->
+  original:Lcm_cfg.Cfg.t ->
+  transformed:Lcm_cfg.Cfg.t ->
+  (unit, string) result
+
+(** [no_undefined_temp_reads ~pool ~original ~transformed] replays every
+    path (decision sequence up to [max_decisions]) and fails if the
+    transformed graph reads a variable that the original never reads and
+    that was never written — i.e. an inserted temporary used before being
+    set. *)
+val no_undefined_temp_reads :
+  ?max_decisions:int ->
+  inputs:string list ->
+  original:Lcm_cfg.Cfg.t ->
+  Lcm_cfg.Cfg.t ->
+  (unit, string) result
+
+(** Safety (paper Theorem "BCM/LCM are admissible"): on every path, the
+    transformed graph evaluates each candidate expression at most as often
+    as the original.  Paths are decision sequences over the original graph,
+    replayed on the transformed one. *)
+val safety :
+  ?max_decisions:int ->
+  pool:Lcm_ir.Expr_pool.t ->
+  original:Lcm_cfg.Cfg.t ->
+  Lcm_cfg.Cfg.t ->
+  (unit, string) result
+
+(** [computations_leq ~pool a b] — on every path, graph [a] evaluates at
+    most as many candidate computations (totalled over expressions) as
+    graph [b].  Both graphs must replay the decision sequences of [a]'s
+    enumeration; used to compare two transformations of the same original
+    (computational optimality, paper Theorem 2). *)
+val computations_leq :
+  ?max_decisions:int ->
+  pool:Lcm_ir.Expr_pool.t ->
+  Lcm_cfg.Cfg.t ->
+  Lcm_cfg.Cfg.t ->
+  (unit, string) result

@@ -1,0 +1,98 @@
+module Cfg = Lcm_cfg.Cfg
+module Lcm_edge = Lcm_core.Lcm_edge
+module Bcm_edge = Lcm_core.Bcm_edge
+module Lcm_node = Lcm_core.Lcm_node
+module Morel_renvoise = Lcm_baselines.Morel_renvoise
+module Gcse = Lcm_baselines.Gcse
+module Licm = Lcm_baselines.Licm
+module Lcse = Lcm_opt.Lcse
+module Cleanup = Lcm_opt.Cleanup
+module Strength_reduction = Lcm_opt.Strength_reduction
+
+type entry = {
+  name : string;
+  description : string;
+  is_paper_algorithm : bool;
+  speculative : bool;
+  preserves_expressions : bool;
+  run : Cfg.t -> Cfg.t;
+}
+
+let plain name description run =
+  { name; description; is_paper_algorithm = false; speculative = false; preserves_expressions = true; run }
+
+let paper name description run =
+  { name; description; is_paper_algorithm = true; speculative = false; preserves_expressions = true; run }
+
+let all =
+  [
+    plain "identity" "no transformation" Cfg.copy;
+    plain "lcse" "local value numbering with temporaries" (fun g -> fst (Lcse.run g));
+    plain "gcse" "global CSE: full redundancies only (AVAIL-based)" (fun g -> fst (Gcse.transform g));
+    {
+      name = "licm";
+      description = "dominator-based loop-invariant code motion (speculative)";
+      is_paper_algorithm = false;
+      speculative = true;
+      preserves_expressions = true;
+      run = (fun g -> fst (Licm.transform g));
+    };
+    {
+      name = "strength-reduction";
+      description = "loop strength reduction of induction-variable multiplications (speculative)";
+      is_paper_algorithm = false;
+      speculative = true;
+      preserves_expressions = true;
+      run = (fun g -> fst (Strength_reduction.run g));
+    };
+    {
+      name = "ssa-dvnt";
+      description = "dominator-based value numbering over SSA form";
+      is_paper_algorithm = false;
+      speculative = false;
+      preserves_expressions = false;
+      run = (fun g -> fst (Lcm_ssa.Dvnt.pass g));
+    };
+    plain "morel-renvoise" "Morel-Renvoise 1979 bidirectional PRE" (fun g ->
+        fst (Morel_renvoise.transform g));
+    paper "bcm-edge" "Busy Code Motion, edge insertions (earliest placement)" (fun g ->
+        fst (Bcm_edge.transform g));
+    paper "lcm-edge" "Lazy Code Motion, edge insertions (the paper's algorithm, practical form)"
+      (fun g -> fst (Lcm_edge.transform g));
+    paper "lcm-block" "Lazy Code Motion with entry/exit placements on a pre-split graph (TOPLAS form)"
+      (fun g -> fst (Lcm_core.Lcm_block.transform g));
+    {
+      name = "lcm-cleanup";
+      description = "lcm-edge followed by the copy-prop/fold/DCE cleanup pipeline";
+      is_paper_algorithm = true;
+      speculative = false;
+      preserves_expressions = false;
+      run = (fun g -> fst (Cleanup.run (fst (Lcm_edge.transform g))));
+    };
+    {
+      name = "lcm-iterated";
+      description = "lcm-edge and cleanup repeated: copy propagation exposes value redundancies to the next round";
+      is_paper_algorithm = false;
+      speculative = false;
+      preserves_expressions = false;
+      run =
+        (fun g ->
+          let round h = fst (Cleanup.run (fst (Lcm_edge.transform h))) in
+          round (round g));
+    };
+    paper "bcm-node" "Busy Code Motion, node form of PLDI 1992" (fun g ->
+        fst (Lcm_node.transform Lcm_node.Bcm g));
+    paper "alcm-node" "Almost-lazy Code Motion (no isolation pruning)" (fun g ->
+        fst (Lcm_node.transform Lcm_node.Alcm g));
+    paper "lcm-node" "Lazy Code Motion, node form of PLDI 1992" (fun g ->
+        fst (Lcm_node.transform Lcm_node.Lcm g));
+  ]
+
+let safe = List.filter (fun e -> not e.speculative) all
+let paper_algorithms = List.filter (fun e -> e.is_paper_algorithm) all
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+let names () = List.map (fun e -> e.name) all
+
+let new_temps ~original ~transformed =
+  let old_vars = Cfg.all_vars original in
+  List.filter (fun v -> not (List.mem v old_vars)) (Cfg.all_vars transformed)

@@ -1,0 +1,328 @@
+module Prng = Lcm_support.Prng
+module Lower = Lcm_cfg.Lower
+module Lcse = Lcm_opt.Lcse
+
+type workload = {
+  name : string;
+  description : string;
+  source : string;
+  inputs : string list;
+}
+
+let all =
+  [
+    {
+      name = "diamond";
+      description = "partial redundancy across a branch: a+b computed in one arm and after the join";
+      inputs = [ "a"; "b"; "p" ];
+      source =
+        {|
+function diamond(a, b, p) {
+  if (p > 0) {
+    x = a + b;
+  } else {
+    x = 1;
+  }
+  y = a + b;
+  return x + y;
+}
+|};
+    };
+    {
+      name = "loop_invariant";
+      description = "a*b recomputed every iteration; the motivating case for motion out of loops";
+      inputs = [ "a"; "b"; "n" ];
+      source =
+        {|
+function loop_invariant(a, b, n) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    t = a * b;
+    s = s + t;
+    i = i + 1;
+  }
+  return s;
+}
+|};
+    };
+    {
+      name = "guarded_invariant";
+      description = "invariant computed only under a loop-carried guard: hoisting it is speculative";
+      inputs = [ "a"; "b"; "n"; "p" ];
+      source =
+        {|
+function guarded_invariant(a, b, n, p) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    if (p > 0) {
+      t = a * b;
+      s = s + t;
+    }
+    i = i + 1;
+  }
+  return s;
+}
+|};
+    };
+    {
+      name = "nested_loops";
+      description = "two nesting levels with invariants at each level";
+      inputs = [ "a"; "b"; "n"; "m" ];
+      source =
+        {|
+function nested_loops(a, b, n, m) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    u = a + b;
+    j = 0;
+    while (j < m) {
+      v = a * b;
+      w = u + v;
+      s = s + w;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return s;
+}
+|};
+    };
+    {
+      name = "cse_chain";
+      description = "straight-line code with globally repeated subexpressions";
+      inputs = [ "a"; "b"; "c" ];
+      source =
+        {|
+function cse_chain(a, b, c) {
+  x = a + b;
+  y = b * c;
+  z = a + b;
+  w = b * c;
+  v = x + y;
+  u = z + w;
+  return v + u;
+}
+|};
+    };
+    {
+      name = "kill_and_recompute";
+      description = "operand kills between occurrences limit what any PRE may remove";
+      inputs = [ "a"; "b"; "p" ];
+      source =
+        {|
+function kill_and_recompute(a, b, p) {
+  x = a + b;
+  a = a + 1;
+  y = a + b;
+  if (p > 0) {
+    a = a + 2;
+  }
+  z = a + b;
+  return x + y + z;
+}
+|};
+    };
+    {
+      name = "two_arm_redundancy";
+      description = "both arms compute a+b, the join recomputes: full redundancy at the join";
+      inputs = [ "a"; "b"; "p" ];
+      source =
+        {|
+function two_arm_redundancy(a, b, p) {
+  if (p > 0) {
+    x = a + b;
+  } else {
+    x = a + b;
+  }
+  y = a + b;
+  return x + y;
+}
+|};
+    };
+    {
+      name = "loop_with_exit_use";
+      description = "value needed both inside the loop and after it";
+      inputs = [ "a"; "b"; "n" ];
+      source =
+        {|
+function loop_with_exit_use(a, b, n) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + (a * b);
+    i = i + 1;
+  }
+  r = a * b;
+  return s + r;
+}
+|};
+    };
+    {
+      name = "deep_branches";
+      description = "many join points; exercises LATER propagation over long chains";
+      inputs = [ "a"; "b"; "p"; "q"; "r" ];
+      source =
+        {|
+function deep_branches(a, b, p, q, r) {
+  s = 0;
+  if (p > 0) {
+    s = a + b;
+  } else {
+    s = 1;
+  }
+  if (q > 0) {
+    s = s + (a + b);
+  } else {
+    s = s + 2;
+  }
+  if (r > 0) {
+    s = s + (a + b);
+  } else {
+    s = s + 3;
+  }
+  return s;
+}
+|};
+    };
+    {
+      name = "do_while_invariant";
+      description = "do-while with an invariant: at least one evaluation is always needed";
+      inputs = [ "a"; "b"; "n" ];
+      source =
+        {|
+function do_while_invariant(a, b, n) {
+  s = 0;
+  i = 0;
+  do {
+    s = s + (a * b);
+    i = i + 1;
+  } while (i < n);
+  return s;
+}
+|};
+    };
+    {
+      name = "gcd";
+      description = "Euclid's algorithm: a loop whose every expression changes per iteration";
+      inputs = [ "a"; "b" ];
+      source =
+        {|
+function gcd(a, b) {
+  if (a < 0) { a = -a; }
+  if (b < 0) { b = -b; }
+  while (b != 0) {
+    t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+|};
+    };
+    {
+      name = "fib";
+      description = "iterative Fibonacci: sliding-window updates, nothing movable";
+      inputs = [ "n" ];
+      source =
+        {|
+function fib(n) {
+  a = 0;
+  b = 1;
+  i = 0;
+  while (i < n) {
+    t = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+  }
+  return a;
+}
+|};
+    };
+    {
+      name = "poly_eval";
+      description = "Horner evaluation with a recomputed scale factor: movable work inside a do-while";
+      inputs = [ "x"; "c0"; "c1"; "c2"; "n" ];
+      source =
+        {|
+function poly_eval(x, c0, c1, c2, n) {
+  s = 0;
+  i = 0;
+  do {
+    base = (c2 * x + c1) * x + c0;
+    s = s + base;
+    i = i + 1;
+  } while (i < n);
+  return s;
+}
+|};
+    };
+    {
+      name = "collatz_steps";
+      description = "bounded Collatz iteration: data-dependent branching in a loop";
+      inputs = [ "n" ];
+      source =
+        {|
+function collatz_steps(n) {
+  if (n < 1) { n = 1; }
+  steps = 0;
+  k = 0;
+  while (k < 50) {
+    if (n > 1) {
+      r = n % 2;
+      if (r == 0) {
+        n = n / 2;
+      } else {
+        n = 3 * n + 1;
+      }
+      steps = steps + 1;
+    }
+    k = k + 1;
+  }
+  return steps;
+}
+|};
+    };
+    {
+      name = "prime_count";
+      description = "trial division over a nested loop: invariant bound expressions at two depths";
+      inputs = [ "limit" ];
+      source =
+        {|
+function prime_count(limit) {
+  count = 0;
+  n = 2;
+  while (n <= limit) {
+    is_prime = 1;
+    d = 2;
+    while (d * d <= n) {
+      if (n % d == 0) {
+        is_prime = 0;
+      }
+      d = d + 1;
+    }
+    count = count + is_prime;
+    n = n + 1;
+  }
+  return count;
+}
+|};
+    };
+  ]
+
+let find name = List.find_opt (fun w -> String.equal w.name name) all
+
+let graph w =
+  let g = Lower.parse_and_lower_func w.source in
+  fst (Lcm_opt.Lcse.run g)
+
+let envs seed w n =
+  let rng = Prng.of_int (seed + Hashtbl.hash w.name) in
+  List.init n (fun _ -> List.map (fun v -> (v, Prng.int_in rng 0 8)) w.inputs)
+
+(* Reference Lcse so the module alias above is not flagged as unused when
+   [graph] is the only consumer. *)
+let _ = Lcse.is_clean

@@ -1,0 +1,22 @@
+(** Named MiniImp workloads.
+
+    Small hand-written programs, each built around one of the code shapes
+    the paper's introduction motivates — partially redundant diamonds,
+    loop invariants, guarded invariants where speculation is unsafe — plus
+    a few stress shapes.  Benchmarks and examples refer to them by name. *)
+
+type workload = {
+  name : string;
+  description : string;
+  source : string;  (** MiniImp source of a single function *)
+  inputs : string list;  (** parameters to bind when interpreting *)
+}
+
+val all : workload list
+val find : string -> workload option
+
+(** Lower a workload's source to a graph (after local CSE). *)
+val graph : workload -> Lcm_cfg.Cfg.t
+
+(** [envs seed w n] is [n] deterministic random environments for [w]. *)
+val envs : int -> workload -> int -> (string * int) list list

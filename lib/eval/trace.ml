@@ -1,0 +1,79 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Instr = Lcm_ir.Instr
+
+type result = {
+  eval_counts : int array;
+  unknown_evals : int;
+  blocks : Label.t list;
+  completed : bool;
+}
+
+let grand_total r = Array.fold_left ( + ) r.unknown_evals r.eval_counts
+
+let count_block pool counts unknown g l =
+  List.iter
+    (fun i ->
+      match Instr.candidate i with
+      | Some e ->
+        (match Expr_pool.index pool e with
+        | Some idx -> counts.(idx) <- counts.(idx) + 1
+        | None -> incr unknown)
+      | None -> ())
+    (Cfg.instrs g l)
+
+let replay ?(max_steps = 10_000) ~pool g decisions =
+  let counts = Array.make (Expr_pool.size pool) 0 in
+  let unknown = ref 0 in
+  let rec go l decisions visited path =
+    let path = l :: path in
+    if visited > max_steps then (List.rev path, false)
+    else begin
+      count_block pool counts unknown g l;
+      match Cfg.term g l with
+      | Cfg.Halt -> (List.rev path, true)
+      | Cfg.Goto m -> go m decisions (visited + 1) path
+      | Cfg.Branch (_, a, b) ->
+        if Label.equal a b then go a decisions (visited + 1) path
+        else begin
+          match decisions with
+          | [] -> (List.rev path, false)
+          | d :: rest -> go (if d then a else b) rest (visited + 1) path
+        end
+    end
+  in
+  let blocks, completed = go (Cfg.entry g) decisions 0 [] in
+  { eval_counts = counts; unknown_evals = !unknown; blocks; completed }
+
+let enumerate ?(max_steps = 10_000) ?(limit = 20_000) g ~max_decisions =
+  let results = ref [] in
+  let count = ref 0 in
+  (* DFS over decision prefixes: extend the prefix only when execution
+     actually consumes a decision. *)
+  let rec go l taken_rev remaining visited =
+    if !count < limit && visited <= max_steps then begin
+      match Cfg.term g l with
+      | Cfg.Halt ->
+        incr count;
+        results := List.rev taken_rev :: !results
+      | Cfg.Goto m -> go m taken_rev remaining (visited + 1)
+      | Cfg.Branch (_, a, b) ->
+        if Label.equal a b then go a taken_rev remaining (visited + 1)
+        else if remaining > 0 then begin
+          go a (true :: taken_rev) (remaining - 1) (visited + 1);
+          go b (false :: taken_rev) (remaining - 1) (visited + 1)
+        end
+    end
+  in
+  go (Cfg.entry g) [] max_decisions 0;
+  List.rev !results
+
+let counts_dominate a b =
+  assert (Array.length a = Array.length b);
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let total = Array.fold_left ( + ) 0

@@ -1,0 +1,42 @@
+(** Decision-driven abstract execution.
+
+    Classic PRE treats every branch as nondeterministic: the theorems
+    quantify over *all* paths of the flow graph, feasible or not.  To check
+    them we replay graphs under explicit branch-decision sequences instead
+    of concrete data: at each [Branch] the next boolean of the sequence
+    picks the successor.  A transformation never adds or removes branches,
+    so the same decision sequence identifies "the same path" in the
+    original and the transformed graph, and per-path computation counts
+    become directly comparable — exactly the quantity in the paper's
+    safety and optimality theorems. *)
+
+type result = {
+  eval_counts : int array;  (** candidate evaluations per pool index along the path *)
+  unknown_evals : int;
+      (** candidate evaluations of expressions outside the pool (e.g. after
+          a transformation that renamed operands) *)
+  blocks : Lcm_cfg.Label.t list;  (** path actually taken *)
+  completed : bool;  (** reached the exit with the given decisions *)
+}
+
+(** All candidate evaluations of the path: pool-indexed plus unknown. *)
+val grand_total : result -> int
+
+(** [replay ~pool g decisions] follows [decisions] from the entry.  The
+    path ends when the exit is reached ([completed = true]), when a branch
+    needs a decision but the sequence is exhausted, or when [max_steps]
+    (default 10_000) block visits happen. *)
+val replay : ?max_steps:int -> pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> bool list -> result
+
+(** [enumerate g ~max_decisions] lists every decision sequence of length at
+    most [max_decisions] that drives the entry to the exit (without
+    exhausting [max_steps]).  The result is cut off at [limit] (default
+    20_000) sequences. *)
+val enumerate :
+  ?max_steps:int -> ?limit:int -> Lcm_cfg.Cfg.t -> max_decisions:int -> bool list list
+
+(** [counts_dominate a b] holds when [a] is pointwise [<=] [b] (same
+    length). *)
+val counts_dominate : int array -> int array -> bool
+
+val total : int array -> int

@@ -1,0 +1,21 @@
+module Cfg = Lcm_cfg.Cfg
+module Validate = Lcm_cfg.Validate
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+let a_plus_b = Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")
+
+let inputs = [ "a"; "b"; "p" ]
+
+let graph () =
+  let g = Cfg.create ~name:"critical-edge" () in
+  let a = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b = Cfg.add_block g ~instrs:[ Instr.Assign ("x", a_plus_b) ] ~term:Cfg.Halt in
+  let d = Cfg.add_block g ~instrs:[ Instr.Assign ("y", a_plus_b) ] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Cfg.set_term g a (Cfg.Branch (Expr.Var "p", b, d));
+  Cfg.set_term g b (Cfg.Goto d);
+  Cfg.set_term g d (Cfg.Goto (Cfg.exit_label g));
+  Validate.check_exn g;
+  assert (Cfg.is_critical_edge g (a, d));
+  g

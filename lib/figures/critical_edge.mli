@@ -1,0 +1,25 @@
+(** The critical-edge example: where Morel–Renvoise cannot follow.
+
+    {v
+            A   (branch p)
+           / \
+    B: x:=a+b \        ← the (A,D) edge is critical: A has two
+           \  /           successors, D two predecessors
+            D  y:=a+b     (partially redundant)
+            │
+           exit
+    v}
+
+    The only computationally optimal placement inserts on the critical
+    edge (A,D).  Edge-based LCM splits that edge and removes the
+    redundancy; Morel–Renvoise, restricted to block-end insertions, can
+    place nothing: inserting at the end of A would be unsafe (the B arm
+    does not use the inserted value before recomputing it ... more
+    precisely, placement at A requires placement possible at both
+    successors, and it is not possible at B).  The paper's move from node
+    to edge placements is exactly what this shape rewards. *)
+
+val graph : unit -> Lcm_cfg.Cfg.t
+
+(** Input variables to bind when interpreting. *)
+val inputs : string list

@@ -1,0 +1,61 @@
+module Cfg = Lcm_cfg.Cfg
+module Validate = Lcm_cfg.Validate
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Instr = Lcm_ir.Instr
+
+let a_plus_b = Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")
+
+let labels =
+  [
+    ("B2", 2);
+    ("B3", 3);
+    ("B4", 4);
+    ("B5", 5);
+    ("B6", 6);
+    ("B7", 7);
+    ("B8", 8);
+    ("B9", 9);
+    ("B10", 10);
+    ("B11", 11);
+    ("B12", 12);
+  ]
+
+let graph () =
+  let g = Cfg.create ~name:"running-example" () in
+  let assign v e = Instr.Assign (v, e) in
+  let atom v = Expr.Atom (Expr.Var v) in
+  let b2 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b3 = Cfg.add_block g ~instrs:[ assign "x" a_plus_b ] ~term:Cfg.Halt in
+  let b4 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b5 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b6 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b7 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b8 = Cfg.add_block g ~instrs:[ assign "z" a_plus_b; assign "a" (atom "z") ] ~term:Cfg.Halt in
+  let b9 = Cfg.add_block g ~instrs:[ assign "u" a_plus_b ] ~term:Cfg.Halt in
+  let b10 = Cfg.add_block g ~instrs:[ assign "a" (Expr.Atom (Expr.Const 1)) ] ~term:Cfg.Halt in
+  let b11 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b12 = Cfg.add_block g ~instrs:[ assign "v" a_plus_b ] ~term:Cfg.Halt in
+  let exit_l = Cfg.exit_label g in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b2);
+  Cfg.set_term g b2 (Cfg.Branch (Expr.Var "p", b3, b4));
+  Cfg.set_term g b3 (Cfg.Goto b5);
+  Cfg.set_term g b4 (Cfg.Goto b5);
+  Cfg.set_term g b5 (Cfg.Goto b6);
+  Cfg.set_term g b6 (Cfg.Goto b7);
+  Cfg.set_term g b7 (Cfg.Goto b8);
+  Cfg.set_term g b8 (Cfg.Goto b9);
+  Cfg.set_term g b9 (Cfg.Branch (Expr.Var "q", b9, b10));
+  Cfg.set_term g b10 (Cfg.Branch (Expr.Var "r", b11, b12));
+  Cfg.set_term g b11 (Cfg.Goto exit_l);
+  Cfg.set_term g b12 (Cfg.Goto exit_l);
+  Validate.check_exn g;
+  (* Lock the diagram's numbering: alloc order must match [labels]. *)
+  assert (List.for_all2 (fun (_, l) b -> l = b) labels [ b2; b3; b4; b5; b6; b7; b8; b9; b10; b11; b12 ]);
+  g
+
+let expr_index g =
+  let pool = Cfg.candidate_pool g in
+  match Expr_pool.index pool a_plus_b with
+  | Some i -> i
+  | None -> failwith "running example: a + b not in candidate pool"

@@ -1,0 +1,54 @@
+(** The paper's running example, reconstructed.
+
+    The PLDI 1992 paper works a single flow graph through every analysis
+    and shows three placements of the expression [a + b]: the original
+    (Figure 1), the busy one (BCM), and the lazy one (LCM).  The original
+    figure is not reproduced verbatim here (see the mismatch note in
+    DESIGN.md); this is a reconstruction with the same phenomena, each of
+    which one region of the graph exercises:
+
+    - a {b partially redundant} computation: one branch arm computes
+      [a + b], the join's successor recomputes it;
+    - a {b do-while loop} whose body recomputes the invariant [a + b] —
+      movable, because the body is entered at least once;
+    - a {b long empty chain} between the earliest safe insertion point and
+      the use, so busy and lazy placements differ visibly;
+    - an {b isolated} computation whose value never flows anywhere, which
+      insertion cannot improve.
+
+    Layout (expression [a + b] throughout; [p], [q], [r] are branch
+    variables; B0/B1 are the implicit entry/exit):
+
+    {v
+                 B0 (entry)
+                  │
+                  B2            p?
+                ┌─┴─┐
+          B3: x:=a+b  B4: (empty)
+                └─┬─┘
+                  B5  y:=a+b        ← partially redundant
+                  │
+                  B6 (empty)
+                  │
+                  B7 (empty)        ← long chain: earliest is (B5,B6)-ish,
+                  │                    lazy placement waits until B8
+                  B8  z:=a+b
+                  │
+                  B9  ◄─┐           do-while body: u:=a+b
+                  │ └───┘ q?
+                  B10    r?
+                ┌─┴──┐
+         B11: a:=1   B12: v:=a+b    ← isolated: v is dead, a killed on
+                └─┬──┘                 the other arm
+                  B1 (exit)
+    v} *)
+
+(** The graph; labels are stable across calls. *)
+val graph : unit -> Lcm_cfg.Cfg.t
+
+(** The index of [a + b] in the graph's candidate pool. *)
+val expr_index : Lcm_cfg.Cfg.t -> int
+
+(** Stable labels of the interesting blocks, in the diagram's numbering
+    (B2..B12). *)
+val labels : (string * Lcm_cfg.Label.t) list

@@ -1,0 +1,55 @@
+type t = {
+  table : (Expr.t, int) Hashtbl.t;
+  mutable exprs : Expr.t array;
+  mutable size : int;
+}
+
+let create () = { table = Hashtbl.create 64; exprs = Array.make 16 (Expr.Atom (Expr.Const 0)); size = 0 }
+
+let grow pool =
+  if pool.size = Array.length pool.exprs then begin
+    let bigger = Array.make (2 * Array.length pool.exprs) pool.exprs.(0) in
+    Array.blit pool.exprs 0 bigger 0 pool.size;
+    pool.exprs <- bigger
+  end
+
+let add pool e =
+  if not (Expr.is_candidate e) then
+    invalid_arg (Printf.sprintf "Expr_pool.add: %s is not a PRE candidate" (Expr.to_string e));
+  let e = Expr.canonical e in
+  match Hashtbl.find_opt pool.table e with
+  | Some i -> i
+  | None ->
+    grow pool;
+    let i = pool.size in
+    pool.exprs.(i) <- e;
+    pool.size <- i + 1;
+    Hashtbl.add pool.table e i;
+    i
+
+let index pool e = Hashtbl.find_opt pool.table (Expr.canonical e)
+
+let expr pool i =
+  if i < 0 || i >= pool.size then invalid_arg "Expr_pool.expr: index out of range";
+  pool.exprs.(i)
+
+let size pool = pool.size
+
+let iter f pool =
+  for i = 0 to pool.size - 1 do
+    f i pool.exprs.(i)
+  done
+
+let to_list pool =
+  let acc = ref [] in
+  for i = pool.size - 1 downto 0 do
+    acc := (i, pool.exprs.(i)) :: !acc
+  done;
+  !acc
+
+let reading pool v =
+  let acc = ref [] in
+  for i = pool.size - 1 downto 0 do
+    if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,34 @@
+(** Dense numbering of the PRE-candidate expressions of a function.
+
+    Bit-vector data-flow solves all expressions at once; the pool assigns
+    each distinct candidate expression (after commutative canonicalization)
+    a stable index in [\[0, size)], which is the bit position used by every
+    analysis in this library. *)
+
+type t
+
+val create : unit -> t
+
+(** [add pool e] registers candidate expression [e] (canonicalized) and
+    returns its index; registering an equal expression again returns the
+    same index.  Raises [Invalid_argument] on non-candidates (atoms). *)
+val add : t -> Expr.t -> int
+
+(** [index pool e] is the index of [e] if registered. *)
+val index : t -> Expr.t -> int option
+
+(** [expr pool i] is the expression with index [i]. *)
+val expr : t -> int -> Expr.t
+
+(** Number of registered expressions. *)
+val size : t -> int
+
+(** [iter f pool] applies [f index expr] for every registered expression in
+    index order. *)
+val iter : (int -> Expr.t -> unit) -> t -> unit
+
+(** All registered expressions in index order. *)
+val to_list : t -> (int * Expr.t) list
+
+(** Indices of expressions that read variable [v]. *)
+val reading : t -> string -> int list

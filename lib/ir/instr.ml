@@ -1,0 +1,28 @@
+type t =
+  | Assign of string * Expr.t
+  | Print of Expr.operand
+
+let defs = function
+  | Assign (v, _) -> Some v
+  | Print _ -> None
+
+let uses = function
+  | Assign (_, e) -> Expr.vars e
+  | Print a -> (match a with Expr.Var v -> [ v ] | Expr.Const _ -> [])
+
+let candidate = function
+  | Assign (_, e) when Expr.is_candidate e -> Some (Expr.canonical e)
+  | Assign _ | Print _ -> None
+
+let modifies i v =
+  match defs i with
+  | Some w -> String.equal v w
+  | None -> false
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | Assign (v, e) -> Format.fprintf ppf "%s := %a" v Expr.pp e
+  | Print a -> Format.fprintf ppf "print %a" Expr.pp_operand a
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,24 @@
+(** Straight-line instructions of the intermediate representation.
+
+    Control flow is represented separately, by basic-block terminators in
+    the CFG library; a block body is a list of these instructions. *)
+
+type t =
+  | Assign of string * Expr.t  (** [v := e] *)
+  | Print of Expr.operand  (** observable output; anchors interpreter equivalence checks *)
+
+(** [defs i] is the variable defined by [i], if any. *)
+val defs : t -> string option
+
+(** Variables read by [i]. *)
+val uses : t -> string list
+
+(** The candidate expression computed by [i], if any. *)
+val candidate : t -> Expr.t option
+
+(** [modifies i v] holds when [i] writes [v]. *)
+val modifies : t -> string -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

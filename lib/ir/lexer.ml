@@ -1,0 +1,151 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_FUNCTION
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_PRINT
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | BANG
+  | EOF
+
+type spanned = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keyword = function
+  | "function" -> Some KW_FUNCTION
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "print" -> Some KW_PRINT
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let acc = ref [] in
+  let emit tok l c = acc := { token = tok; line = l; col = c } :: !acc in
+  let i = ref 0 in
+  let advance () =
+    if src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (INT v) l0 c0
+      | None -> raise (Lex_error (Printf.sprintf "integer literal %s too large" text, l0, c0))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword text with
+      | Some kw -> emit kw l0 c0
+      | None -> emit (IDENT text) l0 c0
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok l0 c0 in
+      let one tok = advance (); emit tok l0 c0 in
+      let peek2 ch = !i + 1 < n && src.[!i + 1] = ch in
+      match c with
+      | '(' -> one LPAREN
+      | ')' -> one RPAREN
+      | '{' -> one LBRACE
+      | '}' -> one RBRACE
+      | ',' -> one COMMA
+      | ';' -> one SEMI
+      | '+' -> one PLUS
+      | '-' -> one MINUS
+      | '*' -> one STAR
+      | '/' -> one SLASH
+      | '%' -> one PERCENT
+      | '<' -> if peek2 '=' then two LE else one LT
+      | '>' -> if peek2 '=' then two GE else one GT
+      | '=' -> if peek2 '=' then two EQ else one ASSIGN
+      | '!' -> if peek2 '=' then two NE else one BANG
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, l0, c0))
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !acc
+
+let pp_token ppf tok =
+  let s =
+    match tok with
+    | INT n -> string_of_int n
+    | IDENT s -> s
+    | KW_FUNCTION -> "function"
+    | KW_IF -> "if"
+    | KW_ELSE -> "else"
+    | KW_WHILE -> "while"
+    | KW_DO -> "do"
+    | KW_PRINT -> "print"
+    | KW_RETURN -> "return"
+    | LPAREN -> "("
+    | RPAREN -> ")"
+    | LBRACE -> "{"
+    | RBRACE -> "}"
+    | COMMA -> ","
+    | SEMI -> ";"
+    | ASSIGN -> "="
+    | PLUS -> "+"
+    | MINUS -> "-"
+    | STAR -> "*"
+    | SLASH -> "/"
+    | PERCENT -> "%"
+    | LT -> "<"
+    | LE -> "<="
+    | GT -> ">"
+    | GE -> ">="
+    | EQ -> "=="
+    | NE -> "!="
+    | BANG -> "!"
+    | EOF -> "<eof>"
+  in
+  Format.pp_print_string ppf s

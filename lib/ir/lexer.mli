@@ -1,0 +1,45 @@
+(** Hand-written lexer for MiniImp source text. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_FUNCTION
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_PRINT
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN  (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ  (** [==] *)
+  | NE
+  | BANG
+  | EOF
+
+(** Token paired with its 1-based line and column. *)
+type spanned = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** [Lex_error (message, line, col)]. *)
+
+(** Tokenize a whole source string; the result ends with [EOF].
+    Comments run from [//] to end of line.  Raises {!Lex_error} on
+    unexpected characters. *)
+val tokenize : string -> spanned list
+
+val pp_token : Format.formatter -> token -> unit

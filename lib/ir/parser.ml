@@ -1,0 +1,197 @@
+exception Parse_error of string * int * int
+
+type state = { mutable tokens : Lexer.spanned list }
+
+let peek st =
+  match st.tokens with
+  | [] -> { Lexer.token = Lexer.EOF; line = 0; col = 0 }
+  | t :: _ -> t
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let fail st msg =
+  let t = peek st in
+  raise (Parse_error (Format.asprintf "%s (found %a)" msg Lexer.pp_token t.token, t.line, t.col))
+
+let expect st tok what =
+  let t = peek st in
+  if t.token = tok then advance st else fail st (Printf.sprintf "expected %s" what)
+
+let expect_ident st what =
+  let t = peek st in
+  match t.token with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> fail st (Printf.sprintf "expected %s" what)
+
+let cmp_op = function
+  | Lexer.LT -> Some Expr.Lt
+  | Lexer.LE -> Some Expr.Le
+  | Lexer.GT -> Some Expr.Gt
+  | Lexer.GE -> Some Expr.Ge
+  | Lexer.EQ -> Some Expr.Eq
+  | Lexer.NE -> Some Expr.Ne
+  | _ -> None
+
+let add_op = function
+  | Lexer.PLUS -> Some Expr.Add
+  | Lexer.MINUS -> Some Expr.Sub
+  | _ -> None
+
+let mul_op = function
+  | Lexer.STAR -> Some Expr.Mul
+  | Lexer.SLASH -> Some Expr.Div
+  | Lexer.PERCENT -> Some Expr.Mod
+  | _ -> None
+
+let rec parse_expression st = parse_binary_level st cmp_op parse_add
+
+and parse_add st = parse_binary_level st add_op parse_mul
+
+and parse_mul st = parse_binary_level st mul_op parse_unary
+
+and parse_binary_level st classify next =
+  let rec loop lhs =
+    match classify (peek st).token with
+    | Some op ->
+      advance st;
+      let rhs = next st in
+      loop (Ast.Binary (op, lhs, rhs))
+    | None -> lhs
+  in
+  loop (next st)
+
+and parse_unary st =
+  match (peek st).token with
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Unary (Expr.Neg, parse_unary st)
+  | Lexer.BANG ->
+    advance st;
+    Ast.Unary (Expr.Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match (peek st).token with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Int n
+  | Lexer.IDENT name ->
+    advance st;
+    Ast.Var name
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expression st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | _ -> fail st "expected expression"
+
+let rec parse_stmt st =
+  match (peek st).token with
+  | Lexer.IDENT name ->
+    advance st;
+    expect st Lexer.ASSIGN "'='";
+    let e = parse_expression st in
+    expect st Lexer.SEMI "';'";
+    Ast.Assign (name, e)
+  | Lexer.KW_PRINT ->
+    advance st;
+    let e = parse_expression st in
+    expect st Lexer.SEMI "';'";
+    Ast.Print e
+  | Lexer.KW_RETURN ->
+    advance st;
+    let e = parse_expression st in
+    expect st Lexer.SEMI "';'";
+    Ast.Return e
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let cond = parse_expression st in
+    expect st Lexer.RPAREN "')'";
+    let then_branch = parse_block st in
+    let else_branch =
+      if (peek st).token = Lexer.KW_ELSE then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    Ast.If (cond, then_branch, else_branch)
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let cond = parse_expression st in
+    expect st Lexer.RPAREN "')'";
+    let body = parse_block st in
+    Ast.While (cond, body)
+  | Lexer.KW_DO ->
+    advance st;
+    let body = parse_block st in
+    expect st Lexer.KW_WHILE "'while'";
+    expect st Lexer.LPAREN "'('";
+    let cond = parse_expression st in
+    expect st Lexer.RPAREN "')'";
+    expect st Lexer.SEMI "';'";
+    Ast.Do_while (body, cond)
+  | _ -> fail st "expected statement"
+
+and parse_block st =
+  expect st Lexer.LBRACE "'{'";
+  let rec loop acc =
+    if (peek st).token = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_func_decl st =
+  expect st Lexer.KW_FUNCTION "'function'";
+  let name = expect_ident st "function name" in
+  expect st Lexer.LPAREN "'('";
+  let params =
+    if (peek st).token = Lexer.RPAREN then []
+    else begin
+      let rec loop acc =
+        let p = expect_ident st "parameter name" in
+        if (peek st).token = Lexer.COMMA then begin
+          advance st;
+          loop (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      loop []
+    end
+  in
+  expect st Lexer.RPAREN "')'";
+  let body = parse_block st in
+  { Ast.name; params; body }
+
+let make_state src = { tokens = Lexer.tokenize src }
+
+let parse_program src =
+  let st = make_state src in
+  let rec loop acc =
+    if (peek st).token = Lexer.EOF then List.rev acc else loop (parse_func_decl st :: acc)
+  in
+  let funcs = loop [] in
+  if funcs = [] then fail st "expected at least one function";
+  funcs
+
+let parse_func src =
+  let st = make_state src in
+  let f = parse_func_decl st in
+  if (peek st).token <> Lexer.EOF then fail st "trailing input after function";
+  f
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expression st in
+  if (peek st).token <> Lexer.EOF then fail st "trailing input after expression";
+  e

@@ -1,0 +1,33 @@
+(** Recursive-descent parser for MiniImp.
+
+    Grammar (EBNF):
+    {v
+    program  ::= func+
+    func     ::= "function" IDENT "(" [IDENT {"," IDENT}] ")" block
+    block    ::= "{" stmt* "}"
+    stmt     ::= IDENT "=" expr ";"
+               | "if" "(" expr ")" block ["else" block]
+               | "while" "(" expr ")" block
+               | "do" block "while" "(" expr ")" ";"
+               | "print" expr ";"
+               | "return" expr ";"
+    expr     ::= cmp
+    cmp      ::= add {("<"|"<="|">"|">="|"=="|"!=") add}
+    add      ::= mul {("+"|"-") mul}
+    mul      ::= unary {("*"|"/"|"%") unary}
+    unary    ::= ("-"|"!") unary | atom
+    atom     ::= INT | IDENT | "(" expr ")"
+    v} *)
+
+exception Parse_error of string * int * int
+(** [Parse_error (message, line, col)]. *)
+
+(** Parse a whole source string into a program.
+    Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+val parse_program : string -> Ast.program
+
+(** Parse a source string containing a single function. *)
+val parse_func : string -> Ast.func
+
+(** Parse a bare expression (used by tests and the CLI). *)
+val parse_expr : string -> Ast.expr

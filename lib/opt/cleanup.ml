@@ -1,0 +1,54 @@
+module Cfg = Lcm_cfg.Cfg
+module Validate = Lcm_cfg.Validate
+
+type stats = {
+  rounds : int;
+  copies_propagated : int;
+  local_reuses : int;
+  exprs_folded : int;
+  branches_resolved : int;
+  instrs_removed : int;
+}
+
+let run ?keep g =
+  let g = ref (Cfg.copy g) in
+  let rounds = ref 0 in
+  let copies = ref 0 and reuses = ref 0 and folded = ref 0 and branches = ref 0 and removed = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < 10 do
+    incr rounds;
+    let g1, cp = Copy_prop.run !g in
+    let g2, lvn = Lcse.run g1 in
+    let g3, cf = Const_fold.run g2 in
+    let g4, dc = Dce.run ?keep g3 in
+    Cfg.merge_straight_pairs g4;
+    Cfg.remove_unreachable g4;
+    copies := !copies + cp.Copy_prop.uses_rewritten;
+    reuses := !reuses + lvn;
+    folded := !folded + cf.Const_fold.exprs_folded;
+    branches := !branches + cf.Const_fold.branches_resolved;
+    removed := !removed + dc.Dce.instrs_removed;
+    changed :=
+      cp.Copy_prop.uses_rewritten > 0
+      || lvn > 0
+      || cf.Const_fold.exprs_folded > 0
+      || cf.Const_fold.branches_resolved > 0
+      || dc.Dce.instrs_removed > 0
+      || Cfg.num_blocks g4 <> Cfg.num_blocks !g;
+    g := g4
+  done;
+  Validate.check_exn !g;
+  ( !g,
+    {
+      rounds = !rounds;
+      copies_propagated = !copies;
+      local_reuses = !reuses;
+      exprs_folded = !folded;
+      branches_resolved = !branches;
+      instrs_removed = !removed;
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d rounds: %d copies propagated, %d local reuses, %d exprs folded, %d branches resolved, %d instrs removed"
+    s.rounds s.copies_propagated s.local_reuses s.exprs_folded s.branches_resolved s.instrs_removed

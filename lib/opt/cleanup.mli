@@ -1,0 +1,26 @@
+(** The standard post-PRE cleanup pipeline.
+
+    Runs copy propagation, local value numbering, constant folding,
+    dead-code elimination, and structural simplification (merging
+    straight-line pairs, dropping unreachable blocks) to a fixed point.
+    Copy propagation followed by local value numbering is what lets an
+    *iterated* PRE see value redundancies hidden behind copies — the
+    registry's "lcm-iterated" entry.  The paper's transformation
+    deliberately emits copies and fresh temporaries and leaves tidying to
+    passes like these; the cleanup makes "LCM then cleanup" directly
+    comparable to the original program in instruction counts. *)
+
+type stats = {
+  rounds : int;
+  copies_propagated : int;
+  local_reuses : int;  (** recomputations eliminated by local value numbering *)
+  exprs_folded : int;
+  branches_resolved : int;
+  instrs_removed : int;
+}
+
+(** [run ?keep g] applies the pipeline on a copy of [g] until nothing
+    changes.  [keep] marks extra variables live at exit (see {!Dce}). *)
+val run : ?keep:string list -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
+
+val pp_stats : Format.formatter -> stats -> unit

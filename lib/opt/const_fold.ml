@@ -1,0 +1,45 @@
+module Cfg = Lcm_cfg.Cfg
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+type stats = {
+  exprs_folded : int;
+  branches_resolved : int;
+}
+
+let fold_expr folded e =
+  match e with
+  | Expr.Binary (op, Expr.Const a, Expr.Const b) ->
+    incr folded;
+    Expr.Atom (Expr.Const (Expr.eval_binop op a b))
+  | Expr.Unary (op, Expr.Const a) ->
+    incr folded;
+    Expr.Atom (Expr.Const (Expr.eval_unop op a))
+  | Expr.Atom _ | Expr.Unary _ | Expr.Binary _ -> e
+
+let run g =
+  let g = Cfg.copy g in
+  let folded = ref 0 and branches = ref 0 in
+  List.iter
+    (fun l ->
+      let changed = ref false in
+      let instrs =
+        List.map
+          (fun i ->
+            match i with
+            | Instr.Assign (v, e) ->
+              let e' = fold_expr folded e in
+              if e' != e then changed := true;
+              Instr.Assign (v, e')
+            | Instr.Print _ -> i)
+          (Cfg.instrs g l)
+      in
+      if !changed then Cfg.set_instrs g l instrs;
+      match Cfg.term g l with
+      | Cfg.Branch (Expr.Const c, a, b) ->
+        incr branches;
+        Cfg.set_term g l (Cfg.Goto (if c <> 0 then a else b))
+      | Cfg.Branch (Expr.Var _, _, _) | Cfg.Goto _ | Cfg.Halt -> ())
+    (Cfg.labels g);
+  if !branches > 0 then Cfg.remove_unreachable g;
+  (g, { exprs_folded = !folded; branches_resolved = !branches })

@@ -1,0 +1,15 @@
+(** Constant folding and constant-branch elimination.
+
+    Folds operator applications whose operands are literal constants
+    (using the same total arithmetic as the interpreter), rewrites
+    branches on constant conditions into unconditional jumps, and drops
+    the blocks that become unreachable.  No constant *propagation* is
+    performed here — combine with {!Copy_prop} and a round of
+    {!Cleanup.run} for that. *)
+
+type stats = {
+  exprs_folded : int;
+  branches_resolved : int;
+}
+
+val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats

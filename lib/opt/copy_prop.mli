@@ -1,0 +1,21 @@
+(** Copy propagation.
+
+    PRE leaves behind copy chains ([h := x] ... [y := h]); this pass
+    forwards copies to their sources so that later dead-code elimination
+    can drop the intermediaries.  It is a standard companion pass: the
+    paper's transformation deliberately emits copies and relies on the
+    surrounding compiler to clean them up.
+
+    The analysis is a forward must-problem over (variable, source) pairs:
+    a copy [v := w] reaches a use of [v] when every path from the entry
+    passes such a copy with neither [v] nor [w] redefined in between.
+    Within this library's small variable universes a dense product lattice
+    would be wasteful; instead the pass runs an iterative available-copies
+    analysis over hash-consed copy facts. *)
+
+type stats = {
+  uses_rewritten : int;  (** operand reads redirected to the copy source *)
+}
+
+(** [run g] propagates copies on a copy of [g]. *)
+val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats

@@ -1,0 +1,65 @@
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Live = Lcm_dataflow.Live
+module Var_pool = Lcm_dataflow.Var_pool
+module Instr = Lcm_ir.Instr
+
+type stats = {
+  instrs_removed : int;
+  rounds : int;
+}
+
+let sweep_block live vars g l =
+  (* Walk instructions backwards, keeping an assignment only when its
+     target is live at that point. *)
+  let live_now = Bitvec.copy (live.Live.liveout l) in
+  (* The terminator reads its condition after the last instruction. *)
+  (match Cfg.term g l with
+  | Cfg.Branch (Lcm_ir.Expr.Var v, _, _) ->
+    Option.iter (fun idx -> Bitvec.set live_now idx true) (Var_pool.index vars v)
+  | Cfg.Branch (Lcm_ir.Expr.Const _, _, _) | Cfg.Goto _ | Cfg.Halt -> ());
+  let removed = ref 0 in
+  let keep_instr i =
+    match i with
+    | Instr.Print _ -> true
+    | Instr.Assign (v, _) ->
+      (match Var_pool.index vars v with
+      | Some idx -> Bitvec.get live_now idx
+      | None -> true)
+  in
+  let set_bit v b = Option.iter (fun idx -> Bitvec.set live_now idx b) (Var_pool.index vars v) in
+  let step i acc =
+    if keep_instr i then begin
+      Option.iter (fun v -> set_bit v false) (Instr.defs i);
+      List.iter (fun v -> set_bit v true) (Instr.uses i);
+      i :: acc
+    end
+    else begin
+      incr removed;
+      acc
+    end
+  in
+  let out = List.fold_right step (Cfg.instrs g l) [] in
+  if !removed > 0 then Cfg.set_instrs g l out;
+  !removed
+
+let run ?(keep = []) g =
+  let g = Cfg.copy g in
+  let exit_live =
+    let all = Cfg.all_vars g in
+    let base = if List.mem Lower.return_var all then [ Lower.return_var ] else [] in
+    base @ keep
+  in
+  let total = ref 0 and rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr rounds;
+    let live = Live.compute ~exit_live g in
+    let removed =
+      List.fold_left (fun acc l -> acc + sweep_block live live.Live.vars g l) 0 (Cfg.labels g)
+    in
+    total := !total + removed;
+    changed := removed > 0
+  done;
+  (g, { instrs_removed = !total; rounds = !rounds })

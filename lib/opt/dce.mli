@@ -1,0 +1,17 @@
+(** Dead-code elimination.
+
+    Removes assignments whose target is not live afterwards.  All MiniImp
+    expressions are pure (division by zero is total), so any unused
+    assignment may go; [print] instructions and terminators are never
+    removed.  Runs liveness-and-sweep to a fixed point, since deleting one
+    assignment can kill another. *)
+
+type stats = {
+  instrs_removed : int;
+  rounds : int;  (** liveness/sweep iterations until the fixed point *)
+}
+
+(** [run ?keep g] eliminates dead assignments on a copy of [g].  [keep]
+    lists variables to treat as live at the exit in addition to the
+    lowered return variable (default []). *)
+val run : ?keep:string list -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats

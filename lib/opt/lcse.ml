@@ -1,0 +1,96 @@
+module Cfg = Lcm_cfg.Cfg
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+(* Local value numbering with temporaries.
+
+   One forward pass per block tracks, for every still-valid candidate
+   expression (its operands unmodified since its last computation), the
+   set of variables currently holding its value and the position of the
+   computation that opened the validity span.  A recomputation is
+   rewritten to read a holder when one exists; when none does, the
+   opening computation is made to publish its value into a fresh
+   temporary ([copy_after]) and the recomputation reads that. *)
+
+type span = {
+  opened_at : int;  (** instruction index of the span's first computation *)
+  mutable holders : string list;
+  mutable temp : string option;  (** fresh temporary, once required *)
+}
+
+let fresh_temp fresh = Lcm_support.Fresh.mint fresh
+
+let rewrite_block fresh instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let spans : (Expr.t, span) Hashtbl.t = Hashtbl.create 16 in
+  (* copy_after.(i) = temporary definitions to place right after instr i *)
+  let copy_after = Array.make n [] in
+  let replaced = ref 0 in
+  let on_def v =
+    (* A definition of [v] closes the spans reading [v] and evicts [v]
+       from all holder sets. *)
+    let stale =
+      Hashtbl.fold (fun e _ acc -> if Expr.reads_var e v then e :: acc else acc) spans []
+    in
+    List.iter (Hashtbl.remove spans) stale;
+    Hashtbl.iter
+      (fun _ span -> span.holders <- List.filter (fun h -> not (String.equal h v)) span.holders)
+      spans
+  in
+  for pos = 0 to n - 1 do
+    (match arr.(pos) with
+    | Instr.Assign (v, e) when Expr.is_candidate e ->
+      let key = Expr.canonical e in
+      (match Hashtbl.find_opt spans key with
+      | Some span ->
+        incr replaced;
+        let source =
+          match (span.holders, span.temp) with
+          | h :: _, _ -> h
+          | [], Some t -> t
+          | [], None ->
+            (* No variable holds the value anymore: make the opening
+               computation publish it into a fresh temporary. *)
+            let t = fresh_temp fresh in
+            span.temp <- Some t;
+            (match arr.(span.opened_at) with
+            | Instr.Assign (v0, _) ->
+              copy_after.(span.opened_at) <- Instr.Assign (t, Expr.Atom (Expr.Var v0)) :: copy_after.(span.opened_at)
+            | Instr.Print _ -> assert false);
+            t
+        in
+        arr.(pos) <- Instr.Assign (v, Expr.Atom (Expr.Var source));
+        on_def v;
+        (* v now holds the value too (unless the definition killed the
+           span, which on_def already handled). *)
+        (match Hashtbl.find_opt spans key with
+        | Some span -> span.holders <- v :: span.holders
+        | None -> ())
+      | None ->
+        on_def v;
+        (* Open a span unless the assignment killed its own expression. *)
+        if not (Expr.reads_var key v) then
+          Hashtbl.replace spans key { opened_at = pos; holders = [ v ]; temp = None })
+    | Instr.Assign (v, _) -> on_def v
+    | Instr.Print _ -> ())
+  done;
+  let out = ref [] in
+  for pos = n - 1 downto 0 do
+    out := (arr.(pos) :: List.rev copy_after.(pos)) @ !out
+  done;
+  (!out, !replaced)
+
+let run g =
+  let g = Cfg.copy g in
+  let fresh = Lcm_support.Fresh.create ~existing:(Cfg.all_vars g) "_l" in
+  let total = ref 0 in
+  List.iter
+    (fun l ->
+      let out, n = rewrite_block fresh (Cfg.instrs g l) in
+      if n > 0 then Cfg.set_instrs g l out;
+      total := !total + n)
+    (Cfg.labels g);
+  (g, !total)
+
+let is_clean g = snd (run g) = 0

@@ -1,0 +1,26 @@
+(** Local (within-block) common-subexpression elimination.
+
+    The paper assumes LCSE has run: within a block, no expression is ever
+    recomputed while its previous value is still valid.  Plain
+    rewrite-to-holder LCSE cannot always guarantee that — in
+
+    {v
+    b := a + d;  b := d;  b := a + d
+    v}
+
+    the recomputation of [a + d] is locally redundant, but the variable
+    holding its value was clobbered.  This pass therefore performs local
+    value numbering *with temporaries*: when a still-valid expression is
+    recomputed and no variable holds it anymore, the first computation of
+    the span is made to publish its value into a fresh temporary and the
+    recomputations read the temporary.  Without this, block-level PRE is
+    measurably weaker than the statement-level formulation (our property
+    tests caught exactly that gap). *)
+
+(** [run g] is a rewritten copy of [g]; the second component counts the
+    eliminated recomputations. *)
+val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * int
+
+(** [is_clean g] holds when no block recomputes an expression whose value
+    is still valid (i.e. [run] would change nothing). *)
+val is_clean : Lcm_cfg.Cfg.t -> bool

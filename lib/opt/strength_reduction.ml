@@ -1,0 +1,184 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Loop = Lcm_cfg.Loop
+module Validate = Lcm_cfg.Validate
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+type stats = {
+  loops_processed : int;
+  induction_variables : int;
+  pairs_reduced : int;
+  occurrences_rewritten : int;
+}
+
+module String_map = Map.Make (String)
+
+(* i := i + s / s + i / i - s, with constant s: a basic induction update. *)
+let induction_step var e =
+  match e with
+  | Expr.Binary (Expr.Add, Expr.Var v, Expr.Const s) when String.equal v var -> Some s
+  | Expr.Binary (Expr.Add, Expr.Const s, Expr.Var v) when String.equal v var -> Some s
+  | Expr.Binary (Expr.Sub, Expr.Var v, Expr.Const s) when String.equal v var -> Some (-s)
+  | Expr.Atom _ | Expr.Unary _ | Expr.Binary _ -> None
+
+(* Definitions inside the loop body, per variable. *)
+let loop_def_counts g body =
+  Label.Set.fold
+    (fun l acc ->
+      List.fold_left
+        (fun acc i ->
+          match Instr.defs i with
+          | Some v -> String_map.update v (fun c -> Some (Option.value ~default:0 c + 1)) acc
+          | None -> acc)
+        acc (Cfg.instrs g l))
+    body String_map.empty
+
+(* Basic induction variables: exactly one defining instruction, of
+   induction shape.  Returns var -> step. *)
+let basic_ivs g body def_counts =
+  Label.Set.fold
+    (fun l acc ->
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Instr.Assign (v, e) when String_map.find_opt v def_counts = Some 1 ->
+            (match induction_step v e with
+            | Some s -> String_map.add v s acc
+            | None -> acc)
+          | Instr.Assign _ | Instr.Print _ -> acc)
+        acc (Cfg.instrs g l))
+    body String_map.empty
+
+type pair = {
+  iv : string;
+  step : int;
+  multiplier : Expr.operand;  (** loop-invariant *)
+  temp : string;
+}
+
+let pair_key iv multiplier =
+  match multiplier with
+  | Expr.Const c -> Printf.sprintf "%s*#%d" iv c
+  | Expr.Var v -> Printf.sprintf "%s*%s" iv v
+
+(* A reduction candidate [iv * m] where [m] is invariant and the delta is
+   expressible (constant multiplier, or unit step). *)
+let candidate_pair ivs def_counts e =
+  let classify iv_name m =
+    match String_map.find_opt iv_name ivs with
+    | None -> None
+    | Some step ->
+      (match m with
+      | Expr.Const _ -> Some (iv_name, step, m)
+      | Expr.Var v ->
+        if String_map.mem v def_counts then None
+        else if step = 1 || step = -1 then Some (iv_name, step, m)
+        else None)
+  in
+  match e with
+  | Expr.Binary (Expr.Mul, Expr.Var a, m) ->
+    (match classify a m with
+    | Some r -> Some r
+    | None -> (match m with Expr.Var b -> classify b (Expr.Var a) | Expr.Const _ -> None))
+  | Expr.Binary (Expr.Mul, (Expr.Const _ as m), Expr.Var b) -> classify b m
+  | Expr.Atom _ | Expr.Unary _ | Expr.Binary _ -> None
+
+(* The adjustment placed right after the induction update. *)
+let adjustment pair =
+  match pair.multiplier with
+  | Expr.Const c -> Instr.Assign (pair.temp, Expr.Binary (Expr.Add, Expr.Var pair.temp, Expr.Const (pair.step * c)))
+  | Expr.Var _ when pair.step = 1 ->
+    Instr.Assign (pair.temp, Expr.Binary (Expr.Add, Expr.Var pair.temp, pair.multiplier))
+  | Expr.Var _ ->
+    (* step = -1 by construction *)
+    Instr.Assign (pair.temp, Expr.Binary (Expr.Sub, Expr.Var pair.temp, pair.multiplier))
+
+let reduce_loop g fresh loop stats =
+  let body = loop.Loop.body in
+  let def_counts = loop_def_counts g body in
+  let ivs = basic_ivs g body def_counts in
+  if not (String_map.is_empty ivs) then begin
+    stats := { !stats with induction_variables = (!stats).induction_variables + String_map.cardinal ivs };
+    (* Collect the distinct pairs used by candidates. *)
+    let pairs = Hashtbl.create 8 in
+    Label.Set.iter
+      (fun l ->
+        List.iter
+          (fun i ->
+            match i with
+            | Instr.Assign (_, e) ->
+              (match candidate_pair ivs def_counts e with
+              | Some (iv, step, multiplier) ->
+                let key = pair_key iv multiplier in
+                if not (Hashtbl.mem pairs key) then
+                  Hashtbl.add pairs key { iv; step; multiplier; temp = Lcm_support.Fresh.mint fresh }
+              | None -> ())
+            | Instr.Print _ -> ())
+          (Cfg.instrs g l))
+      body;
+    if Hashtbl.length pairs > 0 then begin
+      stats := { !stats with pairs_reduced = (!stats).pairs_reduced + Hashtbl.length pairs };
+      (* Pre-header: t := iv * m for every pair. *)
+      let preheader = Loop.insert_preheader g loop in
+      let inits =
+        Hashtbl.fold
+          (fun _ p acc -> Instr.Assign (p.temp, Expr.Binary (Expr.Mul, Expr.Var p.iv, p.multiplier)) :: acc)
+          pairs []
+      in
+      Cfg.set_instrs g preheader (List.sort compare inits);
+      (* Rewrite candidates and attach adjustments after induction updates. *)
+      Label.Set.iter
+        (fun l ->
+          let rewritten = ref false in
+          let step_instr i =
+            let replaced =
+              match i with
+              | Instr.Assign (v, e) ->
+                (match candidate_pair ivs def_counts e with
+                | Some (iv, _, multiplier) ->
+                  let p = Hashtbl.find pairs (pair_key iv multiplier) in
+                  stats := { !stats with occurrences_rewritten = (!stats).occurrences_rewritten + 1 };
+                  rewritten := true;
+                  Instr.Assign (v, Expr.Atom (Expr.Var p.temp))
+                | None -> i)
+              | Instr.Print _ -> i
+            in
+            let adjustments =
+              match Instr.defs replaced with
+              | Some v when String_map.mem v ivs ->
+                (match replaced with
+                | Instr.Assign (_, e) when induction_step v e <> None ->
+                  Hashtbl.fold
+                    (fun _ p acc -> if String.equal p.iv v then adjustment p :: acc else acc)
+                    pairs []
+                | Instr.Assign _ | Instr.Print _ -> [])
+              | Some _ | None -> []
+            in
+            if adjustments <> [] then rewritten := true;
+            replaced :: List.sort compare adjustments
+          in
+          let instrs' = List.concat_map step_instr (Cfg.instrs g l) in
+          if !rewritten then Cfg.set_instrs g l instrs')
+        body
+    end
+  end
+
+let run g =
+  let g = Cfg.copy g in
+  let fresh = Lcm_support.Fresh.create ~existing:(Cfg.all_vars g) "_s" in
+  let loops = Loop.compute g in
+  let stats =
+    ref { loops_processed = 0; induction_variables = 0; pairs_reduced = 0; occurrences_rewritten = 0 }
+  in
+  List.iter
+    (fun loop ->
+      stats := { !stats with loops_processed = (!stats).loops_processed + 1 };
+      reduce_loop g fresh loop stats)
+    (Loop.loops loops);
+  Validate.check_exn g;
+  (g, !stats)
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d loops, %d induction variables, %d pairs reduced, %d occurrences rewritten"
+    s.loops_processed s.induction_variables s.pairs_reduced s.occurrences_rewritten

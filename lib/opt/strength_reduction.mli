@@ -1,0 +1,35 @@
+(** Loop strength reduction — the extension the paper points to.
+
+    The PLDI 1992 paper closes by noting that the code-motion framework
+    extends to strength reduction (spelled out by the same authors as
+    *Lazy Strength Reduction*, J. Prog. Lang. 1993).  This module provides
+    the classic loop-based form of that optimisation on this library's
+    substrate:
+
+    - a {e basic induction variable} is a variable [i] whose only
+      definition inside a loop is [i := i + s] or [i := i - s] with a
+      constant [s];
+    - a {e reduction candidate} is a computation [v := i * c] inside the
+      loop where [c] is loop-invariant (a constant, or — when the step is
+      ±1 — an invariant variable).
+
+    For each reduced pair, a temporary [t] tracks [i * c]: the pre-header
+    initializes it, the instruction after the induction update adjusts it
+    by the constant delta [s * c] (or [±c]), and the candidates read [t] —
+    multiplications become additions.
+
+    Like LICM, the pre-header initialization is speculative (a zero-trip
+    loop pays one multiplication it never paid before); this pass is in
+    the "extensions" tier, not among the safety-preserving transformations
+    of the paper's core. *)
+
+type stats = {
+  loops_processed : int;
+  induction_variables : int;
+  pairs_reduced : int;  (** distinct (iv, multiplier) pairs given a temporary *)
+  occurrences_rewritten : int;
+}
+
+val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,87 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+type stats = {
+  phis_lowered : int;
+  copies_inserted : int;
+  cycles_broken : int;
+}
+
+let fresh_var f = Lcm_support.Fresh.mint f
+
+(* Sequentialize a parallel copy (all sources read simultaneously).  Emit
+   a copy whose target no other pending copy still needs as a source;
+   break cycles by saving one target into a temporary. *)
+let sequentialize fresh cycles pending =
+  let emitted = ref [] in
+  let emit d s = emitted := Instr.Assign (d, Expr.Atom s) :: !emitted in
+  let pending = ref pending in
+  let uses_as_source v =
+    List.exists (fun (_, s) -> match s with Expr.Var w -> String.equal w v | Expr.Const _ -> false) !pending
+  in
+  while !pending <> [] do
+    match List.partition (fun (d, _) -> not (uses_as_source d)) !pending with
+    | (d, s) :: ready_rest, blocked ->
+      emit d s;
+      pending := ready_rest @ blocked;
+      (* Drop the emitted copy only; [partition] already removed it from
+         ready_rest. *)
+      ()
+    | [], (d, s) :: rest ->
+      (* Every pending target is still needed as a source: a cycle.  Save
+         [d]'s old value and redirect its readers to the snapshot. *)
+      incr cycles;
+      let t = fresh_var fresh in
+      emit t (Expr.Var d);
+      let redirect (d', s') =
+        match s' with
+        | Expr.Var w when String.equal w d -> (d', Expr.Var t)
+        | Expr.Var _ | Expr.Const _ -> (d', s')
+      in
+      pending := List.map redirect ((d, s) :: rest)
+    | [], [] -> assert false
+  done;
+  List.rev !emitted
+
+let run ssa =
+  let g = Cfg.copy (Ssa.graph ssa) in
+  let fresh = Lcm_support.Fresh.create ~existing:(Cfg.all_vars g) "_p" in
+  let phis_lowered = ref 0 and copies = ref 0 and cycles = ref 0 in
+  List.iter
+    (fun j ->
+      let ps = Ssa.phis ssa j in
+      if ps <> [] then begin
+        phis_lowered := !phis_lowered + List.length ps;
+        List.iter
+          (fun p ->
+            (* The parallel copy this predecessor must perform. *)
+            let parallel =
+              List.filter_map
+                (fun (phi : Ssa.phi) ->
+                  match List.assoc_opt p phi.args with
+                  | Some (Expr.Var s) when String.equal s phi.target -> None
+                  | Some a -> Some (phi.target, a)
+                  | None -> None)
+                ps
+            in
+            if parallel <> [] then begin
+              (* If the predecessor's branch condition is one of the copy
+                 targets, snapshot it first. *)
+              (match Cfg.term g p with
+              | Cfg.Branch (Expr.Var c, x, y)
+                when List.exists (fun (d, _) -> String.equal d c) parallel ->
+                let t = fresh_var fresh in
+                Cfg.append_instr g p (Instr.Assign (t, Expr.Atom (Expr.Var c)));
+                Cfg.set_term g p (Cfg.Branch (Expr.Var t, x, y))
+              | Cfg.Branch _ | Cfg.Goto _ | Cfg.Halt -> ());
+              let seq = sequentialize fresh cycles parallel in
+              copies := !copies + List.length seq;
+              Cfg.set_instrs g p (Cfg.instrs g p @ seq)
+            end)
+          (Cfg.predecessors g j)
+      end)
+    (Cfg.labels g);
+  Lcm_cfg.Validate.check_exn g;
+  (g, { phis_lowered = !phis_lowered; copies_inserted = !copies; cycles_broken = !cycles })

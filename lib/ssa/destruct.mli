@@ -1,0 +1,22 @@
+(** Out-of-SSA translation.
+
+    Lowers each phi function into ordinary copies at the end of the
+    predecessors.  Because {!Ssa.of_cfg} split all critical edges, each
+    predecessor of a phi block has that block as its only successor, so
+    the copies affect no other path.
+
+    The copies of one predecessor form a *parallel* copy (all sources are
+    read before any target is written); they are sequentialized
+    topologically, with cycles (the classic swap problem) broken by a
+    fresh temporary.  A predecessor whose branch condition is itself a phi
+    target is also handled by snapshotting the condition first. *)
+
+type stats = {
+  phis_lowered : int;
+  copies_inserted : int;
+  cycles_broken : int;
+}
+
+(** [run ssa] produces an ordinary (phi-free) graph computing the same
+    function. *)
+val run : Ssa.t -> Lcm_cfg.Cfg.t * stats

@@ -1,0 +1,188 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Dom = Lcm_cfg.Dom
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+type stats = {
+  exprs_replaced : int;
+  phis_simplified : int;
+  copies_forwarded : int;
+}
+
+(* A dominator-scoped table: additions are journaled so a subtree's
+   entries can be rolled back when the walk leaves it. *)
+type 'v scoped = {
+  table : (string, 'v) Hashtbl.t;
+  mutable journal : (string * 'v option) list list;
+}
+
+let scoped () = { table = Hashtbl.create 64; journal = [] }
+
+let enter s = s.journal <- [] :: s.journal
+
+let record s key =
+  match s.journal with
+  | frame :: rest -> s.journal <- ((key, Hashtbl.find_opt s.table key) :: frame) :: rest
+  | [] -> assert false
+
+let set s key value =
+  record s key;
+  Hashtbl.replace s.table key value
+
+let leave s =
+  match s.journal with
+  | frame :: rest ->
+    List.iter
+      (fun (key, previous) ->
+        match previous with
+        | Some v -> Hashtbl.replace s.table key v
+        | None -> Hashtbl.remove s.table key)
+      frame;
+    s.journal <- rest
+  | [] -> assert false
+
+let expr_key e = Format.asprintf "%a" Expr.pp (Expr.canonical e)
+
+let run ssa =
+  let ssa = Ssa.copy ssa in
+  let g = Ssa.graph ssa in
+  let dom = Dom.compute g in
+  let order = Lcm_cfg.Order.compute g in
+  (* Visit dominator-tree children in reverse postorder: a join is then
+     processed after its forward predecessors, whose phi-argument
+     canonicalizations it depends on. *)
+  let children l =
+    let rank c = Option.value ~default:max_int (Lcm_cfg.Order.rpo_index order c) in
+    List.sort (fun a b -> compare (rank a) (rank b)) (Dom.children dom l)
+  in
+  (* value.(v) = the name that canonically holds v's value. *)
+  let value : string scoped = scoped () in
+  (* exprs.(key) = the name holding that computed value. *)
+  let exprs : string scoped = scoped () in
+  let stats = ref { exprs_replaced = 0; phis_simplified = 0; copies_forwarded = 0 } in
+  let bump f = stats := f !stats in
+  let canon_var v = Option.value ~default:v (Hashtbl.find_opt value.table v) in
+  let canon_operand op =
+    match op with
+    | Expr.Var v ->
+      let v' = canon_var v in
+      if not (String.equal v v') then bump (fun s -> { s with copies_forwarded = s.copies_forwarded + 1 });
+      Expr.Var v'
+    | Expr.Const _ -> op
+  in
+  let canon_rhs = function
+    | Expr.Atom a -> Expr.Atom (canon_operand a)
+    | Expr.Unary (op, a) -> Expr.Unary (op, canon_operand a)
+    | Expr.Binary (op, a, b) -> Expr.Binary (op, canon_operand a, canon_operand b)
+  in
+  let rec walk l =
+    enter value;
+    enter exprs;
+    (* Phis: canonicalize nothing on entry (arguments were canonicalized
+       when the predecessors were visited); detect meaningless phis. *)
+    let kept_phis =
+      List.filter_map
+        (fun (p : Ssa.phi) ->
+          let arg_values =
+            List.map
+              (fun (_, a) -> match a with Expr.Var v -> Expr.Var (canon_var v) | Expr.Const _ -> a)
+              p.args
+          in
+          match arg_values with
+          | first :: rest when List.for_all (fun a -> a = first) rest ->
+            (* All arguments agree: the phi is a copy of that value. *)
+            bump (fun s -> { s with phis_simplified = s.phis_simplified + 1 });
+            (* The target keeps an explicit head copy (inserted below) so
+               the name stays defined; record its value representative. *)
+            (match first with
+            | Expr.Var v -> set value p.target (canon_var v)
+            | Expr.Const _ -> ());
+            None
+          | _ ->
+            set value p.target p.target;
+            Some p)
+        (Ssa.phis ssa l)
+    in
+    (* Re-materialize dropped phis as copies at the block head. *)
+    let dropped =
+      List.filter (fun (p : Ssa.phi) -> not (List.exists (fun (q : Ssa.phi) -> q.target = p.target) kept_phis))
+        (Ssa.phis ssa l)
+    in
+    let head_copies =
+      List.map
+        (fun (p : Ssa.phi) ->
+          let a =
+            match p.args with
+            | (_, Expr.Const c) :: _ -> Expr.Const c
+            | (_, Expr.Var v) :: _ -> Expr.Var (canon_var v)
+            | [] -> assert false
+          in
+          Instr.Assign (p.target, Expr.Atom a))
+        dropped
+    in
+    Ssa.set_phis ssa l kept_phis;
+    let body =
+      List.map
+        (fun i ->
+          match i with
+          | Instr.Assign (v, e) ->
+            let e' = canon_rhs e in
+            (match e' with
+            | Expr.Atom (Expr.Var w) ->
+              (* A copy: v's value is w's value. *)
+              set value v (canon_var w);
+              Instr.Assign (v, e')
+            | Expr.Atom (Expr.Const _) ->
+              set value v v;
+              Instr.Assign (v, e')
+            | Expr.Unary _ | Expr.Binary _ ->
+              let key = expr_key e' in
+              (match Hashtbl.find_opt exprs.table key with
+              | Some holder ->
+                bump (fun s -> { s with exprs_replaced = s.exprs_replaced + 1 });
+                set value v holder;
+                Instr.Assign (v, Expr.Atom (Expr.Var holder))
+              | None ->
+                set exprs key v;
+                set value v v;
+                Instr.Assign (v, e')))
+          | Instr.Print a -> Instr.Print (canon_operand a))
+        (Cfg.instrs g l)
+    in
+    Cfg.set_instrs g l (head_copies @ body);
+    (match Cfg.term g l with
+    | Cfg.Branch (c, a, b) -> Cfg.set_term g l (Cfg.Branch (canon_operand c, a, b))
+    | Cfg.Goto _ | Cfg.Halt -> ());
+    (* Canonicalize the phi arguments this block supplies. *)
+    List.iter
+      (fun s ->
+        let updated =
+          List.map
+            (fun (p : Ssa.phi) ->
+              {
+                p with
+                args =
+                  List.map
+                    (fun (pr, a) ->
+                      if Label.equal pr l then
+                        (pr, match a with Expr.Var v -> Expr.Var (canon_var v) | Expr.Const _ -> a)
+                      else (pr, a))
+                    p.args;
+              })
+            (Ssa.phis ssa s)
+        in
+        Ssa.set_phis ssa s updated)
+      (Cfg.successors g l);
+    List.iter walk (children l);
+    leave value;
+    leave exprs
+  in
+  walk (Cfg.entry g);
+  (ssa, !stats)
+
+let pass g =
+  let ssa = Ssa.of_cfg g in
+  let ssa', stats = run ssa in
+  let out, _ = Destruct.run ssa' in
+  (out, stats)

@@ -1,0 +1,25 @@
+(** Dominator-based value numbering on SSA form (Briggs–Cooper–Simpson).
+
+    Walks the dominator tree with a scoped table mapping value-numbered
+    expressions to the SSA name that already holds them: a computation
+    dominated by an equivalent one becomes a copy, copies and meaningless
+    phis (all arguments equal) are forwarded, and successor phi arguments
+    are canonicalized on the way.
+
+    As a redundancy eliminator this sits strictly between local value
+    numbering and PRE: it sees across blocks, but only along the dominator
+    tree — the diamond's partially redundant computation is out of reach,
+    which is exactly the gap the paper's algorithm closes.  Used as an
+    additional baseline in the experiments. *)
+
+type stats = {
+  exprs_replaced : int;  (** computations rewritten to copies *)
+  phis_simplified : int;  (** meaningless phis turned into copies *)
+  copies_forwarded : int;  (** operand uses redirected to value representatives *)
+}
+
+(** [run ssa] value-numbers a copy of [ssa]. *)
+val run : Ssa.t -> Ssa.t * stats
+
+(** [pass g] is the complete pipeline: to SSA, value-number, out of SSA. *)
+val pass : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats

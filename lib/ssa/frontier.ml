@@ -1,0 +1,60 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Dom = Lcm_cfg.Dom
+
+type t = { table : (Label.t, Label.Set.t) Hashtbl.t }
+
+let compute g =
+  let dom = Dom.compute g in
+  let table = Hashtbl.create 64 in
+  let add b j =
+    let cur = Option.value ~default:Label.Set.empty (Hashtbl.find_opt table b) in
+    Hashtbl.replace table b (Label.Set.add j cur)
+  in
+  List.iter
+    (fun j ->
+      let preds = Cfg.predecessors g j in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            match Dom.idom dom j with
+            | None -> ()
+            | Some idom_j ->
+              (* Walk up the dominator tree from the predecessor until the
+                 join's immediate dominator; every block on the way has j
+                 in its frontier.  idom(j) dominates every predecessor of
+                 j, so the walk terminates there (or at the entry for
+                 unreachable predecessors). *)
+              let rec walk runner =
+                if not (Label.equal runner idom_j) then begin
+                  add runner j;
+                  match Dom.idom dom runner with
+                  | Some up -> walk up
+                  | None -> ()
+                end
+              in
+              walk p)
+          preds)
+    (Cfg.labels g);
+  { table }
+
+let frontier t b =
+  match Hashtbl.find_opt t.table b with
+  | Some s -> Label.Set.elements s
+  | None -> []
+
+let iterated t seeds =
+  let result = ref Label.Set.empty in
+  let work = Queue.create () in
+  List.iter (fun b -> Queue.add b work) seeds;
+  while not (Queue.is_empty work) do
+    let b = Queue.pop work in
+    List.iter
+      (fun j ->
+        if not (Label.Set.mem j !result) then begin
+          result := Label.Set.add j !result;
+          Queue.add j work
+        end)
+      (frontier t b)
+  done;
+  !result

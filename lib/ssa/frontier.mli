@@ -1,0 +1,16 @@
+(** Dominance frontiers (Cooper–Harvey–Kennedy).
+
+    [DF(b)] is the set of blocks [j] such that [b] dominates a predecessor
+    of [j] but does not strictly dominate [j] — exactly the places where a
+    definition in [b] meets other definitions, i.e. where SSA construction
+    places phi functions. *)
+
+type t
+
+val compute : Lcm_cfg.Cfg.t -> t
+
+(** The frontier of a block (empty for unreachable blocks). *)
+val frontier : t -> Lcm_cfg.Label.t -> Lcm_cfg.Label.t list
+
+(** Iterated dominance frontier of a set of blocks. *)
+val iterated : t -> Lcm_cfg.Label.t list -> Lcm_cfg.Label.Set.t

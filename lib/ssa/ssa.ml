@@ -1,0 +1,268 @@
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Dom = Lcm_cfg.Dom
+module Edge_split = Lcm_cfg.Edge_split
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+type phi = {
+  orig : string;
+  target : string;
+  args : (Label.t * Expr.operand) list;
+}
+
+type t = {
+  graph : Cfg.t;
+  phi_table : (Label.t, phi list) Hashtbl.t;
+  version_sep : string;
+}
+
+let graph t = t.graph
+let phis t l = Option.value ~default:[] (Hashtbl.find_opt t.phi_table l)
+
+let phi_blocks t =
+  List.filter (fun l -> phis t l <> []) (Cfg.labels t.graph)
+
+let num_phis t = List.fold_left (fun acc l -> acc + List.length (phis t l)) 0 (phi_blocks t)
+
+let set_phis t l ps =
+  if ps = [] then Hashtbl.remove t.phi_table l else Hashtbl.replace t.phi_table l ps
+
+let copy t =
+  let phi_table = Hashtbl.copy t.phi_table in
+  { graph = Cfg.copy t.graph; phi_table; version_sep = t.version_sep }
+
+(* A separator that is a substring of no existing variable name, so
+   versioned names can never collide with program variables or each
+   other. *)
+let choose_separator vars =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let rec search k =
+    let sep = Printf.sprintf "_v%d_" k in
+    if List.exists (fun v -> contains v sep) vars then search (k + 1) else sep
+  in
+  search 0
+
+(* ---- construction ---- *)
+
+(* Mutable phi cell used during renaming. *)
+type phi_cell = {
+  p_orig : string;
+  mutable p_target : string;
+  mutable p_args : (Label.t * Expr.operand) list;  (* accumulated in any order *)
+}
+
+let of_cfg original =
+  let g = Edge_split.split_critical_edges original in
+  let dom = Dom.compute g in
+  let frontier = Frontier.compute g in
+  let vars = Cfg.all_vars g in
+  let sep = choose_separator vars in
+  (* Pruned SSA: a phi for [v] is only useful where [v] is live — a dead
+     phi would materialize as copies reading values (possibly undefined
+     ones) the original program never read. *)
+  let live = Lcm_dataflow.Live.compute g in
+  let live_in j v =
+    match Lcm_dataflow.Var_pool.index live.Lcm_dataflow.Live.vars v with
+    | Some idx -> Lcm_support.Bitvec.get (live.Lcm_dataflow.Live.livein j) idx
+    | None -> false
+  in
+  (* Definition sites per variable. *)
+  let def_blocks = Hashtbl.create 32 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun i ->
+          match Instr.defs i with
+          | Some v ->
+            let cur = Option.value ~default:Label.Set.empty (Hashtbl.find_opt def_blocks v) in
+            Hashtbl.replace def_blocks v (Label.Set.add l cur)
+          | None -> ())
+        (Cfg.instrs g l))
+    (Cfg.labels g);
+  (* Phi placement: iterated dominance frontier of the definition sites. *)
+  let cells : (Label.t, phi_cell list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt def_blocks v with
+      | None -> ()
+      | Some sites ->
+        let joins = Frontier.iterated frontier (Label.Set.elements sites) in
+        Label.Set.iter
+          (fun j ->
+            (* Only joins matter; a frontier block with a single
+               predecessor (the exit fed by one return site) merges
+               nothing. *)
+            if List.length (Cfg.predecessors g j) >= 2 && live_in j v then begin
+              let existing = Option.value ~default:[] (Hashtbl.find_opt cells j) in
+              Hashtbl.replace cells j ({ p_orig = v; p_target = v; p_args = [] } :: existing)
+            end)
+          joins)
+    vars;
+  (* Renaming. *)
+  let counter : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let stacks : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  let current v =
+    match Hashtbl.find_opt stacks v with
+    | Some (top :: _) -> top
+    | Some [] | None -> v (* version 0: the entry value keeps the original name *)
+  in
+  let push v =
+    let k = Option.value ~default:0 (Hashtbl.find_opt counter v) + 1 in
+    Hashtbl.replace counter v k;
+    let name = Printf.sprintf "%s%s%d" v sep k in
+    Hashtbl.replace stacks v (name :: Option.value ~default:[] (Hashtbl.find_opt stacks v));
+    name
+  in
+  let pop v =
+    match Hashtbl.find_opt stacks v with
+    | Some (_ :: rest) -> Hashtbl.replace stacks v rest
+    | Some [] | None -> assert false
+  in
+  let rename_operand = function
+    | Expr.Var v -> Expr.Var (current v)
+    | Expr.Const _ as c -> c
+  in
+  let rename_rhs = function
+    | Expr.Atom a -> Expr.Atom (rename_operand a)
+    | Expr.Unary (op, a) -> Expr.Unary (op, rename_operand a)
+    | Expr.Binary (op, a, b) -> Expr.Binary (op, rename_operand a, rename_operand b)
+  in
+  let keep_at_exit =
+    if List.mem Lower.return_var vars then [ Lower.return_var ] else []
+  in
+  let rec walk l =
+    let pushed = ref [] in
+    (* 1. phi targets define new versions at the block's entry. *)
+    List.iter
+      (fun cell ->
+        cell.p_target <- push cell.p_orig;
+        pushed := cell.p_orig :: !pushed)
+      (Option.value ~default:[] (Hashtbl.find_opt cells l));
+    (* 2. body. *)
+    let instrs' =
+      List.map
+        (fun i ->
+          match i with
+          | Instr.Assign (v, e) ->
+            let e' = rename_rhs e in
+            let v' = push v in
+            pushed := v :: !pushed;
+            Instr.Assign (v', e')
+          | Instr.Print a -> Instr.Print (rename_operand a))
+        (Cfg.instrs g l)
+    in
+    let instrs' =
+      if Label.equal l (Cfg.exit_label g) then
+        (* Restore the observable name of the return value. *)
+        instrs'
+        @ List.filter_map
+            (fun v ->
+              let cur = current v in
+              if String.equal cur v then None else Some (Instr.Assign (v, Expr.Atom (Expr.Var cur))))
+            keep_at_exit
+      else instrs'
+    in
+    Cfg.set_instrs g l instrs';
+    (* 3. terminator condition. *)
+    (match Cfg.term g l with
+    | Cfg.Branch (c, a, b) -> Cfg.set_term g l (Cfg.Branch (rename_operand c, a, b))
+    | Cfg.Goto _ | Cfg.Halt -> ());
+    (* 4. feed successor phis with the versions at this block's end. *)
+    List.iter
+      (fun s ->
+        List.iter
+          (fun cell -> cell.p_args <- (l, Expr.Var (current cell.p_orig)) :: cell.p_args)
+          (Option.value ~default:[] (Hashtbl.find_opt cells s)))
+      (Cfg.successors g l);
+    (* 5. recurse over the dominator tree, then roll back. *)
+    List.iter walk (Dom.children dom l);
+    List.iter pop !pushed
+  in
+  walk (Cfg.entry g);
+  (* Freeze the cells, ordering arguments by predecessor order. *)
+  let phi_table = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun l cell_list ->
+      let preds = Cfg.predecessors g l in
+      let freeze cell =
+        {
+          orig = cell.p_orig;
+          target = cell.p_target;
+          args =
+            List.map
+              (fun p ->
+                match List.assoc_opt p cell.p_args with
+                | Some a -> (p, a)
+                | None ->
+                  (* Unreachable predecessor: the value never flows; use
+                     version 0. *)
+                  (p, Expr.Var cell.p_orig))
+              preds;
+        }
+      in
+      Hashtbl.replace phi_table l
+        (List.sort (fun a b -> String.compare a.orig b.orig) (List.map freeze cell_list)))
+    cells;
+  { graph = g; phi_table; version_sep = sep }
+
+(* ---- validation ---- *)
+
+let check t =
+  let g = t.graph in
+  let errors = ref [] in
+  let report fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  (match Lcm_cfg.Validate.check g with
+  | [] -> ()
+  | issues -> List.iter (fun i -> report "graph: %s" i) issues);
+  let defs = Hashtbl.create 64 in
+  let define what v =
+    match Hashtbl.find_opt defs v with
+    | Some prev -> report "%s defines %s, already defined by %s" what v prev
+    | None -> Hashtbl.replace defs v what
+  in
+  List.iter
+    (fun l ->
+      List.iter (fun p -> define (Printf.sprintf "phi in %s" (Label.to_string l)) p.target) (phis t l);
+      List.iteri
+        (fun k i ->
+          match Instr.defs i with
+          | Some v -> define (Printf.sprintf "instr %d of %s" k (Label.to_string l)) v
+          | None -> ())
+        (Cfg.instrs g l))
+    (Cfg.labels g);
+  List.iter
+    (fun l ->
+      let preds = Cfg.predecessors g l in
+      List.iter
+        (fun p ->
+          if List.map fst p.args <> preds then
+            report "phi for %s in %s: arguments do not match predecessors" p.orig (Label.to_string l))
+        (phis t l))
+    (Cfg.labels g);
+  match List.rev !errors with
+  | [] -> Ok ()
+  | errs -> Error (String.concat "; " errs)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%a:@," Label.pp l;
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "  %s = phi(%s)@," p.target
+            (String.concat ", "
+               (List.map
+                  (fun (pr, a) -> Format.asprintf "%a: %a" Label.pp pr Expr.pp_operand a)
+                  p.args)))
+        (phis t l);
+      List.iter (fun i -> Format.fprintf ppf "  %a@," Instr.pp i) (Cfg.instrs t.graph l);
+      Format.fprintf ppf "  %a@," Cfg.pp_terminator (Cfg.term t.graph l))
+    (Cfg.labels t.graph);
+  Format.fprintf ppf "@]"

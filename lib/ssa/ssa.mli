@@ -1,0 +1,53 @@
+(** Static single assignment form.
+
+    SSA construction over this library's CFGs: critical edges are split,
+    phi functions are placed at the iterated dominance frontier of each
+    variable's definition sites, and a dominator-tree walk renames every
+    definition to a unique version.  Version 0 of a variable keeps its
+    original name, so function inputs stay bindable by the interpreter;
+    the lowered return variable receives a copy of its final version at
+    the exit block, so observable behaviour is preserved end to end.
+
+    Phi functions live in a side table (the {!Lcm_cfg.Cfg.t} instruction
+    set has no phi former); {!Destruct} lowers them back to copies.  The
+    follow-up literature recasts the paper's algorithm in SSA form, and
+    {!Dvnt} uses this substrate for a dominator-scoped value-numbering
+    baseline. *)
+
+type phi = {
+  orig : string;  (** the pre-SSA variable this phi merges *)
+  target : string;  (** the version defined by the phi *)
+  args : (Lcm_cfg.Label.t * Lcm_ir.Expr.operand) list;
+      (** one entry per predecessor of the block *)
+}
+
+type t
+
+(** [of_cfg g] builds SSA form from a copy of [g] (critical edges are
+    split first; [g] itself is untouched). *)
+val of_cfg : Lcm_cfg.Cfg.t -> t
+
+(** The phi-free instruction graph, reading and writing SSA names. *)
+val graph : t -> Lcm_cfg.Cfg.t
+
+(** Phi functions at a block's entry (empty for most blocks). *)
+val phis : t -> Lcm_cfg.Label.t -> phi list
+
+(** Blocks that carry phis. *)
+val phi_blocks : t -> Lcm_cfg.Label.t list
+
+(** Total number of phi functions. *)
+val num_phis : t -> int
+
+(** Replace the phis of a block (used by optimisations on SSA form). *)
+val set_phis : t -> Lcm_cfg.Label.t -> phi list -> unit
+
+(** A deep copy. *)
+val copy : t -> t
+
+(** Structural SSA sanity: every variable has at most one definition
+    (counting phi targets), phi argument lists match the block's
+    predecessors exactly, and the underlying graph validates. *)
+val check : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

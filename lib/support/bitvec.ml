@@ -1,0 +1,142 @@
+(* Bit vectors stored as an array of native ints, using every bit of the
+   int (63 on 64-bit systems).  The last word keeps its unused high bits at
+   zero so that [equal], [is_empty], [count] and [subset] can work
+   word-wise without masking. *)
+
+let bits_per_word = Sys.int_size
+
+type t = { len : int; words : int array }
+
+let word_count len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make (word_count len) 0 }
+
+(* Mask of valid bits in the last word. *)
+let last_mask len =
+  let r = len mod bits_per_word in
+  if r = 0 then -1 lsr (Sys.int_size - bits_per_word) else (1 lsl r) - 1
+
+let normalize v =
+  if v.len > 0 then begin
+    let last = Array.length v.words - 1 in
+    v.words.(last) <- v.words.(last) land last_mask v.len
+  end
+
+let create_full len =
+  let v = create len in
+  Array.fill v.words 0 (Array.length v.words) (-1);
+  normalize v;
+  v
+
+let length v = v.len
+
+let check v i name =
+  if i < 0 || i >= v.len then invalid_arg (Printf.sprintf "Bitvec.%s: index %d out of [0,%d)" name i v.len)
+
+let get v i =
+  check v i "get";
+  v.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set v i b =
+  check v i "set";
+  let w = i / bits_per_word and m = 1 lsl (i mod bits_per_word) in
+  if b then v.words.(w) <- v.words.(w) lor m else v.words.(w) <- v.words.(w) land lnot m
+
+let copy v = { len = v.len; words = Array.copy v.words }
+
+let same_length a b name =
+  if a.len <> b.len then invalid_arg (Printf.sprintf "Bitvec.%s: lengths %d and %d differ" name a.len b.len)
+
+let blit ~src ~dst =
+  same_length src dst "blit";
+  let changed = ref false in
+  for w = 0 to Array.length src.words - 1 do
+    if dst.words.(w) <> src.words.(w) then begin
+      dst.words.(w) <- src.words.(w);
+      changed := true
+    end
+  done;
+  !changed
+
+let equal a b =
+  same_length a b "equal";
+  let rec go w = w < 0 || (a.words.(w) = b.words.(w) && go (w - 1)) in
+  go (Array.length a.words - 1)
+
+let is_empty v =
+  let rec go w = w < 0 || (v.words.(w) = 0 && go (w - 1)) in
+  go (Array.length v.words - 1)
+
+let fill v b =
+  Array.fill v.words 0 (Array.length v.words) (if b then -1 else 0);
+  if b then normalize v
+
+let popcount =
+  (* Kernighan's loop is fast enough for our word counts. *)
+  let rec go n acc = if n = 0 then acc else go (n land (n - 1)) (acc + 1) in
+  fun n -> go n 0
+
+let count v = Array.fold_left (fun acc w -> acc + popcount w) 0 v.words
+
+let inplace op ~into v name =
+  same_length into v name;
+  let changed = ref false in
+  for w = 0 to Array.length into.words - 1 do
+    let x = op into.words.(w) v.words.(w) in
+    if x <> into.words.(w) then begin
+      into.words.(w) <- x;
+      changed := true
+    end
+  done;
+  !changed
+
+let union_into ~into v = inplace ( lor ) ~into v "union_into"
+let inter_into ~into v = inplace ( land ) ~into v "inter_into"
+let diff_into ~into v = inplace (fun a b -> a land lnot b) ~into v "diff_into"
+
+let union a b =
+  let r = copy a in
+  ignore (union_into ~into:r b);
+  r
+
+let inter a b =
+  let r = copy a in
+  ignore (inter_into ~into:r b);
+  r
+
+let diff a b =
+  let r = copy a in
+  ignore (diff_into ~into:r b);
+  r
+
+let complement v =
+  let r = { len = v.len; words = Array.map lnot v.words } in
+  normalize r;
+  r
+
+let subset a b =
+  same_length a b "subset";
+  let rec go w = w < 0 || (a.words.(w) land lnot b.words.(w) = 0 && go (w - 1)) in
+  go (Array.length a.words - 1)
+
+let iter_true f v =
+  for i = 0 to v.len - 1 do
+    if v.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  done
+
+let fold_true f v acc =
+  let r = ref acc in
+  iter_true (fun i -> r := f i !r) v;
+  !r
+
+let to_list v = List.rev (fold_true (fun i acc -> i :: acc) v [])
+
+let of_list n is =
+  let v = create n in
+  List.iter (fun i -> set v i true) is;
+  v
+
+let pp ppf v =
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Format.pp_print_int) (to_list v)

@@ -1,0 +1,82 @@
+(** Dense, fixed-width bit vectors.
+
+    The data-flow analyses in this library solve one equation system for all
+    expressions of a program simultaneously; a bit vector holds one boolean
+    per expression.  Vectors are mutable; the [*_into] operations overwrite
+    their destination and report whether it changed, which is exactly the
+    signal an iterative worklist solver needs. *)
+
+type t
+
+(** [create n] is a vector of [n] bits, all [false]. *)
+val create : int -> t
+
+(** [create_full n] is a vector of [n] bits, all [true]. *)
+val create_full : int -> t
+
+(** Number of bits. *)
+val length : t -> int
+
+(** [get v i] is bit [i].  Raises [Invalid_argument] when out of range. *)
+val get : t -> int -> bool
+
+(** [set v i b] assigns bit [i]. *)
+val set : t -> int -> bool -> unit
+
+(** A fresh copy. *)
+val copy : t -> t
+
+(** [blit ~src ~dst] overwrites [dst] with [src]; returns [true] when [dst]
+    changed.  Both vectors must have the same length. *)
+val blit : src:t -> dst:t -> bool
+
+(** Structural equality of contents (lengths must match). *)
+val equal : t -> t -> bool
+
+(** [is_empty v] holds when no bit is set. *)
+val is_empty : t -> bool
+
+(** [fill v b] sets every bit to [b]. *)
+val fill : t -> bool -> unit
+
+(** Number of set bits. *)
+val count : t -> int
+
+(** [union_into ~into v] computes [into ∪ v] in place; returns [true] when
+    [into] changed. *)
+val union_into : into:t -> t -> bool
+
+(** [inter_into ~into v] computes [into ∩ v] in place; returns [true] when
+    [into] changed. *)
+val inter_into : into:t -> t -> bool
+
+(** [diff_into ~into v] computes [into \ v] in place; returns [true] when
+    [into] changed. *)
+val diff_into : into:t -> t -> bool
+
+(** Pure binary operations; operands must have equal lengths. *)
+val union : t -> t -> t
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** Complement within the vector's width. *)
+val complement : t -> t
+
+(** [subset a b] holds when every bit of [a] is also set in [b]. *)
+val subset : t -> t -> bool
+
+(** [iter_true f v] applies [f] to the index of every set bit, ascending. *)
+val iter_true : (int -> unit) -> t -> unit
+
+(** [fold_true f v acc] folds over indices of set bits, ascending. *)
+val fold_true : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Indices of set bits, ascending. *)
+val to_list : t -> int list
+
+(** [of_list n is] is an [n]-bit vector with exactly the bits in [is] set. *)
+val of_list : int -> int list -> t
+
+(** Renders as a ["{1, 4, 7}"]-style set. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = { prefix : string; mutable next : int }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let prefix ~existing seed =
+  let rec search candidate =
+    if List.exists (fun v -> starts_with ~prefix:candidate v) existing then search (candidate ^ "_")
+    else candidate
+  in
+  search seed
+
+let create ~existing seed = { prefix = prefix ~existing seed; next = 0 }
+
+let mint t =
+  let name = Printf.sprintf "%s%d" t.prefix t.next in
+  t.next <- t.next + 1;
+  name
+
+let prefix_of t = t.prefix

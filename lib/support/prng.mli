@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All random workloads in this repository — random programs, random CFGs,
+    random interpreter inputs — draw from this generator so that every
+    experiment is reproducible from a seed printed in its output. *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create] on the sign-extended seed. *)
+val of_int : int -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val int_in : t -> int -> int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [chance t ~num ~den] is true with probability [num/den]. *)
+val chance : t -> num:int -> den:int -> bool
+
+(** [choose t arr] is a uniform element of [arr], which must be non-empty. *)
+val choose : t -> 'a array -> 'a
+
+(** [choose_list t xs] is a uniform element of [xs], which must be non-empty. *)
+val choose_list : t -> 'a list -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent generator and advances [t]. *)
+val split : t -> t

@@ -1,0 +1,56 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; ncols : int; mutable rows : row list (* reversed *) }
+
+let create headers = { headers; ncols = List.length headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.ncols then invalid_arg "Table.add_row: more cells than headers";
+  let padded = cells @ List.init (t.ncols - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Separator -> ()
+    | Cells cs -> List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cs
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let pad s w =
+    Buffer.add_string buf s;
+    Buffer.add_string buf (String.make (w - String.length s) ' ')
+  in
+  let emit_cells cs =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        pad c widths.(i))
+      cs;
+    Buffer.add_char buf '\n'
+  in
+  let emit_sep () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Separator -> emit_sep () | Cells cs -> emit_cells cs) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_bool b = if b then "yes" else "no"
+
+let cell_ratio num den =
+  if den = 0 then "n/a" else Printf.sprintf "%.2f" (float_of_int num /. float_of_int den)

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints each reproduced table/figure of the paper as
+    an aligned ASCII table; this module does the alignment. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row.  Rows shorter than the header are padded
+    with empty cells; longer rows raise [Invalid_argument]. *)
+val add_row : t -> string list -> unit
+
+(** [add_sep t] appends a horizontal separator row. *)
+val add_sep : t -> unit
+
+(** Render with all columns padded to their widest cell. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit
+
+(** Convenience cell formatters. *)
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+val cell_ratio : int -> int -> string

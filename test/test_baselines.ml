@@ -1,0 +1,206 @@
+(* Baseline transformations: LCSE, GCSE, LICM, Morel-Renvoise. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Lcse = Lcm_opt.Lcse
+module Gcse = Lcm_baselines.Gcse
+module Licm = Lcm_baselines.Licm
+module Morel_renvoise = Lcm_baselines.Morel_renvoise
+module Oracle = Lcm_eval.Oracle
+module Interp = Lcm_eval.Interp
+module Suites = Lcm_eval.Suites
+module Prng = Lcm_support.Prng
+
+let a_plus_b = Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")
+
+let test_lcse_removes_duplicate () =
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:[ Instr.Assign ("x", a_plus_b); Instr.Assign ("y", a_plus_b) ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let g', n = Lcse.run g in
+  Alcotest.(check int) "one replacement" 1 n;
+  match Cfg.instrs g' b with
+  | [ Instr.Assign ("x", _); Instr.Assign ("y", Expr.Atom (Expr.Var "x")) ] -> ()
+  | _ -> Alcotest.fail "expected y := x"
+
+let test_lcse_respects_kills () =
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:
+        [
+          Instr.Assign ("x", a_plus_b);
+          Instr.Assign ("a", Expr.Atom (Expr.Const 0));
+          Instr.Assign ("y", a_plus_b);
+        ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let _, n = Lcse.run g in
+  Alcotest.(check int) "no replacement across kill" 0 n
+
+let test_lcse_holder_overwritten () =
+  (* x holds a+b, then x is overwritten: the value must be published into
+     a fresh temporary so the recomputation can still be eliminated. *)
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:
+        [
+          Instr.Assign ("x", a_plus_b);
+          Instr.Assign ("x", Expr.Atom (Expr.Const 0));
+          Instr.Assign ("y", a_plus_b);
+        ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let g', n = Lcse.run g in
+  Alcotest.(check int) "recomputation eliminated via temp" 1 n;
+  match Cfg.instrs g' b with
+  | [ Instr.Assign ("x", _); Instr.Assign (t1, Expr.Atom (Expr.Var "x")); Instr.Assign ("x", _);
+      Instr.Assign ("y", Expr.Atom (Expr.Var t2)) ] ->
+    Alcotest.(check string) "copy feeds the reuse" t1 t2
+  | is -> Alcotest.failf "unexpected layout (%d instrs)" (List.length is)
+
+let test_lcse_self_kill_no_span () =
+  (* a := a + d computes a+d and immediately kills it: the later
+     recomputation is a different value and must stay. *)
+  let a_plus_d = Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "d") in
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:[ Instr.Assign ("a", a_plus_d); Instr.Assign ("y", a_plus_d) ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let _, n = Lcse.run g in
+  Alcotest.(check int) "no replacement across self-kill" 0 n
+
+let test_lcse_commutative () =
+  let g = Cfg.create () in
+  let b_plus_a = Expr.Binary (Expr.Add, Expr.Var "b", Expr.Var "a") in
+  let b =
+    Cfg.add_block g
+      ~instrs:[ Instr.Assign ("x", a_plus_b); Instr.Assign ("y", b_plus_a) ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let _, n = Lcse.run g in
+  Alcotest.(check int) "commutative match" 1 n
+
+let test_gcse_two_arm_join () =
+  (* Both arms compute a+b: the join's recomputation is fully redundant. *)
+  let w = Option.get (Suites.find "two_arm_redundancy") in
+  let g = Suites.graph w in
+  let a = Gcse.analyze g in
+  Alcotest.(check int) "one deletion block" 1 (List.length a.Gcse.delete);
+  Alcotest.(check int) "copies seed both arms" 2 (List.length a.Gcse.copy);
+  let g', _ = Gcse.transform g in
+  match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 5) ~original:g ~transformed:g' with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_gcse_misses_partial () =
+  (* One arm only: partial redundancy is beyond GCSE. *)
+  let w = Option.get (Suites.find "diamond") in
+  let g = Suites.graph w in
+  let a = Gcse.analyze g in
+  Alcotest.(check int) "no deletions" 0 (List.length a.Gcse.delete)
+
+let test_licm_hoists_invariant () =
+  let w = Option.get (Suites.find "loop_invariant") in
+  let g = Suites.graph w in
+  let g', stats = Licm.transform g in
+  Alcotest.(check bool) "hoisted something" true (stats.Licm.hoisted >= 1);
+  Alcotest.(check bool) "made a preheader" true (stats.Licm.preheaders_created >= 1);
+  (* Dynamically: a*b once instead of n times (speculative but profitable
+     here). *)
+  let pool = Cfg.candidate_pool g in
+  let env = [ ("a", 2); ("b", 3); ("n", 7) ] in
+  let mul = Expr.Binary (Expr.Mul, Expr.Var "a", Expr.Var "b") in
+  let idx = Option.get (Lcm_ir.Expr_pool.index pool mul) in
+  let orig = Interp.run ~pool ~env g in
+  let opt = Interp.run ~pool ~env g' in
+  Alcotest.(check bool) "same behaviour" true (Interp.same_behaviour orig opt);
+  Alcotest.(check int) "original n evals" 7 orig.Interp.eval_counts.(idx);
+  Alcotest.(check int) "licm 1 eval" 1 opt.Interp.eval_counts.(idx)
+
+let test_licm_is_speculative () =
+  (* On the zero-trip loop LICM evaluates a*b once although the original
+     never does — per-path safety is violated (the paper's motivation for
+     down-safety). *)
+  let w = Option.get (Suites.find "loop_invariant") in
+  let g = Suites.graph w in
+  let g', _ = Licm.transform g in
+  let pool = Cfg.candidate_pool g in
+  match Oracle.safety ~pool ~original:g g' with
+  | Ok () -> Alcotest.fail "expected LICM to be unsafe on some path"
+  | Error _ -> ()
+
+let test_licm_semantics_on_workloads () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let g', _ = Licm.transform g in
+      match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 17) ~original:g ~transformed:g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" w.Suites.name m)
+    Suites.all
+
+let test_morel_renvoise_diamond () =
+  (* MR finds the diamond partial redundancy with a block-end insertion. *)
+  let w = Option.get (Suites.find "diamond") in
+  let g = Suites.graph w in
+  let a = Morel_renvoise.analyze g in
+  Alcotest.(check int) "one insertion block" 1 (List.length a.Morel_renvoise.insert);
+  Alcotest.(check int) "one deletion block" 1 (List.length a.Morel_renvoise.delete)
+
+let test_morel_renvoise_sound_on_workloads () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let g', _ = Morel_renvoise.transform g in
+      (match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 29) ~original:g ~transformed:g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: semantics: %s" w.Suites.name m);
+      match Oracle.safety ~pool ~original:g g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: safety: %s" w.Suites.name m)
+    Suites.all
+
+let test_lcm_never_worse_than_mr () =
+  (* Computational optimality relative to the pre-LCM state of the art. *)
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let lcm = (Option.get (Lcm_eval.Registry.find "lcm-edge")).Lcm_eval.Registry.run g in
+      let mr, _ = Morel_renvoise.transform g in
+      match Oracle.computations_leq ~pool lcm mr with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" w.Suites.name m)
+    Suites.all
+
+let suite =
+  [
+    Alcotest.test_case "lcse removes duplicates" `Quick test_lcse_removes_duplicate;
+    Alcotest.test_case "lcse respects kills" `Quick test_lcse_respects_kills;
+    Alcotest.test_case "lcse holder overwritten" `Quick test_lcse_holder_overwritten;
+    Alcotest.test_case "lcse self-kill opens no span" `Quick test_lcse_self_kill_no_span;
+    Alcotest.test_case "lcse commutative matching" `Quick test_lcse_commutative;
+    Alcotest.test_case "gcse deletes full redundancy" `Quick test_gcse_two_arm_join;
+    Alcotest.test_case "gcse misses partial redundancy" `Quick test_gcse_misses_partial;
+    Alcotest.test_case "licm hoists invariants" `Quick test_licm_hoists_invariant;
+    Alcotest.test_case "licm is speculative (unsafe)" `Quick test_licm_is_speculative;
+    Alcotest.test_case "licm preserves semantics" `Quick test_licm_semantics_on_workloads;
+    Alcotest.test_case "morel-renvoise on diamond" `Quick test_morel_renvoise_diamond;
+    Alcotest.test_case "morel-renvoise sound" `Quick test_morel_renvoise_sound_on_workloads;
+    Alcotest.test_case "lcm never worse than morel-renvoise" `Quick test_lcm_never_worse_than_mr;
+  ]

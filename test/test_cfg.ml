@@ -1,0 +1,150 @@
+(* Graph structure: blocks, edges, mutation, splitting, merging. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Validate = Lcm_cfg.Validate
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+let assign v n = Instr.Assign (v, Expr.Atom (Expr.Const n))
+
+(* entry → a → (b | c) → d → exit, with a branch at a. *)
+let make_diamond () =
+  let g = Cfg.create ~name:"diamond" () in
+  let a = Cfg.add_block g ~instrs:[ assign "x" 1 ] ~term:Cfg.Halt in
+  let b = Cfg.add_block g ~instrs:[ assign "y" 2 ] ~term:Cfg.Halt in
+  let c = Cfg.add_block g ~instrs:[ assign "y" 3 ] ~term:Cfg.Halt in
+  let d = Cfg.add_block g ~instrs:[ assign "z" 4 ] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Cfg.set_term g a (Cfg.Branch (Expr.Var "x", b, c));
+  Cfg.set_term g b (Cfg.Goto d);
+  Cfg.set_term g c (Cfg.Goto d);
+  Cfg.set_term g d (Cfg.Goto (Cfg.exit_label g));
+  (g, a, b, c, d)
+
+let test_create () =
+  let g = Cfg.create () in
+  Alcotest.(check int) "two blocks" 2 (Cfg.num_blocks g);
+  Alcotest.(check bool) "entry first" true (List.hd (Cfg.labels g) = Cfg.entry g);
+  Alcotest.(check (list int)) "entry goes to exit" [ Cfg.exit_label g ] (Cfg.successors g (Cfg.entry g));
+  Alcotest.(check (list string)) "valid" [] (Validate.check g)
+
+let test_diamond_structure () =
+  let g, a, b, c, d = make_diamond () in
+  Alcotest.(check int) "blocks" 6 (Cfg.num_blocks g);
+  Alcotest.(check (list int)) "succ a" [ b; c ] (Cfg.successors g a);
+  Alcotest.(check (list int)) "preds d" [ b; c ] (List.sort compare (Cfg.predecessors g d));
+  Alcotest.(check int) "edges" 6 (List.length (Cfg.edges g));
+  Alcotest.(check (list string)) "valid" [] (Validate.check g)
+
+let test_preds_cache_invalidation () =
+  let g, _a, b, c, d = make_diamond () in
+  ignore (Cfg.predecessors g d);
+  (* Mutate: retarget b to exit; preds of d must shrink. *)
+  Cfg.set_term g b (Cfg.Goto (Cfg.exit_label g));
+  Alcotest.(check (list int)) "preds updated" [ c ] (Cfg.predecessors g d)
+
+let test_branch_same_target_dedup () =
+  let g = Cfg.create () in
+  let a = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Cfg.set_term g a (Cfg.Branch (Expr.Var "x", Cfg.exit_label g, Cfg.exit_label g));
+  Alcotest.(check int) "one successor" 1 (List.length (Cfg.successors g a))
+
+let test_split_edge () =
+  let g, a, b, _c, _d = make_diamond () in
+  let before_edges = List.length (Cfg.edges g) in
+  let fresh = Cfg.split_edge g a b in
+  Alcotest.(check (list int)) "fresh goes to b" [ b ] (Cfg.successors g fresh);
+  Alcotest.(check bool) "a now targets fresh" true (List.mem fresh (Cfg.successors g a));
+  Alcotest.(check bool) "a no longer targets b" false (List.mem b (Cfg.successors g a));
+  Alcotest.(check int) "one more edge" (before_edges + 1) (List.length (Cfg.edges g));
+  Alcotest.(check (list string)) "valid" [] (Validate.check g)
+
+let test_split_missing_edge () =
+  let g, _a, b, c, _d = make_diamond () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Cfg.split_edge g b c);
+       false
+     with Invalid_argument _ -> true)
+
+let test_critical_edges () =
+  (* a has two successors; d has two predecessors; but no edge a->d, so no
+     critical edge in the plain diamond. *)
+  let g, a, b, _c, d = make_diamond () in
+  Alcotest.(check bool) "b->d not critical" false (Cfg.is_critical_edge g (b, d));
+  (* Retarget a's false arm directly to d: now (a,d) is critical. *)
+  Cfg.set_term g a (Cfg.Branch (Expr.Var "x", b, d));
+  Alcotest.(check bool) "a->d critical" true (Cfg.is_critical_edge g (a, d))
+
+let test_remove_unreachable () =
+  let g, a, b, _c, d = make_diamond () in
+  (* Cut the branch: goto b only; c becomes unreachable. *)
+  Cfg.set_term g a (Cfg.Goto b);
+  Cfg.remove_unreachable g;
+  Alcotest.(check int) "blocks" 5 (Cfg.num_blocks g);
+  Alcotest.(check (list int)) "preds d" [ b ] (Cfg.predecessors g d);
+  Alcotest.(check (list string)) "valid" [] (Validate.check g)
+
+let test_exit_survives_removal () =
+  let g = Cfg.create () in
+  let a = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Cfg.set_term g a (Cfg.Goto a);
+  (* infinite loop: exit unreachable *)
+  Cfg.remove_unreachable g;
+  Alcotest.(check bool) "exit kept" true (Cfg.mem g (Cfg.exit_label g))
+
+let test_merge_straight_pairs () =
+  let g = Cfg.create () in
+  let a = Cfg.add_block g ~instrs:[ assign "x" 1 ] ~term:Cfg.Halt in
+  let b = Cfg.add_block g ~instrs:[ assign "y" 2 ] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Cfg.set_term g a (Cfg.Goto b);
+  Cfg.set_term g b (Cfg.Goto (Cfg.exit_label g));
+  Cfg.merge_straight_pairs g;
+  (* The whole chain collapses into the entry block (the exit is never
+     absorbed). *)
+  Alcotest.(check int) "entry absorbed both" 2 (List.length (Cfg.instrs g (Cfg.entry g)));
+  Alcotest.(check bool) "a gone" false (Cfg.mem g a);
+  Alcotest.(check bool) "b gone" false (Cfg.mem g b);
+  Alcotest.(check int) "two blocks left" 2 (Cfg.num_blocks g);
+  Alcotest.(check (list string)) "valid" [] (Validate.check g)
+
+let test_copy_independent () =
+  let g, a, _b, _c, _d = make_diamond () in
+  let g' = Cfg.copy g in
+  Cfg.set_instrs g' a [];
+  Alcotest.(check int) "original untouched" 1 (List.length (Cfg.instrs g a));
+  Alcotest.(check int) "copy changed" 0 (List.length (Cfg.instrs g' a))
+
+let test_all_vars_and_counts () =
+  let g, _, _, _, _ = make_diamond () in
+  Alcotest.(check (list string)) "vars" [ "x"; "y"; "z" ] (Cfg.all_vars g);
+  Alcotest.(check int) "instrs" 4 (Cfg.num_instrs g);
+  Alcotest.(check int) "no candidates" 0 (Cfg.num_candidate_occurrences g)
+
+let test_validate_catches_bad_halt () =
+  let g = Cfg.create () in
+  let a = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Alcotest.(check bool) "non-exit halt flagged" true
+    (List.exists (fun s -> String.length s > 0) (Validate.check g))
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "diamond structure" `Quick test_diamond_structure;
+    Alcotest.test_case "predecessor cache invalidation" `Quick test_preds_cache_invalidation;
+    Alcotest.test_case "branch with equal targets" `Quick test_branch_same_target_dedup;
+    Alcotest.test_case "split edge" `Quick test_split_edge;
+    Alcotest.test_case "split missing edge raises" `Quick test_split_missing_edge;
+    Alcotest.test_case "critical edges" `Quick test_critical_edges;
+    Alcotest.test_case "remove unreachable" `Quick test_remove_unreachable;
+    Alcotest.test_case "exit survives removal" `Quick test_exit_survives_removal;
+    Alcotest.test_case "merge straight pairs" `Quick test_merge_straight_pairs;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "all_vars and counts" `Quick test_all_vars_and_counts;
+    Alcotest.test_case "validate catches stray halt" `Quick test_validate_catches_bad_halt;
+  ]

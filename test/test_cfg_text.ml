@@ -1,0 +1,92 @@
+(* The textual CFG format: parsing, errors, and round-tripping. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Cfg_text = Lcm_cfg.Cfg_text
+module Lower = Lcm_cfg.Lower
+module Prng = Lcm_support.Prng
+module Gencfg = Lcm_eval.Gencfg
+
+let sample =
+  {|cfg sample (entry B0, exit B1)
+B0:
+  goto B2
+B1:
+  halt
+B2:
+  x := a + b
+  print x
+  if p then B2 else B1
+|}
+
+let test_parse_sample () =
+  let g = Cfg_text.parse sample in
+  Alcotest.(check int) "blocks" 3 (Cfg.num_blocks g);
+  Alcotest.(check string) "name" "sample" (Cfg.name g);
+  Alcotest.(check int) "instrs" 2 (Cfg.num_instrs g);
+  Alcotest.(check int) "one candidate" 1 (Cfg.num_candidate_occurrences g)
+
+let test_roundtrip_sample () =
+  let g = Cfg_text.parse sample in
+  let again = Cfg_text.parse (Cfg.to_string g) in
+  Alcotest.(check string) "stable" (Cfg.to_string g) (Cfg.to_string again)
+
+let test_roundtrip_lowered () =
+  let g =
+    Lower.parse_and_lower_func
+      "function f(a, b, n) { s = 0; i = 0; while (i < n) { s = s + (a * b) - (-i); i = i + 1; } \
+       print s; return s; }"
+  in
+  let again = Cfg_text.parse (Cfg.to_string g) in
+  Alcotest.(check string) "stable" (Cfg.to_string g) (Cfg.to_string again)
+
+let test_roundtrip_random () =
+  (* Random graphs round-trip exactly (their labels are dense). *)
+  let rng = Prng.of_int 99 in
+  for _ = 1 to 25 do
+    let g = Gencfg.random_cfg rng in
+    let again = Cfg_text.parse (Cfg.to_string g) in
+    Alcotest.(check string) "stable" (Cfg.to_string g) (Cfg.to_string again)
+  done
+
+let test_roundtrip_figures () =
+  let g = Lcm_figures.Running_example.graph () in
+  let again = Cfg_text.parse (Cfg.to_string g) in
+  Alcotest.(check string) "stable" (Cfg.to_string g) (Cfg.to_string again)
+
+let test_negative_constants () =
+  let g =
+    Cfg_text.parse
+      "cfg neg (entry B0, exit B1)\nB0:\n  goto B2\nB1:\n  halt\nB2:\n  x := -5\n  y := x + -3\n  goto B1\n"
+  in
+  let again = Cfg_text.parse (Cfg.to_string g) in
+  Alcotest.(check string) "stable" (Cfg.to_string g) (Cfg.to_string again)
+
+let test_errors () =
+  let cases =
+    [
+      "B0:\n  halt\n" (* missing header *);
+      "cfg x (entry B0, exit B1)\nB0:\n  goto B1\nB1:\n  halt\nB2:\n  goto B9\n" (* undefined label *);
+      "cfg x (entry B0, exit B1)\nB0:\n  goto B1\nB1:\n  halt\nB2:\n  x := a +\n  goto B1\n"
+      (* bad expression *);
+      "cfg x (entry B0, exit B1)\nB0:\n  goto B1\nB1:\n  halt\nB2:\n" (* no terminator *);
+      "cfg x (entry B0, exit B1)\nB2:\n  goto B1\nB0:\n  goto B2\nB1:\n  halt\n" (* order *);
+      "cfg x (entry B0, exit B1)\nB0:\n  halt\nB1:\n  halt\n" (* stray halt *);
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Cfg_text.parse src with
+      | _ -> Alcotest.failf "expected a parse error for %S" src
+      | exception Cfg_text.Parse_error _ -> ())
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "roundtrip sample" `Quick test_roundtrip_sample;
+    Alcotest.test_case "roundtrip lowered function" `Quick test_roundtrip_lowered;
+    Alcotest.test_case "roundtrip random graphs" `Quick test_roundtrip_random;
+    Alcotest.test_case "roundtrip running example" `Quick test_roundtrip_figures;
+    Alcotest.test_case "negative constants" `Quick test_negative_constants;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+  ]

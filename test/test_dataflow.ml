@@ -1,0 +1,197 @@
+(* Local predicates, availability, anticipatability, liveness, solver. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Instr = Lcm_ir.Instr
+module Local = Lcm_dataflow.Local
+module Avail = Lcm_dataflow.Avail
+module Antic = Lcm_dataflow.Antic
+module Live = Lcm_dataflow.Live
+module Var_pool = Lcm_dataflow.Var_pool
+
+let a_plus_b = Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")
+
+let bit local f l = Bitvec.get (f local l) 0
+
+(* One block: x := a+b ; a := 0 ; y := a+b *)
+let test_local_predicates_kill () =
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:
+        [
+          Instr.Assign ("x", a_plus_b);
+          Instr.Assign ("a", Expr.Atom (Expr.Const 0));
+          Instr.Assign ("y", a_plus_b);
+        ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  Alcotest.(check bool) "antloc" true (bit local Local.antloc b);
+  Alcotest.(check bool) "comp (recomputed after kill)" true (bit local Local.comp b);
+  Alcotest.(check bool) "not transparent" false (bit local Local.transp b)
+
+(* x := x + 1: upwards exposed but not downwards exposed. *)
+let test_local_self_kill () =
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:[ Instr.Assign ("x", Expr.Binary (Expr.Add, Expr.Var "x", Expr.Const 1)) ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  Alcotest.(check bool) "antloc" true (bit local Local.antloc b);
+  Alcotest.(check bool) "not comp" false (bit local Local.comp b);
+  Alcotest.(check bool) "not transparent" false (bit local Local.transp b)
+
+(* kill before the computation: not upwards exposed. *)
+let test_local_kill_before () =
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:[ Instr.Assign ("a", Expr.Atom (Expr.Const 0)); Instr.Assign ("x", a_plus_b) ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  Alcotest.(check bool) "not antloc" false (bit local Local.antloc b);
+  Alcotest.(check bool) "comp" true (bit local Local.comp b)
+
+(* entry → b1 (x := a+b) → b2 (empty) → b3 (y := a+b) → exit *)
+let straight_line () =
+  let g = Cfg.create () in
+  let b1 = Cfg.add_block g ~instrs:[ Instr.Assign ("x", a_plus_b) ] ~term:Cfg.Halt in
+  let b2 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b3 = Cfg.add_block g ~instrs:[ Instr.Assign ("y", a_plus_b) ] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b1);
+  Cfg.set_term g b1 (Cfg.Goto b2);
+  Cfg.set_term g b2 (Cfg.Goto b3);
+  Cfg.set_term g b3 (Cfg.Goto (Cfg.exit_label g));
+  (g, b1, b2, b3)
+
+let test_availability () =
+  let g, b1, b2, b3 = straight_line () in
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let avail = Avail.compute g local in
+  Alcotest.(check bool) "not avin b1" false (Bitvec.get (avail.Avail.avin b1) 0);
+  Alcotest.(check bool) "avout b1" true (Bitvec.get (avail.Avail.avout b1) 0);
+  Alcotest.(check bool) "avin b2" true (Bitvec.get (avail.Avail.avin b2) 0);
+  Alcotest.(check bool) "avin b3" true (Bitvec.get (avail.Avail.avin b3) 0)
+
+let test_anticipatability () =
+  let g, b1, b2, b3 = straight_line () in
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let antic = Antic.compute g local in
+  Alcotest.(check bool) "antin b1" true (Bitvec.get (antic.Antic.antin b1) 0);
+  Alcotest.(check bool) "antin b2 (transparent chain)" true (Bitvec.get (antic.Antic.antin b2) 0);
+  Alcotest.(check bool) "antin b3" true (Bitvec.get (antic.Antic.antin b3) 0);
+  Alcotest.(check bool) "antout b3" false (Bitvec.get (antic.Antic.antout b3) 0)
+
+(* Availability must-intersect at joins: only one arm computes. *)
+let test_avail_join_intersection () =
+  let g = Lower.parse_and_lower_func
+      "function f(a, b, p) { if (p > 0) { x = a + b; } else { x = 1; } y = a + b; return y; }"
+  in
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let avail = Avail.compute g local in
+  let pavail = Avail.compute_partial g local in
+  let idx = Option.get (Expr_pool.index pool a_plus_b) in
+  (* Find the join block: the one whose instrs compute y := a+b. *)
+  let join =
+    List.find
+      (fun l ->
+        List.exists
+          (fun i -> match i with Instr.Assign ("y", _) -> true | _ -> false)
+          (Cfg.instrs g l))
+      (Cfg.labels g)
+  in
+  Alcotest.(check bool) "must-avail false at join" false (Bitvec.get (avail.Avail.avin join) idx);
+  Alcotest.(check bool) "may-avail true at join" true (Bitvec.get (pavail.Avail.avin join) idx)
+
+let test_antic_kill_blocks () =
+  (* A kill on one path stops must-anticipatability above the branch. *)
+  let g =
+    Lower.parse_and_lower_func
+      "function f(a, b, p) { if (p > 0) { a = 1; x = a + b; } else { y = a + b; } return 0; }"
+  in
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let antic = Antic.compute g local in
+  let idx = Option.get (Expr_pool.index pool a_plus_b) in
+  (* The branch block (contains the condition temp) must not anticipate a+b. *)
+  let branch_block =
+    List.find
+      (fun l -> match Cfg.term g l with Cfg.Branch _ -> true | Cfg.Goto _ | Cfg.Halt -> false)
+      (Cfg.labels g)
+  in
+  Alcotest.(check bool) "not anticipated before branch" false
+    (Bitvec.get (antic.Antic.antout branch_block) idx)
+
+let test_liveness () =
+  let g =
+    Lower.parse_and_lower_func "function f(a, b) { x = a + b; y = x + 1; return y; }"
+  in
+  let live = Live.compute g in
+  (* At function entry, a and b are live (read before written), x/y are not. *)
+  let first_real =
+    match Cfg.successors g (Cfg.entry g) with
+    | [ l ] -> l
+    | _ -> Alcotest.fail "entry should have one successor"
+  in
+  let check_live v expected =
+    let idx = Option.get (Var_pool.index live.Live.vars v) in
+    Alcotest.(check bool) (v ^ " live at entry") expected (Bitvec.get (live.Live.livein first_real) idx)
+  in
+  check_live "a" true;
+  check_live "b" true;
+  check_live "x" false;
+  check_live "y" false;
+  (* The return variable is live out of the graph. *)
+  Alcotest.(check bool) "_ret live at exit" true
+    (Bitvec.get
+       (live.Live.liveout (Cfg.exit_label g))
+       (Option.get (Var_pool.index live.Live.vars Lower.return_var)))
+
+let test_live_blocks_metric () =
+  (* x must cross a block boundary to register in the metric. *)
+  let g =
+    Lower.parse_and_lower_func
+      "function f(a) { x = a + 1; if (a > 0) { y = x + 2; } else { y = x + 3; } return y; }"
+  in
+  let live = Live.compute g in
+  Alcotest.(check bool) "x live somewhere" true (Live.live_blocks live g "x" > 0);
+  Alcotest.(check int) "unknown var" 0 (Live.live_blocks live g "zz")
+
+let test_solver_counts () =
+  let g, _, _, _ = straight_line () in
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let avail = Avail.compute g local in
+  (* A straight line converges in two sweeps (one changing, one stable). *)
+  Alcotest.(check bool) "sweeps at least 2" true (avail.Avail.sweeps >= 2);
+  Alcotest.(check bool) "visits cover blocks" true (avail.Avail.visits >= Cfg.num_blocks g)
+
+let suite =
+  [
+    Alcotest.test_case "local: compute then kill" `Quick test_local_predicates_kill;
+    Alcotest.test_case "local: x := x + 1" `Quick test_local_self_kill;
+    Alcotest.test_case "local: kill before compute" `Quick test_local_kill_before;
+    Alcotest.test_case "availability straight line" `Quick test_availability;
+    Alcotest.test_case "anticipatability straight line" `Quick test_anticipatability;
+    Alcotest.test_case "avail join: must vs may" `Quick test_avail_join_intersection;
+    Alcotest.test_case "antic stops at kills" `Quick test_antic_kill_blocks;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+    Alcotest.test_case "live_blocks metric" `Quick test_live_blocks_metric;
+    Alcotest.test_case "solver counts" `Quick test_solver_counts;
+  ]

@@ -1,0 +1,155 @@
+(* The reconstructed running example: golden predicate table and golden
+   BCM/LCM placements (experiments EXP-F1..F3 as assertions). *)
+
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Running_example = Lcm_figures.Running_example
+module Lcm_edge = Lcm_core.Lcm_edge
+module Bcm_edge = Lcm_core.Bcm_edge
+module Lcm_node = Lcm_core.Lcm_node
+module Local = Lcm_dataflow.Local
+module Avail = Lcm_dataflow.Avail
+module Antic = Lcm_dataflow.Antic
+module Oracle = Lcm_eval.Oracle
+module Metrics = Lcm_eval.Metrics
+module Registry = Lcm_eval.Registry
+module Prng = Lcm_support.Prng
+
+let inputs = [ "a"; "b"; "p"; "q"; "r" ]
+
+let test_structure () =
+  let g = Running_example.graph () in
+  Alcotest.(check int) "13 blocks" 13 (Cfg.num_blocks g);
+  Alcotest.(check int) "4 occurrences of a+b" 4 (Cfg.num_candidate_occurrences g);
+  Alcotest.(check int) "single candidate expression" 0 (Running_example.expr_index g)
+
+(* EXP-F1: the per-block predicate annotations of the paper's Figure 1. *)
+let test_predicate_table () =
+  let g = Running_example.graph () in
+  let a = Lcm_edge.analyze g in
+  let idx = Running_example.expr_index g in
+  let antin l = Bitvec.get (a.Lcm_edge.antic.Antic.antin l) idx in
+  let avout l = Bitvec.get (a.Lcm_edge.avail.Avail.avout l) idx in
+  let laterin l = Bitvec.get (a.Lcm_edge.laterin l) idx in
+  (* Anticipatability: a+b is down-safe from the entry all the way to the
+     loop, but not below B10's kill on the B11 arm. *)
+  List.iter (fun l -> Alcotest.(check bool) (Printf.sprintf "antin B%d" l) true (antin l)) [ 2; 3; 4; 5; 6; 7; 8; 9; 12 ];
+  List.iter (fun l -> Alcotest.(check bool) (Printf.sprintf "antin B%d" l) false (antin l)) [ 10; 11 ];
+  (* Availability: only after the computing blocks. *)
+  List.iter (fun l -> Alcotest.(check bool) (Printf.sprintf "avout B%d" l) true (avout l)) [ 3; 9; 12 ];
+  List.iter (fun l -> Alcotest.(check bool) (Printf.sprintf "avout B%d" l) false (avout l)) [ 2; 4; 5; 8; 10 ];
+  (* LATERIN: insertion can still be delayed through B2/B3/B4 (the region
+     above the join) but not past it. *)
+  List.iter (fun l -> Alcotest.(check bool) (Printf.sprintf "laterin B%d" l) true (laterin l)) [ 2; 3; 4; 12 ];
+  List.iter (fun l -> Alcotest.(check bool) (Printf.sprintf "laterin B%d" l) false (laterin l)) [ 5; 6; 7; 8; 9 ]
+
+(* EXP-F3: the lazy placement. *)
+let test_lcm_placement () =
+  let g = Running_example.graph () in
+  let a = Lcm_edge.analyze g in
+  Alcotest.(check (list (pair int int))) "insertions" [ (4, 5); (8, 9) ]
+    (List.map fst a.Lcm_edge.insert);
+  Alcotest.(check (list int)) "deletions" [ 8; 9 ] (List.map fst a.Lcm_edge.delete);
+  Alcotest.(check (list int)) "copies" [ 3 ] (List.map fst a.Lcm_edge.copy)
+
+(* EXP-F2: the busy placement inserts at the very top and the isolated
+   arm, deleting every original computation. *)
+let test_bcm_placement () =
+  let g = Running_example.graph () in
+  let a = Bcm_edge.analyze g in
+  Alcotest.(check (list (pair int int))) "insertions" [ (0, 2); (8, 9); (10, 12) ]
+    (List.map fst a.Bcm_edge.insert);
+  Alcotest.(check (list int)) "deletions" [ 3; 8; 9; 12 ] (List.map fst a.Bcm_edge.delete);
+  Alcotest.(check (list int)) "no copies" [] (List.map fst a.Bcm_edge.copy)
+
+(* The figures' point: same computation counts, shorter lifetimes. *)
+let test_lifetime_gap () =
+  let g = Running_example.graph () in
+  let pool = Cfg.candidate_pool g in
+  let bcm, _ = Bcm_edge.transform g in
+  let lcm, _ = Lcm_edge.transform g in
+  (match Oracle.computations_leq ~pool lcm bcm with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match Oracle.computations_leq ~pool bcm lcm with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let lifetime h = Metrics.temp_lifetime h ~temps:(Registry.new_temps ~original:g ~transformed:h) in
+  Alcotest.(check bool) "lcm lifetime strictly smaller" true (lifetime lcm < lifetime bcm)
+
+(* Isolation (EXP-A1): ALCM rewrites the isolated computation in B12, LCM
+   leaves it alone. *)
+let test_isolation_on_example () =
+  let g = Lcm_cfg.Granulate.run (Running_example.graph ()) in
+  let a = Lcm_node.analyze g in
+  let lcm = Lcm_node.spec g a Lcm_node.Lcm in
+  let alcm = Lcm_node.spec g a Lcm_node.Alcm in
+  let count_inserts spec =
+    List.fold_left (fun acc (_, set) -> acc + Bitvec.count set) 0 spec.Lcm_core.Transform.entry_inserts
+  in
+  let count_deletes spec =
+    List.fold_left (fun acc (_, set) -> acc + Bitvec.count set) 0 spec.Lcm_core.Transform.deletes
+  in
+  Alcotest.(check bool) "alcm inserts more" true (count_inserts alcm > count_inserts lcm);
+  Alcotest.(check bool) "alcm rewrites more" true (count_deletes alcm > count_deletes lcm)
+
+(* All algorithms preserve the example's semantics and safety. *)
+let test_all_algorithms_sound_here () =
+  let g = Running_example.graph () in
+  let pool = Cfg.candidate_pool g in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let g' = e.Registry.run g in
+      match Oracle.semantics ~inputs (Prng.of_int 31) ~original:g ~transformed:g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: semantics: %s" e.Registry.name m)
+    Registry.all;
+  (* The non-speculative entries are also per-path safe and never read an
+     undefined temporary. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let g' = e.Registry.run g in
+      let verdict =
+        if e.Registry.preserves_expressions then Oracle.safety ~pool ~original:g g'
+        else Oracle.computations_leq ~pool g' g
+      in
+      (match verdict with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: safety: %s" e.Registry.name m);
+      match Oracle.no_undefined_temp_reads ~inputs ~original:g g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: temps: %s" e.Registry.name m)
+    Registry.safe
+
+(* The critical-edge example: MR finds nothing, LCM removes the partial
+   redundancy, strictly better on the computing-arm path. *)
+let test_critical_edge_example () =
+  let g = Lcm_figures.Critical_edge.graph () in
+  let pool = Cfg.candidate_pool g in
+  let mra = Lcm_baselines.Morel_renvoise.analyze g in
+  Alcotest.(check int) "mr inserts nothing" 0 (List.length mra.Lcm_baselines.Morel_renvoise.insert);
+  Alcotest.(check int) "mr deletes nothing" 0 (List.length mra.Lcm_baselines.Morel_renvoise.delete);
+  let la = Lcm_core.Lcm_edge.analyze g in
+  Alcotest.(check int) "lcm inserts once" 1 (List.length la.Lcm_core.Lcm_edge.insert);
+  Alcotest.(check int) "lcm deletes once" 1 (List.length la.Lcm_core.Lcm_edge.delete);
+  let lcm = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+  let through = Lcm_eval.Trace.replay ~pool lcm [ true ] in
+  let orig_through = Lcm_eval.Trace.replay ~pool g [ true ] in
+  Alcotest.(check int) "lcm: 1 eval on the B path" 1 (Lcm_eval.Trace.total through.Lcm_eval.Trace.eval_counts);
+  Alcotest.(check int) "original: 2 evals on the B path" 2
+    (Lcm_eval.Trace.total orig_through.Lcm_eval.Trace.eval_counts);
+  match Oracle.semantics ~inputs:Lcm_figures.Critical_edge.inputs (Prng.of_int 3) ~original:g ~transformed:lcm with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "critical-edge example beats Morel-Renvoise" `Quick test_critical_edge_example;
+    Alcotest.test_case "EXP-F1: predicate table" `Quick test_predicate_table;
+    Alcotest.test_case "EXP-F3: lazy placement" `Quick test_lcm_placement;
+    Alcotest.test_case "EXP-F2: busy placement" `Quick test_bcm_placement;
+    Alcotest.test_case "lifetime gap BCM vs LCM" `Quick test_lifetime_gap;
+    Alcotest.test_case "EXP-A1: isolation pruning" `Quick test_isolation_on_example;
+    Alcotest.test_case "all algorithms sound on the example" `Quick test_all_algorithms_sound_here;
+  ]

@@ -1,0 +1,177 @@
+(* DFS orders, dominators, natural loops, granulation, lowering. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Order = Lcm_cfg.Order
+module Dom = Lcm_cfg.Dom
+module Loop = Lcm_cfg.Loop
+module Lower = Lcm_cfg.Lower
+module Granulate = Lcm_cfg.Granulate
+module Validate = Lcm_cfg.Validate
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+
+(* entry → h; h → (b | x); b → h  (a while loop) *)
+let make_loop () =
+  let g = Cfg.create ~name:"loop" () in
+  let h = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto h);
+  Cfg.set_term g h (Cfg.Branch (Expr.Var "p", b, Cfg.exit_label g));
+  Cfg.set_term g b (Cfg.Goto h);
+  (g, h, b)
+
+let test_rpo_entry_first () =
+  let g, h, b = make_loop () in
+  let order = Order.compute g in
+  let rpo = Order.reverse_postorder order in
+  Alcotest.(check int) "entry first" (Cfg.entry g) (List.hd rpo);
+  Alcotest.(check bool) "header before body" true
+    (Option.get (Order.rpo_index order h) < Option.get (Order.rpo_index order b));
+  Alcotest.(check int) "postorder is reverse" (Cfg.entry g) (List.nth (Order.postorder order) 3)
+
+let test_back_edges () =
+  let g, h, b = make_loop () in
+  let order = Order.compute g in
+  Alcotest.(check (list (pair int int))) "one back edge" [ (b, h) ] (Order.back_edges g order)
+
+let test_unreachable_not_in_order () =
+  let g = Cfg.create () in
+  let dead = Cfg.add_block g ~instrs:[] ~term:(Cfg.Goto (Cfg.exit_label g)) in
+  let order = Order.compute g in
+  Alcotest.(check bool) "dead not reachable" false (Order.is_reachable order dead)
+
+let test_dominators_diamond () =
+  let g = Cfg.create () in
+  let a = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let c = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let d = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Cfg.set_term g a (Cfg.Branch (Expr.Var "p", b, c));
+  Cfg.set_term g b (Cfg.Goto d);
+  Cfg.set_term g c (Cfg.Goto d);
+  Cfg.set_term g d (Cfg.Goto (Cfg.exit_label g));
+  let dom = Dom.compute g in
+  Alcotest.(check (option int)) "idom b = a" (Some a) (Dom.idom dom b);
+  Alcotest.(check (option int)) "idom c = a" (Some a) (Dom.idom dom c);
+  Alcotest.(check (option int)) "idom d = a (not b or c)" (Some a) (Dom.idom dom d);
+  Alcotest.(check (option int)) "entry has no idom" None (Dom.idom dom (Cfg.entry g));
+  Alcotest.(check bool) "a dominates d" true (Dom.dominates dom a d);
+  Alcotest.(check bool) "b does not dominate d" false (Dom.dominates dom b d);
+  Alcotest.(check bool) "reflexive" true (Dom.dominates dom d d);
+  Alcotest.(check int) "a's dominated set" 5 (List.length (Dom.dominated_by dom a))
+
+let test_loop_detection () =
+  let g, h, b = make_loop () in
+  let loops = Loop.compute g in
+  match Loop.loops loops with
+  | [ lp ] ->
+    Alcotest.(check int) "header" h lp.Loop.header;
+    Alcotest.(check bool) "body has b" true (Label.Set.mem b lp.Loop.body);
+    Alcotest.(check int) "body size" 2 (Label.Set.cardinal lp.Loop.body);
+    Alcotest.(check int) "depth of body" 1 (Loop.depth loops b);
+    Alcotest.(check int) "depth outside" 0 (Loop.depth loops (Cfg.entry g));
+    Alcotest.(check (list (pair int int))) "entry edges" [ (Cfg.entry g, h) ] (Loop.entry_edges g lp)
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls)
+
+let test_nested_loops () =
+  let src =
+    "function f(n, m) { i = 0; while (i < n) { j = 0; while (j < m) { j = j + 1; } i = i + 1; } \
+     return i; }"
+  in
+  let g = Lower.parse_and_lower_func src in
+  let loops = Loop.compute g in
+  Alcotest.(check int) "two loops" 2 (List.length (Loop.loops loops));
+  Alcotest.(check int) "max depth" 2 (Loop.max_depth loops)
+
+let test_lower_diamond_shape () =
+  let g = Lower.parse_and_lower_func "function f(a, b, p) { if (p > 0) { x = a + b; } y = a + b; return y; }" in
+  Alcotest.(check (list string)) "valid" [] (Validate.check g);
+  (* entry, exit, cond block, then-arm, (empty else), join. *)
+  Alcotest.(check bool) "has branch" true
+    (List.exists
+       (fun l -> match Cfg.term g l with Cfg.Branch _ -> true | Cfg.Goto _ | Cfg.Halt -> false)
+       (Cfg.labels g));
+  Alcotest.(check int) "two candidate occurrences of a+b plus condition" 3
+    (Cfg.num_candidate_occurrences g)
+
+let test_lower_return_var () =
+  let g = Lower.parse_and_lower_func "function f() { return 7; }" in
+  let has_ret =
+    List.exists
+      (fun l ->
+        List.exists
+          (fun i -> match Instr.defs i with Some v -> String.equal v Lower.return_var | None -> false)
+          (Cfg.instrs g l))
+      (Cfg.labels g)
+  in
+  Alcotest.(check bool) "assigns return var" true has_ret
+
+let test_lower_dead_code_after_return () =
+  let g = Lower.parse_and_lower_func "function f() { return 1; x = 2; }" in
+  Alcotest.(check (list string)) "valid (dead code removed)" [] (Validate.check g);
+  let assigns_x =
+    List.exists
+      (fun l ->
+        List.exists
+          (fun i -> match Instr.defs i with Some v -> String.equal v "x" | None -> false)
+          (Cfg.instrs g l))
+      (Cfg.labels g)
+  in
+  Alcotest.(check bool) "x assignment unreachable, removed" false assigns_x
+
+let test_lower_while_shape () =
+  let g = Lower.parse_and_lower_func "function f(n) { i = 0; while (i < n) { i = i + 1; } return i; }" in
+  let loops = Loop.compute g in
+  Alcotest.(check int) "one loop" 1 (List.length (Loop.loops loops))
+
+let test_lower_do_while_shape () =
+  let g = Lower.parse_and_lower_func "function f(n) { i = 0; do { i = i + 1; } while (i < n); return i; }" in
+  let loops = Loop.compute g in
+  Alcotest.(check int) "one loop" 1 (List.length (Loop.loops loops))
+
+let test_lower_temp_no_collision () =
+  (* A user variable that looks like a temp prefix must not collide. *)
+  let g = Lower.parse_and_lower_func "function f(_t0) { x = (_t0 + 1) * 2; return x; }" in
+  Alcotest.(check (list string)) "valid" [] (Validate.check g);
+  let vars = Cfg.all_vars g in
+  Alcotest.(check bool) "user var present" true (List.mem "_t0" vars);
+  (* Lowering needed a temp for the nested expression; it must be distinct. *)
+  Alcotest.(check bool) "fresh temp distinct" true (List.exists (fun v -> String.length v > 3 && String.sub v 0 3 = "_t_") vars)
+
+let test_granulate () =
+  let g = Lower.parse_and_lower_func "function f(a, b) { x = a + b; y = a * b; z = x + y; return z; }" in
+  let gran = Granulate.run g in
+  Alcotest.(check bool) "granular" true (Granulate.is_granular gran);
+  Alcotest.(check bool) "original not granular" false (Granulate.is_granular g);
+  Alcotest.(check int) "same instruction count" (Cfg.num_instrs g) (Cfg.num_instrs gran);
+  Alcotest.(check (list string)) "valid" [] (Validate.check gran)
+
+let test_granulate_preserves_semantics () =
+  let src = "function f(a, b) { s = 0; i = 0; while (i < 5) { s = s + a * b; i = i + 1; } return s; }" in
+  let g = Lower.parse_and_lower_func src in
+  let gran = Granulate.run g in
+  let result =
+    Lcm_eval.Oracle.semantics ~inputs:[ "a"; "b" ] (Lcm_support.Prng.of_int 3) ~original:g
+      ~transformed:gran
+  in
+  Alcotest.(check bool) "same behaviour" true (Result.is_ok result)
+
+let suite =
+  [
+    Alcotest.test_case "rpo entry first" `Quick test_rpo_entry_first;
+    Alcotest.test_case "back edges" `Quick test_back_edges;
+    Alcotest.test_case "unreachable blocks" `Quick test_unreachable_not_in_order;
+    Alcotest.test_case "dominators on diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "loop detection" `Quick test_loop_detection;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "lower: diamond shape" `Quick test_lower_diamond_shape;
+    Alcotest.test_case "lower: return variable" `Quick test_lower_return_var;
+    Alcotest.test_case "lower: dead code after return" `Quick test_lower_dead_code_after_return;
+    Alcotest.test_case "lower: while loop" `Quick test_lower_while_shape;
+    Alcotest.test_case "lower: do-while loop" `Quick test_lower_do_while_shape;
+    Alcotest.test_case "lower: temp prefix avoids collision" `Quick test_lower_temp_no_collision;
+    Alcotest.test_case "granulate" `Quick test_granulate;
+    Alcotest.test_case "granulate preserves semantics" `Quick test_granulate_preserves_semantics;
+  ]

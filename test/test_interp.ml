@@ -1,0 +1,129 @@
+(* The interpreter and the decision-trace engine. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Interp = Lcm_eval.Interp
+module Trace = Lcm_eval.Trace
+
+let lower src = Lower.parse_and_lower_func src
+let pool_of = Cfg.candidate_pool
+
+let run ?env src =
+  let g = lower src in
+  Interp.run ~pool:(pool_of g) ~env:(Option.value ~default:[] env) g
+
+let ret o = Option.get o.Interp.return_value
+
+let test_arithmetic () =
+  Alcotest.(check int) "add" 7 (ret (run "function f() { return 3 + 4; }"));
+  Alcotest.(check int) "precedence" 14 (ret (run "function f() { return 2 + 3 * 4; }"));
+  Alcotest.(check int) "sub" (-1) (ret (run "function f() { return 3 - 4; }"));
+  Alcotest.(check int) "div" 3 (ret (run "function f() { return 10 / 3; }"));
+  Alcotest.(check int) "div by zero is 0" 0 (ret (run "function f() { return 10 / 0; }"));
+  Alcotest.(check int) "mod by zero is 0" 0 (ret (run "function f() { return 10 % 0; }"));
+  Alcotest.(check int) "neg" (-5) (ret (run "function f() { return -5; }"));
+  Alcotest.(check int) "not" 1 (ret (run "function f() { return !0; }"));
+  Alcotest.(check int) "comparison" 1 (ret (run "function f() { return 2 < 3; }"))
+
+let test_control_flow () =
+  Alcotest.(check int) "if true" 1 (ret (run "function f() { if (1 > 0) { return 1; } return 2; }"));
+  Alcotest.(check int) "if false" 2 (ret (run "function f() { if (0 > 1) { return 1; } return 2; }"));
+  Alcotest.(check int) "while sum" 10
+    (ret (run "function f() { s = 0; i = 0; while (i < 5) { s = s + i; i = i + 1; } return s; }"));
+  Alcotest.(check int) "do while runs once" 1
+    (ret (run "function f() { s = 0; do { s = s + 1; } while (0 > 1); return s; }"))
+
+let test_env_binding () =
+  let o = run ~env:[ ("a", 3); ("b", 4) ] "function f(a, b) { return a * b; }" in
+  Alcotest.(check int) "12" 12 (ret o);
+  Alcotest.(check (list string)) "no undefined reads" [] o.Interp.undefined_reads
+
+let test_undefined_reads () =
+  let o = run "function f() { return x + 1; }" in
+  Alcotest.(check (list string)) "x undefined" [ "x" ] o.Interp.undefined_reads;
+  Alcotest.(check int) "defaults to 0" 1 (ret o)
+
+let test_prints () =
+  let o = run "function f() { print 1; print 2 + 3; return 0; }" in
+  Alcotest.(check (list int)) "prints in order" [ 1; 5 ] o.Interp.prints
+
+let test_eval_counts () =
+  let g = lower "function f(a, b) { x = a + b; y = a + b; return 0; }" in
+  let pool = pool_of g in
+  let o = Interp.run ~pool ~env:[ ("a", 1); ("b", 2) ] g in
+  let idx = Option.get (Lcm_ir.Expr_pool.index pool (Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b"))) in
+  Alcotest.(check int) "two evals" 2 o.Interp.eval_counts.(idx);
+  Alcotest.(check bool) "total includes them" true (Interp.total_evals o >= 2)
+
+let test_fuel () =
+  let g = lower "function f() { i = 0; while (i < 1) { i = i * 0; } return i; }" in
+  let o = Interp.run ~fuel:100 ~pool:(pool_of g) ~env:[] g in
+  Alcotest.(check bool) "did not terminate" false o.Interp.terminated
+
+let test_loop_iterations () =
+  let g = lower "function f(n) { s = 0; i = 0; while (i < n) { s = s + 2; i = i + 1; } return s; }" in
+  let o = Interp.run ~pool:(pool_of g) ~env:[ ("n", 100) ] g in
+  Alcotest.(check int) "200" 200 (ret o);
+  Alcotest.(check bool) "terminated" true o.Interp.terminated
+
+(* ---- Trace engine ---- *)
+
+let diamond_graph () = lower "function f(a, b, p) { if (p > 0) { x = a + b; } y = a + b; return y; }"
+
+let test_trace_enumerate () =
+  let g = diamond_graph () in
+  let seqs = Trace.enumerate g ~max_decisions:4 in
+  (* one branch: exactly two complete paths *)
+  Alcotest.(check int) "two paths" 2 (List.length seqs)
+
+let test_trace_replay_counts () =
+  let g = diamond_graph () in
+  let pool = pool_of g in
+  let idx = Option.get (Lcm_ir.Expr_pool.index pool (Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b"))) in
+  let taken = Trace.replay ~pool g [ true ] in
+  let skipped = Trace.replay ~pool g [ false ] in
+  Alcotest.(check bool) "both complete" true (taken.Trace.completed && skipped.Trace.completed);
+  Alcotest.(check int) "then-path: 2 evals of a+b" 2 taken.Trace.eval_counts.(idx);
+  Alcotest.(check int) "else-path: 1 eval of a+b" 1 skipped.Trace.eval_counts.(idx)
+
+let test_trace_incomplete () =
+  let g = diamond_graph () in
+  let r = Trace.replay ~pool:(pool_of g) g [] in
+  Alcotest.(check bool) "needs a decision" false r.Trace.completed
+
+let test_trace_loop_bounded () =
+  let g = lower "function f(p) { i = 0; while (p > 0) { i = i + 1; } return i; }" in
+  let seqs = Trace.enumerate g ~max_decisions:5 in
+  (* Loop taken k times then exited: k decisions true then false; sequences
+     of length 1..5 with all-but-last true, plus... each complete sequence
+     ends with a false decision. *)
+  Alcotest.(check bool) "several paths" true (List.length seqs >= 3);
+  List.iter
+    (fun seq ->
+      match List.rev seq with
+      | false :: _ -> ()
+      | _ -> Alcotest.fail "complete loop paths must end by exiting")
+    seqs
+
+let test_counts_dominate () =
+  Alcotest.(check bool) "dominates" true (Trace.counts_dominate [| 1; 2 |] [| 1; 3 |]);
+  Alcotest.(check bool) "not dominates" false (Trace.counts_dominate [| 2; 2 |] [| 1; 3 |]);
+  Alcotest.(check int) "total" 3 (Trace.total [| 1; 2 |])
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "environment binding" `Quick test_env_binding;
+    Alcotest.test_case "undefined reads recorded" `Quick test_undefined_reads;
+    Alcotest.test_case "prints" `Quick test_prints;
+    Alcotest.test_case "eval counts" `Quick test_eval_counts;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel;
+    Alcotest.test_case "loop iterations" `Quick test_loop_iterations;
+    Alcotest.test_case "trace: enumerate diamond" `Quick test_trace_enumerate;
+    Alcotest.test_case "trace: replay counts" `Quick test_trace_replay_counts;
+    Alcotest.test_case "trace: incomplete path" `Quick test_trace_incomplete;
+    Alcotest.test_case "trace: loops bounded" `Quick test_trace_loop_bounded;
+    Alcotest.test_case "counts dominate" `Quick test_counts_dominate;
+  ]

@@ -1,0 +1,215 @@
+(* The edge-based algorithms on hand-analyzed graphs: golden insert/delete/
+   copy sets, plus behavioural checks on every named workload. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Lcm_edge = Lcm_core.Lcm_edge
+module Bcm_edge = Lcm_core.Bcm_edge
+module Suites = Lcm_eval.Suites
+module Oracle = Lcm_eval.Oracle
+module Registry = Lcm_eval.Registry
+module Prng = Lcm_support.Prng
+
+let edge_list insert = List.map fst insert
+let block_list delete = List.map fst delete
+
+let find_block g pred = List.find (fun l -> pred (Cfg.instrs g l)) (Cfg.labels g)
+
+let assigns v instrs =
+  List.exists (fun i -> Lcm_ir.Instr.defs i = Some v) instrs
+
+(* Diamond: one arm computes a+b, the join recomputes it.  LCM must insert
+   exactly on the non-computing arm's outgoing edge, delete the join's
+   computation, and seed the temp in the computing arm. *)
+let test_diamond_golden () =
+  let g = Suites.graph (Option.get (Suites.find "diamond")) in
+  let a = Lcm_edge.analyze g in
+  let computes_a_plus_b instrs =
+    List.exists
+      (fun i ->
+        match Lcm_ir.Instr.candidate i with
+        | Some (Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")) -> true
+        | Some _ | None -> false)
+      instrs
+  in
+  let arm_comp = find_block g (fun is -> assigns "x" is && computes_a_plus_b is) in
+  let join = find_block g (assigns "y") in
+  (* the non-computing arm is the one predecessor of the join that is not
+     the computing arm *)
+  let other = List.find (fun p -> p <> arm_comp) (Cfg.predecessors g join) in
+  Alcotest.(check (list (pair int int))) "insert" [ (other, join) ] (edge_list a.Lcm_edge.insert);
+  Alcotest.(check (list int)) "delete" [ join ] (block_list a.Lcm_edge.delete);
+  Alcotest.(check (list int)) "copy" [ arm_comp ] (block_list a.Lcm_edge.copy)
+
+(* Straight-line full redundancy: no insertion, deletion at the reuse. *)
+let test_straight_line_golden () =
+  let g = Lower.parse_and_lower_func "function f(a, b) { x = a + b; y = a + b; return x + y; }" in
+  let g, _ = Lcm_opt.Lcse.run g in
+  let a = Lcm_edge.analyze g in
+  Alcotest.(check (list (pair int int))) "no inserts" [] (edge_list a.Lcm_edge.insert);
+  (* After LCSE the second occurrence is already a copy; nothing to delete
+     globally in a single block. *)
+  Alcotest.(check (list int)) "no deletes" [] (block_list a.Lcm_edge.delete)
+
+(* The while-loop with a use after the loop: the invariant is down-safe at
+   the header, so LCM hoists it above the loop entirely. *)
+let test_while_loop_with_exit_use () =
+  let w = Option.get (Suites.find "loop_with_exit_use") in
+  let g = Suites.graph w in
+  let a = Lcm_edge.analyze g in
+  Alcotest.(check int) "exactly one insertion point" 1 (List.length a.Lcm_edge.insert);
+  Alcotest.(check int) "both occurrences deleted" 2 (List.length a.Lcm_edge.delete);
+  (* Dynamic gain: evaluations drop from n+1 to 1 per run. *)
+  let pool = Cfg.candidate_pool g in
+  let g', _ = Lcm_edge.transform g in
+  let n = 6 in
+  let env = [ ("a", 2); ("b", 3); ("n", n) ] in
+  let orig = Lcm_eval.Interp.run ~pool ~env g in
+  let opt = Lcm_eval.Interp.run ~pool ~env g' in
+  Alcotest.(check bool) "same result" true (Lcm_eval.Interp.same_behaviour orig opt);
+  (* a*b evaluated n+1 times originally; once afterwards. *)
+  let mul_idx =
+    Option.get (Lcm_ir.Expr_pool.index pool (Expr.Binary (Expr.Mul, Expr.Var "a", Expr.Var "b")))
+  in
+  Alcotest.(check int) "original evals" (n + 1) orig.Lcm_eval.Interp.eval_counts.(mul_idx);
+  Alcotest.(check int) "optimized evals" 1 opt.Lcm_eval.Interp.eval_counts.(mul_idx)
+
+(* A plain while-loop invariant is NOT down-safe at the pre-header (the
+   loop may run zero times), so classic PRE must leave one evaluation per
+   iteration — motion happens only to the loop-entry edge, gaining
+   nothing.  This is the known while-vs-repeat contrast from the paper. *)
+let test_while_loop_invariant_not_hoisted () =
+  let w = Option.get (Suites.find "loop_invariant") in
+  let g = Suites.graph w in
+  let pool = Cfg.candidate_pool g in
+  let g', _ = Lcm_edge.transform g in
+  let env = [ ("a", 2); ("b", 3); ("n", 5) ] in
+  let mul_idx =
+    Option.get (Lcm_ir.Expr_pool.index pool (Expr.Binary (Expr.Mul, Expr.Var "a", Expr.Var "b")))
+  in
+  let orig = Lcm_eval.Interp.run ~pool ~env g in
+  let opt = Lcm_eval.Interp.run ~pool ~env g' in
+  Alcotest.(check int) "still one eval per iteration" orig.Lcm_eval.Interp.eval_counts.(mul_idx)
+    opt.Lcm_eval.Interp.eval_counts.(mul_idx)
+
+(* In a do-while loop the body executes at least once, so the invariant IS
+   down-safe before the loop and LCM hoists it. *)
+let test_do_while_invariant_hoisted () =
+  let w = Option.get (Suites.find "do_while_invariant") in
+  let g = Suites.graph w in
+  let pool = Cfg.candidate_pool g in
+  let g', _ = Lcm_edge.transform g in
+  let env = [ ("a", 2); ("b", 3); ("n", 5) ] in
+  let mul_idx =
+    Option.get (Lcm_ir.Expr_pool.index pool (Expr.Binary (Expr.Mul, Expr.Var "a", Expr.Var "b")))
+  in
+  let orig = Lcm_eval.Interp.run ~pool ~env g in
+  let opt = Lcm_eval.Interp.run ~pool ~env g' in
+  Alcotest.(check bool) "same behaviour" true (Lcm_eval.Interp.same_behaviour orig opt);
+  Alcotest.(check int) "original: n evals" 5 orig.Lcm_eval.Interp.eval_counts.(mul_idx);
+  Alcotest.(check int) "hoisted: 1 eval" 1 opt.Lcm_eval.Interp.eval_counts.(mul_idx)
+
+(* Guarded invariant: LCM must NOT touch it (insertion would be unsafe). *)
+let test_guarded_invariant_untouched () =
+  let w = Option.get (Suites.find "guarded_invariant") in
+  let g = Suites.graph w in
+  let a = Lcm_edge.analyze g in
+  Alcotest.(check (list (pair int int))) "no inserts" [] (edge_list a.Lcm_edge.insert);
+  Alcotest.(check (list int)) "no deletes" [] (block_list a.Lcm_edge.delete)
+
+(* BCM and LCM are both computationally optimal: equal per-path counts. *)
+let test_bcm_lcm_equal_counts () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let bcm, _ = Bcm_edge.transform g in
+      let lcm, _ = Lcm_edge.transform g in
+      (match Oracle.computations_leq ~pool lcm bcm with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: lcm > bcm: %s" w.Suites.name m);
+      match Oracle.computations_leq ~pool bcm lcm with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: bcm > lcm: %s" w.Suites.name m)
+    Suites.all
+
+(* Every workload: LCM-edge preserves semantics, is safe, reads no
+   undefined temps. *)
+let test_all_workloads_lcm_edge () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let g', _ = Lcm_edge.transform g in
+      (match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 11) ~original:g ~transformed:g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: semantics: %s" w.Suites.name m);
+      (match Oracle.safety ~pool ~original:g g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: safety: %s" w.Suites.name m);
+      match Oracle.no_undefined_temp_reads ~inputs:w.Suites.inputs ~original:g g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: temp reads: %s" w.Suites.name m)
+    Suites.all
+
+(* LCM never loses to GCSE or the original on any path. *)
+let test_lcm_dominates_weaker () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let lcm, _ = Lcm_edge.transform g in
+      let gcse = (Option.get (Registry.find "gcse")).Registry.run g in
+      (match Oracle.computations_leq ~pool lcm g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: lcm vs original: %s" w.Suites.name m);
+      match Oracle.computations_leq ~pool lcm gcse with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: lcm vs gcse: %s" w.Suites.name m)
+    Suites.all
+
+(* The block-placement realization (TOPLAS form): identical per-path
+   counts, no transformation-time edge splitting. *)
+let test_block_realization () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let edge, _ = Lcm_edge.transform g in
+      let block, report = Lcm_core.Lcm_block.transform g in
+      Alcotest.(check int)
+        (w.Suites.name ^ ": no edge insertions")
+        0 report.Lcm_core.Transform.num_edge_insertions;
+      (match Oracle.computations_leq ~pool block edge with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: block > edge: %s" w.Suites.name m);
+      (match Oracle.computations_leq ~pool edge block with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: edge > block: %s" w.Suites.name m);
+      match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 61) ~original:g ~transformed:block with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: semantics: %s" w.Suites.name m)
+    Suites.all;
+  (* On the critical-edge example the pre-split block realization still
+     finds the optimal placement. *)
+  let g = Lcm_figures.Critical_edge.graph () in
+  let a = Lcm_core.Lcm_block.analyze g in
+  Alcotest.(check int) "one edge pre-split" 1 a.Lcm_core.Lcm_block.edges_pre_split;
+  Alcotest.(check bool) "some placement found" true
+    (a.Lcm_core.Lcm_block.entry_inserts <> [] || a.Lcm_core.Lcm_block.exit_inserts <> [])
+
+let suite =
+  [
+    Alcotest.test_case "diamond golden sets" `Quick test_diamond_golden;
+    Alcotest.test_case "block realization = edge realization" `Quick test_block_realization;
+    Alcotest.test_case "straight line after LCSE" `Quick test_straight_line_golden;
+    Alcotest.test_case "while loop with exit use: hoisted" `Quick test_while_loop_with_exit_use;
+    Alcotest.test_case "while loop invariant: not hoisted (safety)" `Quick test_while_loop_invariant_not_hoisted;
+    Alcotest.test_case "do-while invariant: hoisted" `Quick test_do_while_invariant_hoisted;
+    Alcotest.test_case "guarded invariant: untouched" `Quick test_guarded_invariant_untouched;
+    Alcotest.test_case "BCM = LCM on per-path counts" `Quick test_bcm_lcm_equal_counts;
+    Alcotest.test_case "all workloads: LCM-edge sound" `Quick test_all_workloads_lcm_edge;
+    Alcotest.test_case "LCM dominates GCSE and original" `Quick test_lcm_dominates_weaker;
+  ]

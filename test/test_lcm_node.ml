@@ -1,0 +1,189 @@
+(* The node-based (PLDI 1992) formulation: analysis predicates on a
+   hand-checked chain, the three variants, and isolation pruning. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Granulate = Lcm_cfg.Granulate
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Lcm_node = Lcm_core.Lcm_node
+module Oracle = Lcm_eval.Oracle
+module Suites = Lcm_eval.Suites
+module Prng = Lcm_support.Prng
+
+let a_plus_b = Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")
+
+(* entry → n1 (empty) → n2 (x := a+b) → n3 (empty) → n4 (y := a+b) → exit *)
+let chain () =
+  let g = Cfg.create () in
+  let n1 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let n2 = Cfg.add_block g ~instrs:[ Instr.Assign ("x", a_plus_b) ] ~term:Cfg.Halt in
+  let n3 = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let n4 = Cfg.add_block g ~instrs:[ Instr.Assign ("y", a_plus_b) ] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto n1);
+  Cfg.set_term g n1 (Cfg.Goto n2);
+  Cfg.set_term g n2 (Cfg.Goto n3);
+  Cfg.set_term g n3 (Cfg.Goto n4);
+  Cfg.set_term g n4 (Cfg.Goto (Cfg.exit_label g));
+  (g, n1, n2, n3, n4)
+
+let bit f l = Bitvec.get (f l) 0
+
+let test_chain_predicates () =
+  let g, n1, n2, n3, n4 = chain () in
+  let a = Lcm_node.analyze g in
+  (* Down-safety holds everywhere up to the first computation. *)
+  Alcotest.(check bool) "dsafe n1" true (bit a.Lcm_node.dsafe n1);
+  Alcotest.(check bool) "dsafe n2" true (bit a.Lcm_node.dsafe n2);
+  Alcotest.(check bool) "dsafe n3" true (bit a.Lcm_node.dsafe n3);
+  (* Up-safety holds strictly below the first computation. *)
+  Alcotest.(check bool) "usafe n2" false (bit a.Lcm_node.usafe n2);
+  Alcotest.(check bool) "usafe n3" true (bit a.Lcm_node.usafe n3);
+  Alcotest.(check bool) "usafe n4" true (bit a.Lcm_node.usafe n4);
+  (* Earliest at the entry of the down-safe region. *)
+  Alcotest.(check bool) "earliest entry" true (bit a.Lcm_node.earliest (Cfg.entry g));
+  Alcotest.(check bool) "not earliest n2" false (bit a.Lcm_node.earliest n2);
+  (* Delay pushes the insertion down to the first use. *)
+  Alcotest.(check bool) "delay n1" true (bit a.Lcm_node.delay n1);
+  Alcotest.(check bool) "delay n2" true (bit a.Lcm_node.delay n2);
+  Alcotest.(check bool) "no delay n3 (past the use)" false (bit a.Lcm_node.delay n3);
+  (* Latest exactly at the first computation. *)
+  Alcotest.(check bool) "latest n2" true (bit a.Lcm_node.latest n2);
+  Alcotest.(check bool) "not latest n1" false (bit a.Lcm_node.latest n1);
+  Alcotest.(check bool) "not latest n4" false (bit a.Lcm_node.latest n4)
+
+let test_chain_lcm_transform () =
+  (* LCM on the chain: n2's computation is latest but NOT isolated (n4
+     reuses the value), so insert at n2, rewrite both. *)
+  let g, _, n2, _, n4 = chain () in
+  let a = Lcm_node.analyze g in
+  Alcotest.(check bool) "n2 not isolated" false (bit a.Lcm_node.isolated n2);
+  let spec = Lcm_node.spec g a Lcm_node.Lcm in
+  Alcotest.(check int) "one insertion" 1 (List.length spec.Lcm_core.Transform.entry_inserts);
+  Alcotest.(check (list int)) "inserted at n2" [ n2 ]
+    (List.map fst spec.Lcm_core.Transform.entry_inserts);
+  Alcotest.(check (list int)) "both uses rewritten" [ n2; n4 ]
+    (List.map fst spec.Lcm_core.Transform.deletes)
+
+let test_isolated_single_use () =
+  (* A single computation with no reuse: LCM must leave it alone, ALCM
+     inserts uselessly. *)
+  let g = Cfg.create () in
+  let n1 = Cfg.add_block g ~instrs:[ Instr.Assign ("x", a_plus_b) ] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto n1);
+  Cfg.set_term g n1 (Cfg.Goto (Cfg.exit_label g));
+  let a = Lcm_node.analyze g in
+  Alcotest.(check bool) "latest at n1" true (bit a.Lcm_node.latest n1);
+  Alcotest.(check bool) "isolated at n1" true (bit a.Lcm_node.isolated n1);
+  let lcm = Lcm_node.spec g a Lcm_node.Lcm in
+  Alcotest.(check int) "lcm: no insertions" 0 (List.length lcm.Lcm_core.Transform.entry_inserts);
+  Alcotest.(check int) "lcm: no rewrites" 0 (List.length lcm.Lcm_core.Transform.deletes);
+  let alcm = Lcm_node.spec g a Lcm_node.Alcm in
+  Alcotest.(check int) "alcm: inserts" 1 (List.length alcm.Lcm_core.Transform.entry_inserts);
+  let bcm = Lcm_node.spec g a Lcm_node.Bcm in
+  Alcotest.(check bool) "bcm inserts somewhere" true (List.length bcm.Lcm_core.Transform.entry_inserts >= 1)
+
+let test_requires_granular () =
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:[ Instr.Assign ("x", a_plus_b); Instr.Assign ("y", a_plus_b) ]
+      ~term:(Cfg.Goto (Cfg.exit_label g))
+  in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  Alcotest.(check bool) "raises on non-granular" true
+    (try
+       ignore (Lcm_node.analyze g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_variants_behave_on_workloads () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      List.iter
+        (fun variant ->
+          let g', _ = Lcm_node.transform variant g in
+          match
+            Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 23) ~original:g ~transformed:g'
+          with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "%s / %s: %s" w.Suites.name (Lcm_node.variant_name variant) m)
+        [ Lcm_node.Bcm; Lcm_node.Alcm; Lcm_node.Lcm ])
+    Suites.all
+
+let test_node_edge_equal_counts () =
+  (* Edge-based and node-based LCM are both computationally optimal, hence
+     equal per-path candidate counts. *)
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let edge, _ = Lcm_core.Lcm_edge.transform g in
+      let node, _ = Lcm_node.transform Lcm_node.Lcm g in
+      (match Oracle.computations_leq ~pool edge node with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: edge > node: %s" w.Suites.name m);
+      match Oracle.computations_leq ~pool node edge with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: node > edge: %s" w.Suites.name m)
+    Suites.all
+
+(* Golden node-form predicates at the isolated computation of the running
+   example: the node holding v := a+b is LATEST and ISOLATED. *)
+let test_running_example_isolated_node () =
+  let g = Lcm_cfg.Edge_split.split_join_edges (Granulate.run (Lcm_figures.Running_example.graph ())) in
+  let a = Lcm_node.analyze g in
+  let pool = a.Lcm_node.pool in
+  let idx = Option.get (Lcm_ir.Expr_pool.index pool a_plus_b) in
+  let v_node =
+    List.find
+      (fun l ->
+        List.exists
+          (fun i -> match i with Instr.Assign ("v", _) -> true | _ -> false)
+          (Cfg.instrs g l))
+      (Cfg.labels g)
+  in
+  Alcotest.(check bool) "latest" true (Bitvec.get (a.Lcm_node.latest v_node) idx);
+  Alcotest.(check bool) "isolated" true (Bitvec.get (a.Lcm_node.isolated v_node) idx);
+  (* Whereas the loop computation u := a+b is rewritten (not isolated:
+     the loop reuses the value). *)
+  let u_node =
+    List.find
+      (fun l ->
+        List.exists
+          (fun i -> match i with Instr.Assign ("u", _) -> true | _ -> false)
+          (Cfg.instrs g l))
+      (Cfg.labels g)
+  in
+  Alcotest.(check bool) "loop node not both latest+isolated" false
+    (Bitvec.get (a.Lcm_node.latest u_node) idx && Bitvec.get (a.Lcm_node.isolated u_node) idx)
+
+let test_safety_all_variants () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      List.iter
+        (fun variant ->
+          let g', _ = Lcm_node.transform variant g in
+          match Oracle.safety ~pool ~original:g g' with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "%s / %s: %s" w.Suites.name (Lcm_node.variant_name variant) m)
+        [ Lcm_node.Bcm; Lcm_node.Alcm; Lcm_node.Lcm ])
+    Suites.all
+
+let suite =
+  [
+    Alcotest.test_case "chain predicates" `Quick test_chain_predicates;
+    Alcotest.test_case "chain LCM transform" `Quick test_chain_lcm_transform;
+    Alcotest.test_case "isolated computation kept in place" `Quick test_isolated_single_use;
+    Alcotest.test_case "requires granular graph" `Quick test_requires_granular;
+    Alcotest.test_case "variants preserve semantics on workloads" `Quick test_variants_behave_on_workloads;
+    Alcotest.test_case "node and edge LCM: equal path counts" `Quick test_node_edge_equal_counts;
+    Alcotest.test_case "all variants safe on workloads" `Quick test_safety_all_variants;
+    Alcotest.test_case "running example: isolated node" `Quick test_running_example_isolated_node;
+  ]

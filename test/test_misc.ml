@@ -1,0 +1,191 @@
+(* Smaller modules: tables, dot export, variable pools, metrics,
+   generators, workload integrity, partial anticipatability. *)
+
+module Table = Lcm_support.Table
+module Bitvec = Lcm_support.Bitvec
+module Prng = Lcm_support.Prng
+module Cfg = Lcm_cfg.Cfg
+module Dot = Lcm_cfg.Dot
+module Lower = Lcm_cfg.Lower
+module Edge_split = Lcm_cfg.Edge_split
+module Var_pool = Lcm_dataflow.Var_pool
+module Local = Lcm_dataflow.Local
+module Antic = Lcm_dataflow.Antic
+module Metrics = Lcm_eval.Metrics
+module Gencfg = Lcm_eval.Gencfg
+module Suites = Lcm_eval.Suites
+module Registry = Lcm_eval.Registry
+module Ast = Lcm_ir.Ast
+module Parser = Lcm_ir.Parser
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_table_alignment () =
+  let t = Table.create [ "col"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "much longer"; "2" ];
+  Table.add_sep t;
+  Table.add_row t [ "b" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: _ -> Alcotest.(check bool) "padded" true (contains header "col        ")
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "short row padded" true (List.length lines >= 5);
+  Alcotest.(check bool) "rejects long rows" true
+    (try
+       Table.add_row t [ "a"; "b"; "c" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "bool" "yes" (Table.cell_bool true);
+  Alcotest.(check string) "ratio" "0.50" (Table.cell_ratio 1 2);
+  Alcotest.(check string) "ratio by zero" "n/a" (Table.cell_ratio 1 0)
+
+let test_dot_output () =
+  let g = Lower.parse_and_lower_func "function f(p) { if (p > 0) { x = 1; } return x; }" in
+  let dot = Dot.to_dot g in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "has entry node" true (contains dot "n0");
+  Alcotest.(check bool) "has edges" true (contains dot "->");
+  let highlighted = Dot.to_dot ~highlight_edges:[ (Cfg.entry g, List.hd (Cfg.successors g (Cfg.entry g))) ] g in
+  Alcotest.(check bool) "highlight color" true (contains highlighted "color=red")
+
+let test_var_pool () =
+  let p = Var_pool.of_list [ "a"; "b"; "a" ] in
+  Alcotest.(check int) "dedup" 2 (Var_pool.size p);
+  Alcotest.(check (option int)) "index a" (Some 0) (Var_pool.index p "a");
+  Alcotest.(check string) "var 1" "b" (Var_pool.var p 1);
+  Alcotest.(check int) "add existing" 0 (Var_pool.add p "a");
+  Alcotest.(check int) "add new" 2 (Var_pool.add p "c")
+
+let test_metrics_static () =
+  let g = Lower.parse_and_lower_func "function f(a) { x = a + 1; y = x; print y; return y; }" in
+  let s = Metrics.static_counts g in
+  Alcotest.(check int) "candidates" 1 s.Metrics.candidate_occurrences;
+  Alcotest.(check bool) "instrs counted" true (s.Metrics.instrs >= 4);
+  Alcotest.(check bool) "moves counted" true (s.Metrics.copies_and_moves >= 2)
+
+let test_metrics_dynamic () =
+  let g = Lower.parse_and_lower_func "function f(a) { return a + 1; }" in
+  let pool = Cfg.candidate_pool g in
+  Alcotest.(check (option int)) "one eval per env" (Some 2)
+    (Metrics.dynamic_evals ~pool ~envs:[ [ ("a", 1) ]; [ ("a", 2) ] ] g)
+
+let test_gencfg_determinism () =
+  let a = Gencfg.random_func (Prng.of_int 7) in
+  let b = Gencfg.random_func (Prng.of_int 7) in
+  Alcotest.(check string) "same program" (Ast.to_string [ a ]) (Ast.to_string [ b ]);
+  let ga = Cfg.to_string (Gencfg.random_cfg (Prng.of_int 8)) in
+  let gb = Cfg.to_string (Gencfg.random_cfg (Prng.of_int 8)) in
+  Alcotest.(check string) "same graph" ga gb
+
+let test_gencfg_parses_back () =
+  (* Generated programs are valid MiniImp: print/parse round-trips. *)
+  let rng = Prng.of_int 12 in
+  for _ = 1 to 20 do
+    let f = Gencfg.random_func rng in
+    let printed = Ast.to_string [ f ] in
+    match Parser.parse_program printed with
+    | [ _ ] -> ()
+    | _ -> Alcotest.fail "reparse changed arity"
+    | exception exn -> Alcotest.failf "generated program does not reparse: %s\n%s" (Printexc.to_string exn) printed
+  done
+
+let test_suites_integrity () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      Alcotest.(check (list string)) (w.Suites.name ^ " valid") [] (Lcm_cfg.Validate.check g);
+      Alcotest.(check bool)
+        (w.Suites.name ^ " inputs bind")
+        true
+        (List.length (Suites.envs 1 w 3) = 3))
+    Suites.all;
+  Alcotest.(check bool) "names unique" true
+    (let names = List.map (fun w -> w.Suites.name) Suites.all in
+     List.length names = List.length (List.sort_uniq compare names))
+
+let test_registry_integrity () =
+  Alcotest.(check bool) "names unique" true
+    (let names = Registry.names () in
+     List.length names = List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "find works" true (Option.is_some (Registry.find "lcm-edge"));
+  Alcotest.(check bool) "find fails for unknown" true (Option.is_none (Registry.find "nope"));
+  Alcotest.(check bool) "paper algorithms flagged" true (List.length Registry.paper_algorithms >= 5)
+
+let test_partial_anticipatability () =
+  (* a+b computed on only one arm below the branch: partially but not
+     fully anticipatable at the branch exit. *)
+  let g =
+    Lower.parse_and_lower_func
+      "function f(a, b, p) { if (p > 0) { x = a + b; } else { x = 0; } return x; }"
+  in
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let full = Antic.compute g local in
+  let partial = Antic.compute_partial g local in
+  let idx =
+    Option.get
+      (Lcm_ir.Expr_pool.index pool (Lcm_ir.Expr.Binary (Lcm_ir.Expr.Add, Lcm_ir.Expr.Var "a", Lcm_ir.Expr.Var "b")))
+  in
+  let branch_block =
+    List.find
+      (fun l -> match Cfg.term g l with Cfg.Branch _ -> true | Cfg.Goto _ | Cfg.Halt -> false)
+      (Cfg.labels g)
+  in
+  Alcotest.(check bool) "not fully anticipatable" false (Bitvec.get (full.Antic.antout branch_block) idx);
+  Alcotest.(check bool) "partially anticipatable" true (Bitvec.get (partial.Antic.antout branch_block) idx)
+
+let test_depth_profile () =
+  let w = Option.get (Suites.find "do_while_invariant") in
+  let g = Suites.graph w in
+  let pool = Cfg.candidate_pool g in
+  let envs = [ [ ("a", 1); ("b", 2); ("n", 4) ] ] in
+  let p = Lcm_eval.Depth_profile.collect ~envs ~pool g in
+  Alcotest.(check int) "loop depth present" 1 (Lcm_eval.Depth_profile.max_depth p);
+  (match p.Lcm_eval.Depth_profile.dynamic_by_depth with
+  | Some arr ->
+    Alcotest.(check bool) "work inside the loop" true (arr.(1) > 0)
+  | None -> Alcotest.fail "did not terminate");
+  (* After LCM the loop's invariant evaluations move to depth 0. *)
+  let lcm = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+  let p' = Lcm_eval.Depth_profile.collect ~envs ~pool lcm in
+  match (p.Lcm_eval.Depth_profile.dynamic_by_depth, p'.Lcm_eval.Depth_profile.dynamic_by_depth) with
+  | Some before, Some after ->
+    Alcotest.(check bool) "depth-1 work decreased" true (after.(1) < before.(1));
+    Alcotest.(check bool) "depth-0 work increased" true (after.(0) > before.(0))
+  | _, _ -> Alcotest.fail "did not terminate"
+
+let test_edge_split_counts () =
+  let g = Lcm_figures.Critical_edge.graph () in
+  let blocks_before = Cfg.num_blocks g in
+  Alcotest.(check bool) "has critical edge" true (Edge_split.has_critical_edges g);
+  let split = Edge_split.split_critical_edges g in
+  Alcotest.(check bool) "no critical edges after" false (Edge_split.has_critical_edges split);
+  Alcotest.(check int) "one block added" (blocks_before + 1) (Cfg.num_blocks split);
+  let joins = Edge_split.split_join_edges g in
+  Alcotest.(check bool) "join split adds more" true (Cfg.num_blocks joins > blocks_before)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "var pool" `Quick test_var_pool;
+    Alcotest.test_case "metrics: static" `Quick test_metrics_static;
+    Alcotest.test_case "metrics: dynamic" `Quick test_metrics_dynamic;
+    Alcotest.test_case "generators deterministic" `Quick test_gencfg_determinism;
+    Alcotest.test_case "generated programs reparse" `Quick test_gencfg_parses_back;
+    Alcotest.test_case "workload integrity" `Quick test_suites_integrity;
+    Alcotest.test_case "registry integrity" `Quick test_registry_integrity;
+    Alcotest.test_case "partial anticipatability" `Quick test_partial_anticipatability;
+    Alcotest.test_case "depth profile" `Quick test_depth_profile;
+    Alcotest.test_case "edge splitting" `Quick test_edge_split_counts;
+  ]

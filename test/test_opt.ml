@@ -1,0 +1,277 @@
+(* The cleanup passes and the strength-reduction extension. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Copy_prop = Lcm_opt.Copy_prop
+module Dce = Lcm_opt.Dce
+module Const_fold = Lcm_opt.Const_fold
+module Cleanup = Lcm_opt.Cleanup
+module Strength_reduction = Lcm_opt.Strength_reduction
+module Oracle = Lcm_eval.Oracle
+module Interp = Lcm_eval.Interp
+module Suites = Lcm_eval.Suites
+module Prng = Lcm_support.Prng
+
+let lower = Lower.parse_and_lower_func
+
+let has_instr g pred =
+  List.exists (fun l -> List.exists pred (Cfg.instrs g l)) (Cfg.labels g)
+
+(* ---- copy propagation ---- *)
+
+let test_copy_prop_straight_line () =
+  let g = lower "function f(a) { t = a; x = t + 1; return x; }" in
+  let g', stats = Copy_prop.run g in
+  Alcotest.(check bool) "rewrote a use" true (stats.Copy_prop.uses_rewritten >= 1);
+  Alcotest.(check bool) "t + 1 became a + 1" true
+    (has_instr g' (fun i ->
+         match i with
+         | Instr.Assign ("x", Expr.Binary (Expr.Add, Expr.Var "a", Expr.Const 1)) -> true
+         | _ -> false))
+
+let test_copy_prop_chain () =
+  let g = lower "function f(a) { t = a; u = t; v = u; return v + 1; }" in
+  let g', _ = Copy_prop.run g in
+  (* v + 1 must read a directly (transitive resolution). *)
+  Alcotest.(check bool) "chain resolved to a" true
+    (has_instr g' (fun i ->
+         match i with
+         | Instr.Assign (_, Expr.Binary (Expr.Add, Expr.Var "a", Expr.Const 1)) -> true
+         | _ -> false))
+
+let test_copy_prop_respects_kills () =
+  let g = lower "function f(a) { t = a; a = 5; x = t + 1; return x; }" in
+  let g', _ = Copy_prop.run g in
+  (* t's source was clobbered: x must still read t. *)
+  Alcotest.(check bool) "t + 1 untouched" true
+    (has_instr g' (fun i ->
+         match i with
+         | Instr.Assign ("x", Expr.Binary (Expr.Add, Expr.Var "t", Expr.Const 1)) -> true
+         | _ -> false))
+
+let test_copy_prop_join_must () =
+  (* Copies arriving from only one branch arm must not propagate. *)
+  let g = lower "function f(a, b, p) { if (p > 0) { t = a; } else { t = b; } return t + 1; }" in
+  let g', _ = Copy_prop.run g in
+  Alcotest.(check bool) "t survives the join" true
+    (has_instr g' (fun i ->
+         match i with
+         | Instr.Assign (_, Expr.Binary (Expr.Add, Expr.Var "t", Expr.Const 1)) -> true
+         | _ -> false))
+
+let test_copy_prop_semantics () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let g', _ = Copy_prop.run g in
+      match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 41) ~original:g ~transformed:g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" w.Suites.name m)
+    Suites.all
+
+(* ---- dead code elimination ---- *)
+
+let test_dce_removes_dead () =
+  let g = lower "function f(a) { dead = a * 2; x = a + 1; return x; }" in
+  let g', stats = Dce.run g in
+  Alcotest.(check bool) "removed" true (stats.Dce.instrs_removed >= 1);
+  Alcotest.(check bool) "dead gone" false
+    (has_instr g' (fun i -> Instr.defs i = Some "dead"))
+
+let test_dce_cascades () =
+  let g = lower "function f(a) { t = a + 1; u = t + 1; return a; }" in
+  let g', stats = Dce.run g in
+  Alcotest.(check bool) "both removed" true (stats.Dce.instrs_removed >= 2);
+  Alcotest.(check bool) "multiple rounds or one sweep" true (stats.Dce.rounds >= 1);
+  Alcotest.(check bool) "t gone" false (has_instr g' (fun i -> Instr.defs i = Some "t"))
+
+let test_dce_keeps_prints_and_branches () =
+  let g = lower "function f(a) { c = a > 0; if (c > 0) { print a; } return 0; }" in
+  let g', _ = Dce.run g in
+  Alcotest.(check bool) "print kept" true
+    (has_instr g' (fun i -> match i with Instr.Print _ -> true | Instr.Assign _ -> false));
+  (* The branch condition chain must survive. *)
+  let sem = Oracle.semantics ~inputs:[ "a" ] (Prng.of_int 2) ~original:g ~transformed:g' in
+  Alcotest.(check bool) "semantics kept" true (Result.is_ok sem)
+
+let test_dce_keep_parameter () =
+  let g = lower "function f(a) { t = a + 1; return 0; }" in
+  let g', _ = Dce.run ~keep:[ "t" ] g in
+  Alcotest.(check bool) "explicitly kept" true (has_instr g' (fun i -> Instr.defs i = Some "t"))
+
+(* ---- constant folding ---- *)
+
+let test_const_fold_exprs () =
+  let g = lower "function f() { x = 2 + 3; y = 4 * 5; return x + y; }" in
+  let g', stats = Const_fold.run g in
+  Alcotest.(check int) "two folds" 2 stats.Const_fold.exprs_folded;
+  Alcotest.(check bool) "x := 5" true
+    (has_instr g' (fun i -> match i with Instr.Assign ("x", Expr.Atom (Expr.Const 5)) -> true | _ -> false))
+
+let test_const_fold_total_semantics () =
+  let g = lower "function f() { x = 7 / 0; y = 7 % 0; return x + y; }" in
+  let g', _ = Const_fold.run g in
+  let pool = Cfg.candidate_pool g in
+  let o = Interp.run ~pool ~env:[] g' in
+  Alcotest.(check (option int)) "total division semantics" (Some 0) o.Interp.return_value
+
+let test_const_fold_branch () =
+  let g = Cfg.create () in
+  let dead = Cfg.add_block g ~instrs:[ Instr.Assign ("x", Expr.Atom (Expr.Const 1)) ] ~term:Cfg.Halt in
+  let live = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let top = Cfg.add_block g ~instrs:[] ~term:(Cfg.Branch (Expr.Const 0, dead, live)) in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto top);
+  Cfg.set_term g dead (Cfg.Goto (Cfg.exit_label g));
+  Cfg.set_term g live (Cfg.Goto (Cfg.exit_label g));
+  let g', stats = Const_fold.run g in
+  Alcotest.(check int) "branch resolved" 1 stats.Const_fold.branches_resolved;
+  Alcotest.(check bool) "dead arm dropped" false (Cfg.mem g' dead)
+
+(* ---- the cleanup pipeline ---- *)
+
+let test_cleanup_after_lcm () =
+  (* LCM introduces h plus copies; cleanup must shrink the program while
+     preserving semantics and never adding candidate evaluations. *)
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let lcm, _ = Lcm_core.Lcm_edge.transform g in
+      let cleaned, _ = Cleanup.run lcm in
+      (match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 43) ~original:g ~transformed:cleaned with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: semantics: %s" w.Suites.name m);
+      let pool = Cfg.candidate_pool g in
+      match Oracle.computations_leq ~pool cleaned g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: counts: %s" w.Suites.name m)
+    Suites.all
+
+let test_cleanup_closes_value_gap () =
+  (* Lexical PRE cannot see that z+w repeats x+y when z,w are copies of
+     x,y; copy propagation + local value numbering in the cleanup close
+     exactly that gap (cse_chain drops from 5 to 4 candidate evals). *)
+  let w = Option.get (Suites.find "cse_chain") in
+  let g = Suites.graph w in
+  let pool = Cfg.candidate_pool g in
+  let env = List.map (fun v -> (v, 2)) w.Suites.inputs in
+  let evals h = Interp.total_evals (Interp.run ~pool ~env h) in
+  let lcm = (Option.get (Lcm_eval.Registry.find "lcm-edge")).Lcm_eval.Registry.run g in
+  let cleaned = (Option.get (Lcm_eval.Registry.find "lcm-cleanup")).Lcm_eval.Registry.run g in
+  Alcotest.(check bool) "cleanup strictly better here" true (evals cleaned < evals lcm);
+  match
+    Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 51) ~original:g ~transformed:cleaned
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_cleanup_shrinks_quickstart () =
+  let g = lower "function f(a, b, p) { if (p > 0) { x = a + b; } else { x = 1; } y = a + b; return x + y; }" in
+  let lcm, _ = Lcm_core.Lcm_edge.transform g in
+  let cleaned, stats = Cleanup.run lcm in
+  Alcotest.(check bool) "did something" true
+    (stats.Cleanup.copies_propagated + stats.Cleanup.instrs_removed > 0);
+  Alcotest.(check bool) "no more instrs than lcm output" true
+    (Cfg.num_instrs cleaned <= Cfg.num_instrs lcm)
+
+(* ---- strength reduction ---- *)
+
+let sr_source =
+  {|
+function sr(a, n) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    t = i * 3;
+    s = s + t;
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let test_sr_reduces_mul () =
+  let g = lower sr_source in
+  let g', stats = Strength_reduction.run g in
+  Alcotest.(check int) "one IV" 1 stats.Strength_reduction.induction_variables;
+  Alcotest.(check int) "one pair" 1 stats.Strength_reduction.pairs_reduced;
+  Alcotest.(check bool) "occurrence rewritten" true (stats.Strength_reduction.occurrences_rewritten >= 1);
+  (* Dynamically: i*3 evaluated once (pre-header) instead of n times. *)
+  let pool = Cfg.candidate_pool g in
+  let idx = Option.get (Lcm_ir.Expr_pool.index pool (Expr.Binary (Expr.Mul, Expr.Var "i", Expr.Const 3))) in
+  let env = [ ("a", 0); ("n", 9) ] in
+  let before = Interp.run ~pool ~env g in
+  let after = Interp.run ~pool ~env g' in
+  Alcotest.(check bool) "same behaviour" true (Interp.same_behaviour before after);
+  Alcotest.(check int) "orig 9 muls" 9 before.Interp.eval_counts.(idx);
+  Alcotest.(check int) "reduced to 1 mul" 1 after.Interp.eval_counts.(idx)
+
+let test_sr_variable_multiplier_unit_step () =
+  let g = lower
+      "function f(a, n) { s = 0; i = 0; while (i < n) { s = s + (i * a); i = i + 1; } return s; }"
+  in
+  let g', stats = Strength_reduction.run g in
+  Alcotest.(check int) "pair reduced" 1 stats.Strength_reduction.pairs_reduced;
+  let sem = Oracle.semantics ~inputs:[ "a"; "n" ] (Prng.of_int 4) ~original:g ~transformed:g' in
+  Alcotest.(check bool) "semantics" true (Result.is_ok sem)
+
+let test_sr_negative_step () =
+  let g = lower
+      "function f(n) { s = 0; i = n; while (i > 0) { s = s + (i * 4); i = i - 1; } return s; }"
+  in
+  let g', stats = Strength_reduction.run g in
+  Alcotest.(check int) "pair reduced" 1 stats.Strength_reduction.pairs_reduced;
+  let sem = Oracle.semantics ~inputs:[ "n" ] (Prng.of_int 5) ~original:g ~transformed:g' in
+  Alcotest.(check bool) "semantics" true (Result.is_ok sem)
+
+let test_sr_skips_non_ivs () =
+  (* i is redefined twice: not a basic induction variable. *)
+  let g = lower
+      "function f(n) { s = 0; i = 0; while (i < n) { s = s + (i * 3); i = i + 1; i = i + 1; } return s; }"
+  in
+  let _, stats = Strength_reduction.run g in
+  Alcotest.(check int) "nothing reduced" 0 stats.Strength_reduction.pairs_reduced
+
+let test_sr_skips_variant_multiplier () =
+  (* The multiplier s changes inside the loop. *)
+  let g = lower
+      "function f(n) { s = 1; i = 0; while (i < n) { s = s + (i * s); i = i + 1; } return s; }"
+  in
+  let _, stats = Strength_reduction.run g in
+  Alcotest.(check int) "nothing reduced" 0 stats.Strength_reduction.pairs_reduced
+
+let test_sr_semantics_on_workloads () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let g', _ = Strength_reduction.run g in
+      match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 47) ~original:g ~transformed:g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" w.Suites.name m)
+    Suites.all
+
+let suite =
+  [
+    Alcotest.test_case "copy-prop: straight line" `Quick test_copy_prop_straight_line;
+    Alcotest.test_case "copy-prop: transitive chain" `Quick test_copy_prop_chain;
+    Alcotest.test_case "copy-prop: respects kills" `Quick test_copy_prop_respects_kills;
+    Alcotest.test_case "copy-prop: must-join" `Quick test_copy_prop_join_must;
+    Alcotest.test_case "copy-prop: semantics on workloads" `Quick test_copy_prop_semantics;
+    Alcotest.test_case "dce: removes dead assignment" `Quick test_dce_removes_dead;
+    Alcotest.test_case "dce: cascades" `Quick test_dce_cascades;
+    Alcotest.test_case "dce: keeps prints and branches" `Quick test_dce_keeps_prints_and_branches;
+    Alcotest.test_case "dce: keep parameter" `Quick test_dce_keep_parameter;
+    Alcotest.test_case "const-fold: expressions" `Quick test_const_fold_exprs;
+    Alcotest.test_case "const-fold: total division" `Quick test_const_fold_total_semantics;
+    Alcotest.test_case "const-fold: constant branch" `Quick test_const_fold_branch;
+    Alcotest.test_case "cleanup after LCM" `Quick test_cleanup_after_lcm;
+    Alcotest.test_case "cleanup closes the value-redundancy gap" `Quick test_cleanup_closes_value_gap;
+    Alcotest.test_case "cleanup shrinks the quickstart" `Quick test_cleanup_shrinks_quickstart;
+    Alcotest.test_case "strength reduction: i*3" `Quick test_sr_reduces_mul;
+    Alcotest.test_case "strength reduction: variable multiplier" `Quick test_sr_variable_multiplier_unit_step;
+    Alcotest.test_case "strength reduction: negative step" `Quick test_sr_negative_step;
+    Alcotest.test_case "strength reduction: skips non-IVs" `Quick test_sr_skips_non_ivs;
+    Alcotest.test_case "strength reduction: skips variant multiplier" `Quick test_sr_skips_variant_multiplier;
+    Alcotest.test_case "strength reduction: semantics on workloads" `Quick test_sr_semantics_on_workloads;
+  ]

@@ -1,0 +1,122 @@
+(* The oracles themselves: each must detect a deliberately broken
+   transformation.  A test harness that cannot fail is no harness. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Oracle = Lcm_eval.Oracle
+module Prng = Lcm_support.Prng
+
+let a_plus_b = Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")
+
+let base () = Lower.parse_and_lower_func "function f(a, b, p) { if (p > 0) { x = a + b; } else { x = 1; } y = a + b; return x + y; }"
+
+let first_assign_block g v =
+  List.find
+    (fun l -> List.exists (fun i -> Instr.defs i = Some v) (Cfg.instrs g l))
+    (Cfg.labels g)
+
+(* Changing a computed value must trip the semantics oracle. *)
+let test_semantics_catches_wrong_value () =
+  let g = base () in
+  let broken = Cfg.copy g in
+  let l = first_assign_block broken "y" in
+  let instrs =
+    List.map
+      (fun i ->
+        match i with
+        | Instr.Assign ("y", _) -> Instr.Assign ("y", Expr.Binary (Expr.Sub, Expr.Var "a", Expr.Var "b"))
+        | _ -> i)
+      (Cfg.instrs broken l)
+  in
+  Cfg.set_instrs broken l instrs;
+  match Oracle.semantics ~inputs:[ "a"; "b"; "p" ] (Prng.of_int 1) ~original:g ~transformed:broken with
+  | Ok () -> Alcotest.fail "oracle missed a wrong value"
+  | Error _ -> ()
+
+(* Dropping a print must trip the semantics oracle. *)
+let test_semantics_catches_missing_print () =
+  let g = Lower.parse_and_lower_func "function f(a) { print a; return a; }" in
+  let broken = Cfg.copy g in
+  List.iter
+    (fun l ->
+      Cfg.set_instrs broken l
+        (List.filter (fun i -> match i with Instr.Print _ -> false | Instr.Assign _ -> true) (Cfg.instrs broken l)))
+    (Cfg.labels broken);
+  match Oracle.semantics ~inputs:[ "a" ] (Prng.of_int 1) ~original:g ~transformed:broken with
+  | Ok () -> Alcotest.fail "oracle missed a dropped print"
+  | Error _ -> ()
+
+(* A gratuitous insertion on a path that did not compute the expression
+   must trip the safety oracle (this is exactly what speculation does). *)
+let test_safety_catches_speculation () =
+  let g = base () in
+  let pool = Cfg.candidate_pool g in
+  let broken = Cfg.copy g in
+  let l = first_assign_block broken "x" in
+  (* x = 1 arm: add a spurious a+b *)
+  let other =
+    List.find
+      (fun l' ->
+        l' <> l
+        && List.exists (fun i -> match i with Instr.Assign ("x", Expr.Atom _) -> true | _ -> false)
+             (Cfg.instrs broken l'))
+      (Cfg.labels broken)
+  in
+  Cfg.prepend_instr broken other (Instr.Assign ("junk", a_plus_b));
+  match Oracle.safety ~pool ~original:g broken with
+  | Ok () -> Alcotest.fail "oracle missed a speculative insertion"
+  | Error _ -> ()
+
+(* Reading a temporary that is not defined on every path must trip the
+   undefined-temp oracle. *)
+let test_undefined_temp_caught () =
+  let g = base () in
+  let broken = Cfg.copy g in
+  let l = first_assign_block broken "y" in
+  let instrs =
+    List.map
+      (fun i ->
+        match i with
+        | Instr.Assign ("y", _) -> Instr.Assign ("y", Expr.Atom (Expr.Var "_h99"))
+        | _ -> i)
+      (Cfg.instrs broken l)
+  in
+  Cfg.set_instrs broken l instrs;
+  match Oracle.no_undefined_temp_reads ~inputs:[ "a"; "b"; "p" ] ~original:g broken with
+  | Ok () -> Alcotest.fail "oracle missed an undefined temporary"
+  | Error _ -> ()
+
+(* computations_leq must notice a regression. *)
+let test_computations_leq_detects_regression () =
+  let g = base () in
+  let pool = Cfg.candidate_pool g in
+  let worse = Cfg.copy g in
+  let l = first_assign_block worse "y" in
+  Cfg.prepend_instr worse l (Instr.Assign ("extra", a_plus_b));
+  (match Oracle.computations_leq ~pool worse g with
+  | Ok () -> Alcotest.fail "leq missed a regression"
+  | Error _ -> ());
+  match Oracle.computations_leq ~pool g worse with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "leq false positive: %s" m
+
+(* The brute-force checker must reject a clearly suboptimal transformation
+   (here: the identity on a graph with a removable partial redundancy). *)
+let test_brute_rejects_suboptimal () =
+  let g = Lcm_figures.Critical_edge.graph () in
+  match Lcm_eval.Brute.check_computational_optimality ~max_decisions:6 g ~transformed:(Cfg.copy g) with
+  | Ok () -> Alcotest.fail "brute force accepted the identity as optimal"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "semantics: wrong value" `Quick test_semantics_catches_wrong_value;
+    Alcotest.test_case "semantics: dropped print" `Quick test_semantics_catches_missing_print;
+    Alcotest.test_case "safety: speculative insertion" `Quick test_safety_catches_speculation;
+    Alcotest.test_case "temps: undefined read" `Quick test_undefined_temp_caught;
+    Alcotest.test_case "leq: regression detected" `Quick test_computations_leq_detects_regression;
+    Alcotest.test_case "brute force: rejects suboptimal" `Quick test_brute_rejects_suboptimal;
+  ]

@@ -1,0 +1,161 @@
+(* Lexer and parser for MiniImp. *)
+
+module Ast = Lcm_ir.Ast
+module Expr = Lcm_ir.Expr
+module Lexer = Lcm_ir.Lexer
+module Parser = Lcm_ir.Parser
+
+let parse_e = Parser.parse_expr
+
+let test_tokens () =
+  let toks = Lexer.tokenize "x = a + 12; // comment\nwhile" in
+  let kinds = List.map (fun (s : Lexer.spanned) -> s.token) toks in
+  Alcotest.(check bool) "token stream" true
+    (kinds
+    = [
+        Lexer.IDENT "x"; Lexer.ASSIGN; Lexer.IDENT "a"; Lexer.PLUS; Lexer.INT 12; Lexer.SEMI;
+        Lexer.KW_WHILE; Lexer.EOF;
+      ])
+
+let test_token_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ a; b; _eof ] ->
+    Alcotest.(check (pair int int)) "a at 1:1" (1, 1) (a.Lexer.line, a.Lexer.col);
+    Alcotest.(check (pair int int)) "b at 2:3" (2, 3) (b.Lexer.line, b.Lexer.col)
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lex_error () =
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (Lexer.tokenize "x = $;");
+       false
+     with Lexer.Lex_error (_, 1, 5) -> true)
+
+let test_two_char_operators () =
+  let toks = Lexer.tokenize "<= >= == != < > = !" in
+  let kinds = List.map (fun (s : Lexer.spanned) -> s.token) toks in
+  Alcotest.(check bool) "operators" true
+    (kinds
+    = [ Lexer.LE; Lexer.GE; Lexer.EQ; Lexer.NE; Lexer.LT; Lexer.GT; Lexer.ASSIGN; Lexer.BANG; Lexer.EOF ])
+
+let test_precedence () =
+  (* a + b * c parses as a + (b * c) *)
+  match parse_e "a + b * c" with
+  | Ast.Binary (Expr.Add, Ast.Var "a", Ast.Binary (Expr.Mul, Ast.Var "b", Ast.Var "c")) -> ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Format.asprintf "%a" Ast.pp_expr e)
+
+let test_comparison_level () =
+  match parse_e "a + 1 < b * 2" with
+  | Ast.Binary (Expr.Lt, Ast.Binary (Expr.Add, _, _), Ast.Binary (Expr.Mul, _, _)) -> ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Format.asprintf "%a" Ast.pp_expr e)
+
+let test_left_associativity () =
+  match parse_e "a - b - c" with
+  | Ast.Binary (Expr.Sub, Ast.Binary (Expr.Sub, Ast.Var "a", Ast.Var "b"), Ast.Var "c") -> ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Format.asprintf "%a" Ast.pp_expr e)
+
+let test_parens_and_unary () =
+  match parse_e "-(a + b) * !c" with
+  | Ast.Binary (Expr.Mul, Ast.Unary (Expr.Neg, Ast.Binary (Expr.Add, _, _)), Ast.Unary (Expr.Not, Ast.Var "c"))
+    -> ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Format.asprintf "%a" Ast.pp_expr e)
+
+let test_function () =
+  let f = Parser.parse_func "function f(a, b) { x = a + b; return x; }" in
+  Alcotest.(check string) "name" "f" f.Ast.name;
+  Alcotest.(check (list string)) "params" [ "a"; "b" ] f.Ast.params;
+  Alcotest.(check int) "two statements" 2 (List.length f.Ast.body)
+
+let test_no_params () =
+  let f = Parser.parse_func "function g() { return 1; }" in
+  Alcotest.(check (list string)) "no params" [] f.Ast.params
+
+let test_control_flow () =
+  let f =
+    Parser.parse_func
+      "function h(n) { s = 0; i = 0; while (i < n) { if (s > 10) { s = 0; } else { s = s + i; } i = i \
+       + 1; } do { s = s - 1; } while (s > 0); print s; return s; }"
+  in
+  Alcotest.(check int) "statements" 6 (List.length f.Ast.body)
+
+let test_parse_errors () =
+  let fails src =
+    try
+      ignore (Parser.parse_func src);
+      false
+    with Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing semi" true (fails "function f() { x = 1 }");
+  Alcotest.(check bool) "missing brace" true (fails "function f() { x = 1;");
+  Alcotest.(check bool) "trailing" true (fails "function f() { return 1; } extra");
+  Alcotest.(check bool) "keyword as statement" true (fails "function f() { else; }");
+  Alcotest.(check bool) "empty expr" true (fails "function f() { x = ; }")
+
+let test_error_position () =
+  try
+    ignore (Parser.parse_func "function f() {\n  x = ;\n}");
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error (_, line, _) -> Alcotest.(check int) "line" 2 line
+
+let test_roundtrip () =
+  (* print ∘ parse is a fixpoint after one iteration *)
+  let src = "function f(a, b) {\n  x = a + b * 2;\n  if (x > 0) {\n    print x;\n  }\n  return x;\n}" in
+  let f1 = Parser.parse_func src in
+  let printed = Ast.to_string [ f1 ] in
+  let f2 = Parser.parse_func printed in
+  Alcotest.(check string) "stable" printed (Ast.to_string [ f2 ])
+
+let test_program_multi () =
+  let p = Parser.parse_program "function f() { return 1; } function g() { return 2; }" in
+  Alcotest.(check (list string)) "names" [ "f"; "g" ] (List.map (fun f -> f.Ast.name) p)
+
+(* Fuzz: arbitrary byte soup must produce a clean error, never a crash or
+   a hang. *)
+let prop_parser_total =
+  let gen =
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (0 -- 120))
+  in
+  QCheck2.Test.make ~name:"parser is total on garbage" ~count:300 gen (fun src ->
+      match Parser.parse_func src with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
+(* Fuzz with plausible tokens: higher chance of reaching deep parser
+   states. *)
+let prop_parser_total_tokens =
+  let word =
+    QCheck2.Gen.oneofl
+      [
+        "function"; "if"; "else"; "while"; "do"; "print"; "return"; "x"; "y"; "42"; "("; ")"; "{";
+        "}"; ";"; ","; "="; "=="; "+"; "-"; "*"; "<"; "!";
+      ]
+  in
+  let gen = QCheck2.Gen.(map (String.concat " ") (list_size (0 -- 40) word)) in
+  QCheck2.Test.make ~name:"parser is total on token soup" ~count:300 gen (fun src ->
+      match Parser.parse_func src with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "token stream" `Quick test_tokens;
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_parser_total_tokens;
+    Alcotest.test_case "token positions" `Quick test_token_positions;
+    Alcotest.test_case "lex error position" `Quick test_lex_error;
+    Alcotest.test_case "two-char operators" `Quick test_two_char_operators;
+    Alcotest.test_case "precedence mul over add" `Quick test_precedence;
+    Alcotest.test_case "comparison lowest" `Quick test_comparison_level;
+    Alcotest.test_case "left associativity" `Quick test_left_associativity;
+    Alcotest.test_case "parens and unary" `Quick test_parens_and_unary;
+    Alcotest.test_case "function header" `Quick test_function;
+    Alcotest.test_case "no params" `Quick test_no_params;
+    Alcotest.test_case "control flow statements" `Quick test_control_flow;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error position" `Quick test_error_position;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "multi-function program" `Quick test_program_multi;
+  ]

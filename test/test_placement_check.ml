@@ -1,0 +1,115 @@
+(* The static placement verifier: accepts sound specs, rejects broken
+   ones. *)
+
+module Bitvec = Lcm_support.Bitvec
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Placement_check = Lcm_core.Placement_check
+module Lcm_edge = Lcm_core.Lcm_edge
+module Bcm_edge = Lcm_core.Bcm_edge
+module Transform = Lcm_core.Transform
+module Suites = Lcm_eval.Suites
+module Gencfg = Lcm_eval.Gencfg
+module Prng = Lcm_support.Prng
+module Lcse = Lcm_opt.Lcse
+
+let specs_of g =
+  [
+    ("lcm-edge", Lcm_edge.spec g (Lcm_edge.analyze g));
+    ("bcm-edge", Bcm_edge.spec g (Bcm_edge.analyze g));
+    ("morel-renvoise", Lcm_baselines.Morel_renvoise.spec g (Lcm_baselines.Morel_renvoise.analyze g));
+    ("gcse", Lcm_baselines.Gcse.spec g (Lcm_baselines.Gcse.analyze g));
+  ]
+
+let test_sound_specs_on_workloads () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      List.iter
+        (fun (name, spec) ->
+          match Placement_check.check g spec with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s/%s: %s" w.Suites.name name m)
+        (specs_of g))
+    Suites.all
+
+let test_sound_specs_on_random_graphs () =
+  let rng = Prng.of_int 4242 in
+  for _ = 1 to 40 do
+    let g = fst (Lcse.run (Gencfg.random_cfg rng)) in
+    List.iter
+      (fun (name, spec) ->
+        match Placement_check.check g spec with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "%s: %s" name m)
+      (specs_of g)
+  done
+
+let test_rejects_uncovered_deletion () =
+  (* A deletion with no insertion anywhere cannot be covered (partial
+     redundancy in the diamond). *)
+  let w = Option.get (Suites.find "diamond") in
+  let g = Suites.graph w in
+  let sound = Lcm_edge.spec g (Lcm_edge.analyze g) in
+  let broken = { sound with Transform.edge_inserts = []; copies = [] } in
+  (match Placement_check.check g broken with
+  | Ok () -> Alcotest.fail "verifier accepted an uncovered deletion"
+  | Error _ -> ());
+  (* Dropping only the copies must also be caught: the computing arm no
+     longer seeds the temporary. *)
+  let no_copies = { sound with Transform.copies = [] } in
+  match Placement_check.check g no_copies with
+  | Ok () -> Alcotest.fail "verifier accepted a spec without its copies"
+  | Error _ -> ()
+
+let test_rejects_stale_insertion () =
+  (* An insertion above a kill does not cover a use below it. *)
+  let g =
+    Lower.parse_and_lower_func "function f(a, b) { a = a + 1; x = a + b; return x; }"
+  in
+  let pool = Cfg.candidate_pool g in
+  let idx =
+    Option.get
+      (Lcm_ir.Expr_pool.index pool (Lcm_ir.Expr.Binary (Lcm_ir.Expr.Add, Lcm_ir.Expr.Var "a", Lcm_ir.Expr.Var "b")))
+  in
+  let one = Bitvec.create (Lcm_ir.Expr_pool.size pool) in
+  Bitvec.set one idx true;
+  let body = List.hd (Cfg.successors g (Cfg.entry g)) in
+  let spec =
+    {
+      (Transform.identity_spec pool "broken") with
+      Transform.temp_names = Lcm_core.Temps.names g pool;
+      edge_inserts = [ ((Cfg.entry g, body), Bitvec.copy one) ];
+      deletes = [ (body, Bitvec.copy one) ];
+    }
+  in
+  match Placement_check.check g spec with
+  | Ok () -> Alcotest.fail "verifier accepted an insertion above a kill"
+  | Error _ -> ()
+
+let test_accepts_direct_coverage () =
+  (* Insertion directly on the incoming edge of the use: fine. *)
+  let g = Lower.parse_and_lower_func "function f(a, b) { x = a + b; return x; }" in
+  let pool = Cfg.candidate_pool g in
+  let one = Bitvec.create_full (Lcm_ir.Expr_pool.size pool) in
+  let body = List.hd (Cfg.successors g (Cfg.entry g)) in
+  let spec =
+    {
+      (Transform.identity_spec pool "manual") with
+      Transform.temp_names = Lcm_core.Temps.names g pool;
+      edge_inserts = [ ((Cfg.entry g, body), Bitvec.copy one) ];
+      deletes = [ (body, Bitvec.copy one) ];
+    }
+  in
+  match Placement_check.check g spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let suite =
+  [
+    Alcotest.test_case "sound specs verified on workloads" `Quick test_sound_specs_on_workloads;
+    Alcotest.test_case "sound specs verified on random graphs" `Quick test_sound_specs_on_random_graphs;
+    Alcotest.test_case "rejects uncovered deletion" `Quick test_rejects_uncovered_deletion;
+    Alcotest.test_case "rejects stale insertion" `Quick test_rejects_stale_insertion;
+    Alcotest.test_case "accepts direct coverage" `Quick test_accepts_direct_coverage;
+  ]

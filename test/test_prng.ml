@@ -1,0 +1,74 @@
+(* The generators must be deterministic and respect their ranges. *)
+
+module Prng = Lcm_support.Prng
+
+let test_determinism () =
+  let a = Prng.of_int 42 and b = Prng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.of_int 1 and b = Prng.of_int 2 in
+  Alcotest.(check bool) "streams differ" false (Prng.next a = Prng.next b)
+
+let test_int_range () =
+  let rng = Prng.of_int 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_int_in_range () =
+  let rng = Prng.of_int 8 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_int_bounds_exhaustive () =
+  (* Over many draws from a small range, every value appears. *)
+  let rng = Prng.of_int 9 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 4) <- true
+  done;
+  Array.iteri (fun i b -> Alcotest.(check bool) (Printf.sprintf "value %d drawn" i) true b) seen
+
+let test_invalid () =
+  let rng = Prng.of_int 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range") (fun () ->
+      ignore (Prng.int_in rng 3 2));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose rng [||]))
+
+let test_split_independent () =
+  let a = Prng.of_int 5 in
+  let b = Prng.split a in
+  (* After splitting, both can be drawn from without crashing and give
+     deterministic values across runs. *)
+  let xs = List.init 5 (fun _ -> Prng.int a 100) in
+  let ys = List.init 5 (fun _ -> Prng.int b 100) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_shuffle_permutes () =
+  let rng = Prng.of_int 11 in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 Fun.id) sorted
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int_in range" `Quick test_int_in_range;
+    Alcotest.test_case "small range covered" `Quick test_int_bounds_exhaustive;
+    Alcotest.test_case "invalid arguments raise" `Quick test_invalid;
+    Alcotest.test_case "split" `Quick test_split_independent;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+  ]

@@ -1,0 +1,228 @@
+(* Property-based checks of the paper's theorems on random programs and
+   random graphs, plus brute-force optimality on tiny graphs. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Prng = Lcm_support.Prng
+module Gencfg = Lcm_eval.Gencfg
+module Oracle = Lcm_eval.Oracle
+module Brute = Lcm_eval.Brute
+module Registry = Lcm_eval.Registry
+module Metrics = Lcm_eval.Metrics
+module Suites = Lcm_eval.Suites
+module Lcse = Lcm_opt.Lcse
+
+(* Deterministic seeds via qcheck's integer generator: each case runs on a
+   seed-derived program, so failures are reproducible from the printed
+   seed. *)
+let seed_gen = QCheck2.Gen.int_bound 1_000_000
+
+let structured_graph seed =
+  let rng = Prng.of_int seed in
+  let f = Gencfg.random_func rng in
+  let g = Lower.func f in
+  fst (Lcse.run g)
+
+let raw_graph seed =
+  let rng = Prng.of_int (seed + 7919) in
+  fst (Lcse.run (Gencfg.random_cfg rng))
+
+let inputs = Gencfg.func_inputs Gencfg.default_func_params
+let raw_inputs = [ "a"; "b"; "c"; "d" ]
+
+let paper_algorithms = Registry.paper_algorithms
+let safe_algorithms = Registry.safe
+
+(* Theorem: transformations preserve semantics (structured programs,
+   interpreted on random inputs). *)
+let prop_semantics =
+  QCheck2.Test.make ~name:"EXP-T1a: all algorithms preserve semantics" ~count:60 seed_gen
+    (fun seed ->
+      let g = structured_graph seed in
+      List.for_all
+        (fun (e : Registry.entry) ->
+          let g' = e.Registry.run g in
+          match Oracle.semantics ~runs:8 ~inputs (Prng.of_int (seed * 3 + 1)) ~original:g ~transformed:g' with
+          | Ok () -> true
+          | Error m -> QCheck2.Test.fail_reportf "%s: %s" e.Registry.name m)
+        Registry.all)
+
+(* Theorem: per-path safety of everything except speculative LICM —
+   checked on raw random graphs where all decision paths count, including
+   infeasible ones. *)
+let prop_safety =
+  QCheck2.Test.make ~name:"EXP-T1b: safe algorithms never add evaluations to any path" ~count:60
+    seed_gen (fun seed ->
+      let g = raw_graph seed in
+      let pool = Cfg.candidate_pool g in
+      List.for_all
+        (fun (e : Registry.entry) ->
+          let g' = e.Registry.run g in
+          (* Per-expression counts for identity-preserving passes; per-path
+             totals when copy propagation may have renamed operands. *)
+          let verdict =
+            if e.Registry.preserves_expressions then Oracle.safety ~max_decisions:8 ~pool ~original:g g'
+            else Oracle.computations_leq ~max_decisions:8 ~pool g' g
+          in
+          match verdict with
+          | Ok () -> true
+          | Error m -> QCheck2.Test.fail_reportf "%s: %s" e.Registry.name m)
+        safe_algorithms)
+
+(* Inserted temporaries are always defined before use, on every path.
+   Speculative passes are exempt: hoisting a computation to a pre-header
+   legitimately reads its operands on paths that never did. *)
+let prop_no_undefined_temps =
+  QCheck2.Test.make ~name:"temps defined before use on all paths" ~count:60 seed_gen (fun seed ->
+      let g = raw_graph seed in
+      List.for_all
+        (fun (e : Registry.entry) ->
+          let g' = e.Registry.run g in
+          match Oracle.no_undefined_temp_reads ~max_decisions:8 ~inputs:raw_inputs ~original:g g' with
+          | Ok () -> true
+          | Error m -> QCheck2.Test.fail_reportf "%s: %s" e.Registry.name m)
+        safe_algorithms)
+
+(* Theorem (computational optimality): the LCM family never evaluates more
+   than the original or any baseline, on any path. *)
+let prop_optimal_vs_baselines =
+  QCheck2.Test.make ~name:"EXP-T2a: LCM-edge dominates original/gcse/mr on every path" ~count:40
+    seed_gen (fun seed ->
+      let g = raw_graph seed in
+      let pool = Cfg.candidate_pool g in
+      let lcm = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+      List.for_all
+        (fun name ->
+          let other = (Option.get (Registry.find name)).Registry.run g in
+          match Oracle.computations_leq ~max_decisions:8 ~pool lcm other with
+          | Ok () -> true
+          | Error m -> QCheck2.Test.fail_reportf "vs %s: %s" name m)
+        [ "identity"; "gcse"; "morel-renvoise"; "bcm-edge" ])
+
+(* BCM and LCM agree exactly on per-path counts (both optimal). *)
+let prop_bcm_equals_lcm =
+  QCheck2.Test.make ~name:"EXP-T2b: BCM and LCM have equal path counts" ~count:40 seed_gen
+    (fun seed ->
+      let g = raw_graph seed in
+      let pool = Cfg.candidate_pool g in
+      let lcm = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+      let bcm = (Option.get (Registry.find "bcm-edge")).Registry.run g in
+      match
+        ( Oracle.computations_leq ~max_decisions:8 ~pool lcm bcm,
+          Oracle.computations_leq ~max_decisions:8 ~pool bcm lcm )
+      with
+      | Ok (), Ok () -> true
+      | Error m, _ | _, Error m -> QCheck2.Test.fail_reportf "%s" m)
+
+(* Node- and edge-based LCM agree on per-path counts. *)
+let prop_node_equals_edge =
+  QCheck2.Test.make ~name:"node and edge LCM have equal path counts" ~count:30 seed_gen (fun seed ->
+      let g = raw_graph seed in
+      let pool = Cfg.candidate_pool g in
+      let edge = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+      let node = (Option.get (Registry.find "lcm-node")).Registry.run g in
+      match
+        ( Oracle.computations_leq ~max_decisions:8 ~pool edge node,
+          Oracle.computations_leq ~max_decisions:8 ~pool node edge )
+      with
+      | Ok (), Ok () -> true
+      | Error m, _ | _, Error m -> QCheck2.Test.fail_reportf "%s" m)
+
+(* Theorem (lifetime ordering): LCM's temporaries live no longer than
+   ALCM's, which live no longer than BCM's. *)
+let prop_lifetime_ordering =
+  QCheck2.Test.make ~name:"EXP-T3: lifetime ordering LCM <= ALCM <= BCM (node forms)" ~count:30
+    seed_gen (fun seed ->
+      let g = raw_graph seed in
+      let gran = Lcm_cfg.Granulate.run g in
+      let lifetime name =
+        let h = (Option.get (Registry.find name)).Registry.run g in
+        Metrics.temp_lifetime h ~temps:(Registry.new_temps ~original:gran ~transformed:h)
+      in
+      let l = lifetime "lcm-node" and a = lifetime "alcm-node" and b = lifetime "bcm-node" in
+      if l <= a && a <= b then true
+      else QCheck2.Test.fail_reportf "lifetimes: lcm=%d alcm=%d bcm=%d" l a b)
+
+(* Brute force on tiny single-expression graphs: no safe placement beats
+   LCM on any path (computational optimality, checked exhaustively). *)
+let prop_brute_force_optimality =
+  QCheck2.Test.make ~name:"EXP-T2c: brute-force computational optimality" ~count:20 seed_gen
+    (fun seed ->
+      let rng = Prng.of_int (seed + 13) in
+      let g = fst (Lcse.run (Gencfg.random_single_expr_cfg ~blocks:4 rng)) in
+      if Cfg.num_candidate_occurrences g = 0 || List.length (Cfg.edges g) > 10 then true
+      else begin
+        let lcm = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+        match Brute.check_computational_optimality ~max_decisions:7 g ~transformed:lcm with
+        | Ok () -> true
+        | Error m -> QCheck2.Test.fail_reportf "%s" m
+      end)
+
+(* The same exhaustively for lifetimes among computationally optimal
+   placements. *)
+let prop_brute_force_lifetime =
+  QCheck2.Test.make ~name:"EXP-T3b: brute-force lifetime optimality" ~count:12 seed_gen
+    (fun seed ->
+      let rng = Prng.of_int (seed + 101) in
+      let g = fst (Lcse.run (Gencfg.random_single_expr_cfg ~blocks:3 rng)) in
+      if Cfg.num_candidate_occurrences g = 0 || List.length (Cfg.edges g) > 9 then true
+      else begin
+        let lcm = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+        let temps = Registry.new_temps ~original:g ~transformed:lcm in
+        match Brute.check_lifetime_optimality ~max_decisions:7 g ~transformed:lcm ~temps with
+        | Ok () -> true
+        | Error m -> QCheck2.Test.fail_reportf "%s" m
+      end)
+
+(* Transformations are idempotent in effect: running LCM on LCM output
+   changes no path counts. *)
+let prop_lcm_idempotent_counts =
+  QCheck2.Test.make ~name:"LCM twice = LCM once (path counts)" ~count:30 seed_gen (fun seed ->
+      let g = raw_graph seed in
+      let pool = Cfg.candidate_pool g in
+      let once = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+      let twice = (Option.get (Registry.find "lcm-edge")).Registry.run once in
+      match
+        ( Oracle.computations_leq ~max_decisions:8 ~pool once twice,
+          Oracle.computations_leq ~max_decisions:8 ~pool twice once )
+      with
+      | Ok (), Ok () -> true
+      | Error m, _ | _, Error m -> QCheck2.Test.fail_reportf "%s" m)
+
+(* Structured programs: paper algorithms keep the dynamic evaluation count
+   at most the original's (interpreter-level safety). *)
+let prop_dynamic_never_worse =
+  QCheck2.Test.make ~name:"dynamic evals never increase (paper algorithms)" ~count:40 seed_gen
+    (fun seed ->
+      let g = structured_graph seed in
+      let pool = Cfg.candidate_pool g in
+      let rng = Prng.of_int (seed + 5) in
+      let envs = List.init 5 (fun _ -> Gencfg.random_env rng Gencfg.default_func_params) in
+      match Metrics.dynamic_evals ~pool ~envs g with
+      | None -> true (* original ran out of fuel: skip *)
+      | Some base ->
+        List.for_all
+          (fun (e : Registry.entry) ->
+            let g' = e.Registry.run g in
+            match Metrics.dynamic_evals ~pool ~envs g' with
+            | None -> QCheck2.Test.fail_reportf "%s: transformed did not terminate" e.Registry.name
+            | Some n ->
+              if n <= base then true
+              else QCheck2.Test.fail_reportf "%s: %d > %d evals" e.Registry.name n base)
+          paper_algorithms)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_semantics;
+      prop_safety;
+      prop_no_undefined_temps;
+      prop_optimal_vs_baselines;
+      prop_bcm_equals_lcm;
+      prop_node_equals_edge;
+      prop_lifetime_ordering;
+      prop_brute_force_optimality;
+      prop_brute_force_lifetime;
+      prop_lcm_idempotent_counts;
+      prop_dynamic_never_worse;
+    ]

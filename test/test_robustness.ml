@@ -1,0 +1,143 @@
+(* Degenerate and adversarial inputs: every algorithm must cope. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Registry = Lcm_eval.Registry
+module Oracle = Lcm_eval.Oracle
+module Interp = Lcm_eval.Interp
+module Prng = Lcm_support.Prng
+
+let all_algorithms_accept ?(inputs = []) name g =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let g' =
+        try e.Registry.run g
+        with exn ->
+          Alcotest.failf "%s/%s raised %s" name e.Registry.name (Printexc.to_string exn)
+      in
+      match Oracle.semantics ~runs:4 ~inputs (Prng.of_int 3) ~original:g ~transformed:g' with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s/%s: %s" name e.Registry.name m)
+    Registry.all
+
+let test_no_candidates () =
+  (* Copies and prints only: the candidate pool is empty (0-bit vectors
+     throughout). *)
+  let g = Lower.parse_and_lower_func "function f(a) { x = a; print x; return x; }" in
+  Alcotest.(check int) "empty pool" 0 (Lcm_ir.Expr_pool.size (Cfg.candidate_pool g));
+  all_algorithms_accept ~inputs:[ "a" ] "no-candidates" g
+
+let test_trivial_function () =
+  let g = Lower.parse_and_lower_func "function f() { return 0; }" in
+  all_algorithms_accept "trivial" g
+
+let test_empty_body () =
+  (* Falls off the end: lowering synthesizes return 0. *)
+  let g = Lower.parse_and_lower_func "function f() { }" in
+  all_algorithms_accept "empty" g
+
+let test_infinite_loop_no_crash () =
+  (* The exit is unreachable; analyses must terminate and transformations
+     must keep the graph valid (semantic comparison is skipped: neither
+     side terminates). *)
+  let g = Lower.parse_and_lower_func "function f(a) { s = 0; while (1 > 0) { s = s + a; } return s; }" in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let g' = e.Registry.run g in
+      Alcotest.(check (list string)) (e.Registry.name ^ " valid") [] (Lcm_cfg.Validate.check g'))
+    Registry.all
+
+let test_same_operand_twice () =
+  let g = Lower.parse_and_lower_func "function f(a, p) { if (p > 0) { x = a + a; } y = a + a; return x + y; }" in
+  all_algorithms_accept ~inputs:[ "a"; "p" ] "a+a" g
+
+let test_self_referential_updates () =
+  let g =
+    Lower.parse_and_lower_func
+      "function f(a, n) { i = 0; while (i < n) { a = a + a; i = i + 1; } return a; }"
+  in
+  all_algorithms_accept ~inputs:[ "a"; "n" ] "self-ref" g
+
+let test_branch_both_arms_same_target () =
+  let g = Cfg.create () in
+  let b =
+    Cfg.add_block g
+      ~instrs:[ Instr.Assign ("x", Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")) ]
+      ~term:Cfg.Halt
+  in
+  let c = Cfg.add_block g ~instrs:[ Instr.Assign ("y", Expr.Binary (Expr.Add, Expr.Var "a", Expr.Var "b")) ] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto b);
+  Cfg.set_term g b (Cfg.Branch (Expr.Var "x", c, c));
+  Cfg.set_term g c (Cfg.Goto (Cfg.exit_label g));
+  all_algorithms_accept ~inputs:[ "a"; "b" ] "degenerate branch" g
+
+let test_deep_nesting () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "function f(a, b) { s = 0; ";
+  let depth = 30 in
+  for i = 0 to depth - 1 do
+    Buffer.add_string buf (Printf.sprintf "if (a > %d) { s = s + (a + b); " i)
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string buf "} "
+  done;
+  Buffer.add_string buf "return s; }";
+  let g = Lower.parse_and_lower_func (Buffer.contents buf) in
+  all_algorithms_accept ~inputs:[ "a"; "b" ] "deep nesting" g
+
+let test_wide_pool () =
+  (* Hundreds of distinct expressions: exercises multi-word bit vectors in
+     every analysis. *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "function f(a, b) { s = 0; ";
+  for i = 0 to 199 do
+    Buffer.add_string buf (Printf.sprintf "s = s + (a + %d); x%d = b * %d; " i i i)
+  done;
+  Buffer.add_string buf "return s; }";
+  let g = Lower.parse_and_lower_func (Buffer.contents buf) in
+  Alcotest.(check bool) "wide pool" true (Lcm_ir.Expr_pool.size (Cfg.candidate_pool g) > 300);
+  let lcm = (Option.get (Registry.find "lcm-edge")).Registry.run g in
+  match Oracle.semantics ~runs:3 ~inputs:[ "a"; "b" ] (Prng.of_int 9) ~original:g ~transformed:lcm with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_interp_overflow_wraps () =
+  (* OCaml native ints wrap silently; the interpreter must simply agree
+     with itself across transformations. *)
+  let g =
+    Lower.parse_and_lower_func
+      "function f(a) { x = a * a; y = x * x; z = y * y; w = z * z; return w + (a * a); }"
+  in
+  all_algorithms_accept ~inputs:[ "a" ] "overflow" g
+
+let test_zero_length_bitvec_solver () =
+  (* A graph with no candidates still runs every data-flow analysis. *)
+  let g = Lower.parse_and_lower_func "function f(a) { x = a; return x; }" in
+  let pool = Cfg.candidate_pool g in
+  let local = Lcm_dataflow.Local.compute g pool in
+  let avail = Lcm_dataflow.Avail.compute g local in
+  let antic = Lcm_dataflow.Antic.compute g local in
+  Alcotest.(check bool) "converged" true (avail.Lcm_dataflow.Avail.sweeps >= 1 && antic.Lcm_dataflow.Antic.sweeps >= 1)
+
+let test_fuel_zero () =
+  let g = Lower.parse_and_lower_func "function f() { return 1; }" in
+  let o = Interp.run ~fuel:0 ~pool:(Cfg.candidate_pool g) ~env:[] g in
+  Alcotest.(check bool) "did not terminate with zero fuel" false o.Interp.terminated
+
+let suite =
+  [
+    Alcotest.test_case "no candidate expressions" `Quick test_no_candidates;
+    Alcotest.test_case "trivial function" `Quick test_trivial_function;
+    Alcotest.test_case "empty body" `Quick test_empty_body;
+    Alcotest.test_case "infinite loop" `Quick test_infinite_loop_no_crash;
+    Alcotest.test_case "a + a operands" `Quick test_same_operand_twice;
+    Alcotest.test_case "self-referential updates" `Quick test_self_referential_updates;
+    Alcotest.test_case "branch with equal arms" `Quick test_branch_both_arms_same_target;
+    Alcotest.test_case "deeply nested branches" `Quick test_deep_nesting;
+    Alcotest.test_case "wide expression pool" `Quick test_wide_pool;
+    Alcotest.test_case "overflow wraps consistently" `Quick test_interp_overflow_wraps;
+    Alcotest.test_case "zero-length bit vectors" `Quick test_zero_length_bitvec_solver;
+    Alcotest.test_case "zero fuel" `Quick test_fuel_zero;
+  ]

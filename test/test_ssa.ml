@@ -1,0 +1,252 @@
+(* SSA: construction, validation, destruction, value numbering. *)
+
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Lower = Lcm_cfg.Lower
+module Expr = Lcm_ir.Expr
+module Instr = Lcm_ir.Instr
+module Ssa = Lcm_ssa.Ssa
+module Frontier = Lcm_ssa.Frontier
+module Destruct = Lcm_ssa.Destruct
+module Dvnt = Lcm_ssa.Dvnt
+module Oracle = Lcm_eval.Oracle
+module Interp = Lcm_eval.Interp
+module Suites = Lcm_eval.Suites
+module Gencfg = Lcm_eval.Gencfg
+module Prng = Lcm_support.Prng
+
+let lower = Lower.parse_and_lower_func
+
+(* ---- dominance frontiers ---- *)
+
+let test_frontier_diamond () =
+  let g = Cfg.create () in
+  let a = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let b = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let c = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  let d = Cfg.add_block g ~instrs:[] ~term:Cfg.Halt in
+  Cfg.set_term g (Cfg.entry g) (Cfg.Goto a);
+  Cfg.set_term g a (Cfg.Branch (Expr.Var "p", b, c));
+  Cfg.set_term g b (Cfg.Goto d);
+  Cfg.set_term g c (Cfg.Goto d);
+  Cfg.set_term g d (Cfg.Goto (Cfg.exit_label g));
+  let f = Frontier.compute g in
+  Alcotest.(check (list int)) "DF(b) = {d}" [ d ] (Frontier.frontier f b);
+  Alcotest.(check (list int)) "DF(c) = {d}" [ d ] (Frontier.frontier f c);
+  Alcotest.(check (list int)) "DF(a) = {}" [] (Frontier.frontier f a);
+  Alcotest.(check (list int)) "DF(d) = {}" [] (Frontier.frontier f d)
+
+let test_frontier_loop () =
+  (* A loop header is in the frontier of its own body. *)
+  let g = lower "function f(n) { i = 0; while (i < n) { i = i + 1; } return i; }" in
+  let f = Frontier.compute g in
+  let headers =
+    List.filter (fun l -> List.length (Cfg.predecessors g l) >= 2) (Cfg.labels g)
+  in
+  Alcotest.(check bool) "some block has the header in its frontier" true
+    (List.exists
+       (fun l -> List.exists (fun h -> List.mem h headers) (Frontier.frontier f l))
+       (Cfg.labels g))
+
+(* ---- construction ---- *)
+
+let test_ssa_single_assignment () =
+  let g = lower "function f(a, p) { x = a + 1; if (p > 0) { x = a + 2; } return x; }" in
+  let ssa = Ssa.of_cfg g in
+  (match Ssa.check ssa with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "has a phi for x" true
+    (List.exists
+       (fun l -> List.exists (fun (p : Ssa.phi) -> p.Ssa.orig = "x") (Ssa.phis ssa l))
+       (Cfg.labels (Ssa.graph ssa)))
+
+let test_ssa_loop_phi () =
+  let g = lower "function f(n) { i = 0; while (i < n) { i = i + 1; } return i; }" in
+  let ssa = Ssa.of_cfg g in
+  (match Ssa.check ssa with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "phi for the loop variable" true
+    (List.exists
+       (fun l -> List.exists (fun (p : Ssa.phi) -> p.Ssa.orig = "i") (Ssa.phis ssa l))
+       (Ssa.phi_blocks ssa))
+
+let test_ssa_inputs_keep_names () =
+  (* A parameter read before any write keeps its original name, so the
+     interpreter can still bind it. *)
+  let g = lower "function f(a) { x = a + 1; return x; }" in
+  let ssa = Ssa.of_cfg g in
+  let reads_a =
+    List.exists
+      (fun l ->
+        List.exists (fun i -> List.mem "a" (Instr.uses i)) (Cfg.instrs (Ssa.graph ssa) l))
+      (Cfg.labels (Ssa.graph ssa))
+  in
+  Alcotest.(check bool) "a still read by name" true reads_a
+
+(* ---- destruction: the round trip ---- *)
+
+let roundtrip_check name src inputs =
+  let g = lower src in
+  let ssa = Ssa.of_cfg g in
+  (match Ssa.check ssa with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: ssa check: %s" name m);
+  let back, _ = Destruct.run ssa in
+  match Oracle.semantics ~inputs (Prng.of_int 13) ~original:g ~transformed:back with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: %s" name m
+
+let test_roundtrip_programs () =
+  roundtrip_check "branch" "function f(a, p) { x = 1; if (p > 0) { x = a; } return x + 1; }" [ "a"; "p" ];
+  roundtrip_check "loop"
+    "function f(a, n) { s = 0; i = 0; while (i < n) { s = s + a; i = i + 1; } return s; }"
+    [ "a"; "n" ];
+  roundtrip_check "nested"
+    "function f(n, m) { s = 0; i = 0; while (i < n) { j = 0; while (j < m) { s = s + 1; j = j + 1; } \
+     i = i + 1; } return s; }"
+    [ "n"; "m" ];
+  roundtrip_check "prints" "function f(a, p) { if (p > 0) { print a; a = a + 1; } print a; return a; }" [ "a"; "p" ]
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let ssa = Ssa.of_cfg g in
+      (match Ssa.check ssa with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: ssa check: %s" w.Suites.name m);
+      let back, _ = Destruct.run ssa in
+      match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 17) ~original:g ~transformed:back with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" w.Suites.name m)
+    Suites.all
+
+(* The classic swap: two phis exchanging values; destruction must break
+   the parallel-copy cycle with a temporary. *)
+let test_swap_cycle () =
+  let src =
+    "function f(a, b, n) { x = a; y = b; i = 0; while (i < n) { t = x; x = y; y = t; i = i + 1; } \
+     return x - y; }"
+  in
+  let g = lower src in
+  let ssa = Ssa.of_cfg g in
+  let back, _ = Destruct.run ssa in
+  match Oracle.semantics ~inputs:[ "a"; "b"; "n" ] (Prng.of_int 19) ~original:g ~transformed:back with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* Destroying after copy-propagating the phi-feeding copies away creates
+   a true cycle; exercise sequentialize's cycle breaker directly. *)
+let test_swap_cycle_direct () =
+  let g = lower "function f(a, b, p) { x = a; y = b; if (p > 0) { t = x; x = y; y = t; } return x - y; }" in
+  let ssa = Ssa.of_cfg g in
+  let ssa', _ = Dvnt.run ssa in
+  let back, _ = Destruct.run ssa' in
+  match Oracle.semantics ~inputs:[ "a"; "b"; "p" ] (Prng.of_int 23) ~original:g ~transformed:back with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* ---- DVNT ---- *)
+
+let test_dvnt_dominated_redundancy () =
+  (* The second a+b is dominated by the first: DVNT removes it. *)
+  let g = lower "function f(a, b, p) { x = a + b; if (p > 0) { y = a + b; print y; } return x; }" in
+  let back, stats = Dvnt.pass g in
+  Alcotest.(check bool) "replaced at least one" true (stats.Dvnt.exprs_replaced >= 1);
+  match Oracle.semantics ~inputs:[ "a"; "b"; "p" ] (Prng.of_int 29) ~original:g ~transformed:back with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_dvnt_misses_diamond () =
+  (* The diamond's partial redundancy is NOT dominator-visible: DVNT must
+     leave it (this is the gap PRE closes). *)
+  let w = Option.get (Suites.find "diamond") in
+  let g = Suites.graph w in
+  let _, stats = Dvnt.pass g in
+  Alcotest.(check int) "nothing replaced" 0 stats.Dvnt.exprs_replaced
+
+let test_dvnt_meaningless_phi () =
+  (* Both arms assign the same value: the join phi is meaningless. *)
+  let g = lower "function f(a, p) { if (p > 0) { x = a; } else { x = a; } return x + 1; }" in
+  let ssa = Ssa.of_cfg g in
+  let _, stats = Dvnt.run ssa in
+  Alcotest.(check bool) "phi simplified" true (stats.Dvnt.phis_simplified >= 1)
+
+let test_dvnt_semantics_on_workloads () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let back, _ = Dvnt.pass g in
+      match Oracle.semantics ~inputs:w.Suites.inputs (Prng.of_int 31) ~original:g ~transformed:back with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" w.Suites.name m)
+    Suites.all
+
+let test_dvnt_never_adds_evals () =
+  List.iter
+    (fun w ->
+      let g = Suites.graph w in
+      let pool = Cfg.candidate_pool g in
+      let back, _ = Dvnt.pass g in
+      match Oracle.computations_leq ~pool back g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" w.Suites.name m)
+    Suites.all
+
+(* Property: the SSA round trip preserves semantics on random programs. *)
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"SSA roundtrip on random programs" ~count:50 (QCheck2.Gen.int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let f = Gencfg.random_func rng in
+      let g = Lower.func f in
+      let ssa = Ssa.of_cfg g in
+      (match Ssa.check ssa with
+      | Ok () -> ()
+      | Error m -> QCheck2.Test.fail_reportf "check: %s" m);
+      let back, _ = Destruct.run ssa in
+      let inputs = Gencfg.func_inputs Gencfg.default_func_params in
+      match Oracle.semantics ~runs:8 ~inputs (Prng.of_int (seed + 1)) ~original:g ~transformed:back with
+      | Ok () -> true
+      | Error m -> QCheck2.Test.fail_reportf "%s" m)
+
+(* Property: the full DVNT pipeline preserves semantics and never adds
+   evaluations on random raw graphs. *)
+let prop_dvnt_random =
+  QCheck2.Test.make ~name:"DVNT pipeline on random graphs" ~count:50 (QCheck2.Gen.int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.of_int (seed + 31337) in
+      let g = Gencfg.random_cfg rng in
+      let pool = Cfg.candidate_pool g in
+      let back, _ = Dvnt.pass g in
+      (match Oracle.computations_leq ~max_decisions:8 ~pool back g with
+      | Ok () -> ()
+      | Error m -> QCheck2.Test.fail_reportf "counts: %s" m);
+      match
+        Oracle.semantics ~runs:6 ~inputs:[ "a"; "b"; "c"; "d" ] (Prng.of_int (seed + 2)) ~original:g
+          ~transformed:back
+      with
+      | Ok () -> true
+      | Error m -> QCheck2.Test.fail_reportf "%s" m)
+
+let suite =
+  [
+    Alcotest.test_case "frontier: diamond" `Quick test_frontier_diamond;
+    Alcotest.test_case "frontier: loop header" `Quick test_frontier_loop;
+    Alcotest.test_case "ssa: single assignment + phi" `Quick test_ssa_single_assignment;
+    Alcotest.test_case "ssa: loop phi" `Quick test_ssa_loop_phi;
+    Alcotest.test_case "ssa: inputs keep names" `Quick test_ssa_inputs_keep_names;
+    Alcotest.test_case "roundtrip: programs" `Quick test_roundtrip_programs;
+    Alcotest.test_case "roundtrip: workloads" `Quick test_roundtrip_workloads;
+    Alcotest.test_case "swap cycle via loop" `Quick test_swap_cycle;
+    Alcotest.test_case "swap cycle after DVNT" `Quick test_swap_cycle_direct;
+    Alcotest.test_case "dvnt: dominated redundancy removed" `Quick test_dvnt_dominated_redundancy;
+    Alcotest.test_case "dvnt: diamond out of reach" `Quick test_dvnt_misses_diamond;
+    Alcotest.test_case "dvnt: meaningless phi" `Quick test_dvnt_meaningless_phi;
+    Alcotest.test_case "dvnt: semantics on workloads" `Quick test_dvnt_semantics_on_workloads;
+    Alcotest.test_case "dvnt: never adds evaluations" `Quick test_dvnt_never_adds_evals;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    QCheck_alcotest.to_alcotest prop_dvnt_random;
+  ]
