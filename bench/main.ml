@@ -22,6 +22,7 @@ let experiments =
     ("p1", "dynamic evaluations by loop depth", Exp_profile.run);
     ("a1", "ablation: isolation analysis", Exp_ablation.a1);
     ("a2", "ablation: critical-edge pre-splitting", Exp_ablation.a2);
+    ("scale", "solver throughput on random CFGs up to 10k blocks", Exp_scale.run);
   ]
 
 let list_experiments () =
@@ -38,7 +39,8 @@ let () =
   match Array.to_list Sys.argv with
   | [ _ ] -> List.iter (fun (_, _, f) -> f ()) experiments
   | [ _; "--list" ] -> list_experiments ()
+  | [ _; "--experiment"; "scale"; "--quick" ] | [ _; "scale"; "--quick" ] -> Exp_scale.run_quick ()
   | [ _; "--experiment"; id ] | [ _; id ] -> run_one id
   | _ ->
-    prerr_endline "usage: main.exe [--list | --experiment <id>]";
+    prerr_endline "usage: main.exe [--list | --experiment <id> [--quick]]";
     exit 1

@@ -1,7 +1,6 @@
 module Bitvec = Lcm_support.Bitvec
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
-module Order = Lcm_cfg.Order
 module Local = Lcm_dataflow.Local
 module Avail = Lcm_dataflow.Avail
 module Expr_pool = Lcm_ir.Expr_pool
@@ -27,62 +26,67 @@ let analyze ?pool g =
   let n = Expr_pool.size pool in
   let avail = Avail.compute g local in
   let pavail = Avail.compute_partial g local in
-  let order = Order.compute g in
-  let rpo = Order.reverse_postorder order in
-  let ppin = Hashtbl.create 64 and ppout = Hashtbl.create 64 in
-  List.iter
-    (fun l ->
-      Hashtbl.replace ppin l (Bitvec.create_full n);
-      Hashtbl.replace ppout l (Bitvec.create_full n))
-    (Cfg.labels g);
-  Hashtbl.replace ppin (Cfg.entry g) (Bitvec.create n);
-  Hashtbl.replace ppout (Cfg.exit_label g) (Bitvec.create n);
+  let adj = Cfg.adjacency g in
+  let bound = adj.Cfg.adj_bound in
+  let entry = Cfg.entry g and exit_l = Cfg.exit_label g in
+  let ppin = Array.init bound (fun _ -> Bitvec.create_full n) in
+  let ppout = Array.init bound (fun _ -> Bitvec.create_full n) in
+  ppin.(entry) <- Bitvec.create n;
+  ppout.(exit_l) <- Bitvec.create n;
   let scratch = Bitvec.create n and term = Bitvec.create n in
   let sweeps = ref 0 and visits = ref 0 in
-  let changed = ref true in
-  (* The bidirectional system: each sweep recomputes both PPIN and PPOUT for
-     every block until nothing moves.  Unlike LCM's cascade there is no
-     single direction in which one pass suffices. *)
-  while !changed do
-    changed := false;
-    incr sweeps;
-    List.iter
-      (fun b ->
-        incr visits;
-        (* PPOUT(b) = ∩ PPIN(s) over successors; exit stays ∅. *)
-        if not (Label.equal b (Cfg.exit_label g)) then begin
-          Bitvec.fill scratch true;
-          List.iter
-            (fun s -> ignore (Bitvec.inter_into ~into:scratch (Hashtbl.find ppin s)))
-            (Cfg.successors g b);
-          if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find ppout b) then changed := true
-        end;
-        (* PPIN(b); entry stays ∅. *)
-        if not (Label.equal b (Cfg.entry g)) then begin
-          ignore (Bitvec.blit ~src:(Hashtbl.find ppout b) ~dst:scratch);
-          ignore (Bitvec.inter_into ~into:scratch (Local.transp local b));
-          ignore (Bitvec.union_into ~into:scratch (Local.antloc local b));
-          ignore (Bitvec.inter_into ~into:scratch (pavail.Avail.avin b));
-          List.iter
-            (fun p ->
-              ignore (Bitvec.blit ~src:(Hashtbl.find ppout p) ~dst:term);
-              ignore (Bitvec.union_into ~into:term (avail.Avail.avout p));
-              ignore (Bitvec.inter_into ~into:scratch term))
-            (Cfg.predecessors g b);
-          if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find ppin b) then changed := true
-        end)
-      rpo
+  (* The bidirectional PPIN/PPOUT system, worklist-driven.  There is no
+     single direction in which one pass suffices, but the dependency
+     structure is still local: PPOUT(b) reads PPIN of b's successors, and
+     PPIN(b) reads PPOUT of b itself and of its predecessors.  So a visit
+     recomputes PPOUT(b) then PPIN(b); a PPOUT change re-enqueues the
+     successors (their PPIN reads it) and a PPIN change re-enqueues the
+     predecessors (their PPOUT reads it). *)
+  let rpo_pos = adj.Cfg.adj_rpo_pos in
+  let queue = Queue.create () in
+  let in_queue = Array.make bound false in
+  let enqueue b =
+    if (not in_queue.(b)) && rpo_pos.(b) >= 0 then begin
+      in_queue.(b) <- true;
+      Queue.add b queue
+    end
+  in
+  List.iter enqueue adj.Cfg.adj_rpo;
+  let visit_count = Array.make bound 0 in
+  while not (Queue.is_empty queue) do
+    let b = Queue.take queue in
+    in_queue.(b) <- false;
+    incr visits;
+    visit_count.(b) <- visit_count.(b) + 1;
+    (* PPOUT(b) = ∩ PPIN(s) over successors; exit stays ∅. *)
+    if not (Label.equal b exit_l) then begin
+      Bitvec.fill scratch true;
+      Array.iter (fun s -> ignore (Bitvec.inter_into ~into:scratch ppin.(s))) adj.Cfg.adj_succ.(b);
+      if Bitvec.blit ~src:scratch ~dst:ppout.(b) then Array.iter enqueue adj.Cfg.adj_succ.(b)
+    end;
+    (* PPIN(b); entry stays ∅. *)
+    if not (Label.equal b entry) then begin
+      ignore (Bitvec.blit ~src:ppout.(b) ~dst:scratch);
+      ignore (Bitvec.inter_into ~into:scratch (Local.transp local b));
+      ignore (Bitvec.union_into ~into:scratch (Local.antloc local b));
+      ignore (Bitvec.inter_into ~into:scratch (pavail.Avail.avin b));
+      Array.iter
+        (fun p ->
+          ignore (Bitvec.blit ~src:ppout.(p) ~dst:term);
+          ignore (Bitvec.union_into ~into:term (avail.Avail.avout p));
+          ignore (Bitvec.inter_into ~into:scratch term))
+        adj.Cfg.adj_pred.(b);
+      if Bitvec.blit ~src:scratch ~dst:ppin.(b) then Array.iter enqueue adj.Cfg.adj_pred.(b)
+    end
   done;
-  let ppin_f l =
-    match Hashtbl.find_opt ppin l with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Morel_renvoise.ppin: unknown label B%d" l)
+  sweeps := Array.fold_left max 0 visit_count;
+  let live = Array.make bound false in
+  List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
+  let lookup arr what l =
+    if l >= 0 && l < bound && live.(l) then arr.(l)
+    else invalid_arg (Printf.sprintf "Morel_renvoise.%s: unknown label B%d" what l)
   in
-  let ppout_f l =
-    match Hashtbl.find_opt ppout l with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Morel_renvoise.ppout: unknown label B%d" l)
-  in
+  let ppin_f = lookup ppin "ppin" and ppout_f = lookup ppout "ppout" in
   (* INSERT(b) = PPOUT(b) ∩ ¬AVOUT(b) ∩ (¬PPIN(b) ∪ ¬TRANSP(b)) *)
   let insert =
     List.filter_map

@@ -7,7 +7,24 @@ type terminator =
   | Branch of Expr.operand * Label.t * Label.t
   | Halt
 
-type block = { mutable instrs : Instr.t list; mutable term : terminator }
+(* [tail_rev] holds appended instructions in reverse; [force_block] folds it
+   back into [instrs] on demand, so a burst of [append_instr] calls is O(1)
+   amortized instead of O(n²) list concatenation. *)
+type block = { mutable instrs : Instr.t list; mutable tail_rev : Instr.t list; mutable term : terminator }
+
+type adjacency = {
+  adj_version : int;
+  adj_bound : int;
+  adj_succ : Label.t array array;
+  adj_pred : Label.t array array;
+  adj_pred_lists : Label.t list array;
+  adj_edges : (Label.t * Label.t) list;
+  adj_rpo : Label.t list;
+  adj_post : Label.t list;
+  adj_rpo_pos : int array;
+  adj_disc : int array;
+  adj_fin : int array;
+}
 
 type t = {
   name : string;
@@ -16,22 +33,24 @@ type t = {
   mutable next_label : int;
   entry : Label.t;
   exit_label : Label.t;
-  (* Predecessor cache: rebuilt when [version] outruns [preds_version]. *)
+  (* Shape version: bumped by every mutation that can change the edge set or
+     block set.  The adjacency cache below is rebuilt when it outruns
+     [adj.adj_version]. *)
   mutable version : int;
-  mutable preds_version : int;
-  mutable preds : Label.t list Label.Map.t;
+  mutable adj : adjacency option;
 }
 
 let entry g = g.entry
 let exit_label g = g.exit_label
 let name g = g.name
+let version g = g.version
 
 let bump g = g.version <- g.version + 1
 
 let alloc g instrs term =
   let l = g.next_label in
   g.next_label <- l + 1;
-  Hashtbl.replace g.blocks l { instrs; term };
+  Hashtbl.replace g.blocks l { instrs; tail_rev = []; term };
   g.order <- l :: g.order;
   bump g;
   l
@@ -46,8 +65,7 @@ let create ?(name = "main") () =
       entry = 0;
       exit_label = 1;
       version = 0;
-      preds_version = -1;
-      preds = Label.Map.empty;
+      adj = None;
     }
   in
   let entry = alloc g [] Halt in
@@ -65,9 +83,23 @@ let find g l what =
   | Some b -> b
   | None -> invalid_arg (Printf.sprintf "Cfg.%s: unknown label B%d" what l)
 
-let instrs g l = (find g l "instrs").instrs
+let force_block b =
+  if b.tail_rev <> [] then begin
+    b.instrs <- b.instrs @ List.rev b.tail_rev;
+    b.tail_rev <- []
+  end
+
+let instrs g l =
+  let b = find g l "instrs" in
+  force_block b;
+  b.instrs
+
 let term g l = (find g l "term").term
-let set_instrs g l is = (find g l "set_instrs").instrs <- is
+
+let set_instrs g l is =
+  let b = find g l "set_instrs" in
+  b.instrs <- is;
+  b.tail_rev <- []
 
 let set_term g l t =
   (find g l "set_term").term <- t;
@@ -75,7 +107,7 @@ let set_term g l t =
 
 let append_instr g l i =
   let b = find g l "append_instr" in
-  b.instrs <- b.instrs @ [ i ]
+  b.tail_rev <- i :: b.tail_rev
 
 let prepend_instr g l i =
   let b = find g l "prepend_instr" in
@@ -85,37 +117,108 @@ let labels g = List.rev g.order
 let num_blocks g = Hashtbl.length g.blocks
 let label_bound g = g.next_label
 
-let successors g l =
-  match term g l with
+let successors_of_term = function
   | Goto m -> [ m ]
   | Branch (_, a, b) -> if Label.equal a b then [ a ] else [ a; b ]
   | Halt -> []
 
-let refresh_preds g =
-  if g.preds_version <> g.version then begin
-    let map = ref Label.Map.empty in
-    List.iter
-      (fun src ->
-        List.iter
-          (fun dst ->
-            let existing = Option.value ~default:[] (Label.Map.find_opt dst !map) in
-            map := Label.Map.add dst (src :: existing) !map)
-          (successors g src))
-      (labels g);
-    (* Predecessors were accumulated in reverse label order; restore it. *)
-    g.preds <- Label.Map.map List.rev !map;
-    g.preds_version <- g.version
-  end
+let successors g l = successors_of_term (term g l)
+
+(* Build the full adjacency snapshot: successor/predecessor arrays, the edge
+   list, and a DFS from the entry yielding postorder / reverse postorder and
+   discovery/finish times (for retreating-edge tests).  One pass per shape
+   version; every traversal-hungry consumer (solver, orders, edge lists,
+   criticality) reads this snapshot instead of re-deriving lists. *)
+let build_adjacency g =
+  let bound = g.next_label in
+  let labels = List.rev g.order in
+  let succ = Array.make bound [||] in
+  List.iter (fun l -> succ.(l) <- Array.of_list (successors g l)) labels;
+  (* Predecessors, in allocation order of the source block (the order the
+     old per-call cache produced). *)
+  let pred_count = Array.make bound 0 in
+  List.iter
+    (fun s -> Array.iter (fun d -> pred_count.(d) <- pred_count.(d) + 1) succ.(s))
+    labels;
+  let pred = Array.init bound (fun d -> Array.make pred_count.(d) 0) in
+  let fill = Array.make bound 0 in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun d ->
+          pred.(d).(fill.(d)) <- s;
+          fill.(d) <- fill.(d) + 1)
+        succ.(s))
+    labels;
+  let pred_lists = Array.map Array.to_list pred in
+  let edges =
+    List.concat_map (fun s -> List.map (fun d -> (s, d)) (Array.to_list succ.(s))) labels
+  in
+  (* Iterative DFS from the entry; tick on discovery and on finish, exactly
+     like the recursive formulation, so interval-nesting back-edge tests
+     keep working. *)
+  let disc = Array.make bound 0 and fin = Array.make bound 0 in
+  let stack_l = Array.make (max 1 bound) 0 and stack_i = Array.make (max 1 bound) 0 in
+  let sp = ref 0 and clock = ref 0 in
+  let finish_acc = ref [] in
+  let push l =
+    incr clock;
+    disc.(l) <- !clock;
+    stack_l.(!sp) <- l;
+    stack_i.(!sp) <- 0;
+    incr sp
+  in
+  push g.entry;
+  while !sp > 0 do
+    let l = stack_l.(!sp - 1) in
+    let i = stack_i.(!sp - 1) in
+    if i < Array.length succ.(l) then begin
+      stack_i.(!sp - 1) <- i + 1;
+      let s = succ.(l).(i) in
+      if disc.(s) = 0 then push s
+    end
+    else begin
+      decr sp;
+      incr clock;
+      fin.(l) <- !clock;
+      finish_acc := l :: !finish_acc
+    end
+  done;
+  let rpo = !finish_acc in
+  let post = List.rev rpo in
+  let rpo_pos = Array.make bound (-1) in
+  List.iteri (fun i l -> rpo_pos.(l) <- i) rpo;
+  {
+    adj_version = g.version;
+    adj_bound = bound;
+    adj_succ = succ;
+    adj_pred = pred;
+    adj_pred_lists = pred_lists;
+    adj_edges = edges;
+    adj_rpo = rpo;
+    adj_post = post;
+    adj_rpo_pos = rpo_pos;
+    adj_disc = disc;
+    adj_fin = fin;
+  }
+
+let adjacency g =
+  match g.adj with
+  | Some a when a.adj_version = g.version -> a
+  | Some _ | None ->
+    let a = build_adjacency g in
+    g.adj <- Some a;
+    a
 
 let predecessors g l =
   ignore (find g l "predecessors");
-  refresh_preds g;
-  Option.value ~default:[] (Label.Map.find_opt l g.preds)
+  (adjacency g).adj_pred_lists.(l)
 
-let edges g = List.concat_map (fun src -> List.map (fun dst -> (src, dst)) (successors g src)) (labels g)
+let edges g = (adjacency g).adj_edges
 
 let is_critical_edge g (src, dst) =
-  List.length (successors g src) > 1 && List.length (predecessors g dst) > 1
+  let adj = adjacency g in
+  Array.length adj.adj_succ.(src) > 1 && Array.length adj.adj_pred.(dst) > 1
 
 let split_edge g src dst =
   let b = find g src "split_edge" in
@@ -167,6 +270,8 @@ let merge_straight_pairs g =
                  && List.length (predecessors g m) = 1 ->
             let mb = find g m "merge" in
             let lb = find g l "merge" in
+            force_block mb;
+            force_block lb;
             lb.instrs <- lb.instrs @ mb.instrs;
             lb.term <- mb.term;
             Hashtbl.remove g.blocks m;
@@ -179,7 +284,11 @@ let merge_straight_pairs g =
 
 let copy g =
   let blocks = Hashtbl.create (Hashtbl.length g.blocks) in
-  Hashtbl.iter (fun l b -> Hashtbl.replace blocks l { instrs = b.instrs; term = b.term }) g.blocks;
+  Hashtbl.iter
+    (fun l b ->
+      force_block b;
+      Hashtbl.replace blocks l { instrs = b.instrs; tail_rev = []; term = b.term })
+    g.blocks;
   {
     name = g.name;
     blocks;
@@ -188,8 +297,7 @@ let copy g =
     entry = g.entry;
     exit_label = g.exit_label;
     version = 0;
-    preds_version = -1;
-    preds = Label.Map.empty;
+    adj = None;
   }
 
 let candidate_pool g =

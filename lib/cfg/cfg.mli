@@ -55,15 +55,44 @@ val label_bound : t -> int
 (** Successor labels in terminator order, duplicates removed. *)
 val successors : t -> Label.t -> Label.t list
 
-(** Predecessor labels (cached; invalidated by mutation). *)
+(** Predecessor labels (served from the adjacency snapshot below). *)
 val predecessors : t -> Label.t -> Label.t list
 
-(** All edges [(src, dst)], grouped by source in label order. *)
+(** All edges [(src, dst)], grouped by source in label order (cached). *)
 val edges : t -> (Label.t * Label.t) list
 
 (** [is_critical_edge g (src, dst)] holds when [src] has several successors
-    and [dst] several predecessors. *)
+    and [dst] several predecessors.  O(1) on the cached adjacency arrays. *)
 val is_critical_edge : t -> Label.t * Label.t -> bool
+
+(** Shape version of the graph.  Bumped by every mutation that can change
+    the block set or edge set ([add_block], [set_term], [split_edge],
+    [remove_unreachable], [merge_straight_pairs]); instruction-only edits
+    ([set_instrs], [append_instr], …) do not bump it. *)
+val version : t -> int
+
+(** Cached adjacency/order snapshot of one shape version.
+
+    All arrays are indexed by label in [\[0, adj_bound)]; entries of dead
+    labels are empty.  The snapshot is immutable: callers must not mutate
+    the arrays.  It is rebuilt lazily whenever {!version} outruns
+    [adj_version], so holding on to a snapshot across graph mutation yields
+    a consistent (if stale) view — re-call {!adjacency} to refresh. *)
+type adjacency = private {
+  adj_version : int;  (** {!version} at build time *)
+  adj_bound : int;  (** {!label_bound} at build time *)
+  adj_succ : Label.t array array;  (** successors, terminator order *)
+  adj_pred : Label.t array array;  (** predecessors, source-allocation order *)
+  adj_pred_lists : Label.t list array;  (** same, as lists (for list APIs) *)
+  adj_edges : (Label.t * Label.t) list;  (** {!edges} *)
+  adj_rpo : Label.t list;  (** reachable blocks, reverse postorder *)
+  adj_post : Label.t list;  (** reachable blocks, postorder *)
+  adj_rpo_pos : int array;  (** position in [adj_rpo]; -1 when unreachable *)
+  adj_disc : int array;  (** DFS discovery time; 0 when unreachable *)
+  adj_fin : int array;  (** DFS finish time; 0 when unreachable *)
+}
+
+val adjacency : t -> adjacency
 
 (** [split_edge g src dst] inserts a fresh empty block on the edge
     [(src, dst)] and returns its label.  When the terminator of [src]

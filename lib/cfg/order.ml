@@ -1,46 +1,28 @@
-type t = {
-  post : Label.t list;
-  rpo : Label.t list;
-  rpo_idx : (Label.t, int) Hashtbl.t;
-  (* DFS discovery/finish times for retreating-edge detection. *)
-  disc : (Label.t, int) Hashtbl.t;
-  fin : (Label.t, int) Hashtbl.t;
-}
+(* Orders are a view of the graph's cached adjacency snapshot: [compute] is
+   O(1) amortized per shape version, so callers may freely re-request the
+   order instead of threading it through. *)
 
-let compute g =
-  let disc = Hashtbl.create 64 and fin = Hashtbl.create 64 in
-  let post = ref [] in
-  let clock = ref 0 in
-  let tick () =
-    incr clock;
-    !clock
-  in
-  let rec visit l =
-    if not (Hashtbl.mem disc l) then begin
-      Hashtbl.add disc l (tick ());
-      List.iter visit (Cfg.successors g l);
-      Hashtbl.add fin l (tick ());
-      post := l :: !post
-    end
-  in
-  visit (Cfg.entry g);
-  let rpo = !post in
-  let post = List.rev rpo in
-  let rpo_idx = Hashtbl.create 64 in
-  List.iteri (fun i l -> Hashtbl.add rpo_idx l i) rpo;
-  { post; rpo; rpo_idx; disc; fin }
+type t = Cfg.adjacency
 
-let postorder t = t.post
-let reverse_postorder t = t.rpo
-let rpo_index t l = Hashtbl.find_opt t.rpo_idx l
-let is_reachable t l = Hashtbl.mem t.rpo_idx l
+let compute g = Cfg.adjacency g
 
-let back_edges g t =
+let postorder (t : t) = t.Cfg.adj_post
+let reverse_postorder (t : t) = t.Cfg.adj_rpo
+
+let rpo_index (t : t) l =
+  if l < 0 || l >= t.Cfg.adj_bound then None
+  else
+    let i = t.Cfg.adj_rpo_pos.(l) in
+    if i < 0 then None else Some i
+
+let is_reachable (t : t) l = l >= 0 && l < t.Cfg.adj_bound && t.Cfg.adj_rpo_pos.(l) >= 0
+
+let back_edges g (t : t) =
+  let disc l = if l >= 0 && l < t.Cfg.adj_bound then t.Cfg.adj_disc.(l) else 0 in
+  let fin l = if l >= 0 && l < t.Cfg.adj_bound then t.Cfg.adj_fin.(l) else 0 in
   List.filter
     (fun (src, dst) ->
-      match (Hashtbl.find_opt t.disc src, Hashtbl.find_opt t.disc dst) with
-      | Some ds, Some dd ->
-        (* dst is an ancestor of src iff dst's DFS interval encloses src's. *)
-        dd <= ds && Hashtbl.find t.fin dst >= Hashtbl.find t.fin src
-      | _ -> false)
+      let ds = disc src and dd = disc dst in
+      (* dst is an ancestor of src iff dst's DFS interval encloses src's. *)
+      ds > 0 && dd > 0 && dd <= ds && fin dst >= fin src)
     (Cfg.edges g)

@@ -6,7 +6,9 @@
 
 type t
 
-(** Orders of the subgraph reachable from the entry. *)
+(** Orders of the subgraph reachable from the entry.  Served from the
+    graph's cached adjacency snapshot: repeated calls on an unmutated graph
+    are O(1). *)
 val compute : Cfg.t -> t
 
 (** Reachable blocks in postorder (entry last). *)

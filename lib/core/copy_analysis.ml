@@ -16,43 +16,48 @@ let copies g local ~insert_edges ~deletes =
     List.iter (fun (e, set) -> Hashtbl.replace tbl e set) insert_edges;
     fun e -> Hashtbl.find_opt tbl e
   in
-  let livein = Hashtbl.create 64 and liveout = Hashtbl.create 64 in
-  List.iter
-    (fun l ->
-      Hashtbl.replace livein l (Bitvec.create n);
-      Hashtbl.replace liveout l (Bitvec.create n))
-    (Cfg.labels g);
-  let order = Order.compute g in
+  (* Backward may-liveness of the temporaries, worklist-driven: LIVEIN(b)
+     depends only on LIVEOUT(b), which reads LIVEIN of b's successors — so
+     when a block's LIVEIN grows, only its predecessors need re-visiting.
+     Dense arrays indexed by label, postorder priority for fast backward
+     convergence. *)
+  let adj = Cfg.adjacency g in
+  let bound = adj.Cfg.adj_bound in
+  let livein = Array.init bound (fun _ -> Bitvec.create n) in
+  let liveout = Array.init bound (fun _ -> Bitvec.create n) in
   let scratch = Bitvec.create n in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun l ->
-        (* LIVEOUT(b): union over successor entries, masked by insertions. *)
-        let out = Hashtbl.find liveout l in
-        Bitvec.fill scratch false;
-        List.iter
-          (fun s ->
-            let contribution =
-              match insert_set (l, s) with
-              | Some ins -> Bitvec.diff (Hashtbl.find livein s) ins
-              | None -> Hashtbl.find livein s
-            in
-            ignore (Bitvec.union_into ~into:scratch contribution))
-          (Cfg.successors g l);
-        ignore (Bitvec.blit ~src:scratch ~dst:out);
-        (* LIVEIN(b) = DELETE(b) ∪ (LIVEOUT(b) ∩ ¬COMP(b)) *)
-        ignore (Bitvec.diff_into ~into:scratch (Local.comp local l));
-        (match delete_set l with
-        | Some d -> ignore (Bitvec.union_into ~into:scratch d)
-        | None -> ());
-        if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find livein l) then changed := true)
-      (Order.postorder order)
+  let rpo_pos = adj.Cfg.adj_rpo_pos in
+  let queue = Queue.create () in
+  let in_queue = Array.make bound false in
+  let enqueue l =
+    if (not in_queue.(l)) && rpo_pos.(l) >= 0 then begin
+      in_queue.(l) <- true;
+      Queue.add l queue
+    end
+  in
+  List.iter enqueue adj.Cfg.adj_post;
+  while not (Queue.is_empty queue) do
+    let l = Queue.take queue in
+    in_queue.(l) <- false;
+    (* LIVEOUT(b): union over successor entries, masked by insertions. *)
+    Bitvec.fill scratch false;
+    Array.iter
+      (fun s ->
+        match insert_set (l, s) with
+        | Some ins -> ignore (Bitvec.union_diff_into ~into:scratch livein.(s) ~diff:ins)
+        | None -> ignore (Bitvec.union_into ~into:scratch livein.(s)))
+      adj.Cfg.adj_succ.(l);
+    ignore (Bitvec.blit ~src:scratch ~dst:liveout.(l));
+    (* LIVEIN(b) = DELETE(b) ∪ (LIVEOUT(b) ∩ ¬COMP(b)) *)
+    ignore (Bitvec.diff_into ~into:scratch (Local.comp local l));
+    (match delete_set l with
+    | Some d -> ignore (Bitvec.union_into ~into:scratch d)
+    | None -> ());
+    if Bitvec.blit ~src:scratch ~dst:livein.(l) then Array.iter enqueue adj.Cfg.adj_pred.(l)
   done;
   List.filter_map
     (fun l ->
-      let want = Bitvec.inter (Local.comp local l) (Hashtbl.find liveout l) in
+      let want = Bitvec.inter (Local.comp local l) liveout.(l) in
       (match delete_set l with
       | Some d -> ignore (Bitvec.diff_into ~into:want (Bitvec.inter d (Local.transp local l)))
       | None -> ());

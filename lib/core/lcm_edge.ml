@@ -1,7 +1,6 @@
 module Bitvec = Lcm_support.Bitvec
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
-module Order = Lcm_cfg.Order
 module Local = Lcm_dataflow.Local
 module Avail = Lcm_dataflow.Avail
 module Antic = Lcm_dataflow.Antic
@@ -29,66 +28,103 @@ module Edge_table = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* Returns the per-edge EARLIEST sets twice over: a hashed table keyed by
+   (p, b) for the public lookup API, and a positional array mirroring
+   [adj_pred] so the LATERIN fixpoint below can fetch EARLIEST(p, b) by
+   predecessor index without hashing inside its inner loop.  Both views
+   share the same vectors. *)
 let compute_earliest g local avail antic =
-  let table = Edge_table.create 64 in
+  let adj = Cfg.adjacency g in
   let entry = Cfg.entry g in
-  List.iter
-    (fun ((p, b) as edge) ->
-      let v = Bitvec.copy (antic.Antic.antin b) in
-      ignore (Bitvec.diff_into ~into:v (avail.Avail.avout p));
-      if not (Label.equal p entry) then begin
-        (* ∩ (¬TRANSP(p) ∪ ¬ANTOUT(p)) = remove TRANSP(p) ∩ ANTOUT(p) *)
-        let movable_through = Bitvec.inter (Local.transp local p) (antic.Antic.antout p) in
-        ignore (Bitvec.diff_into ~into:v movable_through)
-      end;
-      Edge_table.replace table edge v)
-    (Cfg.edges g);
-  table
+  let table = Edge_table.create 64 in
+  (* ∩ (¬TRANSP(p) ∪ ¬ANTOUT(p)) = remove TRANSP(p) ∩ ANTOUT(p); the
+     removed factor depends on the source block alone, so compute it once
+     per block rather than once per edge. *)
+  let movable = Array.make adj.Cfg.adj_bound None in
+  let movable_through p =
+    match movable.(p) with
+    | Some v -> v
+    | None ->
+      let v = Bitvec.inter (Local.transp local p) (antic.Antic.antout p) in
+      movable.(p) <- Some v;
+      v
+  in
+  let by_pred =
+    Array.mapi
+      (fun b preds ->
+        Array.map
+          (fun p ->
+            let v = Bitvec.copy (antic.Antic.antin b) in
+            ignore (Bitvec.diff_into ~into:v (avail.Avail.avout p));
+            if not (Label.equal p entry) then
+              ignore (Bitvec.diff_into ~into:v (movable_through p));
+            Edge_table.replace table (p, b) v;
+            v)
+          preds)
+      adj.Cfg.adj_pred
+  in
+  (table, by_pred)
 
-(* Greatest fixpoint of the LATER/LATERIN system, sweeping reverse
-   postorder.  Returns the LATERIN table and the sweep/visit counts. *)
-let compute_laterin g local earliest =
+(* Greatest fixpoint of the LATER/LATERIN system, worklist-driven in
+   reverse-postorder priority: LATERIN(b) depends only on LATERIN(p) of its
+   predecessors, so when a block's LATERIN shrinks only its successors need
+   re-visiting.  State is a flat array indexed by label.  Returns the
+   LATERIN table and the iteration counts (visits = per-block LATERIN
+   evaluations; sweeps = maximum visits of any single block). *)
+let compute_laterin g local earliest_by_pred =
   let n = Local.nbits local in
-  let laterin = Hashtbl.create 64 in
-  List.iter (fun l -> Hashtbl.replace laterin l (Bitvec.create_full n)) (Cfg.labels g);
-  Hashtbl.replace laterin (Cfg.entry g) (Bitvec.create n);
-  let order = Order.compute g in
+  let adj = Cfg.adjacency g in
+  let bound = adj.Cfg.adj_bound in
+  let entry = Cfg.entry g in
+  let laterin = Array.init bound (fun _ -> Bitvec.create_full n) in
+  laterin.(entry) <- Bitvec.create n;
   let scratch = Bitvec.create n and later_pb = Bitvec.create n in
-  let sweeps = ref 0 and visits = ref 0 in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    incr sweeps;
-    List.iter
-      (fun b ->
-        if not (Label.equal b (Cfg.entry g)) then begin
-          incr visits;
-          Bitvec.fill scratch true;
-          List.iter
-            (fun p ->
-              (* LATER(p,b) = EARLIEST(p,b) ∪ (LATERIN(p) ∩ ¬ANTLOC(p)) *)
-              ignore (Bitvec.blit ~src:(Hashtbl.find laterin p) ~dst:later_pb);
-              ignore (Bitvec.diff_into ~into:later_pb (Local.antloc local p));
-              ignore (Bitvec.union_into ~into:later_pb (Edge_table.find earliest (p, b)));
-              ignore (Bitvec.inter_into ~into:scratch later_pb))
-            (Cfg.predecessors g b);
-          if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find laterin b) then changed := true
-        end)
-      (Order.reverse_postorder order)
+  let rpo_pos = adj.Cfg.adj_rpo_pos in
+  let queue = Queue.create () in
+  let in_queue = Array.make bound false in
+  let enqueue b =
+    if (not in_queue.(b)) && not (Label.equal b entry) then begin
+      in_queue.(b) <- true;
+      Queue.add b queue
+    end
+  in
+  List.iter enqueue adj.Cfg.adj_rpo;
+  let visits = ref 0 in
+  let visit_count = Array.make bound 0 in
+  while not (Queue.is_empty queue) do
+    let b = Queue.take queue in
+    in_queue.(b) <- false;
+    incr visits;
+    visit_count.(b) <- visit_count.(b) + 1;
+    Bitvec.fill scratch true;
+    let preds = adj.Cfg.adj_pred.(b) and epreds = earliest_by_pred.(b) in
+    for i = 0 to Array.length preds - 1 do
+      let p = preds.(i) in
+      (* LATER(p,b) = EARLIEST(p,b) ∪ (LATERIN(p) ∩ ¬ANTLOC(p)) *)
+      ignore (Bitvec.blit ~src:epreds.(i) ~dst:later_pb);
+      ignore (Bitvec.union_diff_into ~into:later_pb laterin.(p) ~diff:(Local.antloc local p));
+      ignore (Bitvec.inter_into ~into:scratch later_pb)
+    done;
+    if Bitvec.blit ~src:scratch ~dst:laterin.(b) then
+      Array.iter (fun s -> if rpo_pos.(s) >= 0 then enqueue s) adj.Cfg.adj_succ.(b)
   done;
-  (laterin, !sweeps, !visits)
+  let sweeps = Array.fold_left max 0 visit_count in
+  let live = Array.make bound false in
+  List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
+  ((laterin, live), sweeps, !visits)
 
 let analyze ?pool g =
   let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
   let local = Local.compute g pool in
   let avail = Avail.compute g local in
   let antic = Antic.compute g local in
-  let earliest_tbl = compute_earliest g local avail antic in
-  let laterin_tbl, later_sweeps, later_visits = compute_laterin g local earliest_tbl in
+  let earliest_tbl, earliest_by_pred = compute_earliest g local avail antic in
+  let (laterin_arr, laterin_live), later_sweeps, later_visits =
+    compute_laterin g local earliest_by_pred
+  in
   let laterin l =
-    match Hashtbl.find_opt laterin_tbl l with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Lcm_edge.laterin: unknown label B%d" l)
+    if l >= 0 && l < Array.length laterin_arr && laterin_live.(l) then laterin_arr.(l)
+    else invalid_arg (Printf.sprintf "Lcm_edge.laterin: unknown label B%d" l)
   in
   let earliest (p, b) =
     match Edge_table.find_opt earliest_tbl (p, b) with

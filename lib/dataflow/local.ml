@@ -4,23 +4,48 @@ module Label = Lcm_cfg.Label
 module Instr = Lcm_ir.Instr
 module Expr_pool = Lcm_ir.Expr_pool
 
+(* Predicates live in flat arrays indexed by the dense label ints: the
+   data-flow transfer functions read them on every visit, so the per-access
+   hashing (and the [Some] allocated by [Hashtbl.find_opt]) of a table-based
+   representation shows up directly in solver throughput.  [live] marks
+   which slots belong to blocks of the graph. *)
 type t = {
   pool : Expr_pool.t;
   graph : Cfg.t;
-  antloc : (Label.t, Bitvec.t) Hashtbl.t;
-  comp : (Label.t, Bitvec.t) Hashtbl.t;
-  transp : (Label.t, Bitvec.t) Hashtbl.t;
+  antloc : Bitvec.t array;
+  comp : Bitvec.t array;
+  transp : Bitvec.t array;
+  live : bool array;
 }
 
 let compute g pool =
   let n = Expr_pool.size pool in
-  let antloc = Hashtbl.create 64 and comp = Hashtbl.create 64 and transp = Hashtbl.create 64 in
+  let bound = Cfg.label_bound g in
+  let dummy = Bitvec.create 0 in
+  let antloc = Array.make bound dummy
+  and comp = Array.make bound dummy
+  and transp = Array.make bound dummy in
+  let live = Array.make bound false in
+  (* Per-variable kill masks (bit set ⇔ the expression reads the variable),
+     shared across blocks: applying a definition is then three word-wide
+     vector ops instead of a per-bit loop over [Expr_pool.reading]. *)
+  let mask_cache = Hashtbl.create 16 in
+  let reads_mask v =
+    match Hashtbl.find_opt mask_cache v with
+    | Some m -> m
+    | None ->
+      let m = Bitvec.create n in
+      List.iter (fun idx -> Bitvec.set m idx true) (Expr_pool.reading pool v);
+      Hashtbl.add mask_cache v m;
+      m
+  in
+  (* [killed] tracks expressions whose operands have been modified by an
+     earlier instruction of the current block. *)
+  let killed = Bitvec.create n in
   List.iter
     (fun l ->
       let a = Bitvec.create n and c = Bitvec.create n and t = Bitvec.create_full n in
-      (* [killed] tracks expressions whose operands have been modified by an
-         earlier instruction of this block. *)
-      let killed = Bitvec.create n in
+      Bitvec.fill killed false;
       let scan i =
         (* The computation happens before the definition takes effect, so an
            instruction like [x := x + 1] exposes [x + 1] upwards but not
@@ -37,32 +62,30 @@ let compute g pool =
         | None -> ());
         match Instr.defs i with
         | Some v ->
-          List.iter
-            (fun idx ->
-              Bitvec.set killed idx true;
-              Bitvec.set t idx false;
-              Bitvec.set c idx false)
-            (Expr_pool.reading pool v)
+          let m = reads_mask v in
+          ignore (Bitvec.union_into ~into:killed m);
+          ignore (Bitvec.diff_into ~into:t m);
+          ignore (Bitvec.diff_into ~into:c m)
         | None -> ()
       in
       List.iter scan (Cfg.instrs g l);
-      Hashtbl.replace antloc l a;
-      Hashtbl.replace comp l c;
-      Hashtbl.replace transp l t)
+      antloc.(l) <- a;
+      comp.(l) <- c;
+      transp.(l) <- t;
+      live.(l) <- true)
     (Cfg.labels g);
-  { pool; graph = g; antloc; comp; transp }
+  { pool; graph = g; antloc; comp; transp; live }
 
 let pool t = t.pool
 let nbits t = Expr_pool.size t.pool
 
-let get table l what =
-  match Hashtbl.find_opt table l with
-  | Some v -> v
-  | None -> invalid_arg (Printf.sprintf "Local.%s: unknown label B%d" what l)
+let[@inline] get t arr l what =
+  if l >= 0 && l < Array.length arr && Array.unsafe_get t.live l then Array.unsafe_get arr l
+  else invalid_arg (Printf.sprintf "Local.%s: unknown label B%d" what l)
 
-let antloc t l = get t.antloc l "antloc"
-let comp t l = get t.comp l "comp"
-let transp t l = get t.transp l "transp"
+let antloc t l = get t t.antloc l "antloc"
+let comp t l = get t t.comp l "comp"
+let transp t l = get t t.transp l "transp"
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

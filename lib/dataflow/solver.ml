@@ -1,7 +1,8 @@
 module Bitvec = Lcm_support.Bitvec
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
-module Order = Lcm_cfg.Order
+
+let default_engine_name = "dense worklist (RPO priority queue)"
 
 type direction =
   | Forward
@@ -10,6 +11,10 @@ type direction =
 type confluence =
   | Union
   | Inter
+
+type engine =
+  | Worklist
+  | Sweep
 
 type spec = {
   nbits : int;
@@ -26,37 +31,145 @@ type result = {
   visits : int;
 }
 
-let run g spec =
-  let order = Order.compute g in
-  let sweep_order =
-    match spec.direction with
-    | Forward -> Order.reverse_postorder order
-    | Backward -> Order.postorder order
-  in
+(* Binary min-heap of labels keyed by a static priority, with an in-queue
+   bitmap for deduplication: a label already pending is never pushed twice,
+   so the heap never exceeds the reachable block count. *)
+module Pq = struct
+  type t = {
+    heap : int array;
+    prio : int array;
+    inq : bool array;
+    mutable size : int;
+  }
+
+  let create ~capacity ~bound prio =
+    { heap = Array.make (max 1 capacity) 0; prio; inq = Array.make bound false; size = 0 }
+
+  let is_empty q = q.size = 0
+  let mem q l = q.inq.(l)
+
+  let push q l =
+    if not q.inq.(l) then begin
+      q.inq.(l) <- true;
+      let i = ref q.size in
+      q.size <- q.size + 1;
+      q.heap.(!i) <- l;
+      let continue = ref true in
+      while !continue && !i > 0 do
+        let parent = (!i - 1) / 2 in
+        if q.prio.(q.heap.(parent)) > q.prio.(q.heap.(!i)) then begin
+          let tmp = q.heap.(parent) in
+          q.heap.(parent) <- q.heap.(!i);
+          q.heap.(!i) <- tmp;
+          i := parent
+        end
+        else continue := false
+      done
+    end
+
+  let pop q =
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.size && q.prio.(q.heap.(l)) < q.prio.(q.heap.(!smallest)) then smallest := l;
+      if r < q.size && q.prio.(q.heap.(r)) < q.prio.(q.heap.(!smallest)) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = q.heap.(!smallest) in
+        q.heap.(!smallest) <- q.heap.(!i);
+        q.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    q.inq.(top) <- false;
+    top
+end
+
+(* Shared dense state for both engines: [meet.(l)] is the value on the meet
+   side of block l (entry for forward, exit for backward); [flow.(l)] the
+   value after the transfer.  Arrays are indexed by label — labels are dense
+   ints below [Cfg.label_bound] — replacing the per-access Hashtbl lookups
+   of the old engine. *)
+type state = {
+  adj : Cfg.adjacency;
+  boundary_label : Label.t;
+  meet : Bitvec.t array;
+  flow : Bitvec.t array;
+  live : bool array;
+  (* meet inputs of a block (preds forward, succs backward) *)
+  meet_neighbors : Label.t array array;
+  (* blocks whose meet reads our flow (succs forward, preds backward) *)
+  dependents : Label.t array array;
+  process_order : Label.t list;
+  scratch : Bitvec.t;
+}
+
+let make_state g spec =
+  let adj = Cfg.adjacency g in
+  let bound = adj.Cfg.adj_bound in
   let boundary_label =
     match spec.direction with
     | Forward -> Cfg.entry g
     | Backward -> Cfg.exit_label g
-  in
-  let neighbors l =
-    match spec.direction with
-    | Forward -> Cfg.predecessors g l
-    | Backward -> Cfg.successors g l
   in
   let init () =
     match spec.confluence with
     | Union -> Bitvec.create spec.nbits
     | Inter -> Bitvec.create_full spec.nbits
   in
-  (* meet.(l): value on the meet side of block l (entry for forward, exit for
-     backward).  flow.(l): value on the other side, i.e. after the transfer. *)
-  let meet = Hashtbl.create 64 and flow = Hashtbl.create 64 in
-  List.iter
-    (fun l ->
-      Hashtbl.replace meet l (if Label.equal l boundary_label then Bitvec.copy spec.boundary else init ());
-      Hashtbl.replace flow l (init ()))
-    (Cfg.labels g);
-  let scratch = Bitvec.create spec.nbits in
+  let meet = Array.init bound (fun _ -> init ()) in
+  let flow = Array.init bound (fun _ -> init ()) in
+  meet.(boundary_label) <- Bitvec.copy spec.boundary;
+  let live = Array.make bound false in
+  List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
+  let meet_neighbors, dependents, process_order =
+    match spec.direction with
+    | Forward -> (adj.Cfg.adj_pred, adj.Cfg.adj_succ, adj.Cfg.adj_rpo)
+    | Backward -> (adj.Cfg.adj_succ, adj.Cfg.adj_pred, adj.Cfg.adj_post)
+  in
+  {
+    adj;
+    boundary_label;
+    meet;
+    flow;
+    live;
+    meet_neighbors;
+    dependents;
+    process_order;
+    scratch = Bitvec.create spec.nbits;
+  }
+
+(* Recompute meet.(l) from its neighbors' flow values, then apply the
+   transfer; returns whether flow.(l) changed.  Blocks without meet inputs
+   keep the neutral element of the confluence (e.g. backward blocks that
+   cannot reach the exit). *)
+let visit st spec l =
+  if not (Label.equal l st.boundary_label) then begin
+    let nbs = st.meet_neighbors.(l) in
+    if Array.length nbs > 0 then begin
+      ignore (Bitvec.blit ~src:st.flow.(nbs.(0)) ~dst:st.scratch);
+      for i = 1 to Array.length nbs - 1 do
+        let v = st.flow.(nbs.(i)) in
+        ignore
+          (match spec.confluence with
+          | Union -> Bitvec.union_into ~into:st.scratch v
+          | Inter -> Bitvec.inter_into ~into:st.scratch v)
+      done;
+      ignore (Bitvec.blit ~src:st.scratch ~dst:st.meet.(l))
+    end
+  end;
+  spec.transfer l ~src:st.meet.(l) ~dst:st.scratch;
+  Bitvec.blit ~src:st.scratch ~dst:st.flow.(l)
+
+(* Reference engine: round-robin sweeps to a fixed point, exactly the shape
+   the paper costs out.  [sweeps] counts full passes including the final
+   unchanged one; [visits] counts transfer applications. *)
+let run_sweep st spec =
   let sweeps = ref 0 and visits = ref 0 in
   let changed = ref true in
   while !changed do
@@ -64,39 +177,56 @@ let run g spec =
     incr sweeps;
     List.iter
       (fun l ->
-        let m = Hashtbl.find meet l in
-        if not (Label.equal l boundary_label) then begin
-          (match neighbors l with
-          | [] ->
-            (* No meet inputs: blocks that cannot reach the exit (backward)
-               keep the neutral element of the confluence. *)
-            ()
-          | first :: rest ->
-            ignore (Bitvec.blit ~src:(Hashtbl.find flow first) ~dst:scratch);
-            List.iter
-              (fun nb ->
-                let v = Hashtbl.find flow nb in
-                ignore
-                  (match spec.confluence with
-                  | Union -> Bitvec.union_into ~into:scratch v
-                  | Inter -> Bitvec.inter_into ~into:scratch v))
-              rest;
-            ignore (Bitvec.blit ~src:scratch ~dst:m))
-        end;
-        let f = Hashtbl.find flow l in
-        spec.transfer l ~src:m ~dst:scratch;
         incr visits;
-        if Bitvec.blit ~src:scratch ~dst:f then changed := true)
-      sweep_order
+        if visit st spec l then changed := true)
+      st.process_order
   done;
+  (!sweeps, !visits)
+
+(* Worklist engine: seed every reachable block once in priority order
+   (reverse postorder for forward problems, postorder for backward), then
+   re-visit only the direction-appropriate dependents of blocks whose flow
+   changed.  On sparse graphs this drops visit counts from ~sweeps·N to the
+   near-optimal count.  [sweeps] is reported as the maximum number of times
+   any single block was visited — the depth of iteration, the analogue of
+   the round-robin sweep count. *)
+let run_worklist st spec =
+  let bound = st.adj.Cfg.adj_bound in
+  let reachable = st.adj.Cfg.adj_rpo_pos in
+  (* Priority = position in the processing order. *)
+  let prio = Array.make bound max_int in
+  List.iteri (fun i l -> prio.(l) <- i) st.process_order;
+  let nreach = List.length st.process_order in
+  let q = Pq.create ~capacity:nreach ~bound prio in
+  List.iter (fun l -> Pq.push q l) st.process_order;
+  let visits = ref 0 in
+  let visit_count = Array.make bound 0 in
+  while not (Pq.is_empty q) do
+    let l = Pq.pop q in
+    incr visits;
+    visit_count.(l) <- visit_count.(l) + 1;
+    if visit st spec l then
+      Array.iter
+        (fun d -> if reachable.(d) >= 0 && not (Pq.mem q d) then Pq.push q d)
+        st.dependents.(l)
+  done;
+  let sweeps = Array.fold_left max 0 visit_count in
+  (sweeps, !visits)
+
+let run ?(engine = Worklist) g spec =
+  let st = make_state g spec in
+  let sweeps, visits =
+    match engine with
+    | Worklist -> run_worklist st spec
+    | Sweep -> run_sweep st spec
+  in
   let lookup table what l =
-    match Hashtbl.find_opt table l with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Solver.%s: unknown label B%d" what l)
+    if l >= 0 && l < Array.length table && st.live.(l) then table.(l)
+    else invalid_arg (Printf.sprintf "Solver.%s: unknown label B%d" what l)
   in
   let block_in, block_out =
     match spec.direction with
-    | Forward -> (lookup meet "block_in", lookup flow "block_out")
-    | Backward -> (lookup flow "block_in", lookup meet "block_out")
+    | Forward -> (lookup st.meet "block_in", lookup st.flow "block_out")
+    | Backward -> (lookup st.flow "block_in", lookup st.meet "block_out")
   in
-  { block_in; block_out; sweeps = !sweeps; visits = !visits }
+  { block_in; block_out; sweeps; visits }

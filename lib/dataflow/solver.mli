@@ -1,10 +1,19 @@
 (** Generic iterative bit-vector data-flow solver.
 
     Solves one of the four classic problem shapes (forward/backward ×
-    union/intersection) for all expressions simultaneously, sweeping blocks
-    in reverse postorder (forward) or postorder (backward) until a fixed
-    point.  The solver reports how many sweeps and block visits it needed —
-    the cost measure used by experiment EXP-C1. *)
+    union/intersection) for all expressions simultaneously.  State lives in
+    flat arrays indexed by label (labels are dense ints below
+    [Cfg.label_bound]), and the default engine iterates with a worklist:
+    blocks are seeded once in reverse postorder (forward) or postorder
+    (backward), and afterwards only the direction-appropriate neighbors of a
+    block whose transfer output changed are re-visited.  The round-robin
+    sweep of the paper's cost model remains available as a reference engine
+    ({!Sweep}) and is checked bit-identical against the worklist by the
+    property tests. *)
+
+(** Human-readable name of the default iteration engine (recorded in
+    benchmark output). *)
+val default_engine_name : string
 
 type direction =
   | Forward
@@ -13,6 +22,10 @@ type direction =
 type confluence =
   | Union  (** "may" problems; interior initialized to all-zeros *)
   | Inter  (** "must" problems; interior initialized to all-ones *)
+
+type engine =
+  | Worklist  (** default: dedup priority queue in RPO/postorder priority *)
+  | Sweep  (** reference: round-robin sweeps to a fixed point *)
 
 type spec = {
   nbits : int;
@@ -32,9 +45,16 @@ type result = {
       (** value at block entry (meet result for forward problems) *)
   block_out : Lcm_cfg.Label.t -> Lcm_support.Bitvec.t;
       (** value at block exit (meet result for backward problems) *)
-  sweeps : int;  (** full passes over the block order, including the last, unchanged one *)
-  visits : int;  (** total transfer-function applications *)
+  sweeps : int;
+      (** {!Sweep}: full passes over the block order, including the last,
+          unchanged one.  {!Worklist}: the maximum number of times any
+          single block was visited — the iteration depth, the worklist
+          analogue of the sweep count. *)
+  visits : int;  (** total transfer-function applications (both engines) *)
 }
 
-(** Returned vectors are owned by the result; callers must not mutate them. *)
-val run : Lcm_cfg.Cfg.t -> spec -> result
+(** Returned vectors are owned by the result; callers must not mutate them.
+    Both engines compute the same fixpoint (bit-identical for the monotone
+    transfers used throughout this library); [engine] defaults to
+    {!Worklist}. *)
+val run : ?engine:engine -> Lcm_cfg.Cfg.t -> spec -> result

@@ -2,9 +2,22 @@ type t = {
   table : (Expr.t, int) Hashtbl.t;
   mutable exprs : Expr.t array;
   mutable size : int;
+  (* var → indices of expressions reading it, memoized per pool size: the
+     local-predicate scan asks for the same few variables once per
+     definition, which made the uncached O(size) scan the hottest spot of
+     the whole analysis on large graphs. *)
+  reading_cache : (string, int list) Hashtbl.t;
+  mutable reading_cache_size : int;
 }
 
-let create () = { table = Hashtbl.create 64; exprs = Array.make 16 (Expr.Atom (Expr.Const 0)); size = 0 }
+let create () =
+  {
+    table = Hashtbl.create 64;
+    exprs = Array.make 16 (Expr.Atom (Expr.Const 0));
+    size = 0;
+    reading_cache = Hashtbl.create 16;
+    reading_cache_size = 0;
+  }
 
 let grow pool =
   if pool.size = Array.length pool.exprs then begin
@@ -48,8 +61,16 @@ let to_list pool =
   !acc
 
 let reading pool v =
-  let acc = ref [] in
-  for i = pool.size - 1 downto 0 do
-    if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
-  done;
-  !acc
+  if pool.reading_cache_size <> pool.size then begin
+    Hashtbl.reset pool.reading_cache;
+    pool.reading_cache_size <- pool.size
+  end;
+  match Hashtbl.find_opt pool.reading_cache v with
+  | Some is -> is
+  | None ->
+    let acc = ref [] in
+    for i = pool.size - 1 downto 0 do
+      if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
+    done;
+    Hashtbl.add pool.reading_cache v !acc;
+    !acc

@@ -30,5 +30,8 @@ val iter : (int -> Expr.t -> unit) -> t -> unit
 (** All registered expressions in index order. *)
 val to_list : t -> (int * Expr.t) list
 
-(** Indices of expressions that read variable [v]. *)
+(** Indices of expressions that read variable [v], ascending.  Memoized per
+    variable (the cache is invalidated when the pool grows), so repeated
+    queries — one per definition during local-predicate computation — are
+    O(1) after the first. *)
 val reading : t -> string -> int list

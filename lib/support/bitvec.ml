@@ -96,6 +96,22 @@ let union_into ~into v = inplace ( lor ) ~into v "union_into"
 let inter_into ~into v = inplace ( land ) ~into v "inter_into"
 let diff_into ~into v = inplace (fun a b -> a land lnot b) ~into v "diff_into"
 
+(* into := into ∪ (src \ diff), one pass over the words.  This is the inner
+   step of the LATER system (LATER = EARLIEST ∪ (LATERIN ∩ ¬ANTLOC)); fusing
+   it halves the number of word sweeps in that loop. *)
+let union_diff_into ~into src ~diff =
+  same_length into src "union_diff_into";
+  same_length into diff "union_diff_into";
+  let changed = ref false in
+  for w = 0 to Array.length into.words - 1 do
+    let x = into.words.(w) lor (src.words.(w) land lnot diff.words.(w)) in
+    if x <> into.words.(w) then begin
+      into.words.(w) <- x;
+      changed := true
+    end
+  done;
+  !changed
+
 let union a b =
   let r = copy a in
   ignore (union_into ~into:r b);
@@ -121,9 +137,47 @@ let subset a b =
   let rec go w = w < 0 || (a.words.(w) land lnot b.words.(w) = 0 && go (w - 1)) in
   go (Array.length a.words - 1)
 
+(* Number of trailing zeros of a non-zero word (branchy binary search; no
+   hardware ctz is exposed for native ints). *)
+let ntz x =
+  let x = ref (x land -x) and n = ref 0 in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+(* Word-skipping: zero words cost one comparison, and within a word each set
+   bit is extracted by lowest-set-bit stripping instead of testing every
+   position.  The unused high bits of the last word are zero by invariant,
+   so no length masking is needed. *)
 let iter_true f v =
-  for i = 0 to v.len - 1 do
-    if v.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  for wi = 0 to Array.length v.words - 1 do
+    let w = ref v.words.(wi) in
+    if !w <> 0 then begin
+      let base = wi * bits_per_word in
+      while !w <> 0 do
+        f (base + ntz !w);
+        w := !w land (!w - 1)
+      done
+    end
   done
 
 let fold_true f v acc =

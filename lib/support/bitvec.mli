@@ -54,6 +54,12 @@ val inter_into : into:t -> t -> bool
     [into] changed. *)
 val diff_into : into:t -> t -> bool
 
+(** [union_diff_into ~into src ~diff] computes [into ∪ (src \ diff)] into
+    [into] in a single pass over the words; returns [true] when [into]
+    changed.  This fuses the [LATER = EARLIEST ∪ (LATERIN ∩ ¬ANTLOC)]
+    inner step of the LCM placement system. *)
+val union_diff_into : into:t -> t -> diff:t -> bool
+
 (** Pure binary operations; operands must have equal lengths. *)
 val union : t -> t -> t
 

@@ -118,6 +118,78 @@ let prop_count =
   QCheck2.Test.make ~name:"count = |sort_uniq|" ~count:200 (gen_set 64) (fun is ->
       Bitvec.count (Bitvec.of_list 64 is) = List.length (List.sort_uniq compare is))
 
+(* The word-skipping iter_true must visit exactly the indices a per-bit scan
+   would, in the same ascending order — checked at widths straddling the
+   word size (62/63/64/65 on a 63-bit int) and under qcheck. *)
+let naive_true_indices v =
+  let acc = ref [] in
+  for i = Bitvec.length v - 1 downto 0 do
+    if Bitvec.get v i then acc := i :: !acc
+  done;
+  !acc
+
+let iter_true_indices v =
+  let acc = ref [] in
+  Bitvec.iter_true (fun i -> acc := i :: !acc) v;
+  List.rev !acc
+
+let test_iter_true_word_boundaries () =
+  List.iter
+    (fun len ->
+      (* Edge patterns: empty, full, only boundary bits. *)
+      let patterns =
+        [
+          Bitvec.create len;
+          Bitvec.create_full len;
+          Bitvec.of_list len (List.filter (fun i -> i < len) [ 0; 61; 62; 63; 64 ]);
+          Bitvec.of_list len (if len > 0 then [ len - 1 ] else []);
+        ]
+      in
+      List.iter
+        (fun v ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "iter_true len=%d" len)
+            (naive_true_indices v) (iter_true_indices v))
+        patterns)
+    [ 0; 1; 62; 63; 64; 65; 126; 127; 128 ]
+
+let prop_iter_true =
+  QCheck2.Test.make ~name:"iter_true = per-bit scan" ~count:200 (gen_set 129) (fun is ->
+      let v = Bitvec.of_list 129 is in
+      iter_true_indices v = naive_true_indices v)
+
+(* union_diff_into against the composed pure operations, at word-straddling
+   widths. *)
+let test_union_diff_into () =
+  List.iter
+    (fun len ->
+      let every_k k = List.filter (fun i -> i mod k = 0) (List.init len Fun.id) in
+      let into0 = Bitvec.of_list len (every_k 3) in
+      let src = Bitvec.of_list len (every_k 2) in
+      let diff = Bitvec.of_list len (every_k 5) in
+      let got = Bitvec.copy into0 in
+      let changed = Bitvec.union_diff_into ~into:got src ~diff in
+      let expected = Bitvec.union into0 (Bitvec.diff src diff) in
+      Alcotest.(check bool) (Printf.sprintf "union_diff_into len=%d" len) true
+        (Bitvec.equal got expected);
+      Alcotest.(check bool)
+        (Printf.sprintf "change report len=%d" len)
+        (not (Bitvec.equal got into0))
+        changed;
+      (* A second application is idempotent and reports no change. *)
+      Alcotest.(check bool) (Printf.sprintf "idempotent len=%d" len) false
+        (Bitvec.union_diff_into ~into:got src ~diff))
+    [ 1; 62; 63; 64; 65; 126; 128 ]
+
+let prop_union_diff_into =
+  QCheck2.Test.make ~name:"union_diff_into = ∪ ∘ \\" ~count:200
+    QCheck2.Gen.(triple (gen_set 130) (gen_set 130) (gen_set 130))
+    (fun (xs, ys, zs) ->
+      let into = Bitvec.of_list 130 xs and src = Bitvec.of_list 130 ys and diff = Bitvec.of_list 130 zs in
+      let expected = Bitvec.union into (Bitvec.diff src diff) in
+      ignore (Bitvec.union_diff_into ~into src ~diff);
+      Bitvec.equal into expected)
+
 let suite =
   [
     Alcotest.test_case "create empty" `Quick test_create_empty;
@@ -131,7 +203,11 @@ let suite =
     Alcotest.test_case "subset" `Quick test_subset;
     Alcotest.test_case "blit" `Quick test_blit;
     Alcotest.test_case "fold/iter ascending" `Quick test_fold_iter;
+    Alcotest.test_case "iter_true word-skipping vs bit loop" `Quick test_iter_true_word_boundaries;
+    Alcotest.test_case "union_diff_into vs composed ops" `Quick test_union_diff_into;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_iter_true;
+    QCheck_alcotest.to_alcotest prop_union_diff_into;
     QCheck_alcotest.to_alcotest prop_union_commutes;
     QCheck_alcotest.to_alcotest prop_de_morgan;
     QCheck_alcotest.to_alcotest prop_count;

@@ -178,8 +178,9 @@ let test_solver_counts () =
   let pool = Cfg.candidate_pool g in
   let local = Local.compute g pool in
   let avail = Avail.compute g local in
-  (* A straight line converges in two sweeps (one changing, one stable). *)
-  Alcotest.(check bool) "sweeps at least 2" true (avail.Avail.sweeps >= 2);
+  (* The worklist engine visits every block of a straight line exactly once
+     (no block's meet input changes after its single visit). *)
+  Alcotest.(check bool) "sweeps at least 1" true (avail.Avail.sweeps >= 1);
   Alcotest.(check bool) "visits cover blocks" true (avail.Avail.visits >= Cfg.num_blocks g)
 
 let suite =

@@ -85,10 +85,208 @@ let test_kill () =
 
 let test_counts_monotone () =
   let g, a, _b, _c, _d = graph () in
+  (* Worklist engine: every reachable block is visited at least once, the
+     back edge forces at least one re-visit, and visits are bounded by what
+     a round-robin sweep would have paid. *)
   let r = run g Solver.Forward Solver.Inter ~gen_at:[ a ] ~kill_at:[] in
-  Alcotest.(check bool) "at least two sweeps (loop)" true (r.Solver.sweeps >= 2);
-  Alcotest.(check bool) "visits = sweeps * blocks" true
-    (r.Solver.visits = r.Solver.sweeps * 6)
+  Alcotest.(check bool) "visits cover blocks" true (r.Solver.visits >= 6);
+  Alcotest.(check bool) "at least depth 1" true (r.Solver.sweeps >= 1);
+  Alcotest.(check bool) "depth bounds visits" true (r.Solver.visits <= r.Solver.sweeps * 6);
+  (* Reference engine keeps the historical meaning: every sweep transfers
+     every reachable block. *)
+  let s =
+    Solver.run ~engine:Solver.Sweep g
+      {
+        Solver.nbits = 1;
+        direction = Solver.Forward;
+        confluence = Solver.Inter;
+        boundary = Bitvec.create 1;
+        transfer = transfer ~gen_at:[ a ] ~kill_at:[];
+      }
+  in
+  Alcotest.(check bool) "sweep engine: at least two sweeps" true (s.Solver.sweeps >= 2);
+  Alcotest.(check bool) "sweep engine: visits = sweeps * blocks" true
+    (s.Solver.visits = s.Solver.sweeps * 6)
+
+(* ------------------------------------------------------------------ *)
+(* Property: the worklist engine computes bit-identical block_in/block_out
+   to the reference round-robin sweep, on random CFGs, for all four problem
+   shapes, with random monotone gen/kill transfers whose width straddles a
+   word boundary. *)
+
+module Prng = Lcm_support.Prng
+module Gencfg = Lcm_eval.Gencfg
+
+let random_gen_kill rng bound nbits =
+  Array.init bound (fun _ ->
+      let random_vec () =
+        let v = Bitvec.create nbits in
+        for i = 0 to nbits - 1 do
+          if Prng.chance rng ~num:1 ~den:4 then Bitvec.set v i true
+        done;
+        v
+      in
+      (random_vec (), random_vec ()))
+
+let test_worklist_equals_sweep () =
+  let rng = Prng.of_int 9001 in
+  for _case = 1 to 100 do
+    let num_blocks = Prng.int_in rng 3 40 in
+    let g =
+      Gencfg.random_cfg ~params:{ Gencfg.default_cfg_params with num_blocks } rng
+    in
+    let nbits = 65 in
+    let table = random_gen_kill rng (Cfg.label_bound g) nbits in
+    let transfer l ~src ~dst =
+      let gen, kill = table.(l) in
+      ignore (Bitvec.blit ~src ~dst);
+      ignore (Bitvec.diff_into ~into:dst kill);
+      ignore (Bitvec.union_into ~into:dst gen)
+    in
+    List.iter
+      (fun direction ->
+        List.iter
+          (fun confluence ->
+            let spec =
+              { Solver.nbits; direction; confluence; boundary = Bitvec.create nbits; transfer }
+            in
+            let w = Solver.run ~engine:Solver.Worklist g spec in
+            let s = Solver.run ~engine:Solver.Sweep g spec in
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "block_in identical" true
+                  (Bitvec.equal (w.Solver.block_in l) (s.Solver.block_in l));
+                Alcotest.(check bool) "block_out identical" true
+                  (Bitvec.equal (w.Solver.block_out l) (s.Solver.block_out l)))
+              (Cfg.labels g))
+          [ Solver.Union; Solver.Inter ])
+      [ Solver.Forward; Solver.Backward ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The full LCM cascade against a naive reference: reference avail/antic
+   via the sweep engine, EARLIEST from the paper's formula, LATERIN by
+   round-robin sweeps over predecessor lists (the seed implementation), and
+   the INSERT/DELETE formulas on top.  The production [Lcm_edge.analyze]
+   (worklist throughout) must produce identical insert/delete sets. *)
+
+module Local = Lcm_dataflow.Local
+module Lcm_edge = Lcm_core.Lcm_edge
+module Suites = Lcm_eval.Suites
+module Order = Lcm_cfg.Order
+
+let reference_lcm g =
+  let pool = Cfg.candidate_pool g in
+  let local = Local.compute g pool in
+  let n = Local.nbits local in
+  let solve direction transfer =
+    Solver.run ~engine:Solver.Sweep g
+      { Solver.nbits = n; direction; confluence = Solver.Inter; boundary = Bitvec.create n; transfer }
+  in
+  let avail =
+    solve Solver.Forward (fun l ~src ~dst ->
+        ignore (Bitvec.blit ~src ~dst);
+        ignore (Bitvec.inter_into ~into:dst (Local.transp local l));
+        ignore (Bitvec.union_into ~into:dst (Local.comp local l)))
+  in
+  let antic =
+    solve Solver.Backward (fun l ~src ~dst ->
+        ignore (Bitvec.blit ~src ~dst);
+        ignore (Bitvec.inter_into ~into:dst (Local.transp local l));
+        ignore (Bitvec.union_into ~into:dst (Local.antloc local l)))
+  in
+  let entry = Cfg.entry g in
+  let earliest (p, b) =
+    let v = Bitvec.copy (antic.Solver.block_in b) in
+    ignore (Bitvec.diff_into ~into:v (avail.Solver.block_out p));
+    if not (Label.equal p entry) then begin
+      let movable = Bitvec.inter (Local.transp local p) (antic.Solver.block_out p) in
+      ignore (Bitvec.diff_into ~into:v movable)
+    end;
+    v
+  in
+  let earliest_tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace earliest_tbl e (earliest e)) (Cfg.edges g);
+  let laterin = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace laterin l (Bitvec.create_full n)) (Cfg.labels g);
+  Hashtbl.replace laterin entry (Bitvec.create n);
+  let order = Order.compute g in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if not (Label.equal b entry) then begin
+          let scratch = Bitvec.create_full n in
+          List.iter
+            (fun p ->
+              let later_pb = Bitvec.copy (Hashtbl.find laterin p) in
+              ignore (Bitvec.diff_into ~into:later_pb (Local.antloc local p));
+              ignore (Bitvec.union_into ~into:later_pb (Hashtbl.find earliest_tbl (p, b)));
+              ignore (Bitvec.inter_into ~into:scratch later_pb))
+            (Cfg.predecessors g b);
+          if Bitvec.blit ~src:scratch ~dst:(Hashtbl.find laterin b) then changed := true
+        end)
+      (Order.reverse_postorder order)
+  done;
+  let insert =
+    List.filter_map
+      (fun (p, b) ->
+        let v = Bitvec.copy (Hashtbl.find laterin p) in
+        ignore (Bitvec.diff_into ~into:v (Local.antloc local p));
+        ignore (Bitvec.union_into ~into:v (Hashtbl.find earliest_tbl (p, b)));
+        ignore (Bitvec.diff_into ~into:v (Hashtbl.find laterin b));
+        if Bitvec.is_empty v then None else Some ((p, b), v))
+      (Cfg.edges g)
+  in
+  let delete =
+    List.filter_map
+      (fun b ->
+        if Label.equal b entry then None
+        else begin
+          let v = Bitvec.copy (Local.antloc local b) in
+          ignore (Bitvec.diff_into ~into:v (Hashtbl.find laterin b));
+          if Bitvec.is_empty v then None else Some (b, v)
+        end)
+      (Cfg.labels g)
+  in
+  (insert, delete)
+
+let check_same_placement name g =
+  let a = Lcm_edge.analyze g in
+  let ref_insert, ref_delete = reference_lcm g in
+  let edge_str (p, b) = Printf.sprintf "B%d->B%d" p b in
+  Alcotest.(check (list string))
+    (name ^ ": insert edges")
+    (List.map (fun (e, _) -> edge_str e) ref_insert)
+    (List.map (fun (e, _) -> edge_str e) a.Lcm_edge.insert);
+  List.iter2
+    (fun (e, v) (_, v') ->
+      Alcotest.(check bool) (name ^ ": insert set at " ^ edge_str e) true (Bitvec.equal v v'))
+    ref_insert a.Lcm_edge.insert;
+  Alcotest.(check (list int))
+    (name ^ ": delete blocks")
+    (List.map fst ref_delete)
+    (List.map fst a.Lcm_edge.delete);
+  List.iter2
+    (fun (b, v) (_, v') ->
+      Alcotest.(check bool)
+        (name ^ ": delete set at B" ^ string_of_int b)
+        true (Bitvec.equal v v'))
+    ref_delete a.Lcm_edge.delete
+
+let test_lcm_matches_reference_suites () =
+  List.iter (fun w -> check_same_placement w.Suites.name (Suites.graph w)) Suites.all
+
+let test_lcm_matches_reference_random () =
+  let rng = Prng.of_int 515151 in
+  for case = 1 to 50 do
+    let num_blocks = Prng.int_in rng 3 30 in
+    let g =
+      Gencfg.random_cfg ~params:{ Gencfg.default_cfg_params with num_blocks } rng
+    in
+    check_same_placement (Printf.sprintf "random-%d" case) g
+  done
 
 let suite =
   [
@@ -98,4 +296,10 @@ let suite =
     Alcotest.test_case "backward/union" `Quick test_backward_union;
     Alcotest.test_case "kill" `Quick test_kill;
     Alcotest.test_case "sweep accounting" `Quick test_counts_monotone;
+    Alcotest.test_case "worklist ≡ sweep (100 random CFGs × 4 shapes)" `Quick
+      test_worklist_equals_sweep;
+    Alcotest.test_case "lcm-edge placement ≡ naive reference (suites)" `Quick
+      test_lcm_matches_reference_suites;
+    Alcotest.test_case "lcm-edge placement ≡ naive reference (random)" `Quick
+      test_lcm_matches_reference_random;
   ]
