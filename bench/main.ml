@@ -23,6 +23,7 @@ let experiments =
     ("a1", "ablation: isolation analysis", Exp_ablation.a1);
     ("a2", "ablation: critical-edge pre-splitting", Exp_ablation.a2);
     ("scale", "solver throughput on random CFGs up to 10k blocks", Exp_scale.run);
+    ("parallel", "multicore engine: pass overlap, bit slices, corpus fan-out", Exp_parallel.run);
   ]
 
 let list_experiments () =
@@ -40,6 +41,8 @@ let () =
   | [ _ ] -> List.iter (fun (_, _, f) -> f ()) experiments
   | [ _; "--list" ] -> list_experiments ()
   | [ _; "--experiment"; "scale"; "--quick" ] | [ _; "scale"; "--quick" ] -> Exp_scale.run_quick ()
+  | [ _; "--experiment"; "parallel"; "--quick" ] | [ _; "parallel"; "--quick" ] ->
+    Exp_parallel.run_quick ()
   | [ _; "--experiment"; id ] | [ _; id ] -> run_one id
   | _ ->
     prerr_endline "usage: main.exe [--list | --experiment <id> [--quick]]";

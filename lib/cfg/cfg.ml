@@ -38,6 +38,12 @@ type t = {
      [adj.adj_version]. *)
   mutable version : int;
   mutable adj : adjacency option;
+  (* Guards the lazy build of [adj] only: read-only consumers (the parallel
+     solver's slice tasks, overlapped passes) may race to the first
+     [adjacency] call on a shared graph.  Mutations themselves remain
+     single-domain — the lock makes the *cache fill* atomic, not the
+     graph. *)
+  adj_lock : Mutex.t;
 }
 
 let entry g = g.entry
@@ -66,6 +72,7 @@ let create ?(name = "main") () =
       exit_label = 1;
       version = 0;
       adj = None;
+      adj_lock = Mutex.create ();
     }
   in
   let entry = alloc g [] Halt in
@@ -203,12 +210,17 @@ let build_adjacency g =
   }
 
 let adjacency g =
-  match g.adj with
-  | Some a when a.adj_version = g.version -> a
-  | Some _ | None ->
-    let a = build_adjacency g in
-    g.adj <- Some a;
-    a
+  Mutex.lock g.adj_lock;
+  let a =
+    match g.adj with
+    | Some a when a.adj_version = g.version -> a
+    | Some _ | None ->
+      let a = build_adjacency g in
+      g.adj <- Some a;
+      a
+  in
+  Mutex.unlock g.adj_lock;
+  a
 
 let predecessors g l =
   ignore (find g l "predecessors");
@@ -298,6 +310,7 @@ let copy g =
     exit_label = g.exit_label;
     version = 0;
     adj = None;
+    adj_lock = Mutex.create ();
   }
 
 let candidate_pool g =

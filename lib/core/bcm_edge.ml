@@ -29,11 +29,11 @@ let earliest g local avail antic (p, b) =
   end;
   v
 
-let analyze ?pool g =
+let analyze ?pool ?workers g =
   let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
   let local = Local.compute g pool in
-  let avail = Avail.compute g local in
-  let antic = Antic.compute g local in
+  (* Same overlap as [Lcm_edge]: the two safety systems are independent. *)
+  let avail, antic = Lcm_edge.solve_safety_systems ?workers g local in
   let insert =
     List.filter_map
       (fun e ->
@@ -81,6 +81,6 @@ let spec g a =
     copies = a.copy;
   }
 
-let transform ?simplify g =
-  let a = analyze g in
+let transform ?simplify ?workers g =
+  let a = analyze ?workers g in
   Transform.apply ?simplify g (spec g a)

@@ -22,6 +22,16 @@ type analysis = {
   visits : int;
 }
 
-val analyze : ?pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> analysis
+(** [workers] overlaps the two independent safety systems and slices each
+    fixpoint across domains (see {!Lcm_edge.analyze}); results are
+    bit-identical with and without it. *)
+val analyze :
+  ?pool:Lcm_ir.Expr_pool.t -> ?workers:Lcm_support.Pool.t -> Lcm_cfg.Cfg.t -> analysis
+
 val spec : Lcm_cfg.Cfg.t -> analysis -> Transform.spec
-val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Transform.report
+
+val transform :
+  ?simplify:bool ->
+  ?workers:Lcm_support.Pool.t ->
+  Lcm_cfg.Cfg.t ->
+  Lcm_cfg.Cfg.t * Transform.report

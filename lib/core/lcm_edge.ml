@@ -1,4 +1,5 @@
 module Bitvec = Lcm_support.Bitvec
+module Pool = Lcm_support.Pool
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 module Local = Lcm_dataflow.Local
@@ -113,11 +114,31 @@ let compute_laterin g local earliest_by_pred =
   List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
   ((laterin, live), sweeps, !visits)
 
-let analyze ?pool g =
+(* The down-safety (backward, ANTIC) and up-safety (forward, AVAIL) systems
+   of the cascade read only the block-local predicates — neither reads the
+   other's fixpoint — so with a worker pool they run as two overlapping
+   tasks, each of which may fan out further into bit slices on the same
+   pool ([Pool.run] is re-entrant).  Everything the two tasks share
+   (adjacency snapshot, local predicate arrays, expression pool) is
+   pre-built or lock-guarded before the fan-out; results land in distinct
+   refs, so the outcome is independent of scheduling. *)
+let solve_safety_systems ?workers g local =
+  match workers with
+  | Some w when Pool.size w > 1 ->
+    ignore (Cfg.adjacency g);
+    let avail = ref None and antic = ref None in
+    Pool.run w
+      [
+        (fun () -> avail := Some (Avail.compute_par ~pool:w g local));
+        (fun () -> antic := Some (Antic.compute_par ~pool:w g local));
+      ];
+    (Option.get !avail, Option.get !antic)
+  | Some _ | None -> (Avail.compute g local, Antic.compute g local)
+
+let analyze ?pool ?workers g =
   let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
   let local = Local.compute g pool in
-  let avail = Avail.compute g local in
-  let antic = Antic.compute g local in
+  let avail, antic = solve_safety_systems ?workers g local in
   let earliest_tbl, earliest_by_pred = compute_earliest g local avail antic in
   let (laterin_arr, laterin_live), later_sweeps, later_visits =
     compute_laterin g local earliest_by_pred
@@ -187,6 +208,6 @@ let spec g a =
     copies = a.copy;
   }
 
-let transform ?simplify g =
-  let a = analyze g in
+let transform ?simplify ?workers g =
+  let a = analyze ?workers g in
   Transform.apply ?simplify g (spec g a)

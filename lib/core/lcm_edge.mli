@@ -36,12 +36,30 @@ type analysis = {
   visits : int;  (** transfer-function applications, all passes summed *)
 }
 
+(** Solve the independent down-safety (ANTIC, backward) and up-safety
+    (AVAIL, forward) systems — overlapped as two tasks on [workers] when it
+    has more than one domain (each may fan out further into bit slices on
+    the same pool), sequentially otherwise.  Results are bit-identical
+    either way.  Shared by {!Bcm_edge}. *)
+val solve_safety_systems :
+  ?workers:Lcm_support.Pool.t ->
+  Lcm_cfg.Cfg.t ->
+  Lcm_dataflow.Local.t ->
+  Lcm_dataflow.Avail.t * Lcm_dataflow.Antic.t
+
 (** Run the analyses.  [pool] defaults to all candidate expressions of the
-    graph. *)
-val analyze : ?pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> analysis
+    graph.  [workers] enables the parallel paths (pass-level overlap of the
+    safety systems, slice-level fan-out inside each); the decision is
+    bit-identical with and without it. *)
+val analyze :
+  ?pool:Lcm_ir.Expr_pool.t -> ?workers:Lcm_support.Pool.t -> Lcm_cfg.Cfg.t -> analysis
 
 (** Decision of [analyze] as a transformation spec. *)
 val spec : Lcm_cfg.Cfg.t -> analysis -> Transform.spec
 
 (** [transform g] = apply the decision to (a copy of) [g]. *)
-val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Transform.report
+val transform :
+  ?simplify:bool ->
+  ?workers:Lcm_support.Pool.t ->
+  Lcm_cfg.Cfg.t ->
+  Lcm_cfg.Cfg.t * Transform.report

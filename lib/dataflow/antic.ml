@@ -32,5 +32,51 @@ let run confluence g local =
     visits = result.Solver.visits;
   }
 
+(* Backward twin of [Avail.slice_spec]; see there for the ownership
+   argument. *)
+let slice_spec confluence local ~bound ~lo ~len =
+  let transp_s = Array.make bound None and antloc_s = Array.make bound None in
+  let view cache f l =
+    match cache.(l) with
+    | Some v -> v
+    | None ->
+      let v = Bitvec.slice (f local l) ~lo ~len in
+      cache.(l) <- Some v;
+      v
+  in
+  {
+    Solver.nbits = len;
+    direction = Solver.Backward;
+    confluence;
+    boundary = Bitvec.create len;
+    transfer =
+      (fun l ~src ~dst ->
+        ignore (Bitvec.blit ~src ~dst);
+        ignore (Bitvec.inter_into ~into:dst (view transp_s Local.transp l));
+        ignore (Bitvec.union_into ~into:dst (view antloc_s Local.antloc l)));
+  }
+
+let run_par confluence ?pool ?threshold g local =
+  let nbits = Local.nbits local in
+  let bound = Lcm_cfg.Cfg.label_bound g in
+  let result =
+    Solver.run_par ?pool ?threshold g
+      {
+        Solver.nbits;
+        direction = Solver.Backward;
+        confluence;
+        boundary = Bitvec.create nbits;
+        transfer = transfer local;
+      }
+      ~slice:(fun ~lo ~len -> slice_spec confluence local ~bound ~lo ~len)
+  in
+  {
+    antin = result.Solver.block_in;
+    antout = result.Solver.block_out;
+    sweeps = result.Solver.sweeps;
+    visits = result.Solver.visits;
+  }
+
 let compute g local = run Solver.Inter g local
 let compute_partial g local = run Solver.Union g local
+let compute_par ?pool ?threshold g local = run_par Solver.Inter ?pool ?threshold g local

@@ -14,3 +14,9 @@ type t = {
 
 val compute : Lcm_cfg.Cfg.t -> Local.t -> t
 val compute_partial : Lcm_cfg.Cfg.t -> Local.t -> t
+
+(** Same fixpoint as {!compute} (bit-identical), solved slice-parallel on
+    [pool] via {!Solver.run_par}; falls back to the sequential worklist
+    below [threshold] bits per domain. *)
+val compute_par :
+  ?pool:Lcm_support.Pool.t -> ?threshold:int -> Lcm_cfg.Cfg.t -> Local.t -> t

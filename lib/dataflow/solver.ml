@@ -1,8 +1,10 @@
 module Bitvec = Lcm_support.Bitvec
+module Pool = Lcm_support.Pool
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 
 let default_engine_name = "dense worklist (RPO priority queue)"
+let par_engine_name = "domain-sliced worklist (word-aligned bit slices)"
 
 type direction =
   | Forward
@@ -213,6 +215,18 @@ let run_worklist st spec =
   let sweeps = Array.fold_left max 0 visit_count in
   (sweeps, !visits)
 
+let make_result ~direction ~live ~meet ~flow ~sweeps ~visits =
+  let lookup table what l =
+    if l >= 0 && l < Array.length table && live.(l) then table.(l)
+    else invalid_arg (Printf.sprintf "Solver.%s: unknown label B%d" what l)
+  in
+  let block_in, block_out =
+    match direction with
+    | Forward -> (lookup meet "block_in", lookup flow "block_out")
+    | Backward -> (lookup flow "block_in", lookup meet "block_out")
+  in
+  { block_in; block_out; sweeps; visits }
+
 let run ?(engine = Worklist) g spec =
   let st = make_state g spec in
   let sweeps, visits =
@@ -220,13 +234,73 @@ let run ?(engine = Worklist) g spec =
     | Worklist -> run_worklist st spec
     | Sweep -> run_sweep st spec
   in
-  let lookup table what l =
-    if l >= 0 && l < Array.length table && st.live.(l) then table.(l)
-    else invalid_arg (Printf.sprintf "Solver.%s: unknown label B%d" what l)
-  in
-  let block_in, block_out =
-    match spec.direction with
-    | Forward -> (lookup st.meet "block_in", lookup st.flow "block_out")
-    | Backward -> (lookup st.flow "block_in", lookup st.meet "block_out")
-  in
-  { block_in; block_out; sweeps; visits }
+  make_result ~direction:spec.direction ~live:st.live ~meet:st.meet ~flow:st.flow ~sweeps ~visits
+
+(* --- domain-parallel engine ---------------------------------------------
+
+   Bit-vector dataflow is embarrassingly parallel along the expression
+   axis: the fixpoint of bit [i] never reads any bit [j <> i], so any
+   partition of the [nbits] space can be solved independently.  [run_par]
+   partitions it into word-aligned slices (disjoint slices never share a
+   storage word — see [Bitvec.slice_bounds]), solves each slice's fixpoint
+   with the sequential worklist engine on its own pool task, and reassembles
+   full-width vectors afterwards.  The caller supplies [slice], producing a
+   spec whose transfer operates on [len]-bit vectors for bits
+   [lo .. lo+len-1] of the full problem; its boundary must be the matching
+   slice of the full boundary.
+
+   Determinism contract: each slice fixpoint is the unique
+   least/greatest fixpoint of its (monotone) slice system, so the result is
+   bit-identical to the sequential engines regardless of how the pool
+   schedules slices; assembly order is fixed.  Counter semantics: [visits]
+   sums the slices' transfer applications (total work), [sweeps] is the
+   maximum iteration depth over slices (critical path).
+
+   Problems narrower than [threshold] bits per available domain fall back
+   to the sequential worklist — slicing two words across domains costs more
+   in fan-out than it saves. *)
+
+let default_par_threshold = 256
+
+let run_par ?pool ?(threshold = default_par_threshold) g spec ~slice =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let pieces = min (Pool.size pool) (max 1 (spec.nbits / max 1 threshold)) in
+  let bounds = Bitvec.slice_bounds ~nbits:spec.nbits ~pieces in
+  if pieces <= 1 || Array.length bounds <= 1 then run g spec
+  else begin
+    (* Pre-warm the lazily-built adjacency snapshot before fanning out: the
+       build is lock-guarded, but warming it here keeps the slices from
+       serializing on it. *)
+    let adj = Cfg.adjacency g in
+    let bound = adj.Cfg.adj_bound in
+    let k = Array.length bounds in
+    let solved = Array.make k None in
+    Pool.run pool
+      (List.init k (fun i () ->
+           let lo, len = bounds.(i) in
+           let sub = slice ~lo ~len in
+           if sub.nbits <> len then
+             invalid_arg
+               (Printf.sprintf "Solver.run_par: slice [%d,%d) returned a %d-bit spec" lo
+                  (lo + len) sub.nbits);
+           let st = make_state g sub in
+           let counts = run_worklist st sub in
+           solved.(i) <- Some (st, counts)));
+    let meet = Array.init bound (fun _ -> Bitvec.create spec.nbits) in
+    let flow = Array.init bound (fun _ -> Bitvec.create spec.nbits) in
+    let sweeps = ref 0 and visits = ref 0 in
+    Array.iteri
+      (fun i entry ->
+        let st, (s, v) = Option.get entry in
+        let lo, _ = bounds.(i) in
+        for l = 0 to bound - 1 do
+          ignore (Bitvec.blit_slice ~src:st.meet.(l) ~into:meet.(l) ~lo);
+          ignore (Bitvec.blit_slice ~src:st.flow.(l) ~into:flow.(l) ~lo)
+        done;
+        sweeps := max !sweeps s;
+        visits := !visits + v)
+      solved;
+    let live = Array.make bound false in
+    List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
+    make_result ~direction:spec.direction ~live ~meet ~flow ~sweeps:!sweeps ~visits:!visits
+  end

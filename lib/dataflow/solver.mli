@@ -15,6 +15,10 @@
     benchmark output). *)
 val default_engine_name : string
 
+(** Name of the domain-parallel engine ({!run_par}), for benchmark
+    output. *)
+val par_engine_name : string
+
 type direction =
   | Forward
   | Backward
@@ -58,3 +62,37 @@ type result = {
     transfers used throughout this library); [engine] defaults to
     {!Worklist}. *)
 val run : ?engine:engine -> Lcm_cfg.Cfg.t -> spec -> result
+
+(** Default [threshold] of {!run_par}, in bits per domain. *)
+val default_par_threshold : int
+
+(** [run_par ?pool ?threshold g spec ~slice] solves the same problem as
+    [run g spec] by partitioning the [nbits] expression axis into
+    word-aligned slices ({!Lcm_support.Bitvec.slice_bounds}) and running
+    each slice's fixpoint on its own domain of [pool] (default:
+    {!Lcm_support.Pool.default}).  Bit [i]'s fixpoint never depends on bit
+    [j <> i], so the result is bit-identical to the sequential engines —
+    slices are unique fixpoints of monotone systems, independent of pool
+    scheduling.
+
+    [slice ~lo ~len] must return a [len]-bit spec for bits
+    [lo .. lo+len-1] of the full problem — same direction and confluence,
+    boundary equal to the matching slice of the full boundary, transfer
+    operating on [len]-bit vectors.  It is called from pool tasks and so
+    must be safe to call from any domain; per-slice caches built inside the
+    returned spec are confined to one domain.
+
+    Falls back to [run g spec] when the problem is narrower than
+    [threshold] (default {!default_par_threshold}) bits per available
+    domain, or when the pool has a single domain.
+
+    Counter semantics: [visits] is summed across slices (total transfer
+    applications); [sweeps] is the maximum over slices (parallel iteration
+    depth). *)
+val run_par :
+  ?pool:Lcm_support.Pool.t ->
+  ?threshold:int ->
+  Lcm_cfg.Cfg.t ->
+  spec ->
+  slice:(lo:int -> len:int -> spec) ->
+  result

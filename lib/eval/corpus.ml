@@ -1,0 +1,77 @@
+(* The "compiler server" workload: a whole suite of functions optimized in
+   one call, mapped over a domain pool.  Functions are independent — each
+   job owns its graph, its expression pool, and its transformed copy — so
+   this is the coarsest and best-scaling of the three parallel layers (bit
+   slices, pass overlap, corpus fan-out).
+
+   Determinism: reports come back in job order whatever the pool schedules,
+   and each report carries an MD5 digest of the printed transformed graph,
+   so a driver can assert that parallel and sequential runs produced the
+   same code. *)
+
+module Pool = Lcm_support.Pool
+module Prng = Lcm_support.Prng
+module Cfg = Lcm_cfg.Cfg
+module Gencfg = Gencfg
+module Lcm_edge = Lcm_core.Lcm_edge
+module Transform = Lcm_core.Transform
+
+type job = {
+  name : string;
+  graph : Cfg.t;
+}
+
+type report = {
+  job : string;
+  blocks : int;
+  edges : int;
+  exprs : int;
+  insertions : int;
+  deletions : int;
+  sweeps : int;
+  visits : int;
+  digest : string;  (** MD5 of the printed transformed graph *)
+}
+
+let generate ?(seed = 1905) counts =
+  List.concat_map
+    (fun (num_blocks, copies) ->
+      List.init copies (fun i ->
+          let rng = Prng.of_int (seed + (num_blocks * 7919) + i) in
+          {
+            name = Printf.sprintf "g%d_%d" num_blocks i;
+            graph =
+              Gencfg.random_cfg ~params:{ Gencfg.default_cfg_params with num_blocks } rng;
+          }))
+    counts
+
+let total_blocks jobs = List.fold_left (fun acc j -> acc + Cfg.num_blocks j.graph) 0 jobs
+
+let process_one job =
+  let a = Lcm_edge.analyze job.graph in
+  let transformed, r = Transform.apply job.graph (Lcm_edge.spec job.graph a) in
+  {
+    job = job.name;
+    blocks = Cfg.num_blocks job.graph;
+    edges = List.length (Cfg.edges job.graph);
+    exprs = Lcm_ir.Expr_pool.size a.Lcm_edge.pool;
+    insertions = r.Transform.num_edge_insertions;
+    deletions = r.Transform.num_deletions;
+    sweeps = a.Lcm_edge.sweeps;
+    visits = a.Lcm_edge.visits;
+    digest = Digest.to_hex (Digest.string (Cfg.to_string transformed));
+  }
+
+let process ?workers jobs =
+  match workers with
+  | Some pool when Pool.size pool > 1 ->
+    let jobs = Array.of_list jobs in
+    let reports = Array.make (Array.length jobs) None in
+    (* One task per job: graphs differ wildly in size, so per-job tasks let
+       the queue balance them; each task touches only its own slot. *)
+    Pool.run pool
+      (List.init (Array.length jobs) (fun i () -> reports.(i) <- Some (process_one jobs.(i))));
+    Array.to_list (Array.map Option.get reports)
+  | Some _ | None -> List.map process_one jobs
+
+let digests reports = List.map (fun r -> r.digest) reports

@@ -1,0 +1,41 @@
+(** Parallel corpus driver: LCM over a whole suite of functions at once —
+    the "compiler server" workload.
+
+    Each job owns its graph and every derived structure, so jobs are
+    mapped over a {!Lcm_support.Pool.t} with no shared mutable state; the
+    report list always comes back in job order, and the per-job digests
+    make parallel/sequential equivalence checkable. *)
+
+type job = {
+  name : string;
+  graph : Lcm_cfg.Cfg.t;
+}
+
+type report = {
+  job : string;
+  blocks : int;
+  edges : int;
+  exprs : int;  (** candidate expressions in the job's pool *)
+  insertions : int;  (** edge insertions, per (edge, expression) pair *)
+  deletions : int;
+  sweeps : int;  (** analysis iteration depth, all passes summed *)
+  visits : int;  (** transfer applications, all passes summed *)
+  digest : string;  (** MD5 hex of the printed transformed graph *)
+}
+
+(** [generate ?seed counts] builds a deterministic suite: for every
+    [(num_blocks, copies)] pair, [copies] random CFGs of [num_blocks]
+    blocks (distinct seeds per copy). *)
+val generate : ?seed:int -> (int * int) list -> job list
+
+(** Sum of block counts across the suite. *)
+val total_blocks : job list -> int
+
+(** [process ?workers jobs] runs [Lcm_edge.analyze] + [Transform.apply] on
+    every job — one pool task per job when [workers] has more than one
+    domain, sequentially in the calling thread otherwise.  Reports are in
+    job order and bit-identical across both modes (and any pool size). *)
+val process : ?workers:Lcm_support.Pool.t -> job list -> report list
+
+(** Digests of the transformed graphs, in job order. *)
+val digests : report list -> string list

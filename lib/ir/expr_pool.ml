@@ -8,6 +8,11 @@ type t = {
      the whole analysis on large graphs. *)
   reading_cache : (string, int list) Hashtbl.t;
   mutable reading_cache_size : int;
+  (* Guards the lazily-filled [reading_cache] only: analyses sharing a pool
+     may query [reading] from several domains at once.  [add] still
+     requires external ordering — pools are built single-domain, before any
+     fan-out. *)
+  reading_lock : Mutex.t;
 }
 
 let create () =
@@ -17,6 +22,7 @@ let create () =
     size = 0;
     reading_cache = Hashtbl.create 16;
     reading_cache_size = 0;
+    reading_lock = Mutex.create ();
   }
 
 let grow pool =
@@ -61,16 +67,21 @@ let to_list pool =
   !acc
 
 let reading pool v =
+  Mutex.lock pool.reading_lock;
   if pool.reading_cache_size <> pool.size then begin
     Hashtbl.reset pool.reading_cache;
     pool.reading_cache_size <- pool.size
   end;
-  match Hashtbl.find_opt pool.reading_cache v with
-  | Some is -> is
-  | None ->
-    let acc = ref [] in
-    for i = pool.size - 1 downto 0 do
-      if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
-    done;
-    Hashtbl.add pool.reading_cache v !acc;
-    !acc
+  let is =
+    match Hashtbl.find_opt pool.reading_cache v with
+    | Some is -> is
+    | None ->
+      let acc = ref [] in
+      for i = pool.size - 1 downto 0 do
+        if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
+      done;
+      Hashtbl.add pool.reading_cache v !acc;
+      !acc
+  in
+  Mutex.unlock pool.reading_lock;
+  is

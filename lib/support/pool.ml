@@ -1,0 +1,158 @@
+(* A fixed-size pool of domains draining one shared task queue.
+
+   Tasks are plain thunks; [run] enqueues a batch and the calling thread
+   *helps* drain the queue until its own batch completes, so a task may
+   itself call [run] on the same pool (pass-level overlap on top of
+   slice-level fan-out) without deadlock: every thread that is waiting for
+   a batch executes whatever work is queued, and blocks on the condition
+   variable only when the queue is empty — at which point any pending task
+   of its batch is running on some other thread and its completion will
+   broadcast. *)
+
+type task = unit -> unit
+
+(* One [run] call.  [pending] counts tasks not yet finished; the first
+   exception raised by any task of the batch is kept and re-raised by
+   [run] after the whole batch has drained. *)
+type batch = {
+  mutable pending : int;
+  mutable failure : exn option;
+}
+
+type t = {
+  lock : Mutex.t;
+  wake : Condition.t;  (* new work queued, a task finished, or shutdown *)
+  queue : (task * batch) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let size t = t.size
+
+(* Drain tasks until [finished ()] holds.  [finished] is evaluated with the
+   lock held. *)
+let help t finished =
+  Mutex.lock t.lock;
+  while not (finished ()) do
+    match Queue.take_opt t.queue with
+    | Some (task, batch) ->
+      Mutex.unlock t.lock;
+      let failure = (try task (); None with e -> Some e) in
+      Mutex.lock t.lock;
+      (match failure with
+      | Some _ when batch.failure = None -> batch.failure <- failure
+      | Some _ | None -> ());
+      batch.pending <- batch.pending - 1;
+      Condition.broadcast t.wake
+    | None -> Condition.wait t.wake t.lock
+  done;
+  Mutex.unlock t.lock
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least 1 domain";
+  let t =
+    {
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      size = n;
+    }
+  in
+  if n > 1 then
+    t.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> help t (fun () -> t.stop)));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let run t tasks =
+  match tasks with
+  | [] -> ()
+  | [ task ] -> task ()
+  | tasks when t.size <= 1 ->
+    (* Single-domain pool: the sequential fallback, no queue round-trip.
+       Same semantics as the parallel path: the whole batch drains, the
+       first failure is re-raised afterwards. *)
+    let failure = ref None in
+    List.iter
+      (fun task -> try task () with e -> if !failure = None then failure := Some e)
+      tasks;
+    (match !failure with Some e -> raise e | None -> ())
+  | tasks ->
+    let batch = { pending = List.length tasks; failure = None } in
+    Mutex.lock t.lock;
+    List.iter (fun task -> Queue.add (task, batch) t.queue) tasks;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    help t (fun () -> batch.pending = 0);
+    (match batch.failure with Some e -> raise e | None -> ())
+
+(* [parallel_for] chunks the index space so the queue holds a bounded
+   number of coarse tasks rather than one task per index. *)
+let parallel_for t ?chunk n f =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
+      | None -> max 1 (n / (4 * t.size))
+    in
+    if t.size <= 1 || n <= chunk then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let tasks = ref [] in
+      let lo = ref 0 in
+      while !lo < n do
+        let lo' = !lo and hi' = min n (!lo + chunk) in
+        tasks :=
+          (fun () ->
+            for i = lo' to hi' - 1 do
+              f i
+            done)
+          :: !tasks;
+        lo := hi'
+      done;
+      run t !tasks
+    end
+  end
+
+(* Default pool: size from LCM_DOMAINS when set (CI forces 1 and 4 to cover
+   both the sequential-fallback and parallel paths), otherwise what the
+   runtime recommends for this machine, capped to keep small machines from
+   oversubscribing on wide corpus fan-outs. *)
+
+let env_var = "LCM_DOMAINS"
+
+let default_size () =
+  match Option.bind (Sys.getenv_opt env_var) int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> min 8 (Domain.recommended_domain_count ())
+
+let default_pool = ref None
+let default_lock = Mutex.create ()
+
+let default () =
+  Mutex.lock default_lock;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create (default_size ()) in
+      default_pool := Some p;
+      (* Idle workers block on the condition variable; join them at exit so
+         the process terminates cleanly. *)
+      at_exit (fun () -> shutdown p);
+      p
+  in
+  Mutex.unlock default_lock;
+  p

@@ -1,0 +1,55 @@
+(** A fixed-size pool of domains draining a shared task queue.
+
+    The parallel engines fan work out in three layers — bit slices of one
+    fixpoint ({!Lcm_dataflow.Solver.run_par}), independent passes of the
+    LCM cascade, and whole functions of a corpus — and all three share one
+    pool.  [run] is re-entrant: a task may submit a sub-batch to the same
+    pool, and any thread waiting for its batch helps execute queued tasks
+    instead of idling, so nested fan-out cannot deadlock.
+
+    A pool of size 1 spawns no domains and executes everything in the
+    calling thread, in order — the sequential fallback path. *)
+
+type t
+
+(** [create n] is a pool of [n] domains in total: the caller of {!run}
+    counts as one, so [n - 1] worker domains are spawned.  Raises
+    [Invalid_argument] when [n < 1]. *)
+val create : int -> t
+
+(** Total parallelism (worker domains + the calling thread). *)
+val size : t -> int
+
+(** [run t tasks] executes every task and returns when all are finished.
+    Tasks of one batch may run concurrently on different domains, in any
+    order; the caller participates.  If any task raises, the first
+    exception observed is re-raised after the whole batch has drained.
+
+    Tasks must synchronize their own shared state; writes made by a task
+    are visible to the caller after [run] returns (the queue's mutex
+    orders them). *)
+val run : t -> (unit -> unit) list -> unit
+
+(** [parallel_for t ?chunk n f] applies [f] to [0 .. n-1], chunked into
+    contiguous ranges of [chunk] indices (default: [n / (4 * size t)],
+    at least 1) so the queue holds coarse tasks.  Iteration order within a
+    chunk is ascending; chunks may interleave across domains. *)
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+
+(** Joins the worker domains.  The pool must be idle; [run] must not be
+    called afterwards.  Called automatically at exit for {!default}. *)
+val shutdown : t -> unit
+
+(** Name of the environment variable overriding {!default_size}:
+    ["LCM_DOMAINS"].  CI runs the test suite with it forced to 1 and to 4
+    so both the sequential-fallback and the parallel paths are covered. *)
+val env_var : string
+
+(** Size used by {!default}: [$LCM_DOMAINS] when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()] capped at 8. *)
+val default_size : unit -> int
+
+(** The process-wide shared pool, created on first use and shut down at
+    exit.  Benchmarks that need a specific width create their own pools
+    instead. *)
+val default : unit -> t

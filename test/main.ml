@@ -25,4 +25,6 @@ let () =
       ("misc", Test_misc.suite);
       ("placement-check", Test_placement_check.suite);
       ("properties", Test_properties.suite);
+      ("pool", Test_pool.suite);
+      ("parallel", Test_parallel.suite);
     ]

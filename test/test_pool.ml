@@ -1,0 +1,173 @@
+(* The domain pool: batch execution, nesting, exception propagation, and
+   the thread-safety of the two lazily-built shared structures the parallel
+   engines rely on (Cfg's adjacency snapshot, Expr_pool's reading memo). *)
+
+module Pool = Lcm_support.Pool
+module Prng = Lcm_support.Prng
+module Cfg = Lcm_cfg.Cfg
+module Label = Lcm_cfg.Label
+module Expr = Lcm_ir.Expr
+module Expr_pool = Lcm_ir.Expr_pool
+module Gencfg = Lcm_eval.Gencfg
+
+let with_pool n f =
+  let pool = Pool.create n in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_runs_all_tasks () =
+  List.iter
+    (fun n ->
+      with_pool n (fun pool ->
+          let slots = Array.make 100 0 in
+          Pool.run pool (List.init 100 (fun i () -> slots.(i) <- i + 1));
+          Alcotest.(check int)
+            (Printf.sprintf "all tasks ran (%d domains)" n)
+            (100 * 101 / 2)
+            (Array.fold_left ( + ) 0 slots)))
+    [ 1; 2; 4 ]
+
+let test_empty_batch () =
+  with_pool 2 (fun pool -> Pool.run pool []);
+  with_pool 1 (fun pool -> Pool.run pool [])
+
+let test_nested_run () =
+  (* Pass-level overlap on top of slice fan-out: tasks submit sub-batches
+     to the same pool.  Must complete (help-drain, no deadlock) and run
+     every leaf. *)
+  List.iter
+    (fun n ->
+      with_pool n (fun pool ->
+          let slots = Array.make 64 0 in
+          Pool.run pool
+            (List.init 8 (fun outer () ->
+                 Pool.run pool
+                   (List.init 8 (fun inner () -> slots.((outer * 8) + inner) <- 1))));
+          Alcotest.(check int)
+            (Printf.sprintf "nested leaves (%d domains)" n)
+            64
+            (Array.fold_left ( + ) 0 slots)))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun n ->
+      with_pool n (fun pool ->
+          let completed = ref 0 in
+          let raised =
+            try
+              Pool.run pool
+                (List.init 10 (fun i () ->
+                     if i = 5 then raise (Boom i) else incr completed));
+              false
+            with Boom 5 -> true
+          in
+          Alcotest.(check bool) (Printf.sprintf "Boom re-raised (%d domains)" n) true raised;
+          (* The batch still drained: the pool is reusable afterwards. *)
+          Pool.run pool [ (fun () -> incr completed) ];
+          Alcotest.(check int) "pool alive after failure" 10 !completed))
+    [ 1; 4 ]
+
+let test_parallel_for () =
+  List.iter
+    (fun n ->
+      with_pool n (fun pool ->
+          let slots = Array.make 1000 0 in
+          Pool.parallel_for pool ~chunk:64 1000 (fun i -> slots.(i) <- slots.(i) + 1);
+          Alcotest.(check int)
+            (Printf.sprintf "each index once (%d domains)" n)
+            1000
+            (Array.fold_left ( + ) 0 slots)))
+    [ 1; 3 ]
+
+let test_default_pool () =
+  let p = Pool.default () in
+  Alcotest.(check bool) "default size positive" true (Pool.size p >= 1);
+  Alcotest.(check bool) "default size = default_size" true (Pool.size p = Pool.default_size ());
+  let hits = Array.make 8 false in
+  Pool.run p (List.init 8 (fun i () -> hits.(i) <- true));
+  Alcotest.(check bool) "default pool runs" true (Array.for_all Fun.id hits);
+  (* Same pool on every call. *)
+  Alcotest.(check bool) "memoized" true (p == Pool.default ())
+
+(* --- regression: lazily-built shared state under domain fan-out -------- *)
+
+(* Hammer the per-version adjacency snapshot: many domains force the lazy
+   build of the same fresh graph at once, then each checks the snapshot it
+   got for internal consistency.  Before the build was lock-guarded, racing
+   first calls could observe a half-written cache. *)
+let test_adjacency_hammer () =
+  with_pool 4 (fun pool ->
+      let rng = Prng.of_int 77177 in
+      for _round = 1 to 25 do
+        let g =
+          Gencfg.random_cfg
+            ~params:{ Gencfg.default_cfg_params with num_blocks = 30 }
+            rng
+        in
+        let edge_counts = Array.make 8 (-1) in
+        Pool.run pool
+          (List.init 8 (fun i () ->
+               (* First calls race to build; later calls must see the same
+                  snapshot. *)
+               let edges = Cfg.edges g in
+               let ok =
+                 List.for_all
+                   (fun (s, d) ->
+                     List.exists (Label.equal d) (Cfg.successors g s)
+                     && List.exists (Label.equal s) (Cfg.predecessors g d))
+                   edges
+               in
+               if ok then edge_counts.(i) <- List.length edges));
+        Array.iter
+          (fun c -> Alcotest.(check int) "same consistent edge list" (List.length (Cfg.edges g)) c)
+          edge_counts
+      done)
+
+(* Hammer the reading memo: domains query overlapping variables on a fresh
+   pool; every answer must equal the single-domain scan. *)
+let test_reading_memo_hammer () =
+  let vars = [ "a"; "b"; "c"; "d"; "e" ] in
+  let exprs =
+    List.concat_map
+      (fun x -> List.map (fun y -> Expr.Binary (Expr.Add, Expr.Var x, Expr.Var y)) vars)
+      vars
+  in
+  with_pool 4 (fun pool ->
+      for _round = 1 to 25 do
+        let p = Expr_pool.create () in
+        List.iter (fun e -> ignore (Expr_pool.add p e)) exprs;
+        (* Expected answers from a second, identical pool whose memo is
+           filled single-domain; [p]'s memo is only ever touched by the
+           racing tasks below. *)
+        let q = Expr_pool.create () in
+        List.iter (fun e -> ignore (Expr_pool.add q e)) exprs;
+        let expected = List.map (Expr_pool.reading q) vars in
+        let got = Array.make (4 * List.length vars) [] in
+        Pool.run pool
+          (List.concat_map
+             (fun task ->
+               List.mapi
+                 (fun j v () -> got.((task * List.length vars) + j) <- Expr_pool.reading p v)
+                 vars)
+             [ 0; 1; 2; 3 ]);
+        for task = 0 to 3 do
+          List.iteri
+            (fun j e ->
+              Alcotest.(check (list int)) "reading under fan-out" e got.((task * List.length vars) + j))
+            expected
+        done
+      done)
+
+let suite =
+  [
+    Alcotest.test_case "run executes every task" `Quick test_runs_all_tasks;
+    Alcotest.test_case "empty batch" `Quick test_empty_batch;
+    Alcotest.test_case "nested run (no deadlock)" `Quick test_nested_run;
+    Alcotest.test_case "task exceptions re-raised, pool survives" `Quick test_exception_propagates;
+    Alcotest.test_case "parallel_for covers the range once" `Quick test_parallel_for;
+    Alcotest.test_case "default pool" `Quick test_default_pool;
+    Alcotest.test_case "adjacency snapshot under domain fan-out" `Quick test_adjacency_hammer;
+    Alcotest.test_case "Expr_pool.reading memo under domain fan-out" `Quick test_reading_memo_hammer;
+  ]
