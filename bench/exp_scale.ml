@@ -126,12 +126,14 @@ let emit_json ?(path = "BENCH_scale.json") rows =
     "{\n\
     \  \"experiment\": \"scale\",\n\
     \  \"benchmark\": \"Lcm_edge.analyze end-to-end on random CFGs\",\n\
+    \  \"host_cores\": %d,\n\
     \  \"engine\": \"%s\",\n\
     \  \"rows\": %s,\n\
     \  \"baseline_engine\": \"%s\",\n\
     \  \"baseline_rows\": %s,\n\
     \  \"speedup_by_blocks\": { %s }\n\
      }\n"
+    (Domain.recommended_domain_count ())
     Lcm_dataflow.Solver.default_engine_name (json_of_rows rows) baseline_engine
     (json_of_rows baseline_rows) speedup_json;
   close_out oc;

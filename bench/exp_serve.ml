@@ -1,0 +1,310 @@
+(* EXP-SERVE: the optimization daemon under offered load.
+
+   Spawns `lcmopt serve --stdio` as a subprocess and drives it with an
+   open-loop client (requests are offered on a fixed schedule regardless
+   of completions, so the daemon's backpressure is actually exercised)
+   at several request rates over a corpus of random CFGs.  Reports
+   throughput, exact client-side latency quantiles, and the rejection
+   counts, and cross-checks every ok response against the in-process
+   transformation (the daemon must be bit-identical to `lcmopt run`).
+
+   The "quick" mode (CI smoke) runs one small load and only asserts the
+   plumbing: some requests succeed and every digest matches. *)
+
+module Table = Lcm_support.Table
+module Cfg = Lcm_cfg.Cfg
+module Cfg_text = Lcm_cfg.Cfg_text
+module Corpus = Lcm_eval.Corpus
+module Lcm_edge = Lcm_core.Lcm_edge
+module Json = Lcm_server.Json
+module Frame = Lcm_server.Frame
+
+let now = Unix.gettimeofday
+
+(* ---- the daemon subprocess ---- *)
+
+let resolve_exe () =
+  match Sys.getenv_opt "LCMOPT_EXE" with
+  | Some p -> p
+  | None ->
+    (* bench/main.exe lives next to bin/lcmopt.exe in _build. *)
+    let d = Filename.dirname Sys.executable_name in
+    Filename.concat (Filename.concat (Filename.dirname d) "bin") "lcmopt.exe"
+
+type daemon = { pid : int; req_w : Unix.file_descr; resp_r : Unix.file_descr }
+
+let spawn_daemon ~queue =
+  let exe = resolve_exe () in
+  if not (Sys.file_exists exe) then begin
+    Printf.eprintf "exp_serve: daemon binary not found at %s (set LCMOPT_EXE)\n" exe;
+    exit 1
+  end;
+  (* cloexec: the child must not inherit the parent's pipe ends, or closing
+     req_w here would never deliver EOF to the daemon (create_process dup2s
+     the two ends the child actually uses onto its stdin/stdout). *)
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--stdio"; "--quiet"; "--queue"; string_of_int queue |]
+      req_r resp_w Unix.stderr
+  in
+  Unix.close req_r;
+  Unix.close resp_w;
+  { pid; req_w; resp_r }
+
+let stop_daemon d =
+  (try Unix.close d.req_w with Unix.Unix_error _ -> ());
+  (try Unix.close d.resp_r with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] d.pid)
+
+(* ---- the corpus ---- *)
+
+type job = { frame_prefix : string; expected_digest : string }
+
+(* The daemon parses the wire text, so the reference transformation must
+   start from the same parse (labels are renumbered in print order). *)
+let prepare_jobs jobs =
+  List.map
+    (fun (j : Corpus.job) ->
+      let text = Cfg.to_string j.Corpus.graph in
+      let g = Cfg_text.parse text in
+      let expected = Cfg.to_string (fst (Lcm_edge.transform g)) in
+      {
+        frame_prefix =
+          Printf.sprintf "\"op\":\"run\",\"format\":\"cfg\",\"program\":%s}"
+            (Json.to_string (Json.String text));
+        expected_digest = Digest.to_hex (Digest.string expected);
+      })
+    jobs
+  |> Array.of_list
+
+(* ---- one offered load ---- *)
+
+type load_result = {
+  offered_rps : float;
+  requests : int;
+  completed : int;
+  ok : int;
+  rejected_overloaded : int;
+  errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  digest_mismatches : int;
+  server_stats : Json.t;
+}
+
+let quantile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Open-loop driver.  Both pipe ends are handled with select and a
+   client-side output buffer so neither side can deadlock on a full pipe. *)
+let run_load ~jobs ~queue ~offered_rps ~requests =
+  let d = spawn_daemon ~queue in
+  Unix.set_nonblock d.req_w;
+  let outbuf = Buffer.create 65536 in
+  let flush_client () =
+    if Buffer.length outbuf > 0 then begin
+      let s = Buffer.contents outbuf in
+      match Unix.write_substring d.req_w s 0 (String.length s) with
+      | k ->
+        Buffer.clear outbuf;
+        if k < String.length s then Buffer.add_substring outbuf s k (String.length s - k)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    end
+  in
+  let reader = Frame.create ~max_frame:(1 lsl 22) in
+  let chunk = Bytes.create 65536 in
+  let njobs = Array.length jobs in
+  let send_times = Array.make requests 0. in
+  let latencies = ref [] in
+  let ok = ref 0 and overloaded = ref 0 and errors = ref 0 and completed = ref 0 in
+  let mismatches = ref 0 in
+  let stats = ref Json.Null in
+  let handle_frame f =
+    let j = Json.parse f in
+    let sfield n = Option.bind (Json.member n j) Json.to_string_opt in
+    if sfield "op" = Some "stats" then stats := Option.value (Json.member "stats" j) ~default:Json.Null
+    else begin
+      incr completed;
+      (match Option.bind (Json.member "id" j) Json.to_int_opt with
+      | Some id when id >= 0 && id < requests ->
+        latencies := ((now () -. send_times.(id)) *. 1000.) :: !latencies
+      | _ -> ());
+      match sfield "status" with
+      | Some "ok" ->
+        incr ok;
+        let k = match Option.bind (Json.member "id" j) Json.to_int_opt with Some id -> id mod njobs | None -> 0 in
+        (match sfield "program" with
+        | Some p when Digest.to_hex (Digest.string p) <> jobs.(k).expected_digest -> incr mismatches
+        | Some _ -> ()
+        | None -> incr mismatches)
+      | _ ->
+        if sfield "code" = Some "overloaded" then incr overloaded else incr errors
+    end
+  in
+  let read_available () =
+    match Unix.read d.resp_r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      List.iter
+        (function Frame.Frame f -> handle_frame f | Frame.Oversized _ -> ())
+        (Frame.feed reader chunk n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  let t0 = now () in
+  let sent = ref 0 in
+  let stats_sent = ref false in
+  while !completed < requests || !stats = Json.Null do
+    let t = now () in
+    let due = t0 +. (float_of_int !sent /. offered_rps) in
+    if !sent < requests && t >= due then begin
+      let id = !sent in
+      send_times.(id) <- t;
+      Buffer.add_string outbuf (Printf.sprintf "{\"id\":%d,%s\n" id jobs.(id mod njobs).frame_prefix);
+      incr sent
+    end
+    else begin
+      if !sent >= requests && !completed >= requests && not !stats_sent then begin
+        Buffer.add_string outbuf "{\"id\":-1,\"op\":\"stats\"}\n";
+        stats_sent := true
+      end;
+      flush_client ();
+      let next_send =
+        if !sent < requests then Float.max 0. (due -. t) else 0.05
+      in
+      let wfds = if Buffer.length outbuf > 0 then [ d.req_w ] else [] in
+      match Unix.select [ d.resp_r ] wfds [] (Float.min next_send 0.05) with
+      | rs, ws, _ ->
+        if ws <> [] then flush_client ();
+        if rs <> [] then read_available ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done;
+  let wall_s = now () -. t0 in
+  stop_daemon d;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  {
+    offered_rps;
+    requests;
+    completed = !completed;
+    ok = !ok;
+    rejected_overloaded = !overloaded;
+    errors = !errors;
+    wall_s;
+    throughput_rps = float_of_int !ok /. wall_s;
+    p50_ms = quantile lat 0.5;
+    p95_ms = quantile lat 0.95;
+    p99_ms = quantile lat 0.99;
+    digest_mismatches = !mismatches;
+    server_stats = !stats;
+  }
+
+(* ---- reporting ---- *)
+
+let print_rows rows =
+  let t =
+    Table.create
+      [ "offered rps"; "requests"; "ok"; "overloaded"; "errors"; "rps served"; "p50 ms"; "p95 ms"; "p99 ms" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" r.offered_rps;
+          Table.cell_int r.requests;
+          Table.cell_int r.ok;
+          Table.cell_int r.rejected_overloaded;
+          Table.cell_int r.errors;
+          Printf.sprintf "%.0f" r.throughput_rps;
+          Table.cell_float ~decimals:2 r.p50_ms;
+          Table.cell_float ~decimals:2 r.p95_ms;
+          Table.cell_float ~decimals:2 r.p99_ms;
+        ])
+    rows;
+  Table.print t
+
+let json_of_load r =
+  Json.Obj
+    [
+      ("offered_rps", Json.Float r.offered_rps);
+      ("requests", Json.Int r.requests);
+      ("completed", Json.Int r.completed);
+      ("ok", Json.Int r.ok);
+      ("rejected_overloaded", Json.Int r.rejected_overloaded);
+      ("errors", Json.Int r.errors);
+      ("wall_s", Json.Float r.wall_s);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p95_ms", Json.Float r.p95_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("server_stats", r.server_stats);
+    ]
+
+let emit_json ?(path = "BENCH_serve.json") ~corpus ~queue rows =
+  let digest_match = List.for_all (fun r -> r.digest_mismatches = 0) rows in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "serve");
+        ( "benchmark",
+          Json.String "lcmopt serve --stdio under open-loop offered load (lcm-edge over random CFGs)" );
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("corpus", Json.String corpus);
+        ("queue_capacity", Json.Int queue);
+        ("digest_match", Json.Bool digest_match);
+        ("loads", Json.List (List.map json_of_load rows));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "wrote %s" path
+
+let corpus_spec ~quick = if quick then [ (30, 8) ] else [ (40, 32) ]
+
+let corpus_name ~quick =
+  String.concat "+"
+    (List.map (fun (b, c) -> Printf.sprintf "%dx%d-block" c b) (corpus_spec ~quick))
+
+let run_mode ~quick () =
+  Common.section
+    (if quick then "EXP-SERVE  Daemon under offered load (quick smoke run)"
+     else "EXP-SERVE  Daemon under offered load: throughput, latency, backpressure");
+  let jobs = prepare_jobs (Corpus.generate (corpus_spec ~quick)) in
+  let queue = 64 in
+  let loads = if quick then [ (400., 60) ] else [ (200., 400); (1000., 2000); (5000., 5000) ] in
+  let rows =
+    List.map
+      (fun (offered_rps, requests) ->
+        Common.note "offering %.0f rps (%d requests)..." offered_rps requests;
+        run_load ~jobs ~queue ~offered_rps ~requests)
+      loads
+  in
+  print_rows rows;
+  let mism = List.fold_left (fun acc r -> acc + r.digest_mismatches) 0 rows in
+  Common.note "digest cross-check vs in-process lcm-edge: %s"
+    (if mism = 0 then "bit-identical" else Printf.sprintf "%d MISMATCHES" mism);
+  if mism > 0 then exit 1;
+  if quick then begin
+    let r = List.hd rows in
+    if r.ok = 0 then begin
+      Common.note "FAIL: no successful responses";
+      exit 1
+    end
+  end
+  else emit_json ~corpus:(corpus_name ~quick) ~queue rows;
+  Common.note
+    "open-loop client: requests offered on a fixed schedule; overloaded = rejected at the \
+     admission queue (capacity %d); latency is client-side, send to response."
+    queue
+
+let run () = run_mode ~quick:false ()
+let run_quick () = run_mode ~quick:true ()

@@ -24,6 +24,7 @@ let experiments =
     ("a2", "ablation: critical-edge pre-splitting", Exp_ablation.a2);
     ("scale", "solver throughput on random CFGs up to 10k blocks", Exp_scale.run);
     ("parallel", "multicore engine: pass overlap, bit slices, corpus fan-out", Exp_parallel.run);
+    ("serve", "daemon under offered load: throughput, latency, backpressure", Exp_serve.run);
   ]
 
 let list_experiments () =
@@ -43,6 +44,7 @@ let () =
   | [ _; "--experiment"; "scale"; "--quick" ] | [ _; "scale"; "--quick" ] -> Exp_scale.run_quick ()
   | [ _; "--experiment"; "parallel"; "--quick" ] | [ _; "parallel"; "--quick" ] ->
     Exp_parallel.run_quick ()
+  | [ _; "--experiment"; "serve"; "--quick" ] | [ _; "serve"; "--quick" ] -> Exp_serve.run_quick ()
   | [ _; "--experiment"; id ] | [ _; id ] -> run_one id
   | _ ->
     prerr_endline "usage: main.exe [--list | --experiment <id> [--quick]]";

@@ -4,7 +4,12 @@
      run       parse a MiniImp file, run a PRE algorithm, print the result
      analyze   print the LCM analysis predicates per block
      interp    interpret a function on given bindings
-     list      list available algorithms and named workloads *)
+     list      list available algorithms and named workloads
+     serve     long-lived optimization daemon (JSON-lines; see docs/PROTOCOL.md)
+     request   one-shot client for a running daemon
+
+   Exit codes: 0 success; 1 usage, input or request errors; 2 internal
+   errors (unexpected exceptions). *)
 
 module Bitvec = Lcm_support.Bitvec
 module Table = Lcm_support.Table
@@ -230,7 +235,10 @@ let interp_cmd source func_name bindings fuel =
       if o.Interp.undefined_reads <> [] then
         Printf.printf "warning: read before write: %s\n" (String.concat ", " o.Interp.undefined_reads);
       if not o.Interp.terminated then begin
-        print_endline "warning: fuel exhausted before reaching the exit";
+        Printf.eprintf
+          "error: fuel (%d) exhausted after %d instructions before reaching the exit \
+           (non-terminating input? raise --fuel to allow more steps)\n"
+          fuel o.Interp.steps;
         1
       end
       else 0)
@@ -279,7 +287,7 @@ let trace_cmd source func_name decisions =
 
 (* ---- compare ---- *)
 
-let compare_cmd source func_name runs =
+let compare_cmd source func_name runs fuel =
   match load ~source ~func_name with
   | Error m ->
     prerr_endline m;
@@ -306,9 +314,9 @@ let compare_cmd source func_name runs =
       (fun (e : Registry.entry) ->
         let g' = e.Registry.run g in
         let evals =
-          match Metrics.dynamic_evals ~pool ~envs g' with
+          match Metrics.dynamic_evals ~fuel ~pool ~envs g' with
           | Some n -> string_of_int n
-          | None -> "did not terminate"
+          | None -> Printf.sprintf "did not terminate (within %d fuel)" fuel
         in
         let s = Metrics.static_counts g' in
         Table.add_row t
@@ -323,6 +331,131 @@ let compare_cmd source func_name runs =
     Printf.printf "inputs: %s (bound randomly over %d runs)\n" (String.concat ", " inputs) runs;
     Table.print t;
     0
+
+(* ---- serve ---- *)
+
+module Daemon = Lcm_server.Daemon
+module Protocol = Lcm_server.Protocol
+module Frame = Lcm_server.Frame
+module Json = Lcm_server.Json
+
+let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing quiet =
+  match (stdio, socket) with
+  | false, None ->
+    prerr_endline "serve: provide --stdio or --socket PATH";
+    1
+  | true, Some _ ->
+    prerr_endline "serve: provide either --stdio or --socket, not both";
+    1
+  | _ ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let drain = Sys.Signal_handle (fun _ -> Daemon.request_shutdown ()) in
+    Sys.set_signal Sys.sigterm drain;
+    Sys.set_signal Sys.sigint drain;
+    let cfg =
+      {
+        (Daemon.default_config ()) with
+        Daemon.queue_capacity = queue;
+        batch_max = batch;
+        max_frame;
+        default_deadline_ms = deadline_ms;
+        workers = (match workers with Some w -> w | None -> Lcm_support.Pool.default_size ());
+        no_timing;
+        quiet;
+      }
+    in
+    (match socket with
+    | Some path -> Daemon.serve_unix_socket cfg ~path
+    | None -> Daemon.serve_fds cfg ~fd_in:Unix.stdin ~fd_out:Unix.stdout);
+    0
+
+(* ---- request ---- *)
+
+let read_response_frame fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> None
+    | n ->
+      (match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+      | Some i ->
+        Buffer.add_subbytes buf chunk 0 i;
+        Some (Buffer.contents buf)
+      | None ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let request_cmd socket file workload func_name algorithm simplify workers deadline_ms op =
+  let build_run () =
+    match (file, workload) with
+    | Some _, Some _ -> Error "provide either a FILE or --workload, not both"
+    | None, None -> Error "provide a FILE or --workload NAME (or use --stats/--ping)"
+    | Some path, None ->
+      (try
+         let format = if Filename.check_suffix path ".cfg" then "cfg" else "miniimp" in
+         Ok
+           ([ ("program", Json.String (read_file path)); ("format", Json.String format) ]
+           @ (match func_name with Some f -> [ ("function", Json.String f) ] | None -> []))
+       with Sys_error m -> Error m)
+    | None, Some w ->
+      (match Suites.find w with
+      | Some w ->
+        Ok
+          [
+            ("program", Json.String (Lcm_cfg.Cfg_text.to_string (Suites.graph w)));
+            ("format", Json.String "cfg");
+          ]
+      | None ->
+        Error
+          (Printf.sprintf "unknown workload %S; available: %s" w
+             (String.concat ", " (List.map (fun w -> w.Suites.name) Suites.all))))
+  in
+  let fields =
+    match op with
+    | `Stats -> Ok [ ("op", Json.String "stats") ]
+    | `Ping -> Ok [ ("op", Json.String "ping") ]
+    | `Run ->
+      Result.map
+        (fun body ->
+          [ ("op", Json.String "run"); ("algorithm", Json.String algorithm) ]
+          @ body
+          @ (if simplify then [ ("simplify", Json.Bool true) ] else [])
+          @ match workers with Some w -> [ ("workers", Json.Int w) ] | None -> [])
+        (build_run ())
+  in
+  match fields with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok fields ->
+    let fields =
+      [ ("id", Json.Int (Unix.getpid ())) ]
+      @ fields
+      @ match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> []
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to %s: %s (is `lcmopt serve` running?)\n" socket
+        (Unix.error_message e);
+      1
+    | () ->
+      Frame.write_frame fd (Json.to_string (Json.Obj fields));
+      (match read_response_frame fd with
+      | None ->
+        Unix.close fd;
+        prerr_endline "daemon closed the connection without a response";
+        1
+      | Some frame ->
+        Unix.close fd;
+        print_endline frame;
+        (match Json.member "status" (Json.parse frame) with
+        | Some (Json.String "ok") -> 0
+        | _ -> 1)))
 
 (* ---- list ---- *)
 
@@ -404,9 +537,16 @@ let trace_term =
 
 let compare_term =
   let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Random runs to sum over.") in
+  let fuel =
+    Arg.(
+      value & opt int 100_000
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Interpreter step budget per run; non-terminating inputs fail fast instead of hanging.")
+  in
   Term.(
-    const (fun source func_name runs -> with_source (fun s f -> compare_cmd s f runs) source func_name)
-    $ source_term $ func_term $ runs)
+    const (fun source func_name runs fuel ->
+        with_source (fun s f -> compare_cmd s f runs fuel) source func_name)
+    $ source_term $ func_term $ runs $ fuel)
 
 let ssa_term =
   let value_number =
@@ -428,6 +568,97 @@ let interp_term =
         with_source (fun s f -> interp_cmd s f bindings fuel) source func_name)
     $ source_term $ func_term $ bindings $ fuel)
 
+let serve_term =
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ] ~doc:"Serve a single peer on stdin/stdout (tests, CI, benchmarks).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue high-water mark; further requests are rejected as overloaded.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N" ~doc:"Maximum requests dispatched to the domain pool as one batch.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Frame size ceiling; longer lines are rejected as oversized.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Default per-request deadline when the request carries none.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Domain-pool size (default: \\$LCM_DOMAINS or the host's core count, capped at 8).")
+  in
+  let no_timing =
+    Arg.(value & flag & info [ "no-timing" ] ~doc:"Omit timing fields from responses (golden tests).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stderr logging or shutdown stats dump.") in
+  Term.(
+    const serve_cmd $ stdio $ socket $ queue $ batch $ max_frame $ deadline $ workers $ no_timing $ quiet)
+
+let request_term =
+  let socket =
+    Arg.(
+      value
+      & opt string "/tmp/lcmd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of the running daemon.")
+  in
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MiniImp or .cfg source file.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Use a named built-in workload instead of a file.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "lcm-edge"
+      & info [ "a"; "algorithm" ] ~docv:"NAME" ~doc:"Transformation to run (see `lcmopt list`).")
+  in
+  let simplify =
+    Arg.(value & flag & info [ "simplify" ] ~doc:"Merge straight-line blocks afterwards.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N" ~doc:"Requested intra-request parallelism (capped by the daemon).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline in milliseconds.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Query the daemon's metrics registry instead.") in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check instead of a run request.") in
+  Term.(
+    const (fun socket file workload func algorithm simplify workers deadline stats ping ->
+        let op = if stats then `Stats else if ping then `Ping else `Run in
+        request_cmd socket file workload func algorithm simplify workers deadline op)
+    $ socket $ file $ workload $ func_term $ algorithm $ simplify $ workers $ deadline $ stats $ ping)
+
 let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let () =
@@ -443,6 +674,14 @@ let () =
         cmd_of "trace" "replay one decision path and count evaluations" trace_term;
         cmd_of "interp" "interpret a function" interp_term;
         cmd_of "list" "list algorithms and workloads" Term.(const list_cmd $ const ());
+        cmd_of "serve" "serve optimization requests over JSON-lines frames" serve_term;
+        cmd_of "request" "send one request to a running daemon" request_term;
       ]
   in
-  exit (Cmd.eval' tree)
+  (* Exit codes: 0 success, 1 usage/parse/request errors (including
+     cmdliner's own CLI errors via ~term_err), 2 internal errors. *)
+  match Cmd.eval' ~term_err:1 tree with
+  | code -> exit code
+  | exception e ->
+    Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
+    exit 2

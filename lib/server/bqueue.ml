@@ -1,0 +1,31 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutex : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  { capacity; q = Queue.create (); mutex = Mutex.create () }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = with_lock t (fun () -> Queue.length t.q)
+let is_empty t = length t = 0
+
+let try_push t x =
+  with_lock t (fun () ->
+      if Queue.length t.q >= t.capacity then false
+      else begin
+        Queue.add x t.q;
+        true
+      end)
+
+let pop_batch t ~max =
+  with_lock t (fun () ->
+      let n = min max (Queue.length t.q) in
+      List.init n (fun _ -> Queue.pop t.q))

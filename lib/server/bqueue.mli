@@ -1,0 +1,24 @@
+(** Bounded FIFO with explicit backpressure.
+
+    The daemon's admission queue: {!try_push} refuses work beyond the
+    high-water mark instead of buffering without bound, which is what turns
+    overload into fast, structured [overloaded] rejections rather than
+    unbounded latency.  Mutex-guarded so producers (connection readers) and
+    the batch dispatcher may live on different domains. *)
+
+type 'a t
+
+(** [create ~capacity] — [capacity] is the high-water mark (≥ 1). *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [try_push t x] enqueues [x], or returns [false] when the queue already
+    holds [capacity] items. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [pop_batch t ~max] dequeues up to [max] items, in FIFO order; [[]]
+    when empty. *)
+val pop_batch : 'a t -> max:int -> 'a list

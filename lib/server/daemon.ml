@@ -1,0 +1,332 @@
+module Pool = Lcm_support.Pool
+
+type config = {
+  queue_capacity : int;
+  batch_max : int;
+  max_frame : int;
+  default_deadline_ms : float option;
+  workers : int;
+  no_timing : bool;
+  quiet : bool;
+  stats : Stats.t;
+}
+
+let default_config () =
+  {
+    queue_capacity = 256;
+    batch_max = 32;
+    max_frame = 1 lsl 20;
+    default_deadline_ms = None;
+    workers = Pool.default_size ();
+    no_timing = false;
+    quiet = false;
+    stats = Stats.global;
+  }
+
+(* One flag for the whole process so a signal handler has a fixed target;
+   cleared when a loop exits so daemons can run back to back (tests). *)
+let shutdown_flag = Atomic.make false
+let request_shutdown () = Atomic.set shutdown_flag true
+
+type conn = {
+  fd_in : Unix.file_descr;
+  fd_out : Unix.file_descr;
+  reader : Frame.reader;
+  out : Buffer.t;  (* response bytes not yet accepted by the peer *)
+  owns_fds : bool;  (* accepted sockets are closed by the daemon; stdio fds are not *)
+  mutable eof : bool;
+  mutable dead : bool;
+  mutable inflight : int;  (* admitted requests whose response is not yet buffered *)
+}
+
+type item = {
+  i_conn : conn;
+  i_req : Protocol.request;
+  i_arrival : float;
+  i_deadline : float option;
+}
+
+type state = {
+  cfg : config;
+  engine : Engine.config;
+  pool : Pool.t;
+  queue : item Bqueue.t;
+  mutable conns : conn list;
+  listen_fd : Unix.file_descr option;
+  mutable served : int;
+}
+
+let now = Unix.gettimeofday
+
+let log st fmt =
+  Printf.ksprintf
+    (fun m ->
+      if not st.cfg.quiet then begin
+        Printf.eprintf "lcmd: %s\n" m;
+        flush stderr
+      end)
+    fmt
+
+(* ---- writing ---- *)
+
+let kill_conn conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    conn.eof <- true;
+    Buffer.clear conn.out;
+    if conn.owns_fds then begin
+      (try Unix.close conn.fd_in with Unix.Unix_error _ -> ());
+      if conn.fd_out != conn.fd_in then try Unix.close conn.fd_out with Unix.Unix_error _ -> ()
+    end
+  end
+
+(* Write as much buffered output as the peer accepts right now. *)
+let flush_out conn =
+  if (not conn.dead) && Buffer.length conn.out > 0 then begin
+    let s = Buffer.contents conn.out in
+    let n = String.length s in
+    let written = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !written < n do
+      match Unix.write_substring conn.fd_out s !written (n - !written) with
+      | 0 -> stop := true
+      | k -> written := !written + k
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> stop := true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        kill_conn conn;
+        stop := true
+    done;
+    if not conn.dead then begin
+      Buffer.clear conn.out;
+      if !written < n then Buffer.add_substring conn.out s !written (n - !written)
+    end
+  end
+
+let send conn frame =
+  if not conn.dead then begin
+    Buffer.add_string conn.out frame;
+    Buffer.add_char conn.out '\n';
+    flush_out conn
+  end
+
+(* ---- admission ---- *)
+
+let admission_error st conn ~id ~code ~message =
+  Stats.incr st.cfg.stats "errors_total";
+  Stats.incr st.cfg.stats ("errors." ^ Protocol.error_code_to_string code);
+  send conn (Protocol.error ~id ~code ~message)
+
+let handle_frame st conn frame =
+  Stats.incr st.cfg.stats "frames_total";
+  match Protocol.parse_request frame with
+  | Error (id, code, message) -> admission_error st conn ~id ~code ~message
+  | Ok req ->
+    Stats.incr st.cfg.stats "requests_total";
+    let arrival = now () in
+    (match req.Protocol.op with
+    | Protocol.Stats | Protocol.Ping ->
+      (* Control-plane ops bypass the queue: they stay answerable when the
+         daemon is overloaded or draining. *)
+      conn.inflight <- conn.inflight + 1;
+      let r = Engine.execute st.engine ~now ~arrival ~deadline:None req in
+      conn.inflight <- conn.inflight - 1;
+      st.served <- st.served + 1;
+      send conn r
+    | Protocol.Run _ | Protocol.Sleep _ ->
+      if Atomic.get shutdown_flag then
+        admission_error st conn ~id:req.Protocol.id ~code:Protocol.Shutting_down
+          ~message:"daemon is draining; request not admitted"
+      else begin
+        let deadline_ms =
+          match req.Protocol.deadline_ms with
+          | Some d -> Some d
+          | None -> st.cfg.default_deadline_ms
+        in
+        let i_deadline = Option.map (fun d -> arrival +. (d /. 1000.)) deadline_ms in
+        let item = { i_conn = conn; i_req = req; i_arrival = arrival; i_deadline } in
+        if Bqueue.try_push st.queue item then conn.inflight <- conn.inflight + 1
+        else begin
+          Stats.incr st.cfg.stats "rejected_overloaded";
+          admission_error st conn ~id:req.Protocol.id ~code:Protocol.Overloaded
+            ~message:
+              (Printf.sprintf "queue full (%d requests); retry later" (Bqueue.capacity st.queue))
+        end
+      end)
+
+let read_conn st conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd_in buf 0 (Bytes.length buf) with
+  | 0 -> conn.eof <- true
+  | len ->
+    List.iter
+      (function
+        | Frame.Frame f -> handle_frame st conn f
+        | Frame.Oversized n ->
+          Stats.incr st.cfg.stats "rejected_oversized";
+          admission_error st conn ~id:Json.Null ~code:Protocol.Oversized
+            ~message:
+              (Printf.sprintf "frame of %d bytes exceeds max_frame=%d" n st.cfg.max_frame))
+      (Frame.feed conn.reader buf len)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) -> kill_conn conn
+
+(* ---- dispatch ---- *)
+
+let dispatch_batch st =
+  let batch = Bqueue.pop_batch st.queue ~max:st.cfg.batch_max in
+  match batch with
+  | [] -> ()
+  | _ ->
+    Stats.incr st.cfg.stats "batches_total";
+    Stats.observe_ms st.cfg.stats "batch_size" (float_of_int (List.length batch));
+    let items = Array.of_list batch in
+    let results = Array.make (Array.length items) "" in
+    let task k () =
+      let it = items.(k) in
+      results.(k) <-
+        Engine.execute st.engine ~now ~arrival:it.i_arrival ~deadline:it.i_deadline it.i_req
+    in
+    Pool.run st.pool (List.init (Array.length items) task);
+    Array.iteri
+      (fun k it ->
+        it.i_conn.inflight <- it.i_conn.inflight - 1;
+        st.served <- st.served + 1;
+        send it.i_conn results.(k))
+      items
+
+(* ---- the loop ---- *)
+
+let accept_ready st =
+  match st.listen_fd with
+  | None -> ()
+  | Some lfd ->
+    (match Unix.accept ~cloexec:true lfd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      Stats.incr st.cfg.stats "connections_total";
+      st.conns <-
+        st.conns
+        @ [
+            {
+              fd_in = fd;
+              fd_out = fd;
+              reader = Frame.create ~max_frame:st.cfg.max_frame;
+              out = Buffer.create 4096;
+              owns_fds = true;
+              eof = false;
+              dead = false;
+              inflight = 0;
+            };
+          ]
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ())
+
+let live_conns st = List.filter (fun c -> not c.dead) st.conns
+
+let reap st =
+  List.iter
+    (fun c ->
+      (* A connection whose input ended and whose work is fully answered
+         has nothing left to exchange. *)
+      if c.eof && (not c.dead) && c.inflight = 0 && Buffer.length c.out = 0 && c.owns_fds then
+        kill_conn c)
+    st.conns;
+  st.conns <- List.filter (fun c -> not c.dead) st.conns
+
+let drained st =
+  Bqueue.is_empty st.queue
+  && List.for_all (fun c -> c.inflight = 0 && Buffer.length c.out = 0) (live_conns st)
+
+let all_inputs_finished st =
+  st.listen_fd = None && List.for_all (fun c -> c.eof) (live_conns st)
+
+let serve_loop st =
+  let finished = ref false in
+  while not !finished do
+    let draining = Atomic.get shutdown_flag in
+    let read_fds =
+      (if draining then [] else Option.to_list st.listen_fd)
+      @ List.filter_map
+          (fun c -> if c.eof || c.dead || draining then None else Some c.fd_in)
+          st.conns
+    in
+    let write_fds =
+      List.filter_map
+        (fun c -> if (not c.dead) && Buffer.length c.out > 0 then Some c.fd_out else None)
+        st.conns
+    in
+    let timeout = if not (Bqueue.is_empty st.queue) then 0. else 0.1 in
+    let readable, writable =
+      match Unix.select read_fds write_fds [] timeout with
+      | r, w, _ -> (r, w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    in
+    (match st.listen_fd with
+    | Some lfd when List.memq lfd readable -> accept_ready st
+    | _ -> ());
+    List.iter
+      (fun c -> if (not c.dead) && (not c.eof) && List.memq c.fd_in readable then read_conn st c)
+      st.conns;
+    List.iter
+      (fun c -> if (not c.dead) && List.memq c.fd_out writable then flush_out c)
+      st.conns;
+    dispatch_batch st;
+    reap st;
+    if (draining || all_inputs_finished st) && drained st then finished := true
+  done;
+  (* Final flush: give slow readers one last chance to take buffered
+     responses before the fds go away. *)
+  List.iter (fun c -> flush_out c) (live_conns st);
+  List.iter (fun c -> if c.owns_fds then kill_conn c) st.conns
+
+let make_state cfg ?listen_fd conns =
+  let pool = Pool.create (max 1 cfg.workers) in
+  {
+    cfg;
+    engine = Engine.default_config ~pool ~no_timing:cfg.no_timing cfg.stats;
+    pool;
+    queue = Bqueue.create ~capacity:cfg.queue_capacity;
+    conns;
+    listen_fd;
+    served = 0;
+  }
+
+let finish st =
+  Pool.shutdown st.pool;
+  Atomic.set shutdown_flag false;
+  log st "drained cleanly: %d responses served" st.served;
+  if not st.cfg.quiet then Stats.dump st.cfg.stats stderr
+
+let serve_fds cfg ~fd_in ~fd_out =
+  let conn =
+    {
+      fd_in;
+      fd_out;
+      reader = Frame.create ~max_frame:cfg.max_frame;
+      out = Buffer.create 4096;
+      owns_fds = false;
+      eof = false;
+      dead = false;
+      inflight = 0;
+    }
+  in
+  let st = make_state cfg [ conn ] in
+  log st "serving on fds (pool=%d, queue=%d, batch<=%d, max_frame=%d)" (Pool.size st.pool)
+    cfg.queue_capacity cfg.batch_max cfg.max_frame;
+  Fun.protect ~finally:(fun () -> finish st) (fun () -> serve_loop st)
+
+let serve_unix_socket cfg ~path =
+  let lfd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 64;
+  Unix.set_nonblock lfd;
+  let st = make_state cfg ~listen_fd:lfd [] in
+  log st "listening on %s (pool=%d, queue=%d, batch<=%d, max_frame=%d)" path (Pool.size st.pool)
+    cfg.queue_capacity cfg.batch_max cfg.max_frame;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      finish st)
+    (fun () -> serve_loop st)

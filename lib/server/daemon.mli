@@ -1,0 +1,55 @@
+(** The serving daemon: optimization-as-a-service over JSON-lines frames.
+
+    One single-threaded event loop owns all I/O (accept, frame reassembly,
+    response writes); compute is batched onto one {!Lcm_support.Pool} of
+    domains shared by the whole daemon.  The loop alternates between
+
+    - {b admission}: read whatever bytes are available, cut them into
+      frames, parse requests, and either enqueue them on a bounded
+      {!Bqueue} or answer immediately ([stats]/[ping] bypass the queue;
+      beyond the high-water mark, work is rejected with [overloaded];
+      frames over [max_frame] with [oversized]; malformed frames with
+      [bad_request] — all without disturbing the connection), and
+    - {b dispatch}: pop up to [batch_max] queued requests and run them as
+      one pool batch; responses are buffered per connection and flushed
+      as sockets accept them.
+
+    Deadlines are assigned at admission ([deadline_ms] of the request, or
+    the config default) and enforced cooperatively by {!Engine}.  A batch
+    in flight is never interrupted: {!request_shutdown} (the SIGTERM
+    handler's entry point) makes the loop stop admitting, finish the
+    queue, flush every response, dump the {!Stats} registry, and return —
+    the graceful drain.  In fd mode, end-of-input triggers the same drain.
+
+    Nothing here calls [exit] and no exception from request work escapes:
+    the daemon only returns when it has drained. *)
+
+type config = {
+  queue_capacity : int;  (** admission high-water mark (default 256) *)
+  batch_max : int;  (** max requests dispatched as one pool batch (default 32) *)
+  max_frame : int;  (** frame size ceiling in bytes (default 1 MiB) *)
+  default_deadline_ms : float option;  (** applied when a request carries none (default: none) *)
+  workers : int;  (** size of the daemon's domain pool (default {!Lcm_support.Pool.default_size}) *)
+  no_timing : bool;  (** omit timing fields from responses (golden tests) *)
+  quiet : bool;  (** suppress stderr logging and the shutdown stats dump *)
+  stats : Stats.t;
+}
+
+val default_config : unit -> config
+
+(** Ask every running daemon loop in this process to drain and return.
+    Async-signal-safe: only sets an atomic flag.  The flag is cleared when
+    a loop exits, so daemons can be run one after another in-process. *)
+val request_shutdown : unit -> unit
+
+(** [serve_fds config ~fd_in ~fd_out] serves one pre-connected peer (the
+    [--stdio] mode: [fd_in]/[fd_out] are stdin/stdout).  Returns after
+    end-of-input or {!request_shutdown}, having drained.  The fds are not
+    closed. *)
+val serve_fds : config -> fd_in:Unix.file_descr -> fd_out:Unix.file_descr -> unit
+
+(** [serve_unix_socket config ~path] binds a Unix-domain stream socket at
+    [path] (replacing any stale socket file), accepts any number of
+    concurrent connections, and serves until {!request_shutdown}.  The
+    socket file is unlinked on return. *)
+val serve_unix_socket : config -> path:string -> unit

@@ -1,0 +1,151 @@
+module Cfg = Lcm_cfg.Cfg
+module Cfg_text = Lcm_cfg.Cfg_text
+module Lower = Lcm_cfg.Lower
+module Parser = Lcm_ir.Parser
+module Lexer = Lcm_ir.Lexer
+module Pool = Lcm_support.Pool
+module Registry = Lcm_eval.Registry
+module Metrics = Lcm_eval.Metrics
+module Lcm_edge = Lcm_core.Lcm_edge
+module Bcm_edge = Lcm_core.Bcm_edge
+
+type config = {
+  lookup : string -> Registry.entry option;
+  pool : Pool.t option;
+  stats : Stats.t;
+  no_timing : bool;
+}
+
+let default_config ?pool ?(no_timing = false) stats =
+  { lookup = Registry.find; pool; stats; no_timing }
+
+exception Deadline
+
+(* A typed failure raised inside the pipeline; anything else escaping is a
+   panic and maps to [Internal]. *)
+exception Reject of Protocol.error_code * string
+
+let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (code, m))) fmt
+
+let check_deadline ~now ~deadline =
+  match deadline with
+  | Some d when now () > d -> raise Deadline
+  | _ -> ()
+
+(* Phase 1: the program text to a validated graph. *)
+let load_graph (r : Protocol.run_request) =
+  match r.Protocol.format with
+  | Protocol.CfgText ->
+    (try Cfg_text.parse r.Protocol.program with
+    | Cfg_text.Parse_error (m, line) -> reject Protocol.Parse_error "cfg parse error at line %d: %s" line m)
+  | Protocol.MiniImp ->
+    let funcs =
+      try Lower.program (Parser.parse_program r.Protocol.program) with
+      | Parser.Parse_error (m, line, col) -> reject Protocol.Parse_error "parse error at %d:%d: %s" line col m
+      | Lexer.Lex_error (m, line, col) -> reject Protocol.Parse_error "lex error at %d:%d: %s" line col m
+    in
+    (match r.Protocol.func with
+    | None ->
+      (match funcs with
+      | [ (_, g) ] -> g
+      | [] -> reject Protocol.Parse_error "program defines no function"
+      | _ ->
+        reject Protocol.Bad_request "program defines %d functions; pick one with \"function\" (%s)"
+          (List.length funcs)
+          (String.concat ", " (List.map fst funcs)))
+    | Some f ->
+      (match List.assoc_opt f funcs with
+      | Some g -> g
+      | None -> reject Protocol.Bad_request "no function %S in program" f))
+
+(* Phase 2: the transformation.  The paper-algorithm transforms have a
+   parallel path; everything else runs sequentially whatever was asked. *)
+let run_algorithm cfg (r : Protocol.run_request) entry g =
+  match cfg.pool with
+  | Some pool when r.Protocol.workers > 1 && Pool.size pool > 1 -> (
+    let workers = min r.Protocol.workers (Pool.size pool) in
+    match r.Protocol.algorithm with
+    | "lcm-edge" -> (fst (Lcm_edge.transform ~workers:pool g), workers)
+    | "bcm-edge" -> (fst (Bcm_edge.transform ~workers:pool g), workers)
+    | _ -> (entry.Registry.run g, 1))
+  | _ -> (entry.Registry.run g, 1)
+
+let execute_run cfg ~now ~deadline ~id (r : Protocol.run_request) ~timing_of =
+  let entry =
+    match cfg.lookup r.Protocol.algorithm with
+    | Some e -> e
+    | None -> reject Protocol.Bad_request "unknown algorithm %S" r.Protocol.algorithm
+  in
+  let g = load_graph r in
+  check_deadline ~now ~deadline;
+  let g', workers = run_algorithm cfg r entry g in
+  check_deadline ~now ~deadline;
+  let g' =
+    if r.Protocol.simplify then begin
+      let h = Cfg.copy g' in
+      Cfg.merge_straight_pairs h;
+      Cfg.remove_unreachable h;
+      h
+    end
+    else g'
+  in
+  check_deadline ~now ~deadline;
+  let before = Metrics.static_counts g in
+  let after = Metrics.static_counts g' in
+  let program = Cfg.to_string g' in
+  Protocol.ok_run ~id ~algorithm:r.Protocol.algorithm ~workers ~program ~before ~after
+    ~timing:(timing_of ())
+
+(* Cancellable sleep: 1 ms slices with a deadline check between slices —
+   the test/benchmark stand-in for a pathologically slow (or
+   non-terminating) request. *)
+let execute_sleep ~now ~deadline ~id duration_ms ~timing_of =
+  let t0 = now () in
+  let finish = t0 +. (duration_ms /. 1000.) in
+  let rec go () =
+    check_deadline ~now ~deadline;
+    let remaining = finish -. now () in
+    if remaining > 0. then begin
+      Unix.sleepf (Float.min 0.001 remaining);
+      go ()
+    end
+  in
+  go ();
+  Protocol.ok_sleep ~id ~slept_ms:((now () -. t0) *. 1000.) ~timing:(timing_of ())
+
+let execute cfg ~now ~arrival ~deadline (req : Protocol.request) =
+  let id = req.Protocol.id in
+  let start = now () in
+  let queue_ms = Float.max 0. ((start -. arrival) *. 1000.) in
+  let timing_of () =
+    if cfg.no_timing then None
+    else Some { Protocol.queue_ms; run_ms = (now () -. start) *. 1000. }
+  in
+  let fail code message =
+    Stats.incr cfg.stats "errors_total";
+    Stats.incr cfg.stats ("errors." ^ Protocol.error_code_to_string code);
+    Protocol.error ~id ~code ~message
+  in
+  let frame =
+    try
+      check_deadline ~now ~deadline;
+      let frame =
+        match req.Protocol.op with
+        | Protocol.Run r -> execute_run cfg ~now ~deadline ~id r ~timing_of
+        | Protocol.Stats -> Protocol.ok_stats ~id ~stats:(Stats.snapshot cfg.stats)
+        | Protocol.Ping -> Protocol.ok_ping ~id
+        | Protocol.Sleep d -> execute_sleep ~now ~deadline ~id d ~timing_of
+      in
+      Stats.incr cfg.stats "responses_ok";
+      frame
+    with
+    | Deadline -> fail Protocol.Deadline_exceeded "deadline exceeded during execution"
+    | Reject (code, m) -> fail code m
+    | Stack_overflow -> fail Protocol.Internal "stack overflow"
+    | e -> fail Protocol.Internal ("request crashed: " ^ Printexc.to_string e)
+  in
+  let run_ms = (now () -. start) *. 1000. in
+  Stats.observe_ms cfg.stats "queue_delay" queue_ms;
+  Stats.observe_ms cfg.stats "run" run_ms;
+  Stats.observe_ms cfg.stats "total" (queue_ms +. run_ms);
+  frame

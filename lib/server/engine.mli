@@ -1,0 +1,35 @@
+(** Request execution: one protocol request through the LCM pipeline.
+
+    The engine is where the subsystem's three per-request guarantees live:
+
+    - {b deadlines}: a request's absolute deadline is checked before it
+      starts and between pipeline phases (program parse → analysis +
+      transformation → simplify → metrics + print; [sleep] checks at a
+      1 ms grain), so an expired request turns into a structured
+      [deadline_exceeded] error at the next phase boundary instead of
+      occupying a domain indefinitely;
+    - {b panic isolation}: any exception escaping the pipeline becomes an
+      [internal] error response — a crashing request never kills the
+      daemon;
+    - {b per-request parallelism}: a [workers > 1] request runs the
+      paper-algorithm transforms with the daemon's shared pool
+      ([Lcm_edge.transform ~workers] / [Bcm_edge.transform ~workers]),
+      capped at the pool's size; other algorithms have no parallel path
+      and report [workers = 1].
+
+    [execute] never raises. *)
+
+type config = {
+  lookup : string -> Lcm_eval.Registry.entry option;  (** algorithm resolver (injectable for tests) *)
+  pool : Lcm_support.Pool.t option;  (** the daemon-wide domain pool *)
+  stats : Stats.t;
+  no_timing : bool;  (** omit timing fields from responses (golden tests) *)
+}
+
+val default_config : ?pool:Lcm_support.Pool.t -> ?no_timing:bool -> Stats.t -> config
+
+(** [execute cfg ~now ~arrival ~deadline req] runs [req] and returns the
+    response frame.  [arrival] is the admission timestamp (for the queue
+    delay metric); [deadline] is absolute, on [now]'s clock. *)
+val execute :
+  config -> now:(unit -> float) -> arrival:float -> deadline:float option -> Protocol.request -> string

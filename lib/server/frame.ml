@@ -1,0 +1,53 @@
+type event =
+  | Frame of string
+  | Oversized of int
+
+type reader = {
+  max_frame : int;
+  buf : Buffer.t;
+  mutable discarding : bool;  (* current line already blew the limit *)
+  mutable discarded : int;  (* bytes dropped of the current oversized line *)
+}
+
+let create ~max_frame = { max_frame; buf = Buffer.create 512; discarding = false; discarded = 0 }
+
+let pending r = Buffer.length r.buf
+
+let feed r bytes len =
+  let events = ref [] in
+  for i = 0 to len - 1 do
+    let c = Bytes.get bytes i in
+    if r.discarding then begin
+      if c = '\n' then begin
+        events := Oversized r.discarded :: !events;
+        r.discarding <- false;
+        r.discarded <- 0
+      end
+      else r.discarded <- r.discarded + 1
+    end
+    else if c = '\n' then begin
+      events := Frame (Buffer.contents r.buf) :: !events;
+      Buffer.clear r.buf
+    end
+    else begin
+      Buffer.add_char r.buf c;
+      if Buffer.length r.buf > r.max_frame then begin
+        r.discarding <- true;
+        r.discarded <- Buffer.length r.buf;
+        Buffer.clear r.buf
+      end
+    end
+  done;
+  List.rev !events
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    match Unix.write fd b !written (n - !written) with
+    | k -> written := !written + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_frame fd s = write_all fd (s ^ "\n")

@@ -1,0 +1,33 @@
+(** Newline-delimited framing with a size ceiling.
+
+    The wire format is JSON-lines: one request or response per line,
+    terminated by ['\n'] (see docs/PROTOCOL.md).  A {!reader} accumulates
+    arbitrary byte chunks and yields complete frames; a line that exceeds
+    [max_frame] bytes is discarded up to its terminating newline and
+    reported as {!Oversized} instead of buffering without bound — the
+    daemon answers it with a structured [oversized] error and the
+    connection keeps working. *)
+
+type event =
+  | Frame of string  (** one complete line, newline stripped *)
+  | Oversized of int  (** an over-limit line was dropped; payload is the byte count seen *)
+
+type reader
+
+(** [create ~max_frame] is a fresh reader.  [max_frame] bounds the frame
+    length in bytes, excluding the newline. *)
+val create : max_frame:int -> reader
+
+(** [feed r bytes len] consumes [len] bytes from the front of [bytes] and
+    returns the completed events, in input order. *)
+val feed : reader -> bytes -> int -> event list
+
+(** Bytes currently buffered for an incomplete frame (diagnostics). *)
+val pending : reader -> int
+
+(** [write_all fd s] writes the whole string, retrying on short writes and
+    [EINTR].  Raises [Unix.Unix_error] on real failures (e.g. [EPIPE]). *)
+val write_all : Unix.file_descr -> string -> unit
+
+(** [write_frame fd s] is [write_all fd (s ^ "\n")]. *)
+val write_frame : Unix.file_descr -> string -> unit

@@ -1,0 +1,37 @@
+(** Minimal JSON, sufficient for the serving protocol.
+
+    The repository deliberately has no third-party JSON dependency; the
+    protocol (docs/PROTOCOL.md) only needs objects, arrays, strings,
+    numbers, booleans and null, so this module implements exactly that.
+    Printing preserves object key order (frames are diffed in golden
+    tests), and numbers that are integral print without a decimal point. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Parse one JSON document; trailing whitespace is allowed, any other
+    trailing content raises {!Parse_error}. *)
+val parse : string -> t
+
+(** Compact (single-line) rendering; never emits newlines, so a printed
+    document is a valid frame. *)
+val to_string : t -> string
+
+(** {2 Accessors} — all total; [member] on a non-object is [None]. *)
+
+val member : string -> t -> t option
+val to_int_opt : t -> int option
+
+(** Accepts [Int] and integral [Float]s. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

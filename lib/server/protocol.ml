@@ -1,0 +1,179 @@
+type error_code =
+  | Bad_request
+  | Parse_error
+  | Oversized
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Parse_error -> "parse_error"
+  | Oversized -> "oversized"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+type program_format =
+  | MiniImp
+  | CfgText
+
+type run_request = {
+  program : string;
+  format : program_format;
+  func : string option;
+  algorithm : string;
+  simplify : bool;
+  workers : int;
+}
+
+type op =
+  | Run of run_request
+  | Stats
+  | Ping
+  | Sleep of float
+
+type request = {
+  id : Json.t;
+  op : op;
+  deadline_ms : float option;
+}
+
+(* ---- request parsing ---- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let opt_field j name conv =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some v ->
+    (match conv v with
+    | Some x -> Some x
+    | None -> bad "field %S has the wrong type" name)
+
+let string_field j name =
+  match opt_field j name Json.to_string_opt with
+  | Some s -> s
+  | None -> bad "missing field %S" name
+
+let parse_format j program =
+  match opt_field j "format" Json.to_string_opt with
+  | Some "miniimp" -> MiniImp
+  | Some "cfg" -> CfgText
+  | Some other -> bad "unknown format %S (expected \"miniimp\" or \"cfg\")" other
+  | None ->
+    (* Default: sniff.  Cfg_text documents always start with "cfg ". *)
+    if String.length program >= 4 && String.sub program 0 4 = "cfg " then CfgText else MiniImp
+
+let parse_run j =
+  let program = string_field j "program" in
+  {
+    program;
+    format = parse_format j program;
+    func = opt_field j "function" Json.to_string_opt;
+    algorithm = Option.value (opt_field j "algorithm" Json.to_string_opt) ~default:"lcm-edge";
+    simplify = Option.value (opt_field j "simplify" Json.to_bool_opt) ~default:false;
+    workers = Option.value (opt_field j "workers" Json.to_int_opt) ~default:1;
+  }
+
+let parse_request frame =
+  match Json.parse frame with
+  | exception Json.Parse_error m -> Error (Json.Null, Bad_request, "malformed frame: " ^ m)
+  | Json.Obj _ as j ->
+    let id = Option.value (Json.member "id" j) ~default:Json.Null in
+    (try
+       let deadline_ms =
+         match opt_field j "deadline_ms" Json.to_float_opt with
+         | Some d when d < 0. -> bad "deadline_ms must be non-negative"
+         | d -> d
+       in
+       let op =
+         match Option.value (opt_field j "op" Json.to_string_opt) ~default:"run" with
+         | "run" -> Run (parse_run j)
+         | "stats" -> Stats
+         | "ping" -> Ping
+         | "sleep" ->
+           (match opt_field j "duration_ms" Json.to_float_opt with
+           | Some d when d >= 0. -> Sleep d
+           | Some _ -> bad "duration_ms must be non-negative"
+           | None -> bad "missing field \"duration_ms\"")
+         | other -> bad "unknown op %S" other
+       in
+       Ok { id; op; deadline_ms }
+     with Bad m -> Error (id, Bad_request, m))
+  | _ -> Error (Json.Null, Bad_request, "frame is not a JSON object")
+
+(* ---- responses ---- *)
+
+type timing = {
+  queue_ms : float;
+  run_ms : float;
+}
+
+let counts_json (c : Lcm_eval.Metrics.static_counts) =
+  Json.Obj
+    [
+      ("blocks", Json.Int c.Lcm_eval.Metrics.blocks);
+      ("instrs", Json.Int c.Lcm_eval.Metrics.instrs);
+      ("candidate_occurrences", Json.Int c.Lcm_eval.Metrics.candidate_occurrences);
+      ("copies_and_moves", Json.Int c.Lcm_eval.Metrics.copies_and_moves);
+    ]
+
+let round_ms v = Float.round (v *. 1000.) /. 1000.
+
+let timing_fields = function
+  | None -> []
+  | Some t ->
+    [
+      ( "timing",
+        Json.Obj
+          [ ("queue_ms", Json.Float (round_ms t.queue_ms)); ("run_ms", Json.Float (round_ms t.run_ms)) ]
+      );
+    ]
+
+let ok_run ~id ~algorithm ~workers ~program ~before ~after ~timing =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", id);
+          ("status", Json.String "ok");
+          ("op", Json.String "run");
+          ("algorithm", Json.String algorithm);
+          ("workers", Json.Int workers);
+          ("program", Json.String program);
+          ("before", counts_json before);
+          ("after", counts_json after);
+        ]
+       @ timing_fields timing))
+
+let ok_stats ~id ~stats =
+  Json.to_string
+    (Json.Obj [ ("id", id); ("status", Json.String "ok"); ("op", Json.String "stats"); ("stats", stats) ])
+
+let ok_ping ~id =
+  Json.to_string (Json.Obj [ ("id", id); ("status", Json.String "ok"); ("op", Json.String "ping") ])
+
+let ok_sleep ~id ~slept_ms ~timing =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", id);
+          ("status", Json.String "ok");
+          ("op", Json.String "sleep");
+          ("slept_ms", Json.Float (round_ms slept_ms));
+        ]
+       @ timing_fields timing))
+
+let error ~id ~code ~message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("status", Json.String "error");
+         ("code", Json.String (error_code_to_string code));
+         ("message", Json.String message);
+       ])

@@ -1,0 +1,70 @@
+(** The serving protocol: typed requests/responses over JSON-lines frames.
+
+    See docs/PROTOCOL.md for the normative wire description.  Each frame
+    is one JSON object.  Requests carry an [op] ([run], [stats], [ping],
+    [sleep]), an optional client-chosen [id] (echoed verbatim in the
+    response), and an optional relative [deadline_ms].  Responses carry
+    [status] ["ok"] or ["error"]; errors have a stable [code] from
+    {!error_code} plus a human-readable [message]. *)
+
+type error_code =
+  | Bad_request  (** missing/ill-typed field, unknown op or algorithm *)
+  | Parse_error  (** the embedded program failed to lex/parse *)
+  | Oversized  (** frame longer than the daemon's [--max-frame] *)
+  | Overloaded  (** admission queue at its high-water mark *)
+  | Deadline_exceeded  (** deadline hit before or between pipeline phases *)
+  | Shutting_down  (** daemon draining; no new work admitted *)
+  | Internal  (** the request crashed; the daemon survives *)
+
+val error_code_to_string : error_code -> string
+
+type program_format =
+  | MiniImp  (** MiniImp source; lowered via {!Lcm_cfg.Lower} *)
+  | CfgText  (** the {!Lcm_cfg.Cfg_text} wire format *)
+
+type run_request = {
+  program : string;
+  format : program_format;
+  func : string option;  (** function to pick when a MiniImp file defines several *)
+  algorithm : string;  (** a {!Lcm_eval.Registry} name *)
+  simplify : bool;  (** merge straight-line blocks after the transformation *)
+  workers : int;  (** requested intra-request parallelism; capped by the daemon pool *)
+}
+
+type op =
+  | Run of run_request
+  | Stats
+  | Ping
+  | Sleep of float  (** milliseconds; testing/benchmark aid, cancellable at 1 ms grain *)
+
+type request = {
+  id : Json.t;  (** [Null] when the client sent none *)
+  op : op;
+  deadline_ms : float option;
+}
+
+(** Parse one frame.  On error, the result carries the request [id] when
+    one could be recovered (so the error response still correlates). *)
+val parse_request : string -> (request, Json.t * error_code * string) result
+
+(** {2 Response frames} — each returns a complete single-line frame. *)
+
+type timing = {
+  queue_ms : float;  (** admission to start of execution *)
+  run_ms : float;  (** execution proper *)
+}
+
+val ok_run :
+  id:Json.t ->
+  algorithm:string ->
+  workers:int ->
+  program:string ->
+  before:Lcm_eval.Metrics.static_counts ->
+  after:Lcm_eval.Metrics.static_counts ->
+  timing:timing option ->
+  string
+
+val ok_stats : id:Json.t -> stats:Json.t -> string
+val ok_ping : id:Json.t -> string
+val ok_sleep : id:Json.t -> slept_ms:float -> timing:timing option -> string
+val error : id:Json.t -> code:error_code -> message:string -> string

@@ -1,0 +1,142 @@
+let bucket_bounds_ms =
+  [| 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500.; 5000.; 10000. |]
+
+type histogram = {
+  counts : int array;  (* length = Array.length bucket_bounds_ms + 1; last = overflow *)
+  mutable count : int;
+  mutable sum_ms : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); counters = Hashtbl.create 16; histograms = Hashtbl.create 8 }
+
+let global = create ()
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr ?(by = 1) t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add t.counters name (ref by))
+
+let counter_value t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> !r
+      | None -> 0)
+
+let bucket_of_ms v =
+  let n = Array.length bucket_bounds_ms in
+  let rec go i = if i >= n then n else if v <= bucket_bounds_ms.(i) then i else go (i + 1) in
+  go 0
+
+let observe_ms t name v =
+  with_lock t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h
+        | None ->
+          let h = { counts = Array.make (Array.length bucket_bounds_ms + 1) 0; count = 0; sum_ms = 0. } in
+          Hashtbl.add t.histograms name h;
+          h
+      in
+      let b = bucket_of_ms v in
+      h.counts.(b) <- h.counts.(b) + 1;
+      h.count <- h.count + 1;
+      h.sum_ms <- h.sum_ms +. v)
+
+(* Rank-based estimate: walk buckets to the one holding the q-rank sample,
+   interpolate linearly between its bounds. *)
+let quantile_of_histogram h q =
+  if h.count = 0 then None
+  else begin
+    let rank = q *. float_of_int h.count in
+    let n = Array.length bucket_bounds_ms in
+    let rec go i cum =
+      if i > n then Some bucket_bounds_ms.(n - 1)
+      else begin
+        let cum' = cum + h.counts.(i) in
+        if float_of_int cum' >= rank && h.counts.(i) > 0 then
+          if i = n then Some bucket_bounds_ms.(n - 1)
+          else begin
+            let lo = if i = 0 then 0. else bucket_bounds_ms.(i - 1) in
+            let hi = bucket_bounds_ms.(i) in
+            let inside = (rank -. float_of_int cum) /. float_of_int h.counts.(i) in
+            Some (lo +. (Float.max 0. (Float.min 1. inside) *. (hi -. lo)))
+          end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
+let quantile_ms t name q =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> quantile_of_histogram h q
+      | None -> None)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot t =
+  with_lock t (fun () ->
+      let counters =
+        List.map (fun (name, r) -> (name, Json.Int !r)) (sorted_bindings t.counters)
+      in
+      let histograms =
+        List.map
+          (fun (name, h) ->
+            let q p = match quantile_of_histogram h p with Some v -> Json.Float v | None -> Json.Null in
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Int h.count);
+                  ("sum_ms", Json.Float h.sum_ms);
+                  ("p50_ms", q 0.5);
+                  ("p95_ms", q 0.95);
+                  ("p99_ms", q 0.99);
+                  ( "buckets",
+                    Json.List
+                      (Array.to_list
+                         (Array.mapi
+                            (fun i c ->
+                              let le =
+                                if i < Array.length bucket_bounds_ms then
+                                  Json.Float bucket_bounds_ms.(i)
+                                else Json.String "inf"
+                              in
+                              Json.Obj [ ("le_ms", le); ("count", Json.Int c) ])
+                            h.counts)) );
+                ] ))
+          (sorted_bindings t.histograms)
+      in
+      Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ])
+
+let dump t oc =
+  with_lock t (fun () ->
+      Printf.fprintf oc "counters:\n";
+      List.iter (fun (name, r) -> Printf.fprintf oc "  %-28s %d\n" name !r) (sorted_bindings t.counters);
+      Printf.fprintf oc "histograms (ms):\n";
+      List.iter
+        (fun (name, h) ->
+          let q p = match quantile_of_histogram h p with Some v -> Printf.sprintf "%.2f" v | None -> "-" in
+          Printf.fprintf oc "  %-28s count=%d sum=%.2f p50=%s p95=%s p99=%s\n" name h.count h.sum_ms
+            (q 0.5) (q 0.95) (q 0.99))
+        (sorted_bindings t.histograms));
+  flush oc
+
+let reset t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.histograms)

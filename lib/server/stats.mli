@@ -1,0 +1,50 @@
+(** Process-wide metrics registry for the serving daemon.
+
+    Two instrument kinds, both named by strings and created on first use:
+
+    - monotonic counters ({!incr});
+    - fixed-bucket latency histograms in milliseconds ({!observe_ms}),
+      with upper bounds {!bucket_bounds_ms} plus an overflow bucket.
+
+    Everything is guarded by one mutex — instruments are touched a handful
+    of times per request, which is noise next to a data-flow analysis, and
+    one lock keeps snapshots consistent.  A snapshot is queryable at run
+    time via the protocol's [stats] request and dumped on shutdown.
+
+    Histogram quantiles are estimated by linear interpolation inside the
+    bucket containing the requested rank (the overflow bucket reports its
+    lower bound), which is exact enough to spot regressions; the serving
+    benchmark computes exact client-side quantiles independently. *)
+
+type t
+
+val create : unit -> t
+
+(** The daemon's registry. *)
+val global : t
+
+(** [incr ?by t name] bumps counter [name] (default [by] = 1). *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Current value of a counter; 0 when never incremented. *)
+val counter_value : t -> string -> int
+
+(** Histogram bucket upper bounds, in milliseconds, ascending. *)
+val bucket_bounds_ms : float array
+
+(** [observe_ms t name v] records a sample of [v] milliseconds. *)
+val observe_ms : t -> string -> float -> unit
+
+(** [quantile_ms t name q] estimates the [q]-quantile (0 ≤ q ≤ 1) of a
+    histogram; [None] when it has no samples. *)
+val quantile_ms : t -> string -> float -> float option
+
+(** Consistent snapshot: counters sorted by name, histograms with bucket
+    counts, count, sum and p50/p95/p99 estimates. *)
+val snapshot : t -> Json.t
+
+(** Human-readable dump of {!snapshot} (one instrument per line). *)
+val dump : t -> out_channel -> unit
+
+(** Drop every instrument (tests and per-load benchmark runs). *)
+val reset : t -> unit

@@ -27,4 +27,5 @@ let () =
       ("properties", Test_properties.suite);
       ("pool", Test_pool.suite);
       ("parallel", Test_parallel.suite);
+      ("server", Test_server.suite);
     ]

@@ -80,8 +80,60 @@ let test_errors () =
       | exception Cfg_text.Parse_error _ -> ())
     cases
 
+(* ---- the wire-format property: parse ∘ print ≅ id ----
+
+   The server ships graphs as Cfg_text frames (docs/PROTOCOL.md), so
+   round-trip fidelity is load-bearing: a graph must survive print → parse
+   with the same structure.  [Cfg_text.parse] renumbers labels in order of
+   appearance and [Cfg.to_string] prints in allocation order, so the
+   isomorphism is the positional map between the two label lists; we check
+   it block by block (instructions and terminators) rather than trusting
+   the printed strings to agree. *)
+
+let isomorphic g g' =
+  let ls = Cfg.labels g and ls' = Cfg.labels g' in
+  if List.length ls <> List.length ls' then
+    QCheck2.Test.fail_reportf "block count %d <> %d" (List.length ls) (List.length ls');
+  let map = Hashtbl.create 16 in
+  List.iter2 (fun l l' -> Hashtbl.add map l l') ls ls';
+  let m l = Hashtbl.find map l in
+  if m (Cfg.entry g) <> Cfg.entry g' then QCheck2.Test.fail_reportf "entry not preserved";
+  if m (Cfg.exit_label g) <> Cfg.exit_label g' then QCheck2.Test.fail_reportf "exit not preserved";
+  List.iter
+    (fun l ->
+      if Cfg.instrs g l <> Cfg.instrs g' (m l) then
+        QCheck2.Test.fail_reportf "instrs differ at %s" (Lcm_cfg.Label.to_string l);
+      let t_ok =
+        match (Cfg.term g l, Cfg.term g' (m l)) with
+        | Cfg.Goto a, Cfg.Goto a' -> m a = a'
+        | Cfg.Branch (c, a, b), Cfg.Branch (c', a', b') -> c = c' && m a = a' && m b = b'
+        | Cfg.Halt, Cfg.Halt -> true
+        | _ -> false
+      in
+      if not t_ok then QCheck2.Test.fail_reportf "terminator differs at %s" (Lcm_cfg.Label.to_string l))
+    ls;
+  true
+
+let prop_roundtrip_iso =
+  QCheck2.Test.make ~name:"parse (print g) is graph-isomorphic to g (random CFGs)" ~count:200
+    (QCheck2.Gen.int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.of_int seed in
+      let params =
+        {
+          Gencfg.default_cfg_params with
+          Gencfg.num_blocks = Prng.int_in rng 2 60;
+          branch_bias = Prng.int_in rng 0 100;
+          backedge_bias = Prng.int_in rng 0 100;
+        }
+      in
+      let g = Gencfg.random_cfg ~params rng in
+      let g' = Cfg_text.parse (Cfg.to_string g) in
+      isomorphic g g' && Cfg.to_string g = Cfg.to_string g')
+
 let suite =
   [
+    QCheck_alcotest.to_alcotest prop_roundtrip_iso;
     Alcotest.test_case "parse sample" `Quick test_parse_sample;
     Alcotest.test_case "roundtrip sample" `Quick test_roundtrip_sample;
     Alcotest.test_case "roundtrip lowered function" `Quick test_roundtrip_lowered;
