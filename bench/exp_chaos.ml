@@ -1,0 +1,419 @@
+(* EXP-CHAOS: availability of the supervised daemon under injected faults.
+
+   Spawns `lcmopt serve --stdio --supervise` with LCM_CHAOS in its
+   environment and drives it over a corpus of random CFGs at several fault
+   rates.  The fault mix at rate r:
+
+     daemon.crash = r/10   hard process death mid-frame (supervisor restarts)
+     engine.panic = r      algorithm raises mid-pipeline (tier degradation)
+     engine.alloc = r      allocation failure mid-pipeline (tier degradation)
+
+   The client resends any request that is unanswered after a timeout or
+   answered with an error, up to a fixed attempt budget — the same contract
+   `lcmopt request --retries` offers.  Reported per rate: availability
+   (logical requests that eventually got an ok), supervisor restart count,
+   degraded-response fraction, retry volume, and a digest cross-check of
+   every NON-degraded ok response against the in-process transformation
+   (bit-identical to `lcmopt run` is a hard requirement; degraded responses
+   are excluded because the identity tier returns the input unchanged).
+
+   The "quick" mode (CI smoke) runs one rate and asserts availability and
+   the digest cross-check. *)
+
+module Table = Lcm_support.Table
+module Cfg = Lcm_cfg.Cfg
+module Cfg_text = Lcm_cfg.Cfg_text
+module Corpus = Lcm_eval.Corpus
+module Lcm_edge = Lcm_core.Lcm_edge
+module Json = Lcm_server.Json
+module Frame = Lcm_server.Frame
+
+let now = Unix.gettimeofday
+
+(* ---- the supervised daemon subprocess ---- *)
+
+let resolve_exe () =
+  match Sys.getenv_opt "LCMOPT_EXE" with
+  | Some p -> p
+  | None ->
+    let d = Filename.dirname Sys.executable_name in
+    Filename.concat (Filename.concat (Filename.dirname d) "bin") "lcmopt.exe"
+
+type daemon = { pid : int; req_w : Unix.file_descr; resp_r : Unix.file_descr; state_file : string }
+
+let chaos_spec ~seed ~rate =
+  Printf.sprintf "%d:daemon.crash=%g,engine.panic=%g,engine.alloc=%g" seed (rate /. 10.) rate rate
+
+let spawn_daemon ~seed ~rate =
+  let exe = resolve_exe () in
+  if not (Sys.file_exists exe) then begin
+    Printf.eprintf "exp_chaos: daemon binary not found at %s (set LCMOPT_EXE)\n" exe;
+    exit 1
+  end;
+  let state_file = Filename.temp_file "lcm-chaos" ".state" in
+  Sys.remove state_file;
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let env =
+    Array.append (Unix.environment ())
+      (if rate > 0. then [| "LCM_CHAOS=" ^ chaos_spec ~seed ~rate |] else [||])
+  in
+  (* --max-restarts is effectively unlimited: the point of the experiment is
+     that the supervisor keeps absorbing crashes for the whole run.  The
+     restart backoff cap is lowered from the crash-loop-friendly default —
+     at a 1%-per-frame crash rate under sustained load every child dies
+     young, and 5 s pauses would be the availability story rather than the
+     faults themselves. *)
+  let pid =
+    Unix.create_process_env exe
+      [|
+        exe; "serve"; "--stdio"; "--quiet"; "--queue"; "256"; "--supervise"; "--max-restarts";
+        "100000"; "--restart-backoff-ms"; "50"; "--restart-cap-ms"; "500"; "--state-file";
+        state_file;
+      |]
+      env req_r resp_w Unix.stderr
+  in
+  Unix.close req_r;
+  Unix.close resp_w;
+  { pid; req_w; resp_r; state_file }
+
+let stop_daemon d =
+  (try Unix.close d.req_w with Unix.Unix_error _ -> ());
+  (try Unix.close d.resp_r with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] d.pid);
+  (try Sys.remove d.state_file with Sys_error _ -> ())
+
+(* ---- the corpus ---- *)
+
+type job = { frame_suffix : string; expected_digest : string }
+
+let prepare_jobs jobs =
+  List.map
+    (fun (j : Corpus.job) ->
+      let text = Cfg.to_string j.Corpus.graph in
+      let g = Cfg_text.parse text in
+      let expected = Cfg.to_string (fst (Lcm_edge.transform g)) in
+      {
+        frame_suffix =
+          Printf.sprintf "\"op\":\"run\",\"format\":\"cfg\",\"program\":%s}"
+            (Json.to_string (Json.String text));
+        expected_digest = Digest.to_hex (Digest.string expected);
+      })
+    jobs
+  |> Array.of_list
+
+(* ---- one fault rate ---- *)
+
+type rate_result = {
+  rate : float;
+  requests : int;
+  succeeded : int;
+  failed : int;
+  degraded : int;
+  retries : int;
+  restarts : int;
+  error_responses : int;
+  digest_mismatches : int;
+  wall_s : float;
+  availability : float;
+}
+
+(* A logical request survives daemon crashes by being resent under a fresh
+   wire id, with client-side backoff between attempts — resending
+   instantly would amplify load exactly while the daemon is in a restart
+   backoff, and every extra frame is another chance for the crash point to
+   fire.  Across the attempt budget the schedule spans well past the
+   supervisor's longest backoff pause (capped at 5 s). *)
+let attempt_timeout_s = 2.0
+let max_attempts = 10
+let resend_delay_s ~attempt = Float.min (0.2 *. Float.pow 2. (float_of_int (attempt - 1))) 3.0
+
+let run_rate ~jobs ~rate ~requests ~deadline_s =
+  let d = spawn_daemon ~seed:42 ~rate in
+  Unix.set_nonblock d.req_w;
+  let outbuf = Buffer.create 65536 in
+  let flush_client () =
+    if Buffer.length outbuf > 0 then begin
+      let s = Buffer.contents outbuf in
+      match Unix.write_substring d.req_w s 0 (String.length s) with
+      | k ->
+        Buffer.clear outbuf;
+        if k < String.length s then Buffer.add_substring outbuf s k (String.length s - k)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+    end
+  in
+  let reader = Frame.create ~max_frame:(1 lsl 22) in
+  let chunk = Bytes.create 65536 in
+  let njobs = Array.length jobs in
+  (* wire id -> (logical index, send time); logical state arrays. *)
+  let inflight : (int, int * float) Hashtbl.t = Hashtbl.create 256 in
+  let answered = Array.make requests false in
+  let attempts = Array.make requests 0 in
+  let next_wire = ref 0 in
+  let succeeded = ref 0 and failed = ref 0 and degraded = ref 0 in
+  let retries = ref 0 and error_responses = ref 0 and mismatches = ref 0 in
+  (* (eligible_at, logical index); kept unsorted, scanned each loop — a
+     few hundred items at most. *)
+  let pending = ref (List.init requests (fun k -> (0., k))) in
+  let send k =
+    let id = !next_wire in
+    incr next_wire;
+    Hashtbl.replace inflight id (k, now ());
+    attempts.(k) <- attempts.(k) + 1;
+    if attempts.(k) > 1 then incr retries;
+    Buffer.add_string outbuf (Printf.sprintf "{\"id\":%d,%s\n" id jobs.(k mod njobs).frame_suffix)
+  in
+  let requeue k =
+    if not answered.(k) then
+      if attempts.(k) >= max_attempts then begin
+        answered.(k) <- true;
+        incr failed
+      end
+      else pending := (now () +. resend_delay_s ~attempt:attempts.(k), k) :: !pending
+  in
+  let stats = ref Json.Null in
+  let handle_frame f =
+    match Json.parse f with
+    | exception Json.Parse_error _ -> ()
+    | j ->
+      let sfield n = Option.bind (Json.member n j) Json.to_string_opt in
+      if sfield "op" = Some "stats" then
+        stats := Option.value (Json.member "stats" j) ~default:Json.Null
+      else begin
+        match Option.bind (Json.member "id" j) Json.to_int_opt with
+        | None -> ()
+        | Some id -> (
+          match Hashtbl.find_opt inflight id with
+          | None -> ()
+          | Some (k, _) ->
+            Hashtbl.remove inflight id;
+            if not answered.(k) then begin
+              match sfield "status" with
+              | Some "ok" ->
+                answered.(k) <- true;
+                incr succeeded;
+                let tier = sfield "degraded" in
+                if tier <> None then incr degraded
+                else begin
+                  match sfield "program" with
+                  | Some p
+                    when Digest.to_hex (Digest.string p) <> jobs.(k mod njobs).expected_digest ->
+                    incr mismatches
+                  | Some _ -> ()
+                  | None -> incr mismatches
+                end
+              | _ ->
+                incr error_responses;
+                requeue k
+            end)
+      end
+  in
+  let read_available () =
+    match Unix.read d.resp_r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      List.iter
+        (function Frame.Frame f -> handle_frame f | Frame.Oversized _ -> ())
+        (Frame.feed reader chunk n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  let expire_timeouts () =
+    let t = now () in
+    let dead =
+      Hashtbl.fold
+        (fun id (k, sent) acc -> if t -. sent > attempt_timeout_s then (id, k) :: acc else acc)
+        inflight []
+    in
+    List.iter
+      (fun (id, k) ->
+        Hashtbl.remove inflight id;
+        requeue k)
+      dead
+  in
+  let t0 = now () in
+  let done_count () = !succeeded + !failed in
+  let window = 64 in
+  while done_count () < requests && now () -. t0 < deadline_s do
+    let t = now () in
+    let ready, later = List.partition (fun (at, _) -> at <= t) !pending in
+    let slots = max 0 (window - Hashtbl.length inflight) in
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | rest -> List.iter (fun e -> pending := e :: !pending) rest; []
+    in
+    pending := later;
+    List.iter (fun (_, k) -> send k) (take slots ready);
+    flush_client ();
+    let wfds = if Buffer.length outbuf > 0 then [ d.req_w ] else [] in
+    (match Unix.select [ d.resp_r ] wfds [] 0.05 with
+    | rs, ws, _ ->
+      if ws <> [] then flush_client ();
+      if rs <> [] then read_available ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    expire_timeouts ()
+  done;
+  (* Anything still unanswered at the overall deadline is a failure. *)
+  Array.iteri
+    (fun k a ->
+      if not a then begin
+        answered.(k) <- true;
+        incr failed
+      end)
+    answered;
+  let wall_s = now () -. t0 in
+  (* Final stats frame: the last child loaded the shared state file, so its
+     registry carries the supervisor's restart counters.  Resent
+     periodically — the frame itself can be lost to a crash or land during
+     a restart backoff. *)
+  let stats_deadline = now () +. 20. in
+  let next_stats_send = ref 0. in
+  while !stats = Json.Null && now () < stats_deadline do
+    if now () >= !next_stats_send then begin
+      Buffer.add_string outbuf "{\"id\":-1,\"op\":\"stats\"}\n";
+      next_stats_send := now () +. 2.
+    end;
+    flush_client ();
+    let wfds = if Buffer.length outbuf > 0 then [ d.req_w ] else [] in
+    match Unix.select [ d.resp_r ] wfds [] 0.05 with
+    | rs, ws, _ ->
+      if ws <> [] then flush_client ();
+      if rs <> [] then read_available ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  let restarts =
+    match
+      Option.bind
+        (Option.bind (Json.member "counters" !stats) (Json.member "supervisor.restarts_total"))
+        Json.to_int_opt
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  stop_daemon d;
+  {
+    rate;
+    requests;
+    succeeded = !succeeded;
+    failed = !failed;
+    degraded = !degraded;
+    retries = !retries;
+    restarts;
+    error_responses = !error_responses;
+    digest_mismatches = !mismatches;
+    wall_s;
+    availability = float_of_int !succeeded /. float_of_int requests;
+  }
+
+(* ---- reporting ---- *)
+
+let print_rows rows =
+  let t =
+    Table.create
+      [
+        "fault rate"; "requests"; "ok"; "failed"; "degraded"; "retries"; "restarts"; "availability";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f%%" (r.rate *. 100.);
+          Table.cell_int r.requests;
+          Table.cell_int r.succeeded;
+          Table.cell_int r.failed;
+          Table.cell_int r.degraded;
+          Table.cell_int r.retries;
+          Table.cell_int r.restarts;
+          Printf.sprintf "%.2f%%" (r.availability *. 100.);
+        ])
+    rows;
+  Table.print t
+
+let json_of_rate r =
+  Json.Obj
+    [
+      ("fault_rate", Json.Float r.rate);
+      ("requests", Json.Int r.requests);
+      ("succeeded", Json.Int r.succeeded);
+      ("failed", Json.Int r.failed);
+      ("degraded", Json.Int r.degraded);
+      ("degraded_fraction", Json.Float (float_of_int r.degraded /. float_of_int r.requests));
+      ("retries", Json.Int r.retries);
+      ("supervisor_restarts", Json.Int r.restarts);
+      ("error_responses", Json.Int r.error_responses);
+      ("digest_mismatches", Json.Int r.digest_mismatches);
+      ("wall_s", Json.Float r.wall_s);
+      ("availability", Json.Float r.availability);
+    ]
+
+let emit_json ?(path = "BENCH_chaos.json") ~corpus rows =
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "chaos");
+        ( "benchmark",
+          Json.String
+            "supervised lcmopt serve --stdio under injected faults (crash + engine panic/alloc), \
+             resilient client with per-request retry" );
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("corpus", Json.String corpus);
+        ("chaos_seed", Json.Int 42);
+        ( "fault_mix",
+          Json.String "daemon.crash=r/10, engine.panic=r, engine.alloc=r (r = fault_rate)" );
+        ("digest_match", Json.Bool (List.for_all (fun r -> r.digest_mismatches = 0) rows));
+        ("rates", Json.List (List.map json_of_rate rows));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "wrote %s" path
+
+let corpus_spec ~quick = if quick then [ (30, 8) ] else [ (40, 24) ]
+
+let corpus_name ~quick =
+  String.concat "+"
+    (List.map (fun (b, c) -> Printf.sprintf "%dx%d-block" c b) (corpus_spec ~quick))
+
+let run_mode ~quick () =
+  Common.section
+    (if quick then "EXP-CHAOS  Supervised daemon under injected faults (quick smoke run)"
+     else "EXP-CHAOS  Supervised daemon under injected faults: availability and degradation");
+  let jobs = prepare_jobs (Corpus.generate (corpus_spec ~quick)) in
+  let loads =
+    if quick then [ (0.05, 100, 60.) ]
+    else [ (0.0, 400, 120.); (0.01, 400, 150.); (0.05, 400, 180.); (0.10, 400, 240.) ]
+  in
+  let rows =
+    List.map
+      (fun (rate, requests, deadline_s) ->
+        Common.note "fault rate %.0f%% (%d requests)..." (rate *. 100.) requests;
+        run_rate ~jobs ~rate ~requests ~deadline_s)
+      loads
+  in
+  print_rows rows;
+  let mism = List.fold_left (fun acc r -> acc + r.digest_mismatches) 0 rows in
+  Common.note "digest cross-check of non-degraded responses vs in-process lcm-edge: %s"
+    (if mism = 0 then "bit-identical" else Printf.sprintf "%d MISMATCHES" mism);
+  if mism > 0 then exit 1;
+  (* The availability floor at 5% faults is a hard requirement, not a
+     reported number. *)
+  List.iter
+    (fun r ->
+      if r.rate <= 0.05 +. 1e-9 && r.availability < 0.99 then begin
+        Common.note "FAIL: availability %.2f%% < 99%% at fault rate %.0f%%"
+          (r.availability *. 100.) (r.rate *. 100.);
+        exit 1
+      end)
+    rows;
+  if not quick then emit_json ~corpus:(corpus_name ~quick) rows;
+  Common.note
+    "availability = logical requests that got an ok within %d attempts (%.0fs per-attempt \
+     timeout); degraded responses carry degraded:<tier> and fall back to sequential or identity \
+     execution instead of erroring."
+    max_attempts attempt_timeout_s
+
+let run () = run_mode ~quick:false ()
+let run_quick () = run_mode ~quick:true ()

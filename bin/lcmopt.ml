@@ -235,8 +235,11 @@ let interp_cmd source func_name bindings fuel =
       if o.Interp.undefined_reads <> [] then
         Printf.printf "warning: read before write: %s\n" (String.concat ", " o.Interp.undefined_reads);
       if not o.Interp.terminated then begin
+        (* Keep the code word stable: scripts and the protocol's
+           [fuel_exhausted] error grep for it (fuel ran out, as opposed to a
+           wall-clock [deadline] the daemon enforces). *)
         Printf.eprintf
-          "error: fuel (%d) exhausted after %d instructions before reaching the exit \
+          "error: fuel_exhausted: fuel (%d) spent after %d instructions before reaching the exit \
            (non-terminating input? raise --fuel to allow more steps)\n"
           fuel o.Interp.steps;
         1
@@ -338,8 +341,18 @@ module Daemon = Lcm_server.Daemon
 module Protocol = Lcm_server.Protocol
 module Frame = Lcm_server.Frame
 module Json = Lcm_server.Json
+module Supervisor = Lcm_server.Supervisor
+module Retry = Lcm_server.Retry
 
-let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing quiet =
+let write_pid_file path =
+  try
+    let oc = open_out path in
+    Printf.fprintf oc "%d\n" (Unix.getpid ());
+    close_out oc
+  with Sys_error m -> Printf.eprintf "cannot write pid file: %s\n" m
+
+let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing quiet supervise
+    max_restarts restart_backoff_ms restart_cap_ms state_file pid_file =
   match (stdio, socket) with
   | false, None ->
     prerr_endline "serve: provide --stdio or --socket PATH";
@@ -348,48 +361,95 @@ let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing q
     prerr_endline "serve: provide either --stdio or --socket, not both";
     1
   | _ ->
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let drain = Sys.Signal_handle (fun _ -> Daemon.request_shutdown ()) in
-    Sys.set_signal Sys.sigterm drain;
-    Sys.set_signal Sys.sigint drain;
-    let cfg =
-      {
-        (Daemon.default_config ()) with
-        Daemon.queue_capacity = queue;
-        batch_max = batch;
-        max_frame;
-        default_deadline_ms = deadline_ms;
-        workers = (match workers with Some w -> w | None -> Lcm_support.Pool.default_size ());
-        no_timing;
-        quiet;
-      }
+    let serve ~state_file () =
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let drain = Sys.Signal_handle (fun _ -> Daemon.request_shutdown ()) in
+      Sys.set_signal Sys.sigterm drain;
+      Sys.set_signal Sys.sigint drain;
+      let cfg =
+        {
+          (Daemon.default_config ()) with
+          Daemon.queue_capacity = queue;
+          batch_max = batch;
+          max_frame;
+          default_deadline_ms = deadline_ms;
+          workers = (match workers with Some w -> w | None -> Lcm_support.Pool.default_size ());
+          no_timing;
+          quiet;
+          (* A standalone binary may die of chaos (that is what the
+             supervisor is for); in-process daemons never get this. *)
+          hard_faults = true;
+          state_file;
+        }
+      in
+      match socket with
+      | Some path -> Daemon.serve_unix_socket cfg ~path
+      | None -> Daemon.serve_fds cfg ~fd_in:Unix.stdin ~fd_out:Unix.stdout
     in
-    (match socket with
-    | Some path -> Daemon.serve_unix_socket cfg ~path
-    | None -> Daemon.serve_fds cfg ~fd_in:Unix.stdin ~fd_out:Unix.stdout);
-    0
+    if supervise then begin
+      let state_file =
+        match state_file with
+        | Some s -> s
+        | None ->
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "lcmd-%d.state" (Unix.getpid ()))
+      in
+      let scfg =
+        {
+          (Supervisor.default_config ~state_file) with
+          Supervisor.max_restarts;
+          backoff_base_ms = restart_backoff_ms;
+          backoff_cap_ms = restart_cap_ms;
+          child_pid_file = pid_file;
+          quiet;
+        }
+      in
+      Supervisor.run scfg (serve ~state_file:(Some state_file))
+    end
+    else begin
+      Option.iter write_pid_file pid_file;
+      serve ~state_file ();
+      0
+    end
 
 (* ---- request ---- *)
 
-let read_response_frame fd =
+(* Wait until [fd] is readable, or the absolute [deadline] passes. *)
+let rec wait_readable fd deadline =
+  match deadline with
+  | None -> true
+  | Some d ->
+    let remaining = d -. Unix.gettimeofday () in
+    if remaining <= 0. then false
+    else (
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> wait_readable fd deadline
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd deadline)
+
+let read_response_frame ?deadline fd =
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 4096 in
   let rec go () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> None
-    | n ->
-      (match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
-      | Some i ->
-        Buffer.add_subbytes buf chunk 0 i;
-        Some (Buffer.contents buf)
-      | None ->
-        Buffer.add_subbytes buf chunk 0 n;
-        go ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    if not (wait_readable fd deadline) then `Timeout
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> `Eof
+      | n ->
+        (match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+        | Some i ->
+          Buffer.add_subbytes buf chunk 0 i;
+          `Frame (Buffer.contents buf)
+        | None ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
   in
   go ()
 
-let request_cmd socket file workload func_name algorithm simplify workers deadline_ms op =
+let request_cmd socket file workload func_name algorithm simplify workers deadline_ms retries
+    backoff_ms timeout_ms op =
   let build_run () =
     match (file, workload) with
     | Some _, Some _ -> Error "provide either a FILE or --workload, not both"
@@ -437,25 +497,87 @@ let request_cmd socket file workload func_name algorithm simplify workers deadli
       @ fields
       @ match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> []
     in
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "cannot connect to %s: %s (is `lcmopt serve` running?)\n" socket
-        (Unix.error_message e);
-      1
-    | () ->
-      Frame.write_frame fd (Json.to_string (Json.Obj fields));
-      (match read_response_frame fd with
-      | None ->
-        Unix.close fd;
-        prerr_endline "daemon closed the connection without a response";
-        1
-      | Some frame ->
-        Unix.close fd;
+    let frame_str = Json.to_string (Json.Obj fields) in
+    (* The daemon may vanish between connect and write; that must be a
+       retryable error on this side, not a SIGPIPE death. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let policy =
+      {
+        Retry.retries;
+        base_ms = backoff_ms;
+        cap_ms = Float.max backoff_ms 5000.;
+        budget_ms = timeout_ms;
+      }
+    in
+    let rng = Lcm_support.Prng.of_int (Unix.getpid ()) in
+    let start = Unix.gettimeofday () in
+    let deadline_abs = Option.map (fun b -> start +. (b /. 1000.)) timeout_ms in
+    (* One attempt: connect, send, wait for the response line.  [`Transient]
+       covers failures a healthy daemon would not produce (connection
+       refused, closed mid-exchange) — worth retrying against a supervised
+       daemon that is restarting.  A typed [overloaded]/[shutting_down]
+       response is retryable by contract; other error responses are final. *)
+    let attempt_once () =
+      match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error (e, _, _) -> `Transient (Unix.error_message e)
+      | fd ->
+        Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error (e, _, _) ->
+          `Transient
+            (Printf.sprintf "cannot connect to %s: %s (is `lcmopt serve` running?)" socket
+               (Unix.error_message e))
+        | () ->
+          (match Frame.write_frame fd frame_str with
+          | exception Unix.Unix_error (e, _, _) -> `Transient ("send failed: " ^ Unix.error_message e)
+          | () ->
+            (match read_response_frame ?deadline:deadline_abs fd with
+            | `Timeout -> `Timeout
+            | `Eof -> `Transient "daemon closed the connection without a response"
+            | `Frame frame ->
+              (match Json.member "status" (Json.parse frame) with
+              | Some (Json.String "ok") -> `Ok frame
+              | _ ->
+                let code =
+                  match Json.member "code" (Json.parse frame) with
+                  | Some (Json.String c) -> c
+                  | _ -> ""
+                in
+                if Retry.retryable_code code then `Server_retryable (frame, code)
+                else `Final frame))))
+    in
+    let rec go attempt =
+      let retry_or ~reason ~give_up =
+        let elapsed_ms = (Unix.gettimeofday () -. start) *. 1000. in
+        match Retry.next_delay_ms policy rng ~attempt ~elapsed_ms with
+        | None -> give_up ()
+        | Some d ->
+          Printf.eprintf "request: %s; retry %d/%d in %.0f ms\n%!" reason (attempt + 1)
+            policy.Retry.retries d;
+          Unix.sleepf (d /. 1000.);
+          go (attempt + 1)
+      in
+      match attempt_once () with
+      | `Ok frame ->
         print_endline frame;
-        (match Json.member "status" (Json.parse frame) with
-        | Some (Json.String "ok") -> 0
-        | _ -> 1)))
+        0
+      | `Final frame ->
+        print_endline frame;
+        1
+      | `Timeout ->
+        prerr_endline "request: no response within the --timeout-ms budget";
+        1
+      | `Transient reason ->
+        retry_or ~reason ~give_up:(fun () ->
+            prerr_endline ("request: " ^ reason);
+            1)
+      | `Server_retryable (frame, code) ->
+        retry_or ~reason:("server answered " ^ code) ~give_up:(fun () ->
+            print_endline frame;
+            1)
+    in
+    go 0
 
 (* ---- list ---- *)
 
@@ -612,8 +734,61 @@ let serve_term =
     Arg.(value & flag & info [ "no-timing" ] ~doc:"Omit timing fields from responses (golden tests).")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stderr logging or shutdown stats dump.") in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the daemon as a supervised child: restart it with capped exponential backoff when \
+             it dies abnormally, carrying the metrics registry across restarts via --state-file.")
+  in
+  let max_restarts =
+    Arg.(
+      value & opt int 10
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Give up after $(docv) consecutive quick failures under --supervise; a child that \
+             stays up a few seconds resets the count.")
+  in
+  let restart_backoff_ms =
+    Arg.(
+      value & opt float 100.
+      & info [ "restart-backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base restart delay under --supervise; doubles per consecutive failure up to \
+             --restart-cap-ms.")
+  in
+  let restart_cap_ms =
+    Arg.(
+      value & opt float 5000.
+      & info [ "restart-cap-ms" ] ~docv:"MS"
+          ~doc:
+            "Ceiling on the restart backoff under --supervise.  The default favours not \
+             thrashing a crash-looping host; lower it when availability under frequent \
+             crashes matters more than restart churn.")
+  in
+  let state_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-file" ] ~docv:"PATH"
+          ~doc:
+            "Persist the metrics registry to $(docv) (restored at startup, saved every second). \
+             Defaults to a temp file under --supervise.")
+  in
+  let pid_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pid-file" ] ~docv:"PATH"
+          ~doc:
+            "Write the pid of the serving process to $(docv); under --supervise this is the current \
+             child, rewritten after every restart.")
+  in
   Term.(
-    const serve_cmd $ stdio $ socket $ queue $ batch $ max_frame $ deadline $ workers $ no_timing $ quiet)
+    const serve_cmd $ stdio $ socket $ queue $ batch $ max_frame $ deadline $ workers $ no_timing
+    $ quiet $ supervise $ max_restarts $ restart_backoff_ms $ restart_cap_ms $ state_file
+    $ pid_file)
 
 let request_term =
   let socket =
@@ -653,15 +828,48 @@ let request_term =
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Query the daemon's metrics registry instead.") in
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check instead of a run request.") in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) times on connection failures and on typed overloaded or \
+             shutting_down responses, with capped jittered exponential backoff.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 100.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base backoff before the first retry; doubles per attempt, capped at 5000 ms.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Overall wall-clock budget across all attempts, including backoff sleeps and waiting \
+             for the response.")
+  in
   Term.(
-    const (fun socket file workload func algorithm simplify workers deadline stats ping ->
+    const (fun socket file workload func algorithm simplify workers deadline stats ping retries
+               backoff timeout ->
         let op = if stats then `Stats else if ping then `Ping else `Run in
-        request_cmd socket file workload func algorithm simplify workers deadline op)
-    $ socket $ file $ workload $ func_term $ algorithm $ simplify $ workers $ deadline $ stats $ ping)
+        request_cmd socket file workload func algorithm simplify workers deadline retries backoff
+          timeout op)
+    $ socket $ file $ workload $ func_term $ algorithm $ simplify $ workers $ deadline $ stats
+    $ ping $ retries $ backoff $ timeout)
 
 let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let () =
+  (* Chaos configuration is process-wide and read once: a bad spec should
+     fail loudly at startup, not be silently ignored mid-load-test. *)
+  (match Lcm_support.Fault.install_from_env () with
+  | Ok () -> ()
+  | Error m ->
+    Printf.eprintf "bad %s: %s\n" Lcm_support.Fault.env_var m;
+    exit 1);
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "lcmopt" ~version:"1.0.0" ~doc:"Lazy Code Motion playground" in
   let tree =

@@ -211,16 +211,18 @@ let build_adjacency g =
 
 let adjacency g =
   Mutex.lock g.adj_lock;
-  let a =
-    match g.adj with
-    | Some a when a.adj_version = g.version -> a
-    | Some _ | None ->
-      let a = build_adjacency g in
-      g.adj <- Some a;
-      a
-  in
-  Mutex.unlock g.adj_lock;
-  a
+  (* Fun.protect: a cache build that raises (or an injected chaos fault)
+     must not leave the lock held — the next caller would deadlock. *)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock g.adj_lock)
+    (fun () ->
+      match g.adj with
+      | Some a when a.adj_version = g.version -> a
+      | Some _ | None ->
+        Lcm_support.Fault.inject "cfg.adjacency";
+        let a = build_adjacency g in
+        g.adj <- Some a;
+        a)
 
 let predecessors g l =
   ignore (find g l "predecessors");

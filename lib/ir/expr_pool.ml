@@ -68,20 +68,22 @@ let to_list pool =
 
 let reading pool v =
   Mutex.lock pool.reading_lock;
-  if pool.reading_cache_size <> pool.size then begin
-    Hashtbl.reset pool.reading_cache;
-    pool.reading_cache_size <- pool.size
-  end;
-  let is =
-    match Hashtbl.find_opt pool.reading_cache v with
-    | Some is -> is
-    | None ->
-      let acc = ref [] in
-      for i = pool.size - 1 downto 0 do
-        if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
-      done;
-      Hashtbl.add pool.reading_cache v !acc;
-      !acc
-  in
-  Mutex.unlock pool.reading_lock;
-  is
+  (* Fun.protect: a memo fill that raises (or an injected chaos fault)
+     must not leave the lock held. *)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool.reading_lock)
+    (fun () ->
+      if pool.reading_cache_size <> pool.size then begin
+        Hashtbl.reset pool.reading_cache;
+        pool.reading_cache_size <- pool.size
+      end;
+      match Hashtbl.find_opt pool.reading_cache v with
+      | Some is -> is
+      | None ->
+        Lcm_support.Fault.inject "pool.reading";
+        let acc = ref [] in
+        for i = pool.size - 1 downto 0 do
+          if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
+        done;
+        Hashtbl.add pool.reading_cache v !acc;
+        !acc)

@@ -19,6 +19,9 @@ let is_empty t = length t = 0
 
 let try_push t x =
   with_lock t (fun () ->
+      (* Chaos point inside the critical section: with_lock's Fun.protect
+         must release the mutex when this raises. *)
+      Lcm_support.Fault.inject "bqueue.push";
       if Queue.length t.q >= t.capacity then false
       else begin
         Queue.add x t.q;

@@ -1,4 +1,5 @@
 module Pool = Lcm_support.Pool
+module Fault = Lcm_support.Fault
 
 type config = {
   queue_capacity : int;
@@ -9,6 +10,8 @@ type config = {
   no_timing : bool;
   quiet : bool;
   stats : Stats.t;
+  hard_faults : bool;  (* allow process-killing chaos points (daemon.crash) *)
+  state_file : string option;  (* metrics persisted here across supervised restarts *)
 }
 
 let default_config () =
@@ -21,6 +24,8 @@ let default_config () =
     no_timing = false;
     quiet = false;
     stats = Stats.global;
+    hard_faults = false;
+    state_file = None;
   }
 
 (* One flag for the whole process so a signal handler has a fixed target;
@@ -54,6 +59,7 @@ type state = {
   mutable conns : conn list;
   listen_fd : Unix.file_descr option;
   mutable served : int;
+  mutable last_save : float;  (* last periodic metrics save (state_file only) *)
 }
 
 let now = Unix.gettimeofday
@@ -82,6 +88,9 @@ let kill_conn conn =
 
 (* Write as much buffered output as the peer accepts right now. *)
 let flush_out conn =
+  if conn.owns_fds && Fault.fire "sock.write" then
+    (* Chaos: the peer vanished mid-write (what EPIPE would tell us). *)
+    kill_conn conn;
   if (not conn.dead) && Buffer.length conn.out > 0 then begin
     let s = Buffer.contents conn.out in
     let n = String.length s in
@@ -118,6 +127,12 @@ let admission_error st conn ~id ~code ~message =
   send conn (Protocol.error ~id ~code ~message)
 
 let handle_frame st conn frame =
+  (* Process-killing chaos is rate-per-frame so availability under a given
+     fault rate is predictable; only the supervised binary opts in. *)
+  if st.cfg.hard_faults && Fault.fire "daemon.crash" then begin
+    prerr_endline "lcmd: chaos: simulated crash (daemon.crash)";
+    Unix._exit 70
+  end;
   Stats.incr st.cfg.stats "frames_total";
   match Protocol.parse_request frame with
   | Error (id, code, message) -> admission_error st conn ~id ~code ~message
@@ -145,20 +160,44 @@ let handle_frame st conn frame =
         in
         let i_deadline = Option.map (fun d -> arrival +. (d /. 1000.)) deadline_ms in
         let item = { i_conn = conn; i_req = req; i_arrival = arrival; i_deadline } in
-        if Bqueue.try_push st.queue item then conn.inflight <- conn.inflight + 1
-        else begin
+        let admitted =
+          (* "queue.reject" sheds load the queue had room for (client retry
+             drills); an exception out of the push ("bqueue.push" chaos, or
+             a real bug) must surface as a typed error, not kill the loop. *)
+          if Fault.fire "queue.reject" then Ok false
+          else match Bqueue.try_push st.queue item with
+            | ok -> Ok ok
+            | exception e -> Error (Printexc.to_string e)
+        in
+        match admitted with
+        | Ok true -> conn.inflight <- conn.inflight + 1
+        | Ok false ->
           Stats.incr st.cfg.stats "rejected_overloaded";
           admission_error st conn ~id:req.Protocol.id ~code:Protocol.Overloaded
             ~message:
               (Printf.sprintf "queue full (%d requests); retry later" (Bqueue.capacity st.queue))
-        end
+        | Error m ->
+          admission_error st conn ~id:req.Protocol.id ~code:Protocol.Internal
+            ~message:("admission failed: " ^ m)
       end)
 
 let read_conn st conn =
+  if conn.owns_fds && Fault.fire "sock.read" then
+    (* Chaos: the read side of the socket failed (ECONNRESET). *)
+    kill_conn conn
+  else begin
   let buf = Bytes.create 65536 in
   match Unix.read conn.fd_in buf 0 (Bytes.length buf) with
   | 0 -> conn.eof <- true
   | len ->
+    (* Chaos on the byte stream itself: a torn read loses the tail of the
+       chunk (frames split mid-line parse as garbage), a corrupt read flips
+       one byte.  Both must surface as typed parse errors, never a wedge. *)
+    let len = if len > 1 && Fault.fire "sock.read.torn" then len / 2 else len in
+    if len > 0 && Fault.fire "sock.read.corrupt" then begin
+      let k = len / 2 in
+      Bytes.set buf k (Char.chr (Char.code (Bytes.get buf k) lxor 0x20))
+    end;
     List.iter
       (function
         | Frame.Frame f -> handle_frame st conn f
@@ -170,6 +209,7 @@ let read_conn st conn =
       (Frame.feed conn.reader buf len)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) -> kill_conn conn
+  end
 
 (* ---- dispatch ---- *)
 
@@ -187,7 +227,23 @@ let dispatch_batch st =
       results.(k) <-
         Engine.execute st.engine ~now ~arrival:it.i_arrival ~deadline:it.i_deadline it.i_req
     in
-    Pool.run st.pool (List.init (Array.length items) task);
+    (* The pool itself can fail (chaos "pool.task" kills a worker mid-run, or
+       a genuine bug escapes the engine's own net).  Every admitted request
+       still owes its connection a response frame, so fill the holes. *)
+    (try Pool.run st.pool (List.init (Array.length items) task)
+     with e ->
+       Stats.incr st.cfg.stats "dispatch_failures_total";
+       let m = Printexc.to_string e in
+       Array.iteri
+         (fun k it ->
+           if results.(k) = "" then begin
+             Stats.incr st.cfg.stats "errors_total";
+             Stats.incr st.cfg.stats ("errors." ^ Protocol.error_code_to_string Protocol.Internal);
+             results.(k) <-
+               Protocol.error ~id:it.i_req.Protocol.id ~code:Protocol.Internal
+                 ~message:("worker failed: " ^ m)
+           end)
+         items);
     Array.iteri
       (fun k it ->
         it.i_conn.inflight <- it.i_conn.inflight - 1;
@@ -202,6 +258,10 @@ let accept_ready st =
   | None -> ()
   | Some lfd ->
     (match Unix.accept ~cloexec:true lfd with
+    | fd, _ when Fault.fire "sock.accept" ->
+      (* Chaos: the connection died between accept and first read. *)
+      Stats.incr st.cfg.stats "accept_failures_total";
+      (try Unix.close fd with Unix.Unix_error _ -> ())
     | fd, _ ->
       Unix.set_nonblock fd;
       Stats.incr st.cfg.stats "connections_total";
@@ -272,6 +332,13 @@ let serve_loop st =
       st.conns;
     dispatch_batch st;
     reap st;
+    (* Periodic metrics save: a supervised child can be killed at any moment,
+       so waiting for a graceful exit would lose everything since startup. *)
+    (match st.cfg.state_file with
+    | Some path when now () -. st.last_save >= 1.0 ->
+      st.last_save <- now ();
+      Stats.save_file st.cfg.stats path
+    | _ -> ());
     if (draining || all_inputs_finished st) && drained st then finished := true
   done;
   (* Final flush: give slow readers one last chance to take buffered
@@ -280,6 +347,12 @@ let serve_loop st =
   List.iter (fun c -> if c.owns_fds then kill_conn c) st.conns
 
 let make_state cfg ?listen_fd conns =
+  (* A daemon writes to peers that may vanish; without this, the first EPIPE
+     kills the process instead of reaching the per-write handler above.
+     Set here (not in the binary) so in-process daemons are covered too. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Restore metrics from a previous incarnation (supervised restart). *)
+  Option.iter (fun path -> Stats.load_file cfg.stats path) cfg.state_file;
   let pool = Pool.create (max 1 cfg.workers) in
   {
     cfg;
@@ -289,11 +362,13 @@ let make_state cfg ?listen_fd conns =
     conns;
     listen_fd;
     served = 0;
+    last_save = now ();
   }
 
 let finish st =
   Pool.shutdown st.pool;
   Atomic.set shutdown_flag false;
+  Option.iter (fun path -> Stats.save_file st.cfg.stats path) st.cfg.state_file;
   log st "drained cleanly: %d responses served" st.served;
   if not st.cfg.quiet then Stats.dump st.cfg.stats stderr
 

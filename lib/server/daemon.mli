@@ -33,6 +33,14 @@ type config = {
   no_timing : bool;  (** omit timing fields from responses (golden tests) *)
   quiet : bool;  (** suppress stderr logging and the shutdown stats dump *)
   stats : Stats.t;
+  hard_faults : bool;
+      (** permit process-killing chaos points ([daemon.crash]); off by
+          default so an in-process daemon can never take its host down.
+          Only the supervised [lcmopt serve] binary turns this on. *)
+  state_file : string option;
+      (** when set, the {!Stats} registry is restored from this file at
+          startup, saved every second while serving, and saved on drain —
+          metrics survive supervised restarts, including [kill -9]. *)
 }
 
 val default_config : unit -> config

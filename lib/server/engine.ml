@@ -3,11 +3,17 @@ module Cfg_text = Lcm_cfg.Cfg_text
 module Lower = Lcm_cfg.Lower
 module Parser = Lcm_ir.Parser
 module Lexer = Lcm_ir.Lexer
+module Instr = Lcm_ir.Instr
 module Pool = Lcm_support.Pool
+module Fault = Lcm_support.Fault
+module Prng = Lcm_support.Prng
 module Registry = Lcm_eval.Registry
 module Metrics = Lcm_eval.Metrics
+module Interp = Lcm_eval.Interp
 module Lcm_edge = Lcm_core.Lcm_edge
 module Bcm_edge = Lcm_core.Bcm_edge
+module Transform = Lcm_core.Transform
+module Placement_check = Lcm_core.Placement_check
 
 type config = {
   lookup : string -> Registry.entry option;
@@ -58,17 +64,107 @@ let load_graph (r : Protocol.run_request) =
       | Some g -> g
       | None -> reject Protocol.Bad_request "no function %S in program" f))
 
-(* Phase 2: the transformation.  The paper-algorithm transforms have a
-   parallel path; everything else runs sequentially whatever was asked. *)
-let run_algorithm cfg (r : Protocol.run_request) entry g =
-  match cfg.pool with
-  | Some pool when r.Protocol.workers > 1 && Pool.size pool > 1 -> (
-    let workers = min r.Protocol.workers (Pool.size pool) in
-    match r.Protocol.algorithm with
-    | "lcm-edge" -> (fst (Lcm_edge.transform ~workers:pool g), workers)
-    | "bcm-edge" -> (fst (Bcm_edge.transform ~workers:pool g), workers)
-    | _ -> (entry.Registry.run g, 1))
-  | _ -> (entry.Registry.run g, 1)
+(* ---- chaos boundaries ----
+   Probed between pipeline phases.  All three probes are free when no
+   LCM_CHAOS configuration is installed (one atomic load each). *)
+
+let chaos_boundary () =
+  if Fault.fire "engine.slow" then Unix.sleepf 0.002;
+  if Fault.fire "engine.alloc" then raise Out_of_memory;
+  Fault.inject "engine.panic"
+
+(* ---- result validation ---- *)
+
+exception Validation_failed of string
+exception Validation_fuel
+(* every interpreter sample ran out of fuel: nothing was actually compared *)
+
+let validation_fuel = 50_000
+let validation_runs = 3
+
+(* Free variables: read somewhere, defined nowhere — the program's inputs. *)
+let free_vars g =
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      List.iter (fun i -> Option.iter (fun v -> Hashtbl.replace defined v ()) (Instr.defs i)) (Cfg.instrs g l))
+    (Cfg.labels g);
+  List.filter (fun v -> not (Hashtbl.mem defined v)) (Cfg.all_vars g)
+
+(* Interpret both graphs on a few deterministic random inputs (seeded from
+   the program text, so a request validates the same way everywhere) and
+   compare observable behaviour.  Samples where both sides exhaust their
+   fuel prove nothing and are skipped; if *no* sample completes the
+   validation itself is inconclusive — [Validation_fuel]. *)
+let interp_validate g g' =
+  let inputs = free_vars g in
+  let rng = Prng.of_int (Hashtbl.hash (Cfg.to_string g)) in
+  let pool = Cfg.candidate_pool g in
+  let pool' = Cfg.candidate_pool g' in
+  let compared = ref 0 in
+  for _ = 1 to validation_runs do
+    let env = List.map (fun v -> (v, Prng.int_in rng 0 8)) inputs in
+    let o = Interp.run ~fuel:validation_fuel ~pool ~env g in
+    let o' = Interp.run ~fuel:validation_fuel ~pool:pool' ~env g' in
+    if o.Interp.terminated && o'.Interp.terminated then begin
+      incr compared;
+      if not (Interp.same_behaviour o o') then
+        raise (Validation_failed "interpreter outputs differ between original and transformed program")
+    end
+  done;
+  if !compared = 0 then raise Validation_fuel
+
+let spec_validate g spec =
+  match Placement_check.check g spec with
+  | Ok () -> ()
+  | Error m -> raise (Validation_failed ("placement check: " ^ m))
+
+(* ---- the transformation, in tiers ----
+
+   The paper-algorithm transforms have a parallel path; everything else
+   runs sequentially whatever was asked.  When a tier faults mid-pipeline
+   (injected or real), the request falls back to the next cheaper tier —
+   parallel → sequential → identity — and the result of any fallback tier
+   is validated before it is served, marked [degraded:<tier>].  The
+   service sheds quality before it sheds availability; the identity tier
+   cannot fail. *)
+
+type tier =
+  | Par of int  (* capped worker count *)
+  | Seq
+  | Ident
+
+let tier_name = function
+  | Par _ -> "parallel"
+  | Seq -> "sequential"
+  | Ident -> "identity"
+
+(* Run one tier.  Returns the transformed graph, the worker count to
+   report, and the transformation spec when this algorithm/tier exposes
+   one (used for the cheap static validation). *)
+let run_tier cfg (r : Protocol.run_request) entry g = function
+  | Par workers ->
+    let pool = Option.get cfg.pool in
+    (match r.Protocol.algorithm with
+    | "lcm-edge" ->
+      let g', rep = Lcm_edge.transform ~workers:pool g in
+      (g', workers, Some rep.Transform.spec)
+    | "bcm-edge" ->
+      let g', rep = Bcm_edge.transform ~workers:pool g in
+      (g', workers, Some rep.Transform.spec)
+    | _ -> assert false)
+  | Seq ->
+    (match r.Protocol.algorithm with
+    | "lcm-edge" ->
+      (* Same call as the registry entry (bit-identical), direct so the
+         spec is available for validation. *)
+      let g', rep = Lcm_edge.transform g in
+      (g', 1, Some rep.Transform.spec)
+    | "bcm-edge" ->
+      let g', rep = Bcm_edge.transform g in
+      (g', 1, Some rep.Transform.spec)
+    | _ -> (entry.Registry.run g, 1, None))
+  | Ident -> (g, 1, None)
 
 let execute_run cfg ~now ~deadline ~id (r : Protocol.run_request) ~timing_of =
   let entry =
@@ -78,23 +174,78 @@ let execute_run cfg ~now ~deadline ~id (r : Protocol.run_request) ~timing_of =
   in
   let g = load_graph r in
   check_deadline ~now ~deadline;
-  let g', workers = run_algorithm cfg r entry g in
-  check_deadline ~now ~deadline;
-  let g' =
-    if r.Protocol.simplify then begin
-      let h = Cfg.copy g' in
-      Cfg.merge_straight_pairs h;
-      Cfg.remove_unreachable h;
-      h
-    end
-    else g'
+  let requested =
+    match cfg.pool with
+    | Some pool
+      when r.Protocol.workers > 1 && Pool.size pool > 1
+           && (r.Protocol.algorithm = "lcm-edge" || r.Protocol.algorithm = "bcm-edge") ->
+      Par (min r.Protocol.workers (Pool.size pool))
+    | _ -> Seq
   in
-  check_deadline ~now ~deadline;
+  (* One tier attempt: transform, simplify, chaos boundary, validation.
+     Any exception (other than deadline / typed rejection) sends the
+     request to the next tier. *)
+  let attempt tier =
+    if tier <> Ident then chaos_boundary ();
+    let g', workers, spec = run_tier cfg r entry g tier in
+    check_deadline ~now ~deadline;
+    if tier <> Ident then chaos_boundary ();
+    let g' =
+      if r.Protocol.simplify && tier <> Ident then begin
+        let h = Cfg.copy g' in
+        Cfg.merge_straight_pairs h;
+        Cfg.remove_unreachable h;
+        h
+      end
+      else g'
+    in
+    check_deadline ~now ~deadline;
+    let degraded = tier <> requested in
+    let validated =
+      if tier = Ident then r.Protocol.validate (* the unchanged program is vacuously valid *)
+      else if r.Protocol.validate || degraded then begin
+        Option.iter (spec_validate g) spec;
+        (* Explicit validation always compares behaviour; a degraded
+           result with a checked spec skips the interpreter (cheap path). *)
+        if r.Protocol.validate || spec = None then begin
+          try interp_validate g g'
+          with Validation_fuel when r.Protocol.validate && not degraded ->
+            reject Protocol.Fuel_exhausted
+              "validation ran out of fuel (%d steps per sample): the program did not terminate on \
+               any sample input"
+              validation_fuel
+        end;
+        true
+      end
+      else false
+    in
+    (g', workers, tier, validated)
+  in
+  let tiers = match requested with Par _ -> [ requested; Seq; Ident ] | _ -> [ Seq; Ident ] in
+  let rec go = function
+    | [] -> reject Protocol.Internal "no tier could serve the request"
+    | [ tier ] -> attempt tier (* last resort: let failures surface *)
+    | tier :: rest ->
+      (match attempt tier with
+      | result -> result
+      | exception ((Deadline | Reject _) as e) -> raise e
+      | exception _ ->
+        Stats.incr cfg.stats "engine.tier_fallbacks";
+        go rest)
+  in
+  let g', workers, tier, validated = go tiers in
+  let tier_served = if tier <> requested then Some (tier_name tier) else None in
+  (match tier_served with
+  | Some t ->
+    Stats.incr cfg.stats "degraded_total";
+    Stats.incr cfg.stats ("degraded." ^ t)
+  | None -> ());
+  if validated then Stats.incr cfg.stats "validated_total";
   let before = Metrics.static_counts g in
   let after = Metrics.static_counts g' in
   let program = Cfg.to_string g' in
-  Protocol.ok_run ~id ~algorithm:r.Protocol.algorithm ~workers ~program ~before ~after
-    ~timing:(timing_of ())
+  Protocol.ok_run ~id ~algorithm:r.Protocol.algorithm ~workers ~degraded:tier_served ~validated
+    ~program ~before ~after ~timing:(timing_of ())
 
 (* Cancellable sleep: 1 ms slices with a deadline check between slices —
    the test/benchmark stand-in for a pathologically slow (or
@@ -112,6 +263,26 @@ let execute_sleep ~now ~deadline ~id duration_ms ~timing_of =
   in
   go ();
   Protocol.ok_sleep ~id ~slept_ms:((now () -. t0) *. 1000.) ~timing:(timing_of ())
+
+(* The stats snapshot, extended with the fault registry's counters when
+   chaos is enabled — so a chaos run's injection counts are observable
+   through the same `stats` op as everything else. *)
+let stats_snapshot stats =
+  let base = Stats.snapshot stats in
+  match (Fault.counts (), base) with
+  | [], _ -> base
+  | cs, Json.Obj fields ->
+    Json.Obj
+      (fields
+      @ [
+          ( "chaos",
+            Json.Obj
+              (List.map
+                 (fun (p, occ, fired) ->
+                   (p, Json.Obj [ ("occurrences", Json.Int occ); ("fired", Json.Int fired) ]))
+                 cs) );
+        ])
+  | _, j -> j
 
 let execute cfg ~now ~arrival ~deadline (req : Protocol.request) =
   let id = req.Protocol.id in
@@ -132,7 +303,7 @@ let execute cfg ~now ~arrival ~deadline (req : Protocol.request) =
       let frame =
         match req.Protocol.op with
         | Protocol.Run r -> execute_run cfg ~now ~deadline ~id r ~timing_of
-        | Protocol.Stats -> Protocol.ok_stats ~id ~stats:(Stats.snapshot cfg.stats)
+        | Protocol.Stats -> Protocol.ok_stats ~id ~stats:(stats_snapshot cfg.stats)
         | Protocol.Ping -> Protocol.ok_ping ~id
         | Protocol.Sleep d -> execute_sleep ~now ~deadline ~id d ~timing_of
       in

@@ -4,6 +4,7 @@ type error_code =
   | Oversized
   | Overloaded
   | Deadline_exceeded
+  | Fuel_exhausted
   | Shutting_down
   | Internal
 
@@ -13,6 +14,7 @@ let error_code_to_string = function
   | Oversized -> "oversized"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Fuel_exhausted -> "fuel_exhausted"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
@@ -27,6 +29,7 @@ type run_request = {
   algorithm : string;
   simplify : bool;
   workers : int;
+  validate : bool;
 }
 
 type op =
@@ -78,6 +81,7 @@ let parse_run j =
     algorithm = Option.value (opt_field j "algorithm" Json.to_string_opt) ~default:"lcm-edge";
     simplify = Option.value (opt_field j "simplify" Json.to_bool_opt) ~default:false;
     workers = Option.value (opt_field j "workers" Json.to_int_opt) ~default:1;
+    validate = Option.value (opt_field j "validate" Json.to_bool_opt) ~default:false;
   }
 
 let parse_request frame =
@@ -135,7 +139,7 @@ let timing_fields = function
       );
     ]
 
-let ok_run ~id ~algorithm ~workers ~program ~before ~after ~timing =
+let ok_run ~id ~algorithm ~workers ~degraded ~validated ~program ~before ~after ~timing =
   Json.to_string
     (Json.Obj
        ([
@@ -144,10 +148,14 @@ let ok_run ~id ~algorithm ~workers ~program ~before ~after ~timing =
           ("op", Json.String "run");
           ("algorithm", Json.String algorithm);
           ("workers", Json.Int workers);
-          ("program", Json.String program);
-          ("before", counts_json before);
-          ("after", counts_json after);
         ]
+       @ (match degraded with Some tier -> [ ("degraded", Json.String tier) ] | None -> [])
+       @ (if validated then [ ("validated", Json.Bool true) ] else [])
+       @ [
+           ("program", Json.String program);
+           ("before", counts_json before);
+           ("after", counts_json after);
+         ]
        @ timing_fields timing))
 
 let ok_stats ~id ~stats =

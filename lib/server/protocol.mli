@@ -13,6 +13,10 @@ type error_code =
   | Oversized  (** frame longer than the daemon's [--max-frame] *)
   | Overloaded  (** admission queue at its high-water mark *)
   | Deadline_exceeded  (** deadline hit before or between pipeline phases *)
+  | Fuel_exhausted
+      (** requested interpreter validation could not finish within its
+          step budget on any sample input (distinct from a deadline: the
+          *work* is unbounded, not the wall clock) *)
   | Shutting_down  (** daemon draining; no new work admitted *)
   | Internal  (** the request crashed; the daemon survives *)
 
@@ -29,6 +33,9 @@ type run_request = {
   algorithm : string;  (** a {!Lcm_eval.Registry} name *)
   simplify : bool;  (** merge straight-line blocks after the transformation *)
   workers : int;  (** requested intra-request parallelism; capped by the daemon pool *)
+  validate : bool;
+      (** verify the transformation before answering (placement check /
+          interpreter comparison); the response carries [validated:true] *)
 }
 
 type op =
@@ -58,11 +65,16 @@ val ok_run :
   id:Json.t ->
   algorithm:string ->
   workers:int ->
+  degraded:string option ->
+  validated:bool ->
   program:string ->
   before:Lcm_eval.Metrics.static_counts ->
   after:Lcm_eval.Metrics.static_counts ->
   timing:timing option ->
   string
+(** [degraded] names the tier actually served (["sequential"] or
+    ["identity"]) when the engine fell back from the requested tier after
+    a mid-pipeline fault; [None] (field absent) on the normal path. *)
 
 val ok_stats : id:Json.t -> stats:Json.t -> string
 val ok_ping : id:Json.t -> string

@@ -1,0 +1,44 @@
+module Prng = Lcm_support.Prng
+
+type policy = {
+  retries : int;
+  base_ms : float;
+  cap_ms : float;
+  budget_ms : float option;
+}
+
+let default = { retries = 0; base_ms = 100.; cap_ms = 5000.; budget_ms = None }
+
+let backoff_ms p ~attempt =
+  let base = Float.max 0. p.base_ms in
+  let cap = Float.max 0. p.cap_ms in
+  if base = 0. then 0.
+  else begin
+    (* Doubling overflows fast; stop multiplying once past the cap. *)
+    let b = ref base in
+    let k = ref 0 in
+    while !k < attempt && !b < cap do
+      b := !b *. 2.;
+      incr k
+    done;
+    Float.min cap !b
+  end
+
+let next_delay_ms p rng ~attempt ~elapsed_ms =
+  if attempt >= p.retries then None
+  else begin
+    let b = backoff_ms p ~attempt in
+    (* Uniform in [b/2, b]: draw 2^20 lattice points for determinism. *)
+    let steps = 1 lsl 20 in
+    let u = float_of_int (Prng.int rng (steps + 1)) /. float_of_int steps in
+    let d = (b /. 2.) +. (u *. (b /. 2.)) in
+    match p.budget_ms with
+    | None -> Some d
+    | Some budget ->
+      let remaining = budget -. elapsed_ms in
+      if remaining <= 0. then None else Some (Float.min d remaining)
+  end
+
+let retryable_code = function
+  | "overloaded" | "shutting_down" -> true
+  | _ -> false

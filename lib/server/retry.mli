@@ -1,0 +1,45 @@
+(** Client-side retry policy with capped, jittered exponential backoff.
+
+    The daemon sheds load with typed, stable error codes ([overloaded],
+    [shutting_down]) precisely so that clients can distinguish "try again
+    shortly" from "your request is wrong".  This module is the client half
+    of that contract: given a policy, it decides {e whether} a failed
+    attempt should be retried and {e how long} to sleep first.
+
+    Backoff shape: attempt [k] (0-based count of {e completed} attempts)
+    sleeps a uniform value in [\[b/2, b\]] where
+    [b = min (cap_ms, base_ms * 2^k)].  Jitter desynchronises a thundering
+    herd of clients that all saw the same [overloaded] response; keeping
+    the jitter floor at [b/2] preserves the exponential envelope.
+
+    An optional overall budget bounds first-byte-to-give-up wall time:
+    a sleep is clipped to the remaining budget, and once the budget is
+    spent no further attempt is made.  All decisions are pure functions of
+    (policy, rng, attempt, elapsed) — the QCheck suite leans on this. *)
+
+type policy = {
+  retries : int;  (** additional attempts after the first (0 = never retry) *)
+  base_ms : float;  (** backoff before the first retry *)
+  cap_ms : float;  (** upper bound on the pre-jitter backoff *)
+  budget_ms : float option;  (** overall wall-clock budget across attempts *)
+}
+
+(** 0 retries: preserves the one-shot behaviour of [lcmopt request]. *)
+val default : policy
+
+(** [backoff_ms p ~attempt] is the pre-jitter backoff
+    [min (cap_ms, base_ms * 2^attempt)], monotone in [attempt]. *)
+val backoff_ms : policy -> attempt:int -> float
+
+(** [next_delay_ms p rng ~attempt ~elapsed_ms] decides the sleep before
+    retry number [attempt + 1].  [None] means give up: retries exhausted
+    ([attempt >= retries]) or budget spent.  [Some d] satisfies
+    [b/2 <= d <= b] for [b = backoff_ms p ~attempt], further clipped to
+    the remaining budget. *)
+val next_delay_ms :
+  policy -> Lcm_support.Prng.t -> attempt:int -> elapsed_ms:float -> float option
+
+(** Server error codes worth retrying: ["overloaded"] and
+    ["shutting_down"].  Everything else ([bad_request], [deadline_exceeded],
+    [fuel_exhausted], …) would fail identically on a healthy server. *)
+val retryable_code : string -> bool

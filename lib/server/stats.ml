@@ -140,3 +140,68 @@ let reset t =
   with_lock t (fun () ->
       Hashtbl.reset t.counters;
       Hashtbl.reset t.histograms)
+
+(* ---- persistence (supervisor restarts) ----
+
+   A snapshot is merged *additively*: counters and histogram contents from
+   the file add onto whatever the registry already holds, so metrics
+   survive a supervised restart (child loads the file at startup) and the
+   supervisor's own counters (restarts) can be folded into the same
+   registry.  Corrupt or missing files are ignored — metrics persistence
+   must never stop the daemon from serving. *)
+
+let merge_snapshot t j =
+  let int_of jv = Json.to_int_opt jv in
+  (match Json.member "counters" j with
+  | Some (Json.Obj fields) ->
+    List.iter (fun (name, v) -> match int_of v with Some n when n > 0 -> incr ~by:n t name | _ -> ()) fields
+  | _ -> ());
+  match Json.member "histograms" j with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, h) ->
+        let sum = Option.bind (Json.member "sum_ms" h) Json.to_float_opt in
+        match (Json.member "buckets" h, sum) with
+        | Some (Json.List buckets), Some sum_ms ->
+          with_lock t (fun () ->
+              let hist =
+                match Hashtbl.find_opt t.histograms name with
+                | Some hist -> hist
+                | None ->
+                  let hist =
+                    { counts = Array.make (Array.length bucket_bounds_ms + 1) 0; count = 0; sum_ms = 0. }
+                  in
+                  Hashtbl.add t.histograms name hist;
+                  hist
+              in
+              List.iteri
+                (fun i b ->
+                  if i < Array.length hist.counts then
+                    match Option.bind (Json.member "count" b) int_of with
+                    | Some c when c > 0 ->
+                      hist.counts.(i) <- hist.counts.(i) + c;
+                      hist.count <- hist.count + c
+                    | _ -> ())
+                buckets;
+              hist.sum_ms <- hist.sum_ms +. sum_ms)
+        | _ -> ())
+      fields
+  | _ -> ()
+
+let save_file t path =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (Json.to_string (snapshot t));
+    output_char oc '\n';
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+let load_file t path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> (try merge_snapshot t (Json.parse contents) with Json.Parse_error _ -> ())
+  | exception Sys_error _ -> ()

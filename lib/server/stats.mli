@@ -48,3 +48,19 @@ val dump : t -> out_channel -> unit
 
 (** Drop every instrument (tests and per-load benchmark runs). *)
 val reset : t -> unit
+
+(** {2 Persistence} — metrics across supervised restarts.
+
+    Snapshots merge {e additively}: loading a file adds its counter values
+    and histogram contents onto the registry's current state.  All three
+    functions swallow I/O and parse failures — persistence must never stop
+    the daemon from serving. *)
+
+(** Fold a {!snapshot}-shaped JSON value into the registry. *)
+val merge_snapshot : t -> Json.t -> unit
+
+(** Write the current snapshot to [path] (atomically, via a rename). *)
+val save_file : t -> string -> unit
+
+(** Merge the snapshot stored at [path]; no-op when missing or corrupt. *)
+val load_file : t -> string -> unit

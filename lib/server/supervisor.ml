@@ -1,0 +1,139 @@
+type config = {
+  max_restarts : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  healthy_s : float;
+  state_file : string;
+  child_pid_file : string option;
+  quiet : bool;
+}
+
+let default_config ~state_file =
+  {
+    max_restarts = 10;
+    backoff_base_ms = 100.;
+    backoff_cap_ms = 5000.;
+    healthy_s = 5.;
+    state_file;
+    child_pid_file = None;
+    quiet = false;
+  }
+
+let log cfg fmt =
+  Printf.ksprintf
+    (fun m ->
+      if not cfg.quiet then begin
+        Printf.eprintf "lcmd-supervisor: %s\n" m;
+        flush stderr
+      end)
+    fmt
+
+let write_pid_file path pid =
+  try
+    let oc = open_out path in
+    Printf.fprintf oc "%d\n" pid;
+    close_out oc
+  with Sys_error _ -> ()
+
+(* Fold the restart into the shared metrics file so the next incarnation
+   (which loads the file at startup) reports it from its stats endpoint. *)
+let record_restart cfg status =
+  let reg = Stats.create () in
+  Stats.load_file reg cfg.state_file;
+  Stats.incr reg "supervisor.restarts_total";
+  Stats.incr reg
+    (match status with
+    | Unix.WSIGNALED _ -> "supervisor.restarts.signal"
+    | _ -> "supervisor.restarts.exit");
+  Stats.save_file reg cfg.state_file
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+(* Sleep the full duration even across signal interruptions, but bail out
+   early once shutdown was requested. *)
+let interruptible_sleep ~stop seconds =
+  let until = Unix.gettimeofday () +. seconds in
+  let remaining () = until -. Unix.gettimeofday () in
+  while (not (stop ())) && remaining () > 0. do
+    try Unix.sleepf (remaining ()) with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let backoff_policy cfg =
+  { Retry.retries = max_int; base_ms = cfg.backoff_base_ms; cap_ms = cfg.backoff_cap_ms; budget_ms = None }
+
+let run cfg thunk =
+  let shutting_down = ref false in
+  let child = ref (-1) in
+  let forward signum =
+    shutting_down := true;
+    if !child > 0 then try Unix.kill !child signum with Unix.Unix_error _ -> ()
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle forward);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle forward);
+  let total_restarts = ref 0 in
+  let rec loop consecutive =
+    let started = Unix.gettimeofday () in
+    (* Each incarnation gets a fresh fault epoch: without it a fixed
+       LCM_CHAOS seed replays the predecessor's schedule and a crash point
+       fires at the same frame count in every child, forever. *)
+    if !total_restarts > 0 && Sys.getenv_opt Lcm_support.Fault.env_var <> None then
+      Unix.putenv Lcm_support.Fault.epoch_env_var (string_of_int !total_restarts);
+    match Unix.fork () with
+    | 0 ->
+      (* The thunk installs its own drain handlers; until it does, die the
+         default way rather than forwarding to a child we do not have. *)
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      (* Forked, not exec'd: the registry installed at process startup was
+         inherited, so re-read the environment to pick up the new epoch
+         (and reset the inherited occurrence counters). *)
+      ignore (Lcm_support.Fault.install_from_env ());
+      (try
+         thunk ();
+         Stdlib.exit 0
+       with e ->
+         Printf.eprintf "lcmd: fatal: %s\n%!" (Printexc.to_string e);
+         Stdlib.exit 70)
+    | pid ->
+      child := pid;
+      Option.iter (fun path -> write_pid_file path pid) cfg.child_pid_file;
+      let status = waitpid_retry pid in
+      child := -1;
+      let uptime = Unix.gettimeofday () -. started in
+      (match status with
+      | Unix.WEXITED 0 ->
+        log cfg "child %d exited cleanly after %.1f s" pid uptime;
+        0
+      | status when !shutting_down ->
+        log cfg "child %d stopped (%s) during shutdown" pid (status_to_string status);
+        0
+      | status ->
+        let consecutive = if uptime >= cfg.healthy_s then 1 else consecutive + 1 in
+        incr total_restarts;
+        record_restart cfg status;
+        if consecutive > cfg.max_restarts then begin
+          log cfg "child %d died (%s); %d consecutive failures, giving up" pid
+            (status_to_string status) consecutive;
+          match status with Unix.WEXITED n -> max 1 n | _ -> 1
+        end
+        else begin
+          let delay_ms = Retry.backoff_ms (backoff_policy cfg) ~attempt:(consecutive - 1) in
+          log cfg "child %d died (%s) after %.1f s; restart %d in %.0f ms" pid
+            (status_to_string status) uptime consecutive delay_ms;
+          if delay_ms > 0. then
+            interruptible_sleep ~stop:(fun () -> !shutting_down) (delay_ms /. 1000.);
+          if !shutting_down then 0 else loop consecutive
+        end)
+  in
+  let code = loop 0 in
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  code

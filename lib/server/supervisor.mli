@@ -1,0 +1,45 @@
+(** Supervised serving: fork the daemon, restart it when it dies badly.
+
+    The supervisor is a thin parent process with no domains and no request
+    state — everything that can crash lives in the child.  The contract:
+
+    - the child runs the supplied thunk and exits 0 on a graceful drain;
+    - a clean exit (status 0), or any exit after the supervisor itself was
+      asked to stop (SIGTERM/SIGINT, which it forwards to the child), ends
+      supervision with exit code 0;
+    - any other death — non-zero exit, [kill -9], a chaos-injected
+      [daemon.crash] — bumps [supervisor.restarts_total] (and a per-reason
+      counter) in the state file and forks a fresh child after a capped
+      exponential backoff ({!Retry.backoff_ms} shape, no jitter: restart
+      timing should be predictable for operators and tests);
+    - a child that stayed up for [healthy_s] before dying resets the
+      consecutive-failure count, so a long-running daemon that crashes
+      once restarts promptly;
+    - [max_restarts] {e consecutive} quick failures end supervision with
+      the last child's exit code — a daemon that cannot start should fail
+      loudly, not flap forever.
+
+    Metrics continuity is by way of the state file: each child is expected
+    to load it at startup and save it periodically
+    ({!Daemon.config.state_file}), and the supervisor folds its own restart
+    counters into the same file, so a [stats] request answered by the
+    third incarnation reports the full history including how many times
+    the daemon died. *)
+
+type config = {
+  max_restarts : int;  (** consecutive abnormal exits before giving up *)
+  backoff_base_ms : float;  (** delay before the first restart *)
+  backoff_cap_ms : float;  (** ceiling on the restart delay *)
+  healthy_s : float;  (** uptime that counts as recovered *)
+  state_file : string;  (** shared metrics file (see above) *)
+  child_pid_file : string option;  (** current child pid, rewritten per fork *)
+  quiet : bool;  (** suppress supervisor stderr logging *)
+}
+
+(** Defaults: 10 restarts, 100 ms base, 5 s cap, 5 s healthy. *)
+val default_config : state_file:string -> config
+
+(** [run config thunk] supervises [thunk] as described above and returns
+    the process exit code.  Must be called before any domains are spawned
+    (it forks). *)
+val run : config -> (unit -> unit) -> int

@@ -1,0 +1,156 @@
+exception Injected of string
+
+let env_var = "LCM_CHAOS"
+
+type reg = {
+  seed : int;
+  entries : (string * float) list;  (* in spec order; later entries win *)
+  lock : Mutex.t;
+  occ : (string, int ref) Hashtbl.t;  (* per-point occurrence counter *)
+  hits : (string, int ref) Hashtbl.t;
+}
+
+(* The production state is [None]: a probe is one atomic load + branch. *)
+let state : reg option Atomic.t = Atomic.make None
+
+let enabled () = Atomic.get state <> None
+
+let disable () = Atomic.set state None
+
+let configure ~seed entries =
+  Atomic.set state
+    (Some { seed; entries; lock = Mutex.create (); occ = Hashtbl.create 16; hits = Hashtbl.create 16 })
+
+(* ---- spec parsing ---- *)
+
+let parse_rate s =
+  let pct = String.length s > 0 && s.[String.length s - 1] = '%' in
+  let num = if pct then String.sub s 0 (String.length s - 1) else s in
+  match float_of_string_opt num with
+  | Some v ->
+    let v = if pct then v /. 100. else v in
+    if v >= 0. && v <= 1. then Ok v else Error (Printf.sprintf "rate %S out of [0,1]" s)
+  | None -> Error (Printf.sprintf "bad rate %S" s)
+
+let parse_spec s =
+  let parts = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "") in
+  if parts = [] then Error "empty chaos spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+        (match String.index_opt p '=' with
+        | None -> Error (Printf.sprintf "bad spec entry %S (expected point=rate)" p)
+        | Some i ->
+          let point = String.sub p 0 i in
+          if point = "" then Error (Printf.sprintf "bad spec entry %S (empty point)" p)
+          else
+            (match parse_rate (String.sub p (i + 1) (String.length p - i - 1)) with
+            | Ok r -> go ((point, r) :: acc) rest
+            | Error m -> Error m))
+    in
+    go [] parts
+
+let configure_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad %s value %S (expected seed:spec)" env_var s)
+  | Some i ->
+    (match int_of_string_opt (String.sub s 0 i) with
+    | None -> Error (Printf.sprintf "bad chaos seed in %S" s)
+    | Some seed ->
+      (match parse_spec (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Ok entries ->
+        configure ~seed entries;
+        Ok ()
+      | Error m -> Error m))
+
+let epoch_env_var = "LCM_CHAOS_EPOCH"
+
+(* Occurrence counters are per-process, so a restarted process replays the
+   same fault schedule and can crash periodically at the same frame count
+   forever.  A supervisor breaks the loop by bumping the epoch per restart;
+   (seed, epoch) still fully determines the schedule. *)
+let install_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> Ok ()
+  | Some s -> (
+    match configure_string s with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Option.bind (Sys.getenv_opt epoch_env_var) int_of_string_opt with
+      | None | Some 0 -> Ok ()
+      | Some epoch -> (
+        match Atomic.get state with
+        | None -> Ok ()
+        | Some reg ->
+          configure ~seed:(reg.seed + (epoch * 0x9E3779B9)) reg.entries;
+          Ok ())))
+
+(* ---- the decision ---- *)
+
+let matches pat point =
+  if pat = point then true
+  else
+    let n = String.length pat in
+    n > 0 && pat.[n - 1] = '*' && String.length point >= n - 1 && String.sub point 0 (n - 1) = String.sub pat 0 (n - 1)
+
+let rate_of reg point =
+  List.fold_left (fun acc (pat, r) -> if matches pat point then Some r else acc) None reg.entries
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0,1): splitmix of (seed, point, occurrence index).  53 bits
+   of the mix, so every representable probability is hittable. *)
+let u01 ~seed ~point ~k =
+  let h = Int64.of_int (Hashtbl.hash point) in
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) golden)
+      (Int64.add (Int64.mul h 0x100000001B3L) (Int64.of_int k))
+  in
+  Int64.to_float (Int64.shift_right_logical (mix64 (Int64.add z golden)) 11) /. 9007199254740992.
+
+let bump tbl point =
+  match Hashtbl.find_opt tbl point with
+  | Some r ->
+    incr r;
+    !r
+  | None ->
+    Hashtbl.add tbl point (ref 1);
+    1
+
+let fire point =
+  match Atomic.get state with
+  | None -> false
+  | Some reg ->
+    (match rate_of reg point with
+    | None | Some 0. -> false
+    | Some rate ->
+      Mutex.lock reg.lock;
+      let k = bump reg.occ point in
+      let decision = u01 ~seed:reg.seed ~point ~k < rate in
+      if decision then ignore (bump reg.hits point);
+      Mutex.unlock reg.lock;
+      decision)
+
+let inject point = if fire point then raise (Injected point)
+
+let counts () =
+  match Atomic.get state with
+  | None -> []
+  | Some reg ->
+    Mutex.lock reg.lock;
+    let l =
+      Hashtbl.fold
+        (fun point occ acc ->
+          let hits = match Hashtbl.find_opt reg.hits point with Some r -> !r | None -> 0 in
+          (point, !occ, hits) :: acc)
+        reg.occ []
+    in
+    Mutex.unlock reg.lock;
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) l

@@ -1,0 +1,68 @@
+(** Deterministic fault injection for chaos testing.
+
+    A process-wide registry of named injection points.  Code under test
+    asks {!fire} "does the fault at this point trigger now?"; the answer
+    is a pure function of the configured seed, the point's name, and how
+    many times that point has been reached — so a failing run replays
+    bit-for-bit from its [seed:spec] string, regardless of thread
+    interleaving across distinct points.
+
+    When no configuration is installed (the production state) every probe
+    is a single atomic load and a branch: the hooks are free.
+
+    The spec grammar (also accepted from the [LCM_CHAOS] environment
+    variable as [seed:spec]):
+
+    {v
+    spec  ::= entry (',' entry)*
+    entry ::= point '=' rate
+    point ::= a point name, optionally ending in '*' (prefix match)
+    rate  ::= probability in [0,1], or a percentage like '5%'
+    v}
+
+    e.g. [LCM_CHAOS=42:sock.*=0.05,engine.panic=1%].  Later entries win
+    over earlier ones when several match a point. *)
+
+(** Raised by {!inject} when its point fires.  Treated like any other
+    exception by the code under test — that is the point. *)
+exception Injected of string
+
+val env_var : string
+(** ["LCM_CHAOS"]. *)
+
+val epoch_env_var : string
+(** ["LCM_CHAOS_EPOCH"]: an integer mixed into the seed by
+    {!install_from_env}.  Occurrence counters are per-process, so a
+    restarted process would otherwise replay the exact fault schedule of
+    its predecessor — crashing at the same frame count forever.  A
+    supervisor bumps the epoch on each restart so every incarnation runs a
+    different (but still deterministic) schedule. *)
+
+val parse_spec : string -> ((string * float) list, string) result
+(** Parse the [spec] part of the grammar above. *)
+
+val configure : seed:int -> (string * float) list -> unit
+(** Install a configuration (replacing any previous one). *)
+
+val configure_string : string -> (unit, string) result
+(** Parse and install a full [seed:spec] string. *)
+
+val install_from_env : unit -> (unit, string) result
+(** Install from [LCM_CHAOS] when set; [Ok ()] when unset. *)
+
+val disable : unit -> unit
+(** Remove the configuration: every subsequent probe is free and false. *)
+
+val enabled : unit -> bool
+
+val fire : string -> bool
+(** [fire point] decides whether the fault at [point] triggers at this,
+    its k-th, occurrence.  Always false when disabled or the point matches
+    no spec entry. *)
+
+val inject : string -> unit
+(** [inject point] raises [Injected point] when [fire point]. *)
+
+val counts : unit -> (string * int * int) list
+(** [(point, occurrences, fired)] for every point probed since the last
+    {!configure}, sorted by name.  Empty when disabled. *)

@@ -38,7 +38,10 @@ let help t finished =
     match Queue.take_opt t.queue with
     | Some (task, batch) ->
       Mutex.unlock t.lock;
-      let failure = (try task (); None with e -> Some e) in
+      (* "pool.task" is the worker-death chaos point: an injected raise here
+         is exactly what a task dying on a pool domain looks like to the
+         batch (first failure kept, re-raised by [run] after the drain). *)
+      let failure = (try Fault.inject "pool.task"; task (); None with e -> Some e) in
       Mutex.lock t.lock;
       (match failure with
       | Some _ when batch.failure = None -> batch.failure <- failure
@@ -76,14 +79,20 @@ let shutdown t =
 let run t tasks =
   match tasks with
   | [] -> ()
-  | [ task ] -> task ()
+  | [ task ] ->
+    Fault.inject "pool.task";
+    task ()
   | tasks when t.size <= 1 ->
     (* Single-domain pool: the sequential fallback, no queue round-trip.
        Same semantics as the parallel path: the whole batch drains, the
        first failure is re-raised afterwards. *)
     let failure = ref None in
     List.iter
-      (fun task -> try task () with e -> if !failure = None then failure := Some e)
+      (fun task ->
+        try
+          Fault.inject "pool.task";
+          task ()
+        with e -> if !failure = None then failure := Some e)
       tasks;
     (match !failure with Some e -> raise e | None -> ())
   | tasks ->

@@ -28,4 +28,5 @@ let () =
       ("pool", Test_pool.suite);
       ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -1,0 +1,74 @@
+(* Supervisor tests run in their own executable: [Supervisor.run] forks,
+   and OCaml 5 forbids [Unix.fork] once any domain has been spawned — the
+   main test binary spawns domains in earlier suites.  Nothing here may
+   create a domain before the forks happen. *)
+
+module Stats = Lcm_server.Stats
+module Supervisor = Lcm_server.Supervisor
+
+let test_supervisor_restarts () =
+  let dir = Filename.temp_file "lcm-sup" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let state = Filename.concat dir "state.json" in
+  let marker = Filename.concat dir "lives" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ state; marker ];
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* The child crashes twice (tracked through a marker file, the only
+         state forked children share), then exits cleanly. *)
+      let thunk () =
+        let lives =
+          try int_of_string (String.trim (In_channel.with_open_text marker In_channel.input_all))
+          with Sys_error _ | Failure _ -> 0
+        in
+        Out_channel.with_open_text marker (fun oc -> Printf.fprintf oc "%d\n" (lives + 1));
+        (* _exit, not exit: a forked test child must not run the harness's
+           at_exit machinery. *)
+        if lives < 2 then Unix._exit 9 else Unix._exit 0
+      in
+      let cfg =
+        {
+          (Supervisor.default_config ~state_file:state) with
+          Supervisor.backoff_base_ms = 5.;
+          backoff_cap_ms = 20.;
+          quiet = true;
+        }
+      in
+      let code = Supervisor.run cfg thunk in
+      Alcotest.(check int) "clean exit after recovery" 0 code;
+      let reg = Stats.create () in
+      Stats.load_file reg state;
+      Alcotest.(check int) "restarts persisted" 2 (Stats.counter_value reg "supervisor.restarts_total"))
+
+let test_supervisor_gives_up () =
+  let state = Filename.temp_file "lcm-sup" ".state" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove state with Sys_error _ -> ())
+    (fun () ->
+      let cfg =
+        {
+          (Supervisor.default_config ~state_file:state) with
+          Supervisor.max_restarts = 2;
+          backoff_base_ms = 1.;
+          backoff_cap_ms = 2.;
+          quiet = true;
+        }
+      in
+      let code = Supervisor.run cfg (fun () -> Unix._exit 3) in
+      Alcotest.(check int) "propagates the child's exit code" 3 code;
+      let reg = Stats.create () in
+      Stats.load_file reg state;
+      Alcotest.(check int) "all restarts recorded" 3 (Stats.counter_value reg "supervisor.restarts_total"))
+
+let () =
+  Alcotest.run "lcm-supervisor"
+    [
+      ( "supervisor",
+        [
+          Alcotest.test_case "restarts and recovers" `Quick test_supervisor_restarts;
+          Alcotest.test_case "gives up after max restarts" `Quick test_supervisor_gives_up;
+        ] );
+    ]
