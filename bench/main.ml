@@ -26,6 +26,7 @@ let experiments =
     ("parallel", "multicore engine: pass overlap, bit slices, corpus fan-out", Exp_parallel.run);
     ("serve", "daemon under offered load: throughput, latency, backpressure", Exp_serve.run);
     ("chaos", "supervised daemon under injected faults: availability, degradation", Exp_chaos.run);
+    ("trace", "observability: tracing overhead, retry-crossing trace reconstruction", Exp_trace.run);
   ]
 
 let list_experiments () =
@@ -47,6 +48,7 @@ let () =
     Exp_parallel.run_quick ()
   | [ _; "--experiment"; "serve"; "--quick" ] | [ _; "serve"; "--quick" ] -> Exp_serve.run_quick ()
   | [ _; "--experiment"; "chaos"; "--quick" ] | [ _; "chaos"; "--quick" ] -> Exp_chaos.run_quick ()
+  | [ _; "--experiment"; "trace"; "--quick" ] | [ _; "trace"; "--quick" ] -> Exp_trace.run_quick ()
   | [ _; "--experiment"; id ] | [ _; id ] -> run_one id
   | _ ->
     prerr_endline "usage: main.exe [--list | --experiment <id> [--quick]]";

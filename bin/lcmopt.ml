@@ -78,7 +78,11 @@ let print_stats g =
 
 (* ---- run ---- *)
 
-let run_cmd source func_name algorithm simplify dot_path quiet =
+module Pass = Lcm_core.Pass
+module Trace = Lcm_obs.Trace
+module Prof = Lcm_obs.Prof
+
+let run_cmd source func_name algorithm simplify dot_path quiet trace_path profile =
   match load ~source ~func_name with
   | Error m ->
     prerr_endline m;
@@ -89,16 +93,32 @@ let run_cmd source func_name algorithm simplify dot_path quiet =
       Printf.eprintf "unknown algorithm %S; see `lcmopt list`\n" algorithm;
       1
     | Some entry ->
-      let g' = entry.Registry.run g in
-      let g' =
-        if simplify then begin
-          let h = Cfg.copy g' in
-          Cfg.merge_straight_pairs h;
-          Cfg.remove_unreachable h;
-          h
-        end
-        else g'
+      let observing = trace_path <> None || profile in
+      if observing then Trace.enable ();
+      let pipe =
+        if simplify then Pass.Pipeline.append entry.Registry.pipeline [ Pass.simplify ]
+        else entry.Registry.pipeline
       in
+      let g', _reports =
+        Trace.in_trace ~trace_id:(Trace.mint_id ()) "request" (fun () ->
+            Pass.Pipeline.run Pass.default_ctx pipe g)
+      in
+      (if observing then begin
+         let spans = Trace.drain () in
+         Trace.disable ();
+         (match trace_path with
+         | Some path ->
+           let oc = open_out path in
+           output_string oc (Trace.to_chrome spans);
+           close_out oc;
+           Printf.eprintf "wrote %s (%d spans)\n" path (List.length spans)
+         | None -> ());
+         if profile then begin
+           let p = Prof.create () in
+           Prof.add p spans;
+           Format.printf "%a@." Prof.pp p
+         end
+       end);
       if not quiet then begin
         print_endline "== before ==";
         print_endline (Cfg.to_string g);
@@ -352,7 +372,7 @@ let write_pid_file path =
   with Sys_error m -> Printf.eprintf "cannot write pid file: %s\n" m
 
 let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing quiet supervise
-    max_restarts restart_backoff_ms restart_cap_ms state_file pid_file =
+    max_restarts restart_backoff_ms restart_cap_ms state_file pid_file trace_dir =
   match (stdio, socket) with
   | false, None ->
     prerr_endline "serve: provide --stdio or --socket PATH";
@@ -380,6 +400,7 @@ let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing q
              supervisor is for); in-process daemons never get this. *)
           hard_faults = true;
           state_file;
+          trace_dir;
         }
       in
       match socket with
@@ -449,7 +470,7 @@ let read_response_frame ?deadline fd =
   go ()
 
 let request_cmd socket file workload func_name algorithm simplify workers deadline_ms retries
-    backoff_ms timeout_ms op =
+    backoff_ms timeout_ms op trace_id =
   let build_run () =
     match (file, workload) with
     | Some _, Some _ -> Error "provide either a FILE or --workload, not both"
@@ -478,6 +499,7 @@ let request_cmd socket file workload func_name algorithm simplify workers deadli
     match op with
     | `Stats -> Ok [ ("op", Json.String "stats") ]
     | `Ping -> Ok [ ("op", Json.String "ping") ]
+    | `Profile -> Ok [ ("op", Json.String "profile") ]
     | `Run ->
       Result.map
         (fun body ->
@@ -492,8 +514,14 @@ let request_cmd socket file workload func_name algorithm simplify workers deadli
     prerr_endline m;
     1
   | Ok fields ->
+    (* One trace id for the whole command: every retry reuses it, so a
+       request that crosses retries (and daemon restarts) reconstructs as
+       one span tree in the daemon's --trace-dir file. *)
+    let tid =
+      match trace_id with Some t -> t | None -> Printf.sprintf "cli-%d" (Unix.getpid ())
+    in
     let fields =
-      [ ("id", Json.Int (Unix.getpid ())) ]
+      [ ("id", Json.Int (Unix.getpid ())); ("trace_id", Json.String tid) ]
       @ fields
       @ match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> []
     in
@@ -639,10 +667,25 @@ let run_term =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH" ~doc:"Write the result as Graphviz.")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print statistics.") in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Record a span trace of the run and write it to $(docv) as a Chrome trace_event JSON \
+             document (load with chrome://tracing or Perfetto).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print a per-phase profile (time, allocation, solver iterations) after the run.")
+  in
   Term.(
-    const (fun source func_name algorithm simplify dot quiet ->
-        with_source (fun s f -> run_cmd s f algorithm simplify dot quiet) source func_name)
-    $ source_term $ func_term $ algorithm $ simplify $ dot $ quiet)
+    const (fun source func_name algorithm simplify dot quiet trace profile ->
+        with_source (fun s f -> run_cmd s f algorithm simplify dot quiet trace profile) source func_name)
+    $ source_term $ func_term $ algorithm $ simplify $ dot $ quiet $ trace $ profile)
 
 let analyze_term =
   Term.(const (fun source func_name -> with_source (fun s f -> analyze_cmd s f) source func_name) $ source_term $ func_term)
@@ -785,10 +828,20 @@ let serve_term =
             "Write the pid of the serving process to $(docv); under --supervise this is the current \
              child, rewritten after every restart.")
   in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Enable request tracing: every request's span tree is appended to \
+             $(docv)/<trace_id>.trace.json in Chrome trace_event format.  Retries and supervised \
+             restarts that reuse a client trace_id append to the same file.")
+  in
   Term.(
     const serve_cmd $ stdio $ socket $ queue $ batch $ max_frame $ deadline $ workers $ no_timing
     $ quiet $ supervise $ max_restarts $ restart_backoff_ms $ restart_cap_ms $ state_file
-    $ pid_file)
+    $ pid_file $ trace_dir)
 
 let request_term =
   let socket =
@@ -828,6 +881,20 @@ let request_term =
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Query the daemon's metrics registry instead.") in
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check instead of a run request.") in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ] ~doc:"Query the daemon's per-phase profile aggregates instead.")
+  in
+  let trace_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:
+            "Trace id attached to the request (default: cli-<pid>).  Reused verbatim across \
+             retries so one logical request reconstructs as one trace.")
+  in
   let retries =
     Arg.(
       value & opt int 0
@@ -852,13 +919,18 @@ let request_term =
              for the response.")
   in
   Term.(
-    const (fun socket file workload func algorithm simplify workers deadline stats ping retries
-               backoff timeout ->
-        let op = if stats then `Stats else if ping then `Ping else `Run in
+    const (fun socket file workload func algorithm simplify workers deadline stats ping profile
+               retries backoff timeout trace_id ->
+        let op =
+          if stats then `Stats
+          else if ping then `Ping
+          else if profile then `Profile
+          else `Run
+        in
         request_cmd socket file workload func algorithm simplify workers deadline retries backoff
-          timeout op)
+          timeout op trace_id)
     $ socket $ file $ workload $ func_term $ algorithm $ simplify $ workers $ deadline $ stats
-    $ ping $ retries $ backoff $ timeout)
+    $ ping $ profile $ retries $ backoff $ timeout $ trace_id)
 
 let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
 

@@ -93,3 +93,16 @@ let transform g =
     (Loop.loops loops);
   Validate.check_exn g;
   (g, !stats)
+
+let pass =
+  Lcm_core.Pass.v "licm" (fun _ctx g ->
+      let g', s = transform g in
+      ( g',
+        Lcm_core.Pass.report
+          ~notes:
+            [
+              ("loops_processed", string_of_int s.loops_processed);
+              ("hoisted", string_of_int s.hoisted);
+              ("rewritten", string_of_int s.rewritten);
+            ]
+          () ))

@@ -24,3 +24,6 @@ type stats = {
     Runs {!Lcse} first so that repeated in-block occurrences cannot be
     missed. *)
 val transform : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
+
+(** [transform] under the unified pass API. *)
+val pass : Lcm_core.Pass.t

@@ -141,3 +141,9 @@ let spec g a =
 let transform ?simplify g =
   let a = analyze g in
   Transform.apply ?simplify g (spec g a)
+
+let pass =
+  Lcm_core.Pass.v "morel-renvoise" (fun _ctx g ->
+      let a = analyze g in
+      let g', rep = Transform.apply g (spec g a) in
+      (g', Lcm_core.Pass.report ~sweeps:a.sweeps ~visits:a.visits ~spec:rep.Transform.spec ()))

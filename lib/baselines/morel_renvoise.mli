@@ -36,3 +36,6 @@ type analysis = {
 val analyze : ?pool:Lcm_ir.Expr_pool.t -> Lcm_cfg.Cfg.t -> analysis
 val spec : Lcm_cfg.Cfg.t -> analysis -> Lcm_core.Transform.spec
 val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Lcm_core.Transform.report
+
+(** [analyze] + [apply] under the unified pass API. *)
+val pass : Lcm_core.Pass.t

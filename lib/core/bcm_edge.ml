@@ -31,15 +31,16 @@ let earliest g local avail antic (p, b) =
 
 let analyze ?pool ?workers g =
   let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
-  let local = Local.compute g pool in
+  let local = Lcm_obs.Trace.span "lcm.local" (fun () -> Local.compute g pool) in
   (* Same overlap as [Lcm_edge]: the two safety systems are independent. *)
   let avail, antic = Lcm_edge.solve_safety_systems ?workers g local in
   let insert =
-    List.filter_map
-      (fun e ->
-        let v = earliest g local avail antic e in
-        if Bitvec.is_empty v then None else Some (e, v))
-      (Cfg.edges g)
+    Lcm_obs.Trace.span "lcm.earliest" (fun () ->
+        List.filter_map
+          (fun e ->
+            let v = earliest g local avail antic e in
+            if Bitvec.is_empty v then None else Some (e, v))
+          (Cfg.edges g))
   in
   (* Under busy placement every upwards-exposed computation of a reachable
      block becomes fully redundant — except in the entry block, which has
@@ -84,3 +85,9 @@ let spec g a =
 let transform ?simplify ?workers g =
   let a = analyze ?workers g in
   Transform.apply ?simplify g (spec g a)
+
+let pass =
+  Pass.v "bcm-edge" (fun ctx g ->
+      let a = analyze ?workers:ctx.Pass.workers g in
+      let g', rep = Transform.apply g (spec g a) in
+      (g', Pass.report ~sweeps:a.sweeps ~visits:a.visits ~spec:rep.Transform.spec ()))

@@ -35,3 +35,6 @@ val transform :
   ?workers:Lcm_support.Pool.t ->
   Lcm_cfg.Cfg.t ->
   Lcm_cfg.Cfg.t * Transform.report
+
+(** [analyze] + [apply] under the unified pass API. *)
+val pass : Pass.t

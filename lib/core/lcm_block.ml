@@ -60,3 +60,12 @@ let spec a =
 let transform ?simplify g =
   let a = analyze g in
   Transform.apply ?simplify a.graph (spec a)
+
+(* The report deliberately carries no spec: the decision refers to the
+   pre-split graph, so a placement check against the pass input would be
+   checking the wrong graph. *)
+let pass =
+  Pass.v "lcm-block" (fun _ctx g ->
+      let a = Lcm_obs.Trace.span "lcm.split" (fun () -> analyze g) in
+      let g', _rep = Transform.apply a.graph (spec a) in
+      (g', Pass.report ~notes:[ ("edges_pre_split", string_of_int a.edges_pre_split) ] ()))

@@ -28,3 +28,7 @@ val spec : analysis -> Transform.spec
 
 (** [transform g]: pre-split, analyze, apply. *)
 val transform : ?simplify:bool -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Transform.report
+
+(** {!transform} under the unified pass API (sequential; the report has no
+    spec because the decision refers to the pre-split graph). *)
+val pass : Pass.t

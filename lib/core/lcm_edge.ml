@@ -1,5 +1,6 @@
 module Bitvec = Lcm_support.Bitvec
 module Pool = Lcm_support.Pool
+module Trace = Lcm_obs.Trace
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 module Local = Lcm_dataflow.Local
@@ -129,19 +130,33 @@ let solve_safety_systems ?workers g local =
     let avail = ref None and antic = ref None in
     Pool.run w
       [
-        (fun () -> avail := Some (Avail.compute_par ~pool:w g local));
-        (fun () -> antic := Some (Antic.compute_par ~pool:w g local));
+        (fun () ->
+          avail := Some (Trace.span "lcm.up_safety" (fun () -> Avail.compute_par ~pool:w g local)));
+        (fun () ->
+          antic := Some (Trace.span "lcm.down_safety" (fun () -> Antic.compute_par ~pool:w g local)));
       ];
     (Option.get !avail, Option.get !antic)
-  | Some _ | None -> (Avail.compute g local, Antic.compute g local)
+  | Some _ | None ->
+    ( Trace.span "lcm.up_safety" (fun () -> Avail.compute g local),
+      Trace.span "lcm.down_safety" (fun () -> Antic.compute g local) )
 
+(* Span names follow the paper's cascade: down-safety (ANTIC), earliestness,
+   delay (LATERIN), latestness — the four phases a trace of one LCM solve
+   must show (the up-safety AVAIL system rides along as "lcm.up_safety"). *)
 let analyze ?pool ?workers g =
   let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
-  let local = Local.compute g pool in
+  let local = Trace.span "lcm.local" (fun () -> Local.compute g pool) in
   let avail, antic = solve_safety_systems ?workers g local in
-  let earliest_tbl, earliest_by_pred = compute_earliest g local avail antic in
+  let earliest_tbl, earliest_by_pred =
+    Trace.span "lcm.earliest" (fun () -> compute_earliest g local avail antic)
+  in
   let (laterin_arr, laterin_live), later_sweeps, later_visits =
-    compute_laterin g local earliest_by_pred
+    Trace.span_attrs "lcm.delay" (fun () ->
+        let ((_, later_sweeps, later_visits) as r) = compute_laterin g local earliest_by_pred in
+        ( r,
+          [
+            ("sweeps", string_of_int later_sweeps); ("visits", string_of_int later_visits);
+          ] ))
   in
   let laterin l =
     if l >= 0 && l < Array.length laterin_arr && laterin_live.(l) then laterin_arr.(l)
@@ -158,29 +173,33 @@ let analyze ?pool ?workers g =
     ignore (Bitvec.union_into ~into:v (earliest (p, b)));
     v
   in
-  let insert =
-    List.filter_map
-      (fun (p, b) ->
-        let v = later (p, b) in
-        ignore (Bitvec.diff_into ~into:v (laterin b));
-        if Bitvec.is_empty v then None else Some ((p, b), v))
-      (Cfg.edges g)
+  let insert, delete, copy =
+    Trace.span "lcm.latest" (fun () ->
+        let insert =
+          List.filter_map
+            (fun (p, b) ->
+              let v = later (p, b) in
+              ignore (Bitvec.diff_into ~into:v (laterin b));
+              if Bitvec.is_empty v then None else Some ((p, b), v))
+            (Cfg.edges g)
+        in
+        let delete =
+          (* DELETE is defined for b ≠ ENTRY only: the entry has no incoming
+             edges, so no insertion could ever cover a deletion there (its
+             LATERIN is the ∅ boundary, not a data-flow result). *)
+          List.filter_map
+            (fun b ->
+              if Label.equal b (Cfg.entry g) then None
+              else begin
+                let v = Bitvec.copy (Local.antloc local b) in
+                ignore (Bitvec.diff_into ~into:v (laterin b));
+                if Bitvec.is_empty v then None else Some (b, v)
+              end)
+            (Cfg.labels g)
+        in
+        let copy = Copy_analysis.copies g local ~insert_edges:insert ~deletes:delete in
+        (insert, delete, copy))
   in
-  let delete =
-    (* DELETE is defined for b ≠ ENTRY only: the entry has no incoming
-       edges, so no insertion could ever cover a deletion there (its
-       LATERIN is the ∅ boundary, not a data-flow result). *)
-    List.filter_map
-      (fun b ->
-        if Label.equal b (Cfg.entry g) then None
-        else begin
-          let v = Bitvec.copy (Local.antloc local b) in
-          ignore (Bitvec.diff_into ~into:v (laterin b));
-          if Bitvec.is_empty v then None else Some (b, v)
-        end)
-      (Cfg.labels g)
-  in
-  let copy = Copy_analysis.copies g local ~insert_edges:insert ~deletes:delete in
   {
     pool;
     local;
@@ -211,3 +230,9 @@ let spec g a =
 let transform ?simplify ?workers g =
   let a = analyze ?workers g in
   Transform.apply ?simplify g (spec g a)
+
+let pass =
+  Pass.v "lcm-edge" (fun ctx g ->
+      let a = analyze ?workers:ctx.Pass.workers g in
+      let g', rep = Transform.apply g (spec g a) in
+      (g', Pass.report ~sweeps:a.sweeps ~visits:a.visits ~spec:rep.Transform.spec ()))

@@ -63,3 +63,8 @@ val transform :
   ?workers:Lcm_support.Pool.t ->
   Lcm_cfg.Cfg.t ->
   Lcm_cfg.Cfg.t * Transform.report
+
+(** [analyze] + [apply] under the unified pass API; the context's pool
+    enables the parallel path, the report carries the spec and iteration
+    counts. *)
+val pass : Pass.t

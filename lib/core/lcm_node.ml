@@ -179,3 +179,10 @@ let transform ?simplify variant g =
   let g = Lcm_cfg.Edge_split.split_join_edges g in
   let a = analyze g in
   Transform.apply ?simplify g (spec g a variant)
+
+(* No spec in the report: the decision refers to the granulated, join-split
+   graph, not the pass input. *)
+let pass variant =
+  Pass.v (variant_name variant) (fun _ctx g ->
+      let g', _rep = transform variant g in
+      (g', Pass.report ()))

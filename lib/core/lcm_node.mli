@@ -63,3 +63,7 @@ val spec : Lcm_cfg.Cfg.t -> analysis -> variant -> Transform.spec
     only landing nodes let the node model express per-edge placement), and
     applies the variant's decision. *)
 val transform : ?simplify:bool -> variant -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * Transform.report
+
+(** [transform variant] under the unified pass API (sequential; no spec in
+    the report because the decision refers to the granulated graph). *)
+val pass : variant -> Pass.t

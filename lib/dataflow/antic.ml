@@ -77,6 +77,14 @@ let run_par confluence ?pool ?threshold g local =
     visits = result.Solver.visits;
   }
 
-let compute g local = run Solver.Inter g local
-let compute_partial g local = run Solver.Union g local
-let compute_par ?pool ?threshold g local = run_par Solver.Inter ?pool ?threshold g local
+(* See [Avail.solve]. *)
+let solve name f =
+  Lcm_obs.Trace.span_attrs name (fun () ->
+      let r = f () in
+      (r, [ ("sweeps", string_of_int r.sweeps); ("visits", string_of_int r.visits) ]))
+
+let compute g local = solve "solve.antic" (fun () -> run Solver.Inter g local)
+let compute_partial g local = solve "solve.antic.partial" (fun () -> run Solver.Union g local)
+
+let compute_par ?pool ?threshold g local =
+  solve "solve.antic" (fun () -> run_par Solver.Inter ?pool ?threshold g local)

@@ -36,6 +36,7 @@ let gen_kill g vars l =
   (gen, kill)
 
 let compute ?exit_live g =
+  Lcm_obs.Trace.span_attrs "solve.live" @@ fun () ->
   let vars = Var_pool.of_cfg g in
   let n = Var_pool.size vars in
   let return_var = Lcm_cfg.Lower.return_var in
@@ -58,13 +59,17 @@ let compute ?exit_live g =
     Solver.run g
       { Solver.nbits = n; direction = Solver.Backward; confluence = Solver.Union; boundary; transfer }
   in
-  {
-    vars;
-    livein = result.Solver.block_in;
-    liveout = result.Solver.block_out;
-    sweeps = result.Solver.sweeps;
-    visits = result.Solver.visits;
-  }
+  ( {
+      vars;
+      livein = result.Solver.block_in;
+      liveout = result.Solver.block_out;
+      sweeps = result.Solver.sweeps;
+      visits = result.Solver.visits;
+    },
+    [
+      ("sweeps", string_of_int result.Solver.sweeps);
+      ("visits", string_of_int result.Solver.visits);
+    ] )
 
 let live_blocks t g v =
   match Var_pool.index t.vars v with

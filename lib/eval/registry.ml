@@ -1,4 +1,5 @@
 module Cfg = Lcm_cfg.Cfg
+module Pass = Lcm_core.Pass
 module Lcm_edge = Lcm_core.Lcm_edge
 module Bcm_edge = Lcm_core.Bcm_edge
 module Lcm_node = Lcm_core.Lcm_node
@@ -15,77 +16,73 @@ type entry = {
   is_paper_algorithm : bool;
   speculative : bool;
   preserves_expressions : bool;
+  parallelizable : bool;
+  pipeline : Pass.Pipeline.t;
   run : Cfg.t -> Cfg.t;
 }
 
-let plain name description run =
-  { name; description; is_paper_algorithm = false; speculative = false; preserves_expressions = true; run }
+(* [run] is always derived from the pipeline (sequential context), so the
+   two can never disagree. *)
+let make ?(is_paper_algorithm = false) ?(speculative = false) ?(preserves_expressions = true)
+    ?(parallelizable = false) name description passes =
+  let pipeline = Pass.Pipeline.v name passes in
+  {
+    name;
+    description;
+    is_paper_algorithm;
+    speculative;
+    preserves_expressions;
+    parallelizable;
+    pipeline;
+    run = (fun g -> Pass.Pipeline.run_graph Pass.default_ctx pipeline g);
+  }
 
-let paper name description run =
-  { name; description; is_paper_algorithm = true; speculative = false; preserves_expressions = true; run }
+let plain name description passes = make name description passes
+let paper name description passes = make ~is_paper_algorithm:true name description passes
+
+let dvnt_pass =
+  Pass.v "ssa-dvnt" (fun _ctx g ->
+      let g', s = Lcm_ssa.Dvnt.pass g in
+      ( g',
+        Pass.report
+          ~notes:
+            [
+              ("exprs_replaced", string_of_int s.Lcm_ssa.Dvnt.exprs_replaced);
+              ("phis_simplified", string_of_int s.Lcm_ssa.Dvnt.phis_simplified);
+            ]
+          () ))
 
 let all =
   [
-    plain "identity" "no transformation" Cfg.copy;
-    plain "lcse" "local value numbering with temporaries" (fun g -> fst (Lcse.run g));
-    plain "gcse" "global CSE: full redundancies only (AVAIL-based)" (fun g -> fst (Gcse.transform g));
-    {
-      name = "licm";
-      description = "dominator-based loop-invariant code motion (speculative)";
-      is_paper_algorithm = false;
-      speculative = true;
-      preserves_expressions = true;
-      run = (fun g -> fst (Licm.transform g));
-    };
-    {
-      name = "strength-reduction";
-      description = "loop strength reduction of induction-variable multiplications (speculative)";
-      is_paper_algorithm = false;
-      speculative = true;
-      preserves_expressions = true;
-      run = (fun g -> fst (Strength_reduction.run g));
-    };
-    {
-      name = "ssa-dvnt";
-      description = "dominator-based value numbering over SSA form";
-      is_paper_algorithm = false;
-      speculative = false;
-      preserves_expressions = false;
-      run = (fun g -> fst (Lcm_ssa.Dvnt.pass g));
-    };
-    plain "morel-renvoise" "Morel-Renvoise 1979 bidirectional PRE" (fun g ->
-        fst (Morel_renvoise.transform g));
-    paper "bcm-edge" "Busy Code Motion, edge insertions (earliest placement)" (fun g ->
-        fst (Bcm_edge.transform g));
-    paper "lcm-edge" "Lazy Code Motion, edge insertions (the paper's algorithm, practical form)"
-      (fun g -> fst (Lcm_edge.transform g));
-    paper "lcm-block" "Lazy Code Motion with entry/exit placements on a pre-split graph (TOPLAS form)"
-      (fun g -> fst (Lcm_core.Lcm_block.transform g));
-    {
-      name = "lcm-cleanup";
-      description = "lcm-edge followed by the copy-prop/fold/DCE cleanup pipeline";
-      is_paper_algorithm = true;
-      speculative = false;
-      preserves_expressions = false;
-      run = (fun g -> fst (Cleanup.run (fst (Lcm_edge.transform g))));
-    };
-    {
-      name = "lcm-iterated";
-      description = "lcm-edge and cleanup repeated: copy propagation exposes value redundancies to the next round";
-      is_paper_algorithm = false;
-      speculative = false;
-      preserves_expressions = false;
-      run =
-        (fun g ->
-          let round h = fst (Cleanup.run (fst (Lcm_edge.transform h))) in
-          round (round g));
-    };
-    paper "bcm-node" "Busy Code Motion, node form of PLDI 1992" (fun g ->
-        fst (Lcm_node.transform Lcm_node.Bcm g));
-    paper "alcm-node" "Almost-lazy Code Motion (no isolation pruning)" (fun g ->
-        fst (Lcm_node.transform Lcm_node.Alcm g));
-    paper "lcm-node" "Lazy Code Motion, node form of PLDI 1992" (fun g ->
-        fst (Lcm_node.transform Lcm_node.Lcm g));
+    plain "identity" "no transformation" [ Pass.of_fn "identity" Cfg.copy ];
+    plain "lcse" "local value numbering with temporaries" [ Lcse.pass ];
+    plain "gcse" "global CSE: full redundancies only (AVAIL-based)" [ Gcse.pass ];
+    make ~speculative:true "licm" "dominator-based loop-invariant code motion (speculative)"
+      [ Licm.pass ];
+    make ~speculative:true "strength-reduction"
+      "loop strength reduction of induction-variable multiplications (speculative)"
+      [ Strength_reduction.pass ];
+    make ~preserves_expressions:false "ssa-dvnt"
+      "dominator-based value numbering over SSA form" [ dvnt_pass ];
+    plain "morel-renvoise" "Morel-Renvoise 1979 bidirectional PRE" [ Morel_renvoise.pass ];
+    make ~is_paper_algorithm:true ~parallelizable:true "bcm-edge"
+      "Busy Code Motion, edge insertions (earliest placement)" [ Bcm_edge.pass ];
+    make ~is_paper_algorithm:true ~parallelizable:true "lcm-edge"
+      "Lazy Code Motion, edge insertions (the paper's algorithm, practical form)"
+      [ Lcm_edge.pass ];
+    paper "lcm-block"
+      "Lazy Code Motion with entry/exit placements on a pre-split graph (TOPLAS form)"
+      [ Lcm_core.Lcm_block.pass ];
+    make ~is_paper_algorithm:true ~preserves_expressions:false ~parallelizable:true "lcm-cleanup"
+      "lcm-edge followed by the copy-prop/fold/DCE cleanup pipeline"
+      [ Lcm_edge.pass; Cleanup.pass ];
+    make ~preserves_expressions:false ~parallelizable:true "lcm-iterated"
+      "lcm-edge and cleanup repeated: copy propagation exposes value redundancies to the next round"
+      [ Lcm_edge.pass; Cleanup.pass; Lcm_edge.pass; Cleanup.pass ];
+    paper "bcm-node" "Busy Code Motion, node form of PLDI 1992" [ Lcm_node.pass Lcm_node.Bcm ];
+    paper "alcm-node" "Almost-lazy Code Motion (no isolation pruning)"
+      [ Lcm_node.pass Lcm_node.Alcm ];
+    paper "lcm-node" "Lazy Code Motion, node form of PLDI 1992" [ Lcm_node.pass Lcm_node.Lcm ];
   ]
 
 let safe = List.filter (fun e -> not e.speculative) all

@@ -1,8 +1,10 @@
 (** The catalogue of transformations compared by the experiments.
 
-    Everything callable under one signature: graph in, graph out.  Newly
-    introduced temporaries are recovered generically as the variables of
-    the output that the input never mentioned. *)
+    Every entry is a {!Lcm_core.Pass.Pipeline.t}; [run] is derived from it
+    under the sequential context, so the convenience signature (graph in,
+    graph out) and the pipeline can never disagree.  Newly introduced
+    temporaries are recovered generically as the variables of the output
+    that the input never mentioned. *)
 
 type entry = {
   name : string;
@@ -17,7 +19,12 @@ type entry = {
           per-expression path counts are comparable with the original's;
           false for the cleanup pipeline, whose copy propagation renames
           operands (only per-path *totals* are comparable there) *)
+  parallelizable : bool;
+      (** some pass in the pipeline uses [ctx.workers] when present
+          (results stay bit-identical with and without a pool) *)
+  pipeline : Lcm_core.Pass.Pipeline.t;
   run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t;
+      (** the pipeline under {!Lcm_core.Pass.default_ctx}, reports dropped *)
 }
 
 (** In comparison order: identity, lcse, gcse, licm, strength-reduction,

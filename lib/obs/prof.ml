@@ -1,0 +1,120 @@
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  alloc_w : float;
+  sweeps : int;
+  visits : int;
+}
+
+type acc = {
+  mutable a_count : int;
+  mutable a_total_s : float;
+  mutable a_self_s : float;
+  mutable a_alloc_w : float;
+  mutable a_sweeps : int;
+  mutable a_visits : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  phases : (string, acc) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); phases = Hashtbl.create 32 }
+
+let attr_int sp name =
+  match List.assoc_opt name sp.Trace.attrs with
+  | Some s -> Option.value (int_of_string_opt s) ~default:0
+  | None -> 0
+
+let add t spans =
+  (* Child time per parent id, for self-time: computed over this batch, so
+     callers should feed whole trees (a trace at a time). *)
+  let child = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      if sp.Trace.parent >= 0 then
+        let d = Float.max 0. (Trace.dur sp) in
+        match Hashtbl.find_opt child sp.Trace.parent with
+        | Some r -> r := !r +. d
+        | None -> Hashtbl.add child sp.Trace.parent (ref d))
+    spans;
+  Mutex.lock t.lock;
+  List.iter
+    (fun (sp : Trace.span) ->
+      let a =
+        match Hashtbl.find_opt t.phases sp.Trace.name with
+        | Some a -> a
+        | None ->
+          let a =
+            { a_count = 0; a_total_s = 0.; a_self_s = 0.; a_alloc_w = 0.; a_sweeps = 0; a_visits = 0 }
+          in
+          Hashtbl.add t.phases sp.Trace.name a;
+          a
+      in
+      let d = Float.max 0. (Trace.dur sp) in
+      let child_s = match Hashtbl.find_opt child sp.Trace.id with Some r -> !r | None -> 0. in
+      a.a_count <- a.a_count + 1;
+      a.a_total_s <- a.a_total_s +. d;
+      a.a_self_s <- a.a_self_s +. Float.max 0. (d -. child_s);
+      a.a_alloc_w <- a.a_alloc_w +. Float.max 0. sp.Trace.alloc_w;
+      a.a_sweeps <- a.a_sweeps + attr_int sp "sweeps";
+      a.a_visits <- a.a_visits + attr_int sp "visits")
+    spans;
+  Mutex.unlock t.lock
+
+let rows t =
+  Mutex.lock t.lock;
+  let l =
+    Hashtbl.fold
+      (fun name a acc ->
+        {
+          name;
+          count = a.a_count;
+          total_s = a.a_total_s;
+          self_s = a.a_self_s;
+          alloc_w = a.a_alloc_w;
+          sweeps = a.a_sweeps;
+          visits = a.a_visits;
+        }
+        :: acc)
+      t.phases []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> compare (b.total_s, a.name) (a.total_s, b.name)) l
+
+let to_json t =
+  Json.Obj
+    [
+      ( "phases",
+        Json.Obj
+          (List.map
+             (fun r ->
+               ( r.name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int r.count);
+                     ("total_ms", Json.Float (r.total_s *. 1000.));
+                     ("self_ms", Json.Float (r.self_s *. 1000.));
+                     ("alloc_w", Json.Float (Float.round r.alloc_w));
+                     ("sweeps", Json.Int r.sweeps);
+                     ("visits", Json.Int r.visits);
+                   ] ))
+             (rows t)) );
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "%-28s %8s %12s %12s %14s %8s %8s@." "phase" "count" "total_ms" "self_ms"
+    "alloc_w" "sweeps" "visits";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-28s %8d %12.3f %12.3f %14.0f %8d %8d@." r.name r.count (r.total_s *. 1000.)
+        (r.self_s *. 1000.) r.alloc_w r.sweeps r.visits)
+    (rows t)
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.phases;
+  Mutex.unlock t.lock

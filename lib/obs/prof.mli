@@ -1,0 +1,42 @@
+(** Span aggregation: per-phase profiles.
+
+    Folds finished {!Trace.span}s into one row per span name: invocation
+    count, total (inclusive) time, self time (total minus the time of
+    direct children {e present in the same batch}), allocated words, and
+    summed solver iteration counts read from the conventional ["sweeps"]
+    and ["visits"] attributes.
+
+    Feed whole trees per {!add} call — self time is computed against the
+    children of that batch.  A span whose children ran in parallel on
+    other domains can have more child time than its own duration; self
+    time clamps at zero rather than going negative. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  alloc_w : float;
+  sweeps : int;
+  visits : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** Fold a batch of spans (typically one trace) into the profile.
+    Thread-safe. *)
+val add : t -> Trace.span list -> unit
+
+(** Rows sorted by total time, descending. *)
+val rows : t -> row list
+
+(** [{"phases": {name: {count, total_ms, self_ms, alloc_w, sweeps,
+    visits}, ...}}], phases sorted by total time descending. *)
+val to_json : t -> Json.t
+
+(** Human-readable table of {!rows}. *)
+val pp : Format.formatter -> t -> unit
+
+val reset : t -> unit

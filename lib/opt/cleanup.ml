@@ -52,3 +52,17 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "%d rounds: %d copies propagated, %d local reuses, %d exprs folded, %d branches resolved, %d instrs removed"
     s.rounds s.copies_propagated s.local_reuses s.exprs_folded s.branches_resolved s.instrs_removed
+
+let pass =
+  Lcm_core.Pass.v "cleanup" (fun _ctx g ->
+      let g', s = run g in
+      ( g',
+        Lcm_core.Pass.report
+          ~notes:
+            [
+              ("rounds", string_of_int s.rounds);
+              ("copies_propagated", string_of_int s.copies_propagated);
+              ("exprs_folded", string_of_int s.exprs_folded);
+              ("instrs_removed", string_of_int s.instrs_removed);
+            ]
+          () ))

@@ -24,3 +24,6 @@ type stats = {
 val run : ?keep:string list -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [run] with default [keep] under the unified pass API. *)
+val pass : Lcm_core.Pass.t

@@ -43,3 +43,15 @@ let run g =
     (Cfg.labels g);
   if !branches > 0 then Cfg.remove_unreachable g;
   (g, { exprs_folded = !folded; branches_resolved = !branches })
+
+let pass =
+  Lcm_core.Pass.v "const-fold" (fun _ctx g ->
+      let g', s = run g in
+      ( g',
+        Lcm_core.Pass.report
+          ~notes:
+            [
+              ("exprs_folded", string_of_int s.exprs_folded);
+              ("branches_resolved", string_of_int s.branches_resolved);
+            ]
+          () ))

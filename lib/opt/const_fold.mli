@@ -13,3 +13,6 @@ type stats = {
 }
 
 val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
+
+(** [run] under the unified pass API. *)
+val pass : Lcm_core.Pass.t

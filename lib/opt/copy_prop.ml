@@ -149,3 +149,8 @@ let run g =
       (Cfg.labels g)
   end;
   (g, { uses_rewritten = !rewritten })
+
+let pass =
+  Lcm_core.Pass.v "copy-prop" (fun _ctx g ->
+      let g', s = run g in
+      (g', Lcm_core.Pass.report ~notes:[ ("uses_rewritten", string_of_int s.uses_rewritten) ] ()))

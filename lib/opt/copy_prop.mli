@@ -19,3 +19,6 @@ type stats = {
 
 (** [run g] propagates copies on a copy of [g]. *)
 val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
+
+(** [run] under the unified pass API. *)
+val pass : Lcm_core.Pass.t

@@ -63,3 +63,15 @@ let run ?(keep = []) g =
     changed := removed > 0
   done;
   (g, { instrs_removed = !total; rounds = !rounds })
+
+let pass =
+  Lcm_core.Pass.v "dce" (fun _ctx g ->
+      let g', s = run g in
+      ( g',
+        Lcm_core.Pass.report
+          ~notes:
+            [
+              ("instrs_removed", string_of_int s.instrs_removed);
+              ("rounds", string_of_int s.rounds);
+            ]
+          () ))

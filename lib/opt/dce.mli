@@ -15,3 +15,6 @@ type stats = {
     lists variables to treat as live at the exit in addition to the
     lowered return variable (default []). *)
 val run : ?keep:string list -> Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
+
+(** [run] with default [keep] under the unified pass API. *)
+val pass : Lcm_core.Pass.t

@@ -94,3 +94,8 @@ let run g =
   (g, !total)
 
 let is_clean g = snd (run g) = 0
+
+let pass =
+  Lcm_core.Pass.v "lcse" (fun _ctx g ->
+      let g', eliminated = run g in
+      (g', Lcm_core.Pass.report ~notes:[ ("eliminated", string_of_int eliminated) ] ()))

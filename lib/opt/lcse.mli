@@ -24,3 +24,7 @@ val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * int
 (** [is_clean g] holds when no block recomputes an expression whose value
     is still valid (i.e. [run] would change nothing). *)
 val is_clean : Lcm_cfg.Cfg.t -> bool
+
+(** [run] under the unified pass API; the eliminated-recomputation count
+    travels in the report notes. *)
+val pass : Lcm_core.Pass.t

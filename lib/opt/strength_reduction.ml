@@ -182,3 +182,16 @@ let run g =
 let pp_stats ppf s =
   Format.fprintf ppf "%d loops, %d induction variables, %d pairs reduced, %d occurrences rewritten"
     s.loops_processed s.induction_variables s.pairs_reduced s.occurrences_rewritten
+
+let pass =
+  Lcm_core.Pass.v "strength-reduction" (fun _ctx g ->
+      let g', s = run g in
+      ( g',
+        Lcm_core.Pass.report
+          ~notes:
+            [
+              ("loops_processed", string_of_int s.loops_processed);
+              ("pairs_reduced", string_of_int s.pairs_reduced);
+              ("occurrences_rewritten", string_of_int s.occurrences_rewritten);
+            ]
+          () ))

@@ -33,3 +33,6 @@ type stats = {
 val run : Lcm_cfg.Cfg.t -> Lcm_cfg.Cfg.t * stats
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [run] under the unified pass API. *)
+val pass : Lcm_core.Pass.t

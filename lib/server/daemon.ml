@@ -1,5 +1,7 @@
 module Pool = Lcm_support.Pool
 module Fault = Lcm_support.Fault
+module Trace = Lcm_obs.Trace
+module Prof = Lcm_obs.Prof
 
 type config = {
   queue_capacity : int;
@@ -12,6 +14,7 @@ type config = {
   stats : Stats.t;
   hard_faults : bool;  (* allow process-killing chaos points (daemon.crash) *)
   state_file : string option;  (* metrics persisted here across supervised restarts *)
+  trace_dir : string option;  (* tracing on iff set; one Chrome file per trace id *)
 }
 
 let default_config () =
@@ -26,6 +29,7 @@ let default_config () =
     stats = Stats.global;
     hard_faults = false;
     state_file = None;
+    trace_dir = None;
   }
 
 (* One flag for the whole process so a signal handler has a fixed target;
@@ -49,6 +53,7 @@ type item = {
   i_req : Protocol.request;
   i_arrival : float;
   i_deadline : float option;
+  i_trace : string;  (* resolved at admission: client's trace_id or minted *)
 }
 
 type state = {
@@ -60,9 +65,11 @@ type state = {
   listen_fd : Unix.file_descr option;
   mutable served : int;
   mutable last_save : float;  (* last periodic metrics save (state_file only) *)
+  mutable last_trace_flush : float;  (* last drain of the "daemon" I/O trace *)
 }
 
 let now = Unix.gettimeofday
+let metrics st = st.engine.Engine.m
 
 let log st fmt =
   Printf.ksprintf
@@ -91,7 +98,9 @@ let flush_out conn =
   if conn.owns_fds && Fault.fire "sock.write" then
     (* Chaos: the peer vanished mid-write (what EPIPE would tell us). *)
     kill_conn conn;
-  if (not conn.dead) && Buffer.length conn.out > 0 then begin
+  if (not conn.dead) && Buffer.length conn.out > 0 then
+    Trace.in_trace ~trace_id:"daemon" "io.write" @@ fun () ->
+    begin
     let s = Buffer.contents conn.out in
     let n = String.length s in
     let written = ref 0 in
@@ -119,12 +128,42 @@ let send conn frame =
     flush_out conn
   end
 
+(* ---- per-trace files ----
+
+   One Chrome trace_event file per trace id, append-only: the format
+   accepts an unterminated array, so a retry (same client trace_id) or a
+   post-restart incarnation appends its spans to the same file and the
+   loaded document still shows one tree per request attempt.  Trace I/O
+   must never take the daemon down — failures are swallowed. *)
+
+let sanitize_id s =
+  String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.') as c -> c | _ -> '_') s
+
+let append_trace_file ~dir ~trace_id spans =
+  let path = Filename.concat dir (sanitize_id trace_id ^ ".trace.json") in
+  let existed = Sys.file_exists path in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if not existed then output_string oc "[\n";
+  List.iter (fun sp -> output_string oc (Json.to_string (Trace.chrome_event sp) ^ ",\n")) spans;
+  close_out oc
+
+(* Drain a finished trace: feed the profile aggregator, persist the file. *)
+let collect_trace st trace_id =
+  match st.cfg.trace_dir with
+  | None -> ()
+  | Some dir ->
+    (match Trace.take ~trace_id with
+    | [] -> ()
+    | spans ->
+      Prof.add st.engine.Engine.prof spans;
+      (try append_trace_file ~dir ~trace_id spans with Sys_error _ -> ()))
+
 (* ---- admission ---- *)
 
-let admission_error st conn ~id ~code ~message =
-  Stats.incr st.cfg.stats "errors_total";
-  Stats.incr st.cfg.stats ("errors." ^ Protocol.error_code_to_string code);
-  send conn (Protocol.error ~id ~code ~message)
+let admission_error st conn ~id ~trace_id ~code ~message =
+  Smetrics.error (metrics st) code;
+  send conn (Protocol.error ~id ~trace_id ~code ~message ());
+  collect_trace st trace_id
 
 let handle_frame st conn frame =
   (* Process-killing chaos is rate-per-frame so availability under a given
@@ -133,24 +172,33 @@ let handle_frame st conn frame =
     prerr_endline "lcmd: chaos: simulated crash (daemon.crash)";
     Unix._exit 70
   end;
-  Stats.incr st.cfg.stats "frames_total";
+  Stats.bump (metrics st).Smetrics.frames_total;
   match Protocol.parse_request frame with
-  | Error (id, code, message) -> admission_error st conn ~id ~code ~message
+  | Error (id, trace_id, code, message) ->
+    (* Even an unparseable request gets a trace id (minted if the frame
+       carried none we could recover) so the error response correlates. *)
+    let trace_id = match trace_id with Some t -> t | None -> Trace.mint_id () in
+    admission_error st conn ~id ~trace_id ~code ~message
   | Ok req ->
-    Stats.incr st.cfg.stats "requests_total";
+    Stats.bump (metrics st).Smetrics.requests_total;
+    let trace_id =
+      match req.Protocol.trace_id with Some t -> t | None -> Trace.mint_id ()
+    in
     let arrival = now () in
     (match req.Protocol.op with
-    | Protocol.Stats | Protocol.Ping ->
+    | Protocol.Stats | Protocol.Profile | Protocol.Ping ->
       (* Control-plane ops bypass the queue: they stay answerable when the
          daemon is overloaded or draining. *)
       conn.inflight <- conn.inflight + 1;
-      let r = Engine.execute st.engine ~now ~arrival ~deadline:None req in
+      let r = Engine.execute st.engine ~now ~arrival ~deadline:None ~trace_id req in
       conn.inflight <- conn.inflight - 1;
       st.served <- st.served + 1;
-      send conn r
+      send conn r;
+      collect_trace st trace_id
     | Protocol.Run _ | Protocol.Sleep _ ->
+      (Trace.in_trace ~trace_id "daemon.admission" @@ fun () ->
       if Atomic.get shutdown_flag then
-        admission_error st conn ~id:req.Protocol.id ~code:Protocol.Shutting_down
+        admission_error st conn ~id:req.Protocol.id ~trace_id ~code:Protocol.Shutting_down
           ~message:"daemon is draining; request not admitted"
       else begin
         let deadline_ms =
@@ -159,7 +207,7 @@ let handle_frame st conn frame =
           | None -> st.cfg.default_deadline_ms
         in
         let i_deadline = Option.map (fun d -> arrival +. (d /. 1000.)) deadline_ms in
-        let item = { i_conn = conn; i_req = req; i_arrival = arrival; i_deadline } in
+        let item = { i_conn = conn; i_req = req; i_arrival = arrival; i_deadline; i_trace = trace_id } in
         let admitted =
           (* "queue.reject" sheds load the queue had room for (client retry
              drills); an exception out of the push ("bqueue.push" chaos, or
@@ -172,14 +220,19 @@ let handle_frame st conn frame =
         match admitted with
         | Ok true -> conn.inflight <- conn.inflight + 1
         | Ok false ->
-          Stats.incr st.cfg.stats "rejected_overloaded";
-          admission_error st conn ~id:req.Protocol.id ~code:Protocol.Overloaded
+          Stats.bump (metrics st).Smetrics.rejected_overloaded;
+          admission_error st conn ~id:req.Protocol.id ~trace_id ~code:Protocol.Overloaded
             ~message:
               (Printf.sprintf "queue full (%d requests); retry later" (Bqueue.capacity st.queue))
         | Error m ->
-          admission_error st conn ~id:req.Protocol.id ~code:Protocol.Internal
+          admission_error st conn ~id:req.Protocol.id ~trace_id ~code:Protocol.Internal
             ~message:("admission failed: " ^ m)
-      end)
+      end);
+      (* The admission span only finishes when [in_trace] returns, so the
+         collect inside [admission_error] cannot see it.  Flush again here:
+         a rejection's spans must reach the trace file now — the very next
+         frame may crash the process (chaos) and lose the buffer. *)
+      collect_trace st trace_id)
 
 let read_conn st conn =
   if conn.owns_fds && Fault.fire "sock.read" then
@@ -187,7 +240,7 @@ let read_conn st conn =
     kill_conn conn
   else begin
   let buf = Bytes.create 65536 in
-  match Unix.read conn.fd_in buf 0 (Bytes.length buf) with
+  match Trace.in_trace ~trace_id:"daemon" "io.read" (fun () -> Unix.read conn.fd_in buf 0 (Bytes.length buf)) with
   | 0 -> conn.eof <- true
   | len ->
     (* Chaos on the byte stream itself: a torn read loses the tail of the
@@ -202,8 +255,8 @@ let read_conn st conn =
       (function
         | Frame.Frame f -> handle_frame st conn f
         | Frame.Oversized n ->
-          Stats.incr st.cfg.stats "rejected_oversized";
-          admission_error st conn ~id:Json.Null ~code:Protocol.Oversized
+          Stats.bump (metrics st).Smetrics.rejected_oversized;
+          admission_error st conn ~id:Json.Null ~trace_id:(Trace.mint_id ()) ~code:Protocol.Oversized
             ~message:
               (Printf.sprintf "frame of %d bytes exceeds max_frame=%d" n st.cfg.max_frame))
       (Frame.feed conn.reader buf len)
@@ -218,37 +271,38 @@ let dispatch_batch st =
   match batch with
   | [] -> ()
   | _ ->
-    Stats.incr st.cfg.stats "batches_total";
-    Stats.observe_ms st.cfg.stats "batch_size" (float_of_int (List.length batch));
+    Stats.bump (metrics st).Smetrics.batches_total;
+    Stats.observe (metrics st).Smetrics.batch_size (float_of_int (List.length batch));
     let items = Array.of_list batch in
     let results = Array.make (Array.length items) "" in
     let task k () =
       let it = items.(k) in
       results.(k) <-
-        Engine.execute st.engine ~now ~arrival:it.i_arrival ~deadline:it.i_deadline it.i_req
+        Engine.execute st.engine ~now ~arrival:it.i_arrival ~deadline:it.i_deadline
+          ~trace_id:it.i_trace it.i_req
     in
     (* The pool itself can fail (chaos "pool.task" kills a worker mid-run, or
        a genuine bug escapes the engine's own net).  Every admitted request
        still owes its connection a response frame, so fill the holes. *)
     (try Pool.run st.pool (List.init (Array.length items) task)
      with e ->
-       Stats.incr st.cfg.stats "dispatch_failures_total";
+       Stats.bump (metrics st).Smetrics.dispatch_failures;
        let m = Printexc.to_string e in
        Array.iteri
          (fun k it ->
            if results.(k) = "" then begin
-             Stats.incr st.cfg.stats "errors_total";
-             Stats.incr st.cfg.stats ("errors." ^ Protocol.error_code_to_string Protocol.Internal);
+             Smetrics.error (metrics st) Protocol.Internal;
              results.(k) <-
-               Protocol.error ~id:it.i_req.Protocol.id ~code:Protocol.Internal
-                 ~message:("worker failed: " ^ m)
+               Protocol.error ~id:it.i_req.Protocol.id ~trace_id:it.i_trace ~code:Protocol.Internal
+                 ~message:("worker failed: " ^ m) ()
            end)
          items);
     Array.iteri
       (fun k it ->
         it.i_conn.inflight <- it.i_conn.inflight - 1;
         st.served <- st.served + 1;
-        send it.i_conn results.(k))
+        send it.i_conn results.(k);
+        collect_trace st it.i_trace)
       items
 
 (* ---- the loop ---- *)
@@ -260,11 +314,11 @@ let accept_ready st =
     (match Unix.accept ~cloexec:true lfd with
     | fd, _ when Fault.fire "sock.accept" ->
       (* Chaos: the connection died between accept and first read. *)
-      Stats.incr st.cfg.stats "accept_failures_total";
+      Stats.bump (metrics st).Smetrics.accept_failures;
       (try Unix.close fd with Unix.Unix_error _ -> ())
     | fd, _ ->
       Unix.set_nonblock fd;
-      Stats.incr st.cfg.stats "connections_total";
+      Stats.bump (metrics st).Smetrics.connections_total;
       st.conns <-
         st.conns
         @ [
@@ -339,6 +393,13 @@ let serve_loop st =
       st.last_save <- now ();
       Stats.save_file st.cfg.stats path
     | _ -> ());
+    (* The "daemon" pseudo-trace (frame I/O spans) belongs to no request,
+       so no response ever drains it — flush it on a timer instead. *)
+    (match st.cfg.trace_dir with
+    | Some _ when now () -. st.last_trace_flush >= 1.0 ->
+      st.last_trace_flush <- now ();
+      collect_trace st "daemon"
+    | _ -> ());
     if (draining || all_inputs_finished st) && drained st then finished := true
   done;
   (* Final flush: give slow readers one last chance to take buffered
@@ -353,6 +414,12 @@ let make_state cfg ?listen_fd conns =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* Restore metrics from a previous incarnation (supervised restart). *)
   Option.iter (fun path -> Stats.load_file cfg.stats path) cfg.state_file;
+  (* Tracing is on exactly when there is somewhere to put the traces. *)
+  Option.iter
+    (fun dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Trace.enable ())
+    cfg.trace_dir;
   let pool = Pool.create (max 1 cfg.workers) in
   {
     cfg;
@@ -363,11 +430,28 @@ let make_state cfg ?listen_fd conns =
     listen_fd;
     served = 0;
     last_save = now ();
+    last_trace_flush = now ();
   }
 
 let finish st =
   Pool.shutdown st.pool;
   Atomic.set shutdown_flag false;
+  (* Final trace flush: whatever is still buffered (the "daemon" I/O trace,
+     spans of rejected requests) goes to its per-trace file now. *)
+  (match st.cfg.trace_dir with
+  | None -> ()
+  | Some dir ->
+    let by_trace = Hashtbl.create 8 in
+    List.iter
+      (fun (sp : Trace.span) ->
+        Hashtbl.replace by_trace sp.Trace.trace_id
+          (sp :: Option.value (Hashtbl.find_opt by_trace sp.Trace.trace_id) ~default:[]))
+      (Trace.drain ());
+    Hashtbl.iter
+      (fun trace_id spans ->
+        Prof.add st.engine.Engine.prof spans;
+        try append_trace_file ~dir ~trace_id (List.rev spans) with Sys_error _ -> ())
+      by_trace);
   Option.iter (fun path -> Stats.save_file st.cfg.stats path) st.cfg.state_file;
   log st "drained cleanly: %d responses served" st.served;
   if not st.cfg.quiet then Stats.dump st.cfg.stats stderr

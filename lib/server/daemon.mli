@@ -41,6 +41,14 @@ type config = {
       (** when set, the {!Stats} registry is restored from this file at
           startup, saved every second while serving, and saved on drain —
           metrics survive supervised restarts, including [kill -9]. *)
+  trace_dir : string option;
+      (** when set, {!Lcm_obs.Trace} collection is enabled and every
+          request's span tree is appended to
+          [<dir>/<trace_id>.trace.json] (Chrome [trace_event] format,
+          append-only: retries and post-restart incarnations that reuse a
+          client trace id land in the same file).  Frame I/O spans go to
+          [daemon.trace.json].  Off (and tracing fully disabled) by
+          default. *)
 }
 
 val default_config : unit -> config

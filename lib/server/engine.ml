@@ -10,20 +10,23 @@ module Prng = Lcm_support.Prng
 module Registry = Lcm_eval.Registry
 module Metrics = Lcm_eval.Metrics
 module Interp = Lcm_eval.Interp
-module Lcm_edge = Lcm_core.Lcm_edge
-module Bcm_edge = Lcm_core.Bcm_edge
+module Pass = Lcm_core.Pass
 module Transform = Lcm_core.Transform
 module Placement_check = Lcm_core.Placement_check
+module Trace = Lcm_obs.Trace
+module Prof = Lcm_obs.Prof
 
 type config = {
   lookup : string -> Registry.entry option;
   pool : Pool.t option;
   stats : Stats.t;
+  m : Smetrics.t;
+  prof : Prof.t;
   no_timing : bool;
 }
 
 let default_config ?pool ?(no_timing = false) stats =
-  { lookup = Registry.find; pool; stats; no_timing }
+  { lookup = Registry.find; pool; stats; m = Smetrics.create stats; prof = Prof.create (); no_timing }
 
 exception Deadline
 
@@ -139,46 +142,47 @@ let tier_name = function
   | Seq -> "sequential"
   | Ident -> "identity"
 
-(* Run one tier.  Returns the transformed graph, the worker count to
-   report, and the transformation spec when this algorithm/tier exposes
-   one (used for the cheap static validation). *)
+(* The spec used for cheap static validation: exposed only when the entry
+   is a single pass whose report carries one — a multi-pass pipeline's
+   later passes rewrite the graph past what any one spec describes, so a
+   spec check alone would under-validate there. *)
+let spec_of entry reports =
+  match (entry.Registry.pipeline.Pass.Pipeline.passes, reports) with
+  | [ _ ], (_, first) :: _ -> first.Pass.spec
+  | _ -> None
+
+(* Run one tier: the entry's pipeline under the tier's context (plus a
+   trailing structural simplify when the request asked for one).  Returns
+   the transformed graph, the worker count to report, and the spec. *)
 let run_tier cfg (r : Protocol.run_request) entry g = function
   | Par workers ->
-    let pool = Option.get cfg.pool in
-    (match r.Protocol.algorithm with
-    | "lcm-edge" ->
-      let g', rep = Lcm_edge.transform ~workers:pool g in
-      (g', workers, Some rep.Transform.spec)
-    | "bcm-edge" ->
-      let g', rep = Bcm_edge.transform ~workers:pool g in
-      (g', workers, Some rep.Transform.spec)
-    | _ -> assert false)
+    let ctx = { Pass.workers = Some (Option.get cfg.pool) } in
+    let pipe =
+      if r.Protocol.simplify then Pass.Pipeline.append entry.Registry.pipeline [ Pass.simplify ]
+      else entry.Registry.pipeline
+    in
+    let g', reports = Pass.Pipeline.run ctx pipe g in
+    (g', workers, spec_of entry reports)
   | Seq ->
-    (match r.Protocol.algorithm with
-    | "lcm-edge" ->
-      (* Same call as the registry entry (bit-identical), direct so the
-         spec is available for validation. *)
-      let g', rep = Lcm_edge.transform g in
-      (g', 1, Some rep.Transform.spec)
-    | "bcm-edge" ->
-      let g', rep = Bcm_edge.transform g in
-      (g', 1, Some rep.Transform.spec)
-    | _ -> (entry.Registry.run g, 1, None))
+    let pipe =
+      if r.Protocol.simplify then Pass.Pipeline.append entry.Registry.pipeline [ Pass.simplify ]
+      else entry.Registry.pipeline
+    in
+    let g', reports = Pass.Pipeline.run Pass.default_ctx pipe g in
+    (g', 1, spec_of entry reports)
   | Ident -> (g, 1, None)
 
-let execute_run cfg ~now ~deadline ~id (r : Protocol.run_request) ~timing_of =
+let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~timing_of =
   let entry =
     match cfg.lookup r.Protocol.algorithm with
     | Some e -> e
     | None -> reject Protocol.Bad_request "unknown algorithm %S" r.Protocol.algorithm
   in
-  let g = load_graph r in
+  let g = Trace.span "engine.load" (fun () -> load_graph r) in
   check_deadline ~now ~deadline;
   let requested =
     match cfg.pool with
-    | Some pool
-      when r.Protocol.workers > 1 && Pool.size pool > 1
-           && (r.Protocol.algorithm = "lcm-edge" || r.Protocol.algorithm = "bcm-edge") ->
+    | Some pool when r.Protocol.workers > 1 && Pool.size pool > 1 && entry.Registry.parallelizable ->
       Par (min r.Protocol.workers (Pool.size pool))
     | _ -> Seq
   in
@@ -190,33 +194,24 @@ let execute_run cfg ~now ~deadline ~id (r : Protocol.run_request) ~timing_of =
     let g', workers, spec = run_tier cfg r entry g tier in
     check_deadline ~now ~deadline;
     if tier <> Ident then chaos_boundary ();
-    let g' =
-      if r.Protocol.simplify && tier <> Ident then begin
-        let h = Cfg.copy g' in
-        Cfg.merge_straight_pairs h;
-        Cfg.remove_unreachable h;
-        h
-      end
-      else g'
-    in
     check_deadline ~now ~deadline;
     let degraded = tier <> requested in
     let validated =
       if tier = Ident then r.Protocol.validate (* the unchanged program is vacuously valid *)
-      else if r.Protocol.validate || degraded then begin
-        Option.iter (spec_validate g) spec;
-        (* Explicit validation always compares behaviour; a degraded
-           result with a checked spec skips the interpreter (cheap path). *)
-        if r.Protocol.validate || spec = None then begin
-          try interp_validate g g'
-          with Validation_fuel when r.Protocol.validate && not degraded ->
-            reject Protocol.Fuel_exhausted
-              "validation ran out of fuel (%d steps per sample): the program did not terminate on \
-               any sample input"
-              validation_fuel
-        end;
-        true
-      end
+      else if r.Protocol.validate || degraded then
+        Trace.span "engine.validate" (fun () ->
+            Option.iter (spec_validate g) spec;
+            (* Explicit validation always compares behaviour; a degraded
+               result with a checked spec skips the interpreter (cheap path). *)
+            if r.Protocol.validate || spec = None then begin
+              try interp_validate g g'
+              with Validation_fuel when r.Protocol.validate && not degraded ->
+                reject Protocol.Fuel_exhausted
+                  "validation ran out of fuel (%d steps per sample): the program did not terminate \
+                   on any sample input"
+                  validation_fuel
+            end;
+            true)
       else false
     in
     (g', workers, tier, validated)
@@ -230,27 +225,27 @@ let execute_run cfg ~now ~deadline ~id (r : Protocol.run_request) ~timing_of =
       | result -> result
       | exception ((Deadline | Reject _) as e) -> raise e
       | exception _ ->
-        Stats.incr cfg.stats "engine.tier_fallbacks";
+        Stats.bump cfg.m.Smetrics.tier_fallbacks;
         go rest)
   in
   let g', workers, tier, validated = go tiers in
   let tier_served = if tier <> requested then Some (tier_name tier) else None in
   (match tier_served with
   | Some t ->
-    Stats.incr cfg.stats "degraded_total";
-    Stats.incr cfg.stats ("degraded." ^ t)
+    Stats.bump cfg.m.Smetrics.degraded_total;
+    Stats.bump (cfg.m.Smetrics.degraded_tier t)
   | None -> ());
-  if validated then Stats.incr cfg.stats "validated_total";
+  if validated then Stats.bump cfg.m.Smetrics.validated_total;
   let before = Metrics.static_counts g in
   let after = Metrics.static_counts g' in
   let program = Cfg.to_string g' in
-  Protocol.ok_run ~id ~algorithm:r.Protocol.algorithm ~workers ~degraded:tier_served ~validated
-    ~program ~before ~after ~timing:(timing_of ())
+  Protocol.ok_run ~id ~trace_id ~algorithm:r.Protocol.algorithm ~workers ~degraded:tier_served
+    ~validated ~program ~before ~after ~timing:(timing_of ()) ()
 
 (* Cancellable sleep: 1 ms slices with a deadline check between slices —
    the test/benchmark stand-in for a pathologically slow (or
    non-terminating) request. *)
-let execute_sleep ~now ~deadline ~id duration_ms ~timing_of =
+let execute_sleep ~now ~deadline ~id ~trace_id duration_ms ~timing_of =
   let t0 = now () in
   let finish = t0 +. (duration_ms /. 1000.) in
   let rec go () =
@@ -262,7 +257,7 @@ let execute_sleep ~now ~deadline ~id duration_ms ~timing_of =
     end
   in
   go ();
-  Protocol.ok_sleep ~id ~slept_ms:((now () -. t0) *. 1000.) ~timing:(timing_of ())
+  Protocol.ok_sleep ~id ~trace_id ~slept_ms:((now () -. t0) *. 1000.) ~timing:(timing_of ()) ()
 
 (* The stats snapshot, extended with the fault registry's counters when
    chaos is enabled — so a chaos run's injection counts are observable
@@ -284,8 +279,19 @@ let stats_snapshot stats =
         ])
   | _, j -> j
 
-let execute cfg ~now ~arrival ~deadline (req : Protocol.request) =
+(* [trace_id]: the caller (daemon) resolves the id so it can also name the
+   per-trace file; direct callers may omit it, in which case the request's
+   own id is used or a fresh one minted.  The whole execution runs under a
+   ["request"] root span of that trace, so the pipeline's spans — recorded
+   on whatever pool domain the work lands on — reassemble into one tree. *)
+let execute cfg ~now ~arrival ~deadline ?trace_id (req : Protocol.request) =
   let id = req.Protocol.id in
+  let trace_id =
+    match (trace_id, req.Protocol.trace_id) with
+    | Some t, _ -> t
+    | None, Some t -> t
+    | None, None -> Trace.mint_id ()
+  in
   let start = now () in
   let queue_ms = Float.max 0. ((start -. arrival) *. 1000.) in
   let timing_of () =
@@ -293,30 +299,31 @@ let execute cfg ~now ~arrival ~deadline (req : Protocol.request) =
     else Some { Protocol.queue_ms; run_ms = (now () -. start) *. 1000. }
   in
   let fail code message =
-    Stats.incr cfg.stats "errors_total";
-    Stats.incr cfg.stats ("errors." ^ Protocol.error_code_to_string code);
-    Protocol.error ~id ~code ~message
+    Smetrics.error cfg.m code;
+    Protocol.error ~id ~trace_id ~code ~message ()
   in
   let frame =
-    try
-      check_deadline ~now ~deadline;
-      let frame =
-        match req.Protocol.op with
-        | Protocol.Run r -> execute_run cfg ~now ~deadline ~id r ~timing_of
-        | Protocol.Stats -> Protocol.ok_stats ~id ~stats:(stats_snapshot cfg.stats)
-        | Protocol.Ping -> Protocol.ok_ping ~id
-        | Protocol.Sleep d -> execute_sleep ~now ~deadline ~id d ~timing_of
-      in
-      Stats.incr cfg.stats "responses_ok";
-      frame
-    with
-    | Deadline -> fail Protocol.Deadline_exceeded "deadline exceeded during execution"
-    | Reject (code, m) -> fail code m
-    | Stack_overflow -> fail Protocol.Internal "stack overflow"
-    | e -> fail Protocol.Internal ("request crashed: " ^ Printexc.to_string e)
+    Trace.in_trace ~trace_id "request" (fun () ->
+        try
+          check_deadline ~now ~deadline;
+          let frame =
+            match req.Protocol.op with
+            | Protocol.Run r -> execute_run cfg ~now ~deadline ~id ~trace_id r ~timing_of
+            | Protocol.Stats -> Protocol.ok_stats ~id ~trace_id ~stats:(stats_snapshot cfg.stats) ()
+            | Protocol.Profile -> Protocol.ok_profile ~id ~trace_id ~profile:(Prof.to_json cfg.prof) ()
+            | Protocol.Ping -> Protocol.ok_ping ~id ~trace_id ()
+            | Protocol.Sleep d -> execute_sleep ~now ~deadline ~id ~trace_id d ~timing_of
+          in
+          Stats.bump cfg.m.Smetrics.responses_ok;
+          frame
+        with
+        | Deadline -> fail Protocol.Deadline_exceeded "deadline exceeded during execution"
+        | Reject (code, m) -> fail code m
+        | Stack_overflow -> fail Protocol.Internal "stack overflow"
+        | e -> fail Protocol.Internal ("request crashed: " ^ Printexc.to_string e))
   in
   let run_ms = (now () -. start) *. 1000. in
-  Stats.observe_ms cfg.stats "queue_delay" queue_ms;
-  Stats.observe_ms cfg.stats "run" run_ms;
-  Stats.observe_ms cfg.stats "total" (queue_ms +. run_ms);
+  Stats.observe cfg.m.Smetrics.queue_delay queue_ms;
+  Stats.observe cfg.m.Smetrics.run run_ms;
+  Stats.observe cfg.m.Smetrics.total (queue_ms +. run_ms);
   frame

@@ -11,11 +11,15 @@
     - {b panic isolation}: any exception escaping the pipeline becomes an
       [internal] error response — a crashing request never kills the
       daemon;
-    - {b per-request parallelism}: a [workers > 1] request runs the
-      paper-algorithm transforms with the daemon's shared pool
-      ([Lcm_edge.transform ~workers] / [Bcm_edge.transform ~workers]),
-      capped at the pool's size; other algorithms have no parallel path
-      and report [workers = 1].
+    - {b per-request parallelism}: a [workers > 1] request runs a
+      [parallelizable] registry entry's pipeline with the daemon's shared
+      pool in its pass context, capped at the pool's size; other entries
+      have no parallel path and report [workers = 1].
+
+    Every transformation goes through the entry's
+    {!Lcm_eval.Registry.entry.pipeline} ({!Lcm_core.Pass.Pipeline.run}),
+    so the engine needs no per-algorithm cases and each request's work is
+    recorded as a pass-span tree under its ["request"] root span.
 
     [execute] never raises. *)
 
@@ -23,6 +27,8 @@ type config = {
   lookup : string -> Lcm_eval.Registry.entry option;  (** algorithm resolver (injectable for tests) *)
   pool : Lcm_support.Pool.t option;  (** the daemon-wide domain pool *)
   stats : Stats.t;
+  m : Smetrics.t;  (** typed handles over [stats] *)
+  prof : Lcm_obs.Prof.t;  (** per-phase aggregates, served by the [profile] op *)
   no_timing : bool;  (** omit timing fields from responses (golden tests) *)
 }
 
@@ -30,6 +36,15 @@ val default_config : ?pool:Lcm_support.Pool.t -> ?no_timing:bool -> Stats.t -> c
 
 (** [execute cfg ~now ~arrival ~deadline req] runs [req] and returns the
     response frame.  [arrival] is the admission timestamp (for the queue
-    delay metric); [deadline] is absolute, on [now]'s clock. *)
+    delay metric); [deadline] is absolute, on [now]'s clock.  [trace_id]
+    overrides the trace the request records under (the daemon resolves one
+    id per request so the per-trace file and the response agree); when
+    omitted, the request's own [trace_id] is used, or a fresh one minted. *)
 val execute :
-  config -> now:(unit -> float) -> arrival:float -> deadline:float option -> Protocol.request -> string
+  config ->
+  now:(unit -> float) ->
+  arrival:float ->
+  deadline:float option ->
+  ?trace_id:string ->
+  Protocol.request ->
+  string

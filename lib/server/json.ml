@@ -1,268 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-exception Parse_error of string
-
-let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
-
-(* ---- printing ---- *)
-
-let escape_into buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let float_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.12g" f
-
-let to_string v =
-  let buf = Buffer.create 256 in
-  let rec go = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int n -> Buffer.add_string buf (string_of_int n)
-    | Float f ->
-      if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string buf "null"
-      else Buffer.add_string buf (float_to_string f)
-    | String s ->
-      Buffer.add_char buf '"';
-      escape_into buf s;
-      Buffer.add_char buf '"'
-    | List xs ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          go x)
-        xs;
-      Buffer.add_char buf ']'
-    | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, x) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_char buf '"';
-          escape_into buf k;
-          Buffer.add_string buf "\":";
-          go x)
-        fields;
-      Buffer.add_char buf '}'
-  in
-  go v;
-  Buffer.contents buf
-
-(* ---- parsing ---- *)
-
-type state = {
-  src : string;
-  mutable pos : int;
-}
-
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let advance st = st.pos <- st.pos + 1
-
-let skip_ws st =
-  let rec go () =
-    match peek st with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance st;
-      go ()
-    | _ -> ()
-  in
-  go ()
-
-let expect st c =
-  match peek st with
-  | Some c' when c' = c -> advance st
-  | Some c' -> fail "expected %C at offset %d, found %C" c st.pos c'
-  | None -> fail "expected %C at offset %d, found end of input" c st.pos
-
-let add_utf8 buf code =
-  if code < 0x80 then Buffer.add_char buf (Char.chr code)
-  else if code < 0x800 then begin
-    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-  end
-  else begin
-    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-  end
-
-let parse_string_body st =
-  let buf = Buffer.create 16 in
-  let rec go () =
-    match peek st with
-    | None -> fail "unterminated string"
-    | Some '"' ->
-      advance st;
-      Buffer.contents buf
-    | Some '\\' ->
-      advance st;
-      (match peek st with
-      | None -> fail "unterminated escape"
-      | Some c ->
-        advance st;
-        (match c with
-        | '"' -> Buffer.add_char buf '"'
-        | '\\' -> Buffer.add_char buf '\\'
-        | '/' -> Buffer.add_char buf '/'
-        | 'b' -> Buffer.add_char buf '\b'
-        | 'f' -> Buffer.add_char buf '\012'
-        | 'n' -> Buffer.add_char buf '\n'
-        | 'r' -> Buffer.add_char buf '\r'
-        | 't' -> Buffer.add_char buf '\t'
-        | 'u' ->
-          if st.pos + 4 > String.length st.src then fail "truncated \\u escape";
-          let hex = String.sub st.src st.pos 4 in
-          st.pos <- st.pos + 4;
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some code -> add_utf8 buf code
-          | None -> fail "bad \\u escape %S" hex)
-        | c -> fail "bad escape \\%C" c));
-      go ()
-    | Some c ->
-      advance st;
-      Buffer.add_char buf c;
-      go ()
-  in
-  go ()
-
-let is_number_char = function
-  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-  | _ -> false
-
-let parse_number st =
-  let start = st.pos in
-  let rec go () =
-    match peek st with
-    | Some c when is_number_char c ->
-      advance st;
-      go ()
-    | _ -> ()
-  in
-  go ();
-  let s = String.sub st.src start (st.pos - start) in
-  match int_of_string_opt s with
-  | Some n -> Int n
-  | None ->
-    (match float_of_string_opt s with
-    | Some f -> Float f
-    | None -> fail "bad number %S" s)
-
-let parse_literal st word v =
-  let n = String.length word in
-  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
-    st.pos <- st.pos + n;
-    v
-  end
-  else fail "bad literal at offset %d" st.pos
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | None -> fail "empty input"
-  | Some '"' ->
-    advance st;
-    String (parse_string_body st)
-  | Some '{' ->
-    advance st;
-    skip_ws st;
-    if peek st = Some '}' then begin
-      advance st;
-      Obj []
-    end
-    else begin
-      let rec fields acc =
-        skip_ws st;
-        expect st '"';
-        let k = parse_string_body st in
-        skip_ws st;
-        expect st ':';
-        let v = parse_value st in
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          advance st;
-          fields ((k, v) :: acc)
-        | Some '}' ->
-          advance st;
-          Obj (List.rev ((k, v) :: acc))
-        | _ -> fail "expected ',' or '}' at offset %d" st.pos
-      in
-      fields []
-    end
-  | Some '[' ->
-    advance st;
-    skip_ws st;
-    if peek st = Some ']' then begin
-      advance st;
-      List []
-    end
-    else begin
-      let rec elements acc =
-        let v = parse_value st in
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          advance st;
-          elements (v :: acc)
-        | Some ']' ->
-          advance st;
-          List (List.rev (v :: acc))
-        | _ -> fail "expected ',' or ']' at offset %d" st.pos
-      in
-      elements []
-    end
-  | Some 't' -> parse_literal st "true" (Bool true)
-  | Some 'f' -> parse_literal st "false" (Bool false)
-  | Some 'n' -> parse_literal st "null" Null
-  | Some c when is_number_char c -> parse_number st
-  | Some c -> fail "unexpected character %C at offset %d" c st.pos
-
-let parse s =
-  let st = { src = s; pos = 0 } in
-  let v = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length s then fail "trailing content at offset %d" st.pos;
-  v
-
-(* ---- accessors ---- *)
-
-let member k = function
-  | Obj fields -> List.assoc_opt k fields
-  | _ -> None
-
-let to_int_opt = function
-  | Int n -> Some n
-  | Float f when Float.is_integer f -> Some (int_of_float f)
-  | _ -> None
-
-let to_float_opt = function
-  | Int n -> Some (float_of_int n)
-  | Float f -> Some f
-  | _ -> None
-
-let to_string_opt = function
-  | String s -> Some s
-  | _ -> None
-
-let to_bool_opt = function
-  | Bool b -> Some b
-  | _ -> None
+(* The JSON codec moved to [lib/obs] (the tracing exporters need it below
+   the server layer); this alias keeps [Lcm_server.Json] working for every
+   existing user of the protocol. *)
+include Lcm_obs.Json

@@ -35,11 +35,13 @@ type run_request = {
 type op =
   | Run of run_request
   | Stats
+  | Profile
   | Ping
   | Sleep of float
 
 type request = {
   id : Json.t;
+  trace_id : string option;
   op : op;
   deadline_ms : float option;
 }
@@ -86,10 +88,18 @@ let parse_run j =
 
 let parse_request frame =
   match Json.parse frame with
-  | exception Json.Parse_error m -> Error (Json.Null, Bad_request, "malformed frame: " ^ m)
+  | exception Json.Parse_error m -> Error (Json.Null, None, Bad_request, "malformed frame: " ^ m)
   | Json.Obj _ as j ->
     let id = Option.value (Json.member "id" j) ~default:Json.Null in
+    (* Recovered tolerantly (ignored when ill-typed) so even a rejected
+       request's error response can still correlate with its trace. *)
+    let trace_id = match Json.member "trace_id" j with Some (Json.String s) -> Some s | _ -> None in
     (try
+       let trace_id =
+         match opt_field j "trace_id" Json.to_string_opt with
+         | Some "" -> bad "trace_id must be non-empty"
+         | t -> t
+       in
        let deadline_ms =
          match opt_field j "deadline_ms" Json.to_float_opt with
          | Some d when d < 0. -> bad "deadline_ms must be non-negative"
@@ -99,6 +109,7 @@ let parse_request frame =
          match Option.value (opt_field j "op" Json.to_string_opt) ~default:"run" with
          | "run" -> Run (parse_run j)
          | "stats" -> Stats
+         | "profile" -> Profile
          | "ping" -> Ping
          | "sleep" ->
            (match opt_field j "duration_ms" Json.to_float_opt with
@@ -107,9 +118,9 @@ let parse_request frame =
            | None -> bad "missing field \"duration_ms\"")
          | other -> bad "unknown op %S" other
        in
-       Ok { id; op; deadline_ms }
-     with Bad m -> Error (id, Bad_request, m))
-  | _ -> Error (Json.Null, Bad_request, "frame is not a JSON object")
+       Ok { id; trace_id; op; deadline_ms }
+     with Bad m -> Error (id, trace_id, Bad_request, m))
+  | _ -> Error (Json.Null, None, Bad_request, "frame is not a JSON object")
 
 (* ---- responses ---- *)
 
@@ -139,16 +150,21 @@ let timing_fields = function
       );
     ]
 
-let ok_run ~id ~algorithm ~workers ~degraded ~validated ~program ~before ~after ~timing =
+let tid_fields = function
+  | None -> []
+  | Some t -> [ ("trace_id", Json.String t) ]
+
+let ok_run ~id ?trace_id ~algorithm ~workers ~degraded ~validated ~program ~before ~after ~timing () =
   Json.to_string
     (Json.Obj
-       ([
-          ("id", id);
-          ("status", Json.String "ok");
-          ("op", Json.String "run");
-          ("algorithm", Json.String algorithm);
-          ("workers", Json.Int workers);
-        ]
+       ([ ("id", id) ]
+       @ tid_fields trace_id
+       @ [
+           ("status", Json.String "ok");
+           ("op", Json.String "run");
+           ("algorithm", Json.String algorithm);
+           ("workers", Json.Int workers);
+         ]
        @ (match degraded with Some tier -> [ ("degraded", Json.String tier) ] | None -> [])
        @ (if validated then [ ("validated", Json.Bool true) ] else [])
        @ [
@@ -158,30 +174,40 @@ let ok_run ~id ~algorithm ~workers ~degraded ~validated ~program ~before ~after 
          ]
        @ timing_fields timing))
 
-let ok_stats ~id ~stats =
-  Json.to_string
-    (Json.Obj [ ("id", id); ("status", Json.String "ok"); ("op", Json.String "stats"); ("stats", stats) ])
-
-let ok_ping ~id =
-  Json.to_string (Json.Obj [ ("id", id); ("status", Json.String "ok"); ("op", Json.String "ping") ])
-
-let ok_sleep ~id ~slept_ms ~timing =
+let ok_stats ~id ?trace_id ~stats () =
   Json.to_string
     (Json.Obj
-       ([
-          ("id", id);
-          ("status", Json.String "ok");
-          ("op", Json.String "sleep");
-          ("slept_ms", Json.Float (round_ms slept_ms));
-        ]
+       ([ ("id", id) ]
+       @ tid_fields trace_id
+       @ [ ("status", Json.String "ok"); ("op", Json.String "stats"); ("stats", stats) ]))
+
+let ok_profile ~id ?trace_id ~profile () =
+  Json.to_string
+    (Json.Obj
+       ([ ("id", id) ]
+       @ tid_fields trace_id
+       @ [ ("status", Json.String "ok"); ("op", Json.String "profile"); ("profile", profile) ]))
+
+let ok_ping ~id ?trace_id () =
+  Json.to_string
+    (Json.Obj
+       ([ ("id", id) ] @ tid_fields trace_id @ [ ("status", Json.String "ok"); ("op", Json.String "ping") ]))
+
+let ok_sleep ~id ?trace_id ~slept_ms ~timing () =
+  Json.to_string
+    (Json.Obj
+       ([ ("id", id) ]
+       @ tid_fields trace_id
+       @ [ ("status", Json.String "ok"); ("op", Json.String "sleep"); ("slept_ms", Json.Float (round_ms slept_ms)) ]
        @ timing_fields timing))
 
-let error ~id ~code ~message =
+let error ~id ?trace_id ~code ~message () =
   Json.to_string
     (Json.Obj
-       [
-         ("id", id);
-         ("status", Json.String "error");
-         ("code", Json.String (error_code_to_string code));
-         ("message", Json.String message);
-       ])
+       ([ ("id", id) ]
+       @ tid_fields trace_id
+       @ [
+           ("status", Json.String "error");
+           ("code", Json.String (error_code_to_string code));
+           ("message", Json.String message);
+         ]))

@@ -41,18 +41,25 @@ type run_request = {
 type op =
   | Run of run_request
   | Stats
+  | Profile  (** per-phase time/allocation aggregates from the tracing layer *)
   | Ping
   | Sleep of float  (** milliseconds; testing/benchmark aid, cancellable at 1 ms grain *)
 
 type request = {
   id : Json.t;  (** [Null] when the client sent none *)
+  trace_id : string option;
+      (** client-chosen trace correlation id; the server mints one when
+          absent, and every response (including errors) echoes the one in
+          effect.  A client that reuses its id across retries gets all the
+          attempts recorded under one trace. *)
   op : op;
   deadline_ms : float option;
 }
 
-(** Parse one frame.  On error, the result carries the request [id] when
-    one could be recovered (so the error response still correlates). *)
-val parse_request : string -> (request, Json.t * error_code * string) result
+(** Parse one frame.  On error, the result carries the request [id] and
+    [trace_id] when they could be recovered (so the error response still
+    correlates). *)
+val parse_request : string -> (request, Json.t * string option * error_code * string) result
 
 (** {2 Response frames} — each returns a complete single-line frame. *)
 
@@ -63,6 +70,7 @@ type timing = {
 
 val ok_run :
   id:Json.t ->
+  ?trace_id:string ->
   algorithm:string ->
   workers:int ->
   degraded:string option ->
@@ -71,12 +79,16 @@ val ok_run :
   before:Lcm_eval.Metrics.static_counts ->
   after:Lcm_eval.Metrics.static_counts ->
   timing:timing option ->
+  unit ->
   string
 (** [degraded] names the tier actually served (["sequential"] or
     ["identity"]) when the engine fell back from the requested tier after
-    a mid-pipeline fault; [None] (field absent) on the normal path. *)
+    a mid-pipeline fault; [None] (field absent) on the normal path.
+    [trace_id], on every builder below too, is the trace correlation id in
+    effect (absent only when the server could not determine one). *)
 
-val ok_stats : id:Json.t -> stats:Json.t -> string
-val ok_ping : id:Json.t -> string
-val ok_sleep : id:Json.t -> slept_ms:float -> timing:timing option -> string
-val error : id:Json.t -> code:error_code -> message:string -> string
+val ok_stats : id:Json.t -> ?trace_id:string -> stats:Json.t -> unit -> string
+val ok_profile : id:Json.t -> ?trace_id:string -> profile:Json.t -> unit -> string
+val ok_ping : id:Json.t -> ?trace_id:string -> unit -> string
+val ok_sleep : id:Json.t -> ?trace_id:string -> slept_ms:float -> timing:timing option -> unit -> string
+val error : id:Json.t -> ?trace_id:string -> code:error_code -> message:string -> unit -> string

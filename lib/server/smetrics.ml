@@ -1,0 +1,75 @@
+type t = {
+  frames_total : Stats.counter;
+  requests_total : Stats.counter;
+  responses_ok : Stats.counter;
+  errors_total : Stats.counter;
+  rejected_overloaded : Stats.counter;
+  rejected_oversized : Stats.counter;
+  batches_total : Stats.counter;
+  dispatch_failures : Stats.counter;
+  accept_failures : Stats.counter;
+  connections_total : Stats.counter;
+  tier_fallbacks : Stats.counter;
+  degraded_total : Stats.counter;
+  validated_total : Stats.counter;
+  restarts_total : Stats.counter;
+  restarts_signal : Stats.counter;
+  restarts_exit : Stats.counter;
+  queue_delay : Stats.histo;
+  run : Stats.histo;
+  total : Stats.histo;
+  batch_size : Stats.histo;
+  error_by_code : Protocol.error_code -> Stats.counter;
+  degraded_tier : string -> Stats.counter;
+}
+
+let all_codes =
+  [
+    Protocol.Bad_request;
+    Protocol.Parse_error;
+    Protocol.Oversized;
+    Protocol.Overloaded;
+    Protocol.Deadline_exceeded;
+    Protocol.Fuel_exhausted;
+    Protocol.Shutting_down;
+    Protocol.Internal;
+  ]
+
+let create stats =
+  let c name = Stats.counter stats name in
+  let h name = Stats.histo stats name in
+  let by_code =
+    List.map (fun code -> (code, c ("errors." ^ Protocol.error_code_to_string code))) all_codes
+  in
+  (* The engine names tiers; unknown names still get a live counter. *)
+  let tiers = List.map (fun t -> (t, c ("degraded." ^ t))) [ "parallel"; "sequential"; "identity" ] in
+  {
+    frames_total = c "frames_total";
+    requests_total = c "requests_total";
+    responses_ok = c "responses_ok";
+    errors_total = c "errors_total";
+    rejected_overloaded = c "rejected_overloaded";
+    rejected_oversized = c "rejected_oversized";
+    batches_total = c "batches_total";
+    dispatch_failures = c "dispatch_failures_total";
+    accept_failures = c "accept_failures_total";
+    connections_total = c "connections_total";
+    tier_fallbacks = c "engine.tier_fallbacks";
+    degraded_total = c "degraded_total";
+    validated_total = c "validated_total";
+    restarts_total = c "supervisor.restarts_total";
+    restarts_signal = c "supervisor.restarts.signal";
+    restarts_exit = c "supervisor.restarts.exit";
+    queue_delay = h "queue_delay";
+    run = h "run";
+    total = h "total";
+    batch_size = h "batch_size";
+    error_by_code = (fun code -> List.assoc code by_code);
+    degraded_tier =
+      (fun tier ->
+        match List.assoc_opt tier tiers with Some h -> h | None -> c ("degraded." ^ tier));
+  }
+
+let error m code =
+  Stats.bump m.errors_total;
+  Stats.bump (m.error_by_code code)

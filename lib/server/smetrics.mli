@@ -1,0 +1,39 @@
+(** The serving layer's metrics, as typed {!Stats} handles.
+
+    Every counter and histogram the engine, daemon and supervisor touch is
+    declared here exactly once; call sites hold a handle, never a raw name
+    string, so an instrument cannot be split across misspelled keys (a
+    test greps for stray [Stats.incr]/[Stats.observe_ms] in the serving
+    code).  Wire names are unchanged from previous releases — dashboards
+    and the stats snapshot see the same keys. *)
+
+type t = {
+  frames_total : Stats.counter;
+  requests_total : Stats.counter;
+  responses_ok : Stats.counter;
+  errors_total : Stats.counter;
+  rejected_overloaded : Stats.counter;
+  rejected_oversized : Stats.counter;
+  batches_total : Stats.counter;
+  dispatch_failures : Stats.counter;  (** wire name [dispatch_failures_total] *)
+  accept_failures : Stats.counter;  (** wire name [accept_failures_total] *)
+  connections_total : Stats.counter;
+  tier_fallbacks : Stats.counter;  (** wire name [engine.tier_fallbacks] *)
+  degraded_total : Stats.counter;
+  validated_total : Stats.counter;
+  restarts_total : Stats.counter;  (** wire name [supervisor.restarts_total] *)
+  restarts_signal : Stats.counter;  (** wire name [supervisor.restarts.signal] *)
+  restarts_exit : Stats.counter;  (** wire name [supervisor.restarts.exit] *)
+  queue_delay : Stats.histo;
+  run : Stats.histo;
+  total : Stats.histo;
+  batch_size : Stats.histo;
+  error_by_code : Protocol.error_code -> Stats.counter;  (** wire name [errors.<code>] *)
+  degraded_tier : string -> Stats.counter;  (** wire name [degraded.<tier>] *)
+}
+
+val create : Stats.t -> t
+
+(** Bump [errors_total] and the per-code counter together (they are always
+    incremented in lockstep). *)
+val error : t -> Protocol.error_code -> unit

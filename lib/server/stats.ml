@@ -22,6 +22,12 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Typed handles.  A handle is (registry, name): creation is where the
+   name is spelled once, so call sites cannot drift apart by typo, and
+   [reset] keeps working because nothing caches the underlying cell. *)
+type counter = { ct : t; cname : string }
+type histo = { ht : t; hname : string }
+
 let incr ?(by = 1) t name =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.counters name with
@@ -33,6 +39,11 @@ let counter_value t name =
       match Hashtbl.find_opt t.counters name with
       | Some r -> !r
       | None -> 0)
+
+let counter t name = { ct = t; cname = name }
+let bump ?by c = incr ?by c.ct c.cname
+let counter_name c = c.cname
+let value c = counter_value c.ct c.cname
 
 let bucket_of_ms v =
   let n = Array.length bucket_bounds_ms in
@@ -53,6 +64,10 @@ let observe_ms t name v =
       h.counts.(b) <- h.counts.(b) + 1;
       h.count <- h.count + 1;
       h.sum_ms <- h.sum_ms +. v)
+
+let histo t name = { ht = t; hname = name }
+let observe h v = observe_ms h.ht h.hname v
+let histo_name h = h.hname
 
 (* Rank-based estimate: walk buckets to the one holding the q-rank sample,
    interpolate linearly between its bounds. *)
@@ -121,7 +136,12 @@ let snapshot t =
                 ] ))
           (sorted_bindings t.histograms)
       in
-      Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ])
+      Json.Obj
+        [
+          ("schema", Json.Int 2);
+          ("counters", Json.Obj counters);
+          ("histograms", Json.Obj histograms);
+        ])
 
 let dump t oc =
   with_lock t (fun () ->
@@ -150,8 +170,16 @@ let reset t =
    registry.  Corrupt or missing files are ignored — metrics persistence
    must never stop the daemon from serving. *)
 
+let snapshot_schema = 2
+
+(* v1 snapshots carried no "schema" field; treat its absence as 1.  A
+   snapshot from a *newer* writer is skipped whole — merging half-understood
+   data would silently corrupt the additive totals. *)
 let merge_snapshot t j =
   let int_of jv = Json.to_int_opt jv in
+  let schema = match Option.bind (Json.member "schema" j) Json.to_int_opt with Some n -> n | None -> 1 in
+  if schema > snapshot_schema then ()
+  else begin
   (match Json.member "counters" j with
   | Some (Json.Obj fields) ->
     List.iter (fun (name, v) -> match int_of v with Some n when n > 0 -> incr ~by:n t name | _ -> ()) fields
@@ -187,6 +215,7 @@ let merge_snapshot t j =
         | _ -> ())
       fields
   | _ -> ()
+  end
 
 let save_file t path =
   try

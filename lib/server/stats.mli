@@ -29,6 +29,31 @@ val incr : ?by:int -> t -> string -> unit
 (** Current value of a counter; 0 when never incremented. *)
 val counter_value : t -> string -> int
 
+(** {2 Typed handles}
+
+    A handle names its instrument exactly once, at creation; every
+    subsequent touch goes through the handle, so instrument names cannot
+    drift apart across call sites.  Handles stay valid across {!reset}
+    (they hold the name, not the cell).  The serving code builds its full
+    set in [Smetrics]. *)
+
+type counter
+type histo
+
+val counter : t -> string -> counter
+val bump : ?by:int -> counter -> unit
+val counter_name : counter -> string
+
+(** Current value of the handle's counter. *)
+val value : counter -> int
+
+val histo : t -> string -> histo
+
+(** [observe h v] records a sample of [v] milliseconds. *)
+val observe : histo -> float -> unit
+
+val histo_name : histo -> string
+
 (** Histogram bucket upper bounds, in milliseconds, ascending. *)
 val bucket_bounds_ms : float array
 
@@ -39,7 +64,12 @@ val observe_ms : t -> string -> float -> unit
     histogram; [None] when it has no samples. *)
 val quantile_ms : t -> string -> float -> float option
 
-(** Consistent snapshot: counters sorted by name, histograms with bucket
+(** Snapshot schema version written by {!snapshot} (currently 2; version 1
+    snapshots carried no ["schema"] field). *)
+val snapshot_schema : int
+
+(** Consistent snapshot: [{"schema": 2, "counters": ..., "histograms":
+    ...}] with counters sorted by name and histograms carrying bucket
     counts, count, sum and p50/p95/p99 estimates. *)
 val snapshot : t -> Json.t
 
@@ -56,7 +86,10 @@ val reset : t -> unit
     functions swallow I/O and parse failures — persistence must never stop
     the daemon from serving. *)
 
-(** Fold a {!snapshot}-shaped JSON value into the registry. *)
+(** Fold a {!snapshot}-shaped JSON value into the registry.  Accepts
+    schema versions 1 (no ["schema"] field) and 2; a snapshot claiming a
+    schema newer than {!snapshot_schema} is skipped whole rather than
+    half-merged. *)
 val merge_snapshot : t -> Json.t -> unit
 
 (** Write the current snapshot to [path] (atomically, via a rename). *)

@@ -39,12 +39,13 @@ let write_pid_file path pid =
    (which loads the file at startup) reports it from its stats endpoint. *)
 let record_restart cfg status =
   let reg = Stats.create () in
+  let m = Smetrics.create reg in
   Stats.load_file reg cfg.state_file;
-  Stats.incr reg "supervisor.restarts_total";
-  Stats.incr reg
+  Stats.bump m.Smetrics.restarts_total;
+  Stats.bump
     (match status with
-    | Unix.WSIGNALED _ -> "supervisor.restarts.signal"
-    | _ -> "supervisor.restarts.exit");
+    | Unix.WSIGNALED _ -> m.Smetrics.restarts_signal
+    | _ -> m.Smetrics.restarts_exit);
   Stats.save_file reg cfg.state_file
 
 let status_to_string = function

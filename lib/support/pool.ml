@@ -9,7 +9,24 @@
    of its batch is running on some other thread and its completion will
    broadcast. *)
 
+module Trace = Lcm_obs.Trace
+
 type task = unit -> unit
+
+(* Trace context is domain-local, so by itself it would not follow a task
+   onto a worker domain and the task's spans would be orphans.  Capture the
+   submitter's context at [run] time and reinstall it around each task,
+   under a "pool.task" span.  Free when tracing is disabled (one atomic
+   load) or the submitter is outside any trace. *)
+let traced tasks =
+  if not (Trace.enabled ()) then tasks
+  else
+    match Trace.current () with
+    | None -> tasks
+    | Some ctx ->
+      List.map
+        (fun task () -> Trace.with_ctx (Some ctx) (fun () -> Trace.span "pool.task" task))
+        tasks
 
 (* One [run] call.  [pending] counts tasks not yet finished; the first
    exception raised by any task of the batch is kept and re-raised by
@@ -77,7 +94,7 @@ let shutdown t =
   t.workers <- []
 
 let run t tasks =
-  match tasks with
+  match traced tasks with
   | [] -> ()
   | [ task ] ->
     Fault.inject "pool.task";

@@ -25,6 +25,7 @@ let () =
       ("misc", Test_misc.suite);
       ("placement-check", Test_placement_check.suite);
       ("properties", Test_properties.suite);
+      ("obs", Test_obs.suite);
       ("pool", Test_pool.suite);
       ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);

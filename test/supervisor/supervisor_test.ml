@@ -5,6 +5,9 @@
 
 module Stats = Lcm_server.Stats
 module Supervisor = Lcm_server.Supervisor
+module Fault = Lcm_support.Fault
+module Json = Lcm_server.Json
+module Frame = Lcm_server.Frame
 
 let test_supervisor_restarts () =
   let dir = Filename.temp_file "lcm-sup" "" in
@@ -63,6 +66,191 @@ let test_supervisor_gives_up () =
       Stats.load_file reg state;
       Alcotest.(check int) "all restarts recorded" 3 (Stats.counter_value reg "supervisor.restarts_total"))
 
+(* ---- trace_id across a supervised restart ---- *)
+
+(* Fault decisions are a pure function of (seed, point, occurrence), and a
+   restarted child runs with seed + epoch * 0x9E3779B9.  Pick a seed whose
+   schedule is, deterministically:
+
+     child 1 (epoch 0): frame 1 passes the crash probe but is shed by
+       queue.reject (its rejection spans reach the trace file); frame 2
+       crashes the child mid-frame;
+     child 2 (epoch 1): frame 3 passes both probes and runs.
+
+   The client resends under one trace_id, so the per-trace file must end
+   up holding spans from BOTH incarnations: the rejected admission from
+   child 1 and the complete run from child 2. *)
+let epoch_seed s e = s + (e * 0x9E3779B9)
+
+let probe ~seed point occs =
+  Fault.configure ~seed [ ("queue.reject", 0.5); ("daemon.crash", 0.5) ];
+  let fired = List.init occs (fun _ -> Fault.fire point) in
+  Fault.disable ();
+  fired
+
+let pick_restart_seed () =
+  let rec go s =
+    if s > 100_000 then Alcotest.fail "no reject/crash/recover seed found"
+    else
+      let crash0 = probe ~seed:(epoch_seed s 0) "daemon.crash" 2 in
+      let reject0 = probe ~seed:(epoch_seed s 0) "queue.reject" 1 in
+      let crash1 = probe ~seed:(epoch_seed s 1) "daemon.crash" 1 in
+      let reject1 = probe ~seed:(epoch_seed s 1) "queue.reject" 1 in
+      if crash0 = [ false; true ] && reject0 = [ true ] && crash1 = [ false ]
+         && reject1 = [ false ]
+      then s
+      else go (s + 1)
+  in
+  go 1
+
+let resolve_exe () =
+  match Sys.getenv_opt "LCMOPT_EXE" with
+  | Some p -> p
+  | None ->
+    let d = Filename.dirname Sys.executable_name in
+    Filename.concat (Filename.dirname (Filename.dirname d)) "bin/lcmopt.exe"
+
+let read_frame_timeout fd reader ~timeout_s =
+  let chunk = Bytes.create 65536 in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0. then None
+    else
+      match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> None
+      | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n -> (
+          match
+            List.filter_map
+              (function Lcm_server.Frame.Frame f -> Some f | Lcm_server.Frame.Oversized _ -> None)
+              (Frame.feed reader chunk n)
+          with
+          | f :: _ -> Some f
+          | [] -> go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let test_trace_survives_restart () =
+  let exe = resolve_exe () in
+  if not (Sys.file_exists exe) then Alcotest.failf "daemon binary not found at %s" exe;
+  let seed = pick_restart_seed () in
+  let dir = Filename.temp_file "lcm-sup-trace" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let state = Filename.concat dir "state.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let req_r, req_w = Unix.pipe ~cloexec:true () in
+      let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+      let env =
+        Array.append (Unix.environment ())
+          [| Printf.sprintf "LCM_CHAOS=%d:queue.reject=0.5,daemon.crash=0.5" seed |]
+      in
+      let pid =
+        Unix.create_process_env exe
+          [|
+            exe; "serve"; "--stdio"; "--quiet"; "--supervise"; "--max-restarts"; "1000";
+            "--restart-backoff-ms"; "20"; "--restart-cap-ms"; "100"; "--state-file"; state;
+            "--trace-dir"; dir;
+          |]
+          env req_r resp_w Unix.stderr
+      in
+      Unix.close req_r;
+      Unix.close resp_w;
+      let reader = Frame.create ~max_frame:(1 lsl 20) in
+      let trace_id = "restart-trace" in
+      let send id =
+        let f =
+          Printf.sprintf
+            "{\"id\":%d,\"trace_id\":\"%s\",\"op\":\"run\",\"program\":\"cfg loop (entry B0, exit \
+             B1)\\nB0:\\n  goto B2\\nB1:\\n  halt\\nB2:\\n  x := a + b\\n  print x\\n  if p then \
+             B2 else B1\\n\"}\n"
+            id trace_id
+        in
+        ignore (Unix.write_substring req_w f 0 (String.length f))
+      in
+      (* One logical request, resent (same trace_id, fresh wire id) until
+         the daemon answers ok — across the rejection, the crash, and the
+         supervised restart behind them. *)
+      let rec attempt id tries statuses =
+        if tries > 12 then Alcotest.failf "never got an ok (statuses: %s)" (String.concat "," statuses);
+        send id;
+        match read_frame_timeout resp_r reader ~timeout_s:3.0 with
+        | None -> attempt (id + 1) (tries + 1) ("timeout" :: statuses)
+        | Some f -> (
+          let j = Json.parse f in
+          Alcotest.(check (option string)) "trace id echoed" (Some trace_id)
+            (Option.bind (Json.member "trace_id" j) Json.to_string_opt);
+          match Option.bind (Json.member "status" j) Json.to_string_opt with
+          | Some "ok" -> List.rev (("ok" :: statuses) : string list)
+          | Some s -> attempt (id + 1) (tries + 1) (s :: statuses)
+          | None -> Alcotest.fail "response without status")
+      in
+      let statuses = attempt 1 1 [] in
+      Alcotest.(check bool) "the request crossed at least one retry" true (List.length statuses >= 2);
+      Unix.close req_w;
+      let rec waitpid_retry () =
+        match Unix.waitpid [] pid with
+        | _, st -> st
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry ()
+      in
+      let status = waitpid_retry () in
+      Unix.close resp_r;
+      Alcotest.(check bool) "supervisor exited cleanly" true (status = Unix.WEXITED 0);
+      (* The supervisor recorded at least the crash we scheduled. *)
+      let reg = Stats.create () in
+      Stats.load_file reg state;
+      Alcotest.(check bool) "restart recorded" true
+        (Stats.counter_value reg "supervisor.restarts_total" >= 1);
+      let content =
+        In_channel.with_open_text (Filename.concat dir (trace_id ^ ".trace.json"))
+          In_channel.input_all
+      in
+      let events =
+        match Json.parse (content ^ "null]") with
+        | Json.List l -> List.filter (fun e -> e <> Json.Null) l
+        | _ -> Alcotest.fail "trace file is not a JSON array"
+      in
+      let arg name e = Json.member name (Option.value (Json.member "args" e) ~default:Json.Null) in
+      let pids = List.filter_map (fun e -> Option.bind (Json.member "pid" e) Json.to_int_opt) events in
+      let distinct_pids = List.sort_uniq compare pids in
+      Alcotest.(check bool) "spans from both incarnations" true (List.length distinct_pids >= 2);
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "one trace id" (Some trace_id)
+            (Option.bind (arg "trace_id" e) Json.to_string_opt))
+        events;
+      (* Span ids are per-process; parentage must resolve within each
+         incarnation's events. *)
+      List.iter
+        (fun p ->
+          let mine = List.filter (fun e -> Json.member "pid" e = Some (Json.Int p)) events in
+          let ids = List.filter_map (fun e -> Option.bind (arg "span_id" e) Json.to_int_opt) mine in
+          List.iter
+            (fun e ->
+              match Option.bind (arg "parent_id" e) Json.to_int_opt with
+              | Some par -> Alcotest.(check bool) "parent resolves" true (par = -1 || List.mem par ids)
+              | None -> Alcotest.fail "event without parent_id")
+            mine)
+        distinct_pids;
+      let names =
+        List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_string_opt) events
+      in
+      Alcotest.(check bool) "both admissions present" true
+        (List.length (List.filter (String.equal "daemon.admission") names) >= 2);
+      Alcotest.(check bool) "the surviving attempt ran the cascade" true
+        (List.mem "request" names && List.mem "lcm.latest" names))
+
 let () =
   Alcotest.run "lcm-supervisor"
     [
@@ -70,5 +258,6 @@ let () =
         [
           Alcotest.test_case "restarts and recovers" `Quick test_supervisor_restarts;
           Alcotest.test_case "gives up after max restarts" `Quick test_supervisor_gives_up;
+          Alcotest.test_case "trace_id survives retry + restart" `Quick test_trace_survives_restart;
         ] );
     ]

@@ -18,6 +18,7 @@ module Daemon = Lcm_server.Daemon
 module Retry = Lcm_server.Retry
 module Suites = Lcm_eval.Suites
 module Lcm_edge = Lcm_core.Lcm_edge
+module Trace = Lcm_obs.Trace
 
 let now = Unix.gettimeofday
 
@@ -260,6 +261,7 @@ let run_request ?(algorithm = "lcm-edge") ?(workers = 1) ?(validate = false) pro
       Protocol.Run
         { Protocol.program; format = Protocol.CfgText; func = None; algorithm; simplify = false; workers; validate };
     deadline_ms = None;
+    trace_id = None;
   }
 
 let str_field name j = Option.bind (Json.member name j) Json.to_string_opt
@@ -461,6 +463,89 @@ let test_soak_under_chaos () =
          that the fallback path, not luck, carried the load. *)
       Alcotest.(check bool) "some requests degraded" true (!degraded > 0))
 
+let test_trace_id_survives_retry () =
+  (* A queue.reject fault sheds the first admission; the client resends
+     under the SAME trace_id.  The daemon's --trace-dir file for that id
+     must then hold one well-formed span forest covering both attempts:
+     the rejected admission and the full run.  (The restart-crossing half
+     of this contract lives in test/supervisor/, which may fork.) *)
+  let reject_seed =
+    let rec go s =
+      if s > 10_000 then Alcotest.fail "no reject-then-accept seed found"
+      else begin
+        Fault.configure ~seed:s [ ("queue.reject", 0.5) ];
+        let first = Fault.fire "queue.reject" in
+        let second = Fault.fire "queue.reject" in
+        Fault.disable ();
+        if first && not second then s else go (s + 1)
+      end
+    in
+    go 1
+  in
+  let dir = Filename.temp_file "lcmd-trace" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let responses =
+        with_chaos ~seed:reject_seed
+          [ ("queue.reject", 0.5) ]
+          (fun () ->
+            with_daemon
+              ~cfg:{ (Daemon.default_config ()) with Daemon.trace_dir = Some dir }
+              (fun w ->
+                let frame id =
+                  Printf.sprintf "{\"id\":%d,\"trace_id\":\"soak-trace\",\"op\":\"run\",\"program\":%s}"
+                    id
+                    (Json.to_string (Json.String diamond_text))
+                in
+                (* Attempt 1 is shed by construction; attempt 2 runs. *)
+                Frame.write_frame w (frame 1);
+                Frame.write_frame w (frame 2)))
+      in
+      let statuses =
+        List.map (fun l -> Option.get (str_field "status" (Json.parse l))) responses
+      in
+      Alcotest.(check (list string)) "reject then ok" [ "error"; "ok" ] statuses;
+      List.iter
+        (fun l ->
+          Alcotest.(check (option string)) "trace id echoed on both" (Some "soak-trace")
+            (str_field "trace_id" (Json.parse l)))
+        responses;
+      let path = Filename.concat dir "soak-trace.trace.json" in
+      let content = In_channel.with_open_text path In_channel.input_all in
+      let events =
+        (* The per-trace file is a legal-but-unterminated Chrome array. *)
+        match Json.parse (content ^ "null]") with
+        | Json.List l -> List.filter (fun e -> e <> Json.Null) l
+        | _ -> Alcotest.fail "trace file is not a JSON array"
+      in
+      let arg name e =
+        Json.member name (Option.value (Json.member "args" e) ~default:Json.Null)
+      in
+      let names =
+        List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_string_opt) events
+      in
+      let ids = List.filter_map (fun e -> Option.bind (arg "span_id" e) Json.to_int_opt) events in
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "one trace id in the file" (Some "soak-trace")
+            (Option.bind (arg "trace_id" e) Json.to_string_opt);
+          match Option.bind (arg "parent_id" e) Json.to_int_opt with
+          | Some p -> Alcotest.(check bool) "parents resolve" true (p = -1 || List.mem p ids)
+          | None -> Alcotest.fail "event without parent_id")
+        events;
+      Alcotest.(check int) "one admission span per attempt" 2
+        (List.length (List.filter (String.equal "daemon.admission") names));
+      Alcotest.(check bool) "the accepted attempt ran end to end" true
+        (List.mem "request" names && List.mem "lcm.latest" names))
+
 let test_daemon_survives_epipe () =
   (* A socket client that sends a request and slams the connection shut:
      the daemon's response write hits EPIPE/ECONNRESET and must neither
@@ -528,5 +613,6 @@ let suite =
     Alcotest.test_case "validate fuel exhaustion" `Quick test_validate_fuel_exhausted;
     Alcotest.test_case "stats persistence roundtrip" `Quick test_stats_persistence_roundtrip;
     Alcotest.test_case "soak: 1k requests under 5% chaos" `Quick test_soak_under_chaos;
+    Alcotest.test_case "trace_id survives a client retry" `Quick test_trace_id_survives_retry;
     Alcotest.test_case "daemon survives EPIPE" `Quick test_daemon_survives_epipe;
   ]

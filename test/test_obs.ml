@@ -1,0 +1,339 @@
+(* Observability layer: Trace spans and context, Prof aggregation, the
+   exporters, the Pass/Pipeline API the optimizers were ported onto, the
+   Stats snapshot schema, and typed metric handles.
+
+   Tracing state is process-global; every test that enables collection
+   disables it (and drains) before returning so suites stay independent. *)
+
+module Pool = Lcm_support.Pool
+module Cfg = Lcm_cfg.Cfg
+module Pass = Lcm_core.Pass
+module Trace = Lcm_obs.Trace
+module Prof = Lcm_obs.Prof
+module Registry = Lcm_eval.Registry
+module Corpus = Lcm_eval.Corpus
+module Suites = Lcm_eval.Suites
+module Stats = Lcm_server.Stats
+module Json = Lcm_server.Json
+
+let with_tracing f =
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Trace.drain ());
+      Trace.disable ())
+    f
+
+let diamond () = Suites.graph (Option.get (Suites.find "diamond"))
+
+let corpus_graph ~blocks ~seed =
+  (List.hd (Corpus.generate ~seed [ (blocks, 1) ])).Corpus.graph
+
+(* ---- Trace: spans, context, well-formedness ---- *)
+
+let test_disabled_is_passthrough () =
+  Trace.disable ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  Alcotest.(check int) "span is f()" 41 (Trace.span "x" (fun () -> 41));
+  Alcotest.(check int) "in_trace is f()" 42 (Trace.in_trace ~trace_id:"t" "x" (fun () -> 42));
+  Alcotest.(check (list reject)) "nothing recorded" [] (List.map ignore (Trace.drain ()))
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      Trace.in_trace ~trace_id:"nest" "root" (fun () ->
+          Trace.span "a" (fun () -> Trace.span "b" (fun () -> ())));
+      let spans = Trace.drain () in
+      let find n = List.find (fun (s : Trace.span) -> s.Trace.name = n) spans in
+      let root = find "root" and a = find "a" and b = find "b" in
+      Alcotest.(check int) "three spans" 3 (List.length spans);
+      Alcotest.(check int) "root is a root" (-1) root.Trace.parent;
+      Alcotest.(check int) "a under root" root.Trace.id a.Trace.parent;
+      Alcotest.(check int) "b under a" a.Trace.id b.Trace.parent;
+      List.iter
+        (fun (s : Trace.span) ->
+          Alcotest.(check string) "trace id inherited" "nest" s.Trace.trace_id;
+          Alcotest.(check bool) "non-negative duration" true (Trace.dur s >= 0.))
+        spans)
+
+let test_span_error_attr () =
+  with_tracing (fun () ->
+      (try Trace.in_trace ~trace_id:"e" "boom" (fun () -> failwith "die")
+       with Failure _ -> ());
+      match Trace.drain () with
+      | [ s ] -> Alcotest.(check bool) "error attr" true (List.mem_assoc "error" s.Trace.attrs)
+      | l -> Alcotest.failf "expected one span, got %d" (List.length l))
+
+let test_take_is_per_trace () =
+  with_tracing (fun () ->
+      Trace.in_trace ~trace_id:"one" "a" (fun () -> ());
+      Trace.in_trace ~trace_id:"two" "b" (fun () -> ());
+      let one = Trace.take ~trace_id:"one" in
+      Alcotest.(check int) "one span taken" 1 (List.length one);
+      Alcotest.(check string) "the right trace" "one" (List.hd one).Trace.trace_id;
+      let rest = Trace.drain () in
+      Alcotest.(check int) "other trace still buffered" 1 (List.length rest);
+      Alcotest.(check string) "which is two" "two" (List.hd rest).Trace.trace_id)
+
+let test_mint_ids_unique () =
+  let a = Trace.mint_id () and b = Trace.mint_id () in
+  Alcotest.(check bool) "prefix" true (String.length a > 2 && String.sub a 0 2 = "t-");
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+(* The tentpole claim: one request through the parallel engine yields one
+   connected span forest — pool workers record under the submitter's
+   context, every cascade phase appears, nothing dangles.  The pool is 4
+   domains regardless of LCM_DOMAINS so the cross-domain path always runs. *)
+let test_span_tree_parallel () =
+  let g = corpus_graph ~blocks:300 ~seed:11 in
+  let pool = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      with_tracing (fun () ->
+          let entry = Option.get (Registry.find "lcm-edge") in
+          ignore
+            (Trace.in_trace ~trace_id:"par" "request" (fun () ->
+                 Pass.Pipeline.run { Pass.workers = Some pool } entry.Registry.pipeline g));
+          let spans = Trace.drain () in
+          let ids = List.map (fun (s : Trace.span) -> s.Trace.id) spans in
+          List.iter
+            (fun (s : Trace.span) ->
+              Alcotest.(check string) "single trace id" "par" s.Trace.trace_id;
+              if s.Trace.parent <> -1 then
+                Alcotest.(check bool)
+                  (Printf.sprintf "parent of %s resolves" s.Trace.name)
+                  true (List.mem s.Trace.parent ids))
+            spans;
+          let names = List.map (fun (s : Trace.span) -> s.Trace.name) spans in
+          List.iter
+            (fun n ->
+              Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+            [
+              "request"; "pipeline.lcm-edge"; "pass.lcm-edge"; "lcm.local"; "lcm.up_safety";
+              "lcm.down_safety"; "lcm.earliest"; "lcm.delay"; "lcm.latest"; "pool.task";
+            ];
+          (* The pool.task spans are the cross-domain hops; each must hang
+             off a span of this trace, not float as its own root. *)
+          List.iter
+            (fun (s : Trace.span) ->
+              if s.Trace.name = "pool.task" then
+                Alcotest.(check bool) "pool.task has a parent" true (s.Trace.parent <> -1))
+            spans))
+
+(* ---- Prof ---- *)
+
+let test_prof_aggregation () =
+  with_tracing (fun () ->
+      ignore
+        (Trace.in_trace ~trace_id:"p" "request" (fun () ->
+             Pass.Pipeline.run Pass.default_ctx
+               (Option.get (Registry.find "lcm-edge")).Registry.pipeline (diamond ())));
+      let spans = Trace.drain () in
+      let prof = Prof.create () in
+      Prof.add prof spans;
+      let rows = Prof.rows prof in
+      let find n = List.find_opt (fun (r : Prof.row) -> r.Prof.name = n) rows in
+      (match find "pass.lcm-edge" with
+      | None -> Alcotest.fail "pass.lcm-edge row missing"
+      | Some r ->
+        Alcotest.(check int) "count" 1 r.Prof.count;
+        Alcotest.(check bool) "sweeps recorded from attrs" true (r.Prof.sweeps > 0);
+        Alcotest.(check bool) "visits recorded from attrs" true (r.Prof.visits > 0);
+        Alcotest.(check bool) "self <= total" true (r.Prof.self_s <= r.Prof.total_s +. 1e-9));
+      (match find "request" with
+      | None -> Alcotest.fail "request row missing"
+      | Some r ->
+        Alcotest.(check bool) "root total covers children" true
+          (List.for_all (fun (c : Prof.row) -> c.Prof.total_s <= r.Prof.total_s +. 1e-9) rows));
+      (* to_json shape: {"phases": {name: {...}}} *)
+      match Json.member "phases" (Prof.to_json prof) with
+      | Some (Json.Obj phases) ->
+        Alcotest.(check bool) "json has the pass row" true (List.mem_assoc "pass.lcm-edge" phases)
+      | _ -> Alcotest.fail "profile json missing phases object")
+
+(* ---- Exporters ---- *)
+
+let test_exporters_parse () =
+  with_tracing (fun () ->
+      Trace.in_trace ~trace_id:"exp" "root" (fun () -> Trace.span "child" (fun () -> ()));
+      let spans = Trace.drain () in
+      (match Json.parse (Trace.to_chrome spans) with
+      | Json.List evs ->
+        Alcotest.(check int) "one event per span" (List.length spans) (List.length evs);
+        List.iter
+          (fun e ->
+            Alcotest.(check (option string)) "complete event" (Some "X")
+              (Option.bind (Json.member "ph" e) Json.to_string_opt);
+            let args = Option.value (Json.member "args" e) ~default:Json.Null in
+            Alcotest.(check (option string)) "trace id in args" (Some "exp")
+              (Option.bind (Json.member "trace_id" args) Json.to_string_opt))
+          evs
+      | _ -> Alcotest.fail "chrome export is not a JSON array");
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' (Trace.to_jsonl spans))
+      in
+      Alcotest.(check int) "one line per span" (List.length spans) (List.length lines);
+      List.iter
+        (fun l ->
+          match Json.parse l with
+          | Json.Obj _ -> ()
+          | _ -> Alcotest.fail "jsonl line is not an object")
+        lines)
+
+(* ---- Pass / Pipeline API ---- *)
+
+let test_pass_pipeline () =
+  let tag name = Pass.v name (fun _ g -> (g, Pass.report ~notes:[ ("ran", name) ] ())) in
+  let pl = Pass.Pipeline.v "combo" [ tag "first"; tag "second" ] in
+  let pl = Pass.Pipeline.append pl [ tag "third" ] in
+  let g = diamond () in
+  let g', reports = Pass.Pipeline.run Pass.default_ctx pl g in
+  Alcotest.(check string) "graph threaded through" (Cfg.to_string g) (Cfg.to_string g');
+  Alcotest.(check (list string)) "reports in pass order" [ "first"; "second"; "third" ]
+    (List.map fst reports);
+  List.iter
+    (fun (name, (r : Pass.report)) ->
+      Alcotest.(check (option string)) "notes survive" (Some name) (List.assoc_opt "ran" r.Pass.notes))
+    reports
+
+(* Porting the optimizers onto Pass must not have changed a single bit of
+   output: every registry entry's pipeline run is compared against the
+   direct (pre-Pass) API on several graphs. *)
+let test_registry_bit_identity () =
+  let module Lcm_edge = Lcm_core.Lcm_edge in
+  let module Bcm_edge = Lcm_core.Bcm_edge in
+  let module Lcm_node = Lcm_core.Lcm_node in
+  let module Lcm_block = Lcm_core.Lcm_block in
+  let module Lcse = Lcm_opt.Lcse in
+  let module Cleanup = Lcm_opt.Cleanup in
+  let module Strength_reduction = Lcm_opt.Strength_reduction in
+  let module Gcse = Lcm_baselines.Gcse in
+  let module Morel_renvoise = Lcm_baselines.Morel_renvoise in
+  let module Licm = Lcm_baselines.Licm in
+  let direct =
+    [
+      ("identity", Cfg.copy);
+      ("lcse", fun g -> fst (Lcse.run g));
+      ("gcse", fun g -> fst (Gcse.transform g));
+      ("licm", fun g -> fst (Licm.transform g));
+      ("strength-reduction", fun g -> fst (Strength_reduction.run g));
+      ("ssa-dvnt", fun g -> fst (Lcm_ssa.Dvnt.pass g));
+      ("morel-renvoise", fun g -> fst (Morel_renvoise.transform g));
+      ("bcm-edge", fun g -> fst (Bcm_edge.transform g));
+      ("lcm-edge", fun g -> fst (Lcm_edge.transform g));
+      ("lcm-block", fun g -> fst (Lcm_block.transform g));
+      ("bcm-node", fun g -> fst (Lcm_node.transform Lcm_node.Bcm g));
+      ("alcm-node", fun g -> fst (Lcm_node.transform Lcm_node.Alcm g));
+      ("lcm-node", fun g -> fst (Lcm_node.transform Lcm_node.Lcm g));
+      ("lcm-cleanup", fun g -> fst (Cleanup.run (fst (Lcm_edge.transform g))));
+      ( "lcm-iterated",
+        fun g ->
+          let once h = fst (Cleanup.run (fst (Lcm_edge.transform h))) in
+          once (once g) );
+    ]
+  in
+  let graphs =
+    diamond () :: List.map (fun seed -> corpus_graph ~blocks:40 ~seed) [ 1; 2; 3 ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let entry = Option.get (Registry.find name) in
+      List.iteri
+        (fun i g ->
+          let expected = Digest.to_hex (Digest.string (Cfg.to_string (f g))) in
+          let got = Digest.to_hex (Digest.string (Cfg.to_string (entry.Registry.run g))) in
+          Alcotest.(check string) (Printf.sprintf "%s bit-identical on graph %d" name i)
+            expected got)
+        graphs)
+    direct;
+  (* And no registry entry was forgotten by this list. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      Alcotest.(check bool) (e.Registry.name ^ " covered") true
+        (List.mem_assoc e.Registry.name direct))
+    Registry.all
+
+(* ---- Stats: snapshot schema and typed handles ---- *)
+
+let test_snapshot_schema () =
+  let t = Stats.create () in
+  Stats.incr ~by:4 t "a";
+  Stats.observe_ms t "lat" 3.0;
+  let snap = Stats.snapshot t in
+  Alcotest.(check (option int)) "snapshot carries schema 2" (Some Stats.snapshot_schema)
+    (Option.bind (Json.member "schema" snap) Json.to_int_opt);
+  (* v2 roundtrip. *)
+  let b = Stats.create () in
+  Stats.merge_snapshot b snap;
+  Alcotest.(check int) "v2 counters merge" 4 (Stats.counter_value b "a");
+  Alcotest.(check bool) "v2 histograms merge" true (Stats.quantile_ms b "lat" 0.5 <> None);
+  (* v1: no schema field at all — the pre-upgrade on-disk format. *)
+  Stats.merge_snapshot b (Json.Obj [ ("counters", Json.Obj [ ("a", Json.Int 2) ]) ]);
+  Alcotest.(check int) "v1 accepted additively" 6 (Stats.counter_value b "a");
+  (* A snapshot from the future is skipped whole, not half-merged. *)
+  Stats.merge_snapshot b
+    (Json.Obj [ ("schema", Json.Int 3); ("counters", Json.Obj [ ("a", Json.Int 100) ]) ]);
+  Alcotest.(check int) "newer schema skipped" 6 (Stats.counter_value b "a")
+
+let test_typed_handles () =
+  let t = Stats.create () in
+  let c = Stats.counter t "reqs" in
+  Stats.bump c;
+  Stats.bump ~by:2 c;
+  Alcotest.(check int) "bump accumulates" 3 (Stats.value c);
+  Alcotest.(check int) "same cell as the raw view" 3 (Stats.counter_value t "reqs");
+  Alcotest.(check string) "name retained" "reqs" (Stats.counter_name c);
+  let h = Stats.histo t "lat" in
+  Stats.observe h 5.0;
+  Alcotest.(check bool) "observation lands" true (Stats.quantile_ms t "lat" 0.5 <> None);
+  Alcotest.(check string) "histo name retained" "lat" (Stats.histo_name h);
+  (* Handles hold the name, not the cell: they survive reset. *)
+  Stats.reset t;
+  Alcotest.(check int) "reset zeroes" 0 (Stats.value c);
+  Stats.bump c;
+  Alcotest.(check int) "handle valid after reset" 1 (Stats.value c)
+
+(* The serving layer must only touch metrics through Smetrics' typed
+   handles — a raw string key at a call site is exactly the drift the
+   handles exist to prevent.  Enforced by scanning the sources (dune
+   copies them next to the test binary's tree). *)
+let test_no_raw_metric_keys () =
+  let rec find_root dir depth =
+    if depth > 6 then None
+    else if Sys.file_exists (Filename.concat dir "lib/server/engine.ml") then Some dir
+    else find_root (Filename.concat dir "..") (depth + 1)
+  in
+  match find_root (Sys.getcwd ()) 0 with
+  | None -> Alcotest.fail "cannot locate lib/server sources from the test cwd"
+  | Some root ->
+    List.iter
+      (fun file ->
+        let path = Filename.concat root ("lib/server/" ^ file) in
+        let src = In_channel.with_open_text path In_channel.input_all in
+        let contains needle =
+          let n = String.length needle and m = String.length src in
+          let rec go i = i + n <= m && (String.sub src i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) (file ^ " has no raw Stats.incr") false (contains "Stats.incr");
+        Alcotest.(check bool)
+          (file ^ " has no raw Stats.observe_ms")
+          false (contains "Stats.observe_ms"))
+      [ "engine.ml"; "daemon.ml"; "supervisor.ml" ]
+
+let suite =
+  [
+    Alcotest.test_case "disabled tracing is pass-through" `Quick test_disabled_is_passthrough;
+    Alcotest.test_case "span nesting and context" `Quick test_span_nesting;
+    Alcotest.test_case "error spans keep the attribute" `Quick test_span_error_attr;
+    Alcotest.test_case "take is per-trace" `Quick test_take_is_per_trace;
+    Alcotest.test_case "minted trace ids" `Quick test_mint_ids_unique;
+    Alcotest.test_case "span tree across 4 domains" `Quick test_span_tree_parallel;
+    Alcotest.test_case "profile aggregation" `Quick test_prof_aggregation;
+    Alcotest.test_case "exporters parse" `Quick test_exporters_parse;
+    Alcotest.test_case "pass pipeline combinator" `Quick test_pass_pipeline;
+    Alcotest.test_case "pass-ported optimizers are bit-identical" `Quick test_registry_bit_identity;
+    Alcotest.test_case "stats snapshot schema v1/v2" `Quick test_snapshot_schema;
+    Alcotest.test_case "typed metric handles" `Quick test_typed_handles;
+    Alcotest.test_case "no raw metric keys in serving code" `Quick test_no_raw_metric_keys;
+  ]

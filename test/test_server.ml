@@ -139,7 +139,7 @@ let test_stats_quantiles () =
 let ok_req frame =
   match Protocol.parse_request frame with
   | Ok r -> r
-  | Error (_, _, m) -> Alcotest.failf "unexpected parse failure: %s" m
+  | Error (_, _, _, m) -> Alcotest.failf "unexpected parse failure: %s" m
 
 let test_protocol_parse () =
   let r = ok_req "{\"id\":7,\"program\":\"cfg x (entry B0, exit B1)\"}" in
@@ -155,14 +155,20 @@ let test_protocol_parse () =
     Alcotest.(check bool) "format sniffed as miniimp" true (run.Protocol.format = Protocol.MiniImp)
   | _ -> Alcotest.fail "expected run op");
   (match Protocol.parse_request "{\"op\":\"nope\"}" with
-  | Error (_, Protocol.Bad_request, _) -> ()
+  | Error (_, _, Protocol.Bad_request, _) -> ()
   | _ -> Alcotest.fail "unknown op must be bad_request");
   (match Protocol.parse_request "[1,2]" with
-  | Error (_, Protocol.Bad_request, _) -> ()
+  | Error (_, _, Protocol.Bad_request, _) -> ()
   | _ -> Alcotest.fail "non-object must be bad_request");
   (match Protocol.parse_request "{\"id\":9,\"op\":\"run\"}" with
-  | Error (Json.Int 9, Protocol.Bad_request, _) -> ()
-  | _ -> Alcotest.fail "missing program must be bad_request with id")
+  | Error (Json.Int 9, _, Protocol.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "missing program must be bad_request with id");
+  (* trace_id: parsed when present, recovered even on a parse failure. *)
+  let r = ok_req "{\"id\":1,\"trace_id\":\"t-cli\",\"program\":\"cfg x (entry B0, exit B1)\"}" in
+  Alcotest.(check (option string)) "trace_id parsed" (Some "t-cli") r.Protocol.trace_id;
+  (match Protocol.parse_request "{\"id\":9,\"trace_id\":\"t-err\",\"op\":\"run\"}" with
+  | Error (Json.Int 9, Some "t-err", Protocol.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "trace_id must be recovered on parse failure")
 
 (* ---- Engine ---- *)
 
@@ -183,6 +189,7 @@ let run_request ?(algorithm = "lcm-edge") ?(workers = 1) program =
           validate = false;
         };
     deadline_ms = None;
+    trace_id = None;
   }
 
 let engine_exec ?lookup ?pool ?deadline req =
@@ -243,6 +250,7 @@ let test_engine_errors () =
               validate = false;
             };
         deadline_ms = None;
+        trace_id = None;
       }
   in
   Alcotest.(check (option string)) "bad miniimp" (Some "parse_error") (code resp)
@@ -255,7 +263,7 @@ let test_engine_deadline () =
   let t0 = now () in
   let resp =
     engine_exec ~deadline:(t0 +. 0.05)
-      { Protocol.id = Json.Null; op = Protocol.Sleep 60_000.; deadline_ms = None }
+      { Protocol.id = Json.Null; op = Protocol.Sleep 60_000.; deadline_ms = None; trace_id = None }
   in
   let elapsed = now () -. t0 in
   Alcotest.(check (option string)) "cancelled" (Some "deadline_exceeded") (str_field "code" resp);
@@ -265,8 +273,14 @@ let test_engine_panic_isolation () =
   (* An algorithm that dies must not take the daemon with it — the engine
      degrades through the tier ladder and serves the identity program,
      marked as such, rather than erroring. *)
+  let boom = Lcm_core.Pass.v "boom" (fun _ _ -> failwith "boom") in
   let crash =
-    Some { (Option.get (Registry.find "identity")) with Registry.run = (fun _ -> failwith "boom") }
+    Some
+      {
+        (Option.get (Registry.find "identity")) with
+        Registry.pipeline = Lcm_core.Pass.Pipeline.v "boom" [ boom ];
+        run = (fun _ -> failwith "boom");
+      }
   in
   (* lcm-edge's sequential tier bypasses the registry (it needs the spec),
      so aim the crashing stub at an algorithm served through the entry. *)
