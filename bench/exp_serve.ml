@@ -95,6 +95,12 @@ type load_result = {
   p99_ms : float;
   digest_mismatches : int;
   server_stats : Json.t;
+  (* daemon-side GC work over the whole load, from the stats response
+     (the daemon is a subprocess, so the client's own GC sees none of it) *)
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  gc_alloc_words : int;
+  alloc_words_per_ok : float;
 }
 
 let quantile sorted q =
@@ -190,6 +196,12 @@ let run_load ~jobs ~queue ~offered_rps ~requests =
   stop_daemon d;
   let lat = Array.of_list !latencies in
   Array.sort compare lat;
+  let gc_counter name =
+    match Option.bind (Json.member "counters" !stats) (Json.member name) with
+    | Some v -> Option.value (Json.to_int_opt v) ~default:0
+    | None -> 0
+  in
+  let gc_alloc_words = gc_counter "gc.alloc_words" in
   {
     offered_rps;
     requests;
@@ -204,6 +216,13 @@ let run_load ~jobs ~queue ~offered_rps ~requests =
     p99_ms = quantile lat 0.99;
     digest_mismatches = !mismatches;
     server_stats = !stats;
+    gc_minor_collections = gc_counter "gc.minor_collections";
+    gc_major_collections = gc_counter "gc.major_collections";
+    gc_alloc_words;
+    (* per *served* request: rejected ones never reach the engine, so they
+       would only dilute the number (startup allocation is in here too, but
+       it is fixed and amortizes out at benchmark request counts) *)
+    alloc_words_per_ok = (if !ok > 0 then float_of_int gc_alloc_words /. float_of_int !ok else 0.);
   }
 
 (* ---- reporting ---- *)
@@ -211,7 +230,10 @@ let run_load ~jobs ~queue ~offered_rps ~requests =
 let print_rows rows =
   let t =
     Table.create
-      [ "offered rps"; "requests"; "ok"; "overloaded"; "errors"; "rps served"; "p50 ms"; "p95 ms"; "p99 ms" ]
+      [
+        "offered rps"; "requests"; "ok"; "overloaded"; "errors"; "rps served"; "p50 ms"; "p95 ms";
+        "p99 ms"; "alloc w/ok"; "minor gcs";
+      ]
   in
   List.iter
     (fun r ->
@@ -226,6 +248,8 @@ let print_rows rows =
           Table.cell_float ~decimals:2 r.p50_ms;
           Table.cell_float ~decimals:2 r.p95_ms;
           Table.cell_float ~decimals:2 r.p99_ms;
+          Printf.sprintf "%.0f" r.alloc_words_per_ok;
+          Table.cell_int r.gc_minor_collections;
         ])
     rows;
   Table.print t
@@ -244,6 +268,10 @@ let json_of_load r =
       ("p50_ms", Json.Float r.p50_ms);
       ("p95_ms", Json.Float r.p95_ms);
       ("p99_ms", Json.Float r.p99_ms);
+      ("gc_minor_collections", Json.Int r.gc_minor_collections);
+      ("gc_major_collections", Json.Int r.gc_major_collections);
+      ("gc_alloc_words", Json.Int r.gc_alloc_words);
+      ("alloc_words_per_ok", Json.Float r.alloc_words_per_ok);
       ("server_stats", r.server_stats);
     ]
 

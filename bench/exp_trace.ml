@@ -25,6 +25,8 @@
 
 module Table = Lcm_support.Table
 module Fault = Lcm_support.Fault
+module Arena = Lcm_support.Arena
+module Pool = Lcm_support.Pool
 module Cfg = Lcm_cfg.Cfg
 module Corpus = Lcm_eval.Corpus
 module Registry = Lcm_eval.Registry
@@ -52,9 +54,40 @@ type size_result = {
   on_p95_ms : float;
   spans_per_run : int;
   prof : Prof.t;  (* per-phase breakdown accumulated over the traced runs *)
+  alloc_heap_w : float;  (* words/request, historical heap path *)
+  alloc_arena_w : float;  (* words/request, arena path (serving steady state) *)
+  alloc_analyze_heap_w : float;  (* words per LCM cascade (analyze), heap path *)
+  alloc_analyze_arena_w : float;  (* words per LCM cascade (analyze), arena path *)
+  arena_misses_delta : int;  (* pool misses across the measured window; 0 = warm *)
+  prof_arena : Prof.t;  (* per-phase breakdown of traced arena-backed runs *)
 }
 
 let overhead_p95 r = (r.on_p95_ms /. r.off_p95_ms) -. 1.
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+(* Steady-state allocation per request: warm first (arena pools fill on the
+   first requests of a shape), then measure a window of repeats.  The
+   [Gc.minor] fences matter: in native code [Gc.allocated_bytes] under-counts
+   in-flight minor allocation between collections and trues up in large
+   lumps when one fires, so small per-request numbers read without the
+   fences are noise. *)
+let alloc_per_request ~warm ~iters run =
+  for _ = 1 to warm do
+    run ()
+  done;
+  Gc.minor ();
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to iters do
+    run ()
+  done;
+  Gc.minor ();
+  (Gc.allocated_bytes () -. a0) /. float_of_int iters /. word_bytes
+
+(* Per-request alloc words of one profiled phase; None when absent. *)
+let phase_alloc prof name =
+  List.find_opt (fun (r : Prof.row) -> r.Prof.name = name) (Prof.rows prof)
+  |> Option.map (fun (r : Prof.row) ->
+         if r.Prof.count = 0 then 0. else r.Prof.alloc_w /. float_of_int r.Prof.count)
 
 (* One timed run of the lcm-edge pipeline.  The graph is re-parsed from
    nothing each iteration?  No — the pipeline copies internally; running
@@ -101,6 +134,51 @@ let measure_size ~blocks ~iters =
   Trace.disable ();
   Array.sort compare off;
   Array.sort compare on;
+  (* ---- steady-state allocation: heap path vs arena (serving) path ----
+     The arena run is exactly what the engine does per admitted request:
+     check a scratch arena out for the graph's shape class, thread it
+     through the pipeline, reset on the way out. *)
+  let shape_blocks = Cfg.label_bound g in
+  let shape_exprs = Lcm_ir.Expr_pool.size (Cfg.candidate_pool g) in
+  let arena_run () =
+    Pool.Scratch.with_arena ~blocks:shape_blocks ~exprs:shape_exprs (fun a ->
+        ignore
+          (Pass.Pipeline.run_graph { Pass.default_ctx with Pass.scratch = Some a } pipeline g))
+  in
+  let alloc_iters = max 10 (iters / 4) in
+  let alloc_heap_w = alloc_per_request ~warm:2 ~iters:alloc_iters run in
+  let alloc_arena_w = alloc_per_request ~warm:5 ~iters:alloc_iters arena_run in
+  (* The cascade alone (analyze: local predicates, safety systems,
+     earliestness, delay, latestness, copies) — the phases the arena exists
+     for, and the number the CI allocation budget below pins.  The full
+     request above additionally rebuilds the output graph in the transform
+     phase, whose allocation is inherently proportional to program size. *)
+  let alloc_analyze_heap_w =
+    alloc_per_request ~warm:2 ~iters:alloc_iters (fun () -> ignore (Lcm_core.Lcm_edge.analyze g))
+  in
+  let alloc_analyze_arena_w =
+    alloc_per_request ~warm:5 ~iters:alloc_iters (fun () ->
+        Pool.Scratch.with_arena ~blocks:shape_blocks ~exprs:shape_exprs (fun a ->
+            ignore (Lcm_core.Lcm_edge.analyze ~scratch:a g)))
+  in
+  let misses0 =
+    Pool.Scratch.with_arena ~blocks:shape_blocks ~exprs:shape_exprs (fun a -> Arena.misses a)
+  in
+  for _ = 1 to 5 do
+    arena_run ()
+  done;
+  let misses1 =
+    Pool.Scratch.with_arena ~blocks:shape_blocks ~exprs:shape_exprs (fun a -> Arena.misses a)
+  in
+  (* Traced arena runs, for the per-phase before/after breakdown (and the
+     CI allocation budget on pass.lcm-edge). *)
+  let prof_arena = Prof.create () in
+  Trace.enable ();
+  for i = 1 to 5 do
+    Trace.in_trace ~trace_id:(Printf.sprintf "bench-arena-%d" i) "request" arena_run;
+    Prof.add prof_arena (Trace.drain ())
+  done;
+  Trace.disable ();
   {
     blocks;
     iters;
@@ -110,6 +188,12 @@ let measure_size ~blocks ~iters =
     on_p95_ms = percentile on 0.95;
     spans_per_run = !spans_per_run;
     prof;
+    alloc_heap_w;
+    alloc_arena_w;
+    alloc_analyze_heap_w;
+    alloc_analyze_arena_w;
+    arena_misses_delta = misses1 - misses0;
+    prof_arena;
   }
 
 let disabled_probe_ns () =
@@ -323,6 +407,112 @@ let print_rows rows =
     rows;
   Table.print t
 
+(* Steady-state allocation, heap path vs arena path, with the per-phase
+   reduction for the cascade/solver phases the arena exists for. *)
+let alloc_phases = [ "pass.lcm-edge"; "solve.avail"; "solve.antic"; "lcm.delay"; "lcm.latest" ]
+
+let print_alloc_rows rows =
+  let t =
+    Table.create
+      [
+        "blocks"; "heap w/req"; "arena w/req"; "reduction"; "cascade heap"; "cascade arena";
+        "cascade red."; "arena misses";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Table.cell_int r.blocks;
+          Printf.sprintf "%.0f" r.alloc_heap_w;
+          Printf.sprintf "%.0f" r.alloc_arena_w;
+          Printf.sprintf "%.1fx" (r.alloc_heap_w /. Float.max 1. r.alloc_arena_w);
+          Printf.sprintf "%.0f" r.alloc_analyze_heap_w;
+          Printf.sprintf "%.0f" r.alloc_analyze_arena_w;
+          Printf.sprintf "%.1fx" (r.alloc_analyze_heap_w /. Float.max 1. r.alloc_analyze_arena_w);
+          Table.cell_int r.arena_misses_delta;
+        ])
+    rows;
+  Table.print t;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun name ->
+          match (phase_alloc r.prof name, phase_alloc r.prof_arena name) with
+          | Some heap, Some arena ->
+            Common.note "  %4d blocks  %-16s %10.0f -> %8.0f w/req (%.0fx)" r.blocks name heap
+              arena
+              (heap /. Float.max 1. arena)
+          | _ -> ())
+        alloc_phases)
+    rows
+
+(* ---- CI allocation budget ----
+
+   bench/alloc_budget.json pins arena-path words/request in the quick run.
+   A regression (someone reintroduces a per-request allocation on the hot
+   path) fails CI; raising the budget is a reviewed change in the same PR
+   that justifies it.
+
+   Budget keys:
+   - "analyze.arena": the LCM cascade (pass.lcm-edge minus the transform),
+     measured directly with GC fences — steady-state size-independent, so
+     one tight budget covers every shape.
+   - "request.arena": the whole pipeline, transform included — loose (the
+     output graph scales with program size), a backstop against gross
+     regressions.
+   - any other key: matched against the traced per-phase profile (span
+     accounting; indicative, coarser than the fenced numbers). *)
+
+let budget_default_path = "bench/alloc_budget.json"
+
+let check_alloc_budget rows =
+  let path = Option.value (Sys.getenv_opt "LCM_ALLOC_BUDGET") ~default:budget_default_path in
+  if not (Sys.file_exists path) then
+    Common.note "no allocation budget at %s; skipping the alloc gate" path
+  else begin
+    let j =
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Json.parse s
+    in
+    let budgets =
+      match Json.member "budgets" j with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) -> Option.map (fun b -> (name, b)) (Json.to_float_opt v))
+          fields
+      | _ -> []
+    in
+    List.iter
+      (fun (name, budget) ->
+        List.iter
+          (fun r ->
+            let got =
+              match name with
+              | "analyze.arena" -> Some r.alloc_analyze_arena_w
+              | "request.arena" -> Some r.alloc_arena_w
+              | _ -> phase_alloc r.prof_arena name
+            in
+            match got with
+            | None -> ()
+            | Some got ->
+              if got > budget then begin
+                Common.note
+                  "FAIL: %s allocates %.0f words/request at %d blocks, budget is %.0f (%s)" name
+                  got r.blocks budget path;
+                exit 1
+              end
+              else
+                Common.note "alloc budget ok: %-16s %8.0f <= %8.0f words/request" name got budget)
+          rows)
+      budgets
+  end
+
 let json_of_size r =
   Json.Obj
     [
@@ -334,7 +524,19 @@ let json_of_size r =
       ("on_p95_ms", Json.Float r.on_p95_ms);
       ("p95_overhead_pct", Json.Float (overhead_p95 r *. 100.));
       ("spans_per_run", Json.Int r.spans_per_run);
+      ("alloc_heap_w_per_req", Json.Float (Float.round r.alloc_heap_w));
+      ("alloc_arena_w_per_req", Json.Float (Float.round r.alloc_arena_w));
+      ( "alloc_reduction_x",
+        Json.Float (Float.round (r.alloc_heap_w /. Float.max 1. r.alloc_arena_w *. 10.) /. 10.) );
+      ("alloc_analyze_heap_w_per_req", Json.Float (Float.round r.alloc_analyze_heap_w));
+      ("alloc_analyze_arena_w_per_req", Json.Float (Float.round r.alloc_analyze_arena_w));
+      ( "alloc_analyze_reduction_x",
+        Json.Float
+          (Float.round (r.alloc_analyze_heap_w /. Float.max 1. r.alloc_analyze_arena_w *. 10.)
+          /. 10.) );
+      ("arena_misses_delta", Json.Int r.arena_misses_delta);
       ("phases", Prof.to_json r.prof);
+      ("phases_arena", Prof.to_json r.prof_arena);
     ]
 
 let emit_json ?(path = "BENCH_trace.json") ~probe_ns rows retry =
@@ -400,10 +602,15 @@ let run_mode ~quick () =
   let sizes = if quick then [ (100, 30) ] else [ (100, 200); (400, 120); (1000, 80) ] in
   let rows = List.map (fun (blocks, iters) -> measure_size ~blocks ~iters) sizes in
   print_rows rows;
+  Common.note "steady-state allocation per request (heap path vs arena path):";
+  print_alloc_rows rows;
+  check_alloc_budget rows;
   let probe_ns = disabled_probe_ns () in
   Common.note "disabled probe: %.1f ns (one atomic load + branch)" probe_ns;
   Common.note "per-phase breakdown (largest size, traced runs):";
   Format.printf "%a@." Prof.pp (List.nth rows (List.length rows - 1)).prof;
+  Common.note "per-phase breakdown (largest size, arena-backed runs):";
+  Format.printf "%a@." Prof.pp (List.nth rows (List.length rows - 1)).prof_arena;
   Common.note "retry-crossing trace through `serve --trace-dir` under queue.reject chaos...";
   let retry = run_retry_trace () in
   Common.note

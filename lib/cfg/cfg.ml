@@ -15,10 +15,13 @@ type block = { mutable instrs : Instr.t list; mutable tail_rev : Instr.t list; m
 type adjacency = {
   adj_version : int;
   adj_bound : int;
+  adj_labels : Label.t list;
   adj_succ : Label.t array array;
   adj_pred : Label.t array array;
   adj_pred_lists : Label.t list array;
   adj_edges : (Label.t * Label.t) list;
+  adj_succ_off : int array;
+  adj_pred_off : int array;
   adj_rpo : Label.t list;
   adj_post : Label.t list;
   adj_rpo_pos : int array;
@@ -44,6 +47,13 @@ type t = {
      single-domain — the lock makes the *cache fill* atomic, not the
      graph. *)
   adj_lock : Mutex.t;
+  (* Instruction version: bumped by mutations that change block bodies
+     without changing the edge/block shape ([set_instrs], [append_instr],
+     [prepend_instr]).  The candidate-pool cache below depends on
+     instruction content, so it is keyed by both counters. *)
+  mutable iversion : int;
+  mutable cpool : (int * int * Expr_pool.t) option;
+  cpool_lock : Mutex.t;
 }
 
 let entry g = g.entry
@@ -73,6 +83,9 @@ let create ?(name = "main") () =
       version = 0;
       adj = None;
       adj_lock = Mutex.create ();
+      iversion = 0;
+      cpool = None;
+      cpool_lock = Mutex.create ();
     }
   in
   let entry = alloc g [] Halt in
@@ -86,9 +99,11 @@ let add_block g ~instrs ~term = alloc g instrs term
 let mem g l = Hashtbl.mem g.blocks l
 
 let find g l what =
-  match Hashtbl.find_opt g.blocks l with
-  | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Cfg.%s: unknown label B%d" what l)
+  (* Exception form rather than [find_opt]: block lookup runs once per
+     block per analysis phase, and the [Some] per hit adds up. *)
+  match Hashtbl.find g.blocks l with
+  | b -> b
+  | exception Not_found -> invalid_arg (Printf.sprintf "Cfg.%s: unknown label B%d" what l)
 
 let force_block b =
   if b.tail_rev <> [] then begin
@@ -103,10 +118,13 @@ let instrs g l =
 
 let term g l = (find g l "term").term
 
+let ibump g = g.iversion <- g.iversion + 1
+
 let set_instrs g l is =
   let b = find g l "set_instrs" in
   b.instrs <- is;
-  b.tail_rev <- []
+  b.tail_rev <- [];
+  ibump g
 
 let set_term g l t =
   (find g l "set_term").term <- t;
@@ -114,13 +132,22 @@ let set_term g l t =
 
 let append_instr g l i =
   let b = find g l "append_instr" in
-  b.tail_rev <- i :: b.tail_rev
+  b.tail_rev <- i :: b.tail_rev;
+  ibump g
 
 let prepend_instr g l i =
   let b = find g l "prepend_instr" in
-  b.instrs <- i :: b.instrs
+  b.instrs <- i :: b.instrs;
+  ibump g
 
-let labels g = List.rev g.order
+(* Serve from the adjacency snapshot when it is warm: steady-state solves
+   call this several times per request, and rebuilding the list each time
+   costs ~3 words per block.  Cold (or mid-mutation) graphs keep the
+   historical fresh build. *)
+let labels g =
+  match g.adj with
+  | Some a when a.adj_version = g.version -> a.adj_labels
+  | Some _ | None -> List.rev g.order
 let num_blocks g = Hashtbl.length g.blocks
 let label_bound g = g.next_label
 
@@ -195,13 +222,24 @@ let build_adjacency g =
   let post = List.rev rpo in
   let rpo_pos = Array.make bound (-1) in
   List.iteri (fun i l -> rpo_pos.(l) <- i) rpo;
+  (* CSR-style prefix sums over the adjacency rows: per-edge analyses index
+     flat arrays by [off.(l) + i] instead of building nested per-block
+     structures (or hashed edge keys) each request. *)
+  let succ_off = Array.make (bound + 1) 0 and pred_off = Array.make (bound + 1) 0 in
+  for l = 0 to bound - 1 do
+    succ_off.(l + 1) <- succ_off.(l) + Array.length succ.(l);
+    pred_off.(l + 1) <- pred_off.(l) + Array.length pred.(l)
+  done;
   {
     adj_version = g.version;
     adj_bound = bound;
+    adj_labels = labels;
     adj_succ = succ;
     adj_pred = pred;
     adj_pred_lists = pred_lists;
     adj_edges = edges;
+    adj_succ_off = succ_off;
+    adj_pred_off = pred_off;
     adj_rpo = rpo;
     adj_post = post;
     adj_rpo_pos = rpo_pos;
@@ -209,7 +247,7 @@ let build_adjacency g =
     adj_fin = fin;
   }
 
-let adjacency g =
+let adjacency_slow g =
   Mutex.lock g.adj_lock;
   (* Fun.protect: a cache build that raises (or an injected chaos fault)
      must not leave the lock held — the next caller would deadlock. *)
@@ -223,6 +261,16 @@ let adjacency g =
         let a = build_adjacency g in
         g.adj <- Some a;
         a)
+
+(* Double-checked fast path: a warm snapshot whose version matches is
+   returned without the lock (and without [Fun.protect]'s closures — the
+   solver hits this on every phase of every request).  A racing reader at
+   worst sees a stale [None]/older snapshot and falls through to the locked
+   build; mutation is single-domain, so a version match never lies. *)
+let adjacency g =
+  match g.adj with
+  | Some a when a.adj_version = g.version -> a
+  | Some _ | None -> adjacency_slow g
 
 let predecessors g l =
   ignore (find g l "predecessors");
@@ -313,9 +361,12 @@ let copy g =
     version = 0;
     adj = None;
     adj_lock = Mutex.create ();
+    iversion = 0;
+    cpool = None;
+    cpool_lock = Mutex.create ();
   }
 
-let candidate_pool g =
+let build_candidate_pool g =
   let pool = Expr_pool.create () in
   List.iter
     (fun l ->
@@ -327,6 +378,36 @@ let candidate_pool g =
         (instrs g l))
     (labels g);
   pool
+
+(* Locked cache fill, double-checked: a competitor may have completed the
+   build while this caller waited on the lock. *)
+let candidate_pool_slow g =
+  Mutex.lock g.cpool_lock;
+  match
+    match g.cpool with
+    | Some (v, iv, p) when v = g.version && iv = g.iversion -> p
+    | Some _ | None ->
+      let p = build_candidate_pool g in
+      g.cpool <- Some (g.version, g.iversion, p);
+      p
+  with
+  | p ->
+    Mutex.unlock g.cpool_lock;
+    p
+  | exception e ->
+    Mutex.unlock g.cpool_lock;
+    raise e
+
+(* Rebuilding the pool costs a full instruction scan plus a hashtable per
+   call, which dominated the steady-state residue of the local-predicate
+   phase; unchanged graphs serve the memo.  The unlocked fast path is safe
+   for the same reason as {!adjacency}'s: the cache slot is written once
+   per (version, iversion) under the lock, mutations are single-domain,
+   and a racing reader at worst misses and takes the locked path. *)
+let candidate_pool g =
+  match g.cpool with
+  | Some (v, iv, p) when v = g.version && iv = g.iversion -> p
+  | Some _ | None -> candidate_pool_slow g
 
 let all_vars g =
   let tbl = Hashtbl.create 64 in

@@ -81,10 +81,13 @@ val version : t -> int
 type adjacency = private {
   adj_version : int;  (** {!version} at build time *)
   adj_bound : int;  (** {!label_bound} at build time *)
+  adj_labels : Label.t list;  (** {!labels} at build time (allocation order) *)
   adj_succ : Label.t array array;  (** successors, terminator order *)
   adj_pred : Label.t array array;  (** predecessors, source-allocation order *)
   adj_pred_lists : Label.t list array;  (** same, as lists (for list APIs) *)
   adj_edges : (Label.t * Label.t) list;  (** {!edges} *)
+  adj_succ_off : int array;  (** CSR prefix sums of [adj_succ] row lengths, [adj_bound + 1] entries *)
+  adj_pred_off : int array;  (** CSR prefix sums of [adj_pred] row lengths *)
   adj_rpo : Label.t list;  (** reachable blocks, reverse postorder *)
   adj_post : Label.t list;  (** reachable blocks, postorder *)
   adj_rpo_pos : int array;  (** position in [adj_rpo]; -1 when unreachable *)
@@ -111,7 +114,10 @@ val merge_straight_pairs : t -> unit
 (** Deep copy (shares immutable instructions). *)
 val copy : t -> t
 
-(** All distinct candidate expressions of the graph, as a pool. *)
+(** All distinct candidate expressions of the graph, as a pool.  Memoized:
+    unchanged graphs return the same pool instance (indices are stable);
+    any mutation — shape or instruction content — invalidates the memo.
+    Callers must treat the result as read-only. *)
 val candidate_pool : t -> Lcm_ir.Expr_pool.t
 
 (** Variables assigned or read anywhere in the graph. *)

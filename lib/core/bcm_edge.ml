@@ -1,4 +1,5 @@
 module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 module Order = Lcm_cfg.Order
@@ -20,25 +21,26 @@ type analysis = {
 }
 
 (* EARLIEST, shared with the lazy variant (see Lcm_edge for the formula). *)
-let earliest g local avail antic (p, b) =
-  let v = Bitvec.copy (antic.Antic.antin b) in
+let earliest ?scratch g local avail antic (p, b) =
+  let v = Arena.alloc_copy scratch (antic.Antic.antin b) in
   ignore (Bitvec.diff_into ~into:v (avail.Avail.avout p));
   if not (Label.equal p (Cfg.entry g)) then begin
-    let movable_through = Bitvec.inter (Local.transp local p) (antic.Antic.antout p) in
+    let movable_through = Arena.alloc_copy scratch (Local.transp local p) in
+    ignore (Bitvec.inter_into ~into:movable_through (antic.Antic.antout p));
     ignore (Bitvec.diff_into ~into:v movable_through)
   end;
   v
 
-let analyze ?pool ?workers g =
+let analyze ?pool ?workers ?scratch g =
   let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
-  let local = Lcm_obs.Trace.span "lcm.local" (fun () -> Local.compute g pool) in
+  let local = Lcm_obs.Trace.span "lcm.local" (fun () -> Local.compute ?scratch g pool) in
   (* Same overlap as [Lcm_edge]: the two safety systems are independent. *)
-  let avail, antic = Lcm_edge.solve_safety_systems ?workers g local in
+  let avail, antic = Lcm_edge.solve_safety_systems ?workers ?scratch g local in
   let insert =
     Lcm_obs.Trace.span "lcm.earliest" (fun () ->
         List.filter_map
           (fun e ->
-            let v = earliest g local avail antic e in
+            let v = earliest ?scratch g local avail antic e in
             if Bitvec.is_empty v then None else Some (e, v))
           (Cfg.edges g))
   in
@@ -53,11 +55,11 @@ let analyze ?pool ?workers g =
           Order.is_reachable order b
           && (not (Label.equal b (Cfg.entry g)))
           && not (Bitvec.is_empty (Local.antloc local b))
-        then Some (b, Bitvec.copy (Local.antloc local b))
+        then Some (b, Arena.alloc_copy scratch (Local.antloc local b))
         else None)
       (Cfg.labels g)
   in
-  let copy = Copy_analysis.copies g local ~insert_edges:insert ~deletes:delete in
+  let copy = Copy_analysis.copies ?scratch g local ~insert_edges:insert ~deletes:delete in
   {
     pool;
     local;
@@ -88,6 +90,6 @@ let transform ?simplify ?workers g =
 
 let pass =
   Pass.v "bcm-edge" (fun ctx g ->
-      let a = analyze ?workers:ctx.Pass.workers g in
+      let a = analyze ?workers:ctx.Pass.workers ?scratch:ctx.Pass.scratch g in
       let g', rep = Transform.apply g (spec g a) in
       (g', Pass.report ~sweeps:a.sweeps ~visits:a.visits ~spec:rep.Transform.spec ()))

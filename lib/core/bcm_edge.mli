@@ -26,7 +26,11 @@ type analysis = {
     fixpoint across domains (see {!Lcm_edge.analyze}); results are
     bit-identical with and without it. *)
 val analyze :
-  ?pool:Lcm_ir.Expr_pool.t -> ?workers:Lcm_support.Pool.t -> Lcm_cfg.Cfg.t -> analysis
+  ?pool:Lcm_ir.Expr_pool.t ->
+  ?workers:Lcm_support.Pool.t ->
+  ?scratch:Lcm_support.Arena.t ->
+  Lcm_cfg.Cfg.t ->
+  analysis
 
 val spec : Lcm_cfg.Cfg.t -> analysis -> Transform.spec
 

@@ -1,65 +1,107 @@
 module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 module Order = Lcm_cfg.Order
 module Local = Lcm_dataflow.Local
 
-let copies g local ~insert_edges ~deletes =
+let copies ?scratch:arena g local ~insert_edges ~deletes =
   let n = Local.nbits local in
-  let delete_set =
-    let tbl = Hashtbl.create 16 in
-    List.iter (fun (l, set) -> Hashtbl.replace tbl l set) deletes;
-    fun l -> Hashtbl.find_opt tbl l
-  in
-  let insert_set =
-    let tbl = Hashtbl.create 16 in
-    List.iter (fun (e, set) -> Hashtbl.replace tbl e set) insert_edges;
-    fun e -> Hashtbl.find_opt tbl e
-  in
+  let adj = Cfg.adjacency g in
+  let bound = adj.Cfg.adj_bound in
+  (* DELETE and INSERT lookups as dense arrays rather than hashtables: the
+     fixpoint below queries them once per successor per visit, and both the
+     hashing and the [Some] per [Hashtbl.find_opt] hit are per-visit heap
+     traffic.  Deletes are keyed by label; inserts are keyed positionally by
+     (source, successor-index) through a CSR-style offset table over
+     [adj_succ], so the visit loop never builds an edge key. *)
+  let del = Arena.alloc_vec arena bound in
+  let del_present = Arena.alloc_bool arena bound in
+  List.iter
+    (fun (l, set) ->
+      if l >= 0 && l < bound then begin
+        del.(l) <- set;
+        del_present.(l) <- true
+      end)
+    deletes;
+  let succ_off = adj.Cfg.adj_succ_off in
+  let ins = Arena.alloc_vec arena succ_off.(bound) in
+  let ins_present = Arena.alloc_bool arena succ_off.(bound) in
+  List.iter
+    (fun ((p, s), set) ->
+      if p >= 0 && p < bound then begin
+        let succs = adj.Cfg.adj_succ.(p) in
+        for i = 0 to Array.length succs - 1 do
+          if Label.equal succs.(i) s then begin
+            ins.(succ_off.(p) + i) <- set;
+            ins_present.(succ_off.(p) + i) <- true
+          end
+        done
+      end)
+    insert_edges;
   (* Backward may-liveness of the temporaries, worklist-driven: LIVEIN(b)
      depends only on LIVEOUT(b), which reads LIVEIN of b's successors — so
      when a block's LIVEIN grows, only its predecessors need re-visiting.
      Dense arrays indexed by label, postorder priority for fast backward
      convergence. *)
-  let adj = Cfg.adjacency g in
-  let bound = adj.Cfg.adj_bound in
-  let livein = Array.init bound (fun _ -> Bitvec.create n) in
-  let liveout = Array.init bound (fun _ -> Bitvec.create n) in
-  let scratch = Bitvec.create n in
+  let livein = Arena.alloc_vec arena bound in
+  let liveout = Arena.alloc_vec arena bound in
+  for l = 0 to bound - 1 do
+    livein.(l) <- Arena.alloc arena n;
+    liveout.(l) <- Arena.alloc arena n
+  done;
+  let scratch = Arena.alloc arena n in
   let rpo_pos = adj.Cfg.adj_rpo_pos in
-  let queue = Queue.create () in
-  let in_queue = Array.make bound false in
+  (* FIFO worklist as an arena-backed ring buffer ([in_queue] bounds
+     occupancy by [bound], so [bound + 1] cells distinguish full from
+     empty); a [Queue.t] would allocate a cell per enqueue. *)
+  let qcap = bound + 1 in
+  let qbuf = Arena.alloc_int arena qcap in
+  let qhead = ref 0 and qtail = ref 0 in
+  let in_queue = Arena.alloc_bool arena bound in
   let enqueue l =
     if (not in_queue.(l)) && rpo_pos.(l) >= 0 then begin
       in_queue.(l) <- true;
-      Queue.add l queue
+      qbuf.(!qtail) <- l;
+      qtail := (!qtail + 1) mod qcap
     end
   in
   List.iter enqueue adj.Cfg.adj_post;
-  while not (Queue.is_empty queue) do
-    let l = Queue.take queue in
+  while !qhead <> !qtail do
+    let l = qbuf.(!qhead) in
+    qhead := (!qhead + 1) mod qcap;
     in_queue.(l) <- false;
     (* LIVEOUT(b): union over successor entries, masked by insertions. *)
     Bitvec.fill scratch false;
-    Array.iter
-      (fun s ->
-        match insert_set (l, s) with
-        | Some ins -> ignore (Bitvec.union_diff_into ~into:scratch livein.(s) ~diff:ins)
-        | None -> ignore (Bitvec.union_into ~into:scratch livein.(s)))
-      adj.Cfg.adj_succ.(l);
+    let succs = adj.Cfg.adj_succ.(l) and off = succ_off.(l) in
+    for i = 0 to Array.length succs - 1 do
+      let s = succs.(i) in
+      if ins_present.(off + i) then
+        ignore (Bitvec.union_diff_into ~into:scratch livein.(s) ~diff:ins.(off + i))
+      else ignore (Bitvec.union_into ~into:scratch livein.(s))
+    done;
     ignore (Bitvec.blit ~src:scratch ~dst:liveout.(l));
     (* LIVEIN(b) = DELETE(b) ∪ (LIVEOUT(b) ∩ ¬COMP(b)) *)
     ignore (Bitvec.diff_into ~into:scratch (Local.comp local l));
-    (match delete_set l with
-    | Some d -> ignore (Bitvec.union_into ~into:scratch d)
-    | None -> ());
-    if Bitvec.blit ~src:scratch ~dst:livein.(l) then Array.iter enqueue adj.Cfg.adj_pred.(l)
+    if del_present.(l) then ignore (Bitvec.union_into ~into:scratch del.(l));
+    if Bitvec.blit ~src:scratch ~dst:livein.(l) then begin
+      let preds = adj.Cfg.adj_pred.(l) in
+      for i = 0 to Array.length preds - 1 do
+        enqueue preds.(i)
+      done
+    end
   done;
+  (* [masked] is reused across blocks; [want] is materialized (as an arena
+     copy) only when non-empty. *)
+  let masked = Arena.alloc arena n in
   List.filter_map
     (fun l ->
-      let want = Bitvec.inter (Local.comp local l) liveout.(l) in
-      (match delete_set l with
-      | Some d -> ignore (Bitvec.diff_into ~into:want (Bitvec.inter d (Local.transp local l)))
-      | None -> ());
-      if Bitvec.is_empty want then None else Some (l, want))
+      ignore (Bitvec.blit ~src:(Local.comp local l) ~dst:scratch);
+      ignore (Bitvec.inter_into ~into:scratch liveout.(l));
+      if del_present.(l) then begin
+        ignore (Bitvec.blit ~src:del.(l) ~dst:masked);
+        ignore (Bitvec.inter_into ~into:masked (Local.transp local l));
+        ignore (Bitvec.diff_into ~into:scratch masked)
+      end;
+      if Bitvec.is_empty scratch then None else Some (l, Arena.alloc_copy arena scratch))
     (Cfg.labels g)

@@ -21,8 +21,10 @@
 
 (** [copies g local ~insert_edges ~deletes] is the per-block set of
     expressions whose downwards-exposed occurrence must be followed by a
-    copy into the temporary.  Only non-empty sets are listed. *)
+    copy into the temporary.  Only non-empty sets are listed.  [scratch]
+    backs the liveness state and the returned sets. *)
 val copies :
+  ?scratch:Lcm_support.Arena.t ->
   Lcm_cfg.Cfg.t ->
   Lcm_dataflow.Local.t ->
   insert_edges:((Lcm_cfg.Label.t * Lcm_cfg.Label.t) * Lcm_support.Bitvec.t) list ->

@@ -1,4 +1,5 @@
 module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 module Edge_split = Lcm_cfg.Edge_split
@@ -12,17 +13,20 @@ type analysis = {
   edges_pre_split : int;
 }
 
-let analyze g0 =
+let analyze ?scratch g0 =
   let pre_split = List.length (List.filter (Cfg.is_critical_edge g0) (Cfg.edges g0)) in
+  (* Splitting may grow the graph past the admission-time shape class; the
+     arena's size buckets absorb that (the first such request warms larger
+     buckets, later ones reuse them). *)
   let g = Edge_split.split_critical_edges g0 in
-  let a = Lcm_edge.analyze g in
+  let a = Lcm_edge.analyze ?scratch g in
   (* Lower each edge insertion to a block placement.  With critical edges
      gone, one of the two positions is always available. *)
   let entry_tbl = Hashtbl.create 16 and exit_tbl = Hashtbl.create 16 in
   let add tbl l set =
     match Hashtbl.find_opt tbl l with
     | Some existing -> ignore (Bitvec.union_into ~into:existing set)
-    | None -> Hashtbl.replace tbl l (Bitvec.copy set)
+    | None -> Hashtbl.replace tbl l (Arena.alloc_copy scratch set)
   in
   List.iter
     (fun ((p, b), set) ->
@@ -65,7 +69,7 @@ let transform ?simplify g =
    pre-split graph, so a placement check against the pass input would be
    checking the wrong graph. *)
 let pass =
-  Pass.v "lcm-block" (fun _ctx g ->
-      let a = Lcm_obs.Trace.span "lcm.split" (fun () -> analyze g) in
+  Pass.v "lcm-block" (fun ctx g ->
+      let a = Lcm_obs.Trace.span "lcm.split" (fun () -> analyze ?scratch:ctx.Pass.scratch g) in
       let g', _rep = Transform.apply a.graph (spec a) in
       (g', Pass.report ~notes:[ ("edges_pre_split", string_of_int a.edges_pre_split) ] ()))

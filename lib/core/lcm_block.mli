@@ -23,7 +23,8 @@ type analysis = {
   edges_pre_split : int;  (** critical edges split before the analysis *)
 }
 
-val analyze : Lcm_cfg.Cfg.t -> analysis
+(** [scratch] backs every analysis vector, as in {!Lcm_edge.analyze}. *)
+val analyze : ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> analysis
 val spec : analysis -> Transform.spec
 
 (** [transform g]: pre-split, analyze, apply. *)

@@ -1,4 +1,5 @@
 module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
 module Pool = Lcm_support.Pool
 module Trace = Lcm_obs.Trace
 module Cfg = Lcm_cfg.Cfg
@@ -23,49 +24,53 @@ type analysis = {
   visits : int;
 }
 
-module Edge_table = Hashtbl.Make (struct
-  type t = Label.t * Label.t
+(* Position of [p] in a predecessor (or successor) row of the adjacency
+   snapshot, or -1.  Rows are short (bounded by terminator arity / join
+   width) and edges are unique, so a linear scan replaces what used to be a
+   hashed edge table — whose per-edge [replace] at build time and [Some]
+   per lookup were the last allocations of the earliestness phase. *)
+let rec row_index row p i =
+  if i >= Array.length row then -1
+  else if Label.equal (Array.unsafe_get row i) p then i
+  else row_index row p (i + 1)
 
-  let equal (a, b) (c, d) = Label.equal a c && Label.equal b d
-  let hash = Hashtbl.hash
-end)
-
-(* Returns the per-edge EARLIEST sets twice over: a hashed table keyed by
-   (p, b) for the public lookup API, and a positional array mirroring
-   [adj_pred] so the LATERIN fixpoint below can fetch EARLIEST(p, b) by
-   predecessor index without hashing inside its inner loop.  Both views
-   share the same vectors. *)
-let compute_earliest g local avail antic =
+(* Per-edge EARLIEST sets as a flat array in the adjacency snapshot's CSR
+   layout: slot [adj_pred_off.(b) + i] is EARLIEST(p, b) for the i-th
+   predecessor p of b.  The LATERIN fixpoint below fetches by predecessor
+   index directly; the public lookup API goes through {!row_index}.  Flat
+   rather than nested so the whole structure is one arena slot-array
+   checkout instead of a fresh array per block per request. *)
+let compute_earliest ?scratch g local avail antic =
   let adj = Cfg.adjacency g in
   let entry = Cfg.entry g in
-  let table = Edge_table.create 64 in
+  let pred_off = adj.Cfg.adj_pred_off in
   (* ∩ (¬TRANSP(p) ∪ ¬ANTOUT(p)) = remove TRANSP(p) ∩ ANTOUT(p); the
      removed factor depends on the source block alone, so compute it once
      per block rather than once per edge. *)
-  let movable = Array.make adj.Cfg.adj_bound None in
+  let movable = Arena.alloc_vec scratch adj.Cfg.adj_bound in
+  let movable_set = Arena.alloc_bool scratch adj.Cfg.adj_bound in
   let movable_through p =
-    match movable.(p) with
-    | Some v -> v
-    | None ->
-      let v = Bitvec.inter (Local.transp local p) (antic.Antic.antout p) in
-      movable.(p) <- Some v;
+    if movable_set.(p) then movable.(p)
+    else begin
+      let v = Arena.alloc_copy scratch (Local.transp local p) in
+      ignore (Bitvec.inter_into ~into:v (antic.Antic.antout p));
+      movable.(p) <- v;
+      movable_set.(p) <- true;
       v
+    end
   in
-  let by_pred =
-    Array.mapi
-      (fun b preds ->
-        Array.map
-          (fun p ->
-            let v = Bitvec.copy (antic.Antic.antin b) in
-            ignore (Bitvec.diff_into ~into:v (avail.Avail.avout p));
-            if not (Label.equal p entry) then
-              ignore (Bitvec.diff_into ~into:v (movable_through p));
-            Edge_table.replace table (p, b) v;
-            v)
-          preds)
-      adj.Cfg.adj_pred
-  in
-  (table, by_pred)
+  let flat = Arena.alloc_vec scratch pred_off.(adj.Cfg.adj_bound) in
+  for b = 0 to adj.Cfg.adj_bound - 1 do
+    let preds = adj.Cfg.adj_pred.(b) and off = pred_off.(b) in
+    for i = 0 to Array.length preds - 1 do
+      let p = preds.(i) in
+      let v = Arena.alloc_copy scratch (antic.Antic.antin b) in
+      ignore (Bitvec.diff_into ~into:v (avail.Avail.avout p));
+      if not (Label.equal p entry) then ignore (Bitvec.diff_into ~into:v (movable_through p));
+      flat.(off + i) <- v
+    done
+  done;
+  flat
 
 (* Greatest fixpoint of the LATER/LATERIN system, worklist-driven in
    reverse-postorder priority: LATERIN(b) depends only on LATERIN(p) of its
@@ -73,47 +78,67 @@ let compute_earliest g local avail antic =
    re-visiting.  State is a flat array indexed by label.  Returns the
    LATERIN table and the iteration counts (visits = per-block LATERIN
    evaluations; sweeps = maximum visits of any single block). *)
-let compute_laterin g local earliest_by_pred =
+let compute_laterin ?scratch:arena g local earliest_flat =
   let n = Local.nbits local in
   let adj = Cfg.adjacency g in
   let bound = adj.Cfg.adj_bound in
   let entry = Cfg.entry g in
-  let laterin = Array.init bound (fun _ -> Bitvec.create_full n) in
-  laterin.(entry) <- Bitvec.create n;
-  let scratch = Bitvec.create n and later_pb = Bitvec.create n in
+  let laterin = Arena.alloc_vec arena bound in
+  for l = 0 to bound - 1 do
+    laterin.(l) <- Arena.alloc_full arena n
+  done;
+  laterin.(entry) <- Arena.alloc arena n;
+  let scratch = Arena.alloc arena n and later_pb = Arena.alloc arena n in
   let rpo_pos = adj.Cfg.adj_rpo_pos in
-  let queue = Queue.create () in
-  let in_queue = Array.make bound false in
+  (* FIFO worklist as an arena-backed ring buffer: [in_queue] deduplicates,
+     so occupancy never exceeds [bound] and [bound + 1] cells distinguish
+     full from empty.  A [Queue.t] here would allocate a cell per enqueue
+     inside the hot fixpoint. *)
+  let qcap = bound + 1 in
+  let qbuf = Arena.alloc_int arena qcap in
+  let qhead = ref 0 and qtail = ref 0 in
+  let in_queue = Arena.alloc_bool arena bound in
   let enqueue b =
     if (not in_queue.(b)) && not (Label.equal b entry) then begin
       in_queue.(b) <- true;
-      Queue.add b queue
+      qbuf.(!qtail) <- b;
+      qtail := (!qtail + 1) mod qcap
     end
   in
   List.iter enqueue adj.Cfg.adj_rpo;
   let visits = ref 0 in
-  let visit_count = Array.make bound 0 in
-  while not (Queue.is_empty queue) do
-    let b = Queue.take queue in
+  let visit_count = Arena.alloc_int arena bound in
+  while !qhead <> !qtail do
+    let b = qbuf.(!qhead) in
+    qhead := (!qhead + 1) mod qcap;
     in_queue.(b) <- false;
     incr visits;
     visit_count.(b) <- visit_count.(b) + 1;
     Bitvec.fill scratch true;
-    let preds = adj.Cfg.adj_pred.(b) and epreds = earliest_by_pred.(b) in
+    let preds = adj.Cfg.adj_pred.(b) and off = adj.Cfg.adj_pred_off.(b) in
     for i = 0 to Array.length preds - 1 do
       let p = preds.(i) in
       (* LATER(p,b) = EARLIEST(p,b) ∪ (LATERIN(p) ∩ ¬ANTLOC(p)) *)
-      ignore (Bitvec.blit ~src:epreds.(i) ~dst:later_pb);
+      ignore (Bitvec.blit ~src:earliest_flat.(off + i) ~dst:later_pb);
       ignore (Bitvec.union_diff_into ~into:later_pb laterin.(p) ~diff:(Local.antloc local p));
       ignore (Bitvec.inter_into ~into:scratch later_pb)
     done;
-    if Bitvec.blit ~src:scratch ~dst:laterin.(b) then
-      Array.iter (fun s -> if rpo_pos.(s) >= 0 then enqueue s) adj.Cfg.adj_succ.(b)
+    if Bitvec.blit ~src:scratch ~dst:laterin.(b) then begin
+      let succs = adj.Cfg.adj_succ.(b) in
+      for i = 0 to Array.length succs - 1 do
+        let s = succs.(i) in
+        if rpo_pos.(s) >= 0 then enqueue s
+      done
+    end
   done;
-  let sweeps = Array.fold_left max 0 visit_count in
-  let live = Array.make bound false in
+  (* Arena-backed arrays may be wider than [bound]; fold the live prefix. *)
+  let sweeps = ref 0 in
+  for l = 0 to bound - 1 do
+    if visit_count.(l) > !sweeps then sweeps := visit_count.(l)
+  done;
+  let live = Arena.alloc_bool arena bound in
   List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
-  ((laterin, live), sweeps, !visits)
+  ((laterin, live), !sweeps, !visits)
 
 (* The down-safety (backward, ANTIC) and up-safety (forward, AVAIL) systems
    of the cascade read only the block-local predicates — neither reads the
@@ -123,9 +148,12 @@ let compute_laterin g local earliest_by_pred =
    (adjacency snapshot, local predicate arrays, expression pool) is
    pre-built or lock-guarded before the fan-out; results land in distinct
    refs, so the outcome is independent of scheduling. *)
-let solve_safety_systems ?workers g local =
+let solve_safety_systems ?workers ?scratch g local =
   match workers with
   | Some w when Pool.size w > 1 ->
+    (* The two tasks may land on other domains, where the request's arena
+       (single-owner) must not be touched: the parallel tier keeps the
+       heap path for the safety systems. *)
     ignore (Cfg.adjacency g);
     let avail = ref None and antic = ref None in
     Pool.run w
@@ -137,22 +165,23 @@ let solve_safety_systems ?workers g local =
       ];
     (Option.get !avail, Option.get !antic)
   | Some _ | None ->
-    ( Trace.span "lcm.up_safety" (fun () -> Avail.compute g local),
-      Trace.span "lcm.down_safety" (fun () -> Antic.compute g local) )
+    ( Trace.span "lcm.up_safety" (fun () -> Avail.compute ?scratch g local),
+      Trace.span "lcm.down_safety" (fun () -> Antic.compute ?scratch g local) )
 
 (* Span names follow the paper's cascade: down-safety (ANTIC), earliestness,
    delay (LATERIN), latestness — the four phases a trace of one LCM solve
    must show (the up-safety AVAIL system rides along as "lcm.up_safety"). *)
-let analyze ?pool ?workers g =
+let analyze ?pool ?workers ?scratch g =
   let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
-  let local = Trace.span "lcm.local" (fun () -> Local.compute g pool) in
-  let avail, antic = solve_safety_systems ?workers g local in
-  let earliest_tbl, earliest_by_pred =
-    Trace.span "lcm.earliest" (fun () -> compute_earliest g local avail antic)
+  let local = Trace.span "lcm.local" (fun () -> Local.compute ?scratch g pool) in
+  let avail, antic = solve_safety_systems ?workers ?scratch g local in
+  let earliest_flat =
+    Trace.span "lcm.earliest" (fun () -> compute_earliest ?scratch g local avail antic)
   in
+  let adj = Cfg.adjacency g in
   let (laterin_arr, laterin_live), later_sweeps, later_visits =
     Trace.span_attrs "lcm.delay" (fun () ->
-        let ((_, later_sweeps, later_visits) as r) = compute_laterin g local earliest_by_pred in
+        let ((_, later_sweeps, later_visits) as r) = compute_laterin ?scratch g local earliest_flat in
         ( r,
           [
             ("sweeps", string_of_int later_sweeps); ("visits", string_of_int later_visits);
@@ -162,25 +191,36 @@ let analyze ?pool ?workers g =
     if l >= 0 && l < Array.length laterin_arr && laterin_live.(l) then laterin_arr.(l)
     else invalid_arg (Printf.sprintf "Lcm_edge.laterin: unknown label B%d" l)
   in
-  let earliest (p, b) =
-    match Edge_table.find_opt earliest_tbl (p, b) with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Lcm_edge.earliest: unknown edge B%d->B%d" p b)
+  (* Uncurried internals: the tupled public closures below are thin
+     wrappers, so per-edge calls inside this function never rebuild an
+     edge pair. *)
+  let earliest_pb p b =
+    let i =
+      if b >= 0 && b < adj.Cfg.adj_bound then row_index adj.Cfg.adj_pred.(b) p 0 else -1
+    in
+    if i >= 0 then earliest_flat.(adj.Cfg.adj_pred_off.(b) + i)
+    else invalid_arg (Printf.sprintf "Lcm_edge.earliest: unknown edge B%d->B%d" p b)
   in
-  let later (p, b) =
-    let v = Bitvec.copy (laterin p) in
+  let earliest (p, b) = earliest_pb p b in
+  let later_into v p b =
+    ignore (Bitvec.blit ~src:(laterin p) ~dst:v);
     ignore (Bitvec.diff_into ~into:v (Local.antloc local p));
-    ignore (Bitvec.union_into ~into:v (earliest (p, b)));
+    ignore (Bitvec.union_into ~into:v (earliest_pb p b));
     v
   in
+  let later (p, b) = later_into (Arena.alloc scratch (Local.nbits local)) p b in
   let insert, delete, copy =
     Trace.span "lcm.latest" (fun () ->
+        (* One reusable frame for the emptiness test; only non-empty sets
+           are materialized (as arena copies), so edges and blocks that
+           contribute nothing cost no fresh vector. *)
+        let frame = Arena.alloc scratch (Local.nbits local) in
         let insert =
           List.filter_map
-            (fun (p, b) ->
-              let v = later (p, b) in
+            (fun ((p, b) as e) ->
+              let v = later_into frame p b in
               ignore (Bitvec.diff_into ~into:v (laterin b));
-              if Bitvec.is_empty v then None else Some ((p, b), v))
+              if Bitvec.is_empty v then None else Some (e, Arena.alloc_copy scratch v))
             (Cfg.edges g)
         in
         let delete =
@@ -191,13 +231,13 @@ let analyze ?pool ?workers g =
             (fun b ->
               if Label.equal b (Cfg.entry g) then None
               else begin
-                let v = Bitvec.copy (Local.antloc local b) in
-                ignore (Bitvec.diff_into ~into:v (laterin b));
-                if Bitvec.is_empty v then None else Some (b, v)
+                ignore (Bitvec.blit ~src:(Local.antloc local b) ~dst:frame);
+                ignore (Bitvec.diff_into ~into:frame (laterin b));
+                if Bitvec.is_empty frame then None else Some (b, Arena.alloc_copy scratch frame)
               end)
             (Cfg.labels g)
         in
-        let copy = Copy_analysis.copies g local ~insert_edges:insert ~deletes:delete in
+        let copy = Copy_analysis.copies ?scratch g local ~insert_edges:insert ~deletes:delete in
         (insert, delete, copy))
   in
   {
@@ -233,6 +273,6 @@ let transform ?simplify ?workers g =
 
 let pass =
   Pass.v "lcm-edge" (fun ctx g ->
-      let a = analyze ?workers:ctx.Pass.workers g in
+      let a = analyze ?workers:ctx.Pass.workers ?scratch:ctx.Pass.scratch g in
       let g', rep = Transform.apply g (spec g a) in
       (g', Pass.report ~sweeps:a.sweeps ~visits:a.visits ~spec:rep.Transform.spec ()))

@@ -43,6 +43,7 @@ type analysis = {
     either way.  Shared by {!Bcm_edge}. *)
 val solve_safety_systems :
   ?workers:Lcm_support.Pool.t ->
+  ?scratch:Lcm_support.Arena.t ->
   Lcm_cfg.Cfg.t ->
   Lcm_dataflow.Local.t ->
   Lcm_dataflow.Avail.t * Lcm_dataflow.Antic.t
@@ -50,9 +51,16 @@ val solve_safety_systems :
 (** Run the analyses.  [pool] defaults to all candidate expressions of the
     graph.  [workers] enables the parallel paths (pass-level overlap of the
     safety systems, slice-level fan-out inside each); the decision is
-    bit-identical with and without it. *)
+    bit-identical with and without it.  [scratch] backs every analysis
+    vector (including the returned sets) on the sequential path — results
+    are then valid only until the arena resets; the parallel safety solves
+    keep the heap path (arenas are single-owner per domain). *)
 val analyze :
-  ?pool:Lcm_ir.Expr_pool.t -> ?workers:Lcm_support.Pool.t -> Lcm_cfg.Cfg.t -> analysis
+  ?pool:Lcm_ir.Expr_pool.t ->
+  ?workers:Lcm_support.Pool.t ->
+  ?scratch:Lcm_support.Arena.t ->
+  Lcm_cfg.Cfg.t ->
+  analysis
 
 (** Decision of [analyze] as a transformation spec. *)
 val spec : Lcm_cfg.Cfg.t -> analysis -> Transform.spec

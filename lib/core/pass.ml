@@ -1,9 +1,12 @@
 module Trace = Lcm_obs.Trace
 module Cfg = Lcm_cfg.Cfg
 
-type ctx = { workers : Lcm_support.Pool.t option }
+type ctx = {
+  workers : Lcm_support.Pool.t option;
+  scratch : Lcm_support.Arena.t option;
+}
 
-let default_ctx = { workers = None }
+let default_ctx = { workers = None; scratch = None }
 
 type report = {
   sweeps : int;

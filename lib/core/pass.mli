@@ -19,9 +19,14 @@ type ctx = {
       (** pool for passes with a parallel path; [None] = sequential.
           Passes without one ignore it (results are bit-identical either
           way for those that have it). *)
+  scratch : Lcm_support.Arena.t option;
+      (** per-request scratch arena for the analyses' solver state; [None]
+          = heap-allocate as before.  Results are bit-identical either way;
+          the report's spec vectors are arena-backed when set, so the
+          caller must consume them before the arena resets. *)
 }
 
-(** Sequential, no pool. *)
+(** Sequential, no pool, no arena. *)
 val default_ctx : ctx
 
 type report = {

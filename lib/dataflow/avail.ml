@@ -1,4 +1,5 @@
 module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
 
 type t = {
   avin : Lcm_cfg.Label.t -> Bitvec.t;
@@ -13,15 +14,15 @@ let transfer local l ~src ~dst =
   ignore (Bitvec.inter_into ~into:dst (Local.transp local l));
   ignore (Bitvec.union_into ~into:dst (Local.comp local l))
 
-let run confluence g local =
+let run confluence ?scratch g local =
   let nbits = Local.nbits local in
   let result =
-    Solver.run g
+    Solver.run ?scratch g
       {
         Solver.nbits;
         direction = Solver.Forward;
         confluence;
-        boundary = Bitvec.create nbits;
+        boundary = Arena.alloc scratch nbits;
         transfer = transfer local;
       }
   in
@@ -58,16 +59,16 @@ let slice_spec confluence local ~bound ~lo ~len =
         ignore (Bitvec.union_into ~into:dst (view comp_s Local.comp l)));
   }
 
-let run_par confluence ?pool ?threshold g local =
+let run_par confluence ?pool ?threshold ?scratch g local =
   let nbits = Local.nbits local in
   let bound = Lcm_cfg.Cfg.label_bound g in
   let result =
-    Solver.run_par ?pool ?threshold g
+    Solver.run_par ?pool ?threshold ?scratch g
       {
         Solver.nbits;
         direction = Solver.Forward;
         confluence;
-        boundary = Bitvec.create nbits;
+        boundary = Arena.alloc scratch nbits;
         transfer = transfer local;
       }
       ~slice:(fun ~lo ~len -> slice_spec confluence local ~bound ~lo ~len)
@@ -86,8 +87,10 @@ let solve name f =
       let r = f () in
       (r, [ ("sweeps", string_of_int r.sweeps); ("visits", string_of_int r.visits) ]))
 
-let compute g local = solve "solve.avail" (fun () -> run Solver.Inter g local)
-let compute_partial g local = solve "solve.avail.partial" (fun () -> run Solver.Union g local)
+let compute ?scratch g local = solve "solve.avail" (fun () -> run Solver.Inter ?scratch g local)
 
-let compute_par ?pool ?threshold g local =
-  solve "solve.avail" (fun () -> run_par Solver.Inter ?pool ?threshold g local)
+let compute_partial ?scratch g local =
+  solve "solve.avail.partial" (fun () -> run Solver.Union ?scratch g local)
+
+let compute_par ?pool ?threshold ?scratch g local =
+  solve "solve.avail" (fun () -> run_par Solver.Inter ?pool ?threshold ?scratch g local)

@@ -13,11 +13,20 @@ type t = {
   visits : int;
 }
 
-val compute : Lcm_cfg.Cfg.t -> Local.t -> t
-val compute_partial : Lcm_cfg.Cfg.t -> Local.t -> t
+(** [scratch] backs all solver state (see {!Solver.run}); the result's
+    vectors are then valid only until the arena's next reset.  Omitting it
+    keeps the historical allocating behavior. *)
+val compute : ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> Local.t -> t
+
+val compute_partial : ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> Local.t -> t
 
 (** Same fixpoint as {!compute} (bit-identical), solved slice-parallel on
     [pool] via {!Solver.run_par}; falls back to the sequential worklist
     below [threshold] bits per domain. *)
 val compute_par :
-  ?pool:Lcm_support.Pool.t -> ?threshold:int -> Lcm_cfg.Cfg.t -> Local.t -> t
+  ?pool:Lcm_support.Pool.t ->
+  ?threshold:int ->
+  ?scratch:Lcm_support.Arena.t ->
+  Lcm_cfg.Cfg.t ->
+  Local.t ->
+  t

@@ -1,4 +1,5 @@
 module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 module Instr = Lcm_ir.Instr
@@ -18,9 +19,9 @@ let term_uses g l =
   | Cfg.Branch (Expr.Const _, _, _) | Cfg.Goto _ | Cfg.Halt -> []
 
 (* gen(b): upward-exposed uses; kill(b): all definitions. *)
-let gen_kill g vars l =
+let gen_kill ?scratch g vars l =
   let n = Var_pool.size vars in
-  let gen = Bitvec.create n and kill = Bitvec.create n in
+  let gen = Arena.alloc scratch n and kill = Arena.alloc scratch n in
   let idx v = Var_pool.index vars v in
   let set bv v b = Option.iter (fun i -> Bitvec.set bv i b) (idx v) in
   List.iter (fun v -> set gen v true) (term_uses g l);
@@ -35,7 +36,7 @@ let gen_kill g vars l =
     (List.rev (Cfg.instrs g l));
   (gen, kill)
 
-let compute ?exit_live g =
+let compute ?scratch ?exit_live g =
   Lcm_obs.Trace.span_attrs "solve.live" @@ fun () ->
   let vars = Var_pool.of_cfg g in
   let n = Var_pool.size vars in
@@ -45,18 +46,25 @@ let compute ?exit_live g =
     | Some vs -> vs
     | None -> (match Var_pool.index vars return_var with Some _ -> [ return_var ] | None -> [])
   in
-  let boundary = Bitvec.create n in
+  let boundary = Arena.alloc scratch n in
   List.iter (fun v -> Option.iter (fun i -> Bitvec.set boundary i true) (Var_pool.index vars v)) exit_live;
-  let table = Hashtbl.create 64 in
-  List.iter (fun l -> Hashtbl.replace table l (gen_kill g vars l)) (Cfg.labels g);
+  (* gen/kill as flat label-indexed arrays (labels are dense ints below
+     [label_bound]), checked out of the arena like the solver state. *)
+  let bound = Cfg.label_bound g in
+  let gens = Arena.alloc_vec scratch bound and kills = Arena.alloc_vec scratch bound in
+  List.iter
+    (fun l ->
+      let gen, kill = gen_kill ?scratch g vars l in
+      gens.(l) <- gen;
+      kills.(l) <- kill)
+    (Cfg.labels g);
   let transfer l ~src ~dst =
-    let gen, kill = Hashtbl.find table l in
     ignore (Bitvec.blit ~src ~dst);
-    ignore (Bitvec.diff_into ~into:dst kill);
-    ignore (Bitvec.union_into ~into:dst gen)
+    ignore (Bitvec.diff_into ~into:dst kills.(l));
+    ignore (Bitvec.union_into ~into:dst gens.(l))
   in
   let result =
-    Solver.run g
+    Solver.run ?scratch g
       { Solver.nbits = n; direction = Solver.Backward; confluence = Solver.Union; boundary; transfer }
   in
   ( {

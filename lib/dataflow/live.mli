@@ -12,10 +12,12 @@ type t = {
   visits : int;
 }
 
-(** [compute ?exit_live g] runs liveness.  [exit_live] lists variables
-    considered read after the exit block (defaults to the lowered return
-    variable when present). *)
-val compute : ?exit_live:string list -> Lcm_cfg.Cfg.t -> t
+(** [compute ?scratch ?exit_live g] runs liveness.  [exit_live] lists
+    variables considered read after the exit block (defaults to the lowered
+    return variable when present).  [scratch] backs the gen/kill sets and
+    all solver state — results are then valid only until the arena's next
+    reset. *)
+val compute : ?scratch:Lcm_support.Arena.t -> ?exit_live:string list -> Lcm_cfg.Cfg.t -> t
 
 (** [live_blocks t v] is the number of blocks at whose entry or exit [v] is
     live — a simple, placement-independent measure of register pressure. *)

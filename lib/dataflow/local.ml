@@ -1,7 +1,9 @@
 module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 module Instr = Lcm_ir.Instr
+module Expr = Lcm_ir.Expr
 module Expr_pool = Lcm_ir.Expr_pool
 
 (* Predicates live in flat arrays indexed by the dense label ints: the
@@ -18,57 +20,66 @@ type t = {
   live : bool array;
 }
 
-let compute g pool =
+(* One block's instruction scan, as a top-level recursion: a local closure
+   would be allocated per block, and the [Instr.defs]/[Instr.candidate]
+   option API would allocate a [Some] per instruction — this runs once per
+   instruction of every request, so it matches on the instruction directly.
+
+   The computation happens before the definition takes effect, so an
+   instruction like [x := x + 1] exposes [x + 1] upwards but not
+   downwards. *)
+let rec scan_block pool reads_mask killed a c t = function
+  | [] -> ()
+  | i :: rest ->
+    (match i with
+    | Instr.Assign (v, e) ->
+      if Expr.is_candidate e then begin
+        let idx =
+          match Expr_pool.index_exn pool e with
+          | idx -> idx
+          | exception Not_found ->
+            invalid_arg "Local.compute: pool is missing a candidate of the graph"
+        in
+        if not (Bitvec.get killed idx) then Bitvec.set a idx true;
+        Bitvec.set c idx true
+      end;
+      let m = reads_mask v in
+      ignore (Bitvec.union_into ~into:killed m);
+      ignore (Bitvec.diff_into ~into:t m);
+      ignore (Bitvec.diff_into ~into:c m)
+    | Instr.Print _ -> ());
+    scan_block pool reads_mask killed a c t rest
+
+let compute ?scratch g pool =
   let n = Expr_pool.size pool in
   let bound = Cfg.label_bound g in
-  let dummy = Bitvec.create 0 in
-  let antloc = Array.make bound dummy
-  and comp = Array.make bound dummy
-  and transp = Array.make bound dummy in
-  let live = Array.make bound false in
+  let antloc = Arena.alloc_vec scratch bound
+  and comp = Arena.alloc_vec scratch bound
+  and transp = Arena.alloc_vec scratch bound in
+  let live = Arena.alloc_bool scratch bound in
   (* Per-variable kill masks (bit set ⇔ the expression reads the variable),
      shared across blocks: applying a definition is then three word-wide
      vector ops instead of a per-bit loop over [Expr_pool.reading]. *)
   let mask_cache = Hashtbl.create 16 in
   let reads_mask v =
-    match Hashtbl.find_opt mask_cache v with
-    | Some m -> m
-    | None ->
-      let m = Bitvec.create n in
+    match Hashtbl.find mask_cache v with
+    | m -> m
+    | exception Not_found ->
+      let m = Arena.alloc scratch n in
       List.iter (fun idx -> Bitvec.set m idx true) (Expr_pool.reading pool v);
       Hashtbl.add mask_cache v m;
       m
   in
   (* [killed] tracks expressions whose operands have been modified by an
      earlier instruction of the current block. *)
-  let killed = Bitvec.create n in
+  let killed = Arena.alloc scratch n in
   List.iter
     (fun l ->
-      let a = Bitvec.create n and c = Bitvec.create n and t = Bitvec.create_full n in
+      let a = Arena.alloc scratch n
+      and c = Arena.alloc scratch n
+      and t = Arena.alloc_full scratch n in
       Bitvec.fill killed false;
-      let scan i =
-        (* The computation happens before the definition takes effect, so an
-           instruction like [x := x + 1] exposes [x + 1] upwards but not
-           downwards. *)
-        (match Instr.candidate i with
-        | Some e ->
-          let idx =
-            match Expr_pool.index pool e with
-            | Some idx -> idx
-            | None -> invalid_arg "Local.compute: pool is missing a candidate of the graph"
-          in
-          if not (Bitvec.get killed idx) then Bitvec.set a idx true;
-          Bitvec.set c idx true
-        | None -> ());
-        match Instr.defs i with
-        | Some v ->
-          let m = reads_mask v in
-          ignore (Bitvec.union_into ~into:killed m);
-          ignore (Bitvec.diff_into ~into:t m);
-          ignore (Bitvec.diff_into ~into:c m)
-        | None -> ()
-      in
-      List.iter scan (Cfg.instrs g l);
+      scan_block pool reads_mask killed a c t (Cfg.instrs g l);
       antloc.(l) <- a;
       comp.(l) <- c;
       transp.(l) <- t;

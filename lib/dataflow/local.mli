@@ -11,8 +11,10 @@
 
 type t
 
-(** [compute g pool] scans every block once. *)
-val compute : Lcm_cfg.Cfg.t -> Lcm_ir.Expr_pool.t -> t
+(** [compute g pool] scans every block once.  With [scratch], every
+    predicate vector is checked out of the arena (valid until its next
+    reset); without it they are heap-allocated as before. *)
+val compute : ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> Lcm_ir.Expr_pool.t -> t
 
 val pool : t -> Lcm_ir.Expr_pool.t
 

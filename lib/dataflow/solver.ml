@@ -1,5 +1,6 @@
 module Bitvec = Lcm_support.Bitvec
 module Pool = Lcm_support.Pool
+module Arena = Lcm_support.Arena
 module Cfg = Lcm_cfg.Cfg
 module Label = Lcm_cfg.Label
 
@@ -44,8 +45,13 @@ module Pq = struct
     mutable size : int;
   }
 
-  let create ~capacity ~bound prio =
-    { heap = Array.make (max 1 capacity) 0; prio; inq = Array.make bound false; size = 0 }
+  let create ?scratch ~capacity ~bound prio =
+    {
+      heap = Arena.alloc_int scratch (max 1 capacity);
+      prio;
+      inq = Arena.alloc_bool scratch bound;
+      size = 0;
+    }
 
   let is_empty q = q.size = 0
   let mem q l = q.inq.(l)
@@ -109,9 +115,14 @@ type state = {
   dependents : Label.t array array;
   process_order : Label.t list;
   scratch : Bitvec.t;
+  arena : Arena.t option;  (* where this state's buffers came from *)
 }
 
-let make_state g spec =
+(* All of a solve's state — the meet/flow vector per block, the slot arrays
+   holding them, and the worklist machinery below — comes from the request's
+   arena when one is threaded through ([?scratch]); with [None] every
+   allocation falls back to the heap, which is the historical behavior. *)
+let make_state ?scratch g spec =
   let adj = Cfg.adjacency g in
   let bound = adj.Cfg.adj_bound in
   let boundary_label =
@@ -121,13 +132,17 @@ let make_state g spec =
   in
   let init () =
     match spec.confluence with
-    | Union -> Bitvec.create spec.nbits
-    | Inter -> Bitvec.create_full spec.nbits
+    | Union -> Arena.alloc scratch spec.nbits
+    | Inter -> Arena.alloc_full scratch spec.nbits
   in
-  let meet = Array.init bound (fun _ -> init ()) in
-  let flow = Array.init bound (fun _ -> init ()) in
-  meet.(boundary_label) <- Bitvec.copy spec.boundary;
-  let live = Array.make bound false in
+  let meet = Arena.alloc_vec scratch bound in
+  let flow = Arena.alloc_vec scratch bound in
+  for l = 0 to bound - 1 do
+    meet.(l) <- init ();
+    flow.(l) <- init ()
+  done;
+  meet.(boundary_label) <- Arena.alloc_copy scratch spec.boundary;
+  let live = Arena.alloc_bool scratch bound in
   List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
   let meet_neighbors, dependents, process_order =
     match spec.direction with
@@ -143,7 +158,8 @@ let make_state g spec =
     meet_neighbors;
     dependents;
     process_order;
-    scratch = Bitvec.create spec.nbits;
+    scratch = Arena.alloc scratch spec.nbits;
+    arena = scratch;
   }
 
 (* Recompute meet.(l) from its neighbors' flow values, then apply the
@@ -196,24 +212,35 @@ let run_worklist st spec =
   let bound = st.adj.Cfg.adj_bound in
   let reachable = st.adj.Cfg.adj_rpo_pos in
   (* Priority = position in the processing order. *)
-  let prio = Array.make bound max_int in
+  let prio = Arena.alloc_int st.arena bound in
+  Array.fill prio 0 bound max_int;
   List.iteri (fun i l -> prio.(l) <- i) st.process_order;
   let nreach = List.length st.process_order in
-  let q = Pq.create ~capacity:nreach ~bound prio in
+  let q = Pq.create ?scratch:st.arena ~capacity:nreach ~bound prio in
   List.iter (fun l -> Pq.push q l) st.process_order;
   let visits = ref 0 in
-  let visit_count = Array.make bound 0 in
+  let visit_count = Arena.alloc_int st.arena bound in
   while not (Pq.is_empty q) do
     let l = Pq.pop q in
     incr visits;
     visit_count.(l) <- visit_count.(l) + 1;
-    if visit st spec l then
-      Array.iter
-        (fun d -> if reachable.(d) >= 0 && not (Pq.mem q d) then Pq.push q d)
-        st.dependents.(l)
+    if visit st spec l then begin
+      (* Explicit loop, not [Array.iter]: a closure here would be
+         allocated on every changed visit of the hot fixpoint. *)
+      let deps = st.dependents.(l) in
+      for i = 0 to Array.length deps - 1 do
+        let d = deps.(i) in
+        if reachable.(d) >= 0 && not (Pq.mem q d) then Pq.push q d
+      done
+    end
   done;
-  let sweeps = Array.fold_left max 0 visit_count in
-  (sweeps, !visits)
+  (* Arena-backed arrays may be wider than [bound]; fold over the live
+     prefix only. *)
+  let sweeps = ref 0 in
+  for l = 0 to bound - 1 do
+    if visit_count.(l) > !sweeps then sweeps := visit_count.(l)
+  done;
+  (!sweeps, !visits)
 
 let make_result ~direction ~live ~meet ~flow ~sweeps ~visits =
   let lookup table what l =
@@ -227,8 +254,8 @@ let make_result ~direction ~live ~meet ~flow ~sweeps ~visits =
   in
   { block_in; block_out; sweeps; visits }
 
-let run ?(engine = Worklist) g spec =
-  let st = make_state g spec in
+let run ?(engine = Worklist) ?scratch g spec =
+  let st = make_state ?scratch g spec in
   let sweeps, visits =
     match engine with
     | Worklist -> run_worklist st spec
@@ -262,11 +289,11 @@ let run ?(engine = Worklist) g spec =
 
 let default_par_threshold = 256
 
-let run_par ?pool ?(threshold = default_par_threshold) g spec ~slice =
+let run_par ?pool ?(threshold = default_par_threshold) ?scratch g spec ~slice =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let pieces = min (Pool.size pool) (max 1 (spec.nbits / max 1 threshold)) in
   let bounds = Bitvec.slice_bounds ~nbits:spec.nbits ~pieces in
-  if pieces <= 1 || Array.length bounds <= 1 then run g spec
+  if pieces <= 1 || Array.length bounds <= 1 then run ?scratch g spec
   else begin
     (* Pre-warm the lazily-built adjacency snapshot before fanning out: the
        build is lock-guarded, but warming it here keeps the slices from
@@ -283,11 +310,18 @@ let run_par ?pool ?(threshold = default_par_threshold) g spec ~slice =
              invalid_arg
                (Printf.sprintf "Solver.run_par: slice [%d,%d) returned a %d-bit spec" lo
                   (lo + len) sub.nbits);
+           (* Slice states are built on pool domains: an arena is
+              single-owner per domain, so slices keep the heap path and
+              only the caller-side assembly below uses [scratch]. *)
            let st = make_state g sub in
            let counts = run_worklist st sub in
            solved.(i) <- Some (st, counts)));
-    let meet = Array.init bound (fun _ -> Bitvec.create spec.nbits) in
-    let flow = Array.init bound (fun _ -> Bitvec.create spec.nbits) in
+    let meet = Arena.alloc_vec scratch bound in
+    let flow = Arena.alloc_vec scratch bound in
+    for l = 0 to bound - 1 do
+      meet.(l) <- Arena.alloc scratch spec.nbits;
+      flow.(l) <- Arena.alloc scratch spec.nbits
+    done;
     let sweeps = ref 0 and visits = ref 0 in
     Array.iteri
       (fun i entry ->
@@ -300,7 +334,7 @@ let run_par ?pool ?(threshold = default_par_threshold) g spec ~slice =
         sweeps := max !sweeps s;
         visits := !visits + v)
       solved;
-    let live = Array.make bound false in
+    let live = Arena.alloc_bool scratch bound in
     List.iter (fun l -> live.(l) <- true) (Cfg.labels g);
     make_result ~direction:spec.direction ~live ~meet ~flow ~sweeps:!sweeps ~visits:!visits
   end

@@ -60,8 +60,15 @@ type result = {
 (** Returned vectors are owned by the result; callers must not mutate them.
     Both engines compute the same fixpoint (bit-identical for the monotone
     transfers used throughout this library); [engine] defaults to
-    {!Worklist}. *)
-val run : ?engine:engine -> Lcm_cfg.Cfg.t -> spec -> result
+    {!Worklist}.
+
+    When [scratch] is given, every piece of solver state — the per-block
+    meet/flow vectors (including those reachable through the result), the
+    slot arrays, and the worklist machinery — is checked out of that arena
+    instead of heap-allocated; the result is then only valid until the
+    arena's next [reset].  Without it the behavior (and allocation) is
+    unchanged. *)
+val run : ?engine:engine -> ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> spec -> result
 
 (** Default [threshold] of {!run_par}, in bits per domain. *)
 val default_par_threshold : int
@@ -88,10 +95,15 @@ val default_par_threshold : int
 
     Counter semantics: [visits] is summed across slices (total transfer
     applications); [sweeps] is the maximum over slices (parallel iteration
-    depth). *)
+    depth).
+
+    [scratch] backs the sequential fallback and the caller-side assembly
+    of the full-width result; slice fixpoints running on pool domains keep
+    the heap path (an arena is single-owner per domain). *)
 val run_par :
   ?pool:Lcm_support.Pool.t ->
   ?threshold:int ->
+  ?scratch:Lcm_support.Arena.t ->
   Lcm_cfg.Cfg.t ->
   spec ->
   slice:(lo:int -> len:int -> spec) ->

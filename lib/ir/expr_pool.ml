@@ -44,9 +44,23 @@ let add pool e =
     pool.exprs.(i) <- e;
     pool.size <- i + 1;
     Hashtbl.add pool.table e i;
+    (* Register the flipped orientation of commutative operators too:
+       lookups then hit the table directly as written in the program, and
+       [index]/[index_exn] never pay [Expr.canonical]'s node rebuild (one
+       allocation per candidate instruction per request on the scan path).
+       Expressions are shallow — operands are atoms — so the two
+       orientations enumerate every equal-up-to-commutativity form. *)
+    (match e with
+    | Expr.Binary (op, a, b) when Expr.is_commutative op && a <> b ->
+      Hashtbl.add pool.table (Expr.Binary (op, b, a)) i
+    | Expr.Atom _ | Expr.Unary _ | Expr.Binary _ -> ());
     i
 
-let index pool e = Hashtbl.find_opt pool.table (Expr.canonical e)
+let index pool e = Hashtbl.find_opt pool.table e
+
+(* Hot-path variant of [index]: no [Some] allocation per lookup (the
+   local-predicate scan asks once per instruction).  Raises [Not_found]. *)
+let index_exn pool e = Hashtbl.find pool.table e
 
 let expr pool i =
   if i < 0 || i >= pool.size then invalid_arg "Expr_pool.expr: index out of range";
@@ -66,24 +80,33 @@ let to_list pool =
   done;
   !acc
 
+(* The body is uncurried into a plain function so the locked section needs
+   no closures at all ([Fun.protect] allocates two per call, and [reading]
+   runs once per distinct variable of every request): the exception arm
+   below replays the role of [~finally], releasing the lock before
+   re-raising (including injected chaos faults). *)
+let reading_locked pool v =
+  if pool.reading_cache_size <> pool.size then begin
+    Hashtbl.reset pool.reading_cache;
+    pool.reading_cache_size <- pool.size
+  end;
+  match Hashtbl.find pool.reading_cache v with
+  | is -> is
+  | exception Not_found ->
+    Lcm_support.Fault.inject "pool.reading";
+    let acc = ref [] in
+    for i = pool.size - 1 downto 0 do
+      if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
+    done;
+    Hashtbl.add pool.reading_cache v !acc;
+    !acc
+
 let reading pool v =
   Mutex.lock pool.reading_lock;
-  (* Fun.protect: a memo fill that raises (or an injected chaos fault)
-     must not leave the lock held. *)
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock pool.reading_lock)
-    (fun () ->
-      if pool.reading_cache_size <> pool.size then begin
-        Hashtbl.reset pool.reading_cache;
-        pool.reading_cache_size <- pool.size
-      end;
-      match Hashtbl.find_opt pool.reading_cache v with
-      | Some is -> is
-      | None ->
-        Lcm_support.Fault.inject "pool.reading";
-        let acc = ref [] in
-        for i = pool.size - 1 downto 0 do
-          if Expr.reads_var pool.exprs.(i) v then acc := i :: !acc
-        done;
-        Hashtbl.add pool.reading_cache v !acc;
-        !acc)
+  match reading_locked pool v with
+  | is ->
+    Mutex.unlock pool.reading_lock;
+    is
+  | exception e ->
+    Mutex.unlock pool.reading_lock;
+    raise e

@@ -17,6 +17,10 @@ val add : t -> Expr.t -> int
 (** [index pool e] is the index of [e] if registered. *)
 val index : t -> Expr.t -> int option
 
+(** As {!index} but raises [Not_found]: no option allocation, for
+    per-instruction lookups on the serving hot path. *)
+val index_exn : t -> Expr.t -> int
+
 (** [expr pool i] is the expression with index [i]. *)
 val expr : t -> int -> Expr.t
 

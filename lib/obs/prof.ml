@@ -4,6 +4,7 @@ type row = {
   total_s : float;
   self_s : float;
   alloc_w : float;
+  gc : int;
   sweeps : int;
   visits : int;
 }
@@ -13,6 +14,7 @@ type acc = {
   mutable a_total_s : float;
   mutable a_self_s : float;
   mutable a_alloc_w : float;
+  mutable a_gc : int;
   mutable a_sweeps : int;
   mutable a_visits : int;
 }
@@ -49,7 +51,15 @@ let add t spans =
         | Some a -> a
         | None ->
           let a =
-            { a_count = 0; a_total_s = 0.; a_self_s = 0.; a_alloc_w = 0.; a_sweeps = 0; a_visits = 0 }
+            {
+              a_count = 0;
+              a_total_s = 0.;
+              a_self_s = 0.;
+              a_alloc_w = 0.;
+              a_gc = 0;
+              a_sweeps = 0;
+              a_visits = 0;
+            }
           in
           Hashtbl.add t.phases sp.Trace.name a;
           a
@@ -60,6 +70,7 @@ let add t spans =
       a.a_total_s <- a.a_total_s +. d;
       a.a_self_s <- a.a_self_s +. Float.max 0. (d -. child_s);
       a.a_alloc_w <- a.a_alloc_w +. Float.max 0. sp.Trace.alloc_w;
+      a.a_gc <- a.a_gc + attr_int sp "gc";
       a.a_sweeps <- a.a_sweeps + attr_int sp "sweeps";
       a.a_visits <- a.a_visits + attr_int sp "visits")
     spans;
@@ -76,6 +87,7 @@ let rows t =
           total_s = a.a_total_s;
           self_s = a.a_self_s;
           alloc_w = a.a_alloc_w;
+          gc = a.a_gc;
           sweeps = a.a_sweeps;
           visits = a.a_visits;
         }
@@ -99,6 +111,7 @@ let to_json t =
                      ("total_ms", Json.Float (r.total_s *. 1000.));
                      ("self_ms", Json.Float (r.self_s *. 1000.));
                      ("alloc_w", Json.Float (Float.round r.alloc_w));
+                     ("gc", Json.Int r.gc);
                      ("sweeps", Json.Int r.sweeps);
                      ("visits", Json.Int r.visits);
                    ] ))
@@ -106,12 +119,12 @@ let to_json t =
     ]
 
 let pp fmt t =
-  Format.fprintf fmt "%-28s %8s %12s %12s %14s %8s %8s@." "phase" "count" "total_ms" "self_ms"
-    "alloc_w" "sweeps" "visits";
+  Format.fprintf fmt "%-28s %8s %12s %12s %14s %6s %8s %8s@." "phase" "count" "total_ms" "self_ms"
+    "alloc_w" "gc" "sweeps" "visits";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-28s %8d %12.3f %12.3f %14.0f %8d %8d@." r.name r.count (r.total_s *. 1000.)
-        (r.self_s *. 1000.) r.alloc_w r.sweeps r.visits)
+      Format.fprintf fmt "%-28s %8d %12.3f %12.3f %14.0f %6d %8d %8d@." r.name r.count
+        (r.total_s *. 1000.) (r.self_s *. 1000.) r.alloc_w r.gc r.sweeps r.visits)
     (rows t)
 
 let reset t =

@@ -2,7 +2,8 @@
 
     Folds finished {!Trace.span}s into one row per span name: invocation
     count, total (inclusive) time, self time (total minus the time of
-    direct children {e present in the same batch}), allocated words, and
+    direct children {e present in the same batch}), allocated words, GC
+    collections that fired inside the span (the ["gc"] attribute), and
     summed solver iteration counts read from the conventional ["sweeps"]
     and ["visits"] attributes.
 
@@ -17,6 +18,7 @@ type row = {
   total_s : float;
   self_s : float;
   alloc_w : float;
+  gc : int;  (** minor+major collections during the span (["gc"] attr) *)
   sweeps : int;
   visits : int;
 }
@@ -32,7 +34,7 @@ val add : t -> Trace.span list -> unit
 (** Rows sorted by total time, descending. *)
 val rows : t -> row list
 
-(** [{"phases": {name: {count, total_ms, self_ms, alloc_w, sweeps,
+(** [{"phases": {name: {count, total_ms, self_ms, alloc_w, gc, sweeps,
     visits}, ...}}], phases sorted by total time descending. *)
 val to_json : t -> Json.t
 

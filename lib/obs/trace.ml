@@ -99,11 +99,21 @@ let span_attrs name f =
       let id = mint_span_id () in
       let cell = Domain.DLS.get ctx_key in
       cell := Some { ctx with parent = id };
+      let g0 = Gc.quick_stat () in
       let a0 = Gc.allocated_bytes () in
       let t0 = Unix.gettimeofday () in
       let finish attrs =
         let t1 = Unix.gettimeofday () in
         let alloc_w = (Gc.allocated_bytes () -. a0) /. word_bytes in
+        (* Collections that fired inside the span; attached only when
+           non-zero so the common (collection-free, arena-backed) case
+           costs no attr.  Counts are per-domain, like [alloc_w]. *)
+        let g1 = Gc.quick_stat () in
+        let gc_n =
+          g1.Gc.minor_collections - g0.Gc.minor_collections
+          + (g1.Gc.major_collections - g0.Gc.major_collections)
+        in
+        let attrs = if gc_n > 0 then ("gc", string_of_int gc_n) :: attrs else attrs in
         cell := Some ctx;
         record c
           {

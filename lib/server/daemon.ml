@@ -42,6 +42,7 @@ type conn = {
   fd_out : Unix.file_descr;
   reader : Frame.reader;
   out : Buffer.t;  (* response bytes not yet accepted by the peer *)
+  writer : Frame.writer;  (* reusable flush scratch (see [flush_out]) *)
   owns_fds : bool;  (* accepted sockets are closed by the daemon; stdio fds are not *)
   mutable eof : bool;
   mutable dead : bool;
@@ -101,12 +102,14 @@ let flush_out conn =
   if (not conn.dead) && Buffer.length conn.out > 0 then
     Trace.in_trace ~trace_id:"daemon" "io.write" @@ fun () ->
     begin
-    let s = Buffer.contents conn.out in
-    let n = String.length s in
+    (* The scratch aliases conn.writer until the next flush, which is fine:
+       the refill below copies the unwritten tail back into conn.out. *)
+    let b = Frame.writer_bytes conn.writer conn.out in
+    let n = Buffer.length conn.out in
     let written = ref 0 in
     let stop = ref false in
     while (not !stop) && !written < n do
-      match Unix.write_substring conn.fd_out s !written (n - !written) with
+      match Unix.write conn.fd_out b !written (n - !written) with
       | 0 -> stop := true
       | k -> written := !written + k
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> stop := true
@@ -117,7 +120,7 @@ let flush_out conn =
     done;
     if not conn.dead then begin
       Buffer.clear conn.out;
-      if !written < n then Buffer.add_substring conn.out s !written (n - !written)
+      if !written < n then Buffer.add_subbytes conn.out b !written (n - !written)
     end
   end
 
@@ -239,7 +242,7 @@ let read_conn st conn =
     (* Chaos: the read side of the socket failed (ECONNRESET). *)
     kill_conn conn
   else begin
-  let buf = Bytes.create 65536 in
+  let buf = Frame.read_chunk conn.reader in
   match Trace.in_trace ~trace_id:"daemon" "io.read" (fun () -> Unix.read conn.fd_in buf 0 (Bytes.length buf)) with
   | 0 -> conn.eof <- true
   | len ->
@@ -327,6 +330,7 @@ let accept_ready st =
               fd_out = fd;
               reader = Frame.create ~max_frame:st.cfg.max_frame;
               out = Buffer.create 4096;
+              writer = Frame.writer ();
               owns_fds = true;
               eof = false;
               dead = false;
@@ -391,6 +395,7 @@ let serve_loop st =
     (match st.cfg.state_file with
     | Some path when now () -. st.last_save >= 1.0 ->
       st.last_save <- now ();
+      Stats.record_gc st.cfg.stats;
       Stats.save_file st.cfg.stats path
     | _ -> ());
     (* The "daemon" pseudo-trace (frame I/O spans) belongs to no request,
@@ -452,6 +457,7 @@ let finish st =
         Prof.add st.engine.Engine.prof spans;
         try append_trace_file ~dir ~trace_id (List.rev spans) with Sys_error _ -> ())
       by_trace);
+  Stats.record_gc st.cfg.stats;
   Option.iter (fun path -> Stats.save_file st.cfg.stats path) st.cfg.state_file;
   log st "drained cleanly: %d responses served" st.served;
   if not st.cfg.quiet then Stats.dump st.cfg.stats stderr
@@ -463,6 +469,7 @@ let serve_fds cfg ~fd_in ~fd_out =
       fd_out;
       reader = Frame.create ~max_frame:cfg.max_frame;
       out = Buffer.create 4096;
+      writer = Frame.writer ();
       owns_fds = false;
       eof = false;
       dead = false;

@@ -5,6 +5,7 @@ module Parser = Lcm_ir.Parser
 module Lexer = Lcm_ir.Lexer
 module Instr = Lcm_ir.Instr
 module Pool = Lcm_support.Pool
+module Arena = Lcm_support.Arena
 module Fault = Lcm_support.Fault
 module Prng = Lcm_support.Prng
 module Registry = Lcm_eval.Registry
@@ -154,9 +155,12 @@ let spec_of entry reports =
 (* Run one tier: the entry's pipeline under the tier's context (plus a
    trailing structural simplify when the request asked for one).  Returns
    the transformed graph, the worker count to report, and the spec. *)
-let run_tier cfg (r : Protocol.run_request) entry g = function
+let run_tier cfg (r : Protocol.run_request) entry g ~scratch = function
   | Par workers ->
-    let ctx = { Pass.workers = Some (Option.get cfg.pool) } in
+    (* The arena rides along: the cascade uses it only on this (the
+       request's) domain; phases fanned out to pool domains keep the heap
+       path (see [Lcm_edge.solve_safety_systems]). *)
+    let ctx = { Pass.workers = Some (Option.get cfg.pool); Pass.scratch } in
     let pipe =
       if r.Protocol.simplify then Pass.Pipeline.append entry.Registry.pipeline [ Pass.simplify ]
       else entry.Registry.pipeline
@@ -168,7 +172,7 @@ let run_tier cfg (r : Protocol.run_request) entry g = function
       if r.Protocol.simplify then Pass.Pipeline.append entry.Registry.pipeline [ Pass.simplify ]
       else entry.Registry.pipeline
     in
-    let g', reports = Pass.Pipeline.run Pass.default_ctx pipe g in
+    let g', reports = Pass.Pipeline.run { Pass.default_ctx with Pass.scratch } pipe g in
     (g', 1, spec_of entry reports)
   | Ident -> (g, 1, None)
 
@@ -180,6 +184,17 @@ let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~tim
   in
   let g = Trace.span "engine.load" (fun () -> load_graph r) in
   check_deadline ~now ~deadline;
+  (* Admission: check a scratch arena out for this request's shape class.
+     Everything from tier selection to response rendering runs inside the
+     checkout; [Pool.Scratch.with_arena]'s finalizer reclaims every loan
+     even when a tier (or a chaos injection) panics.  Nothing arena-backed
+     escapes: the response carries only strings and ints. *)
+  let blocks = Cfg.label_bound g in
+  let exprs = Lcm_ir.Expr_pool.size (Cfg.candidate_pool g) in
+  Pool.Scratch.with_arena ~blocks ~exprs @@ fun arena ->
+  let scratch = Some arena in
+  let alloc0 = Gc.allocated_bytes () in
+  let checkouts0 = Arena.checkouts arena and misses0 = Arena.misses arena in
   let requested =
     match cfg.pool with
     | Some pool when r.Protocol.workers > 1 && Pool.size pool > 1 && entry.Registry.parallelizable ->
@@ -191,7 +206,7 @@ let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~tim
      request to the next tier. *)
   let attempt tier =
     if tier <> Ident then chaos_boundary ();
-    let g', workers, spec = run_tier cfg r entry g tier in
+    let g', workers, spec = run_tier cfg r entry g ~scratch tier in
     check_deadline ~now ~deadline;
     if tier <> Ident then chaos_boundary ();
     check_deadline ~now ~deadline;
@@ -239,8 +254,21 @@ let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~tim
   let before = Metrics.static_counts g in
   let after = Metrics.static_counts g' in
   let program = Cfg.to_string g' in
-  Protocol.ok_run ~id ~trace_id ~algorithm:r.Protocol.algorithm ~workers ~degraded:tier_served
-    ~validated ~program ~before ~after ~timing:(timing_of ()) ()
+  let frame =
+    Protocol.ok_run ~id ~trace_id ~algorithm:r.Protocol.algorithm ~workers ~degraded:tier_served
+      ~validated ~program ~before ~after ~timing:(timing_of ()) ()
+  in
+  (* Allocation telemetry for the zero-allocation steady state: how many
+     scratch checkouts the request made, how many had to heap-allocate
+     (zero once the shape class is warm), and the minor-words actually
+     allocated on this domain while serving it. *)
+  let bump c by = if by > 0 then Stats.bump ~by c in
+  bump cfg.m.Smetrics.arena_checkouts (Arena.checkouts arena - checkouts0);
+  bump cfg.m.Smetrics.arena_misses (Arena.misses arena - misses0);
+  let bytes_per_word = Sys.word_size / 8 in
+  bump cfg.m.Smetrics.alloc_words
+    (int_of_float ((Gc.allocated_bytes () -. alloc0) /. float_of_int bytes_per_word));
+  frame
 
 (* Cancellable sleep: 1 ms slices with a deadline check between slices —
    the test/benchmark stand-in for a pathologically slow (or
@@ -261,23 +289,32 @@ let execute_sleep ~now ~deadline ~id ~trace_id duration_ms ~timing_of =
 
 (* The stats snapshot, extended with the fault registry's counters when
    chaos is enabled — so a chaos run's injection counts are observable
-   through the same `stats` op as everything else. *)
+   through the same `stats` op as everything else — and with the scratch
+   footprint of this domain's parked arenas.  GC progress is folded into
+   the gc.* counters right before snapshotting so the [stats] op is always
+   fresh. *)
 let stats_snapshot stats =
+  Stats.record_gc stats;
   let base = Stats.snapshot stats in
-  match (Fault.counts (), base) with
-  | [], _ -> base
-  | cs, Json.Obj fields ->
-    Json.Obj
-      (fields
-      @ [
-          ( "chaos",
-            Json.Obj
-              (List.map
-                 (fun (p, occ, fired) ->
-                   (p, Json.Obj [ ("occurrences", Json.Int occ); ("fired", Json.Int fired) ]))
-                 cs) );
-        ])
-  | _, j -> j
+  let chaos_fields =
+    match Fault.counts () with
+    | [] -> []
+    | cs ->
+      [
+        ( "chaos",
+          Json.Obj
+            (List.map
+               (fun (p, occ, fired) ->
+                 (p, Json.Obj [ ("occurrences", Json.Int occ); ("fired", Json.Int fired) ]))
+               cs) );
+      ]
+  in
+  let arena_fields =
+    [ ("arena", Json.Obj [ ("retained_words", Json.Int (Pool.Scratch.domain_retained_words ())) ]) ]
+  in
+  match base with
+  | Json.Obj fields -> Json.Obj (fields @ chaos_fields @ arena_fields)
+  | j -> j
 
 (* [trace_id]: the caller (daemon) resolves the id so it can also name the
    per-trace file; direct callers may omit it, in which case the request's

@@ -2,15 +2,26 @@ type event =
   | Frame of string
   | Oversized of int
 
+let chunk_size = 65536
+
 type reader = {
   max_frame : int;
   buf : Buffer.t;
+  chunk : Bytes.t;  (* reusable read buffer: one per connection, not per read *)
   mutable discarding : bool;  (* current line already blew the limit *)
   mutable discarded : int;  (* bytes dropped of the current oversized line *)
 }
 
-let create ~max_frame = { max_frame; buf = Buffer.create 512; discarding = false; discarded = 0 }
+let create ~max_frame =
+  {
+    max_frame;
+    buf = Buffer.create 512;
+    chunk = Bytes.create chunk_size;
+    discarding = false;
+    discarded = 0;
+  }
 
+let read_chunk r = r.chunk
 let pending r = Buffer.length r.buf
 
 let feed r bytes len =
@@ -39,6 +50,33 @@ let feed r bytes len =
     end
   done;
   List.rev !events
+
+(* Reusable write scratch.  Flush paths copy a [Buffer] here before
+   [Unix.write] instead of materializing a fresh string per flush.  The
+   scratch grows geometrically up to [retain_max]; an oversized payload is
+   served from a one-shot temporary so one huge response cannot pin a
+   connection-lifetime buffer. *)
+type writer = { mutable scratch : Bytes.t; retain_max : int }
+
+let writer ?(retain_max = chunk_size) () =
+  { scratch = Bytes.create 4096; retain_max = max 4096 retain_max }
+
+let writer_bytes w buf =
+  let n = Buffer.length buf in
+  if n <= Bytes.length w.scratch then begin
+    Buffer.blit buf 0 w.scratch 0 n;
+    w.scratch
+  end
+  else if n <= w.retain_max then begin
+    let cap = ref (Bytes.length w.scratch) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    w.scratch <- Bytes.create (min !cap w.retain_max);
+    Buffer.blit buf 0 w.scratch 0 n;
+    w.scratch
+  end
+  else (* oversized fallback: not retained *) Buffer.to_bytes buf
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in

@@ -10,6 +10,9 @@ type t = {
   accept_failures : Stats.counter;
   connections_total : Stats.counter;
   tier_fallbacks : Stats.counter;
+  arena_checkouts : Stats.counter;
+  arena_misses : Stats.counter;
+  alloc_words : Stats.counter;
   degraded_total : Stats.counter;
   validated_total : Stats.counter;
   restarts_total : Stats.counter;
@@ -55,6 +58,9 @@ let create stats =
     accept_failures = c "accept_failures_total";
     connections_total = c "connections_total";
     tier_fallbacks = c "engine.tier_fallbacks";
+    arena_checkouts = c "arena.checkouts_total";
+    arena_misses = c "arena.misses_total";
+    alloc_words = c "engine.alloc_words_total";
     degraded_total = c "degraded_total";
     validated_total = c "validated_total";
     restarts_total = c "supervisor.restarts_total";

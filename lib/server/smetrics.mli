@@ -19,6 +19,13 @@ type t = {
   accept_failures : Stats.counter;  (** wire name [accept_failures_total] *)
   connections_total : Stats.counter;
   tier_fallbacks : Stats.counter;  (** wire name [engine.tier_fallbacks] *)
+  arena_checkouts : Stats.counter;  (** wire name [arena.checkouts_total] *)
+  arena_misses : Stats.counter;
+      (** wire name [arena.misses_total]: scratch checkouts that had to
+          heap-allocate; stops growing once the shape classes are warm *)
+  alloc_words : Stats.counter;
+      (** wire name [engine.alloc_words_total]: minor-heap words allocated
+          while executing run requests (per-request GC deltas, summed) *)
   degraded_total : Stats.counter;
   validated_total : Stats.counter;
   restarts_total : Stats.counter;  (** wire name [supervisor.restarts_total] *)

@@ -11,10 +11,23 @@ type t = {
   mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  (* last GC sample folded into the gc.* counters (see [record_gc]) *)
+  mutable gc_minor : int;
+  mutable gc_major : int;
+  mutable gc_promoted : float;
+  mutable gc_alloc : float;
 }
 
 let create () =
-  { mutex = Mutex.create (); counters = Hashtbl.create 16; histograms = Hashtbl.create 8 }
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 8;
+    gc_minor = 0;
+    gc_major = 0;
+    gc_promoted = 0.;
+    gc_alloc = 0.;
+  }
 
 let global = create ()
 
@@ -44,6 +57,38 @@ let counter t name = { ct = t; cname = name }
 let bump ?by c = incr ?by c.ct c.cname
 let counter_name c = c.cname
 let value c = counter_value c.ct c.cname
+
+(* Fold the runtime's GC progress since the last sample into plain
+   counters.  Deltas (not absolutes) keep the counters *additive*: they
+   merge across supervisor restarts exactly like every other counter, and
+   a registry that loaded persisted totals keeps extending them.  Counter
+   names are new in schema 2 but schema-additive — old readers simply see
+   extra keys. *)
+let gc_minor_name = "gc.minor_collections"
+let gc_major_name = "gc.major_collections"
+let gc_promoted_name = "gc.promoted_words"
+let gc_alloc_name = "gc.alloc_words"
+
+let record_gc t =
+  let s = Gc.quick_stat () in
+  (* Total words allocated: minor allocations plus direct-to-major ones,
+     minus promotions (which minor_words and major_words both count). *)
+  let alloc = s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words in
+  with_lock t (fun () ->
+      let bump name by =
+        if by > 0 then
+          match Hashtbl.find_opt t.counters name with
+          | Some r -> r := !r + by
+          | None -> Hashtbl.add t.counters name (ref by)
+      in
+      bump gc_minor_name (s.Gc.minor_collections - t.gc_minor);
+      bump gc_major_name (s.Gc.major_collections - t.gc_major);
+      bump gc_promoted_name (int_of_float (s.Gc.promoted_words -. t.gc_promoted));
+      bump gc_alloc_name (int_of_float (alloc -. t.gc_alloc));
+      t.gc_minor <- s.Gc.minor_collections;
+      t.gc_major <- s.Gc.major_collections;
+      t.gc_promoted <- s.Gc.promoted_words;
+      t.gc_alloc <- alloc)
 
 let bucket_of_ms v =
   let n = Array.length bucket_bounds_ms in

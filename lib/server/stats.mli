@@ -29,6 +29,15 @@ val incr : ?by:int -> t -> string -> unit
 (** Current value of a counter; 0 when never incremented. *)
 val counter_value : t -> string -> int
 
+(** Fold the calling domain's GC progress since the previous [record_gc]
+    into the counters [gc.minor_collections], [gc.major_collections],
+    [gc.promoted_words] and [gc.alloc_words] (total words allocated, minor
+    plus direct-to-major).  Delta-based, so the counters stay additive and
+    merge across supervised restarts like every other counter (the names
+    are schema-additive within snapshot schema 2).  Called before each
+    snapshot/save so the [stats] op and persisted metrics stay fresh. *)
+val record_gc : t -> unit
+
 (** {2 Typed handles}
 
     A handle names its instrument exactly once, at creation; every

@@ -1,13 +1,22 @@
 (* Bit vectors stored as an array of native ints, using every bit of the
    int (63 on 64-bit systems).  The last word keeps its unused high bits at
    zero so that [equal], [is_empty], [count] and [subset] can work
-   word-wise without masking. *)
+   word-wise without masking.
+
+   The storage array may be *longer* than the vector needs: [of_buffer]
+   wraps a pooled buffer whose capacity was rounded up to a size bucket
+   (see Arena), so near-miss widths share buffers.  Every operation
+   therefore iterates [nwords v] — the words the length actually spans —
+   never [Array.length v.words]; words past [nwords] are dead storage with
+   unspecified contents. *)
 
 let bits_per_word = Sys.int_size
 
-type t = { len : int; words : int array }
+type t = { mutable len : int; words : int array }
 
 let word_count len = (len + bits_per_word - 1) / bits_per_word
+let words_for = word_count
+let[@inline] nwords v = word_count v.len
 
 let create len =
   if len < 0 then invalid_arg "Bitvec.create: negative length";
@@ -20,15 +29,56 @@ let last_mask len =
 
 let normalize v =
   if v.len > 0 then begin
-    let last = Array.length v.words - 1 in
+    let last = nwords v - 1 in
     v.words.(last) <- v.words.(last) land last_mask v.len
   end
 
+let fill v b =
+  Array.fill v.words 0 (nwords v) (if b then -1 else 0);
+  if b then normalize v
+
 let create_full len =
   let v = create len in
-  Array.fill v.words 0 (Array.length v.words) (-1);
-  normalize v;
+  fill v true;
   v
+
+(* Wrap [buf] (capacity >= [words_for len]) as a [len]-bit vector.  The
+   used prefix is explicitly cleared (or set, for [of_buffer_full]): a
+   recycled buffer must never leak the previous checkout's bits — the
+   arena property tests assert exactly this. *)
+let of_buffer buf len =
+  if len < 0 then invalid_arg "Bitvec.of_buffer: negative length";
+  if Array.length buf < word_count len then
+    invalid_arg
+      (Printf.sprintf "Bitvec.of_buffer: buffer of %d words cannot hold %d bits" (Array.length buf)
+         len);
+  let v = { len; words = buf } in
+  fill v false;
+  v
+
+let of_buffer_full buf len =
+  let v = of_buffer buf len in
+  fill v true;
+  v
+
+(* Rebind an existing vector to [len] bits over its own (possibly wider)
+   buffer, clearing the used prefix.  This is what lets the arena recycle
+   whole [t] records: a steady-state checkout re-initializes a parked view
+   in place and allocates nothing at all. *)
+let reinit v len =
+  if len < 0 then invalid_arg "Bitvec.reinit: negative length";
+  if Array.length v.words < word_count len then
+    invalid_arg
+      (Printf.sprintf "Bitvec.reinit: buffer of %d words cannot hold %d bits"
+         (Array.length v.words) len);
+  v.len <- len;
+  fill v false
+
+let reinit_full v len =
+  reinit v len;
+  fill v true
+
+let buffer v = v.words
 
 let length v = v.len
 
@@ -44,7 +94,7 @@ let set v i b =
   let w = i / bits_per_word and m = 1 lsl (i mod bits_per_word) in
   if b then v.words.(w) <- v.words.(w) lor m else v.words.(w) <- v.words.(w) land lnot m
 
-let copy v = { len = v.len; words = Array.copy v.words }
+let copy v = { len = v.len; words = Array.sub v.words 0 (nwords v) }
 
 let same_length a b name =
   if a.len <> b.len then invalid_arg (Printf.sprintf "Bitvec.%s: lengths %d and %d differ" name a.len b.len)
@@ -52,7 +102,7 @@ let same_length a b name =
 let blit ~src ~dst =
   same_length src dst "blit";
   let changed = ref false in
-  for w = 0 to Array.length src.words - 1 do
+  for w = 0 to nwords src - 1 do
     if dst.words.(w) <> src.words.(w) then begin
       dst.words.(w) <- src.words.(w);
       changed := true
@@ -60,30 +110,35 @@ let blit ~src ~dst =
   done;
   !changed
 
+(* Top-level recursions: a [let rec] nested inside the function would
+   capture the vector and allocate a closure per call — these run once per
+   edge/visit on the hot path, so they must stay allocation-free. *)
+let rec words_equal_from aw bw w =
+  w < 0 || (Array.unsafe_get aw w = Array.unsafe_get bw w && words_equal_from aw bw (w - 1))
+
 let equal a b =
   same_length a b "equal";
-  let rec go w = w < 0 || (a.words.(w) = b.words.(w) && go (w - 1)) in
-  go (Array.length a.words - 1)
+  words_equal_from a.words b.words (nwords a - 1)
 
-let is_empty v =
-  let rec go w = w < 0 || (v.words.(w) = 0 && go (w - 1)) in
-  go (Array.length v.words - 1)
-
-let fill v b =
-  Array.fill v.words 0 (Array.length v.words) (if b then -1 else 0);
-  if b then normalize v
+let rec words_zero_from ws w = w < 0 || (Array.unsafe_get ws w = 0 && words_zero_from ws (w - 1))
+let is_empty v = words_zero_from v.words (nwords v - 1)
 
 let popcount =
   (* Kernighan's loop is fast enough for our word counts. *)
   let rec go n acc = if n = 0 then acc else go (n land (n - 1)) (acc + 1) in
   fun n -> go n 0
 
-let count v = Array.fold_left (fun acc w -> acc + popcount w) 0 v.words
+let count v =
+  let acc = ref 0 in
+  for w = 0 to nwords v - 1 do
+    acc := !acc + popcount v.words.(w)
+  done;
+  !acc
 
 let inplace op ~into v name =
   same_length into v name;
   let changed = ref false in
-  for w = 0 to Array.length into.words - 1 do
+  for w = 0 to nwords into - 1 do
     let x = op into.words.(w) v.words.(w) in
     if x <> into.words.(w) then begin
       into.words.(w) <- x;
@@ -103,7 +158,7 @@ let union_diff_into ~into src ~diff =
   same_length into src "union_diff_into";
   same_length into diff "union_diff_into";
   let changed = ref false in
-  for w = 0 to Array.length into.words - 1 do
+  for w = 0 to nwords into - 1 do
     let x = into.words.(w) lor (src.words.(w) land lnot diff.words.(w)) in
     if x <> into.words.(w) then begin
       into.words.(w) <- x;
@@ -128,14 +183,19 @@ let diff a b =
   r
 
 let complement v =
-  let r = { len = v.len; words = Array.map lnot v.words } in
+  let r = create v.len in
+  for w = 0 to nwords v - 1 do
+    r.words.(w) <- lnot v.words.(w)
+  done;
   normalize r;
   r
 
+let rec words_subset_from aw bw w =
+  w < 0 || (Array.unsafe_get aw w land lnot (Array.unsafe_get bw w) = 0 && words_subset_from aw bw (w - 1))
+
 let subset a b =
   same_length a b "subset";
-  let rec go w = w < 0 || (a.words.(w) land lnot b.words.(w) = 0 && go (w - 1)) in
-  go (Array.length a.words - 1)
+  words_subset_from a.words b.words (nwords a - 1)
 
 (* Number of trailing zeros of a non-zero word (branchy binary search; no
    hardware ctz is exposed for native ints). *)
@@ -169,7 +229,7 @@ let ntz x =
    position.  The unused high bits of the last word are zero by invariant,
    so no length masking is needed. *)
 let iter_true f v =
-  for wi = 0 to Array.length v.words - 1 do
+  for wi = 0 to nwords v - 1 do
     let w = ref v.words.(wi) in
     if !w <> 0 then begin
       let base = wi * bits_per_word in
@@ -226,7 +286,7 @@ let blit_slice ~src ~into ~lo =
     invalid_arg "Bitvec.blit_slice: slice must end on a word boundary or at the destination's end";
   let w0 = lo / bits_per_word in
   let changed = ref false in
-  for w = 0 to Array.length src.words - 1 do
+  for w = 0 to nwords src - 1 do
     if into.words.(w0 + w) <> src.words.(w) then begin
       into.words.(w0 + w) <- src.words.(w);
       changed := true

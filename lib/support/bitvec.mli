@@ -14,6 +14,34 @@ val create : int -> t
 (** [create_full n] is a vector of [n] bits, all [true]. *)
 val create_full : int -> t
 
+(** [words_for n] is the number of storage words an [n]-bit vector spans —
+    the minimum capacity a buffer passed to {!of_buffer} must have. *)
+val words_for : int -> int
+
+(** [of_buffer buf n] wraps [buf] as an [n]-bit vector *without copying*;
+    the used prefix ([words_for n] words) is cleared to all-zeroes, words
+    beyond it are left untouched and ignored by every operation.  Raises
+    [Invalid_argument] when [buf] is too small.  This is how the arena
+    recycles size-bucketed buffers across near-miss shapes. *)
+val of_buffer : int array -> int -> t
+
+(** As {!of_buffer} but the used prefix is set to all-ones. *)
+val of_buffer_full : int array -> int -> t
+
+(** [reinit v n] rebinds [v] to [n] bits over its existing buffer and
+    clears the used prefix — the in-place analogue of {!of_buffer}, used by
+    the arena to recycle whole vector records so a steady-state checkout
+    allocates nothing.  Raises [Invalid_argument] when the buffer is too
+    small.  Any alias of [v] observes the new width. *)
+val reinit : t -> int -> unit
+
+(** As {!reinit} but the used prefix is set to all-ones. *)
+val reinit_full : t -> int -> unit
+
+(** The backing storage (may be longer than [words_for (length v)]).
+    Exposed so the arena can reclaim buffers; treat as opaque elsewhere. *)
+val buffer : t -> int array
+
 (** Number of bits. *)
 val length : t -> int
 

@@ -182,3 +182,64 @@ let default () =
   in
   Mutex.unlock default_lock;
   p
+
+(* ---- per-domain scratch arenas --------------------------------------------
+
+   The engine checks an arena out per request, keyed by the request's
+   (blocks, exprs) *shape class* — both axes rounded up to powers of two so
+   near-miss shapes reuse the same arenas instead of fragmenting into one
+   pool per exact shape.  Arenas live in domain-local storage: no locks,
+   and no arena ever crosses domains (an Arena.t is single-owner).
+
+   Help-draining makes this reentrant in a subtle way: a request task
+   blocked in [run] may execute *another* request inline on the same
+   domain, so checkouts nest.  The freelist-stack discipline (pop on
+   checkout, push on return) handles that naturally — the inner request
+   pops a different arena (or creates one), and returns restore in LIFO
+   order. *)
+
+module Scratch = struct
+  let pow2_floor = 16
+
+  let shape_class ~blocks ~exprs =
+    let rec up c n = if c >= n then c else up (c * 2) n in
+    (up pow2_floor blocks, up pow2_floor exprs)
+
+  let slots : (int * int, Arena.t list ref) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+  let with_arena ~blocks ~exprs f =
+    let tbl = Domain.DLS.get slots in
+    let key = shape_class ~blocks ~exprs in
+    let cell =
+      match Hashtbl.find_opt tbl key with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add tbl key c;
+        c
+    in
+    let arena =
+      match !cell with
+      | a :: rest ->
+        cell := rest;
+        a
+      | [] -> Arena.create ()
+    in
+    (* Reset inside the finalizer, not on checkout: a panic escaping [f]
+       (chaos injection, tier failure) must still reclaim every loan, and
+       the arena must be parked clean so [retained_words] reflects steady
+       state. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Arena.reset arena;
+        cell := arena :: !cell)
+      (fun () -> f arena)
+
+  (* Footprint of this domain's parked arenas, for the stats snapshot. *)
+  let domain_retained_words () =
+    let tbl = Domain.DLS.get slots in
+    Hashtbl.fold
+      (fun _ cell acc -> List.fold_left (fun acc a -> acc + Arena.retained_words a) acc !cell)
+      tbl 0
+end

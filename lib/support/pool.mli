@@ -53,3 +53,25 @@ val default_size : unit -> int
     exit.  Benchmarks that need a specific width create their own pools
     instead. *)
 val default : unit -> t
+
+(** Per-domain pools of scratch {!Arena.t}s, keyed by shape class.  The
+    engine wraps each request's solve in {!Scratch.with_arena}; the arena
+    is reclaimed (and parked back on this domain's freelist) even when the
+    request panics. *)
+module Scratch : sig
+  (** [shape_class ~blocks ~exprs] rounds both axes up to powers of two
+      (floor 16): requests whose shapes land in the same class share
+      arenas, so near-miss shapes don't fragment the pools. *)
+  val shape_class : blocks:int -> exprs:int -> int * int
+
+  (** [with_arena ~blocks ~exprs f] checks an arena for the shape class out
+      of this domain's freelist (creating one on first use), runs [f] with
+      it, and — panic or not — resets it and parks it back.  Reentrant:
+      nested checkouts (help-draining can run another request inline) pop
+      distinct arenas. *)
+  val with_arena : blocks:int -> exprs:int -> (Arena.t -> 'a) -> 'a
+
+  (** Words retained by the calling domain's parked arenas (steady-state
+      scratch footprint, surfaced as a stats gauge). *)
+  val domain_retained_words : unit -> int
+end

@@ -27,6 +27,7 @@ let () =
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
       ("pool", Test_pool.suite);
+      ("arena", Test_arena.suite);
       ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);
       ("chaos", Test_chaos.suite);

@@ -1,0 +1,220 @@
+(* Arena / scratch-pool properties: whatever a previous loan wrote — or
+   failed to finish writing because a chaos panic tore the request down at
+   a phase boundary — a freshly checked-out buffer is fully cleared or
+   re-initialized.  The stale-bit guarantee is the whole safety story of
+   buffer recycling, so it gets property tests of its own, including under
+   fault injection and concurrently across domains (CI runs this suite at
+   LCM_DOMAINS=1 and 4). *)
+
+module Bitvec = Lcm_support.Bitvec
+module Arena = Lcm_support.Arena
+module Pool = Lcm_support.Pool
+module Fault = Lcm_support.Fault
+module Suites = Lcm_eval.Suites
+module Lcm_edge = Lcm_core.Lcm_edge
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Dirty every buffer kind the arena hands out, so the *next* checkout has
+   real garbage to survive: bits in vectors, values in int/bool arrays,
+   non-dummy vectors in slot arrays. *)
+let scribble a n bits =
+  let v = Arena.bitvec a n in
+  List.iter (fun i -> Bitvec.set v (i mod n) true) bits;
+  Bitvec.fill (Arena.bitvec_full a n) true;
+  let ia = Arena.int_array a n in
+  for i = 0 to n - 1 do
+    ia.(i) <- i + 1
+  done;
+  let ba = Arena.bool_array a n in
+  Array.fill ba 0 n true;
+  let va = Arena.vec_array a n in
+  for i = 0 to n - 1 do
+    va.(i) <- v
+  done
+
+(* A checkout after [reset] sees clean state in every buffer kind, for any
+   size in any bucket relation (smaller, equal, larger) to the dirty loan. *)
+let prop_clean_after_dirty_reset =
+  QCheck2.Test.make ~name:"checkout after dirty reset is clean" ~count:300
+    QCheck2.Gen.(triple (1 -- 200) (1 -- 200) (list_size (1 -- 40) (0 -- 10_000)))
+    (fun (n1, n2, bits) ->
+      let a = Arena.create () in
+      scribble a n1 bits;
+      Arena.reset a;
+      let v = Arena.bitvec a n2 in
+      let full = Arena.bitvec_full a n2 in
+      let ia = Arena.int_array a n2 in
+      let ba = Arena.bool_array a n2 in
+      let va = Arena.vec_array a n2 in
+      Bitvec.length v = n2
+      && Bitvec.is_empty v && Bitvec.count v = 0
+      && Bitvec.count full = n2
+      && Array.for_all (fun x -> x = 0) (Array.init n2 (fun i -> ia.(i)))
+      && (not (Array.exists Fun.id (Array.sub ba 0 n2)))
+      && Array.for_all (fun i -> Bitvec.length va.(i) = 0) (Array.init n2 Fun.id))
+
+(* Set-algebra results on recycled vectors match fresh heap vectors: the
+   capacity tail beyond [len] must never influence count/equal/complement. *)
+let prop_recycled_equals_fresh =
+  QCheck2.Test.make ~name:"ops on recycled vectors ≡ fresh vectors" ~count:300
+    QCheck2.Gen.(
+      triple (1 -- 150) (list_size (0 -- 30) (0 -- 10_000)) (list_size (0 -- 30) (0 -- 10_000)))
+    (fun (n, xs, ys) ->
+      let a = Arena.create () in
+      scribble a (n + 64) xs;
+      Arena.reset a;
+      let norm l = List.sort_uniq compare (List.map (fun i -> i mod n) l) in
+      let mk l =
+        let v = Arena.bitvec a n in
+        List.iter (fun i -> Bitvec.set v i true) (norm l);
+        v
+      in
+      let x = mk xs and y = mk ys in
+      let hx = Bitvec.of_list n (norm xs) and hy = Bitvec.of_list n (norm ys) in
+      Bitvec.equal x hx && Bitvec.equal y hy
+      && Bitvec.to_list (Bitvec.union x y) = Bitvec.to_list (Bitvec.union hx hy)
+      && Bitvec.to_list (Bitvec.complement x) = Bitvec.to_list (Bitvec.complement hx)
+      && Bitvec.count (Bitvec.inter x y) = Bitvec.count (Bitvec.inter hx hy))
+
+(* Steady state: once a shape's buffers exist, re-running the same loan
+   pattern hits the freelists only — misses stop growing.  This is the
+   zero-allocation property the engine's metrics report. *)
+let prop_steady_state_no_misses =
+  QCheck2.Test.make ~name:"warm arena re-loans without misses" ~count:100
+    QCheck2.Gen.(pair (1 -- 128) (1 -- 10))
+    (fun (n, rounds) ->
+      let a = Arena.create () in
+      let loan () =
+        ignore (Arena.bitvec a n);
+        ignore (Arena.bitvec_full a n);
+        ignore (Arena.int_array a n);
+        ignore (Arena.bool_array a n);
+        ignore (Arena.vec_array a n)
+      in
+      loan ();
+      Arena.reset a;
+      let misses_warm = Arena.misses a in
+      for _ = 1 to rounds do
+        loan ();
+        Arena.reset a
+      done;
+      Arena.checkouts a > 0 && Arena.misses a = misses_warm)
+
+(* A panic mid-request must not leak loans or stale state: with_arena's
+   finalizer resets and reparks the arena, so the next request on this
+   domain sees clean buffers and a warm freelist. *)
+let prop_clean_after_panic =
+  QCheck2.Test.make ~name:"with_arena: clean + warm after panics" ~count:100
+    QCheck2.Gen.(pair (1 -- 120) (list_size (1 -- 30) (0 -- 10_000)))
+    (fun (n, bits) ->
+      let blocks = n and exprs = n in
+      (* Warm the shape class, then panic a few requests mid-scribble. *)
+      Pool.Scratch.with_arena ~blocks ~exprs (fun a -> scribble a n bits);
+      for _ = 1 to 3 do
+        match
+          Pool.Scratch.with_arena ~blocks ~exprs (fun a ->
+              scribble a n bits;
+              raise Exit)
+        with
+        | () -> ()
+        | exception Exit -> ()
+      done;
+      Pool.Scratch.with_arena ~blocks ~exprs (fun a ->
+          let misses0 = Arena.misses a in
+          let v = Arena.bitvec a n in
+          let ia = Arena.int_array a n in
+          let ba = Arena.bool_array a n in
+          Bitvec.is_empty v
+          && Array.for_all (fun i -> ia.(i) = 0) (Array.init n Fun.id)
+          && (not (Array.exists Fun.id (Array.sub ba 0 n)))
+          && Arena.misses a = misses0))
+
+(* ---- chaos: panics at phase boundaries of the real cascade ---- *)
+
+let with_chaos ~seed spec f =
+  Fault.configure ~seed spec;
+  Fun.protect ~finally:Fault.disable f
+
+let sorted_sets l =
+  List.sort compare (List.map (fun (k, v) -> (k, Bitvec.to_list v)) l)
+
+let edge_sets l = List.sort compare (List.map (fun (k, v) -> (k, Bitvec.to_list v)) l)
+
+let analysis_fingerprint (a : Lcm_edge.analysis) =
+  (edge_sets a.Lcm_edge.insert, sorted_sets a.Lcm_edge.delete, sorted_sets a.Lcm_edge.copy)
+
+(* Interleave chaos-killed analyses (the "engine.alloc" boundary fires
+   inside the cascade, tearing the request down mid-phase with loans
+   outstanding) with clean analyses, and require every surviving run to be
+   bit-identical to the heap-path decision on the same graph. *)
+let test_cascade_identical_under_chaos () =
+  let graphs =
+    List.filter_map Suites.find [ "diamond"; "loop-invariant"; "butterfly"; "grid" ]
+    |> List.map Suites.graph
+  in
+  let graphs = if graphs = [] then List.map Suites.graph Suites.all else graphs in
+  List.iter
+    (fun g ->
+      let expected = analysis_fingerprint (Lcm_edge.analyze g) in
+      let blocks = Lcm_cfg.Cfg.label_bound g in
+      let exprs = Lcm_ir.Expr_pool.size (Lcm_cfg.Cfg.candidate_pool g) in
+      let survived = ref 0 in
+      with_chaos ~seed:11 [ ("engine.alloc", 0.4) ] (fun () ->
+          for _ = 1 to 12 do
+            match
+              Pool.Scratch.with_arena ~blocks ~exprs (fun arena ->
+                  (* The engine's chaos boundary, at a phase seam. *)
+                  if Fault.fire "engine.alloc" then raise Out_of_memory;
+                  let a = Lcm_edge.analyze ~scratch:arena g in
+                  if Fault.fire "engine.alloc" then raise Out_of_memory;
+                  analysis_fingerprint a)
+            with
+            | got ->
+              incr survived;
+              Alcotest.(check bool) "scratch decision ≡ heap decision" true (got = expected)
+            | exception Out_of_memory -> ()
+          done);
+      (* The chaos rate leaves both populated outcomes overwhelmingly
+         likely in 12 draws; a seed change that kills every run would make
+         the test vacuous, so fail loudly instead. *)
+      Alcotest.(check bool) "some runs survived chaos" true (!survived > 0))
+    graphs
+
+(* Cross-domain: each domain hammers its own scratch pool concurrently;
+   arenas are domain-local, so cleanliness must hold on every domain with
+   no cross-talk.  Runs on 4 domains regardless of LCM_DOMAINS so the
+   multi-domain path is always exercised. *)
+let test_clean_across_domains () =
+  let failures = Atomic.make 0 in
+  let body () =
+    for round = 1 to 50 do
+      let n = 1 + ((round * 37) mod 150) in
+      let ok =
+        Pool.Scratch.with_arena ~blocks:n ~exprs:n (fun a ->
+            let v = Arena.bitvec a n in
+            let clean = Bitvec.is_empty v && Bitvec.count v = 0 in
+            Bitvec.fill v true;
+            let ia = Arena.int_array a n in
+            let ints = Array.for_all (fun i -> ia.(i) = 0) (Array.init n Fun.id) in
+            Array.fill ia 0 n max_int;
+            clean && ints)
+      in
+      if not ok then Atomic.incr failures
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn body) in
+  body ();
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no stale state on any domain" 0 (Atomic.get failures)
+
+let suite =
+  [
+    qtest prop_clean_after_dirty_reset;
+    qtest prop_recycled_equals_fresh;
+    qtest prop_steady_state_no_misses;
+    qtest prop_clean_after_panic;
+    Alcotest.test_case "cascade ≡ heap under phase-boundary chaos" `Quick
+      test_cascade_identical_under_chaos;
+    Alcotest.test_case "scratch cleanliness across 4 domains" `Quick test_clean_across_domains;
+  ]

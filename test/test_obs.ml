@@ -93,7 +93,7 @@ let test_span_tree_parallel () =
           let entry = Option.get (Registry.find "lcm-edge") in
           ignore
             (Trace.in_trace ~trace_id:"par" "request" (fun () ->
-                 Pass.Pipeline.run { Pass.workers = Some pool } entry.Registry.pipeline g));
+                 Pass.Pipeline.run { Pass.default_ctx with Pass.workers = Some pool } entry.Registry.pipeline g));
           let spans = Trace.drain () in
           let ids = List.map (fun (s : Trace.span) -> s.Trace.id) spans in
           List.iter
