@@ -101,6 +101,9 @@ type load_result = {
   gc_major_collections : int;
   gc_alloc_words : int;
   alloc_words_per_ok : float;
+  (* router-side result cache (sharded serving); zero on a plain daemon *)
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let quantile sorted q =
@@ -219,6 +222,8 @@ let run_load ~jobs ~queue ~offered_rps ~requests =
     gc_minor_collections = gc_counter "gc.minor_collections";
     gc_major_collections = gc_counter "gc.major_collections";
     gc_alloc_words;
+    cache_hits = gc_counter "cache.hits_total";
+    cache_misses = gc_counter "cache.misses_total";
     (* per *served* request: rejected ones never reach the engine, so they
        would only dilute the number (startup allocation is in here too, but
        it is fixed and amortizes out at benchmark request counts) *)
@@ -232,7 +237,7 @@ let print_rows rows =
     Table.create
       [
         "offered rps"; "requests"; "ok"; "overloaded"; "errors"; "rps served"; "p50 ms"; "p95 ms";
-        "p99 ms"; "alloc w/ok"; "minor gcs";
+        "p99 ms"; "alloc w/ok"; "minor gcs"; "cache h/m";
       ]
   in
   List.iter
@@ -250,6 +255,7 @@ let print_rows rows =
           Table.cell_float ~decimals:2 r.p99_ms;
           Printf.sprintf "%.0f" r.alloc_words_per_ok;
           Table.cell_int r.gc_minor_collections;
+          Printf.sprintf "%d/%d" r.cache_hits r.cache_misses;
         ])
     rows;
   Table.print t
@@ -272,6 +278,8 @@ let json_of_load r =
       ("gc_major_collections", Json.Int r.gc_major_collections);
       ("gc_alloc_words", Json.Int r.gc_alloc_words);
       ("alloc_words_per_ok", Json.Float r.alloc_words_per_ok);
+      ("cache_hits", Json.Int r.cache_hits);
+      ("cache_misses", Json.Int r.cache_misses);
       ("server_stats", r.server_stats);
     ]
 

@@ -1,0 +1,696 @@
+(* EXP-SHARD: the sharded serving tier — scaling, caching, incrementality.
+
+   Three questions, each against `lcmopt serve --stdio --shards N`:
+
+   1. Scaling: aggregate served rps as the worker fleet grows (1/2/4
+      shards, result cache off, open-loop offered load well past a single
+      worker's capacity).  Every ok response is digest-checked against the
+      in-process transformation, so the routing/multiplexing layer is
+      proven bit-transparent while it is being stressed.
+
+   2. Cache: a dup-heavy corpus (Corpus.generate ~dup_rate) served once
+      each, closed-loop, through the router's content-addressed result
+      cache.  Reports the hit ratio and the p50 latency of cache hits vs
+      full solves — the paper-ready claim is that a hit costs an order of
+      magnitude less than a solve (asserted at >= 5x in full mode).
+
+   3. Incremental: retain a graph, send a pool-preserving `delta`, and
+      check the server's incremental re-solve (a) visited strictly fewer
+      blocks and transfer applications than the from-scratch solve, and
+      (b) produced a program bit-identical to transforming the patched
+      graph from scratch in-process.  A second, untimed-validation delta
+      against a plain full `run` of the same patched text gives the
+      latency advantage of re-solving in place. *)
+
+module Table = Lcm_support.Table
+module Cfg = Lcm_cfg.Cfg
+module Cfg_text = Lcm_cfg.Cfg_text
+module Corpus = Lcm_eval.Corpus
+module Lcm_edge = Lcm_core.Lcm_edge
+module Json = Lcm_server.Json
+module Frame = Lcm_server.Frame
+
+let now = Unix.gettimeofday
+
+(* ---- daemon subprocess (same contract as exp_serve) ---- *)
+
+let resolve_exe () =
+  match Sys.getenv_opt "LCMOPT_EXE" with
+  | Some p -> p
+  | None ->
+    let d = Filename.dirname Sys.executable_name in
+    Filename.concat (Filename.concat (Filename.dirname d) "bin") "lcmopt.exe"
+
+type daemon = { pid : int; req_w : Unix.file_descr; resp_r : Unix.file_descr }
+
+let spawn_daemon ~args =
+  let exe = resolve_exe () in
+  if not (Sys.file_exists exe) then begin
+    Printf.eprintf "exp_shard: daemon binary not found at %s (set LCMOPT_EXE)\n" exe;
+    exit 1
+  end;
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list ((exe :: [ "serve"; "--stdio"; "--quiet" ]) @ args))
+      req_r resp_w Unix.stderr
+  in
+  Unix.close req_r;
+  Unix.close resp_w;
+  { pid; req_w; resp_r }
+
+let stop_daemon d =
+  (try Unix.close d.req_w with Unix.Unix_error _ -> ());
+  (try Unix.close d.resp_r with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] d.pid)
+
+(* ---- closed-loop client (phases 2 and 3) ---- *)
+
+type conn = { d : daemon; reader : Frame.reader; chunk : Bytes.t; mutable inbox : Json.t list }
+
+let connect ~args = { d = spawn_daemon ~args; reader = Frame.create ~max_frame:(1 lsl 22); chunk = Bytes.create 65536; inbox = [] }
+
+let send conn line =
+  let line = line ^ "\n" in
+  let n = String.length line in
+  let k = ref 0 in
+  while !k < n do
+    k := !k + Unix.write_substring conn.d.req_w line !k (n - !k)
+  done
+
+let recv conn =
+  let rec pull () =
+    match conn.inbox with
+    | j :: rest ->
+      conn.inbox <- rest;
+      j
+    | [] ->
+      (match Unix.read conn.d.resp_r conn.chunk 0 (Bytes.length conn.chunk) with
+      | 0 -> failwith "exp_shard: daemon closed the stream"
+      | n ->
+        conn.inbox <-
+          List.filter_map
+            (function Frame.Frame f -> Some (Json.parse f) | Frame.Oversized _ -> None)
+            (Frame.feed conn.reader conn.chunk n);
+        pull ())
+  in
+  pull ()
+
+let close conn = stop_daemon conn.d
+
+let sfield j n = Option.bind (Json.member n j) Json.to_string_opt
+let ifield j n = Option.bind (Json.member n j) Json.to_int_opt
+
+let fetch_stats conn =
+  send conn "{\"id\":-1,\"op\":\"stats\"}";
+  let rec wait () =
+    let j = recv conn in
+    if sfield j "op" = Some "stats" then Option.value (Json.member "stats" j) ~default:Json.Null
+    else wait ()
+  in
+  wait ()
+
+let stat_counter stats name =
+  match Option.bind (Json.member "counters" stats) (Json.member name) with
+  | Some v -> Option.value (Json.to_int_opt v) ~default:0
+  | None -> 0
+
+(* ---- corpus ---- *)
+
+type job = { name : string; text : string; expected_digest : string }
+
+(* The daemon parses the wire text, so the reference transformation starts
+   from the same parse (labels are renumbered in print order). *)
+let prepare_jobs jobs =
+  List.map
+    (fun (j : Corpus.job) ->
+      let text = Cfg.to_string j.Corpus.graph in
+      let g = Cfg_text.parse text in
+      {
+        name = j.Corpus.name;
+        text;
+        expected_digest = Digest.to_hex (Digest.string (Cfg.to_string (fst (Lcm_edge.transform g))));
+      })
+    jobs
+  |> Array.of_list
+
+let run_frame ?(retain = false) ~id text =
+  Printf.sprintf "{\"id\":%d,\"op\":\"run\",\"format\":\"cfg\"%s,\"program\":%s}" id
+    (if retain then ",\"retain\":true" else "")
+    (Json.to_string (Json.String text))
+
+(* ---- phase 1: open-loop scaling ---- *)
+
+type scale_result = {
+  shards : int;
+  requests : int;
+  ok : int;
+  rejected : int;
+  errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  mismatches : int;
+  routed : (string * int) list;  (** per-worker routed counts from the stats merge *)
+}
+
+let quantile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Open-loop driver over the router: requests offered on a fixed schedule
+   regardless of completions (buffered client side so neither pipe can
+   deadlock), cache disabled so repeats of the cycled corpus are real
+   solves and the measured rps is solver throughput, not cache hits. *)
+let run_scale ~shards ~jobs ~offered_rps ~requests =
+  let d =
+    spawn_daemon
+      ~args:[ "--shards"; string_of_int shards; "--cache"; "0"; "--workers"; "1"; "--queue"; "64" ]
+  in
+  Unix.set_nonblock d.req_w;
+  let outbuf = Buffer.create 65536 in
+  let flush_client () =
+    if Buffer.length outbuf > 0 then begin
+      let s = Buffer.contents outbuf in
+      match Unix.write_substring d.req_w s 0 (String.length s) with
+      | k ->
+        Buffer.clear outbuf;
+        if k < String.length s then Buffer.add_substring outbuf s k (String.length s - k)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    end
+  in
+  let reader = Frame.create ~max_frame:(1 lsl 22) in
+  let chunk = Bytes.create 65536 in
+  let njobs = Array.length jobs in
+  let send_times = Array.make requests 0. in
+  let latencies = ref [] in
+  let ok = ref 0 and rejected = ref 0 and errors = ref 0 and completed = ref 0 in
+  let mismatches = ref 0 in
+  let stats = ref Json.Null in
+  let handle_frame f =
+    let j = Json.parse f in
+    if sfield j "op" = Some "stats" then
+      stats := Option.value (Json.member "stats" j) ~default:Json.Null
+    else begin
+      incr completed;
+      (match ifield j "id" with
+      | Some id when id >= 0 && id < requests ->
+        latencies := ((now () -. send_times.(id)) *. 1000.) :: !latencies
+      | _ -> ());
+      match sfield j "status" with
+      | Some "ok" ->
+        incr ok;
+        let k = match ifield j "id" with Some id -> id mod njobs | None -> 0 in
+        (match sfield j "program" with
+        | Some p when Digest.to_hex (Digest.string p) <> jobs.(k).expected_digest -> incr mismatches
+        | Some _ -> ()
+        | None -> incr mismatches)
+      | _ -> if sfield j "code" = Some "overloaded" then incr rejected else incr errors
+    end
+  in
+  let read_available () =
+    match Unix.read d.resp_r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      List.iter
+        (function Frame.Frame f -> handle_frame f | Frame.Oversized _ -> ())
+        (Frame.feed reader chunk n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  let t0 = now () in
+  let sent = ref 0 in
+  let stats_sent = ref false in
+  while !completed < requests || !stats = Json.Null do
+    let t = now () in
+    let due = t0 +. (float_of_int !sent /. offered_rps) in
+    if !sent < requests && t >= due then begin
+      let id = !sent in
+      send_times.(id) <- t;
+      Buffer.add_string outbuf (run_frame ~id jobs.(id mod njobs).text);
+      Buffer.add_char outbuf '\n';
+      incr sent
+    end
+    else begin
+      if !sent >= requests && !completed >= requests && not !stats_sent then begin
+        Buffer.add_string outbuf "{\"id\":-1,\"op\":\"stats\"}\n";
+        stats_sent := true
+      end;
+      flush_client ();
+      let next_send = if !sent < requests then Float.max 0. (due -. t) else 0.05 in
+      let wfds = if Buffer.length outbuf > 0 then [ d.req_w ] else [] in
+      match Unix.select [ d.resp_r ] wfds [] (Float.min next_send 0.05) with
+      | rs, ws, _ ->
+        if ws <> [] then flush_client ();
+        if rs <> [] then read_available ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done;
+  let wall_s = now () -. t0 in
+  stop_daemon d;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let routed =
+    List.init shards (fun w ->
+        let name = Printf.sprintf "shard.routed.w%d" w in
+        (name, stat_counter !stats name))
+  in
+  {
+    shards;
+    requests;
+    ok = !ok;
+    rejected = !rejected;
+    errors = !errors;
+    wall_s;
+    throughput_rps = float_of_int !ok /. wall_s;
+    p50_ms = quantile lat 0.5;
+    p99_ms = quantile lat 0.99;
+    mismatches = !mismatches;
+    routed;
+  }
+
+(* ---- phase 2: content-addressed cache on a dup-heavy corpus ---- *)
+
+type cache_result = {
+  jobs_sent : int;
+  hit_responses : int;
+  miss_responses : int;
+  hits_counter : int;
+  misses_counter : int;
+  hit_p50_ms : float;
+  miss_p50_ms : float;
+  speedup : float;
+  cache_mismatches : int;
+}
+
+(* Cache economics only show when a solve costs something: 120-block
+   graphs put the full-solve p50 well clear of the router's fixed
+   per-request overhead (canonicalize + digest + frame I/O), which is
+   what a cache hit costs. *)
+let run_cache ~quick ~dup_rate =
+  let spec = if quick then [ (30, 24) ] else [ (120, 120) ] in
+  let jobs = prepare_jobs (Corpus.generate ~dup_rate spec) in
+  let conn = connect ~args:[ "--shards"; "2"; "--cache"; "1024"; "--workers"; "1" ] in
+  let hit_lat = ref [] and miss_lat = ref [] in
+  let hits = ref 0 and misses = ref 0 and mism = ref 0 in
+  (* Closed loop, one outstanding request: by the time a duplicate is
+     offered its original has completed, so duplicates hit the cache
+     proper rather than coalescing onto an in-flight solve. *)
+  Array.iteri
+    (fun id j ->
+      let t0 = now () in
+      let resp = recv (send conn (run_frame ~id j.text); conn) in
+      let dt = (now () -. t0) *. 1000. in
+      (match sfield resp "program" with
+      | Some p when Digest.to_hex (Digest.string p) <> j.expected_digest -> incr mism
+      | Some _ -> ()
+      | None -> incr mism);
+      if sfield resp "cache" = Some "hit" then begin
+        incr hits;
+        hit_lat := dt :: !hit_lat
+      end
+      else begin
+        incr misses;
+        miss_lat := dt :: !miss_lat
+      end)
+    jobs;
+  let stats = fetch_stats conn in
+  close conn;
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let hp50 = quantile (sorted !hit_lat) 0.5 and mp50 = quantile (sorted !miss_lat) 0.5 in
+  {
+    jobs_sent = Array.length jobs;
+    hit_responses = !hits;
+    miss_responses = !misses;
+    hits_counter = stat_counter stats "cache.hits_total";
+    misses_counter = stat_counter stats "cache.misses_total";
+    hit_p50_ms = hp50;
+    miss_p50_ms = mp50;
+    speedup = (if hp50 > 0. then mp50 /. hp50 else 0.);
+    cache_mismatches = !mism;
+  }
+
+(* ---- phase 3: retain + delta, incremental vs from-scratch ---- *)
+
+(* The canonical text of a retained graph, split into header and blocks so
+   a pool-preserving edit can be synthesized: blocks are "B<n>:" headers
+   followed by indented lines, the last of which is the terminator. *)
+let split_blocks text =
+  let lines = String.split_on_char '\n' (String.trim text) in
+  match lines with
+  | header :: rest ->
+    let blocks = ref [] and cur = ref None in
+    let flush () = match !cur with Some (n, ls) -> blocks := (n, List.rev ls) :: !blocks; cur := None | None -> () in
+    List.iter
+      (fun line ->
+        if String.length line > 0 && line.[0] = 'B' && String.length (String.trim line) > 1
+           && line.[String.length (String.trim line) - 1] = ':' then begin
+          flush ();
+          cur := Some (String.sub (String.trim line) 0 (String.length (String.trim line) - 1), [])
+        end
+        else
+          match !cur with
+          | Some (n, ls) when String.trim line <> "" -> cur := Some (n, String.trim line :: ls)
+          | _ -> ())
+      rest;
+    flush ();
+    (header, List.rev !blocks)
+  | [] -> failwith "empty program"
+
+(* Find the rhs of some candidate computation in the program: a line of
+   the shape "x := a OP b".  Re-computing that rhs into a fresh variable
+   changes local bits but not the candidate pool, which is exactly the
+   admissibility condition for the incremental re-solve. *)
+let find_candidate_rhs blocks =
+  let is_binop s =
+    match String.index_opt s ':' with
+    | Some i when i + 1 < String.length s && s.[i + 1] = '=' ->
+      let rhs = String.trim (String.sub s (i + 2) (String.length s - i - 2)) in
+      let has op = List.exists (fun p -> p = op) (String.split_on_char ' ' rhs) in
+      if has "+" || has "-" || has "*" then Some rhs else None
+    | _ -> None
+  in
+  List.find_map (fun (_, lines) -> List.find_map is_binop lines) blocks
+
+let rebuild header blocks =
+  String.concat "\n"
+    (header :: List.concat_map (fun (n, ls) -> (n ^ ":") :: List.map (fun l -> "  " ^ l) ls) blocks)
+  ^ "\n"
+
+(* Append [instr] to block [bname] (before its terminator); returns the
+   patched whole-program text and the edited block's new body (the wire
+   `delta` edit replaces the block's instruction list wholesale). *)
+let append_instr header blocks bname instr =
+  let patched =
+    List.map
+      (fun (n, ls) ->
+        if n = bname then
+          match List.rev ls with
+          | term :: body_rev -> (n, List.rev (term :: instr :: body_rev))
+          | [] -> (n, [ instr ])
+        else (n, ls))
+      blocks
+  in
+  let body = match List.assoc_opt bname patched with Some ls -> List.filteri (fun i _ -> i < List.length ls - 1) ls | None -> [] in
+  (rebuild header patched, body)
+
+type incr_result = {
+  graphs : int;
+  incremental : int;  (** deltas the solver took on the incremental path *)
+  fewer_visits : int;  (** deltas with visits < full_visits *)
+  fewer_blocks : int;  (** deltas with region_blocks < blocks *)
+  incr_mismatches : int;  (** client-side digest mismatches vs from-scratch *)
+  delta_p50_ms : float;
+  full_p50_ms : float;
+  mean_region_frac : float;  (** mean region_blocks / blocks over incremental deltas *)
+  mean_visit_frac : float;  (** mean visits / full_visits over incremental deltas *)
+}
+
+let run_incr ~quick =
+  let spec = if quick then [ (30, 4) ] else [ (60, 16) ] in
+  let jobs = Corpus.generate ~seed:2207 spec in
+  let conn = connect ~args:[ "--shards"; "1"; "--cache"; "0"; "--workers"; "1" ] in
+  let incremental = ref 0 and fewer_v = ref 0 and fewer_b = ref 0 and mism = ref 0 in
+  let delta_lat = ref [] and full_lat = ref [] in
+  let region_fracs = ref [] and visit_fracs = ref [] in
+  let graphs = ref 0 in
+  List.iteri
+    (fun i (j : Corpus.job) ->
+      let text = Cfg.to_string j.Corpus.graph in
+      (* 1. retain *)
+      let resp = recv (send conn (run_frame ~retain:true ~id:(i * 10) text); conn) in
+      match (sfield resp "handle", sfield resp "retained_program") with
+      | Some handle, Some retained ->
+        let header, blocks = split_blocks retained in
+        (match find_candidate_rhs blocks with
+        | None -> ()  (* no candidate computation to re-use; skip graph *)
+        | Some rhs ->
+          incr graphs;
+          let bname = fst (List.nth blocks (List.length blocks / 2)) in
+          (* 2. pool-preserving delta, server-side validation on *)
+          let patched1, body1 = append_instr header blocks bname (Printf.sprintf "zq0 := %s" rhs) in
+          let edit =
+            Json.Obj
+              [
+                ("block", Json.String bname);
+                ("instrs", Json.List (List.map (fun l -> Json.String l) body1));
+              ]
+          in
+          let frame =
+            Json.to_string
+              (Json.Obj
+                 [
+                   ("id", Json.Int ((i * 10) + 1));
+                   ("op", Json.String "delta");
+                   ("handle", Json.String handle);
+                   ("edits", Json.List [ edit ]);
+                   ("validate", Json.Bool true);
+                 ])
+          in
+          let dresp = recv (send conn frame; conn) in
+          if sfield dresp "status" <> Some "ok" then failwith ("delta failed: " ^ Json.to_string dresp);
+          let solve = Option.value (Json.member "solve" dresp) ~default:Json.Null in
+          let gi n = Option.value (ifield solve n) ~default:0 in
+          if sfield solve "mode" = Some "incremental" then begin
+            incr incremental;
+            let blocks_n = gi "blocks" and region = gi "region_blocks" in
+            let visits = gi "visits" and fullv = gi "full_visits" in
+            if visits < fullv then incr fewer_v;
+            if region < blocks_n then incr fewer_b;
+            if blocks_n > 0 then region_fracs := (float_of_int region /. float_of_int blocks_n) :: !region_fracs;
+            if fullv > 0 then visit_fracs := (float_of_int visits /. float_of_int fullv) :: !visit_fracs
+          end;
+          (* client-side cross-check: transform the patched text from scratch *)
+          let expected = Cfg.to_string (fst (Lcm_edge.transform (Cfg_text.parse patched1))) in
+          (match sfield dresp "program" with
+          | Some p when p <> expected -> incr mism
+          | Some _ -> ()
+          | None -> incr mism);
+          (* 3. latency: a second delta without validation, vs a full run of
+             the same resulting text *)
+          let parsed1 = Cfg_text.parse patched1 in
+          let header1, blocks1 = split_blocks (Cfg.to_string parsed1) in
+          let patched2, body2 = append_instr header1 blocks1 bname (Printf.sprintf "zq1 := %s" rhs) in
+          let edit2 =
+            Json.Obj
+              [
+                ("block", Json.String bname);
+                ("instrs", Json.List (List.map (fun l -> Json.String l) body2));
+              ]
+          in
+          let dframe2 =
+            Json.to_string
+              (Json.Obj
+                 [
+                   ("id", Json.Int ((i * 10) + 2));
+                   ("op", Json.String "delta");
+                   ("handle", Json.String handle);
+                   ("edits", Json.List [ edit2 ]);
+                 ])
+          in
+          let t0 = now () in
+          let d2 = recv (send conn dframe2; conn) in
+          let t_delta = (now () -. t0) *. 1000. in
+          if sfield d2 "status" = Some "ok" then delta_lat := t_delta :: !delta_lat;
+          let t1 = now () in
+          let fr = recv (send conn (run_frame ~id:((i * 10) + 3) patched2); conn) in
+          let t_full = (now () -. t1) *. 1000. in
+          if sfield fr "status" = Some "ok" then full_lat := t_full :: !full_lat;
+          (* the delta'd handle and the full run must agree bit-for-bit *)
+          (match (sfield d2 "program", sfield fr "program") with
+          | Some a, Some b when a <> b -> incr mism
+          | _ -> ()))
+      | _ -> failwith ("retain failed: " ^ Json.to_string resp))
+    jobs;
+  close conn;
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let mean = function [] -> 0. | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+  {
+    graphs = !graphs;
+    incremental = !incremental;
+    fewer_visits = !fewer_v;
+    fewer_blocks = !fewer_b;
+    incr_mismatches = !mism;
+    delta_p50_ms = quantile (sorted !delta_lat) 0.5;
+    full_p50_ms = quantile (sorted !full_lat) 0.5;
+    mean_region_frac = mean !region_fracs;
+    mean_visit_frac = mean !visit_fracs;
+  }
+
+(* ---- reporting ---- *)
+
+let print_scale rows =
+  let t =
+    Table.create
+      [ "shards"; "requests"; "ok"; "rejected"; "errors"; "rps served"; "p50 ms"; "p99 ms"; "speedup" ]
+  in
+  let base = match rows with r :: _ -> r.throughput_rps | [] -> 1. in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Table.cell_int r.shards;
+          Table.cell_int r.requests;
+          Table.cell_int r.ok;
+          Table.cell_int r.rejected;
+          Table.cell_int r.errors;
+          Printf.sprintf "%.0f" r.throughput_rps;
+          Table.cell_float ~decimals:2 r.p50_ms;
+          Table.cell_float ~decimals:2 r.p99_ms;
+          Printf.sprintf "%.2fx" (r.throughput_rps /. base);
+        ])
+    rows;
+  Table.print t
+
+let json_of_scale r =
+  Json.Obj
+    [
+      ("shards", Json.Int r.shards);
+      ("requests", Json.Int r.requests);
+      ("ok", Json.Int r.ok);
+      ("rejected_overloaded", Json.Int r.rejected);
+      ("errors", Json.Int r.errors);
+      ("wall_s", Json.Float r.wall_s);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("digest_mismatches", Json.Int r.mismatches);
+      ("routed", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.routed));
+    ]
+
+let json_of_cache c =
+  Json.Obj
+    [
+      ("jobs", Json.Int c.jobs_sent);
+      ("hit_responses", Json.Int c.hit_responses);
+      ("miss_responses", Json.Int c.miss_responses);
+      ("router_cache_hits", Json.Int c.hits_counter);
+      ("router_cache_misses", Json.Int c.misses_counter);
+      ("hit_ratio", Json.Float (float_of_int c.hit_responses /. float_of_int (max 1 c.jobs_sent)));
+      ("hit_p50_ms", Json.Float c.hit_p50_ms);
+      ("miss_p50_ms", Json.Float c.miss_p50_ms);
+      ("hit_speedup", Json.Float c.speedup);
+      ("digest_mismatches", Json.Int c.cache_mismatches);
+    ]
+
+let json_of_incr r =
+  Json.Obj
+    [
+      ("graphs", Json.Int r.graphs);
+      ("incremental_deltas", Json.Int r.incremental);
+      ("deltas_with_fewer_visits", Json.Int r.fewer_visits);
+      ("deltas_with_smaller_region", Json.Int r.fewer_blocks);
+      ("digest_mismatches", Json.Int r.incr_mismatches);
+      ("delta_p50_ms", Json.Float r.delta_p50_ms);
+      ("full_run_p50_ms", Json.Float r.full_p50_ms);
+      ("mean_region_fraction", Json.Float r.mean_region_frac);
+      ("mean_visit_fraction", Json.Float r.mean_visit_frac);
+    ]
+
+let emit_json ?(path = "BENCH_shard.json") ~scale ~cache ~incr () =
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "shard");
+        ( "benchmark",
+          Json.String
+            "sharded serving: fleet scaling, content-addressed result cache, incremental delta re-solve" );
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("scaling", Json.List (List.map json_of_scale scale));
+        ("cache", json_of_cache cache);
+        ("incremental", json_of_incr incr);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "wrote %s" path
+
+let run_mode ~quick () =
+  Common.section
+    (if quick then "EXP-SHARD  Sharded serving (quick smoke run)"
+     else "EXP-SHARD  Sharded serving: fleet scaling, result cache, incremental deltas");
+
+  (* 1. scaling *)
+  let shard_counts = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let spec = if quick then [ (30, 8) ] else [ (40, 32) ] in
+  let jobs = prepare_jobs (Corpus.generate spec) in
+  let offered, requests = if quick then (400., 80) else (4000., 4000) in
+  let scale =
+    List.map
+      (fun shards ->
+        Common.note "scaling: %d shard(s), offering %.0f rps (%d requests)..." shards offered
+          requests;
+        run_scale ~shards ~jobs ~offered_rps:offered ~requests)
+      shard_counts
+  in
+  print_scale scale;
+  let scale_mism = List.fold_left (fun a r -> a + r.mismatches) 0 scale in
+  Common.note "routing digest cross-check: %s"
+    (if scale_mism = 0 then "bit-identical across the fleet"
+     else Printf.sprintf "%d MISMATCHES" scale_mism);
+
+  (* 2. cache *)
+  Common.note "cache: serving a dup-heavy corpus (dup_rate 0.5) through the router cache...";
+  let cache = run_cache ~quick ~dup_rate:0.5 in
+  Common.note "cache: %d/%d hits (router counters %d/%d), hit p50 %.3f ms vs solve p50 %.3f ms (%.1fx)"
+    cache.hit_responses cache.jobs_sent cache.hits_counter cache.misses_counter cache.hit_p50_ms
+    cache.miss_p50_ms cache.speedup;
+
+  (* 3. incremental *)
+  Common.note "incremental: retain + pool-preserving deltas...";
+  let incr_r = run_incr ~quick in
+  Common.note
+    "incremental: %d/%d deltas on the incremental path; %d visited fewer blocks, %d fewer transfer \
+     applications; delta p50 %.3f ms vs full run p50 %.3f ms"
+    incr_r.incremental incr_r.graphs incr_r.fewer_blocks incr_r.fewer_visits incr_r.delta_p50_ms
+    incr_r.full_p50_ms;
+
+  (* invariants *)
+  let fail = ref false in
+  if scale_mism > 0 then begin
+    Common.note "FAIL: routed responses diverged from in-process transforms";
+    fail := true
+  end;
+  if cache.cache_mismatches > 0 then begin
+    Common.note "FAIL: cached responses diverged from in-process transforms";
+    fail := true
+  end;
+  if cache.hit_responses = 0 then begin
+    Common.note "FAIL: dup-heavy corpus produced no cache hits";
+    fail := true
+  end;
+  if incr_r.incr_mismatches > 0 then begin
+    Common.note "FAIL: incremental re-solve diverged from from-scratch transforms";
+    fail := true
+  end;
+  if incr_r.graphs > 0 && (incr_r.incremental < incr_r.graphs || incr_r.fewer_visits < incr_r.incremental)
+  then begin
+    Common.note "FAIL: some pool-preserving deltas fell back to full solves or saved no work";
+    fail := true
+  end;
+  if not quick then begin
+    if cache.speedup < 5. then begin
+      Common.note "FAIL: cache-hit p50 not >= 5x below full-solve p50 (got %.1fx)" cache.speedup;
+      fail := true
+    end;
+    let r1 = List.hd scale and rN = List.nth scale (List.length scale - 1) in
+    if rN.throughput_rps < r1.throughput_rps then
+      Common.note "note: fleet rps did not exceed single-worker rps on this host"
+  end;
+  if !fail then exit 1;
+  if not quick then emit_json ~scale ~cache ~incr:incr_r ()
+
+let run () = run_mode ~quick:false ()
+let run_quick () = run_mode ~quick:true ()

@@ -363,6 +363,7 @@ module Frame = Lcm_server.Frame
 module Json = Lcm_server.Json
 module Supervisor = Lcm_server.Supervisor
 module Retry = Lcm_server.Retry
+module Router = Lcm_shard.Router
 
 let write_pid_file path =
   try
@@ -372,7 +373,8 @@ let write_pid_file path =
   with Sys_error m -> Printf.eprintf "cannot write pid file: %s\n" m
 
 let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing quiet supervise
-    max_restarts restart_backoff_ms restart_cap_ms state_file pid_file trace_dir =
+    max_restarts restart_backoff_ms restart_cap_ms state_file pid_file trace_dir shards
+    cache_entries =
   match (stdio, socket) with
   | false, None ->
     prerr_endline "serve: provide --stdio or --socket PATH";
@@ -381,31 +383,55 @@ let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing q
     prerr_endline "serve: provide either --stdio or --socket, not both";
     1
   | _ ->
+    let daemon_cfg ~state_file =
+      {
+        (Daemon.default_config ()) with
+        Daemon.queue_capacity = queue;
+        batch_max = batch;
+        max_frame;
+        default_deadline_ms = deadline_ms;
+        workers = (match workers with Some w -> w | None -> Lcm_support.Pool.default_size ());
+        no_timing;
+        quiet;
+        (* A standalone binary may die of chaos (that is what the
+           supervisor — or the shard router — is for); in-process daemons
+           never get this. *)
+        hard_faults = true;
+        state_file;
+        trace_dir;
+      }
+    in
     let serve ~state_file () =
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-      let drain = Sys.Signal_handle (fun _ -> Daemon.request_shutdown ()) in
-      Sys.set_signal Sys.sigterm drain;
-      Sys.set_signal Sys.sigint drain;
-      let cfg =
-        {
-          (Daemon.default_config ()) with
-          Daemon.queue_capacity = queue;
-          batch_max = batch;
-          max_frame;
-          default_deadline_ms = deadline_ms;
-          workers = (match workers with Some w -> w | None -> Lcm_support.Pool.default_size ());
-          no_timing;
-          quiet;
-          (* A standalone binary may die of chaos (that is what the
-             supervisor is for); in-process daemons never get this. *)
-          hard_faults = true;
-          state_file;
-          trace_dir;
-        }
-      in
-      match socket with
-      | Some path -> Daemon.serve_unix_socket cfg ~path
-      | None -> Daemon.serve_fds cfg ~fd_in:Unix.stdin ~fd_out:Unix.stdout
+      if shards > 0 then begin
+        (* Sharded mode: this process routes; the daemons are its forked
+           children.  State files and chaos epochs are per worker, managed
+           by the router, so --state-file only names the template's. *)
+        let drain = Sys.Signal_handle (fun _ -> Router.request_shutdown ()) in
+        Sys.set_signal Sys.sigterm drain;
+        Sys.set_signal Sys.sigint drain;
+        let rcfg =
+          {
+            (Router.default_config ()) with
+            Router.shards;
+            cache_capacity = cache_entries;
+            daemon = { (daemon_cfg ~state_file:None) with Daemon.quiet = true };
+            quiet;
+          }
+        in
+        match socket with
+        | Some path -> Router.serve_unix_socket rcfg ~path
+        | None -> Router.serve_fds rcfg ~fd_in:Unix.stdin ~fd_out:Unix.stdout
+      end
+      else begin
+        let drain = Sys.Signal_handle (fun _ -> Daemon.request_shutdown ()) in
+        Sys.set_signal Sys.sigterm drain;
+        Sys.set_signal Sys.sigint drain;
+        let cfg = daemon_cfg ~state_file in
+        match socket with
+        | Some path -> Daemon.serve_unix_socket cfg ~path
+        | None -> Daemon.serve_fds cfg ~fd_in:Unix.stdin ~fd_out:Unix.stdout
+      end
     in
     if supervise then begin
       let state_file =
@@ -589,6 +615,15 @@ let request_cmd socket file workload func_name algorithm simplify workers deadli
       match attempt_once () with
       | `Ok frame ->
         print_endline frame;
+        (* Serving metadata (sharded daemons echo who answered): report it
+           on stderr so stdout stays exactly the response frame. *)
+        (let j = Json.parse frame in
+         match (Option.bind (Json.member "worker" j) Json.to_int_opt, Json.member "cache" j) with
+         | Some w, Some (Json.String "hit") ->
+           Printf.eprintf "request: served from the router cache (computed by worker %d)\n%!" w
+         | Some w, _ -> Printf.eprintf "request: served by worker %d\n%!" w
+         | None, Some (Json.String "hit") -> Printf.eprintf "request: served from the router cache\n%!"
+         | None, _ -> ());
         0
       | `Final frame ->
         print_endline frame;
@@ -838,10 +873,26 @@ let serve_term =
              $(docv)/<trace_id>.trace.json in Chrome trace_event format.  Retries and supervised \
              restarts that reuse a client trace_id append to the same file.")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the daemon over $(docv) worker processes behind a routing front: requests are \
+             consistent-hashed by canonical program digest, results are cached content-addressed \
+             at the router, crashed workers are respawned and their in-flight requests replayed \
+             on a sibling.  0 (the default) serves from a single in-process daemon.")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Router result-cache capacity in entries under --shards; 0 disables caching.")
+  in
   Term.(
     const serve_cmd $ stdio $ socket $ queue $ batch $ max_frame $ deadline $ workers $ no_timing
     $ quiet $ supervise $ max_restarts $ restart_backoff_ms $ restart_cap_ms $ state_file
-    $ pid_file $ trace_dir)
+    $ pid_file $ trace_dir $ shards $ cache_entries)
 
 let request_term =
   let socket =

@@ -450,3 +450,9 @@ let pp ppf g =
   Format.fprintf ppf "@]"
 
 let to_string g = Format.asprintf "%a" pp g
+
+(* Content address of the printed form.  [to_string] prints blocks in
+   allocation order with dense labels, so two graphs that parse to the
+   same structure digest identically — the serving cache and the shard
+   router both key on this. *)
+let digest g = Digest.to_hex (Digest.string (to_string g))

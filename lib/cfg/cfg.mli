@@ -132,3 +132,9 @@ val num_candidate_occurrences : t -> int
 val pp_terminator : Format.formatter -> terminator -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Hex MD5 of {!to_string} — the canonical content address of the graph.
+    Structurally identical graphs (same blocks in allocation order, same
+    instructions and edges) digest identically regardless of how they were
+    built; the result cache and the shard router key on this. *)
+val digest : t -> string

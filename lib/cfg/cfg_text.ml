@@ -88,6 +88,13 @@ let parse_term line ws =
     Some (T_branch (parse_operand line c, parse_label line a, parse_label line b))
   | _ -> None
 
+(* Line-level entry points for the serving [delta] op: a patch edits a
+   retained graph with the same surface syntax as whole-graph documents,
+   one instruction or terminator per string.  Errors report line 0 (the
+   caller knows which edit it fed in). *)
+let parse_instr_line s = parse_instr 0 (words (String.trim s))
+let parse_term_line s = parse_term 0 (words (String.trim s))
+
 type block_acc = {
   text_label : int;
   mutable instrs_rev : Instr.t list;

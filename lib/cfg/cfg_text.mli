@@ -29,3 +29,25 @@ val parse : string -> Cfg.t
 
 (** [to_string] is {!Cfg.to_string} (re-exported for symmetry). *)
 val to_string : Cfg.t -> string
+
+(** {2 Line-level parsing}
+
+    The serving protocol's [delta] op patches a retained graph one line at
+    a time, in this same surface syntax.  Labels in terminators are the
+    *textual* numbers; the caller resolves them against its graph (for a
+    canonically printed graph, text label [Bn] is internal label [n]). *)
+
+(** A terminator line with unresolved textual labels. *)
+type parsed_term =
+  | T_goto of int
+  | T_branch of Lcm_ir.Expr.operand * int * int
+  | T_halt
+
+(** Parse one instruction line ([v := a + b], [print x]).
+    Raises {!Parse_error} (line number 0). *)
+val parse_instr_line : string -> Lcm_ir.Instr.t
+
+(** Parse one terminator line ([goto B2], [if p then B2 else B1],
+    [halt]); [None] when the line is not terminator-shaped.
+    Raises {!Parse_error} (line number 0) on malformed labels/operands. *)
+val parse_term_line : string -> parsed_term option

@@ -1,0 +1,54 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type edit =
+  | Set_instrs of Label.t * Lcm_ir.Instr.t list
+  | Set_term of Label.t * Cfg.terminator
+  | Add_block of Lcm_ir.Instr.t list * Cfg.terminator
+
+let check_block g l what = if not (Cfg.mem g l) then err "%s names unknown block B%d" what l
+
+let check_term g l term =
+  (match term with
+  | Cfg.Halt when not (Label.equal l (Cfg.exit_label g)) -> err "only the exit block B1 may halt"
+  | _ -> ());
+  let targets =
+    match term with
+    | Cfg.Goto m -> [ m ]
+    | Cfg.Branch (_, a, b) -> [ a; b ]
+    | Cfg.Halt -> []
+  in
+  List.iter (fun t -> check_block g t "terminator") targets
+
+let apply g edits =
+  let dirty = ref [] in
+  let push l = dirty := l :: !dirty in
+  List.iter
+    (fun edit ->
+      match edit with
+      | Set_instrs (l, instrs) ->
+        check_block g l "set_instrs";
+        Cfg.set_instrs g l instrs;
+        push l
+      | Set_term (l, term) ->
+        check_block g l "set_term";
+        check_term g l term;
+        (* Both fringes are dirty: old successors lost a predecessor, new
+           ones gained one — either way their meet inputs changed. *)
+        List.iter push (Cfg.successors g l);
+        Cfg.set_term g l term;
+        push l;
+        List.iter push (Cfg.successors g l)
+      | Add_block (instrs, term) ->
+        let l = Cfg.label_bound g in
+        check_term g l term;
+        let l' = Cfg.add_block g ~instrs ~term in
+        assert (Label.equal l l');
+        push l';
+        List.iter push (Cfg.successors g l'))
+    edits;
+  (match Validate.check g with
+  | [] -> ()
+  | issues -> err "patched graph invalid: %s" (String.concat "; " issues));
+  List.sort_uniq compare !dirty

@@ -171,10 +171,7 @@ let solve_safety_systems ?workers ?scratch g local =
 (* Span names follow the paper's cascade: down-safety (ANTIC), earliestness,
    delay (LATERIN), latestness — the four phases a trace of one LCM solve
    must show (the up-safety AVAIL system rides along as "lcm.up_safety"). *)
-let analyze ?pool ?workers ?scratch g =
-  let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
-  let local = Trace.span "lcm.local" (fun () -> Local.compute ?scratch g pool) in
-  let avail, antic = solve_safety_systems ?workers ?scratch g local in
+let finish ?scratch g pool local avail antic =
   let earliest_flat =
     Trace.span "lcm.earliest" (fun () -> compute_earliest ?scratch g local avail antic)
   in
@@ -254,6 +251,65 @@ let analyze ?pool ?workers ?scratch g =
     sweeps = avail.Avail.sweeps + antic.Antic.sweeps + later_sweeps;
     visits = avail.Avail.visits + antic.Antic.visits + later_visits;
   }
+
+let analyze ?pool ?workers ?scratch g =
+  let pool = match pool with Some p -> p | None -> Cfg.candidate_pool g in
+  let local = Trace.span "lcm.local" (fun () -> Local.compute ?scratch g pool) in
+  let avail, antic = solve_safety_systems ?workers ?scratch g local in
+  finish ?scratch g pool local avail antic
+
+(* --- incremental analysis ------------------------------------------------
+
+   The safety systems (AVAIL/ANTIC) dominate the cascade's iteration cost
+   and are the only fixpoints worth restarting: EARLIEST, the LATERIN
+   delay fixpoint and latestness are straight recomputation over the
+   (changed) graph.  A capture is admissible only while the candidate
+   expression pool is unchanged — bit index i must mean the same
+   expression in both solves — so [analyze_incr] re-derives the pool and
+   compares it against the snapshot before touching the saved fixpoints. *)
+
+type saved = {
+  saved_pool : Expr_pool.t;
+  saved_avail : Lcm_dataflow.Solver.saved;
+  saved_antic : Lcm_dataflow.Solver.saved;
+}
+
+let analyze_keep ?scratch g =
+  let pool = Cfg.candidate_pool g in
+  let local = Trace.span "lcm.local" (fun () -> Local.compute ?scratch g pool) in
+  let avail, saved_avail =
+    Trace.span "lcm.up_safety" (fun () -> Avail.compute_keep ?scratch g local)
+  in
+  let antic, saved_antic =
+    Trace.span "lcm.down_safety" (fun () -> Antic.compute_keep ?scratch g local)
+  in
+  (finish ?scratch g pool local avail antic, { saved_pool = pool; saved_avail; saved_antic })
+
+let analyze_incr ?scratch g ~prev ~dirty =
+  let pool = Cfg.candidate_pool g in
+  let same_pool =
+    List.equal
+      (fun (i, e) (j, f) -> i = j && Lcm_ir.Expr.equal e f)
+      (Expr_pool.to_list pool) (Expr_pool.to_list prev.saved_pool)
+  in
+  if not same_pool then None
+  else begin
+    let local = Trace.span "lcm.local" (fun () -> Local.compute ?scratch g pool) in
+    match
+      Trace.span "lcm.up_safety" (fun () ->
+          Avail.compute_incr ?scratch g local ~prev:prev.saved_avail ~dirty)
+    with
+    | None -> None
+    | Some (avail, saved_avail, region_a) ->
+      (match
+         Trace.span "lcm.down_safety" (fun () ->
+             Antic.compute_incr ?scratch g local ~prev:prev.saved_antic ~dirty)
+       with
+      | None -> None
+      | Some (antic, saved_antic, region_b) ->
+        let a = finish ?scratch g pool local avail antic in
+        Some (a, { saved_pool = pool; saved_avail; saved_antic }, max region_a region_b))
+  end
 
 let spec g a =
   {

@@ -62,6 +62,33 @@ val analyze :
   Lcm_cfg.Cfg.t ->
   analysis
 
+(** A captured analysis for incremental restart: the candidate pool
+    snapshot plus the saved AVAIL/ANTIC fixpoints (heap copies — safe to
+    retain across requests and arena resets).  The serving layer keeps one
+    per retained graph handle. *)
+type saved
+
+(** [analyze_keep g] is [analyze g] (sequential path) that additionally
+    captures the safety fixpoints for {!analyze_incr}. *)
+val analyze_keep : ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> analysis * saved
+
+(** [analyze_incr g ~prev ~dirty] re-analyzes the patched graph [g] from
+    the capture saved before the patch: the AVAIL/ANTIC fixpoints restart
+    from the dirty frontier ({!Lcm_dataflow.Solver.resolve}) and visit
+    only the affected region, while EARLIEST/LATERIN/latestness are
+    recomputed outright.  [dirty] is {!Lcm_cfg.Patch.apply}'s seed.
+    Returns the analysis (bit-identical to a from-scratch [analyze g]), a
+    fresh capture, and the affected-region size in blocks (max over the
+    two systems).  [None] when the capture is inadmissible — the patch
+    changed the candidate expression pool, so bit indices shifted — in
+    which case callers fall back to {!analyze_keep}. *)
+val analyze_incr :
+  ?scratch:Lcm_support.Arena.t ->
+  Lcm_cfg.Cfg.t ->
+  prev:saved ->
+  dirty:Label.t list ->
+  (analysis * saved * int) option
+
 (** Decision of [analyze] as a transformation spec. *)
 val spec : Lcm_cfg.Cfg.t -> analysis -> Transform.spec
 

@@ -91,3 +91,36 @@ let compute_partial ?scratch g local =
 
 let compute_par ?pool ?threshold ?scratch g local =
   solve "solve.antic" (fun () -> run_par Solver.Inter ?pool ?threshold ?scratch g local)
+
+(* Incremental variants; backward twin of [Avail.compute_keep/_incr]. *)
+let spec_of ?scratch local =
+  let nbits = Local.nbits local in
+  {
+    Solver.nbits;
+    direction = Solver.Backward;
+    confluence = Solver.Inter;
+    boundary = Arena.alloc scratch nbits;
+    transfer = transfer local;
+  }
+
+let of_result (result : Solver.result) =
+  {
+    antin = result.Solver.block_in;
+    antout = result.Solver.block_out;
+    sweeps = result.Solver.sweeps;
+    visits = result.Solver.visits;
+  }
+
+let compute_keep ?scratch g local =
+  Lcm_obs.Trace.span_attrs "solve.antic" (fun () ->
+      let result, saved = Solver.run_saved ?scratch g (spec_of ?scratch local) in
+      let r = of_result result in
+      ((r, saved), [ ("sweeps", string_of_int r.sweeps); ("visits", string_of_int r.visits) ]))
+
+let compute_incr ?scratch g local ~prev ~dirty =
+  Lcm_obs.Trace.span_attrs "solve.antic.incr" (fun () ->
+      match Solver.resolve ?scratch g (spec_of ?scratch local) ~prev ~dirty with
+      | None -> (None, [ ("fallback", "full") ])
+      | Some (result, saved, region) ->
+        ( Some (of_result result, saved, region),
+          [ ("region", string_of_int region); ("visits", string_of_int result.Solver.visits) ] ))

@@ -29,3 +29,17 @@ val compute_par :
   Lcm_cfg.Cfg.t ->
   Local.t ->
   t
+
+(** [compute_keep] is {!compute} that additionally captures the fixpoint
+    for incremental restart; backward twin of {!Avail.compute_keep}. *)
+val compute_keep :
+  ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> Local.t -> t * Solver.saved
+
+(** Backward twin of {!Avail.compute_incr}. *)
+val compute_incr :
+  ?scratch:Lcm_support.Arena.t ->
+  Lcm_cfg.Cfg.t ->
+  Local.t ->
+  prev:Solver.saved ->
+  dirty:Lcm_cfg.Label.t list ->
+  (t * Solver.saved * int) option

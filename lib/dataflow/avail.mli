@@ -30,3 +30,22 @@ val compute_par :
   Lcm_cfg.Cfg.t ->
   Local.t ->
   t
+
+(** [compute_keep] is {!compute} that additionally captures the fixpoint
+    for incremental restart (heap copies; safe to retain across arena
+    resets). *)
+val compute_keep :
+  ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> Local.t -> t * Solver.saved
+
+(** [compute_incr g local ~prev ~dirty] re-solves availability on the
+    patched graph [g] from the fixpoint saved before the patch, visiting
+    only the affected region (see {!Solver.resolve}); also returns the
+    region size.  [None] when [prev] is inadmissible (candidate pool
+    width changed) — fall back to {!compute_keep}. *)
+val compute_incr :
+  ?scratch:Lcm_support.Arena.t ->
+  Lcm_cfg.Cfg.t ->
+  Local.t ->
+  prev:Solver.saved ->
+  dirty:Lcm_cfg.Label.t list ->
+  (t * Solver.saved * int) option

@@ -208,7 +208,7 @@ let run_sweep st spec =
    near-optimal count.  [sweeps] is reported as the maximum number of times
    any single block was visited — the depth of iteration, the analogue of
    the round-robin sweep count. *)
-let run_worklist st spec =
+let run_worklist ?seeds st spec =
   let bound = st.adj.Cfg.adj_bound in
   let reachable = st.adj.Cfg.adj_rpo_pos in
   (* Priority = position in the processing order. *)
@@ -217,7 +217,8 @@ let run_worklist st spec =
   List.iteri (fun i l -> prio.(l) <- i) st.process_order;
   let nreach = List.length st.process_order in
   let q = Pq.create ?scratch:st.arena ~capacity:nreach ~bound prio in
-  List.iter (fun l -> Pq.push q l) st.process_order;
+  let seeds = match seeds with Some s -> s | None -> st.process_order in
+  List.iter (fun l -> Pq.push q l) seeds;
   let visits = ref 0 in
   let visit_count = Arena.alloc_int st.arena bound in
   while not (Pq.is_empty q) do
@@ -262,6 +263,107 @@ let run ?(engine = Worklist) ?scratch g spec =
     | Sweep -> run_sweep st spec
   in
   make_result ~direction:spec.direction ~live:st.live ~meet:st.meet ~flow:st.flow ~sweeps ~visits
+
+(* --- restartable entry point --------------------------------------------
+
+   The incremental tier of the serving protocol patches a retained CFG and
+   re-solves only the blocks a patch can influence.  Soundness rests on a
+   property [visit] already has: a block's meet is recomputed *entirely*
+   from its neighbors' flow on every visit (never updated in place), so a
+   solve may start from any assignment that agrees with the unique extreme
+   fixpoint outside the re-initialized region.
+
+   The affected region is the closure of the dirty seed under [dependents]
+   (successors forward, predecessors backward): exactly the blocks the
+   worklist could ever re-push from a changed seed.  Blocks outside it keep
+   their saved fixpoint values — which remain consistent, because any block
+   whose meet inputs or transfer changed is inside the region by
+   construction.  Blocks inside are reset to the from-scratch
+   initialization and seeded; chaotic iteration from the extreme element
+   with frozen fixpoint inputs converges to the restriction of the global
+   extreme fixpoint, so the combined result is bit-identical to a full
+   solve — at the cost of visiting only the region. *)
+
+type saved = {
+  s_nbits : int;
+  s_direction : direction;
+  s_bound : int;
+  s_meet : Bitvec.t array;
+  s_flow : Bitvec.t array;
+  s_reach : bool array;
+}
+
+(* Heap copies: solver state may live in a request arena that is reset when
+   the request finishes, but a saved fixpoint must outlive it. *)
+let save st spec =
+  let bound = st.adj.Cfg.adj_bound in
+  {
+    s_nbits = spec.nbits;
+    s_direction = spec.direction;
+    s_bound = bound;
+    s_meet = Array.init bound (fun l -> Bitvec.copy st.meet.(l));
+    s_flow = Array.init bound (fun l -> Bitvec.copy st.flow.(l));
+    s_reach = Array.init bound (fun l -> st.adj.Cfg.adj_rpo_pos.(l) >= 0);
+  }
+
+let run_saved ?scratch g spec =
+  let st = make_state ?scratch g spec in
+  let sweeps, visits = run_worklist st spec in
+  let result =
+    make_result ~direction:spec.direction ~live:st.live ~meet:st.meet ~flow:st.flow ~sweeps ~visits
+  in
+  (result, save st spec)
+
+let resolve ?scratch g spec ~prev ~dirty =
+  if prev.s_nbits <> spec.nbits || prev.s_direction <> spec.direction then None
+  else begin
+    let st = make_state ?scratch g spec in
+    let bound = st.adj.Cfg.adj_bound in
+    let reach = st.adj.Cfg.adj_rpo_pos in
+    let affected = Array.make bound false in
+    let stack = ref [] in
+    let mark l =
+      if l >= 0 && l < bound && not affected.(l) then begin
+        affected.(l) <- true;
+        stack := l :: !stack
+      end
+    in
+    (* Seeds: patched blocks, blocks newer than the save, and blocks whose
+       reachability flipped (their saved value belongs to the old shape). *)
+    List.iter mark dirty;
+    for l = prev.s_bound to bound - 1 do
+      mark l
+    done;
+    for l = 0 to min prev.s_bound bound - 1 do
+      if reach.(l) >= 0 <> prev.s_reach.(l) then mark l
+    done;
+    let rec close () =
+      match !stack with
+      | [] -> ()
+      | l :: rest ->
+        stack := rest;
+        Array.iter mark st.dependents.(l);
+        close ()
+    in
+    close ();
+    (* Outside the region: restore the saved fixpoint.  Inside: keep the
+       from-scratch initialization [make_state] just wrote (including the
+       boundary block's boundary value). *)
+    for l = 0 to min prev.s_bound bound - 1 do
+      if (not affected.(l)) && st.live.(l) then begin
+        ignore (Bitvec.blit ~src:prev.s_meet.(l) ~dst:st.meet.(l));
+        ignore (Bitvec.blit ~src:prev.s_flow.(l) ~dst:st.flow.(l))
+      end
+    done;
+    let seeds = List.filter (fun l -> affected.(l)) st.process_order in
+    let region = List.length seeds in
+    let sweeps, visits = run_worklist ~seeds st spec in
+    let result =
+      make_result ~direction:spec.direction ~live:st.live ~meet:st.meet ~flow:st.flow ~sweeps
+        ~visits
+    in
+    Some (result, save st spec, region)
+  end
 
 (* --- domain-parallel engine ---------------------------------------------
 

@@ -70,6 +70,43 @@ type result = {
     unchanged. *)
 val run : ?engine:engine -> ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> spec -> result
 
+(** A fixpoint captured for later incremental restart: heap copies of every
+    block's meet/flow vectors plus the shape facts ([nbits], direction,
+    label bound, per-label reachability) needed to decide whether a later
+    [resolve] against a patched graph is admissible.  Unlike a {!result}
+    obtained under [?scratch], a [saved] never aliases arena storage, so it
+    may be retained across requests. *)
+type saved
+
+(** [run_saved g spec] is [run g spec] (worklist engine) that additionally
+    captures the fixpoint for incremental restart. *)
+val run_saved :
+  ?scratch:Lcm_support.Arena.t -> Lcm_cfg.Cfg.t -> spec -> result * saved
+
+(** [resolve g spec ~prev ~dirty] re-solves [spec] on the patched graph
+    [g], reusing the fixpoint [prev] saved before the patch: the affected
+    region — the closure of [dirty] (plus any block added or whose
+    reachability changed since the save) under flow dependents — is reset
+    and re-iterated with the dense worklist seeded by it, while every other
+    block keeps its saved value.  [dirty] must contain every block whose
+    transfer function or meet inputs the patch changed (for a terminator
+    edit: the block itself plus its old and new successors).
+
+    Returns the result, a fresh [saved] for the next restart, and the
+    region size in blocks ([visits] counts only region visits).  The result
+    is bit-identical to a from-scratch [run g spec] — the property tests
+    and the serving [delta] op's validate mode both assert this.  Returns
+    [None] when [prev] is not admissible for [spec] ([nbits] or direction
+    mismatch — e.g. the patch changed the candidate expression pool), in
+    which case the caller should fall back to a full solve. *)
+val resolve :
+  ?scratch:Lcm_support.Arena.t ->
+  Lcm_cfg.Cfg.t ->
+  spec ->
+  prev:saved ->
+  dirty:Lcm_cfg.Label.t list ->
+  (result * saved * int) option
+
 (** Default [threshold] of {!run_par}, in bits per domain. *)
 val default_par_threshold : int
 

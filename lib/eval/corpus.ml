@@ -33,17 +33,38 @@ type report = {
   digest : string;  (** MD5 of the printed transformed graph *)
 }
 
-let generate ?(seed = 1905) counts =
-  List.concat_map
-    (fun (num_blocks, copies) ->
-      List.init copies (fun i ->
-          let rng = Prng.of_int (seed + (num_blocks * 7919) + i) in
-          {
-            name = Printf.sprintf "g%d_%d" num_blocks i;
-            graph =
-              Gencfg.random_cfg ~params:{ Gencfg.default_cfg_params with num_blocks } rng;
-          }))
-    counts
+let generate ?(seed = 1905) ?(dup_rate = 0.) counts =
+  let jobs =
+    List.concat_map
+      (fun (num_blocks, copies) ->
+        List.init copies (fun i ->
+            let rng = Prng.of_int (seed + (num_blocks * 7919) + i) in
+            {
+              name = Printf.sprintf "g%d_%d" num_blocks i;
+              graph =
+                Gencfg.random_cfg ~params:{ Gencfg.default_cfg_params with num_blocks } rng;
+            }))
+      counts
+  in
+  if dup_rate <= 0. then jobs
+  else begin
+    (* Duplicate-rate knob: each job after the first is, with probability
+       [dup_rate], replaced by a verbatim repeat of an earlier one (the
+       graph value is shared — printed text, and therefore content digest,
+       identical).  Models the repeated functions of a real build corpus;
+       a content-addressed cache should serve these without solving. *)
+    let rng = Prng.of_int (seed lxor 0x00d5_ca7e) in
+    let permille = int_of_float (Float.min 1000. (dup_rate *. 1000.)) in
+    let arr = Array.of_list jobs in
+    Array.iteri
+      (fun i j ->
+        if i > 0 && Prng.chance rng ~num:permille ~den:1000 then begin
+          let src = arr.(Prng.int_in rng 0 (i - 1)) in
+          arr.(i) <- { name = j.name ^ "_dup"; graph = src.graph }
+        end)
+      arr;
+    Array.to_list arr
+  end
 
 let total_blocks jobs = List.fold_left (fun acc j -> acc + Cfg.num_blocks j.graph) 0 jobs
 

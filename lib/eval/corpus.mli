@@ -23,10 +23,15 @@ type report = {
   digest : string;  (** MD5 hex of the printed transformed graph *)
 }
 
-(** [generate ?seed counts] builds a deterministic suite: for every
-    [(num_blocks, copies)] pair, [copies] random CFGs of [num_blocks]
-    blocks (distinct seeds per copy). *)
-val generate : ?seed:int -> (int * int) list -> job list
+(** [generate ?seed ?dup_rate counts] builds a deterministic suite: for
+    every [(num_blocks, copies)] pair, [copies] random CFGs of
+    [num_blocks] blocks (distinct seeds per copy).  [dup_rate] (0.0–1.0,
+    default 0: all distinct) is the probability that a job is replaced by
+    a verbatim duplicate of an earlier one — a controlled stand-in for
+    the repeated functions of a real build, used to exercise
+    content-addressed result caching ([--dup-rate] in the shard
+    benchmark). *)
+val generate : ?seed:int -> ?dup_rate:float -> (int * int) list -> job list
 
 (** Sum of block counts across the suite. *)
 val total_blocks : job list -> int

@@ -15,6 +15,7 @@ type config = {
   hard_faults : bool;  (* allow process-killing chaos points (daemon.crash) *)
   state_file : string option;  (* metrics persisted here across supervised restarts *)
   trace_dir : string option;  (* tracing on iff set; one Chrome file per trace id *)
+  worker_id : int option;  (* shard worker index: stamped into responses + handle names *)
 }
 
 let default_config () =
@@ -30,6 +31,7 @@ let default_config () =
     hard_faults = false;
     state_file = None;
     trace_dir = None;
+    worker_id = None;
   }
 
 (* One flag for the whole process so a signal handler has a fixed target;
@@ -198,7 +200,7 @@ let handle_frame st conn frame =
       st.served <- st.served + 1;
       send conn r;
       collect_trace st trace_id
-    | Protocol.Run _ | Protocol.Sleep _ ->
+    | Protocol.Run _ | Protocol.Delta _ | Protocol.Sleep _ ->
       (Trace.in_trace ~trace_id "daemon.admission" @@ fun () ->
       if Atomic.get shutdown_flag then
         admission_error st conn ~id:req.Protocol.id ~trace_id ~code:Protocol.Shutting_down
@@ -428,7 +430,7 @@ let make_state cfg ?listen_fd conns =
   let pool = Pool.create (max 1 cfg.workers) in
   {
     cfg;
-    engine = Engine.default_config ~pool ~no_timing:cfg.no_timing cfg.stats;
+    engine = Engine.default_config ~pool ~no_timing:cfg.no_timing ?worker_id:cfg.worker_id cfg.stats;
     pool;
     queue = Bqueue.create ~capacity:cfg.queue_capacity;
     conns;

@@ -49,6 +49,10 @@ type config = {
           client trace id land in the same file).  Frame I/O spans go to
           [daemon.trace.json].  Off (and tracing fully disabled) by
           default. *)
+  worker_id : int option;
+      (** shard worker index, set by the router when it forks this daemon:
+          stamped into run/delta responses (["worker"] field) and into the
+          handle names this worker mints ([h<worker>-<seq>]) *)
 }
 
 val default_config : unit -> config

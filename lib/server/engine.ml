@@ -13,6 +13,8 @@ module Metrics = Lcm_eval.Metrics
 module Interp = Lcm_eval.Interp
 module Pass = Lcm_core.Pass
 module Transform = Lcm_core.Transform
+module Lcm_edge = Lcm_core.Lcm_edge
+module Patch = Lcm_cfg.Patch
 module Placement_check = Lcm_core.Placement_check
 module Trace = Lcm_obs.Trace
 module Prof = Lcm_obs.Prof
@@ -24,10 +26,27 @@ type config = {
   m : Smetrics.t;
   prof : Prof.t;
   no_timing : bool;
+  worker_id : int option;
+  handles : Handles.t;
 }
 
-let default_config ?pool ?(no_timing = false) stats =
-  { lookup = Registry.find; pool; stats; m = Smetrics.create stats; prof = Prof.create (); no_timing }
+let default_config ?pool ?(no_timing = false) ?worker_id ?(handle_capacity = 128) stats =
+  {
+    lookup = Registry.find;
+    pool;
+    stats;
+    m = Smetrics.create stats;
+    prof = Prof.create ();
+    no_timing;
+    worker_id;
+    handles = Handles.create ~worker:(Option.value worker_id ~default:0) ~capacity:handle_capacity;
+  }
+
+(* Serving metadata appended to run/delta responses: which worker answered
+   (shard mode only — a plain daemon omits the field, keeping historical
+   frames byte-identical). *)
+let worker_fields cfg =
+  match cfg.worker_id with Some w -> [ ("worker", Json.Int w) ] | None -> []
 
 exception Deadline
 
@@ -256,7 +275,7 @@ let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~tim
   let program = Cfg.to_string g' in
   let frame =
     Protocol.ok_run ~id ~trace_id ~algorithm:r.Protocol.algorithm ~workers ~degraded:tier_served
-      ~validated ~program ~before ~after ~timing:(timing_of ()) ()
+      ~validated ~extra:(worker_fields cfg) ~program ~before ~after ~timing:(timing_of ()) ()
   in
   (* Allocation telemetry for the zero-allocation steady state: how many
      scratch checkouts the request made, how many had to heap-allocate
@@ -269,6 +288,174 @@ let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~tim
   bump cfg.m.Smetrics.alloc_words
     (int_of_float ((Gc.allocated_bytes () -. alloc0) /. float_of_int bytes_per_word));
   frame
+
+(* ---- retained graphs and incremental re-solve ----
+
+   A [run] with [retain:true] takes the heap path (no arena: the capture
+   must outlive this request) and parks the graph plus its AVAIL/ANTIC
+   fixpoints in the handle table.  A later [delta] patches a copy of the
+   retained graph and restarts the solve from the capture, visiting only
+   the region the patch disturbed; when the patch changed the candidate
+   expression pool (bit indices shifted) it falls back to a from-scratch
+   solve on the patched graph — same answer, no savings. *)
+
+let execute_retain cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~timing_of =
+  if not (String.equal r.Protocol.algorithm "lcm-edge") then
+    reject Protocol.Bad_request "retain is only supported for algorithm \"lcm-edge\" (got %S)"
+      r.Protocol.algorithm;
+  let g = Trace.span "engine.load" (fun () -> load_graph r) in
+  check_deadline ~now ~deadline;
+  chaos_boundary ();
+  let a, saved = Trace.span "engine.retain.solve" (fun () -> Lcm_edge.analyze_keep g) in
+  check_deadline ~now ~deadline;
+  let g', report = Transform.apply ~simplify:r.Protocol.simplify g (Lcm_edge.spec g a) in
+  chaos_boundary ();
+  check_deadline ~now ~deadline;
+  let validated =
+    r.Protocol.validate
+    &&
+    (Trace.span "engine.validate" (fun () ->
+         spec_validate g report.Transform.spec;
+         (try interp_validate g g'
+          with Validation_fuel ->
+            reject Protocol.Fuel_exhausted
+              "validation ran out of fuel (%d steps per sample): the program did not terminate \
+               on any sample input"
+              validation_fuel));
+     true)
+  in
+  if validated then Stats.bump cfg.m.Smetrics.validated_total;
+  let handle, `Evicted evicted =
+    Handles.register cfg.handles
+      { Handles.algorithm = r.Protocol.algorithm; simplify = r.Protocol.simplify; state = (g, saved) }
+  in
+  Stats.bump cfg.m.Smetrics.handles_live;
+  if evicted > 0 then Stats.bump ~by:evicted cfg.m.Smetrics.handles_evicted;
+  let before = Metrics.static_counts g and after = Metrics.static_counts g' in
+  Protocol.ok_run ~id ~trace_id ~algorithm:r.Protocol.algorithm ~workers:1 ~degraded:None
+    ~validated
+    ~extra:
+      (worker_fields cfg
+      @ [ ("handle", Json.String handle); ("retained_program", Json.String (Cfg.to_string g)) ])
+    ~program:(Cfg.to_string g') ~before ~after ~timing:(timing_of ()) ()
+
+(* Wire edits name blocks ["B<n>"] in the *canonical* printing of the
+   retained graph (echoed back as [retained_program]): canonical text
+   label Bn is internal label n, so resolution is a digit parse.  A block
+   added by this delta gets the next label in sequence — N, N+1, … for a
+   graph of N blocks — and may be referenced by later edits in the same
+   request (edits apply in order). *)
+let parse_wire_block what s =
+  let n =
+    if String.length s >= 2 && s.[0] = 'B' then int_of_string_opt (String.sub s 1 (String.length s - 1))
+    else None
+  in
+  match n with
+  | Some n when n >= 0 -> n
+  | _ -> reject Protocol.Bad_request "%s: %S is not a block name like \"B3\"" what s
+
+let parse_wire_instr s =
+  try Cfg_text.parse_instr_line s
+  with Cfg_text.Parse_error (m, _) -> reject Protocol.Bad_request "bad instruction %S: %s" s m
+
+let parse_wire_term s =
+  match
+    try Cfg_text.parse_term_line s
+    with Cfg_text.Parse_error (m, _) -> reject Protocol.Bad_request "bad terminator %S: %s" s m
+  with
+  | Some (Cfg_text.T_goto n) -> Cfg.Goto n
+  | Some (Cfg_text.T_branch (c, a, b)) -> Cfg.Branch (c, a, b)
+  | Some Cfg_text.T_halt -> Cfg.Halt
+  | None -> reject Protocol.Bad_request "%S is not a terminator (goto / if ... / halt)" s
+
+let edits_of_wire (d : Protocol.delta_request) =
+  List.concat_map
+    (fun (e : Protocol.delta_edit) ->
+      if e.Protocol.d_add then
+        [
+          Patch.Add_block
+            ( List.map parse_wire_instr (Option.value e.Protocol.d_instrs ~default:[]),
+              parse_wire_term (Option.get e.Protocol.d_term) );
+        ]
+      else begin
+        let l = parse_wire_block "edit" (Option.get e.Protocol.d_block) in
+        (match e.Protocol.d_instrs with
+        | Some ss -> [ Patch.Set_instrs (l, List.map parse_wire_instr ss) ]
+        | None -> [])
+        @
+        match e.Protocol.d_term with
+        | Some s -> [ Patch.Set_term (l, parse_wire_term s) ]
+        | None -> []
+      end)
+    d.Protocol.d_edits
+
+let execute_delta cfg ~now ~deadline ~id ~trace_id (d : Protocol.delta_request) ~timing_of =
+  Stats.bump cfg.m.Smetrics.deltas_total;
+  let entry =
+    match Handles.find cfg.handles d.Protocol.d_handle with
+    | Some e -> e
+    | None ->
+      reject Protocol.Unknown_handle
+        "unknown handle %S: never issued here, evicted, or lost with a worker restart"
+        d.Protocol.d_handle
+  in
+  let edits = edits_of_wire d in
+  check_deadline ~now ~deadline;
+  chaos_boundary ();
+  (* Patch a copy: a failed patch leaves the handle intact at its
+     pre-patch state, so the client can correct and resend. *)
+  let g0, saved0 = entry.Handles.state in
+  let g = Cfg.copy g0 in
+  let dirty =
+    try Patch.apply g edits with Patch.Error m -> reject Protocol.Bad_request "bad patch: %s" m
+  in
+  check_deadline ~now ~deadline;
+  let a, saved, mode, region =
+    match
+      Trace.span "engine.delta.solve" (fun () -> Lcm_edge.analyze_incr g ~prev:saved0 ~dirty)
+    with
+    | Some (a, saved, region) ->
+      Stats.bump cfg.m.Smetrics.delta_incremental;
+      (a, saved, "incremental", region)
+    | None ->
+      Stats.bump cfg.m.Smetrics.delta_full;
+      let a, saved = Lcm_edge.analyze_keep g in
+      (a, saved, "full", Cfg.num_blocks g)
+  in
+  check_deadline ~now ~deadline;
+  let g', _ = Transform.apply ~simplify:entry.Handles.simplify g (Lcm_edge.spec g a) in
+  chaos_boundary ();
+  (* validate: the incremental restart must land on the same program a
+     from-scratch solve of the patched graph produces — bit-identical,
+     checked by content digest. *)
+  let full_visits =
+    if d.Protocol.d_validate then begin
+      let gv = Cfg.copy g in
+      let av, _ = Trace.span "engine.delta.validate" (fun () -> Lcm_edge.analyze_keep gv) in
+      let gv', _ = Transform.apply ~simplify:entry.Handles.simplify gv (Lcm_edge.spec gv av) in
+      if not (String.equal (Cfg.digest g') (Cfg.digest gv')) then
+        reject Protocol.Internal "incremental re-solve diverged from the from-scratch solve";
+      Some av.Lcm_edge.visits
+    end
+    else None
+  in
+  check_deadline ~now ~deadline;
+  entry.Handles.state <- (g, saved);
+  let before = Metrics.static_counts g and after = Metrics.static_counts g' in
+  let solve =
+    Json.Obj
+      ([
+         ("mode", Json.String mode);
+         ("blocks", Json.Int (Cfg.num_blocks g));
+         ("region_blocks", Json.Int region);
+         ("visits", Json.Int a.Lcm_edge.visits);
+       ]
+      @ match full_visits with Some v -> [ ("full_visits", Json.Int v) ] | None -> [])
+  in
+  Protocol.ok_delta ~id ~trace_id ~algorithm:entry.Handles.algorithm
+    ~validated:d.Protocol.d_validate
+    ~extra:(worker_fields cfg @ [ ("handle", Json.String d.Protocol.d_handle); ("solve", solve) ])
+    ~program:(Cfg.to_string g') ~before ~after ~timing:(timing_of ()) ()
 
 (* Cancellable sleep: 1 ms slices with a deadline check between slices —
    the test/benchmark stand-in for a pathologically slow (or
@@ -345,7 +532,10 @@ let execute cfg ~now ~arrival ~deadline ?trace_id (req : Protocol.request) =
           check_deadline ~now ~deadline;
           let frame =
             match req.Protocol.op with
+            | Protocol.Run r when r.Protocol.retain ->
+              execute_retain cfg ~now ~deadline ~id ~trace_id r ~timing_of
             | Protocol.Run r -> execute_run cfg ~now ~deadline ~id ~trace_id r ~timing_of
+            | Protocol.Delta d -> execute_delta cfg ~now ~deadline ~id ~trace_id d ~timing_of
             | Protocol.Stats -> Protocol.ok_stats ~id ~trace_id ~stats:(stats_snapshot cfg.stats) ()
             | Protocol.Profile -> Protocol.ok_profile ~id ~trace_id ~profile:(Prof.to_json cfg.prof) ()
             | Protocol.Ping -> Protocol.ok_ping ~id ~trace_id ()

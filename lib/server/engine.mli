@@ -30,9 +30,19 @@ type config = {
   m : Smetrics.t;  (** typed handles over [stats] *)
   prof : Lcm_obs.Prof.t;  (** per-phase aggregates, served by the [profile] op *)
   no_timing : bool;  (** omit timing fields from responses (golden tests) *)
+  worker_id : int option;
+      (** shard worker index; when set, run/delta responses carry a
+          ["worker"] field so clients see who served them *)
+  handles : Handles.t;  (** retained graphs for the [delta] op *)
 }
 
-val default_config : ?pool:Lcm_support.Pool.t -> ?no_timing:bool -> Stats.t -> config
+val default_config :
+  ?pool:Lcm_support.Pool.t ->
+  ?no_timing:bool ->
+  ?worker_id:int ->
+  ?handle_capacity:int ->
+  Stats.t ->
+  config
 
 (** [execute cfg ~now ~arrival ~deadline req] runs [req] and returns the
     response frame.  [arrival] is the admission timestamp (for the queue

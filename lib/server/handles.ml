@@ -1,0 +1,46 @@
+type entry = {
+  algorithm : string;
+  simplify : bool;
+  mutable state : Lcm_cfg.Cfg.t * Lcm_core.Lcm_edge.saved;
+      (* graph + matching capture; always replaced together, in one write *)
+}
+
+type t = {
+  worker : int;
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order; front = oldest *)
+  mutable seq : int;
+}
+
+let create ~worker ~capacity =
+  if capacity < 1 then invalid_arg "Handles.create: capacity < 1";
+  { worker; capacity; tbl = Hashtbl.create 16; order = Queue.create (); seq = 0 }
+
+let register t entry =
+  let evicted = ref 0 in
+  while Hashtbl.length t.tbl >= t.capacity do
+    let oldest = Queue.pop t.order in
+    if Hashtbl.mem t.tbl oldest then begin
+      Hashtbl.remove t.tbl oldest;
+      incr evicted
+    end
+  done;
+  t.seq <- t.seq + 1;
+  let h = Printf.sprintf "h%d-%d" t.worker t.seq in
+  Hashtbl.replace t.tbl h entry;
+  Queue.push h t.order;
+  (h, `Evicted !evicted)
+
+let find t h = Hashtbl.find_opt t.tbl h
+let size t = Hashtbl.length t.tbl
+
+let worker_of_handle h =
+  if String.length h < 2 || h.[0] <> 'h' then None
+  else
+    match String.index_opt h '-' with
+    | None -> None
+    | Some i ->
+      (match int_of_string_opt (String.sub h 1 (i - 1)) with
+      | Some w when w >= 0 -> Some w
+      | _ -> None)

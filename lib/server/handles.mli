@@ -1,0 +1,44 @@
+(** The per-worker table of retained graphs.
+
+    A [run] with [retain:true] parks its parsed graph and captured
+    analysis here under a freshly minted handle ["h<worker>-<seq>"];
+    later [delta] requests look the handle up, patch the graph, and
+    restart the solve from the capture.  The table is bounded: past
+    [capacity] live handles the oldest is evicted (FIFO — a retained
+    graph is scaffolding for a stream of edits, not a cache with reuse
+    skew).
+
+    Handles are process-local by design: the worker index is baked into
+    the name so the shard router can route a [delta] to the worker that
+    holds the graph, and a handle dies with its worker — after a crash
+    and restart the router answers [unknown_handle] and the client
+    re-submits with [retain:true]. *)
+
+type entry = {
+  algorithm : string;
+  simplify : bool;
+  mutable state : Lcm_cfg.Cfg.t * Lcm_core.Lcm_edge.saved;
+      (** current (patched) graph, canonical labels, paired with the
+          capture that matches it.  The pair is one mutable field so a
+          commit is a single write: concurrent deltas on one handle are
+          last-writer-wins (clients should serialize edits to a handle),
+          but a reader can never observe a graph with a stale capture. *)
+}
+
+type t
+
+(** [create ~worker ~capacity] — [worker] is baked into minted handle
+    names; [capacity >= 1]. *)
+val create : worker:int -> capacity:int -> t
+
+(** Park an entry; returns the minted handle.  Evicts the oldest entry
+    when full (returned via [evicted] for metrics). *)
+val register : t -> entry -> string * [ `Evicted of int ]
+
+val find : t -> string -> entry option
+val size : t -> int
+
+(** The worker index encoded in a handle name ([None] when the name is
+    not of the form [h<worker>-<seq>]).  Used by the router, which holds
+    no table of its own. *)
+val worker_of_handle : string -> int option

@@ -5,6 +5,7 @@ type error_code =
   | Overloaded
   | Deadline_exceeded
   | Fuel_exhausted
+  | Unknown_handle
   | Shutting_down
   | Internal
 
@@ -15,6 +16,7 @@ let error_code_to_string = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Fuel_exhausted -> "fuel_exhausted"
+  | Unknown_handle -> "unknown_handle"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
@@ -30,10 +32,25 @@ type run_request = {
   simplify : bool;
   workers : int;
   validate : bool;
+  retain : bool;
+}
+
+type delta_edit = {
+  d_block : string option;
+  d_add : bool;
+  d_instrs : string list option;
+  d_term : string option;
+}
+
+type delta_request = {
+  d_handle : string;
+  d_edits : delta_edit list;
+  d_validate : bool;
 }
 
 type op =
   | Run of run_request
+  | Delta of delta_request
   | Stats
   | Profile
   | Ping
@@ -84,6 +101,49 @@ let parse_run j =
     simplify = Option.value (opt_field j "simplify" Json.to_bool_opt) ~default:false;
     workers = Option.value (opt_field j "workers" Json.to_int_opt) ~default:1;
     validate = Option.value (opt_field j "validate" Json.to_bool_opt) ~default:false;
+    retain = Option.value (opt_field j "retain" Json.to_bool_opt) ~default:false;
+  }
+
+let parse_delta j =
+  let d_handle = string_field j "handle" in
+  let parse_edit e =
+    match e with
+    | Json.Obj _ ->
+      let d_block = opt_field e "block" Json.to_string_opt in
+      let d_add = Option.value (opt_field e "add" Json.to_bool_opt) ~default:false in
+      let d_instrs =
+        match Json.member "instrs" e with
+        | None | Some Json.Null -> None
+        | Some (Json.List xs) ->
+          Some
+            (List.map
+               (function
+                 | Json.String s -> s
+                 | _ -> bad "edit field \"instrs\" must be a list of strings")
+               xs)
+        | Some _ -> bad "edit field \"instrs\" must be a list of strings"
+      in
+      let d_term = opt_field e "term" Json.to_string_opt in
+      (match (d_block, d_add) with
+      | None, false -> bad "each edit needs \"block\" or \"add\":true"
+      | Some _, true -> bad "an edit cannot both name a \"block\" and \"add\" one"
+      | _ -> ());
+      if d_add && d_term = None then bad "an added block needs a \"term\"";
+      if d_instrs = None && d_term = None then bad "an edit must change \"instrs\" or \"term\"";
+      { d_block; d_add; d_instrs; d_term }
+    | _ -> bad "each edit must be a JSON object"
+  in
+  let d_edits =
+    match Json.member "edits" j with
+    | Some (Json.List items) -> List.map parse_edit items
+    | Some _ -> bad "field \"edits\" must be a list"
+    | None -> bad "missing field \"edits\""
+  in
+  if d_edits = [] then bad "\"edits\" must be non-empty";
+  {
+    d_handle;
+    d_edits;
+    d_validate = Option.value (opt_field j "validate" Json.to_bool_opt) ~default:false;
   }
 
 let parse_request frame =
@@ -108,6 +168,7 @@ let parse_request frame =
        let op =
          match Option.value (opt_field j "op" Json.to_string_opt) ~default:"run" with
          | "run" -> Run (parse_run j)
+         | "delta" -> Delta (parse_delta j)
          | "stats" -> Stats
          | "profile" -> Profile
          | "ping" -> Ping
@@ -154,14 +215,15 @@ let tid_fields = function
   | None -> []
   | Some t -> [ ("trace_id", Json.String t) ]
 
-let ok_run ~id ?trace_id ~algorithm ~workers ~degraded ~validated ~program ~before ~after ~timing () =
+let ok_transform ~opname ~id ?trace_id ~algorithm ~workers ~degraded ~validated ?(extra = [])
+    ~program ~before ~after ~timing () =
   Json.to_string
     (Json.Obj
        ([ ("id", id) ]
        @ tid_fields trace_id
        @ [
            ("status", Json.String "ok");
-           ("op", Json.String "run");
+           ("op", Json.String opname);
            ("algorithm", Json.String algorithm);
            ("workers", Json.Int workers);
          ]
@@ -172,7 +234,17 @@ let ok_run ~id ?trace_id ~algorithm ~workers ~degraded ~validated ~program ~befo
            ("before", counts_json before);
            ("after", counts_json after);
          ]
+       @ extra
        @ timing_fields timing))
+
+let ok_run ~id ?trace_id ~algorithm ~workers ~degraded ~validated ?extra ~program ~before ~after
+    ~timing () =
+  ok_transform ~opname:"run" ~id ?trace_id ~algorithm ~workers ~degraded ~validated ?extra ~program
+    ~before ~after ~timing ()
+
+let ok_delta ~id ?trace_id ~algorithm ~validated ?extra ~program ~before ~after ~timing () =
+  ok_transform ~opname:"delta" ~id ?trace_id ~algorithm ~workers:1 ~degraded:None ~validated ?extra
+    ~program ~before ~after ~timing ()
 
 let ok_stats ~id ?trace_id ~stats () =
   Json.to_string

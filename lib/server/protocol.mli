@@ -17,6 +17,10 @@ type error_code =
       (** requested interpreter validation could not finish within its
           step budget on any sample input (distinct from a deadline: the
           *work* is unbounded, not the wall clock) *)
+  | Unknown_handle
+      (** a [delta] named a handle this worker does not hold — never
+          issued, evicted, or lost with a crashed worker (handles live and
+          die with the worker process that minted them) *)
   | Shutting_down  (** daemon draining; no new work admitted *)
   | Internal  (** the request crashed; the daemon survives *)
 
@@ -36,10 +40,38 @@ type run_request = {
   validate : bool;
       (** verify the transformation before answering (placement check /
           interpreter comparison); the response carries [validated:true] *)
+  retain : bool;
+      (** keep the parsed graph and its solved fixpoints on the worker and
+          mint a handle for later [delta] requests; the response carries
+          [handle] and echoes the canonical (renumbered) program as
+          [retained_program] — [delta] block names address that
+          numbering *)
+}
+
+(** One edit of a retained graph, in {!Lcm_cfg.Cfg_text} line syntax.
+    Exactly one of [d_block] (edit that block) or [d_add] (append a fresh
+    block, whose name must be the graph's next label) is set. *)
+type delta_edit = {
+  d_block : string option;  (** canonical block name, e.g. ["B3"] *)
+  d_add : bool;
+  d_instrs : string list option;  (** replacement body, one instruction per string *)
+  d_term : string option;  (** replacement terminator line *)
+}
+
+type delta_request = {
+  d_handle : string;
+  d_edits : delta_edit list;  (** applied in order; non-empty *)
+  d_validate : bool;
+      (** additionally run a from-scratch solve on the patched graph and
+          assert the incremental result's digest is bit-identical; the
+          response's [solve] object then also carries [full_visits] *)
 }
 
 type op =
   | Run of run_request
+  | Delta of delta_request
+      (** patch a retained graph and re-solve incrementally from the dirty
+          frontier *)
   | Stats
   | Profile  (** per-phase time/allocation aggregates from the tracing layer *)
   | Ping
@@ -75,6 +107,7 @@ val ok_run :
   workers:int ->
   degraded:string option ->
   validated:bool ->
+  ?extra:(string * Json.t) list ->
   program:string ->
   before:Lcm_eval.Metrics.static_counts ->
   after:Lcm_eval.Metrics.static_counts ->
@@ -84,8 +117,27 @@ val ok_run :
 (** [degraded] names the tier actually served (["sequential"] or
     ["identity"]) when the engine fell back from the requested tier after
     a mid-pipeline fault; [None] (field absent) on the normal path.
-    [trace_id], on every builder below too, is the trace correlation id in
-    effect (absent only when the server could not determine one). *)
+    [extra] fields (serving metadata: [worker], [handle], [cache], …) are
+    appended after the payload, before timing; default none, so existing
+    frames are byte-identical.  [trace_id], on every builder below too, is
+    the trace correlation id in effect (absent only when the server could
+    not determine one). *)
+
+(** Response to a [delta]: same payload shape as a run ([op] is
+    ["delta"]); the engine puts the [solve] object — mode, region size,
+    visit counts — in [extra]. *)
+val ok_delta :
+  id:Json.t ->
+  ?trace_id:string ->
+  algorithm:string ->
+  validated:bool ->
+  ?extra:(string * Json.t) list ->
+  program:string ->
+  before:Lcm_eval.Metrics.static_counts ->
+  after:Lcm_eval.Metrics.static_counts ->
+  timing:timing option ->
+  unit ->
+  string
 
 val ok_stats : id:Json.t -> ?trace_id:string -> stats:Json.t -> unit -> string
 val ok_profile : id:Json.t -> ?trace_id:string -> profile:Json.t -> unit -> string

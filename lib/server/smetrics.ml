@@ -18,12 +18,24 @@ type t = {
   restarts_total : Stats.counter;
   restarts_signal : Stats.counter;
   restarts_exit : Stats.counter;
+  deltas_total : Stats.counter;
+  delta_incremental : Stats.counter;
+  delta_full : Stats.counter;
+  handles_live : Stats.counter;
+  handles_evicted : Stats.counter;
+  cache_hits : Stats.counter;
+  cache_misses : Stats.counter;
+  cache_evictions : Stats.counter;
+  digest_memo_hits : Stats.counter;
+  shard_retries : Stats.counter;
+  shard_restarts : Stats.counter;
   queue_delay : Stats.histo;
   run : Stats.histo;
   total : Stats.histo;
   batch_size : Stats.histo;
   error_by_code : Protocol.error_code -> Stats.counter;
   degraded_tier : string -> Stats.counter;
+  shard_routed : int -> Stats.counter;
 }
 
 let all_codes =
@@ -34,6 +46,7 @@ let all_codes =
     Protocol.Overloaded;
     Protocol.Deadline_exceeded;
     Protocol.Fuel_exhausted;
+    Protocol.Unknown_handle;
     Protocol.Shutting_down;
     Protocol.Internal;
   ]
@@ -66,6 +79,17 @@ let create stats =
     restarts_total = c "supervisor.restarts_total";
     restarts_signal = c "supervisor.restarts.signal";
     restarts_exit = c "supervisor.restarts.exit";
+    deltas_total = c "deltas_total";
+    delta_incremental = c "delta.incremental_total";
+    delta_full = c "delta.full_total";
+    handles_live = c "handles.registered_total";
+    handles_evicted = c "handles.evicted_total";
+    cache_hits = c "cache.hits_total";
+    cache_misses = c "cache.misses_total";
+    cache_evictions = c "cache.evictions_total";
+    digest_memo_hits = c "shard.digest_memo_hits_total";
+    shard_retries = c "shard.retries_total";
+    shard_restarts = c "shard.worker_restarts_total";
     queue_delay = h "queue_delay";
     run = h "run";
     total = h "total";
@@ -74,6 +98,17 @@ let create stats =
     degraded_tier =
       (fun tier ->
         match List.assoc_opt tier tiers with Some h -> h | None -> c ("degraded." ^ tier));
+    shard_routed =
+      (* Worker counts are small and fixed at startup; memoize per index
+         so the hot path holds a handle, not a name. *)
+      (let memo = Hashtbl.create 8 in
+       fun i ->
+         match Hashtbl.find_opt memo i with
+         | Some h -> h
+         | None ->
+           let h = c (Printf.sprintf "shard.routed.w%d" i) in
+           Hashtbl.replace memo i h;
+           h);
   }
 
 let error m code =

@@ -31,12 +31,38 @@ type t = {
   restarts_total : Stats.counter;  (** wire name [supervisor.restarts_total] *)
   restarts_signal : Stats.counter;  (** wire name [supervisor.restarts.signal] *)
   restarts_exit : Stats.counter;  (** wire name [supervisor.restarts.exit] *)
+  deltas_total : Stats.counter;
+  delta_incremental : Stats.counter;
+      (** wire name [delta.incremental_total]: deltas served from the
+          retained fixpoint (region re-solve) *)
+  delta_full : Stats.counter;
+      (** wire name [delta.full_total]: deltas that fell back to a
+          from-scratch solve (candidate pool changed) *)
+  handles_live : Stats.counter;  (** wire name [handles.registered_total] *)
+  handles_evicted : Stats.counter;  (** wire name [handles.evicted_total] *)
+  cache_hits : Stats.counter;
+      (** wire name [cache.hits_total]: run responses served from the
+          router's content-addressed cache, no worker involved *)
+  cache_misses : Stats.counter;  (** wire name [cache.misses_total] *)
+  cache_evictions : Stats.counter;  (** wire name [cache.evictions_total] *)
+  digest_memo_hits : Stats.counter;
+      (** wire name [shard.digest_memo_hits_total]: run requests whose
+          canonical digest was recalled from the router's raw-text memo,
+          skipping the canonicalizing reparse *)
+  shard_retries : Stats.counter;
+      (** wire name [shard.retries_total]: requests replayed on a sibling
+          after their worker died mid-request *)
+  shard_restarts : Stats.counter;  (** wire name [shard.worker_restarts_total] *)
   queue_delay : Stats.histo;
   run : Stats.histo;
   total : Stats.histo;
   batch_size : Stats.histo;
   error_by_code : Protocol.error_code -> Stats.counter;  (** wire name [errors.<code>] *)
   degraded_tier : string -> Stats.counter;  (** wire name [degraded.<tier>] *)
+  shard_routed : int -> Stats.counter;
+      (** wire name [shard.routed.w<i>]: requests the router forwarded to
+          worker [i] (cache hits are counted under [cache.hits_total],
+          not here) *)
 }
 
 val create : Stats.t -> t

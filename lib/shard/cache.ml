@@ -1,0 +1,70 @@
+(* Classic intrusive LRU: a hash table over nodes of a doubly-linked
+   recency list.  [head] is most recent, [tail] least. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards head (more recent) *)
+  mutable next : 'a node option;  (* towards tail (less recent) *)
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  { capacity; tbl = Hashtbl.create 64; head = None; tail = None }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let add t k v =
+  if t.capacity = 0 then 0
+  else
+    match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+      n.value <- v;
+      unlink t n;
+      push_front t n;
+      0
+    | None ->
+      let evicted = ref 0 in
+      while Hashtbl.length t.tbl >= t.capacity do
+        match t.tail with
+        | None -> Hashtbl.reset t.tbl (* unreachable: table non-empty implies a tail *)
+        | Some lru ->
+          unlink t lru;
+          Hashtbl.remove t.tbl lru.key;
+          incr evicted
+      done;
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      push_front t n;
+      !evicted
+
+let mem t k = Hashtbl.mem t.tbl k
+let size t = Hashtbl.length t.tbl
+
+let keys t =
+  let rec go acc = function None -> acc | Some n -> go (n.key :: acc) n.next in
+  go [] t.head

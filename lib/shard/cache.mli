@@ -1,0 +1,28 @@
+(** Size-bounded LRU map, string-keyed.
+
+    The router's content-addressed result cache: keys are canonical
+    program digests (plus the request options that shape the response),
+    values are stored response templates.  [find] refreshes recency;
+    past [capacity] entries, [add] evicts the least recently used.
+
+    Single-owner by design — the router's event loop is the only
+    caller — so there is no locking. *)
+
+type 'a t
+
+(** [capacity >= 1]; [capacity] of 0 is allowed and makes every [add] a
+    no-op (cache disabled). *)
+val create : capacity:int -> 'a t
+
+(** Lookup; a hit becomes the most recently used entry. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert or replace; returns the number of entries evicted (0 or 1).
+    Replacing an existing key refreshes its recency and never evicts. *)
+val add : 'a t -> string -> 'a -> int
+
+val mem : 'a t -> string -> bool
+val size : 'a t -> int
+
+(** Oldest-to-newest key order (tests). *)
+val keys : 'a t -> string list

@@ -1,0 +1,59 @@
+(** The shard router: one front process, N worker daemons.
+
+    [serve_*] forks [shards] worker processes, each running a full
+    {!Lcm_server.Daemon} on a private Unix socket, and then runs a
+    single-threaded event loop that multiplexes client frames onto them:
+
+    - [run] requests are routed by the {e canonical} program digest over
+      a consistent-hash ring ({!Lcm_support.Chash}) — identical graphs,
+      however the client happened to label them, always land on the same
+      worker — and are fronted by a digest-keyed LRU result cache
+      ({!Cache}): a repeated request is answered from the router without
+      any worker (the response carries ["cache":"hit"]).  Identical
+      requests {e in flight} coalesce: duplicates wait for the first
+      copy's answer instead of being forwarded again.
+    - [delta] requests are routed by the worker index baked into their
+      handle; a handle whose worker is gone gets [unknown_handle].
+    - [stats] broadcasts to every live worker and merges the snapshots
+      (additively, schema-checked) with the router's own counters, plus a
+      ["shard"] object describing the fleet (pids, restarts, liveness).
+    - [ping] is answered inline; [profile] and [sleep] are proxied.
+
+    Crash transparency: when a worker dies mid-request, its in-flight
+    [run]s are replayed — same frame, same [trace_id] — on the ring
+    successor ([shard.retries_total] counts these); its [delta]s answer
+    [unknown_handle] (handles die with their worker).  The dead worker is
+    reaped and respawned with capped exponential backoff and a fresh
+    chaos epoch, exactly like the PR 4 supervisor, so a fixed [LCM_CHAOS]
+    seed cannot replay the same crash schedule forever.
+
+    The router holds no solver state: everything it serves from the cache
+    was computed (and optionally validated) by a worker first. *)
+
+type config = {
+  shards : int;  (** worker processes (>= 1) *)
+  cache_capacity : int;  (** result cache entries; 0 disables caching *)
+  replicas : int;  (** virtual nodes per worker on the hash ring *)
+  daemon : Lcm_server.Daemon.config;
+      (** template for the forked workers; [worker_id], [state_file] and
+          [stats] are overridden per worker *)
+  socket_dir : string option;  (** worker socket directory (default: a fresh temp dir) *)
+  quiet : bool;
+  stats : Lcm_server.Stats.t;
+      (** the router's own registry (routing/cache/retry counters) *)
+}
+
+val default_config : unit -> config
+
+(** Ask a running router loop to drain: stop admitting, finish in-flight
+    work, terminate the workers, return.  Async-signal-safe. *)
+val request_shutdown : unit -> unit
+
+(** Serve one pre-connected peer (stdio mode: [lcmopt serve --stdio
+    --shards N]).  Returns after end-of-input once every pending response
+    has been written and the workers are torn down. *)
+val serve_fds : config -> fd_in:Unix.file_descr -> fd_out:Unix.file_descr -> unit
+
+(** Accept clients on a Unix-domain socket at [path] until
+    {!request_shutdown}. *)
+val serve_unix_socket : config -> path:string -> unit

@@ -1,0 +1,65 @@
+(* The ring is a sorted array of (point, node) pairs.  Points come from
+   MD5 — not for cryptographic strength but for a stable, well-mixed,
+   implementation-independent placement: the router and any future peer
+   compute identical rings from the worker count alone. *)
+
+type t = {
+  n_nodes : int;
+  points : int array;  (* sorted hash points *)
+  owners : int array;  (* owners.(i) owns points.(i) *)
+  first_point : int array;  (* first_point.(n) = n's lowest virtual point index *)
+}
+
+let hash_string s =
+  let d = Digest.string s in
+  (* Fold the first 8 digest bytes into a non-negative OCaml int. *)
+  let b i = Char.code d.[i] in
+  let v =
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+    lor (b 4 lsl 32) lor (b 5 lsl 40) lor (b 6 lsl 48) lor ((b 7 land 0x3f) lsl 56)
+  in
+  v land max_int
+
+let create ~nodes ~replicas =
+  if nodes < 1 then invalid_arg "Chash.create: nodes < 1";
+  if replicas < 1 then invalid_arg "Chash.create: replicas < 1";
+  let pairs =
+    Array.init (nodes * replicas) (fun i ->
+        let node = i / replicas and r = i mod replicas in
+        (hash_string (Printf.sprintf "node-%d/%d" node r), node))
+  in
+  (* Ties broken by node index so the ring is a total order. *)
+  Array.sort compare pairs;
+  let points = Array.map fst pairs and owners = Array.map snd pairs in
+  let first_point = Array.make nodes (-1) in
+  Array.iteri (fun i n -> if first_point.(n) < 0 then first_point.(n) <- i) owners;
+  { n_nodes = nodes; points; owners; first_point }
+
+let nodes t = t.n_nodes
+
+(* Index of the first ring point at or after [h], wrapping. *)
+let locate t h =
+  let lo = ref 0 and hi = ref (Array.length t.points) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = Array.length t.points then 0 else !lo
+
+let lookup t key = t.owners.(locate t (hash_string key))
+
+let walk t start ~skip ~alive =
+  let len = Array.length t.owners in
+  let rec go i remaining =
+    if remaining = 0 then None
+    else
+      let n = t.owners.(i mod len) in
+      if (not (skip n)) && alive n then Some n else go (i + 1) (remaining - 1)
+  in
+  go start len
+
+let lookup_alive t ~alive key = walk t (locate t (hash_string key)) ~skip:(fun _ -> false) ~alive
+
+let successor t ~alive n =
+  if n < 0 || n >= t.n_nodes then None
+  else walk t (t.first_point.(n) + 1) ~skip:(fun m -> m = n) ~alive

@@ -1,0 +1,36 @@
+(** Consistent hashing: a ring of virtual nodes for request routing.
+
+    The shard router hashes every request's canonical program digest onto
+    this ring to pick the worker that serves it.  Consistent hashing keeps
+    the mapping stable under membership change: when one worker dies, only
+    the keys it owned move (to its ring successor), so a restart does not
+    reshuffle the whole key space — retained handles and warm state on the
+    surviving workers stay useful.
+
+    Nodes are small ints (worker indices).  Each node is placed at
+    [replicas] pseudo-random points of the ring (virtual nodes), which
+    evens out the arc lengths; placement is a pure function of the node
+    index, so every process computes the same ring. *)
+
+type t
+
+(** [create ~nodes ~replicas] is a ring over worker indices
+    [0 .. nodes-1], each placed at [replicas] points.  Raises
+    [Invalid_argument] when [nodes < 1] or [replicas < 1]. *)
+val create : nodes:int -> replicas:int -> t
+
+(** Number of real nodes the ring was built over. *)
+val nodes : t -> int
+
+(** [lookup t key] is the node owning [key]: the first virtual node at or
+    clockwise after the key's hash point. *)
+val lookup : t -> string -> int
+
+(** [lookup_alive t ~alive key] is the first owner [n] of [key] (walking
+    clockwise) with [alive n]; [None] when no node is alive. *)
+val lookup_alive : t -> alive:(int -> bool) -> string -> int option
+
+(** [successor t ~alive n] is the next distinct live node clockwise after
+    [n]'s first virtual point — the sibling that inherits [n]'s keys when
+    [n] dies.  [None] when no other live node exists. *)
+val successor : t -> alive:(int -> bool) -> int -> int option

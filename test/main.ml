@@ -30,5 +30,6 @@ let () =
       ("arena", Test_arena.suite);
       ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);
+      ("shard", Test_shard.suite);
       ("chaos", Test_chaos.suite);
     ]

@@ -187,6 +187,7 @@ let run_request ?(algorithm = "lcm-edge") ?(workers = 1) program =
           simplify = false;
           workers;
           validate = false;
+          retain = false;
         };
     deadline_ms = None;
     trace_id = None;
@@ -248,6 +249,7 @@ let test_engine_errors () =
               simplify = false;
               workers = 1;
               validate = false;
+              retain = false;
             };
         deadline_ms = None;
         trace_id = None;
