@@ -1,0 +1,540 @@
+(* EXP-RECOVER: crash durability — what does the write-ahead journal cost,
+   and what does it buy?
+
+   Three questions:
+
+   1. Overhead: p50 delta latency against `lcmopt serve --stdio` with and
+      without `--state-dir` — the append+fsync on the delta hot path.  The
+      paper-ready claim is that journaling costs < 10% of the delta p50
+      (asserted in full mode, where the graphs are large enough that the
+      solve dominates the fsync).
+
+   2. Recovery time: in-process `Engine.recover` wall time as the patch
+      log grows (0/16/64/256 patches), with compaction off vs on.
+      Uncompacted recovery replays every patch, so it grows linearly with
+      history; compaction snapshots the canonical program and truncates
+      the log, so recovery is bounded by the compaction interval no
+      matter how long the handle lived.
+
+   3. Bit-identity: a recovered engine and the live engine it replaces
+      must answer an identical probe delta with bit-identical programs
+      (asserted at 0 mismatches — the same property the qcheck suite
+      proves on small graphs, re-checked here at corpus scale). *)
+
+module Cfg = Lcm_cfg.Cfg
+module Corpus = Lcm_eval.Corpus
+module Json = Lcm_server.Json
+module Frame = Lcm_server.Frame
+module Journal = Lcm_support.Journal
+module Hjournal = Lcm_server.Hjournal
+module Stats = Lcm_server.Stats
+module Engine = Lcm_server.Engine
+module Protocol = Lcm_server.Protocol
+module Table = Lcm_support.Table
+
+let now = Unix.gettimeofday
+
+(* ---- daemon subprocess (same contract as exp_shard) ---- *)
+
+let resolve_exe () =
+  match Sys.getenv_opt "LCMOPT_EXE" with
+  | Some p -> p
+  | None ->
+    let d = Filename.dirname Sys.executable_name in
+    Filename.concat (Filename.concat (Filename.dirname d) "bin") "lcmopt.exe"
+
+type daemon = { pid : int; req_w : Unix.file_descr; resp_r : Unix.file_descr }
+
+let spawn_daemon ~args =
+  let exe = resolve_exe () in
+  if not (Sys.file_exists exe) then begin
+    Printf.eprintf "exp_recover: daemon binary not found at %s (set LCMOPT_EXE)\n" exe;
+    exit 1
+  end;
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list ((exe :: [ "serve"; "--stdio"; "--quiet" ]) @ args))
+      req_r resp_w Unix.stderr
+  in
+  Unix.close req_r;
+  Unix.close resp_w;
+  { pid; req_w; resp_r }
+
+let stop_daemon d =
+  (try Unix.close d.req_w with Unix.Unix_error _ -> ());
+  (try Unix.close d.resp_r with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] d.pid)
+
+type conn = { d : daemon; reader : Frame.reader; chunk : Bytes.t; mutable inbox : Json.t list }
+
+let connect ~args =
+  { d = spawn_daemon ~args; reader = Frame.create ~max_frame:(1 lsl 22); chunk = Bytes.create 65536; inbox = [] }
+
+let send conn line =
+  let line = line ^ "\n" in
+  let n = String.length line in
+  let k = ref 0 in
+  while !k < n do
+    k := !k + Unix.write_substring conn.d.req_w line !k (n - !k)
+  done
+
+let recv conn =
+  let rec pull () =
+    match conn.inbox with
+    | j :: rest ->
+      conn.inbox <- rest;
+      j
+    | [] ->
+      (match Unix.read conn.d.resp_r conn.chunk 0 (Bytes.length conn.chunk) with
+      | 0 -> failwith "exp_recover: daemon closed the stream"
+      | n ->
+        conn.inbox <-
+          List.filter_map
+            (function Frame.Frame f -> Some (Json.parse f) | Frame.Oversized _ -> None)
+            (Frame.feed conn.reader conn.chunk n);
+        pull ())
+  in
+  pull ()
+
+let close conn = stop_daemon conn.d
+
+let sfield j n = Option.bind (Json.member n j) Json.to_string_opt
+
+let fetch_stats conn =
+  send conn "{\"id\":-1,\"op\":\"stats\"}";
+  let rec wait () =
+    let j = recv conn in
+    if sfield j "op" = Some "stats" then Option.value (Json.member "stats" j) ~default:Json.Null
+    else wait ()
+  in
+  wait ()
+
+let stat_counter stats name =
+  match Option.bind (Json.member "counters" stats) (Json.member name) with
+  | Some v -> Option.value (Json.to_int_opt v) ~default:0
+  | None -> 0
+
+let quantile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let sorted_of l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a
+
+(* ---- delta synthesis (same block-surgery scheme as exp_shard) ---- *)
+
+let split_blocks text =
+  let lines = String.split_on_char '\n' (String.trim text) in
+  match lines with
+  | header :: rest ->
+    let blocks = ref [] and cur = ref None in
+    let flush () =
+      match !cur with Some (n, ls) -> blocks := (n, List.rev ls) :: !blocks; cur := None | None -> ()
+    in
+    List.iter
+      (fun line ->
+        if String.length line > 0 && line.[0] = 'B' && String.length (String.trim line) > 1
+           && line.[String.length (String.trim line) - 1] = ':' then begin
+          flush ();
+          cur := Some (String.sub (String.trim line) 0 (String.length (String.trim line) - 1), [])
+        end
+        else
+          match !cur with
+          | Some (n, ls) when String.trim line <> "" -> cur := Some (n, String.trim line :: ls)
+          | _ -> ())
+      rest;
+    flush ();
+    (header, List.rev !blocks)
+  | [] -> failwith "empty program"
+
+let find_candidate_rhs blocks =
+  let is_binop s =
+    match String.index_opt s ':' with
+    | Some i when i + 1 < String.length s && s.[i + 1] = '=' ->
+      let rhs = String.trim (String.sub s (i + 2) (String.length s - i - 2)) in
+      let has op = List.exists (fun p -> p = op) (String.split_on_char ' ' rhs) in
+      if has "+" || has "-" || has "*" then Some rhs else None
+    | _ -> None
+  in
+  List.find_map (fun (_, lines) -> List.find_map is_binop lines) blocks
+
+(* A retained program's middle block plus an alternating pair of bodies:
+   delta i swaps which fresh variable recomputes [rhs], so every delta is
+   a real state change (and a pure Set_instrs edit, like the recovery
+   tests use). *)
+type editor = { bname : string; bodies : string list array }
+
+let make_editor retained =
+  let _, blocks = split_blocks retained in
+  match find_candidate_rhs blocks with
+  | None -> None
+  | Some rhs ->
+    let bname, lines = List.nth blocks (List.length blocks / 2) in
+    (match List.rev lines with
+    | _term :: body_rev ->
+      let body = List.rev body_rev in
+      let variant v = body @ [ Printf.sprintf "zq%d := %s" v rhs ] in
+      Some { bname; bodies = [| variant 0; variant 1 |] }
+    | [] -> None)
+
+let delta_frame ~id ~handle ed i =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("op", Json.String "delta");
+         ("handle", Json.String handle);
+         ( "edits",
+           Json.List
+             [
+               Json.Obj
+                 [
+                   ("block", Json.String ed.bname);
+                   ("instrs", Json.List (List.map (fun l -> Json.String l) ed.bodies.(i mod 2)));
+                 ];
+             ] );
+       ])
+
+let retain_frame ~id text =
+  Printf.sprintf "{\"id\":%d,\"op\":\"run\",\"format\":\"cfg\",\"retain\":true,\"program\":%s}" id
+    (Json.to_string (Json.String text))
+
+(* ---- phase 1: journal-append overhead on the delta hot path ---- *)
+
+type overhead_result = {
+  journaled : bool;
+  deltas : int;
+  p50_ms : float;
+  p95_ms : float;
+  appends : int;  (** journal.appends_total from the daemon's counters *)
+}
+
+let run_overhead ~state_dir ~text ~n =
+  let args = match state_dir with None -> [] | Some d -> [ "--state-dir"; d ] in
+  let conn = connect ~args in
+  let resp = recv (send conn (retain_frame ~id:0 text); conn) in
+  let handle =
+    match sfield resp "handle" with
+    | Some h -> h
+    | None -> failwith ("retain failed: " ^ Json.to_string resp)
+  in
+  let ed =
+    match Option.bind (sfield resp "retained_program") make_editor with
+    | Some ed -> ed
+    | None -> failwith "no candidate computation in the retained program"
+  in
+  (* warm-up: fault in both body variants before timing *)
+  for i = 1 to 4 do
+    ignore (recv (send conn (delta_frame ~id:i ~handle ed i); conn))
+  done;
+  let lat = ref [] in
+  for i = 0 to n - 1 do
+    let t0 = now () in
+    let r = recv (send conn (delta_frame ~id:(10 + i) ~handle ed i); conn) in
+    let dt = (now () -. t0) *. 1000. in
+    if sfield r "status" = Some "ok" then lat := dt :: !lat
+    else failwith ("delta failed: " ^ Json.to_string r)
+  done;
+  let stats = fetch_stats conn in
+  close conn;
+  let lat = sorted_of !lat in
+  {
+    journaled = state_dir <> None;
+    deltas = n;
+    p50_ms = quantile lat 0.5;
+    p95_ms = quantile lat 0.95;
+    appends = stat_counter stats "journal.appends_total";
+  }
+
+(* ---- phases 2 and 3: in-process engine + journal ---- *)
+
+let fresh_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+let engine_on ~compact_every dir =
+  let stats = Stats.create () in
+  let journal =
+    match Hjournal.create ~dir ~fsync:false ~compact_every () with
+    | Ok t -> t
+    | Error m -> failwith ("Hjournal.create: " ^ m)
+  in
+  (Engine.default_config ~no_timing:true ~journal ~worker_id:0 stats, stats)
+
+let exec cfg frame =
+  match Protocol.parse_request frame with
+  | Error (_, _, code, m) ->
+    failwith (Printf.sprintf "bad frame (%s): %s" (Protocol.error_code_to_string code) m)
+  | Ok req ->
+    let t = now () in
+    Json.parse (Engine.execute cfg ~now ~arrival:t ~deadline:None req)
+
+let retain_inproc cfg text =
+  let resp = exec cfg (retain_frame ~id:1 text) in
+  match (sfield resp "handle", sfield resp "retained_program") with
+  | Some h, Some retained -> (h, retained)
+  | _ -> failwith ("retain failed: " ^ Json.to_string resp)
+
+let journal_records dir handle =
+  let path = Filename.concat dir (handle ^ ".journal") in
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let body = String.sub raw (String.length Journal.file_magic)
+      (String.length raw - String.length Journal.file_magic) in
+  let payloads, _, _ = Journal.decode body in
+  List.length payloads
+
+type recovery_result = {
+  patches : int;
+  compact_every : int option;  (** [None] = compaction effectively off *)
+  recover_ms : float;
+  records : int;  (** journal records on disk at recovery time *)
+  replayed : int;  (** journal.replayed_patches_total after recovery *)
+}
+
+let run_recovery ~text ~patches ~compaction =
+  let dir = fresh_dir "lcm-bench-rec" in
+  let compact_every = match compaction with Some k -> k | None -> max_int in
+  let live, _ = engine_on ~compact_every dir in
+  let handle, retained = retain_inproc live text in
+  let ed =
+    match make_editor retained with
+    | Some ed -> ed
+    | None -> failwith "no candidate computation in the retained program"
+  in
+  for i = 0 to patches - 1 do
+    let r = exec live (delta_frame ~id:(2 + i) ~handle ed i) in
+    if sfield r "status" <> Some "ok" then failwith ("delta failed: " ^ Json.to_string r)
+  done;
+  let records = journal_records dir handle in
+  (* The crash: a fresh engine sees only the journal directory. *)
+  let reborn, rstats = engine_on ~compact_every dir in
+  let t0 = now () in
+  Engine.recover reborn;
+  let recover_ms = (now () -. t0) *. 1000. in
+  let replayed = Stats.counter_value rstats "journal.replayed_patches_total" in
+  rm_rf dir;
+  { patches; compact_every = compaction; recover_ms; records; replayed }
+
+let run_identity ~graphs ~blocks ~patches =
+  let jobs = Corpus.generate ~seed:4409 [ (blocks, graphs) ] in
+  let mismatches = ref 0 and recovered_flags = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (j : Corpus.job) ->
+      let text = Cfg.to_string j.Corpus.graph in
+      let dir = fresh_dir "lcm-bench-id" in
+      let live, _ = engine_on ~compact_every:1000 dir in
+      let handle, retained = retain_inproc live text in
+      match make_editor retained with
+      | None -> rm_rf dir
+      | Some ed ->
+        incr checked;
+        for i = 0 to patches - 1 do
+          ignore (exec live (delta_frame ~id:(2 + i) ~handle ed i))
+        done;
+        let reborn, _ = engine_on ~compact_every:1000 dir in
+        Engine.recover reborn;
+        let probe cfg = exec cfg (delta_frame ~id:99 ~handle ed patches) in
+        let a = probe live and b = probe reborn in
+        (match (sfield a "program", sfield b "program") with
+        | Some pa, Some pb when String.equal pa pb -> ()
+        | _ -> incr mismatches);
+        (match Json.member "recovered" b with
+        | Some (Json.Bool true) -> incr recovered_flags
+        | _ -> ());
+        rm_rf dir)
+    jobs;
+  (!checked, !mismatches, !recovered_flags)
+
+(* ---- reporting ---- *)
+
+let print_overhead rows =
+  let t = Table.create [ "journal"; "deltas"; "p50 ms"; "p95 ms"; "appends" ] in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          (if r.journaled then "on" else "off");
+          Table.cell_int r.deltas;
+          Table.cell_float ~decimals:3 r.p50_ms;
+          Table.cell_float ~decimals:3 r.p95_ms;
+          Table.cell_int r.appends;
+        ])
+    rows;
+  Table.print t
+
+let print_recovery rows =
+  let t = Table.create [ "patches"; "compact every"; "records"; "replayed"; "recover ms" ] in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Table.cell_int r.patches;
+          (match r.compact_every with Some k -> string_of_int k | None -> "off");
+          Table.cell_int r.records;
+          Table.cell_int r.replayed;
+          Table.cell_float ~decimals:2 r.recover_ms;
+        ])
+    rows;
+  Table.print t
+
+let json_of_overhead r =
+  Json.Obj
+    [
+      ("journaled", Json.Bool r.journaled);
+      ("deltas", Json.Int r.deltas);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p95_ms", Json.Float r.p95_ms);
+      ("journal_appends", Json.Int r.appends);
+    ]
+
+let json_of_recovery r =
+  Json.Obj
+    [
+      ("patches", Json.Int r.patches);
+      ("compact_every", match r.compact_every with Some k -> Json.Int k | None -> Json.Null);
+      ("journal_records", Json.Int r.records);
+      ("replayed_patches", Json.Int r.replayed);
+      ("recover_ms", Json.Float r.recover_ms);
+    ]
+
+let emit_json ?(path = "BENCH_recover.json") ~overhead ~overhead_pct ~recovery ~identity () =
+  let checked, mismatches, flags = identity in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "recover");
+        ( "benchmark",
+          Json.String
+            "crash durability: journal-append overhead, recovery time vs patch-log length, \
+             recovered-state bit-identity" );
+        ("overhead", Json.List (List.map json_of_overhead overhead));
+        ("overhead_p50_pct", Json.Float overhead_pct);
+        ("recovery", Json.List (List.map json_of_recovery recovery));
+        ( "identity",
+          Json.Obj
+            [
+              ("graphs", Json.Int checked);
+              ("digest_mismatches", Json.Int mismatches);
+              ("recovered_flags", Json.Int flags);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "wrote %s" path
+
+let run_mode ~quick () =
+  Common.section
+    (if quick then "EXP-RECOVER  Crash durability (quick smoke run)"
+     else "EXP-RECOVER  Crash durability: journal overhead, recovery time, bit-identity");
+
+  (* 1. journal-append overhead.  Large graphs in full mode so the delta's
+     incremental re-solve and canonical reprint dominate the append+fsync
+     it now carries — the journaled payload is the edit, not the program,
+     so the append cost is flat while the delta cost grows with the
+     graph. *)
+  let blocks, n_deltas = if quick then (30, 16) else (1000, 100) in
+  let job = List.hd (Corpus.generate ~seed:907 [ (blocks, 1) ]) in
+  let text = Cfg.to_string job.Corpus.graph in
+  Common.note "overhead: %d deltas on a %d-block graph, journal off vs on..." n_deltas blocks;
+  let plain = run_overhead ~state_dir:None ~text ~n:n_deltas in
+  let sdir = fresh_dir "lcm-bench-ovr" in
+  let journaled = run_overhead ~state_dir:(Some sdir) ~text ~n:n_deltas in
+  rm_rf sdir;
+  let overhead = [ plain; journaled ] in
+  print_overhead overhead;
+  let overhead_pct =
+    if plain.p50_ms > 0. then (journaled.p50_ms -. plain.p50_ms) /. plain.p50_ms *. 100. else 0.
+  in
+  Common.note "journal-append overhead: %+.1f%% on the delta p50" overhead_pct;
+
+  (* 2. recovery time vs patch-log length, compaction off vs on.  A
+     moderate graph keeps the per-patch replay cost visible without
+     swamping the sweep. *)
+  let rec_blocks = if quick then 30 else 120 in
+  let text = Cfg.to_string (List.hd (Corpus.generate ~seed:911 [ (rec_blocks, 1) ])).Corpus.graph in
+  let patch_counts = if quick then [ 0; 8; 32 ] else [ 0; 16; 64; 256 ] in
+  let interval = if quick then 8 else 64 in
+  Common.note "recovery: patch logs of %s, compaction off vs every %d..."
+    (String.concat "/" (List.map string_of_int patch_counts))
+    interval;
+  let recovery =
+    List.concat_map
+      (fun p ->
+        [ run_recovery ~text ~patches:p ~compaction:None;
+          run_recovery ~text ~patches:p ~compaction:(Some interval) ])
+      patch_counts
+  in
+  print_recovery recovery;
+
+  (* 3. bit-identity of recovered state *)
+  let graphs, id_blocks, id_patches = if quick then (3, 30, 4) else (8, 60, 6) in
+  Common.note "identity: %d graphs, %d deltas each, recover + identical probe..." graphs id_patches;
+  let ((checked, mismatches, flags) as identity) = run_identity ~graphs ~blocks:id_blocks ~patches:id_patches in
+  Common.note "identity: %d/%d recovered handles bit-identical, %d announced recovered:true"
+    (checked - mismatches) checked flags;
+
+  (* invariants *)
+  let fail = ref false in
+  if mismatches > 0 then begin
+    Common.note "FAIL: recovered handles diverged from their live counterparts";
+    fail := true
+  end;
+  if checked > 0 && flags < checked then begin
+    Common.note "FAIL: some recovered handles never announced recovered:true";
+    fail := true
+  end;
+  if journaled.appends < n_deltas then begin
+    Common.note "FAIL: journaled run recorded %d appends for %d deltas" journaled.appends n_deltas;
+    fail := true
+  end;
+  (* Compaction must bound the on-disk log: at the longest history, the
+     compacted journal holds at most [interval] patch records plus the
+     snapshot, while the uncompacted one holds the full history. *)
+  let longest = List.length patch_counts - 1 in
+  let un = List.nth recovery (2 * longest) and co = List.nth recovery ((2 * longest) + 1) in
+  if un.records <> un.patches + 1 then begin
+    Common.note "FAIL: uncompacted journal has %d records for %d patches" un.records un.patches;
+    fail := true
+  end;
+  if co.records > interval + 1 then begin
+    Common.note "FAIL: compacted journal holds %d records (bound %d)" co.records (interval + 1);
+    fail := true
+  end;
+  if co.replayed > interval then begin
+    Common.note "FAIL: compacted recovery replayed %d patches (bound %d)" co.replayed interval;
+    fail := true
+  end;
+  if not quick then begin
+    if overhead_pct >= 10. then begin
+      Common.note "FAIL: journal overhead %.1f%% exceeds the 10%% budget" overhead_pct;
+      fail := true
+    end;
+    if co.recover_ms > un.recover_ms then
+      Common.note "note: compacted recovery was not faster on this host (%.2f ms vs %.2f ms)"
+        co.recover_ms un.recover_ms
+  end;
+  if !fail then exit 1;
+  if not quick then emit_json ~overhead ~overhead_pct ~recovery ~identity ()
+
+let run () = run_mode ~quick:false ()
+let run_quick () = run_mode ~quick:true ()

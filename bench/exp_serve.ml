@@ -104,6 +104,10 @@ type load_result = {
   (* router-side result cache (sharded serving); zero on a plain daemon *)
   cache_hits : int;
   cache_misses : int;
+  (* crash-transparency work (sharded serving): frames replayed after a
+     worker death, and requests quarantined after two of them *)
+  shard_replays : int;
+  shard_poisoned : int;
 }
 
 let quantile sorted q =
@@ -224,6 +228,8 @@ let run_load ~jobs ~queue ~offered_rps ~requests =
     gc_alloc_words;
     cache_hits = gc_counter "cache.hits_total";
     cache_misses = gc_counter "cache.misses_total";
+    shard_replays = gc_counter "shard.replays_total";
+    shard_poisoned = gc_counter "shard.poisoned_total";
     (* per *served* request: rejected ones never reach the engine, so they
        would only dilute the number (startup allocation is in here too, but
        it is fixed and amortizes out at benchmark request counts) *)
@@ -237,7 +243,7 @@ let print_rows rows =
     Table.create
       [
         "offered rps"; "requests"; "ok"; "overloaded"; "errors"; "rps served"; "p50 ms"; "p95 ms";
-        "p99 ms"; "alloc w/ok"; "minor gcs"; "cache h/m";
+        "p99 ms"; "alloc w/ok"; "minor gcs"; "cache h/m"; "replay/poison";
       ]
   in
   List.iter
@@ -256,6 +262,7 @@ let print_rows rows =
           Printf.sprintf "%.0f" r.alloc_words_per_ok;
           Table.cell_int r.gc_minor_collections;
           Printf.sprintf "%d/%d" r.cache_hits r.cache_misses;
+          Printf.sprintf "%d/%d" r.shard_replays r.shard_poisoned;
         ])
     rows;
   Table.print t
@@ -280,6 +287,8 @@ let json_of_load r =
       ("alloc_words_per_ok", Json.Float r.alloc_words_per_ok);
       ("cache_hits", Json.Int r.cache_hits);
       ("cache_misses", Json.Int r.cache_misses);
+      ("shard_replays", Json.Int r.shard_replays);
+      ("shard_poisoned", Json.Int r.shard_poisoned);
       ("server_stats", r.server_stats);
     ]
 

@@ -26,6 +26,7 @@ let experiments =
     ("parallel", "multicore engine: pass overlap, bit slices, corpus fan-out", Exp_parallel.run);
     ("serve", "daemon under offered load: throughput, latency, backpressure", Exp_serve.run);
     ("shard", "sharded serving: fleet scaling, result cache, incremental deltas", Exp_shard.run);
+    ("recover", "crash durability: journal overhead, recovery time, bit-identity", Exp_recover.run);
     ("chaos", "supervised daemon under injected faults: availability, degradation", Exp_chaos.run);
     ("trace", "observability: tracing overhead, retry-crossing trace reconstruction", Exp_trace.run);
   ]
@@ -49,6 +50,8 @@ let () =
     Exp_parallel.run_quick ()
   | [ _; "--experiment"; "serve"; "--quick" ] | [ _; "serve"; "--quick" ] -> Exp_serve.run_quick ()
   | [ _; "--experiment"; "shard"; "--quick" ] | [ _; "shard"; "--quick" ] -> Exp_shard.run_quick ()
+  | [ _; "--experiment"; "recover"; "--quick" ] | [ _; "recover"; "--quick" ] ->
+    Exp_recover.run_quick ()
   | [ _; "--experiment"; "chaos"; "--quick" ] | [ _; "chaos"; "--quick" ] -> Exp_chaos.run_quick ()
   | [ _; "--experiment"; "trace"; "--quick" ] | [ _; "trace"; "--quick" ] -> Exp_trace.run_quick ()
   | [ _; "--experiment"; id ] | [ _; id ] -> run_one id

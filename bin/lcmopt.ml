@@ -374,7 +374,7 @@ let write_pid_file path =
 
 let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing quiet supervise
     max_restarts restart_backoff_ms restart_cap_ms state_file pid_file trace_dir shards
-    cache_entries =
+    cache_entries state_dir journal_compact =
   match (stdio, socket) with
   | false, None ->
     prerr_endline "serve: provide --stdio or --socket PATH";
@@ -398,6 +398,8 @@ let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing q
            never get this. *)
         hard_faults = true;
         state_file;
+        state_dir;
+        journal_compact;
         trace_dir;
       }
     in
@@ -415,7 +417,11 @@ let serve_cmd stdio socket queue batch max_frame deadline_ms workers no_timing q
             (Router.default_config ()) with
             Router.shards;
             cache_capacity = cache_entries;
-            daemon = { (daemon_cfg ~state_file:None) with Daemon.quiet = true };
+            (* The router derives a per-worker journal directory from
+               --state-dir; the template's own state_dir is overridden. *)
+            state_dir;
+            daemon =
+              { (daemon_cfg ~state_file:None) with Daemon.quiet = true; state_dir = None };
             quiet;
           }
         in
@@ -889,10 +895,29 @@ let serve_term =
       & info [ "cache" ] ~docv:"N"
           ~doc:"Router result-cache capacity in entries under --shards; 0 disables caching.")
   in
+  let state_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Make retained handles crash-durable: every retain and accepted delta is \
+             append-fsynced to a per-handle write-ahead journal under $(docv), and a respawned \
+             process (or shard worker, which journals under $(docv)/worker-<i>) rebuilds every \
+             handle under its original id before serving.  Off by default.")
+  in
+  let journal_compact =
+    Arg.(
+      value & opt int 64
+      & info [ "journal-compact" ] ~docv:"N"
+          ~doc:
+            "Under --state-dir, compact a handle's journal to a single snapshot record after \
+             $(docv) appended patches — bounds recovery replay time per handle.")
+  in
   Term.(
     const serve_cmd $ stdio $ socket $ queue $ batch $ max_frame $ deadline $ workers $ no_timing
     $ quiet $ supervise $ max_restarts $ restart_backoff_ms $ restart_cap_ms $ state_file
-    $ pid_file $ trace_dir $ shards $ cache_entries)
+    $ pid_file $ trace_dir $ shards $ cache_entries $ state_dir $ journal_compact)
 
 let request_term =
   let socket =

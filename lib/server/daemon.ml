@@ -14,6 +14,8 @@ type config = {
   stats : Stats.t;
   hard_faults : bool;  (* allow process-killing chaos points (daemon.crash) *)
   state_file : string option;  (* metrics persisted here across supervised restarts *)
+  state_dir : string option;  (* handle journals live here; set => retained handles survive kill -9 *)
+  journal_compact : int;  (* patches per handle before its journal is compacted to a snapshot *)
   trace_dir : string option;  (* tracing on iff set; one Chrome file per trace id *)
   worker_id : int option;  (* shard worker index: stamped into responses + handle names *)
 }
@@ -30,6 +32,8 @@ let default_config () =
     stats = Stats.global;
     hard_faults = false;
     state_file = None;
+    state_dir = None;
+    journal_compact = 64;
     trace_dir = None;
     worker_id = None;
   }
@@ -428,9 +432,36 @@ let make_state cfg ?listen_fd conns =
       Trace.enable ())
     cfg.trace_dir;
   let pool = Pool.create (max 1 cfg.workers) in
+  let journal =
+    match cfg.state_dir with
+    | None -> None
+    | Some dir ->
+      (match Hjournal.create ~dir ~compact_every:cfg.journal_compact () with
+      | Ok j -> Some j
+      | Error m ->
+        (* Serving beats durability: come up journal-less rather than not
+           at all, and say so loudly. *)
+        Printf.eprintf "lcmd: state dir unusable, journaling disabled: %s\n%!" m;
+        None)
+  in
+  let engine =
+    Engine.default_config ~pool ~no_timing:cfg.no_timing ?worker_id:cfg.worker_id ?journal cfg.stats
+  in
+  (* Rebuild journaled handles before the serve loop touches a frame:
+     deltas that raced the respawn sit in the socket buffer until every
+     handle is back under its original id. *)
+  let t0 = now () in
+  Engine.recover engine;
+  (match journal with
+  | Some _ when Handles.size engine.Engine.handles > 0 ->
+    if not cfg.quiet then
+      Printf.eprintf "lcmd: recovered %d handle(s) from journal in %.1f ms\n%!"
+        (Handles.size engine.Engine.handles)
+        ((now () -. t0) *. 1000.)
+  | _ -> ());
   {
     cfg;
-    engine = Engine.default_config ~pool ~no_timing:cfg.no_timing ?worker_id:cfg.worker_id cfg.stats;
+    engine;
     pool;
     queue = Bqueue.create ~capacity:cfg.queue_capacity;
     conns;

@@ -41,6 +41,17 @@ type config = {
       (** when set, the {!Stats} registry is restored from this file at
           startup, saved every second while serving, and saved on drain —
           metrics survive supervised restarts, including [kill -9]. *)
+  state_dir : string option;
+      (** when set, every retained handle is backed by a write-ahead
+          journal in this directory ({!Hjournal}) and rebuilt under its
+          original id at startup ({!Engine.recover}) before the first
+          frame is processed — retained handles survive [kill -9].  An
+          unusable directory disables journaling with a stderr warning
+          rather than preventing startup. *)
+  journal_compact : int;
+      (** patches appended to one handle's journal before it is
+          compacted to a single snapshot record (default 64); bounds
+          recovery time per handle *)
   trace_dir : string option;
       (** when set, {!Lcm_obs.Trace} collection is enabled and every
           request's span tree is appended to

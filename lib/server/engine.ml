@@ -28,9 +28,11 @@ type config = {
   no_timing : bool;
   worker_id : int option;
   handles : Handles.t;
+  journal : Hjournal.t option;
+  recovered : (string, unit) Hashtbl.t;
 }
 
-let default_config ?pool ?(no_timing = false) ?worker_id ?(handle_capacity = 128) stats =
+let default_config ?pool ?(no_timing = false) ?worker_id ?(handle_capacity = 128) ?journal stats =
   {
     lookup = Registry.find;
     pool;
@@ -40,6 +42,8 @@ let default_config ?pool ?(no_timing = false) ?worker_id ?(handle_capacity = 128
     no_timing;
     worker_id;
     handles = Handles.create ~worker:(Option.value worker_id ~default:0) ~capacity:handle_capacity;
+    journal;
+    recovered = Hashtbl.create 8;
   }
 
 (* Serving metadata appended to run/delta responses: which worker answered
@@ -299,6 +303,18 @@ let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~tim
    expression pool (bit indices shifted) it falls back to a from-scratch
    solve on the patched graph — same answer, no savings. *)
 
+(* An evicted handle's journal goes with it: recovery must not resurrect
+   handles the capacity bound already reclaimed. *)
+let drop_evicted cfg evicted =
+  if evicted <> [] then begin
+    Stats.bump ~by:(List.length evicted) cfg.m.Smetrics.handles_evicted;
+    List.iter
+      (fun h ->
+        Hashtbl.remove cfg.recovered h;
+        Option.iter (fun j -> Hjournal.drop j ~handle:h) cfg.journal)
+      evicted
+  end
+
 let execute_retain cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~timing_of =
   if not (String.equal r.Protocol.algorithm "lcm-edge") then
     reject Protocol.Bad_request "retain is only supported for algorithm \"lcm-edge\" (got %S)"
@@ -330,7 +346,18 @@ let execute_retain cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~
       { Handles.algorithm = r.Protocol.algorithm; simplify = r.Protocol.simplify; state = (g, saved) }
   in
   Stats.bump cfg.m.Smetrics.handles_live;
-  if evicted > 0 then Stats.bump ~by:evicted cfg.m.Smetrics.handles_evicted;
+  drop_evicted cfg evicted;
+  (* The base record: the handle survives [kill -9] from the moment the
+     response leaves — the journal is fsynced before we return. *)
+  (match cfg.journal with
+  | None -> ()
+  | Some j ->
+    (match
+       Hjournal.record_base j ~handle ~algorithm:r.Protocol.algorithm ~simplify:r.Protocol.simplify
+         ~program:(Cfg.to_string g)
+     with
+    | Ok () -> Stats.bump cfg.m.Smetrics.journal_appends
+    | Error _ -> Stats.bump cfg.m.Smetrics.journal_append_failures));
   let before = Metrics.static_counts g and after = Metrics.static_counts g' in
   Protocol.ok_run ~id ~trace_id ~algorithm:r.Protocol.algorithm ~workers:1 ~degraded:None
     ~validated
@@ -441,6 +468,32 @@ let execute_delta cfg ~now ~deadline ~id ~trace_id (d : Protocol.delta_request) 
   in
   check_deadline ~now ~deadline;
   entry.Handles.state <- (g, saved);
+  (* Journal the accepted patch (the raw wire edits, replayed verbatim on
+     recovery) before the acknowledging response is built.  [program] is
+     the post-patch canonical text — the compaction snapshot, printed
+     only on the appends that actually compact. *)
+  (match cfg.journal with
+  | None -> ()
+  | Some j ->
+    (match
+       Hjournal.record_patch j ~handle:d.Protocol.d_handle ~edits:d.Protocol.d_edits_json
+         ~algorithm:entry.Handles.algorithm ~simplify:entry.Handles.simplify
+         ~program:(fun () -> Cfg.to_string g)
+     with
+    | Ok `Appended -> Stats.bump cfg.m.Smetrics.journal_appends
+    | Ok `Compacted ->
+      Stats.bump cfg.m.Smetrics.journal_appends;
+      Stats.bump cfg.m.Smetrics.journal_compactions
+    | Error _ -> Stats.bump cfg.m.Smetrics.journal_append_failures));
+  (* The first response after a journal rebuild tells the client its
+     handle crossed a crash: state is intact, latency may have spiked. *)
+  let recovered_fields =
+    if Hashtbl.mem cfg.recovered d.Protocol.d_handle then begin
+      Hashtbl.remove cfg.recovered d.Protocol.d_handle;
+      [ ("recovered", Json.Bool true) ]
+    end
+    else []
+  in
   let before = Metrics.static_counts g and after = Metrics.static_counts g' in
   let solve =
     Json.Obj
@@ -454,8 +507,100 @@ let execute_delta cfg ~now ~deadline ~id ~trace_id (d : Protocol.delta_request) 
   in
   Protocol.ok_delta ~id ~trace_id ~algorithm:entry.Handles.algorithm
     ~validated:d.Protocol.d_validate
-    ~extra:(worker_fields cfg @ [ ("handle", Json.String d.Protocol.d_handle); ("solve", solve) ])
+    ~extra:
+      (worker_fields cfg
+      @ [ ("handle", Json.String d.Protocol.d_handle); ("solve", solve) ]
+      @ recovered_fields)
     ~program:(Cfg.to_string g') ~before ~after ~timing:(timing_of ()) ()
+
+(* ---- crash recovery ----
+
+   Replay one recovered journal: parse the base (or compacted snapshot)
+   program, solve it with the keep path, then push every journaled patch
+   through the exact pipeline a live delta takes — same wire-edit parser,
+   same [Patch.apply], same incremental restart with the same full-solve
+   fallback.  Determinism of that pipeline is what makes the journal a
+   faithful substitute for the lost heap state: the rebuilt capture is
+   bit-identical to the one the dead worker held (the qcheck suite and
+   [d_validate] both assert this). *)
+
+let replay_journal cfg (r : Hjournal.recovered) =
+  try
+    Fault.inject "journal.replay";
+    let g =
+      try Cfg_text.parse r.Hjournal.r_program
+      with Cfg_text.Parse_error (m, line) -> failwith (Printf.sprintf "base parse: line %d: %s" line m)
+    in
+    let _, saved = Lcm_edge.analyze_keep g in
+    let state = ref (g, saved) in
+    let replayed = ref 0 in
+    List.iter
+      (fun edits_json ->
+        let edits =
+          match Protocol.delta_edits_of_json edits_json with
+          | Ok es -> es
+          | Error m -> failwith ("patch record: " ^ m)
+        in
+        let d =
+          {
+            Protocol.d_handle = r.Hjournal.r_handle;
+            d_edits = edits;
+            d_edits_json = edits_json;
+            d_validate = false;
+          }
+        in
+        let patch = edits_of_wire d in
+        let g0, saved0 = !state in
+        let g = Cfg.copy g0 in
+        let dirty =
+          try Patch.apply g patch with Patch.Error m -> failwith ("patch apply: " ^ m)
+        in
+        let saved =
+          match Lcm_edge.analyze_incr g ~prev:saved0 ~dirty with
+          | Some (_, saved, _) -> saved
+          | None -> snd (Lcm_edge.analyze_keep g)
+        in
+        incr replayed;
+        state := (g, saved))
+      r.Hjournal.r_patches;
+    let (`Evicted evicted) =
+      Handles.restore cfg.handles r.Hjournal.r_handle
+        {
+          Handles.algorithm = r.Hjournal.r_algorithm;
+          simplify = r.Hjournal.r_simplify;
+          state = !state;
+        }
+    in
+    Stats.bump cfg.m.Smetrics.handles_live;
+    drop_evicted cfg evicted;
+    Ok !replayed
+  with
+  | Failure m -> Error m
+  | Reject (_, m) -> Error m
+  | Fault.Injected p -> Error ("fault injected: " ^ p)
+  | e -> Error (Printexc.to_string e)
+
+let recover cfg =
+  match cfg.journal with
+  | None -> ()
+  | Some j ->
+    let entries, truncated, quarantined = Hjournal.recover j in
+    if truncated > 0 then Stats.bump ~by:truncated cfg.m.Smetrics.journal_truncated;
+    if quarantined > 0 then Stats.bump ~by:quarantined cfg.m.Smetrics.journal_quarantined;
+    List.iter
+      (fun (r : Hjournal.recovered) ->
+        match replay_journal cfg r with
+        | Ok patches ->
+          Stats.bump cfg.m.Smetrics.journal_recovered;
+          if patches > 0 then Stats.bump ~by:patches cfg.m.Smetrics.journal_replayed_patches;
+          Hashtbl.replace cfg.recovered r.Hjournal.r_handle ()
+        | Error _ ->
+          (* An unreplayable journal must not block startup: set it aside
+             and serve without that handle (its next delta gets
+             [unknown_handle] and the client re-retains). *)
+          Hjournal.quarantine j ~handle:r.Hjournal.r_handle;
+          Stats.bump cfg.m.Smetrics.journal_quarantined)
+      entries
 
 (* Cancellable sleep: 1 ms slices with a deadline check between slices —
    the test/benchmark stand-in for a pathologically slow (or

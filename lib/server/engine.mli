@@ -34,6 +34,13 @@ type config = {
       (** shard worker index; when set, run/delta responses carry a
           ["worker"] field so clients see who served them *)
   handles : Handles.t;  (** retained graphs for the [delta] op *)
+  journal : Hjournal.t option;
+      (** when set ([--state-dir]), every retain/delta is journaled
+          before its response is sent, and {!recover} can rebuild the
+          handle table after a crash *)
+  recovered : (string, unit) Hashtbl.t;
+      (** handles rebuilt by {!recover} whose next delta response must
+          carry [recovered:true] (cleared per handle once told) *)
 }
 
 val default_config :
@@ -41,8 +48,18 @@ val default_config :
   ?no_timing:bool ->
   ?worker_id:int ->
   ?handle_capacity:int ->
+  ?journal:Hjournal.t ->
   Stats.t ->
   config
+
+(** Rebuild the handle table from [config.journal]'s directory: each
+    journal's base program is re-solved and its patch log replayed
+    through the same parse/patch/incremental-restart pipeline live
+    deltas take, restoring every handle under its original id.  Journals
+    that cannot be replayed are quarantined ([*.corrupt]) — recovery
+    never prevents startup.  Call before serving traffic; no-op without
+    a journal. *)
+val recover : config -> unit
 
 (** [execute cfg ~now ~arrival ~deadline req] runs [req] and returns the
     response frame.  [arrival] is the admission timestamp (for the queue

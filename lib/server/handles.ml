@@ -17,23 +17,24 @@ let create ~worker ~capacity =
   if capacity < 1 then invalid_arg "Handles.create: capacity < 1";
   { worker; capacity; tbl = Hashtbl.create 16; order = Queue.create (); seq = 0 }
 
-let register t entry =
-  let evicted = ref 0 in
-  while Hashtbl.length t.tbl >= t.capacity do
+let evict_to_capacity t ~headroom =
+  let evicted = ref [] in
+  while Hashtbl.length t.tbl > t.capacity - headroom do
     let oldest = Queue.pop t.order in
     if Hashtbl.mem t.tbl oldest then begin
       Hashtbl.remove t.tbl oldest;
-      incr evicted
+      evicted := oldest :: !evicted
     end
   done;
+  List.rev !evicted
+
+let register t entry =
+  let evicted = evict_to_capacity t ~headroom:1 in
   t.seq <- t.seq + 1;
   let h = Printf.sprintf "h%d-%d" t.worker t.seq in
   Hashtbl.replace t.tbl h entry;
   Queue.push h t.order;
-  (h, `Evicted !evicted)
-
-let find t h = Hashtbl.find_opt t.tbl h
-let size t = Hashtbl.length t.tbl
+  (h, `Evicted evicted)
 
 let worker_of_handle h =
   if String.length h < 2 || h.[0] <> 'h' then None
@@ -44,3 +45,24 @@ let worker_of_handle h =
       (match int_of_string_opt (String.sub h 1 (i - 1)) with
       | Some w when w >= 0 -> Some w
       | _ -> None)
+
+let seq_of_handle h =
+  match String.index_opt h '-' with
+  | Some i when String.length h >= 2 && h.[0] = 'h' ->
+    (match int_of_string_opt (String.sub h (i + 1) (String.length h - i - 1)) with
+    | Some s when s >= 0 -> Some s
+    | _ -> None)
+  | _ -> None
+
+let restore t h entry =
+  if Hashtbl.mem t.tbl h then invalid_arg "Handles.restore: handle already live";
+  let evicted = evict_to_capacity t ~headroom:1 in
+  (match seq_of_handle h with
+  | Some s -> t.seq <- max t.seq s
+  | None -> invalid_arg "Handles.restore: malformed handle name");
+  Hashtbl.replace t.tbl h entry;
+  Queue.push h t.order;
+  `Evicted evicted
+
+let find t h = Hashtbl.find_opt t.tbl h
+let size t = Hashtbl.length t.tbl

@@ -8,11 +8,12 @@
     graph is scaffolding for a stream of edits, not a cache with reuse
     skew).
 
-    Handles are process-local by design: the worker index is baked into
-    the name so the shard router can route a [delta] to the worker that
-    holds the graph, and a handle dies with its worker — after a crash
-    and restart the router answers [unknown_handle] and the client
-    re-submits with [retain:true]. *)
+    Handles are process-local: the worker index is baked into the name
+    so the shard router can route a [delta] to the worker that holds the
+    graph.  Without a state dir a handle dies with its worker — the
+    router answers [unknown_handle] and the client re-submits with
+    [retain:true].  With one, the engine journals each handle's inputs
+    and {!restore} rebuilds it under its original name on respawn. *)
 
 type entry = {
   algorithm : string;
@@ -31,9 +32,15 @@ type t
     names; [capacity >= 1]. *)
 val create : worker:int -> capacity:int -> t
 
-(** Park an entry; returns the minted handle.  Evicts the oldest entry
-    when full (returned via [evicted] for metrics). *)
-val register : t -> entry -> string * [ `Evicted of int ]
+(** Park an entry; returns the minted handle.  Evicts the oldest entries
+    when full (their names are returned so the caller can drop their
+    journals and count them). *)
+val register : t -> entry -> string * [ `Evicted of string list ]
+
+(** Re-register a recovered entry under its original name, advancing the
+    mint sequence past it so later {!register} calls cannot collide.
+    Raises [Invalid_argument] on a malformed name or a live handle. *)
+val restore : t -> string -> entry -> [ `Evicted of string list ]
 
 val find : t -> string -> entry option
 val size : t -> int
@@ -42,3 +49,6 @@ val size : t -> int
     not of the form [h<worker>-<seq>]).  Used by the router, which holds
     no table of its own. *)
 val worker_of_handle : string -> int option
+
+(** The mint sequence number encoded in a handle name. *)
+val seq_of_handle : string -> int option

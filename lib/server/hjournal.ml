@@ -1,0 +1,273 @@
+(* The per-handle write-ahead journal: one file per retained handle,
+   holding the inputs needed to rebuild it — a base record with the
+   canonicalized program captured at [run retain:true], then one patch
+   record per accepted delta.  Records are framed and CRC-guarded by
+   {!Lcm_support.Journal}; payloads reuse the Json codec so recovery
+   replays the byte-identical wire edits through the normal parser.
+
+   Durability policy lives here: every record is fsynced before the
+   response that acknowledges it is sent, and after [compact_every]
+   patches the file is rewritten (tmp + atomic rename) as a single base
+   record holding the current canonical program, which bounds both disk
+   and recovery time.  A crash at any byte leaves either the old file,
+   the old file plus a torn tail (truncated on recovery), or the fully
+   renamed compacted file — never a half state. *)
+
+module Journal = Lcm_support.Journal
+module Fault = Lcm_support.Fault
+
+type t = {
+  dir : string;
+  fsync : bool;
+  compact_every : int;
+  patch_counts : (string, int ref) Hashtbl.t;  (* patches since last base *)
+}
+
+type recovered = {
+  r_handle : string;
+  r_algorithm : string;
+  r_simplify : bool;
+  r_program : string;
+  r_patches : Json.t list;
+  r_truncated : bool;
+}
+
+let suffix = ".journal"
+let path t ~handle = Filename.concat t.dir (handle ^ suffix)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir ?(fsync = true) ?(compact_every = 64) () =
+  if compact_every < 1 then invalid_arg "Hjournal.create: compact_every < 1";
+  match mkdir_p dir with
+  | () -> Ok { dir; fsync; compact_every; patch_counts = Hashtbl.create 16 }
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    Error (Printf.sprintf "cannot create state dir %s" dir)
+
+let maybe_fsync t fd = if t.fsync && not (Fault.fire "journal.fsync") then Unix.fsync fd
+
+let with_fd path flags f =
+  match Unix.openfile path flags 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd ->
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match f fd with
+        | v -> Ok v
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+        | exception Fault.Injected p -> Error ("fault injected: " ^ p))
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let base_payload ~algorithm ~simplify ~program =
+  Json.to_string
+    (Json.Obj
+       [
+         ("kind", Json.String "base");
+         ("algorithm", Json.String algorithm);
+         ("simplify", Json.Bool simplify);
+         ("program", Json.String program);
+       ])
+
+let record_base t ~handle ~algorithm ~simplify ~program =
+  let body = Journal.file_magic ^ Journal.encode_record (base_payload ~algorithm ~simplify ~program) in
+  let r =
+    with_fd (path t ~handle) Unix.[ O_WRONLY; O_CREAT; O_TRUNC ] (fun fd ->
+        Fault.inject "journal.append";
+        write_all fd body;
+        maybe_fsync t fd)
+  in
+  if r = Ok () then Hashtbl.replace t.patch_counts handle (ref 0);
+  r
+
+(* Rewrite the journal as a single base record holding [program].  The
+   tmp file is fsynced before the rename so a crash can only expose the
+   old complete file or the new complete file. *)
+let compact t ~handle ~algorithm ~simplify ~program =
+  let final = path t ~handle in
+  let tmp = final ^ ".tmp" in
+  let body = Journal.file_magic ^ Journal.encode_record (base_payload ~algorithm ~simplify ~program) in
+  let r =
+    with_fd tmp Unix.[ O_WRONLY; O_CREAT; O_TRUNC ] (fun fd ->
+        write_all fd body;
+        maybe_fsync t fd)
+  in
+  match r with
+  | Error _ as e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    e
+  | Ok () ->
+    (match Unix.rename tmp final with
+    | () ->
+      (match Hashtbl.find_opt t.patch_counts handle with
+      | Some c -> c := 0
+      | None -> Hashtbl.replace t.patch_counts handle (ref 0));
+      (* Make the rename itself durable. *)
+      (match with_fd t.dir Unix.[ O_RDONLY ] (fun fd -> if t.fsync then Unix.fsync fd) with
+      | Ok () | Error _ -> ());
+      Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Unix.error_message e))
+
+let record_patch t ~handle ~edits ~algorithm ~simplify ~program =
+  let payload = Json.to_string (Json.Obj [ ("kind", Json.String "patch"); ("edits", edits) ]) in
+  let r =
+    with_fd (path t ~handle) Unix.[ O_WRONLY; O_CREAT; O_APPEND ] (fun fd ->
+        Fault.inject "journal.append";
+        write_all fd (Journal.encode_record payload);
+        maybe_fsync t fd)
+  in
+  match r with
+  | Error _ as e -> e
+  | Ok () ->
+    let count =
+      match Hashtbl.find_opt t.patch_counts handle with
+      | Some c ->
+        incr c;
+        !c
+      | None ->
+        Hashtbl.replace t.patch_counts handle (ref 1);
+        1
+    in
+    if count >= t.compact_every then
+      match compact t ~handle ~algorithm ~simplify ~program:(program ()) with
+      | Ok () -> Ok `Compacted
+      | Error _ ->
+        (* Compaction is an optimization: the appended patch is already
+           durable, so a failed rewrite only costs replay time. *)
+        Ok `Appended
+    else Ok `Appended
+
+let drop t ~handle =
+  Hashtbl.remove t.patch_counts handle;
+  try Sys.remove (path t ~handle) with Sys_error _ -> ()
+
+let quarantine t ~handle =
+  Hashtbl.remove t.patch_counts handle;
+  let p = path t ~handle in
+  try Unix.rename p (p ^ ".corrupt") with Unix.Unix_error _ | Sys_error _ -> ()
+
+let read_file p =
+  match with_fd p Unix.[ O_RDONLY ] (fun fd ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      let b = Bytes.create len in
+      let off = ref 0 in
+      (try
+         while !off < len do
+           let n = Unix.read fd b !off (len - !off) in
+           if n = 0 then raise Exit;
+           off := !off + n
+         done
+       with Exit -> ());
+      Bytes.sub_string b 0 !off)
+  with
+  | Ok s -> Some s
+  | Error _ -> None
+
+(* Parse one journal file's records into a recovered handle.  [None]
+   means the file is unusable (bad magic, no base record, undecodable
+   payload in the clean prefix) — the caller quarantines it. *)
+let parse_records payloads =
+  let base = ref None in
+  let patches = ref [] in
+  try
+    List.iter
+      (fun payload ->
+        match Json.parse payload with
+        | exception Json.Parse_error _ -> raise Exit
+        | j ->
+          (match Json.member "kind" j with
+          | Some (Json.String "base") ->
+            let str name =
+              match Json.member name j with Some (Json.String s) -> s | _ -> raise Exit
+            in
+            let simplify = match Json.member "simplify" j with Some (Json.Bool b) -> b | _ -> false in
+            (* A later base record resets the patch log (the durable form
+               of compaction); keep the newest. *)
+            base := Some (str "algorithm", simplify, str "program");
+            patches := []
+          | Some (Json.String "patch") ->
+            (match Json.member "edits" j with
+            | Some e -> patches := e :: !patches
+            | None -> raise Exit)
+          | _ -> raise Exit))
+      payloads;
+    match !base with
+    | None -> None
+    | Some (algorithm, simplify, program) -> Some (algorithm, simplify, program, List.rev !patches)
+  with Exit -> None
+
+let truncate_file p len =
+  match with_fd p Unix.[ O_WRONLY ] (fun fd -> Unix.ftruncate fd len) with Ok () | Error _ -> ()
+
+let recover t =
+  let entries =
+    match Sys.readdir t.dir with
+    | names -> Array.to_list names
+    | exception Sys_error _ -> []
+  in
+  (* A stray .tmp is a compaction that died before its rename; the
+     journal proper is still complete, so the tmp is just deleted. *)
+  List.iter
+    (fun n ->
+      if Filename.check_suffix n ".tmp" then
+        try Sys.remove (Filename.concat t.dir n) with Sys_error _ -> ())
+    entries;
+  let truncated = ref 0 in
+  let quarantined = ref 0 in
+  let recovered =
+    List.filter_map
+      (fun name ->
+        if not (Filename.check_suffix name suffix) then None
+        else
+          let handle = Filename.chop_suffix name suffix in
+          let p = Filename.concat t.dir name in
+          let quarantine_this () =
+            incr quarantined;
+            Hashtbl.remove t.patch_counts handle;
+            (try Unix.rename p (p ^ ".corrupt") with Unix.Unix_error _ | Sys_error _ -> ());
+            None
+          in
+          match read_file p with
+          | None -> quarantine_this ()
+          | Some body ->
+            let mlen = String.length Journal.file_magic in
+            if String.length body < mlen || String.sub body 0 mlen <> Journal.file_magic then
+              quarantine_this ()
+            else begin
+              let payloads, clean_end, status = Journal.decode ~pos:mlen body in
+              let torn = status = `Torn in
+              if torn then begin
+                incr truncated;
+                truncate_file p clean_end
+              end;
+              match parse_records payloads with
+              | None -> quarantine_this ()
+              | Some (algorithm, simplify, program, patches) ->
+                Hashtbl.replace t.patch_counts handle (ref (List.length patches));
+                Some
+                  {
+                    r_handle = handle;
+                    r_algorithm = algorithm;
+                    r_simplify = simplify;
+                    r_program = program;
+                    r_patches = patches;
+                    r_truncated = torn;
+                  }
+            end)
+      entries
+  in
+  let seq h = Option.value (Handles.seq_of_handle h) ~default:max_int in
+  let sorted = List.sort (fun a b -> compare (seq a.r_handle) (seq b.r_handle)) recovered in
+  (sorted, !truncated, !quarantined)

@@ -1,0 +1,68 @@
+(** The per-handle write-ahead journal behind [--state-dir].
+
+    One file per retained handle, [<dir>/<handle>.journal]: a base
+    record with the canonical program captured at [run retain:true],
+    then one patch record per accepted [delta] (the raw wire [edits]
+    value, journaled verbatim).  Records are CRC-guarded
+    {!Lcm_support.Journal} frames; every append is fsynced before the
+    acknowledging response leaves the worker, so an acknowledged delta
+    survives [kill -9].
+
+    After [compact_every] patches the file is rewritten — tmp file,
+    fsync, atomic rename — as a single base record holding the current
+    canonical program, bounding recovery time by snapshot size instead
+    of patch-log length.
+
+    Fault points: [journal.append] (record write fails), [journal.fsync]
+    (fsync silently skipped — simulates an OS that lied about
+    durability; recovery then sees a torn tail). *)
+
+type t
+
+type recovered = {
+  r_handle : string;
+  r_algorithm : string;
+  r_simplify : bool;
+  r_program : string;  (** canonical base (or compacted snapshot) text *)
+  r_patches : Json.t list;  (** raw wire [edits] values, oldest first *)
+  r_truncated : bool;  (** a torn tail was cut off this file *)
+}
+
+(** Creates [dir] (and parents) if needed.  [fsync:false] is for tests
+    and benchmarks that measure the append path without durability. *)
+val create : dir:string -> ?fsync:bool -> ?compact_every:int -> unit -> (t, string) result
+
+(** Start a fresh journal for a newly minted handle (truncates any stale
+    file of the same name). *)
+val record_base :
+  t -> handle:string -> algorithm:string -> simplify:bool -> program:string -> (unit, string) result
+
+(** Append one accepted patch.  [program] produces the canonical text
+    {e after} the patch — the compaction snapshot — and is forced only
+    when this append trips the threshold, keeping the hot-path append
+    cost flat in graph size.  A failed compaction degrades to
+    [`Appended]: the patch itself is already durable. *)
+val record_patch :
+  t ->
+  handle:string ->
+  edits:Json.t ->
+  algorithm:string ->
+  simplify:bool ->
+  program:(unit -> string) ->
+  ([ `Appended | `Compacted ], string) result
+
+(** Delete an evicted handle's journal. *)
+val drop : t -> handle:string -> unit
+
+(** Set aside a journal that failed to replay (renamed [*.corrupt]) so
+    the next recovery does not trip over it again. *)
+val quarantine : t -> handle:string -> unit
+
+(** Scan the directory: stray compaction tmps are deleted, torn tails
+    truncated, unusable files quarantined.  Returns the rebuildable
+    handles sorted by mint sequence, plus the torn and quarantined
+    counts. *)
+val recover : t -> recovered list * int * int
+
+(** The journal file that backs [handle] (tests and tooling). *)
+val path : t -> handle:string -> string

@@ -6,6 +6,7 @@ type error_code =
   | Deadline_exceeded
   | Fuel_exhausted
   | Unknown_handle
+  | Poisoned_request
   | Shutting_down
   | Internal
 
@@ -17,6 +18,7 @@ let error_code_to_string = function
   | Deadline_exceeded -> "deadline_exceeded"
   | Fuel_exhausted -> "fuel_exhausted"
   | Unknown_handle -> "unknown_handle"
+  | Poisoned_request -> "poisoned_request"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
@@ -45,6 +47,7 @@ type delta_edit = {
 type delta_request = {
   d_handle : string;
   d_edits : delta_edit list;
+  d_edits_json : Json.t;
   d_validate : bool;
 }
 
@@ -104,9 +107,7 @@ let parse_run j =
     retain = Option.value (opt_field j "retain" Json.to_bool_opt) ~default:false;
   }
 
-let parse_delta j =
-  let d_handle = string_field j "handle" in
-  let parse_edit e =
+let parse_edit e =
     match e with
     | Json.Obj _ ->
       let d_block = opt_field e "block" Json.to_string_opt in
@@ -132,17 +133,27 @@ let parse_delta j =
       if d_instrs = None && d_term = None then bad "an edit must change \"instrs\" or \"term\"";
       { d_block; d_add; d_instrs; d_term }
     | _ -> bad "each edit must be a JSON object"
-  in
-  let d_edits =
+
+let parse_edits = function
+  | Json.List items ->
+    let edits = List.map parse_edit items in
+    if edits = [] then bad "\"edits\" must be non-empty";
+    edits
+  | _ -> bad "field \"edits\" must be a list"
+
+let delta_edits_of_json j = try Ok (parse_edits j) with Bad m -> Error m
+
+let parse_delta j =
+  let d_handle = string_field j "handle" in
+  let d_edits_json =
     match Json.member "edits" j with
-    | Some (Json.List items) -> List.map parse_edit items
-    | Some _ -> bad "field \"edits\" must be a list"
+    | Some v -> v
     | None -> bad "missing field \"edits\""
   in
-  if d_edits = [] then bad "\"edits\" must be non-empty";
   {
     d_handle;
-    d_edits;
+    d_edits = parse_edits d_edits_json;
+    d_edits_json;
     d_validate = Option.value (opt_field j "validate" Json.to_bool_opt) ~default:false;
   }
 

@@ -19,8 +19,14 @@ type error_code =
           *work* is unbounded, not the wall clock) *)
   | Unknown_handle
       (** a [delta] named a handle this worker does not hold — never
-          issued, evicted, or lost with a crashed worker (handles live and
-          die with the worker process that minted them) *)
+          issued, evicted, or (without [--state-dir]) lost with a crashed
+          worker.  With a state dir, handles are journaled and rebuilt on
+          respawn, so a crash alone no longer produces this code *)
+  | Poisoned_request
+      (** the request's processing coincided with a worker death twice;
+          the router quarantines it instead of replaying it onto yet
+          another worker (a deterministically crashing request would
+          otherwise cycle the ring) *)
   | Shutting_down  (** daemon draining; no new work admitted *)
   | Internal  (** the request crashed; the daemon survives *)
 
@@ -61,6 +67,10 @@ type delta_edit = {
 type delta_request = {
   d_handle : string;
   d_edits : delta_edit list;  (** applied in order; non-empty *)
+  d_edits_json : Json.t;
+      (** the raw [edits] value as received — journaled verbatim so
+          crash-recovery replays the byte-identical patch through this
+          same parser *)
   d_validate : bool;
       (** additionally run a from-scratch solve on the patched graph and
           assert the incremental result's digest is bit-identical; the
@@ -92,6 +102,11 @@ type request = {
     [trace_id] when they could be recovered (so the error response still
     correlates). *)
 val parse_request : string -> (request, Json.t * string option * error_code * string) result
+
+(** Parse a journaled [edits] value (the same grammar as the [edits]
+    field of a [delta] request).  Used by crash recovery to replay
+    patch records through the identical code path. *)
+val delta_edits_of_json : Json.t -> (delta_edit list, string) result
 
 (** {2 Response frames} — each returns a complete single-line frame. *)
 

@@ -29,6 +29,17 @@ type t = {
   digest_memo_hits : Stats.counter;
   shard_retries : Stats.counter;
   shard_restarts : Stats.counter;
+  shard_replays : Stats.counter;
+  shard_poisoned : Stats.counter;
+  shard_held : Stats.counter;
+  cache_corrupt : Stats.counter;
+  journal_appends : Stats.counter;
+  journal_append_failures : Stats.counter;
+  journal_compactions : Stats.counter;
+  journal_recovered : Stats.counter;
+  journal_replayed_patches : Stats.counter;
+  journal_truncated : Stats.counter;
+  journal_quarantined : Stats.counter;
   queue_delay : Stats.histo;
   run : Stats.histo;
   total : Stats.histo;
@@ -47,6 +58,7 @@ let all_codes =
     Protocol.Deadline_exceeded;
     Protocol.Fuel_exhausted;
     Protocol.Unknown_handle;
+    Protocol.Poisoned_request;
     Protocol.Shutting_down;
     Protocol.Internal;
   ]
@@ -90,6 +102,17 @@ let create stats =
     digest_memo_hits = c "shard.digest_memo_hits_total";
     shard_retries = c "shard.retries_total";
     shard_restarts = c "shard.worker_restarts_total";
+    shard_replays = c "shard.replays_total";
+    shard_poisoned = c "shard.poisoned_total";
+    shard_held = c "shard.held_frames_total";
+    cache_corrupt = c "shard.cache_corrupt_total";
+    journal_appends = c "journal.appends_total";
+    journal_append_failures = c "journal.append_failures_total";
+    journal_compactions = c "journal.compactions_total";
+    journal_recovered = c "journal.recovered_handles_total";
+    journal_replayed_patches = c "journal.replayed_patches_total";
+    journal_truncated = c "journal.truncated_tails_total";
+    journal_quarantined = c "journal.quarantined_total";
     queue_delay = h "queue_delay";
     run = h "run";
     total = h "total";

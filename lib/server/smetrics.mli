@@ -53,6 +53,34 @@ type t = {
       (** wire name [shard.retries_total]: requests replayed on a sibling
           after their worker died mid-request *)
   shard_restarts : Stats.counter;  (** wire name [shard.worker_restarts_total] *)
+  shard_replays : Stats.counter;
+      (** wire name [shard.replays_total]: every in-flight frame replayed
+          after a worker death — onto a ring sibling (runs) or back onto
+          the recovering worker (journaled deltas) *)
+  shard_poisoned : Stats.counter;
+      (** wire name [shard.poisoned_total]: requests quarantined with
+          [poisoned_request] after coinciding with two worker deaths *)
+  shard_held : Stats.counter;
+      (** wire name [shard.held_frames_total]: deltas parked at the router
+          while their worker's handles are being rebuilt from journal *)
+  cache_corrupt : Stats.counter;
+      (** wire name [shard.cache_corrupt_total]: LRU hits whose payload
+          failed the integrity check and fell through to a solve *)
+  journal_appends : Stats.counter;  (** wire name [journal.appends_total] *)
+  journal_append_failures : Stats.counter;
+      (** wire name [journal.append_failures_total]: records that could
+          not be made durable; serving continues, durability degrades *)
+  journal_compactions : Stats.counter;  (** wire name [journal.compactions_total] *)
+  journal_recovered : Stats.counter;
+      (** wire name [journal.recovered_handles_total]: handles rebuilt
+          from journal on respawn *)
+  journal_replayed_patches : Stats.counter;  (** wire name [journal.replayed_patches_total] *)
+  journal_truncated : Stats.counter;
+      (** wire name [journal.truncated_tails_total]: torn tails cut off
+          journal files during recovery *)
+  journal_quarantined : Stats.counter;
+      (** wire name [journal.quarantined_total]: journals set aside as
+          [*.corrupt] because they could not be read or replayed *)
   queue_delay : Stats.histo;
   run : Stats.histo;
   total : Stats.histo;

@@ -62,6 +62,13 @@ let add t k v =
       push_front t n;
       !evicted
 
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl k
+
 let mem t k = Hashtbl.mem t.tbl k
 let size t = Hashtbl.length t.tbl
 

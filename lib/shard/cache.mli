@@ -21,6 +21,10 @@ val find : 'a t -> string -> 'a option
     Replacing an existing key refreshes its recency and never evicts. *)
 val add : 'a t -> string -> 'a -> int
 
+(** Delete an entry (no-op when absent).  Used by the router's integrity
+    guard to drop a corrupt entry before falling through to a solve. *)
+val remove : 'a t -> string -> unit
+
 val mem : 'a t -> string -> bool
 val size : 'a t -> int
 

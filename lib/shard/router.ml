@@ -7,6 +7,7 @@ module Smetrics = Lcm_server.Smetrics
 module Handles = Lcm_server.Handles
 module Chash = Lcm_support.Chash
 module Fault = Lcm_support.Fault
+module Journal = Lcm_support.Journal
 module Cfg = Lcm_cfg.Cfg
 module Cfg_text = Lcm_cfg.Cfg_text
 module Trace = Lcm_obs.Trace
@@ -17,6 +18,7 @@ type config = {
   replicas : int;
   daemon : Daemon.config;
   socket_dir : string option;
+  state_dir : string option;
   quiet : bool;
   stats : Stats.t;
 }
@@ -28,6 +30,7 @@ let default_config () =
     replicas = 32;
     daemon = Daemon.default_config ();
     socket_dir = None;
+    state_dir = None;
     quiet = false;
     stats = Stats.create ();
   }
@@ -36,18 +39,6 @@ let shutdown_flag = Atomic.make false
 let request_shutdown () = Atomic.set shutdown_flag true
 
 (* ---- fleet state ---- *)
-
-type worker = {
-  w_id : int;
-  w_sock : string;
-  mutable w_pid : int;
-  mutable w_fd : Unix.file_descr option;  (* the router<->worker pipe conn *)
-  mutable w_reader : Frame.reader;
-  mutable w_started : float;
-  mutable w_restarts : int;
-  mutable w_consecutive : int;  (* deaths without a healthy uptime in between *)
-  mutable w_respawn_at : float;  (* dead worker: when the backoff allows respawn *)
-}
 
 type client = {
   c_in : Unix.file_descr;
@@ -84,6 +75,33 @@ type pending = {
   p_frame : string;  (* the forwarded frame (internal id), kept for replay *)
   mutable p_worker : int;
   mutable p_attempts : int;
+  mutable p_deaths : int;
+      (* worker deaths this request's processing has coincided with; at
+         two the router quarantines it as a poisoned request instead of
+         feeding it to yet another worker *)
+}
+
+type worker = {
+  w_id : int;
+  w_sock : string;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr option;  (* the router<->worker pipe conn *)
+  mutable w_reader : Frame.reader;
+  mutable w_started : float;
+  mutable w_restarts : int;
+  mutable w_consecutive : int;  (* deaths without a healthy uptime in between *)
+  mutable w_respawn_at : float;  (* dead worker: when the backoff allows respawn *)
+  w_held : (int * pending) Queue.t;
+      (* deltas parked while this worker is recovering (dead, but its
+         handles are journaled): flushed onto it once it reconnects *)
+}
+
+(* A cached response plus enough to verify it on the way out: the key it
+   was stored under and a CRC of the payload as serialized at insert. *)
+type cached = {
+  cd_key : string;
+  cd_crc : int;
+  cd_fields : (string * Json.t) list;  (* response fields minus id/trace_id/timing *)
 }
 
 type state = {
@@ -91,7 +109,7 @@ type state = {
   m : Smetrics.t;
   ring : Chash.t;
   workers : worker array;
-  cache : (string * Json.t) list Cache.t;  (* response fields minus id/trace_id/timing *)
+  cache : cached Cache.t;
   memo : string Cache.t;  (* raw-text digest -> canonical digest *)
   inflight : (string, waiter list ref) Hashtbl.t;  (* cache key -> coalesced dups *)
   pending : (int, pending) Hashtbl.t;  (* internal id -> in-flight request *)
@@ -114,6 +132,15 @@ let log st fmt =
 let now () = Unix.gettimeofday ()
 let alive w = w.w_fd <> None
 let alive_fn st i = i >= 0 && i < Array.length st.workers && alive st.workers.(i)
+
+(* With a state dir, workers journal their handles: a dead worker is
+   "recovering" — it will rebuild every handle on respawn — rather than
+   a total loss of its retained state. *)
+let journaling st = st.cfg.state_dir <> None
+
+let worker_state_dir st w = Option.map (fun d -> Filename.concat d (Printf.sprintf "worker-%d" w.w_id)) st.cfg.state_dir
+
+let health st w = if alive w then "up" else if journaling st then "recovering" else "down"
 
 (* ---- worker lifecycle ---- *)
 
@@ -152,6 +179,10 @@ let spawn_worker st w =
         (* Metrics survive this worker's own restarts (merged back in at
            startup); the stats op then reports fleet-lifetime counts. *)
         state_file = Some (w.w_sock ^ ".state");
+        (* Each incarnation of slot [w_id] reads and writes the same
+           journal directory: respawn hands the worker its predecessor's
+           journals and it rebuilds every handle before serving. *)
+        state_dir = worker_state_dir st w;
       }
     in
     (try
@@ -272,6 +303,9 @@ let cache_key ~digest (r : Protocol.run_request) =
 exception Worker_gone of int
 
 let worker_write w frame =
+  (* Chaos: the worker connection failed exactly at the forward — the
+     same observable as EPIPE, exercising death handling and replay. *)
+  if Fault.fire "shard.forward" then raise (Worker_gone w.w_id);
   match w.w_fd with
   | None -> raise (Worker_gone w.w_id)
   | Some fd -> (
@@ -279,14 +313,11 @@ let worker_write w frame =
     with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
       raise (Worker_gone w.w_id))
 
-(* Forward [req_fields] (the client's parsed frame) to [worker] under a
-   fresh internal id.  May raise [Worker_gone]; callers route around the
-   corpse and retry via [handle_worker_death]. *)
-let forward st client ~kind ~worker req_fields =
+let make_pending st client ~kind ~worker ?(deaths = 0) req_fields =
   let internal = st.next_internal in
   st.next_internal <- internal + 1;
   let frame = Json.to_string (Json.Obj (set_field "id" (Json.Int internal) req_fields)) in
-  let p =
+  ( internal,
     {
       p_client = client;
       p_orig_id = id_of req_fields;
@@ -295,15 +326,37 @@ let forward st client ~kind ~worker req_fields =
       p_frame = frame;
       p_worker = worker;
       p_attempts = 1;
-    }
-  in
+      p_deaths = deaths;
+    } )
+
+(* Forward [req_fields] (the client's parsed frame) to [worker] under a
+   fresh internal id.  May raise [Worker_gone]; callers route around the
+   corpse and retry via [handle_worker_death]. *)
+let forward st client ~kind ~worker req_fields =
+  let internal, p = make_pending st client ~kind ~worker req_fields in
   Hashtbl.replace st.pending internal p;
   Stats.bump (st.m.Smetrics.shard_routed worker);
-  worker_write st.workers.(worker) frame
+  worker_write st.workers.(worker) p.p_frame
+
+(* Park a delta for a recovering worker: it is not forwarded (and not in
+   [pending]) until the worker reconnects with its handles rebuilt. *)
+let hold st client ~worker req_fields =
+  let internal, p = make_pending st client ~kind:K_delta ~worker req_fields in
+  Stats.bump st.m.Smetrics.shard_held;
+  Queue.push (internal, p) st.workers.(worker).w_held
 
 let inline_error st client ~id ~trace ~code ~message =
   Smetrics.error st.m code;
   send_client client (Protocol.error ~id ?trace_id:trace ~code ~message ())
+
+(* Quarantine: the request's processing has now coincided with two worker
+   deaths.  Odds are the request is what kills them — replaying it again
+   would cycle the ring killing workers (the retry storm). *)
+let poison st p =
+  Stats.bump st.m.Smetrics.shard_poisoned;
+  inline_error st p.p_client ~id:p.p_orig_id ~trace:p.p_trace ~code:Protocol.Poisoned_request
+    ~message:
+      "request quarantined: its processing coincided with two worker crashes — not replayed again"
 
 (* ---- the stats broadcast ---- *)
 
@@ -322,6 +375,8 @@ let shard_info st =
                         ("worker", Json.Int w.w_id);
                         ("pid", Json.Int w.w_pid);
                         ("alive", Json.Bool (alive w));
+                        ("health", Json.String (health st w));
+                        ("held", Json.Int (Queue.length w.w_held));
                         ("restarts", Json.Int w.w_restarts);
                       ])
                   st.workers)) );
@@ -409,7 +464,11 @@ let handle_worker_frame st frame =
             in
             Option.iter
               (fun s ->
-                let evicted = Cache.add st.cache key s in
+                let crc = Journal.crc32 (Json.to_string (Json.Obj s)) in
+                (* Chaos: the insert wrote a corrupt entry — the integrity
+                   guard on the hit path must catch it. *)
+                let crc = if Fault.fire "shard.cache.insert" then crc lxor 1 else crc in
+                let evicted = Cache.add st.cache key { cd_key = key; cd_crc = crc; cd_fields = s } in
                 if evicted > 0 then Stats.bump ~by:evicted st.m.Smetrics.cache_evictions)
               stored;
             respond_waiters st ~cache_key:key ~stored ~response_fields:fields)
@@ -433,21 +492,36 @@ let handle_worker_death st w =
     w.w_respawn_at <- now () +. backoff;
     log st "worker %d (pid %d) died after %.1f s; respawn in %.0f ms" w.w_id w.w_pid uptime
       (backoff *. 1000.);
-    (* Reassign the corpse's in-flight work. *)
+    (* Reassign the corpse's in-flight work — in admission order
+       (internal ids are monotonic), so a stream of deltas on one handle
+       replays in the order the client sent it. *)
     let victims =
-      Hashtbl.fold (fun i p acc -> if p.p_worker = w.w_id then (i, p) :: acc else acc) st.pending []
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold
+           (fun i p acc -> if p.p_worker = w.w_id then (i, p) :: acc else acc)
+           st.pending [])
     in
     List.iter
       (fun (internal, p) ->
         Hashtbl.remove st.pending internal;
+        p.p_deaths <- p.p_deaths + 1;
         match p.p_kind with
         | K_stats agg ->
           agg.a_remaining <- agg.a_remaining - 1;
           if agg.a_remaining <= 0 then finalize_stats st agg
+        | _ when p.p_deaths >= 2 -> poison st p
+        | K_delta when journaling st ->
+          (* The handle is journaled: park the frame and replay it on this
+             same worker once its handles are rebuilt.  Replaying onto a
+             sibling would be wrong — no other worker holds the handle. *)
+          Stats.bump st.m.Smetrics.shard_replays;
+          Stats.bump st.m.Smetrics.shard_held;
+          Queue.push (internal, p) w.w_held
         | K_delta ->
-          (* Handles die with their worker: the retained graph is gone, so
-             a replay elsewhere could only answer unknown_handle anyway —
-             say so directly. *)
+          (* Without a journal, handles die with their worker: a replay
+             elsewhere could only answer unknown_handle anyway — say so
+             directly. *)
           inline_error st p.p_client ~id:p.p_orig_id ~trace:p.p_trace
             ~code:Protocol.Unknown_handle
             ~message:
@@ -455,10 +529,13 @@ let handle_worker_death st w =
                                retain:true" w.w_id)
         | K_run _ | K_proxy -> (
           (* Crash transparency: replay the identical frame — same payload,
-             same trace_id — on the ring successor. *)
+             same trace_id — on the ring successor.  Hops are capped at
+             ring size: past that every worker has refused (or died under)
+             the frame once. *)
           match Chash.successor st.ring ~alive:(alive_fn st) w.w_id with
-          | Some next when p.p_attempts < st.cfg.shards + 1 ->
+          | Some next when p.p_attempts < st.cfg.shards ->
             Stats.bump st.m.Smetrics.shard_retries;
+            Stats.bump st.m.Smetrics.shard_replays;
             p.p_attempts <- p.p_attempts + 1;
             p.p_worker <- next;
             Hashtbl.replace st.pending internal p;
@@ -473,6 +550,29 @@ let handle_worker_death st w =
               ~message:"no worker could serve the request (fleet unavailable)"))
       victims
   end
+
+(* Replay the deltas parked while [w] was recovering.  Every handle was
+   rebuilt from its journal before the worker's accept loop started, so
+   the frames land on a worker that again holds them.  If the worker dies
+   again mid-flush, the unsent remainder goes back through the death
+   handler (which re-holds or poisons each one). *)
+let flush_held st w =
+  let rec go () =
+    if alive w && not (Queue.is_empty w.w_held) then begin
+      let internal, p = Queue.pop w.w_held in
+      p.p_worker <- w.w_id;
+      Hashtbl.replace st.pending internal p;
+      Stats.bump (st.m.Smetrics.shard_routed w.w_id);
+      (match worker_write w p.p_frame with
+      | () -> ()
+      | exception Worker_gone _ ->
+        Hashtbl.remove st.pending internal;
+        Queue.push (internal, p) w.w_held;
+        handle_worker_death st w);
+      go ()
+    end
+  in
+  go ()
 
 let reap st =
   Array.iter
@@ -503,7 +603,17 @@ let respawn_due st =
         w.w_restarts <- w.w_restarts + 1;
         spawn_worker st w;
         connect_worker st w;
-        if alive w then log st "worker %d respawned (pid %d)" w.w_id w.w_pid
+        if alive w then begin
+          log st "worker %d respawned (pid %d)" w.w_id w.w_pid;
+          (* Safe even while the worker is still replaying its journal:
+             it binds the socket before recovery, so frames flushed now
+             queue in the socket buffer and are only processed by the
+             serve loop, which starts after every handle is rebuilt. *)
+          if not (Queue.is_empty w.w_held) then begin
+            log st "worker %d: replaying %d held delta(s)" w.w_id (Queue.length w.w_held);
+            flush_held st w
+          end
+        end
       end)
     st.workers
 
@@ -543,6 +653,11 @@ let process_frame st client line =
       | Some w when alive_fn st w -> (
         try forward st client ~kind:K_delta ~worker:w req_fields
         with Worker_gone wid -> handle_worker_death st st.workers.(wid))
+      | Some w
+        when journaling st && w < Array.length st.workers && not (Atomic.get shutdown_flag) ->
+        (* Recovering worker: its handles are journaled and will be back
+           once it respawns.  Park the frame instead of failing it. *)
+        hold st client ~worker:w req_fields
       | Some _ | None ->
         inline_error st client ~id ~trace ~code:Protocol.Unknown_handle
           ~message:
@@ -563,13 +678,31 @@ let process_frame st client line =
       match key with
       | None -> serve_miss ()
       | Some k -> (
-        match Cache.find st.cache k with
+        let hit =
+          match Cache.find st.cache k with
+          | None -> None
+          | Some stored ->
+            (* Integrity guard: the entry must still be keyed by the
+               digest we asked for and its payload must match the
+               checksum taken at insert.  A corrupt entry is dropped and
+               the request falls through to a real solve. *)
+            if
+              String.equal stored.cd_key k
+              && Journal.crc32 (Json.to_string (Json.Obj stored.cd_fields)) = stored.cd_crc
+            then Some stored
+            else begin
+              Stats.bump st.m.Smetrics.cache_corrupt;
+              Cache.remove st.cache k;
+              None
+            end
+        in
+        match hit with
         | Some stored ->
           (* Content-addressed hit: identical canonical graph + options,
              answered without any worker (or solver) involvement. *)
           Stats.bump st.m.Smetrics.cache_hits;
           Stats.bump st.m.Smetrics.responses_ok;
-          send_client client (render_hit ~id ~trace stored)
+          send_client client (render_hit ~id ~trace stored.cd_fields)
         | None -> (
           match Hashtbl.find_opt st.inflight k with
           | Some waiters ->
@@ -598,7 +731,18 @@ let drain_inflight_errors st =
         inline_error st p.p_client ~id:p.p_orig_id ~trace:p.p_trace ~code:Protocol.Shutting_down
           ~message:"router shutting down before the worker answered")
     st.pending;
-  Hashtbl.reset st.pending
+  Hashtbl.reset st.pending;
+  (* Deltas parked for a recovering worker never reached st.pending. *)
+  Array.iter
+    (fun w ->
+      Queue.iter
+        (fun (_, p) ->
+          inline_error st p.p_client ~id:p.p_orig_id ~trace:p.p_trace
+            ~code:Protocol.Shutting_down
+            ~message:"router shutting down before the worker recovered")
+        w.w_held;
+      Queue.clear w.w_held)
+    st.workers
 
 let teardown st =
   drain_inflight_errors st;
@@ -681,11 +825,19 @@ let serve_loop st =
       | Some lfd when List.mem lfd readable -> (
         match Unix.accept ~cloexec:true lfd with
         | fd, _ ->
-          Stats.bump st.m.Smetrics.connections_total;
-          st.clients <-
-            mk_client ~owns_fds:true ~max_frame:st.cfg.daemon.Daemon.max_frame ~fd_in:fd
-              ~fd_out:fd ()
-            :: st.clients
+          (* Chaos: drop the connection at the door, as a flaky network
+             stack would. *)
+          if Fault.fire "shard.accept" then begin
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Stats.bump st.m.Smetrics.accept_failures
+          end
+          else begin
+            Stats.bump st.m.Smetrics.connections_total;
+            st.clients <-
+              mk_client ~owns_fds:true ~max_frame:st.cfg.daemon.Daemon.max_frame ~fd_in:fd
+                ~fd_out:fd ()
+              :: st.clients
+          end
         | exception Unix.Unix_error _ -> Stats.bump st.m.Smetrics.accept_failures)
       | _ -> ());
       List.iter (fun c -> if (not c.c_eof) && (not c.c_dead) && List.mem c.c_in readable then read_client st c) st.clients;
@@ -697,9 +849,15 @@ let serve_loop st =
     st.clients <-
       List.filter
         (fun c ->
+          let held_for c =
+            Array.exists
+              (fun w -> Queue.fold (fun acc (_, p) -> acc || p.p_client == c) false w.w_held)
+              st.workers
+          in
           let gone =
             (c.c_eof || c.c_dead)
-            && not (Hashtbl.fold (fun _ p acc -> acc || p.p_client == c) st.pending false)
+            && (not (Hashtbl.fold (fun _ p acc -> acc || p.p_client == c) st.pending false))
+            && not (held_for c)
           in
           if gone && c.c_owns_fds then begin
             (try Unix.close c.c_in with Unix.Unix_error _ -> ());
@@ -708,11 +866,14 @@ let serve_loop st =
           not gone)
         st.clients;
     if Atomic.get shutdown_flag && Hashtbl.length st.pending = 0 then stop := true;
-    (* fd mode: end of input + nothing in flight = graceful drain. *)
+    (* fd mode: end of input + nothing in flight = graceful drain.  Held
+       deltas count as in flight: their worker is recovering and will
+       answer them after its respawn. *)
     if
       st.listen_fd = None
       && List.for_all (fun c -> c.c_eof || c.c_dead) st.clients
       && Hashtbl.length st.pending = 0
+      && Array.for_all (fun w -> Queue.is_empty w.w_held) st.workers
     then stop := true
   done
 
@@ -741,6 +902,7 @@ let make_state cfg ?listen_fd clients =
           w_restarts = 0;
           w_consecutive = 0;
           w_respawn_at = 0.;
+          w_held = Queue.create ();
         })
   in
   let st =

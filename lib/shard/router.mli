@@ -13,7 +13,11 @@
       requests {e in flight} coalesce: duplicates wait for the first
       copy's answer instead of being forwarded again.
     - [delta] requests are routed by the worker index baked into their
-      handle; a handle whose worker is gone gets [unknown_handle].
+      handle.  Without [state_dir], a handle whose worker is gone gets
+      [unknown_handle]; with it, the worker is merely {e recovering} —
+      frames for it are parked and replayed onto the respawned worker
+      after it has rebuilt every handle from its write-ahead journal
+      ({!Lcm_server.Hjournal}).
     - [stats] broadcasts to every live worker and merges the snapshots
       (additively, schema-checked) with the router's own counters, plus a
       ["shard"] object describing the fleet (pids, restarts, liveness).
@@ -21,14 +25,22 @@
 
     Crash transparency: when a worker dies mid-request, its in-flight
     [run]s are replayed — same frame, same [trace_id] — on the ring
-    successor ([shard.retries_total] counts these); its [delta]s answer
-    [unknown_handle] (handles die with their worker).  The dead worker is
-    reaped and respawned with capped exponential backoff and a fresh
-    chaos epoch, exactly like the PR 4 supervisor, so a fixed [LCM_CHAOS]
-    seed cannot replay the same crash schedule forever.
+    successor ([shard.retries_total] and [shard.replays_total] count
+    these), with hops capped at the ring size; its [delta]s are parked
+    for the respawned worker (journaled) or answer [unknown_handle]
+    (not).  A request whose processing coincides with {e two} worker
+    deaths is quarantined: it gets the typed [poisoned_request] error
+    instead of a third chance to take a worker down
+    ([shard.poisoned_total]).  The dead worker is reaped and respawned
+    with capped exponential backoff and a fresh chaos epoch, exactly
+    like the PR 4 supervisor, so a fixed [LCM_CHAOS] seed cannot replay
+    the same crash schedule forever.
 
     The router holds no solver state: everything it serves from the cache
-    was computed (and optionally validated) by a worker first. *)
+    was computed (and optionally validated) by a worker first — and every
+    cache hit is re-verified against the CRC taken at insert before it is
+    sent (a corrupt entry is dropped, counted in
+    [shard.cache_corrupt_total], and the request solved afresh). *)
 
 type config = {
   shards : int;  (** worker processes (>= 1) *)
@@ -38,6 +50,10 @@ type config = {
       (** template for the forked workers; [worker_id], [state_file] and
           [stats] are overridden per worker *)
   socket_dir : string option;  (** worker socket directory (default: a fresh temp dir) *)
+  state_dir : string option;
+      (** when set, each worker [i] is forked with
+          [Daemon.state_dir = <dir>/worker-<i>] — retained handles are
+          journaled and survive worker [kill -9] (default: none) *)
   quiet : bool;
   stats : Lcm_server.Stats.t;
       (** the router's own registry (routing/cache/retry counters) *)

@@ -1,0 +1,100 @@
+(* Length-prefixed, CRC-guarded record framing for the write-ahead
+   journal.  Pure string codec: file layout and I/O policy (fsync,
+   compaction, directory naming) live in the serving layer; this module
+   only decides what a record looks like on disk and how to find the
+   longest clean prefix of a possibly torn file. *)
+
+let file_magic = "LCMJ1\n"
+
+(* CRC-32 (IEEE 802.3, reflected), table-driven.  Kept here rather than
+   pulling in a checksum dependency: the table is 256 words and the
+   payloads are small JSON records. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) s =
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+(* A record is a 1-byte tag, a big-endian u32 payload length, a
+   big-endian u32 CRC-32 of the payload, then the payload itself.  The
+   tag byte doubles as a resync sanity check: a decoder positioned on
+   anything other than 'R' knows the tail is garbage, not merely short. *)
+let record_tag = 'R'
+let header_len = 9
+
+(* Refuse absurd lengths during decode so a corrupt length field cannot
+   make the decoder wait for gigabytes of payload that will never come.
+   64 MiB is orders of magnitude above any canonical program text. *)
+let max_payload = 1 lsl 26
+
+let encode_record payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Journal.encode_record: payload too large";
+  let b = Buffer.create (header_len + n) in
+  Buffer.add_char b record_tag;
+  let u32 v =
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char b (Char.chr (v land 0xFF))
+  in
+  u32 n;
+  u32 (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let u32_at s i =
+  (Char.code s.[i] lsl 24)
+  lor (Char.code s.[i + 1] lsl 16)
+  lor (Char.code s.[i + 2] lsl 8)
+  lor Char.code s.[i + 3]
+
+let decode ?(pos = 0) s =
+  let len = String.length s in
+  let out = ref [] in
+  let p = ref pos in
+  let status = ref `Clean in
+  let stop st = status := st in
+  (try
+     while !p < len do
+       if len - !p < header_len then begin
+         stop `Torn;
+         raise Exit
+       end;
+       if s.[!p] <> record_tag then begin
+         stop `Torn;
+         raise Exit
+       end;
+       let n = u32_at s (!p + 1) in
+       let crc = u32_at s (!p + 5) in
+       if n > max_payload then begin
+         stop `Torn;
+         raise Exit
+       end;
+       if len - !p - header_len < n then begin
+         stop `Torn;
+         raise Exit
+       end;
+       let payload = String.sub s (!p + header_len) n in
+       if crc32 payload <> crc then begin
+         stop `Torn;
+         raise Exit
+       end;
+       out := payload :: !out;
+       p := !p + header_len + n
+     done
+   with Exit -> ());
+  (List.rev !out, !p, !status)

@@ -1,0 +1,30 @@
+(** Record framing for the write-ahead handle journal.
+
+    A journal file is [file_magic] followed by a run of records, each a
+    tag byte, a big-endian u32 payload length, a big-endian u32 CRC-32
+    of the payload, and the payload.  The codec is pure — the serving
+    layer owns files, fsync and compaction; this module owns the byte
+    layout and torn-tail detection.
+
+    The contract recovery relies on: append-only writers can crash at
+    any byte, and {!decode} still returns the longest prefix of intact
+    records.  A short header, a bad tag byte, an absurd length, a short
+    payload or a CRC mismatch all end the scan at the last clean record
+    boundary — [`Torn] tells the caller to truncate the file there. *)
+
+(** First bytes of every journal file (includes a format version). *)
+val file_magic : string
+
+(** CRC-32 (IEEE) of a string; [?crc] continues a running checksum.
+    Also used by the shard cache's payload-integrity guard. *)
+val crc32 : ?crc:int -> string -> int
+
+(** Frame one payload as a record. Raises [Invalid_argument] past 64 MiB. *)
+val encode_record : string -> string
+
+(** [decode ?pos s] scans records from [pos] (default 0 — note the file
+    magic is {e not} consumed here; strip it first).  Returns the intact
+    payloads in order, the offset just past the last clean record, and
+    [`Clean] if the scan consumed the whole string or [`Torn] if it
+    stopped early at damage. *)
+val decode : ?pos:int -> string -> string list * int * [ `Clean | `Torn ]

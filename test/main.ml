@@ -31,5 +31,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);
       ("shard", Test_shard.suite);
+      ("journal", Test_journal.suite);
       ("chaos", Test_chaos.suite);
     ]

@@ -113,6 +113,23 @@ let cache_eviction_order () =
   (* b was the least recently used *)
   check Alcotest.(list string) "order" [ "c"; "a"; "d" ] (Cache.keys c)
 
+let cache_remove () =
+  (* The integrity guard's eject path: removal from the middle, the
+     ends, and of an absent key must all leave a consistent LRU. *)
+  let c = Cache.create ~capacity:4 in
+  List.iter (fun k -> ignore (Cache.add c k 0)) [ "a"; "b"; "c"; "d" ];
+  Cache.remove c "b";
+  checkb "gone" true (Cache.find c "b" = None);
+  checki "size" 3 (Cache.size c);
+  Cache.remove c "nope";
+  checki "absent key is a no-op" 3 (Cache.size c);
+  Cache.remove c "a";
+  Cache.remove c "d";
+  check Alcotest.(list string) "survivor" [ "c" ] (Cache.keys c);
+  (* Freed capacity is reusable without a spurious eviction. *)
+  checki "no eviction after removes" 0 (Cache.add c "e" 1);
+  checkb "reinsert after remove" true (Cache.find c "e" = Some 1)
+
 (* ---- handle table ---- *)
 
 let retained_entry () =
@@ -124,7 +141,7 @@ let handles_mint_and_find () =
   let t = Handles.create ~worker:3 ~capacity:4 in
   let h1, `Evicted e1 = Handles.register t (retained_entry ()) in
   let h2, `Evicted e2 = Handles.register t (retained_entry ()) in
-  checki "no eviction below capacity" 0 (e1 + e2);
+  checki "no eviction below capacity" 0 (List.length e1 + List.length e2);
   checkb "distinct handles" true (h1 <> h2);
   checkb "handle names carry the worker" true (Handles.worker_of_handle h1 = Some 3);
   checkb "registered handle resolves" true (Handles.find t h1 <> None);
@@ -136,10 +153,27 @@ let handles_fifo_eviction () =
   let h1, _ = Handles.register t (retained_entry ()) in
   let h2, _ = Handles.register t (retained_entry ()) in
   let h3, `Evicted e = Handles.register t (retained_entry ()) in
-  checki "one eviction past capacity" 1 e;
+  check Alcotest.(list string) "the oldest handle is named evicted" [ h1 ] e;
   checkb "oldest evicted" true (Handles.find t h1 = None);
   checkb "newer survive" true (Handles.find t h2 <> None && Handles.find t h3 <> None);
   checki "bounded" 2 (Handles.size t)
+
+let handles_restore () =
+  let t = Handles.create ~worker:0 ~capacity:4 in
+  let `Evicted _ = Handles.restore t "h0-7" (retained_entry ()) in
+  checkb "restored handle resolves" true (Handles.find t "h0-7" <> None);
+  (* Minting resumes past the highest restored sequence. *)
+  let h, _ = Handles.register t (retained_entry ()) in
+  check Alcotest.string "next mint after restore" "h0-8" h;
+  checkb "restoring a live handle is a bug" true
+    (match Handles.restore t "h0-7" (retained_entry ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "restoring a malformed name is a bug" true
+    (match Handles.restore t "nope" (retained_entry ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "seq parsing" true (Handles.seq_of_handle "h3-41" = Some 41)
 
 let handles_worker_parse () =
   checkb "h12-34" true (Handles.worker_of_handle "h12-34" = Some 12);
@@ -317,6 +351,8 @@ let suite =
     Alcotest.test_case "cache: replace refreshes without evicting" `Quick cache_replace_refreshes;
     Alcotest.test_case "cache: capacity 0 disables" `Quick cache_disabled;
     Alcotest.test_case "cache: eviction follows recency order" `Quick cache_eviction_order;
+    Alcotest.test_case "cache: remove keeps the LRU consistent" `Quick cache_remove;
+    Alcotest.test_case "handles: restore rebuilds under the original id" `Quick handles_restore;
     Alcotest.test_case "handles: mint, resolve, worker encoding" `Quick handles_mint_and_find;
     Alcotest.test_case "handles: FIFO eviction at capacity" `Quick handles_fifo_eviction;
     Alcotest.test_case "handles: name parsing" `Quick handles_worker_parse;
