@@ -13,11 +13,18 @@
 
 module Table = Lcm_support.Table
 module Cfg = Lcm_cfg.Cfg
-module Cfg_text = Lcm_cfg.Cfg_text
+module Frontend = Lcm_frontend.Frontend
 module Corpus = Lcm_eval.Corpus
 module Lcm_edge = Lcm_core.Lcm_edge
 module Json = Lcm_server.Json
 module Frame = Lcm_server.Frame
+
+(* Wire-text ingestion goes through the frontend registry, exactly like
+   the daemon's. *)
+let parse_cfg text =
+  match Frontend.parse_one Frontend.cfg text with
+  | Ok g -> g
+  | Error _ -> failwith "canonical cfg text did not re-parse"
 
 let now = Unix.gettimeofday
 
@@ -68,7 +75,7 @@ let prepare_jobs jobs =
   List.map
     (fun (j : Corpus.job) ->
       let text = Cfg.to_string j.Corpus.graph in
-      let g = Cfg_text.parse text in
+      let g = parse_cfg text in
       let expected = Cfg.to_string (fst (Lcm_edge.transform g)) in
       {
         frame_prefix =

@@ -24,11 +24,18 @@
 
 module Table = Lcm_support.Table
 module Cfg = Lcm_cfg.Cfg
-module Cfg_text = Lcm_cfg.Cfg_text
+module Frontend = Lcm_frontend.Frontend
 module Corpus = Lcm_eval.Corpus
 module Lcm_edge = Lcm_core.Lcm_edge
 module Json = Lcm_server.Json
 module Frame = Lcm_server.Frame
+
+(* Wire-text ingestion goes through the frontend registry, exactly like
+   the daemon's. *)
+let parse_cfg text =
+  match Frontend.parse_one Frontend.cfg text with
+  | Ok g -> g
+  | Error _ -> failwith "canonical cfg text did not re-parse"
 
 let now = Unix.gettimeofday
 
@@ -126,7 +133,7 @@ let prepare_jobs jobs =
   List.map
     (fun (j : Corpus.job) ->
       let text = Cfg.to_string j.Corpus.graph in
-      let g = Cfg_text.parse text in
+      let g = parse_cfg text in
       {
         name = j.Corpus.name;
         text;
@@ -467,14 +474,14 @@ let run_incr ~quick =
             if fullv > 0 then visit_fracs := (float_of_int visits /. float_of_int fullv) :: !visit_fracs
           end;
           (* client-side cross-check: transform the patched text from scratch *)
-          let expected = Cfg.to_string (fst (Lcm_edge.transform (Cfg_text.parse patched1))) in
+          let expected = Cfg.to_string (fst (Lcm_edge.transform (parse_cfg patched1))) in
           (match sfield dresp "program" with
           | Some p when p <> expected -> incr mism
           | Some _ -> ()
           | None -> incr mism);
           (* 3. latency: a second delta without validation, vs a full run of
              the same resulting text *)
-          let parsed1 = Cfg_text.parse patched1 in
+          let parsed1 = parse_cfg patched1 in
           let header1, blocks1 = split_blocks (Cfg.to_string parsed1) in
           let patched2, body2 = append_instr header1 blocks1 bname (Printf.sprintf "zq1 := %s" rhs) in
           let edit2 =

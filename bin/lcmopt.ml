@@ -1,10 +1,12 @@
 (* lcmopt: command-line driver for the Lazy Code Motion library.
 
    Subcommands:
-     run       parse a MiniImp file, run a PRE algorithm, print the result
+     run       parse a program (any registered frontend), run a PRE algorithm
      analyze   print the LCM analysis predicates per block
      interp    interpret a function on given bindings
      list      list available algorithms and named workloads
+     formats   list registered program frontends (miniimp, cfg, bril)
+     corpus    ingest a directory of programs and optimize each function
      serve     long-lived optimization daemon (JSON-lines; see docs/PROTOCOL.md)
      request   one-shot client for a running daemon
 
@@ -28,6 +30,7 @@ module Registry = Lcm_eval.Registry
 module Suites = Lcm_eval.Suites
 module Interp = Lcm_eval.Interp
 module Metrics = Lcm_eval.Metrics
+module Frontend = Lcm_frontend.Frontend
 
 let read_file path =
   let ic = open_in_bin path in
@@ -35,8 +38,25 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Load a graph either from a MiniImp file or a named workload. *)
-let load ~source ~func_name =
+(* Resolve a frontend: an explicit --format name wins, else the file's
+   extension picks one (see `lcmopt formats`), else MiniImp. *)
+let resolve_frontend ?path format =
+  match format with
+  | Some name ->
+    (match Frontend.find name with
+    | Some fe -> Ok fe
+    | None ->
+      Error
+        (Printf.sprintf "unknown format %S; registered: %s" name (String.concat ", " Frontend.names)))
+  | None ->
+    Ok
+      (match Option.bind path Frontend.of_extension with
+      | Some fe -> fe
+      | None -> Frontend.default)
+
+(* Load a graph from a source file (any registered frontend) or a named
+   workload. *)
+let load ?format ~source ~func_name () =
   match source with
   | `Workload name ->
     (match Suites.find name with
@@ -45,31 +65,27 @@ let load ~source ~func_name =
       Error
         (Printf.sprintf "unknown workload %S; available: %s" name
            (String.concat ", " (List.map (fun w -> w.Suites.name) Suites.all))))
-  | `File path when Filename.check_suffix path ".cfg" ->
-    (try Ok (Lcm_cfg.Cfg_text.parse (read_file path)) with
-    | Sys_error m -> Error m
-    | Lcm_cfg.Cfg_text.Parse_error (m, line) -> Error (Printf.sprintf "parse error at line %d: %s" line m))
   | `File path ->
-    (try
-       let program = Parser.parse_program (read_file path) in
-       let funcs = Lower.program program in
-       match func_name with
-       | None ->
-         (match funcs with
-         | [ (_, g) ] -> Ok g
-         | _ ->
-           Error
-             (Printf.sprintf "file defines %d functions; pick one with --function (%s)"
-                (List.length funcs)
-                (String.concat ", " (List.map fst funcs))))
-       | Some f ->
-         (match List.assoc_opt f funcs with
-         | Some g -> Ok g
-         | None -> Error (Printf.sprintf "no function %S in %s" f path))
-     with
-    | Sys_error m -> Error m
-    | Parser.Parse_error (m, line, col) -> Error (Printf.sprintf "parse error at %d:%d: %s" line col m)
-    | Lexer.Lex_error (m, line, col) -> Error (Printf.sprintf "lex error at %d:%d: %s" line col m))
+    Result.bind (resolve_frontend ~path format) (fun fe ->
+        match read_file path with
+        | exception Sys_error m -> Error m
+        | text ->
+          (match Frontend.parse_one fe ?func:func_name text with
+          | Ok g -> Ok g
+          | Error (Frontend.Parse e) -> Error e.Frontend.message
+          | Error (Frontend.Pick m) -> Error m))
+
+(* Print graphs back in the surface syntax they came from, so a `run` over
+   a Bril file emits Bril the file's toolchain can consume again.
+   Workloads (and resolution failures, which [load] already reported) fall
+   back to the canonical CFG text. *)
+let printer_of source format =
+  match source with
+  | `Workload _ -> Cfg.to_string
+  | `File path ->
+    (match resolve_frontend ~path format with
+    | Ok fe -> fe.Frontend.print
+    | Error _ -> Cfg.to_string)
 
 let print_stats g =
   let s = Metrics.static_counts g in
@@ -82,8 +98,8 @@ module Pass = Lcm_core.Pass
 module Trace = Lcm_obs.Trace
 module Prof = Lcm_obs.Prof
 
-let run_cmd source func_name algorithm simplify dot_path quiet trace_path profile =
-  match load ~source ~func_name with
+let run_cmd source func_name format algorithm simplify dot_path quiet trace_path profile =
+  match load ?format ~source ~func_name () with
   | Error m ->
     prerr_endline m;
     1
@@ -120,10 +136,11 @@ let run_cmd source func_name algorithm simplify dot_path quiet trace_path profil
          end
        end);
       if not quiet then begin
+        let pp = printer_of source format in
         print_endline "== before ==";
-        print_endline (Cfg.to_string g);
+        print_endline (pp g);
         print_endline "== after ==";
-        print_endline (Cfg.to_string g')
+        print_endline (pp g')
       end;
       print_string "before: ";
       print_stats g;
@@ -138,8 +155,8 @@ let run_cmd source func_name algorithm simplify dot_path quiet trace_path profil
 
 (* ---- analyze ---- *)
 
-let analyze_cmd source func_name =
-  match load ~source ~func_name with
+let analyze_cmd source func_name format =
+  match load ?format ~source ~func_name () with
   | Error m ->
     prerr_endline m;
     1
@@ -187,8 +204,8 @@ let analyze_cmd source func_name =
 
 (* ---- ssa ---- *)
 
-let ssa_cmd source func_name value_number =
-  match load ~source ~func_name with
+let ssa_cmd source func_name format value_number =
+  match load ?format ~source ~func_name () with
   | Error m ->
     prerr_endline m;
     1
@@ -226,8 +243,8 @@ let parse_binding s =
     | None -> Error (Printf.sprintf "bad binding %S (expected name=int)" s))
   | None -> Error (Printf.sprintf "bad binding %S (expected name=int)" s)
 
-let interp_cmd source func_name bindings fuel =
-  match load ~source ~func_name with
+let interp_cmd source func_name format bindings fuel =
+  match load ?format ~source ~func_name () with
   | Error m ->
     prerr_endline m;
     1
@@ -268,8 +285,8 @@ let interp_cmd source func_name bindings fuel =
 
 (* ---- trace ---- *)
 
-let trace_cmd source func_name decisions =
-  match load ~source ~func_name with
+let trace_cmd source func_name format decisions =
+  match load ?format ~source ~func_name () with
   | Error m ->
     prerr_endline m;
     1
@@ -310,8 +327,8 @@ let trace_cmd source func_name decisions =
 
 (* ---- compare ---- *)
 
-let compare_cmd source func_name runs fuel =
-  match load ~source ~func_name with
+let compare_cmd source func_name format runs fuel =
+  match load ?format ~source ~func_name () with
   | Error m ->
     prerr_endline m;
     1
@@ -501,18 +518,22 @@ let read_response_frame ?deadline fd =
   in
   go ()
 
-let request_cmd socket file workload func_name algorithm simplify workers deadline_ms retries
-    backoff_ms timeout_ms op trace_id =
+let request_cmd socket file workload func_name format algorithm simplify workers deadline_ms
+    retries backoff_ms timeout_ms op trace_id =
   let build_run () =
     match (file, workload) with
     | Some _, Some _ -> Error "provide either a FILE or --workload, not both"
     | None, None -> Error "provide a FILE or --workload NAME (or use --stats/--ping)"
     | Some path, None ->
       (try
-         let format = if Filename.check_suffix path ".cfg" then "cfg" else "miniimp" in
-         Ok
-           ([ ("program", Json.String (read_file path)); ("format", Json.String format) ]
-           @ (match func_name with Some f -> [ ("function", Json.String f) ] | None -> []))
+         Result.map
+           (fun fe ->
+             [
+               ("program", Json.String (read_file path));
+               ("format", Json.String fe.Frontend.name);
+             ]
+             @ (match func_name with Some f -> [ ("function", Json.String f) ] | None -> []))
+           (resolve_frontend ~path format)
        with Sys_error m -> Error m)
     | None, Some w ->
       (match Suites.find w with
@@ -648,6 +669,60 @@ let request_cmd socket file workload func_name algorithm simplify workers deadli
     in
     go 0
 
+(* ---- formats ---- *)
+
+let formats_cmd () =
+  print_endline "frontends:";
+  List.iter
+    (fun (fe : Frontend.t) ->
+      Printf.printf "  %-10s %-14s %s\n" fe.Frontend.name
+        (String.concat "," fe.Frontend.extensions)
+        fe.Frontend.description)
+    Frontend.all;
+  0
+
+(* ---- corpus ---- *)
+
+let corpus_cmd dir format =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "corpus: %s is not a directory\n" dir;
+    1
+  end
+  else begin
+    let fe =
+      match format with
+      | None -> Ok None
+      | Some name -> Result.map Option.some (resolve_frontend (Some name))
+    in
+    match fe with
+    | Error m ->
+      prerr_endline m;
+      1
+    | Ok fe ->
+      let module Corpus = Lcm_eval.Corpus in
+      let ing = Corpus.ingest_dir ?format:fe dir in
+      List.iter (fun (f, m) -> Printf.eprintf "corpus: skipping %s: %s\n" f m) ing.Corpus.errors;
+      let reports = Corpus.process ing.Corpus.jobs in
+      let t = Table.create [ "function"; "blocks"; "exprs"; "insertions"; "deletions"; "digest" ] in
+      List.iter
+        (fun (r : Corpus.report) ->
+          Table.add_row t
+            [
+              r.Corpus.job;
+              string_of_int r.Corpus.blocks;
+              string_of_int r.Corpus.exprs;
+              string_of_int r.Corpus.insertions;
+              string_of_int r.Corpus.deletions;
+              String.sub r.Corpus.digest 0 12;
+            ])
+        reports;
+      Table.print t;
+      Printf.printf "%d functions (%d duplicates skipped, %d files failed)\n"
+        (List.length ing.Corpus.jobs) ing.Corpus.duplicates
+        (List.length ing.Corpus.errors);
+      if ing.Corpus.errors = [] then 0 else 1
+  end
+
 (* ---- list ---- *)
 
 let list_cmd () =
@@ -688,9 +763,18 @@ let func_term =
     & opt (some string) None
     & info [ "f"; "function" ] ~docv:"NAME" ~doc:"Function to use when the file defines several.")
 
-let with_source f source func_name =
+let format_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "format" ] ~docv:"NAME"
+        ~doc:
+          "Frontend to parse the file with (see `lcmopt formats`); default: by file extension, \
+           MiniImp otherwise.")
+
+let with_source f source func_name format =
   match source with
-  | Ok s -> f s func_name
+  | Ok s -> f s func_name format
   | Error m ->
     prerr_endline m;
     1
@@ -724,12 +808,17 @@ let run_term =
           ~doc:"Print a per-phase profile (time, allocation, solver iterations) after the run.")
   in
   Term.(
-    const (fun source func_name algorithm simplify dot quiet trace profile ->
-        with_source (fun s f -> run_cmd s f algorithm simplify dot quiet trace profile) source func_name)
-    $ source_term $ func_term $ algorithm $ simplify $ dot $ quiet $ trace $ profile)
+    const (fun source func_name format algorithm simplify dot quiet trace profile ->
+        with_source
+          (fun s f fmt -> run_cmd s f fmt algorithm simplify dot quiet trace profile)
+          source func_name format)
+    $ source_term $ func_term $ format_term $ algorithm $ simplify $ dot $ quiet $ trace $ profile)
 
 let analyze_term =
-  Term.(const (fun source func_name -> with_source (fun s f -> analyze_cmd s f) source func_name) $ source_term $ func_term)
+  Term.(
+    const (fun source func_name format ->
+        with_source (fun s f fmt -> analyze_cmd s f fmt) source func_name format)
+    $ source_term $ func_term $ format_term)
 
 let trace_term =
   let decisions =
@@ -738,8 +827,9 @@ let trace_term =
       & info [ "d"; "decisions" ] ~docv:"BITS" ~doc:"Branch decisions, e.g. 0110 (1 = then-arm).")
   in
   Term.(
-    const (fun source func_name ds -> with_source (fun s f -> trace_cmd s f ds) source func_name)
-    $ source_term $ func_term $ decisions)
+    const (fun source func_name format ds ->
+        with_source (fun s f fmt -> trace_cmd s f fmt ds) source func_name format)
+    $ source_term $ func_term $ format_term $ decisions)
 
 let compare_term =
   let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Random runs to sum over.") in
@@ -750,17 +840,18 @@ let compare_term =
           ~doc:"Interpreter step budget per run; non-terminating inputs fail fast instead of hanging.")
   in
   Term.(
-    const (fun source func_name runs fuel ->
-        with_source (fun s f -> compare_cmd s f runs fuel) source func_name)
-    $ source_term $ func_term $ runs $ fuel)
+    const (fun source func_name format runs fuel ->
+        with_source (fun s f fmt -> compare_cmd s f fmt runs fuel) source func_name format)
+    $ source_term $ func_term $ format_term $ runs $ fuel)
 
 let ssa_term =
   let value_number =
     Arg.(value & flag & info [ "vn" ] ~doc:"Also run dominator-based value numbering.")
   in
   Term.(
-    const (fun source func_name vn -> with_source (fun s f -> ssa_cmd s f vn) source func_name)
-    $ source_term $ func_term $ value_number)
+    const (fun source func_name format vn ->
+        with_source (fun s f fmt -> ssa_cmd s f fmt vn) source func_name format)
+    $ source_term $ func_term $ format_term $ value_number)
 
 let interp_term =
   let bindings =
@@ -770,9 +861,9 @@ let interp_term =
     Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~docv:"N" ~doc:"Execution step budget.")
   in
   Term.(
-    const (fun source func_name bindings fuel ->
-        with_source (fun s f -> interp_cmd s f bindings fuel) source func_name)
-    $ source_term $ func_term $ bindings $ fuel)
+    const (fun source func_name format bindings fuel ->
+        with_source (fun s f fmt -> interp_cmd s f fmt bindings fuel) source func_name format)
+    $ source_term $ func_term $ format_term $ bindings $ fuel)
 
 let serve_term =
   let stdio =
@@ -995,18 +1086,29 @@ let request_term =
              for the response.")
   in
   Term.(
-    const (fun socket file workload func algorithm simplify workers deadline stats ping profile
-               retries backoff timeout trace_id ->
+    const (fun socket file workload func format algorithm simplify workers deadline stats ping
+               profile retries backoff timeout trace_id ->
         let op =
           if stats then `Stats
           else if ping then `Ping
           else if profile then `Profile
           else `Run
         in
-        request_cmd socket file workload func algorithm simplify workers deadline retries backoff
-          timeout op trace_id)
-    $ socket $ file $ workload $ func_term $ algorithm $ simplify $ workers $ deadline $ stats
-    $ ping $ profile $ retries $ backoff $ timeout $ trace_id)
+        request_cmd socket file workload func format algorithm simplify workers deadline retries
+          backoff timeout op trace_id)
+    $ socket $ file $ workload $ func_term $ format_term $ algorithm $ simplify $ workers
+    $ deadline $ stats $ ping $ profile $ retries $ backoff $ timeout $ trace_id)
+
+let corpus_term =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Directory of programs.") in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"NAME"
+          ~doc:"Only ingest this frontend's files (default: every registered extension).")
+  in
+  Term.(const corpus_cmd $ dir $ format)
 
 let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -1030,6 +1132,8 @@ let () =
         cmd_of "trace" "replay one decision path and count evaluations" trace_term;
         cmd_of "interp" "interpret a function" interp_term;
         cmd_of "list" "list algorithms and workloads" Term.(const list_cmd $ const ());
+        cmd_of "formats" "list registered program frontends" Term.(const formats_cmd $ const ());
+        cmd_of "corpus" "ingest a directory of programs and optimize each function" corpus_term;
         cmd_of "serve" "serve optimization requests over JSON-lines frames" serve_term;
         cmd_of "request" "send one request to a running daemon" request_term;
       ]

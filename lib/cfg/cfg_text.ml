@@ -5,8 +5,11 @@ exception Parse_error of string * int
 
 let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (m, line))) fmt
 
+(* '.' admits frontend-generated names (Bril emitters commonly mint
+   [v.1]-style temporaries); a word of ident chars starting with a digit
+   is still rejected by [parse_operand]. *)
 let is_ident_char c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '.'
 
 (* Split a line into whitespace-separated words. *)
 let words s =
@@ -40,6 +43,8 @@ let binop_of_symbol = function
   | ">=" -> Some Expr.Ge
   | "==" -> Some Expr.Eq
   | "!=" -> Some Expr.Ne
+  | "&&" -> Some Expr.And
+  | "||" -> Some Expr.Or
   | _ -> None
 
 (* Unary applications print without a space: "-a" or "!x". *)
@@ -66,6 +71,33 @@ let parse_rhs line ws =
     | None -> fail line "unknown operator %S" op)
   | _ -> fail line "cannot parse expression %S" (String.concat " " ws)
 
+let parse_var line w =
+  match parse_operand line w with
+  | Expr.Var v -> v
+  | Expr.Const _ -> fail line "expected a variable, found %S" w
+
+(* Opaque effect lines mirror [Instr.pp]:
+     do OP [@func ...] [operand ...] [-> dest type]
+   The type token is opaque to this parser (any space-free word, e.g.
+   [int] or [ptr<int>]); it only has to round-trip. *)
+let parse_effect line op rest =
+  if op = "" || not (String.for_all is_ident_char op) then
+    fail line "expected an effect op name, found %S" op;
+  let rec split_funcs acc = function
+    | w :: ws when String.length w > 1 && w.[0] = '@' ->
+      split_funcs (String.sub w 1 (String.length w - 1) :: acc) ws
+    | ws -> (List.rev acc, ws)
+  in
+  let funcs, rest = split_funcs [] rest in
+  let rec split_args acc = function
+    | [] -> (List.rev acc, None)
+    | [ "->"; dest; ty ] -> (List.rev acc, Some (parse_var line dest, ty))
+    | "->" :: _ -> fail line "expected \"-> dest type\" at the end of a do line"
+    | w :: ws -> split_args (parse_operand line w :: acc) ws
+  in
+  let args, dest = split_args [] rest in
+  Instr.Effect { Instr.eff_op = op; eff_dest = dest; eff_args = args; eff_funcs = funcs }
+
 let parse_instr line ws =
   match ws with
   | "print" :: rest ->
@@ -73,6 +105,7 @@ let parse_instr line ws =
     | [ a ] -> Instr.Print (parse_operand line a)
     | _ -> fail line "print takes one operand")
   | v :: ":=" :: rest -> Instr.Assign (v, parse_rhs line rest)
+  | "do" :: op :: rest -> parse_effect line op rest
   | _ -> fail line "cannot parse instruction %S" (String.concat " " ws)
 
 type parsed_term =

@@ -35,12 +35,13 @@ let simulate_block g spec idx l ~valid_in =
       if (not !killed) && !first_unkilled < 0 then first_unkilled := pos;
       last_unkilled := pos
     | Some _ | None -> ());
-    match Instr.defs instrs.(pos) with
-    | Some v when Expr.reads_var expr v ->
+    (* Same conservative kill relation as [Transform.killed_by] and the
+       local predicates: the definition, plus effect operands. *)
+    if List.exists (fun v -> Expr.reads_var expr v) (Instr.kills instrs.(pos)) then begin
       killed := true;
       (* A later occurrence may restart the exposure. *)
       if !last_unkilled >= 0 && !last_unkilled < pos then last_unkilled := -1
-    | Some _ | None -> ()
+    end
   done;
   (* Walk forward tracking validity. *)
   let valid = ref (valid_in || entry_insert) in
@@ -50,9 +51,7 @@ let simulate_block g spec idx l ~valid_in =
     (fun pos i ->
       (* The deleted occurrence reads the temporary here. *)
       if deletes_here && pos = !first_unkilled && not !valid then covered := false;
-      (match Instr.defs i with
-      | Some v when Expr.reads_var expr v -> valid := false
-      | Some _ | None -> ());
+      if List.exists (fun v -> Expr.reads_var expr v) (Instr.kills i) then valid := false;
       (* A copy publishes the value right after the downwards-exposed
          occurrence.  If the occurrence is also the deleted one, the
          rewritten [v := h] keeps the temporary valid anyway. *)

@@ -45,11 +45,16 @@ let candidate_index pool i =
   | Some e -> Expr_pool.index pool e
   | None -> None
 
-(* Indices killed by an instruction's definition. *)
+(* Indices killed by an instruction, under the same conservative kill set
+   the local predicates use ([Instr.kills]): the definition, plus — for
+   opaque effects — every operand variable.  Keeping the transformer and
+   the analysis on one kill relation means "upwards/downwards exposed"
+   agree between them by construction. *)
 let killed_by pool i =
-  match Instr.defs i with
-  | Some v -> Expr_pool.reading pool v
-  | None -> []
+  match Instr.kills i with
+  | [] -> []
+  | [ v ] -> Expr_pool.reading pool v
+  | vs -> List.concat_map (fun v -> Expr_pool.reading pool v) vs
 
 (* Replace the upwards-exposed occurrence of every expression in [set]
    within block [l] by a read of its temporary. *)
@@ -108,7 +113,7 @@ let apply_copies g pool temps l set =
       | Instr.Assign (v, _) ->
         copies_at.(pos) <- Instr.Assign (temps.(idx), Expr.Atom (Expr.Var v)) :: copies_at.(pos);
         incr count
-      | Instr.Print _ -> assert false)
+      | Instr.Print _ | Instr.Effect _ -> assert false)
     set;
   let out = ref [] in
   for pos = n - 1 downto 0 do

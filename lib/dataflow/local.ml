@@ -47,7 +47,18 @@ let rec scan_block pool reads_mask killed a c t = function
       ignore (Bitvec.union_into ~into:killed m);
       ignore (Bitvec.diff_into ~into:t m);
       ignore (Bitvec.diff_into ~into:c m)
-    | Instr.Print _ -> ());
+    | Instr.Print _ -> ()
+    | Instr.Effect _ ->
+      (* Opaque effect: kill every expression reading a variable it may
+         clobber (destination plus operands — a call or store may alias).
+         Never a candidate itself, so nothing enters [a]/[c]. *)
+      List.iter
+        (fun v ->
+          let m = reads_mask v in
+          ignore (Bitvec.union_into ~into:killed m);
+          ignore (Bitvec.diff_into ~into:t m);
+          ignore (Bitvec.diff_into ~into:c m))
+        (Instr.kills i));
     scan_block pool reads_mask killed a c t rest
 
 let compute ?scratch g pool =

@@ -68,6 +68,53 @@ let generate ?(seed = 1905) ?(dup_rate = 0.) counts =
 
 let total_blocks jobs = List.fold_left (fun acc j -> acc + Cfg.num_blocks j.graph) 0 jobs
 
+(* ---- ingesting real programs ---- *)
+
+type ingest = {
+  jobs : job list;
+  duplicates : int;
+  errors : (string * string) list;
+}
+
+let ingest_dir ?format dir =
+  let module Frontend = Lcm_frontend.Frontend in
+  let files =
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           if Sys.is_directory path then None
+           else
+             match format with
+             | Some fe ->
+               if List.exists (fun ext -> Filename.check_suffix f ext) fe.Frontend.extensions then
+                 Some (f, path, fe)
+               else None
+             | None -> Option.map (fun fe -> (f, path, fe)) (Frontend.of_extension f))
+  in
+  let seen = Hashtbl.create 64 in
+  let jobs = ref [] and duplicates = ref 0 and errors = ref [] in
+  List.iter
+    (fun (f, path, fe) ->
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      match fe.Frontend.parse text with
+      | Error e -> errors := (f, e.Frontend.message) :: !errors
+      | Ok funcs ->
+        List.iter
+          (fun (fname, g) ->
+            (* Dedup on the canonical digest: the same function ingested
+               from two files (or two formats) is one job — mirroring the
+               shard router's content addressing. *)
+            let d = Cfg.digest g in
+            if Hashtbl.mem seen d then incr duplicates
+            else begin
+              Hashtbl.replace seen d ();
+              let name = if List.length funcs = 1 then f else Printf.sprintf "%s:%s" f fname in
+              jobs := { name; graph = g } :: !jobs
+            end)
+          funcs)
+    files;
+  { jobs = List.rev !jobs; duplicates = !duplicates; errors = List.rev !errors }
+
 let process_one job =
   let a = Lcm_edge.analyze job.graph in
   let transformed, r = Transform.apply job.graph (Lcm_edge.spec job.graph a) in

@@ -36,6 +36,23 @@ val generate : ?seed:int -> ?dup_rate:float -> (int * int) list -> job list
 (** Sum of block counts across the suite. *)
 val total_blocks : job list -> int
 
+(** Result of {!ingest_dir}: the deduplicated jobs in filename order,
+    how many functions were dropped as content-identical to an earlier
+    one, and per-file parse failures (ingestion is best-effort — one bad
+    file does not sink the corpus). *)
+type ingest = {
+  jobs : job list;
+  duplicates : int;
+  errors : (string * string) list;  (** (filename, message) *)
+}
+
+(** [ingest_dir ?format dir] loads every file of [dir] whose extension a
+    registered frontend claims ({!Lcm_frontend.Frontend.of_extension}) —
+    or only [format]'s files when given — one job per parsed function,
+    deduplicated by canonical graph digest exactly like the shard
+    router's content addressing. *)
+val ingest_dir : ?format:Lcm_frontend.Frontend.t -> string -> ingest
+
 (** [process ?workers jobs] runs [Lcm_edge.analyze] + [Transform.apply] on
     every job — one pool task per job when [workers] has more than one
     domain, sequentially in the calling thread otherwise.  Reports are in

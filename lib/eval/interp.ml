@@ -8,6 +8,7 @@ module Instr = Lcm_ir.Instr
 type outcome = {
   return_value : int option;
   prints : int list;
+  effects : (string * int list) list;
   eval_counts : int array;
   unknown_evals : int;
   steps : int;
@@ -22,6 +23,7 @@ let total_evals o = Array.fold_left ( + ) o.unknown_evals o.eval_counts
 type state = {
   env : (string, int) Hashtbl.t;
   mutable prints_rev : int list;
+  mutable effects_rev : (string * int list) list;
   mutable unknown_evals : int;
   mutable steps : int;
   mutable blocks_visited : int;
@@ -59,12 +61,25 @@ let exec_instr st = function
     let x = eval_expr st e in
     Hashtbl.replace st.env v x
   | Instr.Print a -> st.prints_rev <- operand st a :: st.prints_rev
+  | Instr.Effect e ->
+    (* Opaque effects get a deterministic uninterpreted semantics: the
+       observable trace records (op, argument values), and the destination
+       (if any) receives a value that is a pure function of the op, the
+       callee names and the argument values — so two graphs are
+       behaviourally equal iff they perform the same effects in the same
+       order with equal results. *)
+    let args = List.map (operand st) e.Instr.eff_args in
+    st.effects_rev <- (e.Instr.eff_op, args) :: st.effects_rev;
+    (match e.Instr.eff_dest with
+    | Some (v, _) -> Hashtbl.replace st.env v (Hashtbl.hash (e.Instr.eff_op, e.Instr.eff_funcs, args))
+    | None -> ())
 
 let run ?(fuel = 100_000) ~pool ~env g =
   let st =
     {
       env = Hashtbl.create 64;
       prints_rev = [];
+      effects_rev = [];
       unknown_evals = 0;
       steps = 0;
       blocks_visited = 0;
@@ -108,6 +123,7 @@ let run ?(fuel = 100_000) ~pool ~env g =
   {
     return_value = Hashtbl.find_opt st.env Lower.return_var;
     prints = List.rev st.prints_rev;
+    effects = List.rev st.effects_rev;
     eval_counts = st.counts;
     unknown_evals = st.unknown_evals;
     steps = st.steps;
@@ -121,7 +137,8 @@ let run ?(fuel = 100_000) ~pool ~env g =
   }
 
 let same_behaviour a b =
-  a.return_value = b.return_value && a.prints = b.prints && a.terminated = b.terminated
+  a.return_value = b.return_value && a.prints = b.prints && a.effects = b.effects
+  && a.terminated = b.terminated
 
 let pp_outcome ppf o =
   Format.fprintf ppf "return=%s prints=[%s] evals=%d steps=%d%s"

@@ -15,6 +15,8 @@
 type outcome = {
   return_value : int option;  (** value of the return variable at exit, when defined *)
   prints : int list;  (** observable output, in order *)
+  effects : (string * int list) list;
+      (** opaque effects executed, in order: (op, argument values) *)
   eval_counts : int array;  (** per expression index of the supplied pool *)
   unknown_evals : int;  (** candidate evaluations of expressions outside the pool *)
   steps : int;  (** instructions executed *)
@@ -33,8 +35,8 @@ val total_evals : outcome -> int
 val run :
   ?fuel:int -> pool:Lcm_ir.Expr_pool.t -> env:(string * int) list -> Lcm_cfg.Cfg.t -> outcome
 
-(** Equality of observable behaviour: return value, prints, and termination
-    flag. *)
+(** Equality of observable behaviour: return value, prints, effect trace,
+    and termination flag. *)
 val same_behaviour : outcome -> outcome -> bool
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -21,7 +21,7 @@ let static_counts g =
           incr instrs;
           match i with
           | Instr.Assign (_, e) -> if Expr.is_candidate e then incr candidate_occurrences else incr copies
-          | Instr.Print _ -> ())
+          | Instr.Print _ | Instr.Effect _ -> ())
         (Cfg.instrs g l))
     (Cfg.labels g);
   {

@@ -1,0 +1,22 @@
+(** Self-contained Bril JSON codec (https://capra.cs.cornell.edu/bril/).
+
+    The reader lowers Bril's flat instruction streams onto our CFG:
+    integer/boolean value operations become expression assignments (PRE
+    candidates); calls, memory operations and other extensions become
+    opaque {!Lcm_ir.Instr.Effect} instructions that are never moved and
+    conservatively kill the expressions of the variables they touch.
+    The writer renders an optimized graph back as a legal Bril function,
+    inferring [int]/[bool] types and materializing constant operands.
+
+    Use through {!Frontend.find "bril"} rather than directly: the
+    registry entry wraps {!Err} into the uniform {!Fdef.error}. *)
+
+(** [Err (message, path)] — [path] is the offending JSON path, e.g.
+    ["functions[0].instrs[2]"], or ["$"] for document-level problems. *)
+exception Err of string * string
+
+(** All functions of the program, as validated graphs.  Raises {!Err}. *)
+val parse_program : string -> (string * Lcm_cfg.Cfg.t) list
+
+(** One graph as a single-function Bril program (compact JSON). *)
+val print : Lcm_cfg.Cfg.t -> string

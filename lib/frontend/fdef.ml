@@ -1,0 +1,16 @@
+type error = {
+  message : string;
+  where : string option;
+}
+
+type t = {
+  name : string;
+  description : string;
+  extensions : string list;
+  multi : bool;
+  route_canonical : bool;
+  parse : string -> ((string * Lcm_cfg.Cfg.t) list, error) result;
+  print : Lcm_cfg.Cfg.t -> string;
+}
+
+let err ?where fmt = Printf.ksprintf (fun message -> Error { message; where }) fmt

@@ -1,0 +1,40 @@
+(** The frontend interface: how program text in some surface format
+    becomes control-flow graphs, and how graphs print back.
+
+    A frontend is a first-class record (mirroring the pass registry's
+    shape, {!Lcm_eval.Registry}) so that new formats are registry entries,
+    not forks of the loading code.  The engine, the CLI, the shard router
+    and the corpus driver all go through this interface. *)
+
+(** A parse failure with uniform position context.  [message] is the
+    complete human-readable diagnostic (stable across CLI and wire);
+    [where] is the bare position — a line ("line 3"), a line:column
+    ("3:7"), or a JSON path ("functions[0].instrs[2]") — for callers that
+    compose their own message. *)
+type error = {
+  message : string;
+  where : string option;
+}
+
+type t = {
+  name : string;  (** wire name: the protocol's [format] field value *)
+  description : string;
+  extensions : string list;  (** file suffixes claimed, e.g. [[".bril"; ".json"]] *)
+  multi : bool;
+      (** the format can define several functions, so request-level
+          function selection ("function" field / [--func]) applies;
+          false for formats that denote exactly one graph *)
+  route_canonical : bool;
+      (** parsing is cheap normalization, so the shard router may
+          parse+reprint on its own process to content-address requests
+          (structurally identical programs share a digest however they
+          were written); false keys routing on the raw source text and
+          defers parsing to the worker *)
+  parse : string -> ((string * Lcm_cfg.Cfg.t) list, error) result;
+      (** the program as named functions, each a validated graph *)
+  print : Lcm_cfg.Cfg.t -> string;
+      (** render one optimized graph back into the surface format *)
+}
+
+(** [Error { message; where }] built from a format string. *)
+val err : ?where:string -> ('a, unit, string, (('b, error) result)) format4 -> 'a

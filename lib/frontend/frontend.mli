@@ -1,0 +1,56 @@
+(** The frontend registry.
+
+    Mirrors the pass registry ({!Lcm_eval.Registry}): every surface format
+    the system understands is one {!Fdef.t} entry here, and the engine, the
+    CLI, the shard router and the corpus driver resolve formats by name
+    through {!find} instead of hard-coding parsers.  Adding a format means
+    adding an entry, nothing else. *)
+
+type error = Fdef.error = {
+  message : string;
+  where : string option;
+}
+
+type t = Fdef.t = {
+  name : string;
+  description : string;
+  extensions : string list;
+  multi : bool;
+  route_canonical : bool;
+  parse : string -> ((string * Lcm_cfg.Cfg.t) list, error) result;
+  print : Lcm_cfg.Cfg.t -> string;
+}
+
+val miniimp : t
+(** Structured MiniImp source; the default and the paper's language. *)
+
+val cfg : t
+(** Textual CFGs, exactly what {!Lcm_cfg.Cfg.to_string} prints. *)
+
+val bril : t
+(** Bril JSON programs; see {!Bril}. *)
+
+val all : t list
+(** Registration order: [miniimp] first (the default). *)
+
+val find : string -> t option
+(** By wire name ({!Fdef.t.name}). *)
+
+val names : string list
+
+val default : t
+(** [miniimp]. *)
+
+val of_extension : string -> t option
+(** By file suffix, e.g. ["prog.json"] resolves to {!bril}. *)
+
+(** Why {!parse_one} failed: a parse error in the text, or a selection
+    problem over a well-parsed program.  The engine maps [Parse] to the
+    wire's [parse_error] and [Pick] to [bad_request]. *)
+type pick_error =
+  | Parse of error
+  | Pick of string
+
+val parse_one : t -> ?func:string -> string -> (Lcm_cfg.Cfg.t, pick_error) result
+(** The one graph a request denotes: the sole function, or the one named
+    by [func] for formats with [multi = true]. *)

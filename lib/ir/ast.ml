@@ -41,6 +41,7 @@ let stmt_vars stmts = List.sort_uniq String.compare (stmt_list_vars stmts)
 (* Precedence levels used to parenthesize only where needed: comparisons
    bind loosest, then additive, then multiplicative, then unary. *)
 let binop_level = function
+  | Expr.And | Expr.Or -> 0
   | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge | Expr.Eq | Expr.Ne -> 1
   | Expr.Add | Expr.Sub -> 2
   | Expr.Mul | Expr.Div | Expr.Mod -> 3

@@ -14,6 +14,8 @@ type binop =
   | Ge
   | Eq
   | Ne
+  | And
+  | Or
 
 type unop =
   | Neg
@@ -53,7 +55,7 @@ let is_candidate = function
   | Unary _ | Binary _ -> true
 
 let is_commutative = function
-  | Add | Mul | Eq | Ne -> true
+  | Add | Mul | Eq | Ne | And | Or -> true
   | Sub | Div | Mod | Lt | Le | Gt | Ge -> false
 
 let canonical e =
@@ -74,6 +76,8 @@ let eval_binop op a b =
   | Ge -> if a >= b then 1 else 0
   | Eq -> if a = b then 1 else 0
   | Ne -> if a <> b then 1 else 0
+  | And -> if a <> 0 && b <> 0 then 1 else 0
+  | Or -> if a <> 0 || b <> 0 then 1 else 0
 
 let eval_unop op a =
   match op with
@@ -96,6 +100,8 @@ let binop_symbol = function
   | Ge -> ">="
   | Eq -> "=="
   | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
 
 let pp_binop ppf op = Format.pp_print_string ppf (binop_symbol op)
 

@@ -22,6 +22,8 @@ type binop =
   | Ge
   | Eq
   | Ne
+  | And  (** logical conjunction over truthiness: nonzero is true *)
+  | Or  (** logical disjunction over truthiness: nonzero is true *)
 
 type unop =
   | Neg  (** arithmetic negation *)

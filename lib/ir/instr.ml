@@ -1,18 +1,41 @@
+type effect_ = {
+  eff_op : string;
+  eff_dest : (string * string) option;
+  eff_args : Expr.operand list;
+  eff_funcs : string list;
+}
+
 type t =
   | Assign of string * Expr.t
   | Print of Expr.operand
+  | Effect of effect_
 
 let defs = function
   | Assign (v, _) -> Some v
   | Print _ -> None
+  | Effect e -> Option.map fst e.eff_dest
+
+let operand_vars args =
+  List.filter_map (function Expr.Var v -> Some v | Expr.Const _ -> None) args
 
 let uses = function
   | Assign (_, e) -> Expr.vars e
   | Print a -> (match a with Expr.Var v -> [ v ] | Expr.Const _ -> [])
+  | Effect e -> operand_vars e.eff_args
 
 let candidate = function
   | Assign (_, e) when Expr.is_candidate e -> Some (Expr.canonical e)
-  | Assign _ | Print _ -> None
+  | Assign _ | Print _ | Effect _ -> None
+
+let kills i =
+  match i with
+  | Assign _ | Print _ -> ( match defs i with Some v -> [ v ] | None -> [])
+  | Effect e ->
+    (* An opaque effect may clobber anything it touches: its destination and,
+       conservatively, every variable it reads (a call or store may alias).
+       Over-killing is sound for the analyses — it only suppresses motion. *)
+    let vs = (match defs i with Some v -> [ v ] | None -> []) @ operand_vars e.eff_args in
+    List.sort_uniq String.compare vs
 
 let modifies i v =
   match defs i with
@@ -24,5 +47,12 @@ let equal (a : t) (b : t) = a = b
 let pp ppf = function
   | Assign (v, e) -> Format.fprintf ppf "%s := %a" v Expr.pp e
   | Print a -> Format.fprintf ppf "print %a" Expr.pp_operand a
+  | Effect e ->
+    Format.fprintf ppf "do %s" e.eff_op;
+    List.iter (fun f -> Format.fprintf ppf " @%s" f) e.eff_funcs;
+    List.iter (fun a -> Format.fprintf ppf " %a" Expr.pp_operand a) e.eff_args;
+    (match e.eff_dest with
+     | Some (v, ty) -> Format.fprintf ppf " -> %s %s" v ty
+     | None -> ())
 
 let to_string i = Format.asprintf "%a" pp i

@@ -3,9 +3,24 @@
     Control flow is represented separately, by basic-block terminators in
     the CFG library; a block body is a list of these instructions. *)
 
+(** An opaque effectful operation from an external frontend (function
+    call, print with multiple arguments, memory traffic, ...).  The
+    optimizer treats it as a black box: it is never a motion candidate,
+    and it conservatively kills every expression reading a variable it
+    touches.  [eff_dest] carries the destination together with its
+    frontend type token (e.g. ["int"], ["bool"], ["ptr<int>"]) so the
+    instruction round-trips through printers losslessly. *)
+type effect_ = {
+  eff_op : string;
+  eff_dest : (string * string) option;
+  eff_args : Expr.operand list;
+  eff_funcs : string list;
+}
+
 type t =
   | Assign of string * Expr.t  (** [v := e] *)
   | Print of Expr.operand  (** observable output; anchors interpreter equivalence checks *)
+  | Effect of effect_  (** opaque effectful instruction; never a candidate *)
 
 (** [defs i] is the variable defined by [i], if any. *)
 val defs : t -> string option
@@ -15,6 +30,13 @@ val uses : t -> string list
 
 (** The candidate expression computed by [i], if any. *)
 val candidate : t -> Expr.t option
+
+(** [kills i] is the set of variables whose expressions must be treated
+    as clobbered after [i]: the definition for [Assign]/[Print], and the
+    destination plus every operand variable for [Effect] (an opaque call
+    or store may alias anything it reads).  Over-approximate but sound:
+    extra kills only suppress motion. *)
+val kills : t -> string list
 
 (** [modifies i v] holds when [i] writes [v]. *)
 val modifies : t -> string -> bool

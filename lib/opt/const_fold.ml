@@ -31,7 +31,7 @@ let run g =
               let e' = fold_expr folded e in
               if e' != e then changed := true;
               Instr.Assign (v, e')
-            | Instr.Print _ -> i)
+            | Instr.Print _ | Instr.Effect _ -> i)
           (Cfg.instrs g l)
       in
       if !changed then Cfg.set_instrs g l instrs;

@@ -29,7 +29,7 @@ let collect_facts g =
         (fun i ->
           match i with
           | Instr.Assign (v, Expr.Atom (Expr.Var w)) -> note v w
-          | Instr.Assign _ | Instr.Print _ -> ())
+          | Instr.Assign _ | Instr.Print _ | Instr.Effect _ -> ())
         (Cfg.instrs g l))
     (Cfg.labels g);
   { index; pairs = Array.of_list (List.rev !pairs) }
@@ -58,7 +58,7 @@ let block_transfer g facts l =
       match i with
       | Instr.Assign (v, Expr.Atom (Expr.Var w)) when not (String.equal v w) ->
         Bitvec.set gen (Hashtbl.find facts.index (v, w)) true
-      | Instr.Assign _ | Instr.Print _ -> ())
+      | Instr.Assign _ | Instr.Print _ | Instr.Effect _ -> ())
     (Cfg.instrs g l);
   (gen, kill)
 
@@ -123,6 +123,11 @@ let run g =
             match i with
             | Instr.Assign (v, e) -> Instr.Assign (v, subst_expr e)
             | Instr.Print a -> Instr.Print (subst_operand a)
+            | Instr.Effect e ->
+              (* Effect operands are plain reads: copies propagate into
+                 them like any other use (Bril registers are value-typed,
+                 so no effect can alias another register). *)
+              Instr.Effect { e with Instr.eff_args = List.map subst_operand e.Instr.eff_args }
           in
           (* Update the local view: a definition invalidates facts, a copy
              introduces one. *)
@@ -133,7 +138,7 @@ let run g =
           | None -> ());
           (match i' with
           | Instr.Assign (v, Expr.Atom (Expr.Var w)) when not (String.equal v w) -> Hashtbl.replace tbl v w
-          | Instr.Assign _ | Instr.Print _ -> ());
+          | Instr.Assign _ | Instr.Print _ | Instr.Effect _ -> ());
           i'
         in
         let instrs' = List.map step (Cfg.instrs g l) in

@@ -22,7 +22,9 @@ let sweep_block live vars g l =
   let removed = ref 0 in
   let keep_instr i =
     match i with
-    | Instr.Print _ -> true
+    (* Effects are observable regardless of whether their destination is
+       read: they are roots, like prints. *)
+    | Instr.Print _ | Instr.Effect _ -> true
     | Instr.Assign (v, _) ->
       (match Var_pool.index vars v with
       | Some idx -> Bitvec.get live_now idx

@@ -57,7 +57,7 @@ let rewrite_block fresh instrs =
             (match arr.(span.opened_at) with
             | Instr.Assign (v0, _) ->
               copy_after.(span.opened_at) <- Instr.Assign (t, Expr.Atom (Expr.Var v0)) :: copy_after.(span.opened_at)
-            | Instr.Print _ -> assert false);
+            | Instr.Print _ | Instr.Effect _ -> assert false);
             t
         in
         arr.(pos) <- Instr.Assign (v, Expr.Atom (Expr.Var source));
@@ -73,7 +73,11 @@ let rewrite_block fresh instrs =
         if not (Expr.reads_var key v) then
           Hashtbl.replace spans key { opened_at = pos; holders = [ v ]; temp = None })
     | Instr.Assign (v, _) -> on_def v
-    | Instr.Print _ -> ())
+    | Instr.Print _ -> ()
+    | Instr.Effect _ ->
+      (* Conservative: close every span touching a variable the effect
+         may clobber (destination plus operands). *)
+      List.iter on_def (Instr.kills arr.(pos)))
   done;
   let out = ref [] in
   for pos = n - 1 downto 0 do

@@ -46,7 +46,7 @@ let basic_ivs g body def_counts =
             (match induction_step v e with
             | Some s -> String_map.add v s acc
             | None -> acc)
-          | Instr.Assign _ | Instr.Print _ -> acc)
+          | Instr.Assign _ | Instr.Print _ | Instr.Effect _ -> acc)
         acc (Cfg.instrs g l))
     body String_map.empty
 
@@ -114,7 +114,7 @@ let reduce_loop g fresh loop stats =
                 if not (Hashtbl.mem pairs key) then
                   Hashtbl.add pairs key { iv; step; multiplier; temp = Lcm_support.Fresh.mint fresh }
               | None -> ())
-            | Instr.Print _ -> ())
+            | Instr.Print _ | Instr.Effect _ -> ())
           (Cfg.instrs g l))
       body;
     if Hashtbl.length pairs > 0 then begin
@@ -142,7 +142,7 @@ let reduce_loop g fresh loop stats =
                   rewritten := true;
                   Instr.Assign (v, Expr.Atom (Expr.Var p.temp))
                 | None -> i)
-              | Instr.Print _ -> i
+              | Instr.Print _ | Instr.Effect _ -> i
             in
             let adjustments =
               match Instr.defs replaced with
@@ -152,7 +152,7 @@ let reduce_loop g fresh loop stats =
                   Hashtbl.fold
                     (fun _ p acc -> if String.equal p.iv v then adjustment p :: acc else acc)
                     pairs []
-                | Instr.Assign _ | Instr.Print _ -> [])
+                | Instr.Assign _ | Instr.Print _ | Instr.Effect _ -> [])
               | Some _ | None -> []
             in
             if adjustments <> [] then rewritten := true;

@@ -1,5 +1,6 @@
 module Cfg = Lcm_cfg.Cfg
 module Cfg_text = Lcm_cfg.Cfg_text
+module Frontend = Lcm_frontend.Frontend
 module Lower = Lcm_cfg.Lower
 module Parser = Lcm_ir.Parser
 module Lexer = Lcm_ir.Lexer
@@ -65,31 +66,22 @@ let check_deadline ~now ~deadline =
   | Some d when now () > d -> raise Deadline
   | _ -> ()
 
-(* Phase 1: the program text to a validated graph. *)
-let load_graph (r : Protocol.run_request) =
-  match r.Protocol.format with
-  | Protocol.CfgText ->
-    (try Cfg_text.parse r.Protocol.program with
-    | Cfg_text.Parse_error (m, line) -> reject Protocol.Parse_error "cfg parse error at line %d: %s" line m)
-  | Protocol.MiniImp ->
-    let funcs =
-      try Lower.program (Parser.parse_program r.Protocol.program) with
-      | Parser.Parse_error (m, line, col) -> reject Protocol.Parse_error "parse error at %d:%d: %s" line col m
-      | Lexer.Lex_error (m, line, col) -> reject Protocol.Parse_error "lex error at %d:%d: %s" line col m
-    in
-    (match r.Protocol.func with
+(* Phase 1: the program text to a validated graph, through the frontend
+   registry — the engine resolves the request's [format] by name, so new
+   formats are registry entries, not new engine arms. *)
+let load_graph cfg (r : Protocol.run_request) =
+  let fe =
+    match Frontend.find r.Protocol.format with
+    | Some fe -> fe
     | None ->
-      (match funcs with
-      | [ (_, g) ] -> g
-      | [] -> reject Protocol.Parse_error "program defines no function"
-      | _ ->
-        reject Protocol.Bad_request "program defines %d functions; pick one with \"function\" (%s)"
-          (List.length funcs)
-          (String.concat ", " (List.map fst funcs)))
-    | Some f ->
-      (match List.assoc_opt f funcs with
-      | Some g -> g
-      | None -> reject Protocol.Bad_request "no function %S in program" f))
+      reject Protocol.Unsupported_format "unknown format %S (registered: %s)" r.Protocol.format
+        (String.concat ", " Frontend.names)
+  in
+  Stats.bump (cfg.m.Smetrics.format_requests fe.Frontend.name);
+  match Frontend.parse_one fe ?func:r.Protocol.func r.Protocol.program with
+  | Ok g -> g
+  | Error (Frontend.Parse e) -> reject Protocol.Parse_error "%s" e.Frontend.message
+  | Error (Frontend.Pick m) -> reject Protocol.Bad_request "%s" m
 
 (* ---- chaos boundaries ----
    Probed between pipeline phases.  All three probes are free when no
@@ -205,7 +197,7 @@ let execute_run cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~tim
     | Some e -> e
     | None -> reject Protocol.Bad_request "unknown algorithm %S" r.Protocol.algorithm
   in
-  let g = Trace.span "engine.load" (fun () -> load_graph r) in
+  let g = Trace.span "engine.load" (fun () -> load_graph cfg r) in
   check_deadline ~now ~deadline;
   (* Admission: check a scratch arena out for this request's shape class.
      Everything from tier selection to response rendering runs inside the
@@ -319,7 +311,7 @@ let execute_retain cfg ~now ~deadline ~id ~trace_id (r : Protocol.run_request) ~
   if not (String.equal r.Protocol.algorithm "lcm-edge") then
     reject Protocol.Bad_request "retain is only supported for algorithm \"lcm-edge\" (got %S)"
       r.Protocol.algorithm;
-  let g = Trace.span "engine.load" (fun () -> load_graph r) in
+  let g = Trace.span "engine.load" (fun () -> load_graph cfg r) in
   check_deadline ~now ~deadline;
   chaos_boundary ();
   let a, saved = Trace.span "engine.retain.solve" (fun () -> Lcm_edge.analyze_keep g) in

@@ -8,6 +8,7 @@ type error_code =
   | Unknown_handle
   | Poisoned_request
   | Shutting_down
+  | Unsupported_format
   | Internal
 
 let error_code_to_string = function
@@ -20,15 +21,12 @@ let error_code_to_string = function
   | Unknown_handle -> "unknown_handle"
   | Poisoned_request -> "poisoned_request"
   | Shutting_down -> "shutting_down"
+  | Unsupported_format -> "unsupported_format"
   | Internal -> "internal"
-
-type program_format =
-  | MiniImp
-  | CfgText
 
 type run_request = {
   program : string;
-  format : program_format;
+  format : string;
   func : string option;
   algorithm : string;
   simplify : bool;
@@ -87,12 +85,25 @@ let string_field j name =
 
 let parse_format j program =
   match opt_field j "format" Json.to_string_opt with
-  | Some "miniimp" -> MiniImp
-  | Some "cfg" -> CfgText
-  | Some other -> bad "unknown format %S (expected \"miniimp\" or \"cfg\")" other
+  | Some f ->
+    (* Validated against the frontend registry by the engine, which owns
+       the typed [Unsupported_format] rejection — the protocol layer does
+       not know which formats are registered. *)
+    f
   | None ->
-    (* Default: sniff.  Cfg_text documents always start with "cfg ". *)
-    if String.length program >= 4 && String.sub program 0 4 = "cfg " then CfgText else MiniImp
+    (* Default: sniff.  Cfg_text documents always start with "cfg "; a
+       JSON document (Bril) starts with '{'; anything else is MiniImp. *)
+    if String.length program >= 4 && String.sub program 0 4 = "cfg " then "cfg"
+    else begin
+      let i = ref 0 in
+      while
+        !i < String.length program
+        && match program.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr i
+      done;
+      if !i < String.length program && program.[!i] = '{' then "bril" else "miniimp"
+    end
 
 let parse_run j =
   let program = string_field j "program" in

@@ -28,18 +28,23 @@ type error_code =
           another worker (a deterministically crashing request would
           otherwise cycle the ring) *)
   | Shutting_down  (** daemon draining; no new work admitted *)
+  | Unsupported_format
+      (** the request's [format] names no registered frontend; the
+          message lists the registered names *)
   | Internal  (** the request crashed; the daemon survives *)
 
 val error_code_to_string : error_code -> string
 
-type program_format =
-  | MiniImp  (** MiniImp source; lowered via {!Lcm_cfg.Lower} *)
-  | CfgText  (** the {!Lcm_cfg.Cfg_text} wire format *)
-
 type run_request = {
   program : string;
-  format : program_format;
-  func : string option;  (** function to pick when a MiniImp file defines several *)
+  format : string;
+      (** a {!Lcm_frontend.Frontend} name ("miniimp", "cfg", "bril", …).
+          When the request carries no [format] field the value is sniffed
+          from the program text ("cfg " prefix → cfg, leading '{' → bril,
+          otherwise miniimp), so pre-existing requests keep their exact
+          historical behavior.  Unknown names are carried through verbatim
+          and rejected by the engine with {!Unsupported_format}. *)
+  func : string option;  (** function to pick when the format defines several *)
   algorithm : string;  (** a {!Lcm_eval.Registry} name *)
   simplify : bool;  (** merge straight-line blocks after the transformation *)
   workers : int;  (** requested intra-request parallelism; capped by the daemon pool *)

@@ -46,6 +46,7 @@ type t = {
   batch_size : Stats.histo;
   error_by_code : Protocol.error_code -> Stats.counter;
   degraded_tier : string -> Stats.counter;
+  format_requests : string -> Stats.counter;
   shard_routed : int -> Stats.counter;
 }
 
@@ -60,6 +61,7 @@ let all_codes =
     Protocol.Unknown_handle;
     Protocol.Poisoned_request;
     Protocol.Shutting_down;
+    Protocol.Unsupported_format;
     Protocol.Internal;
   ]
 
@@ -71,6 +73,9 @@ let create stats =
   in
   (* The engine names tiers; unknown names still get a live counter. *)
   let tiers = List.map (fun t -> (t, c ("degraded." ^ t))) [ "parallel"; "sequential"; "identity" ] in
+  (* Registered frontends get their counter eagerly so a stats snapshot
+     shows every format at zero, not only the ones already requested. *)
+  let formats = List.map (fun f -> (f, c ("requests.format." ^ f))) Lcm_frontend.Frontend.names in
   {
     frames_total = c "frames_total";
     requests_total = c "requests_total";
@@ -121,6 +126,9 @@ let create stats =
     degraded_tier =
       (fun tier ->
         match List.assoc_opt tier tiers with Some h -> h | None -> c ("degraded." ^ tier));
+    format_requests =
+      (fun fmt ->
+        match List.assoc_opt fmt formats with Some h -> h | None -> c ("requests.format." ^ fmt));
     shard_routed =
       (* Worker counts are small and fixed at startup; memoize per index
          so the hot path holds a handle, not a name. *)

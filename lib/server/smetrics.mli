@@ -87,6 +87,9 @@ type t = {
   batch_size : Stats.histo;
   error_by_code : Protocol.error_code -> Stats.counter;  (** wire name [errors.<code>] *)
   degraded_tier : string -> Stats.counter;  (** wire name [degraded.<tier>] *)
+  format_requests : string -> Stats.counter;
+      (** wire name [requests.format.<frontend>]; pre-registered for every
+          {!Lcm_frontend.Frontend.names} entry *)
   shard_routed : int -> Stats.counter;
       (** wire name [shard.routed.w<i>]: requests the router forwarded to
           worker [i] (cache hits are counted under [cache.hits_total],

@@ -10,6 +10,7 @@ module Fault = Lcm_support.Fault
 module Journal = Lcm_support.Journal
 module Cfg = Lcm_cfg.Cfg
 module Cfg_text = Lcm_cfg.Cfg_text
+module Frontend = Lcm_frontend.Frontend
 module Trace = Lcm_obs.Trace
 
 type config = {
@@ -250,18 +251,22 @@ let id_of req_fields = Option.value (List.assoc_opt "id" req_fields) ~default:Js
 
 (* ---- routing keys ---- *)
 
-(* The canonical content of a run request: parse + reprint normalizes
-   label names, whitespace and block order, so structurally identical
-   graphs share one digest however the client wrote them.  An unparsable
+(* The canonical content of a run request.  Frontends that declare
+   [route_canonical] (cfg, bril) are parsed + reprinted to the canonical
+   Cfg text, so structurally identical graphs share one digest however —
+   and in whichever format — the client wrote them.  An unparsable
    program routes (and caches, harmlessly: the worker answers the same
-   parse_error every time) by its raw text.  MiniImp is keyed on source
-   text — lowering happens on the worker. *)
+   parse_error every time) by its raw text; so do formats keyed on
+   source (miniimp — lowering happens on the worker) and unregistered
+   format names (the worker answers unsupported_format). *)
 let canonical_content (r : Protocol.run_request) =
-  match r.Protocol.format with
-  | Protocol.CfgText -> (
-    try Cfg.to_string (Cfg_text.parse r.Protocol.program) with _ -> r.Protocol.program)
-  | Protocol.MiniImp ->
-    "miniimp|" ^ Option.value r.Protocol.func ~default:"" ^ "|" ^ r.Protocol.program
+  match Frontend.find r.Protocol.format with
+  | Some fe when fe.Frontend.route_canonical -> (
+    match Frontend.parse_one fe ?func:r.Protocol.func r.Protocol.program with
+    | Ok g -> Cfg.to_string g
+    | Error _ -> r.Protocol.program)
+  | Some _ | None ->
+    r.Protocol.format ^ "|" ^ Option.value r.Protocol.func ~default:"" ^ "|" ^ r.Protocol.program
 
 let route_digest content = Digest.to_hex (Digest.string content)
 
@@ -275,10 +280,8 @@ let memo_capacity = 4096
 
 let raw_digest (r : Protocol.run_request) =
   Digest.string
-    (match r.Protocol.format with
-    | Protocol.CfgText -> "cfg\x00" ^ r.Protocol.program
-    | Protocol.MiniImp ->
-      "imp\x00" ^ Option.value r.Protocol.func ~default:"" ^ "\x00" ^ r.Protocol.program)
+    (r.Protocol.format ^ "\x00" ^ Option.value r.Protocol.func ~default:"" ^ "\x00"
+   ^ r.Protocol.program)
 
 let digest_of_run st (r : Protocol.run_request) =
   let raw = raw_digest r in

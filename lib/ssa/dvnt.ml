@@ -147,7 +147,14 @@ let run ssa =
                 set exprs key v;
                 set value v v;
                 Instr.Assign (v, e')))
-          | Instr.Print a -> Instr.Print (canon_operand a))
+          | Instr.Print a -> Instr.Print (canon_operand a)
+          | Instr.Effect e ->
+            (* Opaque: canonicalize the operands it reads; its destination
+               is a fresh opaque value, never merged with any expression. *)
+            (match e.Instr.eff_dest with
+            | Some (v, _) -> set value v v
+            | None -> ());
+            Instr.Effect { e with Instr.eff_args = List.map canon_operand e.Instr.eff_args })
         (Cfg.instrs g l)
     in
     Cfg.set_instrs g l (head_copies @ body);

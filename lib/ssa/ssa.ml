@@ -154,7 +154,20 @@ let of_cfg original =
             let v' = push v in
             pushed := v :: !pushed;
             Instr.Assign (v', e')
-          | Instr.Print a -> Instr.Print (rename_operand a))
+          | Instr.Print a -> Instr.Print (rename_operand a)
+          | Instr.Effect e ->
+            (* Operands read the incoming versions; the destination (if
+               any) starts a fresh version like any other definition. *)
+            let args' = List.map rename_operand e.Instr.eff_args in
+            let dest' =
+              Option.map
+                (fun (v, ty) ->
+                  let v' = push v in
+                  pushed := v :: !pushed;
+                  (v', ty))
+                e.Instr.eff_dest
+            in
+            Instr.Effect { e with Instr.eff_args = args'; eff_dest = dest' })
         (Cfg.instrs g l)
     in
     let instrs' =

@@ -29,6 +29,7 @@ let () =
       ("pool", Test_pool.suite);
       ("arena", Test_arena.suite);
       ("parallel", Test_parallel.suite);
+      ("frontend", Test_frontend.suite);
       ("server", Test_server.suite);
       ("shard", Test_shard.suite);
       ("journal", Test_journal.suite);

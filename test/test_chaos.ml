@@ -259,7 +259,7 @@ let run_request ?(algorithm = "lcm-edge") ?(workers = 1) ?(validate = false) pro
     Protocol.id = Json.Int 1;
     op =
       Protocol.Run
-        { Protocol.program; format = Protocol.CfgText; func = None; algorithm; simplify = false; workers; validate; retain = false };
+        { Protocol.program; format = "cfg"; func = None; algorithm; simplify = false; workers; validate; retain = false };
     deadline_ms = None;
     trace_id = None;
   }

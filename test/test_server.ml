@@ -147,12 +147,12 @@ let test_protocol_parse () =
   (match r.Protocol.op with
   | Protocol.Run run ->
     Alcotest.(check string) "default algorithm" "lcm-edge" run.Protocol.algorithm;
-    Alcotest.(check bool) "format sniffed as cfg" true (run.Protocol.format = Protocol.CfgText)
+    Alcotest.(check bool) "format sniffed as cfg" true (run.Protocol.format = "cfg")
   | _ -> Alcotest.fail "expected run op");
   let r = ok_req "{\"op\":\"run\",\"program\":\"function f() { return 1; }\"}" in
   (match r.Protocol.op with
   | Protocol.Run run ->
-    Alcotest.(check bool) "format sniffed as miniimp" true (run.Protocol.format = Protocol.MiniImp)
+    Alcotest.(check bool) "format sniffed as miniimp" true (run.Protocol.format = "miniimp")
   | _ -> Alcotest.fail "expected run op");
   (match Protocol.parse_request "{\"op\":\"nope\"}" with
   | Error (_, _, Protocol.Bad_request, _) -> ()
@@ -181,7 +181,7 @@ let run_request ?(algorithm = "lcm-edge") ?(workers = 1) program =
       Protocol.Run
         {
           Protocol.program;
-          format = Protocol.CfgText;
+          format = "cfg";
           func = None;
           algorithm;
           simplify = false;
@@ -243,7 +243,7 @@ let test_engine_errors () =
           Protocol.Run
             {
               Protocol.program = "function f( {";
-              format = Protocol.MiniImp;
+              format = "miniimp";
               func = None;
               algorithm = "lcm-edge";
               simplify = false;
